@@ -1,0 +1,78 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! exact Eq. 4 vs the two-segment linearization, drag-free vs drag-aware
+//! stopping distances, and serial vs parallel sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use f1_model::physics::{BodyDynamics, DragModel, PitchPolicy};
+use f1_model::roofline::Roofline;
+use f1_model::safety::SafetyModel;
+use f1_skyline::sweep::{parallel_map, sweep_linear};
+use f1_units::{GramForce, Grams, Hertz, Meters, MetersPerSecond, MetersPerSecondSquared, Seconds};
+
+fn bench_exact_vs_linearized(c: &mut Criterion) {
+    let r = Roofline::new(
+        SafetyModel::new(MetersPerSecondSquared::new(6.8), Meters::new(4.5)).unwrap(),
+    );
+    let mut g = c.benchmark_group("roofline_evaluation");
+    g.bench_function("exact_eq4", |b| {
+        b.iter(|| black_box(r.velocity_at(black_box(Hertz::new(43.0)))))
+    });
+    g.bench_function("two_segment_linearized", |b| {
+        b.iter(|| black_box(r.linearized_velocity_at(black_box(Hertz::new(43.0)))))
+    });
+    g.finish();
+}
+
+fn bench_drag_ablation(c: &mut Criterion) {
+    let body = BodyDynamics::from_grams(
+        Grams::new(1620.0),
+        GramForce::new(1880.0),
+        PitchPolicy::VerticalMargin,
+    )
+    .unwrap();
+    let mut g = c.benchmark_group("stopping_distance");
+    for coeff in [0.0, 0.05, 0.2] {
+        let drag = DragModel::quadratic(coeff).unwrap();
+        g.bench_with_input(BenchmarkId::new("drag", coeff), &drag, |b, drag| {
+            b.iter(|| {
+                black_box(body.stopping_distance_with_drag(
+                    MetersPerSecond::new(2.0),
+                    Seconds::new(0.1),
+                    drag,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sweep_parallelism(c: &mut Criterion) {
+    let safety = SafetyModel::new(MetersPerSecondSquared::new(6.8), Meters::new(4.5)).unwrap();
+    let work = move |x: f64| {
+        // A deliberately non-trivial inner evaluation: a 200-point curve.
+        let r = Roofline::new(safety.with_a_max(MetersPerSecondSquared::new(x)).unwrap());
+        r.sample_log(Hertz::new(0.5), Hertz::new(1000.0), 200).len()
+    };
+    let inputs: Vec<f64> = (1..=256).map(|i| i as f64 * 0.05).collect();
+    let mut g = c.benchmark_group("sweep_256_points");
+    g.bench_function("serial", |b| {
+        b.iter(|| black_box(inputs.iter().map(|x| work(*x)).collect::<Vec<_>>()))
+    });
+    g.bench_function("parallel_map", |b| {
+        b.iter(|| black_box(parallel_map(inputs.clone(), |x| work(*x))))
+    });
+    g.bench_function("sweep_linear_parallel", |b| {
+        b.iter(|| black_box(sweep_linear(0.05, 12.8, 256, work)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    bench_exact_vs_linearized,
+    bench_drag_ablation,
+    bench_sweep_parallelism
+);
+criterion_main!(ablations);

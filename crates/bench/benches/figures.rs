@@ -1,0 +1,106 @@
+//! One benchmark per paper figure/table: times the full regeneration of
+//! each artifact (the same code paths the `f1-experiments` binaries run).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig02(c: &mut Criterion) {
+    c.bench_function("fig02_size_classes", |b| {
+        b.iter(|| black_box(f1_experiments::fig02::run().table()))
+    });
+}
+
+fn bench_fig04(c: &mut Criterion) {
+    c.bench_function("fig04_bounds", |b| {
+        b.iter(|| {
+            let fig = f1_experiments::fig04::run();
+            black_box((fig.bounds_table(), fig.design_table(), fig.payload_table()))
+        })
+    });
+}
+
+fn bench_fig05(c: &mut Criterion) {
+    c.bench_function("fig05_safety_model", |b| {
+        b.iter(|| black_box(f1_experiments::fig05::run().table()))
+    });
+}
+
+fn bench_fig07(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig07_validation");
+    g.sample_size(10);
+    g.bench_function("flight_validation_campaign", |b| {
+        b.iter(|| black_box(f1_experiments::fig07::run(42).unwrap().error_table()))
+    });
+    g.finish();
+}
+
+fn bench_fig09(c: &mut Criterion) {
+    c.bench_function("fig09_payload_sweep", |b| {
+        b.iter(|| black_box(f1_experiments::fig09::run().unwrap().table()))
+    });
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    c.bench_function("fig11_compute_selection", |b| {
+        b.iter(|| black_box(f1_experiments::fig11::run().unwrap().table()))
+    });
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    c.bench_function("fig12_heatsink", |b| {
+        b.iter(|| black_box(f1_experiments::fig12::run().table()))
+    });
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    c.bench_function("fig13_algorithms", |b| {
+        b.iter(|| black_box(f1_experiments::fig13::run().unwrap().table()))
+    });
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    c.bench_function("fig14_redundancy", |b| {
+        b.iter(|| black_box(f1_experiments::fig14::run().unwrap().table()))
+    });
+}
+
+fn bench_fig15(c: &mut Criterion) {
+    c.bench_function("fig15_full_system", |b| {
+        b.iter(|| black_box(f1_experiments::fig15::run().unwrap().table()))
+    });
+}
+
+fn bench_fig16(c: &mut Criterion) {
+    c.bench_function("fig16_accelerators", |b| {
+        b.iter(|| black_box(f1_experiments::fig16::run().unwrap().table()))
+    });
+}
+
+fn bench_tables(c: &mut Criterion) {
+    c.bench_function("tables_1_2_3", |b| {
+        b.iter(|| {
+            black_box((
+                f1_experiments::tables::table1_specs().unwrap(),
+                f1_experiments::tables::table2_knobs(),
+                f1_experiments::tables::table3_case_studies(),
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    figures,
+    bench_fig02,
+    bench_fig04,
+    bench_fig05,
+    bench_fig07,
+    bench_fig09,
+    bench_fig11,
+    bench_fig12,
+    bench_fig13,
+    bench_fig14,
+    bench_fig15,
+    bench_fig16,
+    bench_tables,
+);
+criterion_main!(figures);

@@ -1,0 +1,111 @@
+//! Micro-benchmarks of the analytic model kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use f1_model::analysis::DesignAssessment;
+use f1_model::heatsink::HeatsinkModel;
+use f1_model::physics::{BodyDynamics, PitchPolicy};
+use f1_model::pipeline::StageRates;
+use f1_model::roofline::Roofline;
+use f1_model::safety::SafetyModel;
+use f1_units::{GramForce, Grams, Hertz, Meters, MetersPerSecondSquared, Seconds, Watts};
+
+fn safety() -> SafetyModel {
+    SafetyModel::new(MetersPerSecondSquared::new(6.8), Meters::new(4.5)).unwrap()
+}
+
+fn bench_eq4(c: &mut Criterion) {
+    let m = safety();
+    c.bench_function("eq4_safe_velocity", |b| {
+        b.iter(|| black_box(m.safe_velocity(black_box(Seconds::new(0.0233)))))
+    });
+    c.bench_function("eq4_inverse", |b| {
+        b.iter(|| black_box(m.action_period_for(black_box(f1_units::MetersPerSecond::new(4.0)))))
+    });
+}
+
+fn bench_knee(c: &mut Criterion) {
+    let r = Roofline::new(safety());
+    c.bench_function("knee_closed_form", |b| b.iter(|| black_box(r.knee())));
+    c.bench_function("calibrate_a_max", |b| {
+        b.iter(|| {
+            black_box(Roofline::calibrate_a_max(
+                Meters::new(4.5),
+                Hertz::new(43.0),
+                f1_model::roofline::Saturation::DEFAULT,
+            ))
+        })
+    });
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let r = Roofline::new(safety());
+    let rates =
+        StageRates::new(Hertz::new(60.0), Hertz::new(178.0), Hertz::new(1000.0)).unwrap();
+    c.bench_function("bound_classification", |b| {
+        b.iter(|| black_box(r.classify(black_box(&rates))))
+    });
+    c.bench_function("design_assessment", |b| {
+        b.iter(|| black_box(DesignAssessment::of(&r, black_box(Hertz::new(178.0)))))
+    });
+}
+
+fn bench_physics(c: &mut Criterion) {
+    let body = BodyDynamics::from_grams(
+        Grams::new(1500.0),
+        GramForce::new(2560.0),
+        PitchPolicy::AltitudeHold,
+    )
+    .unwrap();
+    c.bench_function("eq5_a_max", |b| b.iter(|| black_box(body.a_max())));
+}
+
+fn bench_heatsink(c: &mut Criterion) {
+    let hs = HeatsinkModel::paper_calibrated();
+    c.bench_function("heatsink_mass", |b| {
+        b.iter(|| black_box(hs.mass_for(black_box(Watts::new(15.0)))))
+    });
+}
+
+fn bench_curve_sampling(c: &mut Criterion) {
+    let r = Roofline::new(safety());
+    c.bench_function("roofline_sample_120", |b| {
+        b.iter(|| black_box(r.sample_log(Hertz::new(0.5), Hertz::new(1000.0), 120)))
+    });
+}
+
+fn bench_mission(c: &mut Criterion) {
+    use f1_model::mission::{estimate_mission, PowerModel};
+    let power = PowerModel::new(180.0, 17.0, 0.08).unwrap();
+    c.bench_function("mission_estimate", |b| {
+        b.iter(|| {
+            black_box(estimate_mission(
+                &power,
+                Meters::new(2000.0),
+                f1_units::MetersPerSecond::new(5.0),
+            ))
+        })
+    });
+    c.bench_function("induced_hover_power", |b| {
+        b.iter(|| {
+            black_box(PowerModel::induced_hover_power(
+                f1_units::Kilograms::new(1.5),
+                0.2,
+                0.65,
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    kernels,
+    bench_eq4,
+    bench_knee,
+    bench_classify,
+    bench_physics,
+    bench_heatsink,
+    bench_curve_sampling,
+    bench_mission,
+);
+criterion_main!(kernels);

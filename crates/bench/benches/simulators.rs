@@ -1,0 +1,61 @@
+//! Benchmarks of the two simulators: the discrete-event pipeline and the
+//! flight-sim stop trial.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use f1_flightsim::{StopScenario, VehicleDynamics};
+use f1_model::physics::DragModel;
+use f1_pipeline::{ExecutionMode, Jitter, PipelineSim, StageConfig};
+use f1_units::{Hertz, Kilograms, Meters, MetersPerSecond, MetersPerSecondSquared, Seconds};
+
+fn dronet_pipeline() -> PipelineSim {
+    PipelineSim::new(
+        StageConfig::fixed(Hertz::new(60.0).period()),
+        StageConfig::fixed(Hertz::new(178.0).period()),
+        StageConfig::fixed(Hertz::new(1000.0).period()),
+    )
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let sim = dronet_pipeline();
+    c.bench_function("pipeline_sim_1000_actions_pipelined", |b| {
+        b.iter(|| black_box(sim.run(ExecutionMode::Pipelined, 1000, 7)))
+    });
+    c.bench_function("pipeline_sim_1000_actions_sequential", |b| {
+        b.iter(|| black_box(sim.run(ExecutionMode::Sequential, 1000, 7)))
+    });
+    let jittery = PipelineSim::new(
+        StageConfig::fixed(Hertz::new(60.0).period()).with_jitter(Jitter::Uniform { spread: 0.2 }),
+        StageConfig::fixed(Hertz::new(178.0).period())
+            .with_jitter(Jitter::LogNormal { sigma: 0.3 }),
+        StageConfig::fixed(Hertz::new(1000.0).period()),
+    );
+    c.bench_function("pipeline_sim_1000_actions_jittered", |b| {
+        b.iter(|| black_box(jittery.run(ExecutionMode::Pipelined, 1000, 7)))
+    });
+}
+
+fn bench_flight_trial(c: &mut Criterion) {
+    let dynamics = VehicleDynamics::new(
+        Kilograms::new(1.62),
+        MetersPerSecondSquared::new(1.57),
+        MetersPerSecondSquared::new(1.57),
+        Seconds::new(0.2),
+        DragModel::quadratic(0.01).unwrap(),
+    )
+    .unwrap();
+    let scenario = StopScenario::new(dynamics, Hertz::new(10.0), Meters::new(3.0));
+    let mut g = c.benchmark_group("flightsim");
+    g.sample_size(20);
+    g.bench_function("stop_trial_cruise", |b| {
+        b.iter(|| black_box(scenario.run_trial(MetersPerSecond::new(2.5), 42)))
+    });
+    g.bench_function("stop_trial_full_profile", |b| {
+        b.iter(|| black_box(scenario.run_full_profile(MetersPerSecond::new(2.5), 42)))
+    });
+    g.finish();
+}
+
+criterion_group!(simulators, bench_pipeline, bench_flight_trial);
+criterion_main!(simulators);

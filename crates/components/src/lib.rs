@@ -1,0 +1,52 @@
+//! # `f1-components` — UAV component database for the F-1 model
+//!
+//! The F-1 model consumes scalar characteristics of concrete hardware:
+//! sensor frame rates and ranges, onboard-computer masses and TDPs,
+//! autonomy-algorithm throughputs on each platform, airframe thrust and
+//! weight budgets. This crate provides:
+//!
+//! * typed component records ([`Sensor`], [`ComputePlatform`],
+//!   [`AutonomyAlgorithm`], [`Battery`], [`Airframe`]),
+//! * a platform × algorithm [`ThroughputMatrix`],
+//! * the UAV [`SizeClass`] taxonomy of paper Fig. 2b, and
+//! * [`Catalog`] — the paper's own parts bin: the four Table I validation
+//!   drones, DJI Spark, AscTec Pelican, a nano-UAV, the commercial compute
+//!   platforms (Ras-Pi 4, UpBoard, TX2, AGX, NCS) and the UAV-specific
+//!   accelerators (PULP-DroNet, Navion), and the autonomy algorithms of the
+//!   case studies (DroNet, TrailNet, CAD2RL, VGG16, MAVBench SPA).
+//!
+//! # Examples
+//!
+//! ```
+//! use f1_components::Catalog;
+//!
+//! let cat = Catalog::paper();
+//! let tx2 = cat.compute("Nvidia TX2")?;
+//! let dronet = cat.algorithm("DroNet")?;
+//! let fps = cat.throughput(tx2.name(), dronet.name())?;
+//! assert!((fps.get() - 178.0).abs() < 1e-9); // §VI-B
+//! # Ok::<(), f1_components::ComponentError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod airframe;
+mod algorithm;
+mod battery;
+mod catalog;
+mod classes;
+mod compute;
+mod error;
+mod sensor;
+mod throughput;
+
+pub use airframe::{Airframe, AirframeBuilder};
+pub use algorithm::{AutonomyAlgorithm, Paradigm, SpaStage};
+pub use battery::Battery;
+pub use catalog::{names, Catalog, ValidationUav};
+pub use classes::SizeClass;
+pub use compute::{ComputeKind, ComputePlatform, ComputePlatformBuilder};
+pub use error::ComponentError;
+pub use sensor::{Sensor, SensorModality};
+pub use throughput::ThroughputMatrix;

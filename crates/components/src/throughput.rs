@@ -1,0 +1,278 @@
+//! The platform × algorithm throughput matrix.
+//!
+//! Compute throughput (`f_compute`) is a property of an *(algorithm,
+//! platform)* pair: DroNet runs at 178 Hz on a TX2 but at 13 Hz on a
+//! Ras-Pi 4 and at 6 Hz on PULP. The paper obtains these numbers by
+//! on-device characterization; this matrix stores them.
+
+use std::collections::BTreeMap;
+
+use f1_units::Hertz;
+use serde::{Deserialize, Serialize};
+
+use crate::ComponentError;
+
+/// Characterized compute throughputs keyed by (platform, algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use f1_components::ThroughputMatrix;
+/// use f1_units::Hertz;
+///
+/// let mut m = ThroughputMatrix::new();
+/// m.insert("Nvidia TX2", "DroNet", Hertz::new(178.0))?;
+/// assert_eq!(m.get("Nvidia TX2", "DroNet")?, Hertz::new(178.0));
+/// assert!(m.get("Nvidia TX2", "CAD2RL").is_err());
+/// # Ok::<(), f1_components::ComponentError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputMatrix {
+    entries: BTreeMap<(String, String), Hertz>,
+}
+
+impl ThroughputMatrix {
+    /// Creates an empty matrix.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of characterized pairs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the matrix has no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Records a characterized throughput.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ComponentError::DuplicateEntry`] if the pair is already
+    /// present, or [`ComponentError::InvalidField`] if the throughput is
+    /// non-positive.
+    pub fn insert(
+        &mut self,
+        platform: impl Into<String>,
+        algorithm: impl Into<String>,
+        throughput: Hertz,
+    ) -> Result<(), ComponentError> {
+        if throughput.get() <= 0.0 || !throughput.get().is_finite() {
+            return Err(ComponentError::InvalidField {
+                field: "throughput",
+                reason: format!("must be positive, got {throughput}"),
+            });
+        }
+        let key = (platform.into(), algorithm.into());
+        if self.entries.contains_key(&key) {
+            return Err(ComponentError::DuplicateEntry {
+                family: "throughput",
+                name: format!("{} × {}", key.0, key.1),
+            });
+        }
+        self.entries.insert(key, throughput);
+        Ok(())
+    }
+
+    /// Overwrites (or creates) a characterized throughput, returning the
+    /// previous value if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ComponentError::InvalidField`] if the throughput is
+    /// non-positive.
+    pub fn upsert(
+        &mut self,
+        platform: impl Into<String>,
+        algorithm: impl Into<String>,
+        throughput: Hertz,
+    ) -> Result<Option<Hertz>, ComponentError> {
+        if throughput.get() <= 0.0 || !throughput.get().is_finite() {
+            return Err(ComponentError::InvalidField {
+                field: "throughput",
+                reason: format!("must be positive, got {throughput}"),
+            });
+        }
+        Ok(self
+            .entries
+            .insert((platform.into(), algorithm.into()), throughput))
+    }
+
+    /// Looks up the throughput of an algorithm on a platform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ComponentError::MissingThroughput`] if the pair was never
+    /// characterized.
+    pub fn get(&self, platform: &str, algorithm: &str) -> Result<Hertz, ComponentError> {
+        self.entries
+            .get(&(platform.to_owned(), algorithm.to_owned()))
+            .copied()
+            .ok_or_else(|| ComponentError::MissingThroughput {
+                platform: platform.to_owned(),
+                algorithm: algorithm.to_owned(),
+            })
+    }
+
+    /// Whether a pair has been characterized.
+    #[must_use]
+    pub fn contains(&self, platform: &str, algorithm: &str) -> bool {
+        self.entries
+            .contains_key(&(platform.to_owned(), algorithm.to_owned()))
+    }
+
+    /// All algorithms characterized on a platform, with their throughputs.
+    #[must_use]
+    pub fn algorithms_on(&self, platform: &str) -> Vec<(&str, Hertz)> {
+        self.entries
+            .iter()
+            .filter(|((p, _), _)| p == platform)
+            .map(|((_, a), f)| (a.as_str(), *f))
+            .collect()
+    }
+
+    /// All platforms on which an algorithm was characterized.
+    #[must_use]
+    pub fn platforms_for(&self, algorithm: &str) -> Vec<(&str, Hertz)> {
+        self.entries
+            .iter()
+            .filter(|((_, a), _)| a == algorithm)
+            .map(|((p, _), f)| (p.as_str(), *f))
+            .collect()
+    }
+
+    /// Iterates over `((platform, algorithm), throughput)` entries in
+    /// deterministic (sorted) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str, Hertz)> {
+        self.entries
+            .iter()
+            .map(|((p, a), f)| (p.as_str(), a.as_str(), *f))
+    }
+
+    /// Merges another matrix into this one; existing entries win.
+    pub fn merge_preferring_self(&mut self, other: &ThroughputMatrix) {
+        for ((p, a), f) in &other.entries {
+            self.entries.entry((p.clone(), a.clone())).or_insert(*f);
+        }
+    }
+}
+
+impl Extend<(String, String, Hertz)> for ThroughputMatrix {
+    fn extend<T: IntoIterator<Item = (String, String, Hertz)>>(&mut self, iter: T) {
+        for (p, a, f) in iter {
+            // Extend follows upsert semantics; invalid rates are skipped
+            // (Extend cannot fail).
+            let _ = self.upsert(p, a, f);
+        }
+    }
+}
+
+impl FromIterator<(String, String, Hertz)> for ThroughputMatrix {
+    fn from_iter<T: IntoIterator<Item = (String, String, Hertz)>>(iter: T) -> Self {
+        let mut m = Self::new();
+        m.extend(iter);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ThroughputMatrix {
+        let mut m = ThroughputMatrix::new();
+        m.insert("Nvidia TX2", "DroNet", Hertz::new(178.0)).unwrap();
+        m.insert("Nvidia TX2", "TrailNet", Hertz::new(55.0)).unwrap();
+        m.insert("Ras-Pi 4", "DroNet", Hertz::new(13.0)).unwrap();
+        m
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let m = sample();
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        assert_eq!(m.get("Nvidia TX2", "DroNet").unwrap(), Hertz::new(178.0));
+        assert!(m.contains("Ras-Pi 4", "DroNet"));
+        assert!(!m.contains("Ras-Pi 4", "TrailNet"));
+    }
+
+    #[test]
+    fn missing_pair_is_an_error() {
+        let m = sample();
+        let e = m.get("Ras-Pi 4", "CAD2RL").unwrap_err();
+        assert!(matches!(e, ComponentError::MissingThroughput { .. }));
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let mut m = sample();
+        let e = m.insert("Nvidia TX2", "DroNet", Hertz::new(200.0)).unwrap_err();
+        assert!(matches!(e, ComponentError::DuplicateEntry { .. }));
+        // Original preserved.
+        assert_eq!(m.get("Nvidia TX2", "DroNet").unwrap(), Hertz::new(178.0));
+    }
+
+    #[test]
+    fn upsert_overwrites() {
+        let mut m = sample();
+        let prev = m.upsert("Nvidia TX2", "DroNet", Hertz::new(200.0)).unwrap();
+        assert_eq!(prev, Some(Hertz::new(178.0)));
+        assert_eq!(m.get("Nvidia TX2", "DroNet").unwrap(), Hertz::new(200.0));
+    }
+
+    #[test]
+    fn rejects_non_positive_rates() {
+        let mut m = ThroughputMatrix::new();
+        assert!(m.insert("p", "a", Hertz::ZERO).is_err());
+        assert!(m.insert("p", "a", Hertz::new(-1.0)).is_err());
+        assert!(m.upsert("p", "a", Hertz::ZERO).is_err());
+    }
+
+    #[test]
+    fn per_platform_and_per_algorithm_views() {
+        let m = sample();
+        let on_tx2 = m.algorithms_on("Nvidia TX2");
+        assert_eq!(on_tx2.len(), 2);
+        let dronet = m.platforms_for("DroNet");
+        assert_eq!(dronet.len(), 2);
+        assert!(dronet.iter().any(|(p, _)| *p == "Ras-Pi 4"));
+    }
+
+    #[test]
+    fn deterministic_iteration_order() {
+        let m = sample();
+        let keys: Vec<_> = m.iter().map(|(p, a, _)| format!("{p}/{a}")).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn collect_and_merge() {
+        let m: ThroughputMatrix = vec![
+            ("A".to_string(), "x".to_string(), Hertz::new(1.0)),
+            ("B".to_string(), "y".to_string(), Hertz::new(2.0)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(m.len(), 2);
+
+        let mut base = sample();
+        let mut patch = ThroughputMatrix::new();
+        patch
+            .insert("Nvidia TX2", "DroNet", Hertz::new(999.0))
+            .unwrap();
+        patch.insert("New", "Thing", Hertz::new(5.0)).unwrap();
+        base.merge_preferring_self(&patch);
+        // Existing entry wins; new entry added.
+        assert_eq!(base.get("Nvidia TX2", "DroNet").unwrap(), Hertz::new(178.0));
+        assert_eq!(base.get("New", "Thing").unwrap(), Hertz::new(5.0));
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests of the component database.
+
+use f1_components::{
+    Airframe, Battery, ComputeKind, ComputePlatform, Sensor, SensorModality, ThroughputMatrix,
+};
+use f1_units::{Grams, Hertz, Meters, MilliampHours, Watts};
+use proptest::prelude::*;
+
+fn name() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9 -]{0,20}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sensor construction accepts exactly the valid domain.
+    #[test]
+    fn sensor_domain(n in name(), rate in -10.0f64..500.0, range in -5.0f64..100.0, mass in -5.0f64..500.0) {
+        let result = Sensor::new(
+            n,
+            SensorModality::RgbCamera,
+            Hertz::new(rate),
+            Meters::new(range),
+            Grams::new(mass),
+        );
+        let should_ok = rate > 0.0 && range > 0.0 && mass >= 0.0;
+        prop_assert_eq!(result.is_ok(), should_ok);
+    }
+
+    /// Compute-platform TDP scaling is multiplicative and mass-preserving.
+    #[test]
+    fn platform_tdp_scaling(tdp in 0.1f64..100.0, factor in 0.05f64..10.0) {
+        let p = ComputePlatform::builder("x")
+            .kind(ComputeKind::EmbeddedGpu)
+            .mass(Grams::new(100.0))
+            .tdp(Watts::new(tdp))
+            .build()
+            .unwrap();
+        let scaled = p.with_tdp_scaled(factor).unwrap();
+        prop_assert!((scaled.tdp().get() - tdp * factor).abs() < 1e-9);
+        prop_assert_eq!(scaled.mass(), p.mass());
+        prop_assert_eq!(scaled.name(), p.name());
+    }
+
+    /// Airframe payload capacity plus base mass equals liftable thrust
+    /// mass, and loaded dynamics hover exactly up to capacity.
+    #[test]
+    fn airframe_capacity_consistent(base in 20.0f64..2000.0, pull in 10.0f64..1500.0, rotors in 3u8..9) {
+        let total_pull = pull * f64::from(rotors);
+        prop_assume!(total_pull > base);
+        let a = Airframe::builder("frame")
+            .base_mass(Grams::new(base))
+            .rotor_pull_gf(pull)
+            .rotor_count(rotors)
+            .build()
+            .unwrap();
+        let cap = a.payload_capacity().get();
+        prop_assert!((cap - (total_pull - base)).abs() < 1e-9);
+        // Just inside capacity hovers; just outside does not.
+        let inside = a.loaded_dynamics(Grams::new(cap * 0.99)).unwrap();
+        prop_assert!(inside.can_hover());
+        let outside = a.loaded_dynamics(Grams::new(cap * 1.01 + 1.0)).unwrap();
+        prop_assert!(!outside.can_hover());
+    }
+
+    /// Battery endurance is inverse in draw and linear in capacity.
+    #[test]
+    fn battery_endurance_scaling(cap in 100.0f64..10_000.0, volts in 3.0f64..25.0, draw in 1.0f64..500.0) {
+        let b = Battery::new("b", MilliampHours::new(cap), volts, Grams::new(100.0)).unwrap();
+        let e1 = b.endurance_minutes(draw).unwrap();
+        let e2 = b.endurance_minutes(draw * 2.0).unwrap();
+        prop_assert!((e1 / e2 - 2.0).abs() < 1e-9);
+        let big = Battery::new("b2", MilliampHours::new(cap * 2.0), volts, Grams::new(100.0)).unwrap();
+        prop_assert!((big.endurance_minutes(draw).unwrap() / e1 - 2.0).abs() < 1e-9);
+    }
+
+    /// Matrix insert-then-get is the identity; upsert returns the previous
+    /// value; duplicate inserts fail without clobbering.
+    #[test]
+    fn matrix_semantics(p in name(), a in name(), f1 in 0.1f64..1000.0, f2 in 0.1f64..1000.0) {
+        let mut m = ThroughputMatrix::new();
+        m.insert(p.clone(), a.clone(), Hertz::new(f1)).unwrap();
+        prop_assert_eq!(m.get(&p, &a).unwrap(), Hertz::new(f1));
+        prop_assert!(m.insert(p.clone(), a.clone(), Hertz::new(f2)).is_err());
+        prop_assert_eq!(m.get(&p, &a).unwrap(), Hertz::new(f1));
+        let prev = m.upsert(p.clone(), a.clone(), Hertz::new(f2)).unwrap();
+        prop_assert_eq!(prev, Some(Hertz::new(f1)));
+        prop_assert_eq!(m.get(&p, &a).unwrap(), Hertz::new(f2));
+        prop_assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,129 @@
+//! Error type shared by the model constructors and solvers.
+
+use f1_units::UnitError;
+
+/// Errors produced when constructing or evaluating the F-1 model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A quantity had an invalid magnitude (NaN, infinite, wrong sign).
+    InvalidQuantity(UnitError),
+    /// A parameter was outside its mathematically meaningful domain.
+    OutOfDomain {
+        /// Which parameter was rejected.
+        parameter: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Human-readable description of the accepted domain.
+        expected: &'static str,
+    },
+    /// The airframe cannot produce enough thrust to hover at the requested
+    /// take-off mass, so no positive acceleration margin exists.
+    InsufficientThrust {
+        /// Total thrust the rotors can produce, in newtons.
+        available_thrust_n: f64,
+        /// Weight that must be supported, in newtons.
+        required_weight_n: f64,
+    },
+    /// A requested velocity is unreachable for the given safety model (it
+    /// exceeds the physics roof).
+    VelocityUnreachable {
+        /// The requested velocity in m/s.
+        requested: f64,
+        /// The physics-bound peak velocity in m/s.
+        peak: f64,
+    },
+    /// An iterative solver failed to converge.
+    NoConvergence {
+        /// Which solver failed.
+        solver: &'static str,
+        /// Iterations performed before giving up.
+        iterations: u32,
+    },
+}
+
+impl core::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::InvalidQuantity(e) => write!(f, "invalid quantity: {e}"),
+            Self::OutOfDomain {
+                parameter,
+                value,
+                expected,
+            } => write!(f, "{parameter} = {value} out of domain (expected {expected})"),
+            Self::InsufficientThrust {
+                available_thrust_n,
+                required_weight_n,
+            } => write!(
+                f,
+                "insufficient thrust: {available_thrust_n:.2} N available, \
+                 {required_weight_n:.2} N required to hover"
+            ),
+            Self::VelocityUnreachable { requested, peak } => write!(
+                f,
+                "velocity {requested:.2} m/s unreachable: physics roof is {peak:.2} m/s"
+            ),
+            Self::NoConvergence { solver, iterations } => {
+                write!(f, "{solver} failed to converge after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::InvalidQuantity(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<UnitError> for ModelError {
+    fn from(e: UnitError) -> Self {
+        Self::InvalidQuantity(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f1_units::Hertz;
+
+    #[test]
+    fn wraps_unit_errors() {
+        let ue = Hertz::try_positive(-1.0).unwrap_err();
+        let me: ModelError = ue.into();
+        assert!(matches!(me, ModelError::InvalidQuantity(_)));
+        assert!(me.to_string().contains("invalid quantity"));
+    }
+
+    #[test]
+    fn display_insufficient_thrust() {
+        let e = ModelError::InsufficientThrust {
+            available_thrust_n: 17.06,
+            required_weight_n: 17.95,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("17.06"));
+        assert!(msg.contains("17.95"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<ModelError>();
+    }
+
+    #[test]
+    fn source_chains_to_unit_error() {
+        use std::error::Error as _;
+        let me = ModelError::from(Hertz::try_positive(0.0).unwrap_err());
+        assert!(me.source().is_some());
+        let none = ModelError::NoConvergence {
+            solver: "bisect",
+            iterations: 64,
+        };
+        assert!(none.source().is_none());
+    }
+}

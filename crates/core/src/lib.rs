@@ -1,0 +1,73 @@
+//! # `f1-model` — the F-1 visual performance model for autonomous UAVs
+//!
+//! This crate implements the analytical core of *"Roofline Model for UAVs: A
+//! Bottleneck Analysis Tool for Onboard Compute Characterization of
+//! Autonomous Unmanned Aerial Vehicles"* (ISPASS 2022):
+//!
+//! * [`safety`] — the safety model (paper Eq. 4) relating action period,
+//!   maximum acceleration and sensing range to the maximum safe velocity.
+//! * [`pipeline`] — the sensor→compute→control pipeline latency/throughput
+//!   bounds (paper Eq. 1–3) and bottleneck attribution.
+//! * [`physics`] — body-dynamics estimation (paper Eq. 5): thrust, payload
+//!   weight, pitch policy → `a_max`; plus the drag model the paper cites as
+//!   its dominant error source.
+//! * [`heatsink`] — TDP → heatsink mass (paper Fig. 12), the coupling that
+//!   makes a hot onboard computer a *heavy* onboard computer.
+//! * [`roofline`] — the F-1 roofline itself: curve, knee point, ceilings,
+//!   sensor/compute/physics bound classification (paper Fig. 4a).
+//! * [`analysis`] — optimal / over-provisioned / under-provisioned design
+//!   assessment and optimization-target computation (paper Fig. 4b).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use f1_model::prelude::*;
+//!
+//! // Paper Fig. 5: a_max = 50 m/s², d = 10 m.
+//! let safety = SafetyModel::new(
+//!     MetersPerSecondSquared::new(50.0),
+//!     Meters::new(10.0),
+//! )?;
+//!
+//! // Peak (physics-bound) velocity: √(2·d·a) ≈ 31.6 m/s.
+//! assert!((safety.peak_velocity().get() - 31.62).abs() < 0.01);
+//!
+//! // At 1 Hz decisions the UAV is pipeline-limited to ~9.2 m/s (point "A").
+//! let v = safety.safe_velocity_at_rate(Hertz::new(1.0));
+//! assert!((v.get() - 9.16).abs() < 0.01);
+//!
+//! // The roofline's knee is near 100 Hz (with the paper's saturation).
+//! let roofline = Roofline::with_saturation(safety, Saturation::new(0.984)?);
+//! assert!((roofline.knee().rate.get() - 98.0).abs() < 2.0);
+//! # Ok::<(), f1_model::ModelError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod error;
+pub mod heatsink;
+pub mod mission;
+pub mod physics;
+pub mod pipeline;
+pub mod roofline;
+pub mod safety;
+
+pub use error::ModelError;
+
+/// Convenient re-exports of the types needed for day-to-day use of the model.
+pub mod prelude {
+    pub use crate::analysis::{DesignAssessment, DesignGap};
+    pub use crate::heatsink::HeatsinkModel;
+    pub use crate::mission::{estimate_mission, MissionEstimate, PowerModel};
+    pub use crate::physics::{AccelComponents, BodyDynamics, DragModel, PitchPolicy};
+    pub use crate::pipeline::{Stage, StageLatencies, StageRates};
+    pub use crate::roofline::{Bound, BoundAnalysis, KneePoint, Roofline, Saturation};
+    pub use crate::safety::SafetyModel;
+    pub use crate::ModelError;
+    pub use f1_units::{
+        Degrees, GramForce, Grams, Hertz, Kilograms, Meters, MetersPerSecond,
+        MetersPerSecondSquared, Newtons, Radians, Seconds, Watts,
+    };
+}

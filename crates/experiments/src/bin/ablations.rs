@@ -1,0 +1,24 @@
+//! Runs the beyond-paper ablation studies: pipeline-simulation validation
+//! of Eq. 1-3, the drag ablation, and the linearization-error study.
+use f1_experiments::output::{default_output_dir, OutputDir};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = OutputDir::create(default_output_dir())?;
+    let pipeline = f1_experiments::ablations::pipeline_validation(7);
+    println!("{}", pipeline.to_text());
+    out.write_table("ablation_pipeline", &pipeline)?;
+    let drag = f1_experiments::ablations::drag_ablation()?;
+    println!("{}", drag.to_text());
+    out.write_table("ablation_drag", &drag)?;
+    let lin = f1_experiments::ablations::linearization_ablation();
+    println!("{}", lin.to_text());
+    out.write_table("ablation_linearization", &lin)?;
+    let planar = f1_experiments::ablations::planar_ablation()?;
+    println!("{}", planar.to_text());
+    out.write_table("ablation_planar", &planar)?;
+    let range = f1_experiments::ablations::sensor_range_ablation();
+    println!("{}", range.to_text());
+    out.write_table("ablation_sensor_range", &range)?;
+    println!("artifacts in {}", out.path().display());
+    Ok(())
+}

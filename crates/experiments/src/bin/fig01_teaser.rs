@@ -1,0 +1,14 @@
+//! Regenerates the paper's Fig. 1 teaser: the full-system rooflines for
+//! DJI Spark and AscTec Pelican with algorithm × platform operating
+//! points (the same data as Fig. 15b, framed as the headline chart).
+use f1_experiments::output::{default_output_dir, OutputDir};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = OutputDir::create(default_output_dir())?;
+    let fig = f1_experiments::fig15::run()?;
+    let chart = fig.chart()?;
+    out.write("fig01_teaser.svg", &chart.render_svg(960, 620)?)?;
+    println!("{}", chart.render_ascii(110, 30)?);
+    println!("artifacts in {}", out.path().display());
+    Ok(())
+}

@@ -1,0 +1,14 @@
+//! Regenerates paper Fig. 2b: UAV size classes vs battery and endurance.
+use f1_experiments::output::{default_output_dir, OutputDir};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = OutputDir::create(default_output_dir())?;
+    let fig = f1_experiments::fig02::run();
+    let table = fig.table();
+    println!("{}", table.to_text());
+    out.write_table("fig02_size_classes", &table)?;
+    out.write("fig02_size_classes.svg", &fig.chart().render_svg(720, 480)?)?;
+    println!("{}", fig.chart().render_ascii(90, 24)?);
+    println!("artifacts in {}", out.path().display());
+    Ok(())
+}

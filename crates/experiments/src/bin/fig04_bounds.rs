@@ -1,0 +1,20 @@
+//! Regenerates paper Fig. 4a-c: conceptual bounds, design assessment and
+//! the payload-weight effect on the roofline.
+use f1_experiments::output::{default_output_dir, OutputDir};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = OutputDir::create(default_output_dir())?;
+    let fig = f1_experiments::fig04::run();
+    for (stem, table) in [
+        ("fig04a_bounds", fig.bounds_table()),
+        ("fig04b_design", fig.design_table()),
+        ("fig04c_payload", fig.payload_table()),
+    ] {
+        println!("{}", table.to_text());
+        out.write_table(stem, &table)?;
+    }
+    out.write("fig04c_payload.svg", &fig.chart().render_svg(720, 480)?)?;
+    println!("{}", fig.chart().render_ascii(90, 24)?);
+    println!("artifacts in {}", out.path().display());
+    Ok(())
+}

@@ -1,0 +1,21 @@
+//! Regenerates paper Fig. 7a/b: flight-validation trajectories and the
+//! model-vs-flight error for the four Table I drones.
+use f1_experiments::output::{default_output_dir, OutputDir};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = OutputDir::create(default_output_dir())?;
+    let fig = f1_experiments::fig07::run(42)?;
+    let table = fig.error_table();
+    println!("{}", table.to_text());
+    out.write_table("fig07b_errors", &table)?;
+    out.write("fig07a_trajectories.svg", &fig.trajectory_chart().render_svg(860, 540)?)?;
+    println!("{}", fig.trajectory_chart().render_ascii(100, 28)?);
+    println!(
+        "mean error {:.1}% (max {:.1}%), model optimistic: {}",
+        fig.report.mean_error_percent(),
+        fig.report.max_error_percent(),
+        fig.report.model_always_optimistic()
+    );
+    println!("artifacts in {}", out.path().display());
+    Ok(())
+}

@@ -1,0 +1,17 @@
+//! Regenerates paper Fig. 9: safe velocity vs payload weight.
+use f1_experiments::output::{default_output_dir, OutputDir};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = OutputDir::create(default_output_dir())?;
+    let fig = f1_experiments::fig09::run()?;
+    let table = fig.table();
+    println!("{}", table.to_text());
+    out.write_table("fig09_payload", &table)?;
+    out.write("fig09_payload.svg", &fig.chart().render_svg(760, 500)?)?;
+    println!("{}", fig.chart().render_ascii(90, 26)?);
+    if let Some(drop) = fig.drop_percent('A', 'B') {
+        println!("UAV-A → UAV-B velocity drop: {drop:.1}% (paper: ~41%)");
+    }
+    println!("artifacts in {}", out.path().display());
+    Ok(())
+}

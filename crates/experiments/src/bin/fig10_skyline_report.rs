@@ -1,0 +1,25 @@
+//! Fig. 10 stand-in: the Skyline tool's full output (knobs → visualization
+//! → automatic analysis) as a self-contained Markdown report.
+use f1_components::{names, Catalog};
+use f1_experiments::output::{default_output_dir, OutputDir};
+use f1_skyline::mission::MissionSpec;
+use f1_skyline::report::markdown_report;
+use f1_skyline::UavSystem;
+use f1_units::Meters;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = OutputDir::create(default_output_dir())?;
+    let catalog = Catalog::paper();
+    let system = UavSystem::from_catalog(
+        &catalog,
+        names::ASCTEC_PELICAN,
+        names::RGBD_60,
+        names::TX2,
+        names::DRONET,
+    )?;
+    let md = markdown_report(&system, Some(&MissionSpec::over(Meters::new(2000.0))))?;
+    println!("{md}");
+    out.write("fig10_skyline_report.md", &md)?;
+    println!("artifacts in {}", out.path().display());
+    Ok(())
+}

@@ -1,0 +1,19 @@
+//! Regenerates paper Fig. 11b: Intel NCS vs Nvidia AGX on DJI Spark.
+use f1_experiments::output::{default_output_dir, OutputDir};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = OutputDir::create(default_output_dir())?;
+    let fig = f1_experiments::fig11::run()?;
+    let table = fig.table();
+    println!("{}", table.to_text());
+    out.write_table("fig11_compute_selection", &table)?;
+    let chart = fig.chart()?;
+    out.write("fig11_compute_selection.svg", &chart.render_svg(820, 520)?)?;
+    println!("{}", chart.render_ascii(100, 28)?);
+    println!(
+        "AGX 30W→15W what-if raises the Spark roof by {:.0}% (paper: ~75%)",
+        fig.tdp_whatif_improvement_percent()
+    );
+    println!("artifacts in {}", out.path().display());
+    Ok(())
+}

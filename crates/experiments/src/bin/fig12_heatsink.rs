@@ -1,0 +1,14 @@
+//! Regenerates paper Fig. 12: heatsink weight vs TDP.
+use f1_experiments::output::{default_output_dir, OutputDir};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = OutputDir::create(default_output_dir())?;
+    let fig = f1_experiments::fig12::run();
+    let table = fig.table();
+    println!("{}", table.to_text());
+    out.write_table("fig12_heatsink", &table)?;
+    out.write("fig12_heatsink.svg", &fig.chart().render_svg(720, 480)?)?;
+    println!("{}", fig.chart().render_ascii(90, 24)?);
+    println!("artifacts in {}", out.path().display());
+    Ok(())
+}

@@ -1,0 +1,15 @@
+//! Regenerates paper Fig. 13b: autonomy algorithms on AscTec Pelican + TX2.
+use f1_experiments::output::{default_output_dir, OutputDir};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = OutputDir::create(default_output_dir())?;
+    let fig = f1_experiments::fig13::run()?;
+    let table = fig.table();
+    println!("{}", table.to_text());
+    out.write_table("fig13_algorithms", &table)?;
+    let chart = fig.chart()?;
+    out.write("fig13_algorithms.svg", &chart.render_svg(820, 520)?)?;
+    println!("{}", chart.render_ascii(100, 28)?);
+    println!("artifacts in {}", out.path().display());
+    Ok(())
+}

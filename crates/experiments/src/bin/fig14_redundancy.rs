@@ -1,0 +1,19 @@
+//! Regenerates paper Fig. 14b: dual-modular-redundancy characterization.
+use f1_experiments::output::{default_output_dir, OutputDir};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = OutputDir::create(default_output_dir())?;
+    let fig = f1_experiments::fig14::run()?;
+    let table = fig.table();
+    println!("{}", table.to_text());
+    out.write_table("fig14_redundancy", &table)?;
+    let chart = fig.chart()?;
+    out.write("fig14_redundancy.svg", &chart.render_svg(820, 520)?)?;
+    println!("{}", chart.render_ascii(100, 28)?);
+    println!(
+        "dual-TX2 velocity loss: {:.1}% (paper: ~33%)",
+        fig.studies[0].velocity_loss() * 100.0
+    );
+    println!("artifacts in {}", out.path().display());
+    Ok(())
+}

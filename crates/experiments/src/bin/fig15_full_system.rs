@@ -1,0 +1,15 @@
+//! Regenerates paper Fig. 15b: full UAV system characterization.
+use f1_experiments::output::{default_output_dir, OutputDir};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = OutputDir::create(default_output_dir())?;
+    let fig = f1_experiments::fig15::run()?;
+    let table = fig.table();
+    println!("{}", table.to_text());
+    out.write_table("fig15_full_system", &table)?;
+    let chart = fig.chart()?;
+    out.write("fig15_full_system.svg", &chart.render_svg(960, 620)?)?;
+    println!("{}", chart.render_ascii(110, 30)?);
+    println!("artifacts in {}", out.path().display());
+    Ok(())
+}

@@ -1,0 +1,19 @@
+//! Regenerates paper Fig. 16c: Navion / PULP-DroNet accelerator pitfalls.
+use f1_experiments::output::{default_output_dir, OutputDir};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = OutputDir::create(default_output_dir())?;
+    let fig = f1_experiments::fig16::run()?;
+    let table = fig.table();
+    println!("{}", table.to_text());
+    out.write_table("fig16_accelerators", &table)?;
+    let chart = fig.chart()?;
+    out.write("fig16_accelerators.svg", &chart.render_svg(820, 520)?)?;
+    println!("{}", chart.render_ascii(100, 28)?);
+    println!(
+        "Navion end-to-end SPA latency: {:.0} ms (paper: 810 ms)",
+        fig.navion_latency.as_millis()
+    );
+    println!("artifacts in {}", out.path().display());
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Extension study: mission time/energy cost of pipeline bottlenecks,
+//! across the catalog's algorithm × platform pairs on the AscTec Pelican.
+use f1_components::{names, Catalog};
+use f1_experiments::output::{default_output_dir, OutputDir};
+use f1_experiments::report::{num, Table};
+use f1_skyline::mission::{analyze_mission, MissionSpec};
+use f1_skyline::UavSystem;
+use f1_units::Meters;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = OutputDir::create(default_output_dir())?;
+    let catalog = Catalog::paper();
+    let spec = MissionSpec::over(Meters::new(2000.0));
+    let mut table = Table::new(
+        "Mission study — 2 km leg on AscTec Pelican",
+        &[
+            "platform",
+            "algorithm",
+            "v_safe (m/s)",
+            "time (min)",
+            "energy (Wh)",
+            "Δtime (%)",
+            "Δenergy (%)",
+        ],
+    );
+    for (platform, algorithm) in [
+        (names::TX2, names::MAVBENCH_PD),
+        (names::TX2, names::TRAILNET),
+        (names::TX2, names::DRONET),
+        (names::TX2, names::VGG16),
+        (names::RAS_PI4, names::DRONET),
+        (names::NCS, names::DRONET),
+    ] {
+        let system = UavSystem::from_catalog(
+            &catalog,
+            names::ASCTEC_PELICAN,
+            names::RGBD_60,
+            platform,
+            algorithm,
+        )?;
+        let mission = analyze_mission(&system, &spec)?;
+        table.push([
+            platform.to_owned(),
+            algorithm.to_owned(),
+            num(mission.cruise.get(), 2),
+            num(mission.at_cruise.duration.to_minutes().get(), 1),
+            num(mission.at_cruise.energy_wh, 1),
+            num(mission.time_penalty_percent(), 1),
+            num(mission.energy_penalty_percent(), 1),
+        ]);
+    }
+    println!("{}", table.to_text());
+    out.write_table("mission_study", &table)?;
+    println!("artifacts in {}", out.path().display());
+    Ok(())
+}

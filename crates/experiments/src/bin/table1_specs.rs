@@ -1,0 +1,10 @@
+//! Regenerates paper Table I: custom validation UAV specifications.
+use f1_experiments::output::{default_output_dir, OutputDir};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = OutputDir::create(default_output_dir())?;
+    let table = f1_experiments::tables::table1_specs()?;
+    println!("{}", table.to_text());
+    out.write_table("table1_specs", &table)?;
+    Ok(())
+}

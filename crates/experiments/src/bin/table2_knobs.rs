@@ -1,0 +1,10 @@
+//! Regenerates paper Table II: the Skyline knob inventory.
+use f1_experiments::output::{default_output_dir, OutputDir};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = OutputDir::create(default_output_dir())?;
+    let table = f1_experiments::tables::table2_knobs();
+    println!("{}", table.to_text());
+    out.write_table("table2_knobs", &table)?;
+    Ok(())
+}

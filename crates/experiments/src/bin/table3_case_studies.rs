@@ -1,0 +1,10 @@
+//! Regenerates paper Table III: the case-study overview.
+use f1_experiments::output::{default_output_dir, OutputDir};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = OutputDir::create(default_output_dir())?;
+    let table = f1_experiments::tables::table3_case_studies();
+    println!("{}", table.to_text());
+    out.write_table("table3_case_studies", &table)?;
+    Ok(())
+}

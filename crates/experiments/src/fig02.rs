@@ -1,0 +1,101 @@
+//! Fig. 2b — UAV size classes: frame size vs battery capacity and
+//! endurance.
+
+use f1_components::SizeClass;
+use f1_plot::{Chart, Scale, Series};
+
+use crate::report::{num, Table};
+
+/// The Fig. 2b regeneration result.
+#[derive(Debug, Clone)]
+pub struct Fig02 {
+    rows: Vec<(SizeClass, f64, f64, f64)>,
+}
+
+/// Regenerates Fig. 2b from the size-class taxonomy.
+#[must_use]
+pub fn run() -> Fig02 {
+    Fig02 {
+        rows: SizeClass::ALL
+            .iter()
+            .map(|c| {
+                (
+                    *c,
+                    c.typical_frame_size().get(),
+                    c.typical_battery_capacity().get(),
+                    c.typical_endurance().get(),
+                )
+            })
+            .collect(),
+    }
+}
+
+impl Fig02 {
+    /// The printed rows (class, size, capacity, endurance).
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Fig. 2b — size, battery capacity and endurance per UAV class",
+            &["class", "size (mm)", "battery (mAh)", "endurance (min)"],
+        );
+        for (class, size, cap, endurance) in &self.rows {
+            t.push([
+                class.to_string(),
+                num(*size, 0),
+                num(*cap, 0),
+                num(*endurance, 0),
+            ]);
+        }
+        t
+    }
+
+    /// The chart: capacity vs size with endurance annotated.
+    #[must_use]
+    pub fn chart(&self) -> Chart {
+        let points: Vec<(f64, f64)> = self.rows.iter().map(|r| (r.1, r.2)).collect();
+        let mut chart = Chart::new("Size and battery capacity in UAVs (Fig. 2b)")
+            .x_label("Size (mm)")
+            .y_label("Battery Capacity (mAh)")
+            .x_scale(Scale::Log10)
+            .series(Series::scatter("UAV classes", points));
+        for (class, size, cap, endurance) in &self.rows {
+            chart = chart.annotation(f1_plot::Annotation::text(
+                *size,
+                *cap,
+                format!("{class} ({endurance:.0} min)"),
+            ));
+        }
+        chart
+    }
+
+    /// The raw rows.
+    #[must_use]
+    pub fn rows(&self) -> &[(SizeClass, f64, f64, f64)] {
+        &self.rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_rows() {
+        let fig = run();
+        let t = fig.table();
+        assert_eq!(t.rows().len(), 3);
+        // Paper values: 240/1300/3830 mAh and 7/15/30 min.
+        assert_eq!(t.rows()[0][2], "240");
+        assert_eq!(t.rows()[1][2], "1300");
+        assert_eq!(t.rows()[2][2], "3830");
+        assert_eq!(t.rows()[0][3], "7");
+        assert_eq!(t.rows()[2][3], "30");
+    }
+
+    #[test]
+    fn chart_renders() {
+        let svg = run().chart().render_svg(640, 480).unwrap();
+        assert!(svg.contains("mAh"));
+        assert!(svg.contains("nano"));
+    }
+}

@@ -1,0 +1,178 @@
+//! Fig. 4a–c — the conceptual F-1 plots: bounds and ceilings, optimal vs
+//! over/sub-optimal designs, and the effect of payload weight on the roof.
+
+use f1_model::analysis::DesignAssessment;
+use f1_model::roofline::{Roofline, Saturation};
+use f1_model::safety::SafetyModel;
+use f1_model::pipeline::StageRates;
+use f1_units::{Hertz, Meters, MetersPerSecondSquared};
+use f1_plot::{Chart, Scale, Series};
+
+use crate::report::{num, Table};
+
+/// The Fig. 4 regeneration result.
+#[derive(Debug, Clone)]
+pub struct Fig04 {
+    /// The reference roofline used by panels (a) and (b).
+    pub roofline: Roofline,
+    /// (a_max, roofline) pairs for panel (c)'s payload-weight effect.
+    pub accel_variants: Vec<(f64, Roofline)>,
+}
+
+/// Regenerates the three conceptual panels.
+///
+/// # Panics
+///
+/// Never: all parameters are static and valid.
+#[must_use]
+pub fn run() -> Fig04 {
+    let d = Meters::new(10.0);
+    let base = Roofline::with_saturation(
+        SafetyModel::new(MetersPerSecondSquared::new(10.0), d).expect("static params"),
+        Saturation::DEFAULT,
+    );
+    let accel_variants = [5.0, 10.0, 20.0]
+        .into_iter()
+        .map(|a| {
+            (
+                a,
+                Roofline::with_saturation(
+                    SafetyModel::new(MetersPerSecondSquared::new(a), d).expect("static params"),
+                    Saturation::DEFAULT,
+                ),
+            )
+        })
+        .collect();
+    Fig04 {
+        roofline: base,
+        accel_variants,
+    }
+}
+
+impl Fig04 {
+    /// Panel (a): classification of representative sensor-, compute- and
+    /// physics-bound operating points.
+    #[must_use]
+    pub fn bounds_table(&self) -> Table {
+        let mut t = Table::new(
+            "Fig. 4a — bounds at representative operating points",
+            &["f_sensor (Hz)", "f_compute (Hz)", "f_action (Hz)", "bound"],
+        );
+        let knee = self.roofline.knee().rate.get();
+        let cases = [
+            (knee * 0.3, knee * 3.0), // sensor-bound
+            (knee * 3.0, knee * 0.3), // compute-bound
+            (knee * 3.0, knee * 3.0), // physics-bound
+        ];
+        for (fs, fc) in cases {
+            let rates =
+                StageRates::new(Hertz::new(fs), Hertz::new(fc), Hertz::new(1000.0))
+                    .expect("positive rates");
+            let analysis = self.roofline.classify(&rates);
+            t.push([
+                num(fs, 1),
+                num(fc, 1),
+                num(analysis.action_throughput.get(), 1),
+                analysis.bound.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// Panel (b): optimal, over-optimized and sub-optimal designs around
+    /// the knee.
+    #[must_use]
+    pub fn design_table(&self) -> Table {
+        let mut t = Table::new(
+            "Fig. 4b — design assessment around the knee",
+            &["f_action (Hz)", "assessment"],
+        );
+        let knee = self.roofline.knee().rate.get();
+        for factor in [0.25, 1.0, 4.0] {
+            let f = Hertz::new(knee * factor);
+            let a = DesignAssessment::of(&self.roofline, f);
+            t.push([num(f.get(), 1), a.to_string()]);
+        }
+        t
+    }
+
+    /// Panel (c): the roof and knee under different `a_max` (payload
+    /// weight) values.
+    #[must_use]
+    pub fn payload_table(&self) -> Table {
+        let mut t = Table::new(
+            "Fig. 4c — payload weight (a_max) moves roof and knee",
+            &["a_max (m/s²)", "roof (m/s)", "knee (Hz)"],
+        );
+        for (a, r) in &self.accel_variants {
+            t.push([
+                num(*a, 1),
+                num(r.roof().get(), 2),
+                num(r.knee().rate.get(), 1),
+            ]);
+        }
+        t
+    }
+
+    /// The combined chart of panel (c).
+    #[must_use]
+    pub fn chart(&self) -> Chart {
+        let mut chart = Chart::new("Effect of a_max on the F-1 roofline (Fig. 4c)")
+            .x_label("Action Throughput (Hz)")
+            .y_label("Velocity (m/s)")
+            .x_scale(Scale::Log10);
+        for (a, r) in &self.accel_variants {
+            let curve: Vec<(f64, f64)> = r
+                .sample_log(Hertz::new(0.1), Hertz::new(1000.0), 100)
+                .into_iter()
+                .map(|(f, v)| (f.get(), v.get()))
+                .collect();
+            chart = chart.series(Series::line(format!("a_max = {a} m/s²"), curve));
+        }
+        chart
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f1_model::roofline::Bound;
+
+    #[test]
+    fn bounds_panel_covers_all_three_bounds() {
+        let fig = run();
+        let t = fig.bounds_table();
+        let bounds: Vec<&str> = t.rows().iter().map(|r| r[3].as_str()).collect();
+        assert!(bounds.contains(&Bound::Sensor.to_string().as_str()));
+        assert!(bounds.contains(&Bound::Compute.to_string().as_str()));
+        assert!(bounds.contains(&Bound::Physics.to_string().as_str()));
+    }
+
+    #[test]
+    fn design_panel_covers_all_assessments() {
+        let fig = run();
+        let t = fig.design_table();
+        let text = t.to_text();
+        assert!(text.contains("under-provisioned"));
+        assert!(text.contains("optimal"));
+        assert!(text.contains("over-provisioned"));
+    }
+
+    #[test]
+    fn payload_panel_monotone() {
+        // Higher a_max (lighter payload) ⇒ higher roof and higher knee —
+        // Fig. 4c's a1 < a2 < a3 ordering.
+        let fig = run();
+        let rows = fig.payload_table();
+        let roofs: Vec<f64> = rows.rows().iter().map(|r| r[1].parse().unwrap()).collect();
+        let knees: Vec<f64> = rows.rows().iter().map(|r| r[2].parse().unwrap()).collect();
+        assert!(roofs.windows(2).all(|w| w[1] > w[0]));
+        assert!(knees.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn chart_renders() {
+        let svg = run().chart().render_svg(640, 480).unwrap();
+        assert!(svg.contains("a_max"));
+    }
+}

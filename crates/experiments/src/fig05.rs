@@ -1,0 +1,183 @@
+//! Fig. 5a/b — constructing the F-1 model: the safety-model sweep
+//! (velocity vs `T_action`) and the roofline form (velocity vs
+//! `f_action`), with point "A" and the knee annotated.
+//!
+//! Paper parameters: `a_max = 50 m/s²`, `d = 10 m`, `T_action ∈ (0, 5] s`.
+
+use f1_model::roofline::{KneePoint, Roofline, Saturation};
+use f1_model::safety::SafetyModel;
+use f1_plot::{Annotation, Chart, Scale, Series};
+use f1_units::{Hertz, Meters, MetersPerSecondSquared, Seconds};
+
+use crate::report::{num, Table};
+
+/// The Fig. 5 regeneration result.
+#[derive(Debug, Clone)]
+pub struct Fig05 {
+    /// The safety model with the paper's parameters.
+    pub safety: SafetyModel,
+    /// The roofline (η = 0.984 reproduces the paper's 100 Hz knee).
+    pub roofline: Roofline,
+    /// (T_action, v) sweep for panel (a).
+    pub period_sweep: Vec<(f64, f64)>,
+    /// (f_action, v) sweep for panel (b).
+    pub rate_sweep: Vec<(f64, f64)>,
+    /// Velocity at point "A" (1 Hz).
+    pub point_a_velocity: f64,
+    /// The knee.
+    pub knee: KneePoint,
+}
+
+/// Regenerates Fig. 5.
+///
+/// # Panics
+///
+/// Never: parameters are static and valid.
+#[must_use]
+pub fn run() -> Fig05 {
+    let safety = SafetyModel::new(MetersPerSecondSquared::new(50.0), Meters::new(10.0))
+        .expect("static params");
+    let roofline =
+        Roofline::with_saturation(safety, Saturation::new(0.984).expect("static saturation"));
+    let period_sweep: Vec<(f64, f64)> = (1..=500)
+        .map(|i| {
+            let t = i as f64 * 0.01; // 0.01 .. 5 s
+            (t, safety.safe_velocity(Seconds::new(t)).get())
+        })
+        .collect();
+    let rate_sweep: Vec<(f64, f64)> = roofline
+        .sample_log(Hertz::new(0.2), Hertz::new(10_000.0), 200)
+        .into_iter()
+        .map(|(f, v)| (f.get(), v.get()))
+        .collect();
+    let point_a_velocity = safety.safe_velocity_at_rate(Hertz::new(1.0)).get();
+    Fig05 {
+        safety,
+        roofline,
+        period_sweep,
+        rate_sweep,
+        point_a_velocity,
+        knee: roofline.knee(),
+    }
+}
+
+impl Fig05 {
+    /// The headline numbers the paper calls out around Fig. 5.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Fig. 5 — safety model and F-1 plot (a = 50 m/s², d = 10 m)",
+            &["quantity", "value"],
+        );
+        t.push([
+            "asymptotic velocity √(2da) (m/s)".to_string(),
+            num(self.safety.peak_velocity().get(), 2),
+        ]);
+        t.push([
+            "point A: v at 1 Hz (m/s)".to_string(),
+            num(self.point_a_velocity, 2),
+        ]);
+        t.push(["knee rate (Hz)".to_string(), num(self.knee.rate.get(), 1)]);
+        t.push([
+            "knee velocity (m/s)".to_string(),
+            num(self.knee.velocity.get(), 2),
+        ]);
+        let gain_past_knee = self
+            .safety
+            .safe_velocity_at_rate(Hertz::new(self.knee.rate.get() * 100.0))
+            .get()
+            / self.knee.velocity.get();
+        t.push([
+            "gain from 100× faster past knee".to_string(),
+            format!("{gain_past_knee:.4}×"),
+        ]);
+        t
+    }
+
+    /// Panel (a): velocity vs action period.
+    #[must_use]
+    pub fn period_chart(&self) -> Chart {
+        Chart::new("Safety model: velocity vs T_action (Fig. 5a)")
+            .x_label("T_action (s)")
+            .y_label("Velocity (m/s)")
+            .series(Series::line("v_safe", self.period_sweep.clone()))
+    }
+
+    /// Panel (b): the F-1 roofline with point A and the knee.
+    #[must_use]
+    pub fn rate_chart(&self) -> Chart {
+        Chart::new("F-1 plot: velocity vs f_action (Fig. 5b)")
+            .x_label("f_action (Hz)")
+            .y_label("v_safe (m/s)")
+            .x_scale(Scale::Log10)
+            .series(Series::line("v_safe", self.rate_sweep.clone()))
+            .annotation(Annotation::marked(1.0, self.point_a_velocity, "A"))
+            .annotation(Annotation::marked(
+                self.knee.rate.get(),
+                self.knee.velocity.get(),
+                "knee",
+            ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asymptote_near_32() {
+        // Paper: "as T_action → 0, the velocity → 32" (√1000 = 31.62).
+        let fig = run();
+        assert!((fig.safety.peak_velocity().get() - 31.62).abs() < 0.01);
+    }
+
+    #[test]
+    fn point_a_near_10() {
+        // Paper: point A at 1 Hz ⇒ ~10 m/s (exact 9.16).
+        let fig = run();
+        assert!((fig.point_a_velocity - 9.16).abs() < 0.01);
+    }
+
+    #[test]
+    fn knee_near_100hz() {
+        let fig = run();
+        assert!(
+            (fig.knee.rate.get() - 100.0).abs() < 5.0,
+            "knee = {}",
+            fig.knee.rate
+        );
+    }
+
+    #[test]
+    fn a_to_knee_is_roughly_3x_velocity() {
+        // Paper: "From point A to knee-point … translates to an increase in
+        // velocity from 10 m/s to 30 m/s."
+        let fig = run();
+        let ratio = fig.knee.velocity.get() / fig.point_a_velocity;
+        assert!((ratio - 3.0).abs() < 0.5, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn sweeps_cover_paper_ranges() {
+        let fig = run();
+        assert!((fig.period_sweep.last().unwrap().0 - 5.0).abs() < 1e-9);
+        assert!(fig.rate_sweep.first().unwrap().0 < 1.0);
+        assert!(fig.rate_sweep.last().unwrap().0 >= 9999.0);
+    }
+
+    #[test]
+    fn charts_render() {
+        let fig = run();
+        assert!(fig.period_chart().render_svg(640, 480).is_ok());
+        let svg = fig.rate_chart().render_svg(640, 480).unwrap();
+        assert!(svg.contains("knee"));
+        assert!(fig.rate_chart().render_ascii(90, 26).is_ok());
+    }
+
+    #[test]
+    fn table_mentions_headline_numbers() {
+        let text = run().table().to_text();
+        assert!(text.contains("31.62"));
+        assert!(text.contains("9.16"));
+    }
+}

@@ -1,0 +1,188 @@
+//! Fig. 9 — the non-linear relationship between safe velocity and payload
+//! weight, with the four Table I drones mapped onto the curve.
+
+use f1_components::{names, Catalog};
+use f1_plot::{Annotation, Chart, Series};
+use f1_skyline::sweep::{sweep_linear, SweepPoint};
+use f1_units::{Grams, Hertz, Meters};
+use f1_model::safety::SafetyModel;
+
+use crate::report::{num, Table};
+
+/// The Fig. 9 regeneration result.
+#[derive(Debug, Clone)]
+pub struct Fig09 {
+    /// (payload g, v_safe m/s) sweep; `None` output = cannot hover.
+    pub sweep: Vec<SweepPoint<Option<f64>>>,
+    /// The four drones mapped onto the curve: (label, payload, v_safe).
+    pub drones: Vec<(char, f64, f64)>,
+}
+
+/// Sweeps payload weight on the Custom S500 at the validation decision
+/// rate (10 Hz) and sensing range (3 m).
+///
+/// # Errors
+///
+/// Propagates catalog errors (none for the paper catalog).
+pub fn run() -> Result<Fig09, Box<dyn std::error::Error>> {
+    let catalog = Catalog::paper();
+    let airframe = catalog.airframe(names::CUSTOM_S500)?.clone();
+    let rate = Hertz::new(10.0);
+    let range = Meters::new(3.0);
+    let capacity = airframe.payload_capacity().get();
+
+    let sweep = sweep_linear(100.0, capacity * 1.05, 200, |payload_g| {
+        let body = airframe.loaded_dynamics(Grams::new(payload_g)).ok()?;
+        let a = body.a_max().ok()?;
+        let safety = SafetyModel::new(a, range).ok()?;
+        Some(safety.safe_velocity(rate.period()).get())
+    });
+
+    let mut drones = Vec::new();
+    for uav in Catalog::validation_uavs() {
+        let body = airframe.loaded_dynamics(uav.payload)?;
+        let a = body.a_max()?;
+        let v = SafetyModel::new(a, range)?.safe_velocity(rate.period()).get();
+        drones.push((uav.label, uav.payload.get(), v));
+    }
+    Ok(Fig09 { sweep, drones })
+}
+
+impl Fig09 {
+    /// The drone mapping table with the paper's values alongside.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Fig. 9 — safe velocity vs payload weight (Custom S500, 10 Hz, d = 3 m)",
+            &["UAV", "payload (g)", "v_safe (m/s)", "paper v_safe (m/s)"],
+        );
+        let paper: &[(char, f64)] = &[('A', 2.13), ('B', 1.51), ('C', 1.58), ('D', 1.53)];
+        for (label, payload, v) in &self.drones {
+            let paper_v = paper
+                .iter()
+                .find(|(l, _)| l == label)
+                .map_or(f64::NAN, |(_, v)| *v);
+            t.push([
+                format!("UAV-{label}"),
+                num(*payload, 0),
+                num(*v, 2),
+                num(paper_v, 2),
+            ]);
+        }
+        t
+    }
+
+    /// Velocity drop between two drones, in percent (positive = second is
+    /// slower).
+    #[must_use]
+    pub fn drop_percent(&self, from: char, to: char) -> Option<f64> {
+        let v = |l: char| self.drones.iter().find(|(dl, _, _)| *dl == l).map(|d| d.2);
+        Some((1.0 - v(to)? / v(from)?) * 100.0)
+    }
+
+    /// The payload-sweep chart with drones annotated.
+    #[must_use]
+    pub fn chart(&self) -> Chart {
+        let curve: Vec<(f64, f64)> = self
+            .sweep
+            .iter()
+            .filter_map(|p| p.output.map(|v| (p.input, v)))
+            .collect();
+        let mut chart = Chart::new("Safe velocity vs payload weight (Fig. 9)")
+            .x_label("Payload Weight (g)")
+            .y_label("Velocity (m/s)")
+            .series(Series::line("v_safe", curve));
+        for (label, payload, v) in &self.drones {
+            chart = chart.annotation(Annotation::marked(*payload, *v, format!("{label}")));
+        }
+        chart
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn velocity_monotone_decreasing_in_payload() {
+        let fig = run().unwrap();
+        let vs: Vec<f64> = fig
+            .sweep
+            .iter()
+            .filter_map(|p| p.output)
+            .collect();
+        assert!(vs.len() > 100);
+        for w in vs.windows(2) {
+            assert!(w[1] < w[0], "velocity not decreasing");
+        }
+    }
+
+    #[test]
+    fn relationship_is_non_linear() {
+        // The same 100 g increment costs more velocity near the hover limit
+        // than at light payloads — the paper's non-linearity claim.
+        let fig = run().unwrap();
+        let v_at = |g: f64| -> f64 {
+            fig.sweep
+                .iter()
+                .filter(|p| p.output.is_some())
+                .min_by(|a, b| {
+                    (a.input - g)
+                        .abs()
+                        .partial_cmp(&(b.input - g).abs())
+                        .unwrap()
+                })
+                .and_then(|p| p.output)
+                .unwrap()
+        };
+        let drop_light = v_at(200.0) - v_at(300.0);
+        let drop_heavy = v_at(700.0) - v_at(800.0);
+        assert!(
+            drop_heavy > drop_light,
+            "light {drop_light} vs heavy {drop_heavy}"
+        );
+    }
+
+    #[test]
+    fn drone_order_matches_paper() {
+        // A (590 g) fastest, then C (640), D (690), B (800) — the paper's
+        // ordering in Fig. 9.
+        let fig = run().unwrap();
+        let v = |l: char| {
+            fig.drones
+                .iter()
+                .find(|(dl, _, _)| *dl == l)
+                .map(|d| d.2)
+                .unwrap()
+        };
+        assert!(v('A') > v('C'));
+        assert!(v('C') > v('D'));
+        assert!(v('D') > v('B'));
+    }
+
+    #[test]
+    fn a_to_b_drop_is_substantial() {
+        // Paper: UAV-B (210 g heavier than A) loses ~41 % of safe velocity.
+        // With the catalog's calibrated thrust the drop is of the same
+        // order (tens of percent).
+        let fig = run().unwrap();
+        let drop = fig.drop_percent('A', 'B').unwrap();
+        assert!(drop > 20.0 && drop < 75.0, "drop = {drop}%");
+    }
+
+    #[test]
+    fn sweep_ends_beyond_hover_limit() {
+        // The last sweep points exceed payload capacity and return None.
+        let fig = run().unwrap();
+        assert!(fig.sweep.last().unwrap().output.is_none());
+    }
+
+    #[test]
+    fn chart_and_table_render() {
+        let fig = run().unwrap();
+        assert!(fig.chart().render_svg(640, 480).is_ok());
+        let text = fig.table().to_text();
+        assert!(text.contains("UAV-A"));
+        assert!(text.contains("2.13")); // paper column
+    }
+}

@@ -1,0 +1,204 @@
+//! Fig. 11b — §VI-A onboard-compute selection: Intel NCS vs Nvidia AGX on
+//! a DJI Spark running DroNet, plus the AGX 30 W → 15 W TDP what-if.
+
+use f1_components::{names, Catalog};
+use f1_plot::Chart;
+use f1_skyline::chart::{roofline_chart, OperatingPoint};
+use f1_skyline::UavSystem;
+use f1_units::Hertz;
+
+use crate::report::{num, Table};
+
+/// One characterized configuration of the study.
+#[derive(Debug, Clone)]
+pub struct ComputeChoice {
+    /// Display label.
+    pub label: String,
+    /// Compute throughput of DroNet on this platform (Hz).
+    pub compute_rate: f64,
+    /// Total payload (g), including heatsink.
+    pub payload_g: f64,
+    /// The physics roof (m/s).
+    pub roof: f64,
+    /// Achieved safe velocity (m/s).
+    pub velocity: f64,
+    /// The knee (Hz).
+    pub knee: f64,
+    /// The assembled system.
+    pub system: UavSystem,
+}
+
+/// The Fig. 11 regeneration result.
+#[derive(Debug, Clone)]
+pub struct Fig11 {
+    /// NCS, AGX-30W and AGX-15W configurations in that order.
+    pub choices: Vec<ComputeChoice>,
+}
+
+/// Runs the §VI-A study.
+///
+/// # Errors
+///
+/// Propagates catalog errors (none for the paper catalog).
+pub fn run() -> Result<Fig11, Box<dyn std::error::Error>> {
+    let catalog = Catalog::paper();
+    let mut choices = Vec::new();
+
+    let ncs = UavSystem::from_catalog(
+        &catalog,
+        names::DJI_SPARK,
+        names::RGB_60,
+        names::NCS,
+        names::DRONET,
+    )?;
+    choices.push(evaluate("Intel NCS", ncs)?);
+
+    let agx30 = UavSystem::from_catalog(
+        &catalog,
+        names::DJI_SPARK,
+        names::RGB_60,
+        names::AGX,
+        names::DRONET,
+    )?;
+    choices.push(evaluate("Nvidia AGX-30W", agx30.clone())?);
+
+    // §VI-A what-if: halve the TDP "without impacting the compute
+    // throughput"; the heatsink shrinks accordingly.
+    let optimized_platform = catalog.compute(names::AGX)?.with_tdp_scaled(0.5)?;
+    let agx15 = agx30.with_compute_platform(optimized_platform, Hertz::new(230.0));
+    choices.push(evaluate("Nvidia AGX-15W", agx15)?);
+
+    Ok(Fig11 { choices })
+}
+
+fn evaluate(label: &str, system: UavSystem) -> Result<ComputeChoice, Box<dyn std::error::Error>> {
+    let analysis = system.analyze()?;
+    Ok(ComputeChoice {
+        label: label.to_owned(),
+        compute_rate: system.compute_throughput().get(),
+        payload_g: system.payload_mass().get(),
+        roof: analysis.bound.roof.get(),
+        velocity: analysis.bound.velocity.get(),
+        knee: analysis.bound.knee.rate.get(),
+        system,
+    })
+}
+
+impl Fig11 {
+    /// The study table.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Fig. 11b — Intel NCS vs Nvidia AGX on DJI Spark (DroNet, 60 FPS sensor)",
+            &[
+                "compute",
+                "DroNet (Hz)",
+                "payload (g)",
+                "roof (m/s)",
+                "v_safe (m/s)",
+                "knee (Hz)",
+            ],
+        );
+        for c in &self.choices {
+            t.push([
+                c.label.clone(),
+                num(c.compute_rate, 0),
+                num(c.payload_g, 0),
+                num(c.roof, 2),
+                num(c.velocity, 2),
+                num(c.knee, 1),
+            ]);
+        }
+        t
+    }
+
+    /// The roof improvement of the AGX-15W what-if over AGX-30W, percent.
+    #[must_use]
+    pub fn tdp_whatif_improvement_percent(&self) -> f64 {
+        let agx30 = &self.choices[1];
+        let agx15 = &self.choices[2];
+        (agx15.roof / agx30.roof - 1.0) * 100.0
+    }
+
+    /// The combined roofline chart.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis/plot errors (none for the paper catalog).
+    pub fn chart(&self) -> Result<Chart, Box<dyn std::error::Error>> {
+        let mut rooflines = Vec::new();
+        let mut points = Vec::new();
+        for c in &self.choices {
+            rooflines.push((c.label.clone(), c.system.roofline()?));
+            points.push(OperatingPoint {
+                label: format!("{} @ {:.0} Hz", c.label, c.compute_rate),
+                rate: Hertz::new(c.compute_rate),
+                velocity: f1_units::MetersPerSecond::new(c.velocity),
+            });
+        }
+        Ok(roofline_chart(
+            "Compute selection for DJI Spark (Fig. 11b)",
+            &rooflines,
+            &points,
+            Hertz::new(1.0),
+            Hertz::new(1000.0),
+        )?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ncs_beats_agx_despite_lower_throughput() {
+        // §VI-A's headline: AGX does 1.5× the FPS but the lighter NCS wins
+        // on safe velocity because the Spark's physics dominates.
+        let fig = run().unwrap();
+        let ncs = &fig.choices[0];
+        let agx = &fig.choices[1];
+        assert!(agx.compute_rate > ncs.compute_rate);
+        assert!(
+            ncs.velocity > agx.velocity,
+            "NCS {} vs AGX {}",
+            ncs.velocity,
+            agx.velocity
+        );
+        assert!(ncs.payload_g < agx.payload_g);
+    }
+
+    #[test]
+    fn tdp_halving_raises_roof_substantially() {
+        // Paper: "the reduction of the compute payload weight increases the
+        // DJI Spark's safe velocity by 75 %."
+        let fig = run().unwrap();
+        let gain = fig.tdp_whatif_improvement_percent();
+        assert!(gain > 40.0 && gain < 120.0, "gain = {gain}%");
+    }
+
+    #[test]
+    fn ad_hoc_selection_degrades_velocity_at_least_2x() {
+        // §I: "selecting onboard compute in this fashion results in 2.3×
+        // degradation in safe velocity" — picking the AGX for its FPS
+        // costs the Spark a factor ≥ 2 vs the NCS.
+        let fig = run().unwrap();
+        let ratio = fig.choices[0].velocity / fig.choices[1].velocity;
+        assert!(ratio > 2.0, "degradation only {ratio}×");
+    }
+
+    #[test]
+    fn payload_includes_heatsink_difference() {
+        // AGX-15W sheds ~half of the 162 g heatsink vs AGX-30W.
+        let fig = run().unwrap();
+        let diff = fig.choices[1].payload_g - fig.choices[2].payload_g;
+        assert!(diff > 50.0 && diff < 110.0, "heatsink delta = {diff} g");
+    }
+
+    #[test]
+    fn outputs_render() {
+        let fig = run().unwrap();
+        assert_eq!(fig.table().rows().len(), 3);
+        let svg = fig.chart().unwrap().render_svg(720, 480).unwrap();
+        assert!(svg.contains("NCS"));
+    }
+}

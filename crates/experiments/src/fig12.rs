@@ -1,0 +1,98 @@
+//! Fig. 12 — heatsink weight vs TDP (162 g at 30 W, ~81 g at 15 W, ~10 g
+//! at 1.5 W; "~20× in TDP ⇒ ~16.2× in heatsink weight").
+
+use f1_model::heatsink::HeatsinkModel;
+use f1_plot::{Chart, Series};
+use f1_skyline::sweep::{sweep_log, SweepPoint};
+use f1_units::Watts;
+
+use crate::report::{num, Table};
+
+/// The Fig. 12 regeneration result.
+#[derive(Debug, Clone)]
+pub struct Fig12 {
+    /// The calibrated model.
+    pub model: HeatsinkModel,
+    /// (TDP W, heatsink g) sweep.
+    pub sweep: Vec<SweepPoint<f64>>,
+}
+
+/// Regenerates Fig. 12.
+#[must_use]
+pub fn run() -> Fig12 {
+    let model = HeatsinkModel::paper_calibrated();
+    let sweep = sweep_log(1.5, 60.0, 60, |w| model.mass_for(Watts::new(w)).get());
+    Fig12 { model, sweep }
+}
+
+impl Fig12 {
+    /// The anchor-point table with the paper values alongside.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Fig. 12 — heatsink weight vs TDP",
+            &["TDP (W)", "heatsink (g)", "paper (g)"],
+        );
+        for (w, paper) in [(1.5, 10.0), (15.0, 81.0), (30.0, 162.0)] {
+            t.push([
+                num(w, 1),
+                num(self.model.mass_for(Watts::new(w)).get(), 1),
+                num(paper, 0),
+            ]);
+        }
+        let ratio = self.model.mass_for(Watts::new(30.0)).get()
+            / self.model.mass_for(Watts::new(1.5)).get();
+        t.push([
+            "20× TDP ⇒ weight ×".to_string(),
+            num(ratio, 1),
+            "16.2".to_string(),
+        ]);
+        t
+    }
+
+    /// The TDP sweep chart: the paper's three anchor bars over the fitted
+    /// power-law curve.
+    #[must_use]
+    pub fn chart(&self) -> Chart {
+        let pts: Vec<(f64, f64)> = self.sweep.iter().map(|p| (p.input, p.output)).collect();
+        let anchors: Vec<(f64, f64)> = [1.5, 15.0, 30.0]
+            .into_iter()
+            .map(|w| (w, self.model.mass_for(Watts::new(w)).get()))
+            .collect();
+        Chart::new("Heatsink weight vs TDP (Fig. 12)")
+            .x_label("TDP (W)")
+            .y_label("Heatsink Weight (g)")
+            .x_scale(f1_plot::Scale::Log10)
+            .series(Series::bars("paper anchors", anchors))
+            .series(Series::line("power-law fit", pts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_match_paper() {
+        let fig = run();
+        let t = fig.table();
+        assert_eq!(t.rows()[2][1], "162.0");
+        let at_15: f64 = t.rows()[1][1].parse().unwrap();
+        assert!((at_15 - 81.0).abs() / 81.0 < 0.05);
+        let ratio: f64 = t.rows()[3][1].parse().unwrap();
+        assert!((ratio - 16.2).abs() < 0.1);
+    }
+
+    #[test]
+    fn sweep_monotone() {
+        let fig = run();
+        for w in fig.sweep.windows(2) {
+            assert!(w[1].output >= w[0].output);
+        }
+    }
+
+    #[test]
+    fn chart_renders() {
+        assert!(run().chart().render_svg(640, 480).is_ok());
+    }
+}

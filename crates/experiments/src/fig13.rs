@@ -1,0 +1,179 @@
+//! Fig. 13b — §VI-B autonomy-algorithm characterization on an AscTec
+//! Pelican with a Jetson TX2: Sense-Plan-Act vs TrailNet vs DroNet.
+
+use f1_components::{names, Catalog};
+use f1_model::analysis::DesignAssessment;
+use f1_plot::Chart;
+use f1_skyline::chart::{roofline_chart, OperatingPoint};
+use f1_skyline::UavSystem;
+use f1_units::Hertz;
+
+use crate::report::{num, Table};
+
+/// One algorithm evaluation.
+#[derive(Debug, Clone)]
+pub struct AlgorithmPoint {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Throughput on the TX2 (Hz).
+    pub compute_rate: f64,
+    /// Achieved safe velocity (m/s).
+    pub velocity: f64,
+    /// The knee of the Pelican + TX2 roofline (Hz).
+    pub knee: f64,
+    /// Over/under-provisioning of the algorithm vs the knee.
+    pub assessment: DesignAssessment,
+}
+
+/// The Fig. 13 regeneration result.
+#[derive(Debug, Clone)]
+pub struct Fig13 {
+    /// SPA, TrailNet, DroNet in that order.
+    pub points: Vec<AlgorithmPoint>,
+    /// The shared system (Pelican + TX2 + RGB-D).
+    pub system: UavSystem,
+}
+
+/// Runs the §VI-B study.
+///
+/// # Errors
+///
+/// Propagates catalog errors (none for the paper catalog).
+pub fn run() -> Result<Fig13, Box<dyn std::error::Error>> {
+    let catalog = Catalog::paper();
+    let mut points = Vec::new();
+    let mut reference = None;
+    for algorithm in [names::MAVBENCH_PD, names::TRAILNET, names::DRONET] {
+        let system = UavSystem::from_catalog(
+            &catalog,
+            names::ASCTEC_PELICAN,
+            names::RGBD_60,
+            names::TX2,
+            algorithm,
+        )?;
+        let analysis = system.analyze()?;
+        points.push(AlgorithmPoint {
+            algorithm: algorithm.to_owned(),
+            compute_rate: system.compute_throughput().get(),
+            velocity: analysis.bound.velocity.get(),
+            knee: analysis.bound.knee.rate.get(),
+            assessment: analysis.compute_assessment,
+        });
+        reference = Some(system);
+    }
+    Ok(Fig13 {
+        points,
+        system: reference.expect("three algorithms evaluated"),
+    })
+}
+
+impl Fig13 {
+    /// The study table with the paper's quoted factors alongside.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Fig. 13b — autonomy algorithms on AscTec Pelican + TX2",
+            &[
+                "algorithm",
+                "f_compute (Hz)",
+                "v_safe (m/s)",
+                "knee (Hz)",
+                "assessment",
+                "paper factor",
+            ],
+        );
+        let paper = ["39× under", "1.27× over", "4.13× over"];
+        for (p, paper_factor) in self.points.iter().zip(paper) {
+            t.push([
+                p.algorithm.clone(),
+                num(p.compute_rate, 1),
+                num(p.velocity, 2),
+                num(p.knee, 1),
+                p.assessment.to_string(),
+                paper_factor.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// The roofline chart with the three algorithm operating points.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis/plot errors.
+    pub fn chart(&self) -> Result<Chart, Box<dyn std::error::Error>> {
+        let roofline = self.system.roofline()?;
+        let ops: Vec<OperatingPoint> = self
+            .points
+            .iter()
+            .map(|p| OperatingPoint {
+                label: format!("{} @ {:.1} Hz", p.algorithm, p.compute_rate),
+                rate: Hertz::new(p.compute_rate),
+                velocity: f1_units::MetersPerSecond::new(p.velocity),
+            })
+            .collect();
+        Ok(roofline_chart(
+            "Autonomy algorithms on AscTec Pelican (Fig. 13b)",
+            &[("AscTec Pelican + TX2".into(), roofline)],
+            &ops,
+            Hertz::new(0.5),
+            Hertz::new(1000.0),
+        )?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spa_needs_39x() {
+        // §VI-B: SPA at 1.1 Hz vs the 43 Hz knee ⇒ ~39× improvement needed.
+        let fig = run().unwrap();
+        let spa = &fig.points[0];
+        assert!((spa.compute_rate - 1.1).abs() < 1e-9);
+        let speedup = spa.assessment.speedup_required();
+        assert!((speedup - 39.0).abs() < 2.0, "speedup = {speedup}");
+    }
+
+    #[test]
+    fn trailnet_and_dronet_over_provisioned() {
+        let fig = run().unwrap();
+        let trailnet = &fig.points[1];
+        let dronet = &fig.points[2];
+        assert!((trailnet.assessment.surplus_factor() - 1.27).abs() < 0.05);
+        assert!((dronet.assessment.surplus_factor() - 4.13).abs() < 0.15);
+    }
+
+    #[test]
+    fn knee_matches_paper_43hz() {
+        let fig = run().unwrap();
+        for p in &fig.points {
+            assert!((p.knee - 43.0).abs() < 1.0, "knee = {}", p.knee);
+        }
+    }
+
+    #[test]
+    fn spa_velocity_is_compute_capped() {
+        // SPA's low rate caps velocity far below the E2E algorithms'.
+        let fig = run().unwrap();
+        assert!(fig.points[0].velocity < fig.points[1].velocity);
+        // TrailNet (55 Hz) and DroNet (178 Hz) both exceed the knee, so
+        // their velocities are nearly identical (physics roof).
+        let rel = (fig.points[1].velocity - fig.points[2].velocity).abs()
+            / fig.points[2].velocity;
+        assert!(rel < 0.03, "rel = {rel}");
+    }
+
+    #[test]
+    fn outputs_render() {
+        let fig = run().unwrap();
+        assert_eq!(fig.table().rows().len(), 3);
+        assert!(fig
+            .chart()
+            .unwrap()
+            .render_svg(720, 480)
+            .unwrap()
+            .contains("DroNet"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Fig. 14b — §VI-C modular-redundancy characterization: single vs dual
+//! TX2 on an AscTec Pelican running DroNet behind a 60 FPS RGB-D camera
+//! with 4.5 m range.
+
+use f1_components::{names, Catalog};
+use f1_plot::Chart;
+use f1_skyline::chart::{roofline_chart, OperatingPoint};
+use f1_skyline::redundancy::{with_modular_redundancy, RedundancyStudy};
+use f1_skyline::UavSystem;
+use f1_units::Hertz;
+
+use crate::report::{num, Table};
+
+/// The Fig. 14 regeneration result.
+#[derive(Debug, Clone)]
+pub struct Fig14 {
+    /// The single-TX2 baseline.
+    pub baseline: UavSystem,
+    /// Redundancy studies for 2 and 3 replicas (the paper shows 2; 3 is a
+    /// natural extension).
+    pub studies: Vec<RedundancyStudy>,
+}
+
+/// Runs the §VI-C study.
+///
+/// # Errors
+///
+/// Propagates catalog errors (none for the paper catalog).
+pub fn run() -> Result<Fig14, Box<dyn std::error::Error>> {
+    let catalog = Catalog::paper();
+    let baseline = UavSystem::from_catalog(
+        &catalog,
+        names::ASCTEC_PELICAN,
+        names::RGBD_60,
+        names::TX2,
+        names::DRONET,
+    )?;
+    let studies = vec![
+        with_modular_redundancy(&baseline, 2)?,
+        with_modular_redundancy(&baseline, 3)?,
+    ];
+    Ok(Fig14 { baseline, studies })
+}
+
+impl Fig14 {
+    /// The study table.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Fig. 14b — modular redundancy on AscTec Pelican (DroNet @ 178 Hz)",
+            &["configuration", "payload (g)", "roof (m/s)", "velocity loss (%)"],
+        );
+        t.push([
+            "1× TX2 (baseline)".to_string(),
+            num(self.baseline.payload_mass().get(), 0),
+            num(self.studies[0].baseline_roof.get(), 2),
+            num(0.0, 1),
+        ]);
+        for s in &self.studies {
+            t.push([
+                format!("{}× TX2", s.replicas),
+                num(s.system.payload_mass().get(), 0),
+                num(s.redundant_roof.get(), 2),
+                num(s.velocity_loss() * 100.0, 1),
+            ]);
+        }
+        t
+    }
+
+    /// The two-roofline chart with the 178 Hz operating point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis/plot errors.
+    pub fn chart(&self) -> Result<Chart, Box<dyn std::error::Error>> {
+        let dual = &self.studies[0];
+        let base_roofline = self.baseline.roofline()?;
+        let dual_roofline = dual.system.roofline()?;
+        let v = base_roofline.velocity_at(Hertz::new(178.0));
+        Ok(roofline_chart(
+            "Modular redundancy (Fig. 14b)",
+            &[
+                ("Roofline — TX2".into(), base_roofline),
+                ("Roofline — 2× TX2".into(), dual_roofline),
+            ],
+            &[OperatingPoint {
+                label: "DroNet on TX2 (178 Hz)".into(),
+                rate: Hertz::new(178.0),
+                velocity: v,
+            }],
+            Hertz::new(1.0),
+            Hertz::new(400.0),
+        )?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dual_redundancy_costs_velocity() {
+        // Paper: dual-TX2 redundancy reduces safe velocity ~33 %. With the
+        // calibrated Pelican the loss is of the same order (10–40 %).
+        let fig = run().unwrap();
+        let loss = fig.studies[0].velocity_loss() * 100.0;
+        assert!(loss > 5.0 && loss < 45.0, "loss = {loss}%");
+    }
+
+    #[test]
+    fn more_replicas_lose_more() {
+        let fig = run().unwrap();
+        assert!(fig.studies[1].velocity_loss() > fig.studies[0].velocity_loss());
+    }
+
+    #[test]
+    fn table_and_chart_render() {
+        let fig = run().unwrap();
+        let t = fig.table();
+        assert_eq!(t.rows().len(), 3);
+        assert!(t.to_text().contains("2× TX2"));
+        let svg = fig.chart().unwrap().render_svg(720, 480).unwrap();
+        assert!(svg.contains("178"));
+    }
+}

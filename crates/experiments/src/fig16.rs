@@ -1,0 +1,234 @@
+//! Fig. 16c — §VII pitfalls in designing hardware accelerators: Navion and
+//! PULP-DroNet characterized on a nano-UAV.
+//!
+//! Both chips are impressive in isolation (172 FPS @ 2 mW; 6 FPS @ 64 mW)
+//! yet both land *left* of the nano-UAV's knee: PULP-DroNet needs 4.33×
+//! more end-to-end throughput and the Navion-based SPA pipeline 21.1×.
+
+use f1_components::{names, Catalog};
+use f1_plot::Chart;
+use f1_skyline::chart::{roofline_chart, OperatingPoint};
+use f1_skyline::UavSystem;
+use f1_units::{Hertz, Seconds};
+
+use crate::report::{num, Table};
+
+/// One accelerator evaluation.
+#[derive(Debug, Clone)]
+pub struct AcceleratorPoint {
+    /// Accelerator name.
+    pub accelerator: String,
+    /// Isolated headline throughput (Hz) — the number the chip's paper
+    /// advertises.
+    pub isolated_rate: f64,
+    /// End-to-end action throughput on the nano-UAV (Hz).
+    pub end_to_end_rate: f64,
+    /// The nano-UAV knee (Hz).
+    pub knee: f64,
+    /// Required end-to-end improvement to reach the knee.
+    pub required_speedup: f64,
+    /// Achieved safe velocity (m/s).
+    pub velocity: f64,
+}
+
+/// The Fig. 16 regeneration result.
+#[derive(Debug, Clone)]
+pub struct Fig16 {
+    /// PULP-DroNet then Navion.
+    pub points: Vec<AcceleratorPoint>,
+    /// The PULP system (for charting the nano roofline).
+    pub pulp_system: UavSystem,
+    /// The Navion SPA latency decomposition: (residual share, end-to-end
+    /// latency seconds).
+    pub navion_latency: Seconds,
+}
+
+/// Runs the §VII study.
+///
+/// # Errors
+///
+/// Propagates catalog errors (none for the paper catalog).
+pub fn run() -> Result<Fig16, Box<dyn std::error::Error>> {
+    let catalog = Catalog::paper();
+
+    // PULP-DroNet: full autonomy at 6 FPS.
+    let pulp = UavSystem::from_catalog(
+        &catalog,
+        names::NANO_UAV,
+        names::NANO_CAM_60,
+        names::PULP,
+        names::DRONET,
+    )?;
+    let pulp_analysis = pulp.analyze()?;
+
+    // Navion: 172 FPS SLAM inside a SPA pipeline whose other stages come
+    // from the MAVBench characterization; end-to-end 1.23 Hz.
+    let navion = UavSystem::from_catalog(
+        &catalog,
+        names::NANO_UAV,
+        names::NANO_CAM_60,
+        names::NAVION,
+        names::MAVBENCH_PD,
+    )?;
+    let navion_analysis = navion.analyze()?;
+    // Reconstruct the end-to-end latency from the MAVBench stage shares:
+    // residual (non-SLAM) share of the 1/1.1 Hz TX2 characterization plus
+    // Navion's 172 FPS SLAM.
+    let spa = catalog.algorithm(names::MAVBENCH_PD)?;
+    let residual = spa.residual_share_without("SLAM")? * (1.0 / 1.1);
+    let navion_latency = Seconds::new(residual + 1.0 / 172.0);
+
+    let points = vec![
+        AcceleratorPoint {
+            accelerator: "PULP-DroNet (64 mW)".into(),
+            isolated_rate: 6.0,
+            end_to_end_rate: pulp_analysis.bound.action_throughput.get(),
+            knee: pulp_analysis.bound.knee.rate.get(),
+            required_speedup: pulp_analysis.assessment.speedup_required(),
+            velocity: pulp_analysis.bound.velocity.get(),
+        },
+        AcceleratorPoint {
+            accelerator: "Navion SPA (2 mW SLAM)".into(),
+            isolated_rate: 172.0,
+            end_to_end_rate: navion_analysis.bound.action_throughput.get(),
+            knee: navion_analysis.bound.knee.rate.get(),
+            required_speedup: navion_analysis.assessment.speedup_required(),
+            velocity: navion_analysis.bound.velocity.get(),
+        },
+    ];
+    Ok(Fig16 {
+        points,
+        pulp_system: pulp,
+        navion_latency,
+    })
+}
+
+impl Fig16 {
+    /// The study table with the paper's factors alongside.
+    #[must_use]
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Fig. 16c — accelerator pitfalls on a nano-UAV",
+            &[
+                "accelerator",
+                "isolated (Hz)",
+                "end-to-end (Hz)",
+                "knee (Hz)",
+                "needed speedup (×)",
+                "paper (×)",
+                "v_safe (m/s)",
+            ],
+        );
+        let paper = [4.33, 21.1];
+        for (p, paper_factor) in self.points.iter().zip(paper) {
+            t.push([
+                p.accelerator.clone(),
+                num(p.isolated_rate, 0),
+                num(p.end_to_end_rate, 2),
+                num(p.knee, 1),
+                num(p.required_speedup, 2),
+                num(paper_factor, 2),
+                num(p.velocity, 2),
+            ]);
+        }
+        t
+    }
+
+    /// The nano-UAV roofline with both accelerator operating points.
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis/plot errors.
+    pub fn chart(&self) -> Result<Chart, Box<dyn std::error::Error>> {
+        let roofline = self.pulp_system.roofline()?;
+        let ops: Vec<OperatingPoint> = self
+            .points
+            .iter()
+            .map(|p| OperatingPoint {
+                label: format!("{} @ {:.2} Hz", p.accelerator, p.end_to_end_rate),
+                rate: Hertz::new(p.end_to_end_rate),
+                velocity: f1_units::MetersPerSecond::new(p.velocity),
+            })
+            .collect();
+        Ok(roofline_chart(
+            "Custom accelerators on a nano-UAV (Fig. 16c)",
+            &[("nano-UAV".into(), roofline)],
+            &ops,
+            Hertz::new(0.5),
+            Hertz::new(300.0),
+        )?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pulp_needs_4_33x() {
+        // §VII: "the performance of the PULP hardware accelerator has to be
+        // increased by 4.33× to achieve a peak velocity".
+        let fig = run().unwrap();
+        let pulp = &fig.points[0];
+        assert!((pulp.end_to_end_rate - 6.0).abs() < 1e-9);
+        assert!(
+            (pulp.required_speedup - 4.33).abs() < 0.3,
+            "speedup = {}",
+            pulp.required_speedup
+        );
+    }
+
+    #[test]
+    fn navion_needs_21x() {
+        // §VII: Navion's SPA pipeline at 1.23 Hz vs a 26 Hz knee ⇒ 21.1×.
+        let fig = run().unwrap();
+        let navion = &fig.points[1];
+        assert!((navion.end_to_end_rate - 1.23).abs() < 0.02);
+        assert!(
+            (navion.required_speedup - 21.1).abs() < 2.0,
+            "speedup = {}",
+            navion.required_speedup
+        );
+    }
+
+    #[test]
+    fn knee_near_26hz() {
+        let fig = run().unwrap();
+        for p in &fig.points {
+            assert!((p.knee - 26.0).abs() < 2.0, "knee = {}", p.knee);
+        }
+    }
+
+    #[test]
+    fn navion_latency_near_810ms() {
+        // §VII: "integrating into the complete SPA pipeline increases the
+        // overall latency to 810 ms".
+        let fig = run().unwrap();
+        assert!(
+            (fig.navion_latency.as_millis() - 810.0).abs() < 20.0,
+            "latency = {} ms",
+            fig.navion_latency.as_millis()
+        );
+    }
+
+    #[test]
+    fn low_power_pitfall_leaves_velocity_on_the_table() {
+        // §I phrases PULP's shortfall as a "4.3× degradation"; Fig. 16c
+        // clarifies this is the *throughput* gap to the knee (the exact
+        // Eq. 4 velocity loss at 6 Hz is smaller because the curve is
+        // already near its asymptote). Assert both readings: a > 4×
+        // throughput gap and a measurable velocity shortfall vs the roof.
+        let fig = run().unwrap();
+        assert!(fig.points[0].required_speedup > 4.0);
+        let roofline = fig.pulp_system.roofline().unwrap();
+        let shortfall = 1.0 - fig.points[0].velocity / roofline.roof().get();
+        assert!(shortfall > 0.05, "shortfall only {shortfall}");
+    }
+
+    #[test]
+    fn outputs_render() {
+        let fig = run().unwrap();
+        assert_eq!(fig.table().rows().len(), 2);
+        assert!(fig.chart().unwrap().render_svg(720, 480).is_ok());
+    }
+}

@@ -1,0 +1,48 @@
+//! # `f1-experiments` — regenerators for every figure and table of the paper
+//!
+//! Each module reproduces one artifact of the ISPASS 2022 F-1 paper's
+//! evaluation: it runs the corresponding study on this workspace's
+//! implementation and emits the same rows/series the paper reports, plus
+//! an SVG/ASCII rendering of the figure. `EXPERIMENTS.md` at the workspace
+//! root records paper-vs-measured values for every artifact.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`fig02`] | Fig. 2b — UAV size classes vs battery & endurance |
+//! | [`fig04`] | Fig. 4a–c — conceptual bounds / optimal design / payload effect |
+//! | [`fig05`] | Fig. 5a/b — safety-model sweep and the F-1 plot |
+//! | [`fig07`] | Fig. 7a/b — flight validation trajectories and model error |
+//! | [`fig09`] | Fig. 9 — safe velocity vs payload weight |
+//! | [`fig11`] | Fig. 11b — Intel NCS vs Nvidia AGX on DJI Spark (§VI-A) |
+//! | [`fig12`] | Fig. 12 — heatsink weight vs TDP |
+//! | [`fig13`] | Fig. 13b — autonomy algorithms on AscTec Pelican (§VI-B) |
+//! | [`fig14`] | Fig. 14b — dual-modular-redundancy study (§VI-C) |
+//! | [`fig15`] | Fig. 15b — full-system characterization (§VI-D) |
+//! | [`fig16`] | Fig. 16c — Navion / PULP-DroNet accelerator pitfalls (§VII) |
+//! | [`tables`] | Table I (drone specs), Table II (knobs), Table III (case studies) |
+//! | [`ablations`] | beyond-paper studies: Eq. 1–3 pipeline-sim validation, drag ablation, linearization error |
+//!
+//! Every `fig*` module exposes a `run(...)` returning a result struct with
+//! `table()` (the printed rows) and, where the paper has a chart,
+//! `chart()`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod fig02;
+pub mod fig04;
+pub mod fig05;
+pub mod fig07;
+pub mod fig09;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod output;
+pub mod report;
+pub mod tables;
+
+pub use report::Table;

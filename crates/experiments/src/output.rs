@@ -1,0 +1,93 @@
+//! Writing experiment artifacts (text, CSV, SVG) to an output directory.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::report::Table;
+
+/// A sink for experiment artifacts.
+#[derive(Debug, Clone)]
+pub struct OutputDir {
+    root: PathBuf,
+}
+
+impl OutputDir {
+    /// Creates (if needed) and wraps an output directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the directory cannot be created.
+    pub fn create(root: impl AsRef<Path>) -> std::io::Result<Self> {
+        fs::create_dir_all(root.as_ref())?;
+        Ok(Self {
+            root: root.as_ref().to_owned(),
+        })
+    }
+
+    /// The directory path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.root
+    }
+
+    /// Writes a string artifact and returns its path.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error on failure.
+    pub fn write(&self, name: &str, contents: &str) -> std::io::Result<PathBuf> {
+        let path = self.root.join(name);
+        let mut f = fs::File::create(&path)?;
+        f.write_all(contents.as_bytes())?;
+        Ok(path)
+    }
+
+    /// Writes a table as both `.txt` and `.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error on failure.
+    pub fn write_table(&self, stem: &str, table: &Table) -> std::io::Result<()> {
+        self.write(&format!("{stem}.txt"), &table.to_text())?;
+        self.write(&format!("{stem}.csv"), &table.to_csv())?;
+        Ok(())
+    }
+}
+
+/// Resolves the output directory for experiment binaries: the first CLI
+/// argument if given, else `./figures`.
+#[must_use]
+pub fn default_output_dir() -> PathBuf {
+    std::env::args()
+        .nth(1)
+        .map_or_else(|| PathBuf::from("figures"), PathBuf::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_and_read_back() {
+        let dir = std::env::temp_dir().join(format!("f1-exp-test-{}", std::process::id()));
+        let out = OutputDir::create(&dir).unwrap();
+        let p = out.write("hello.txt", "world").unwrap();
+        assert_eq!(fs::read_to_string(p).unwrap(), "world");
+
+        let mut t = Table::new("t", &["a"]);
+        t.push(["1"]);
+        out.write_table("t", &t).unwrap();
+        assert!(dir.join("t.txt").exists());
+        assert!(dir.join("t.csv").exists());
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn output_path_accessor() {
+        let dir = std::env::temp_dir().join(format!("f1-exp-test2-{}", std::process::id()));
+        let out = OutputDir::create(&dir).unwrap();
+        assert_eq!(out.path(), dir.as_path());
+        fs::remove_dir_all(dir).unwrap();
+    }
+}

@@ -1,0 +1,189 @@
+//! Aligned text tables and CSV output for experiment results.
+
+/// A simple titled table.
+///
+/// # Examples
+///
+/// ```
+/// use f1_experiments::Table;
+/// let mut t = Table::new("demo", &["a", "b"]);
+/// t.push(["1", "2"]);
+/// let text = t.to_text();
+/// assert!(text.contains("demo"));
+/// assert!(text.contains('1'));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with a title and column headers.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// The table's title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column headers.
+    #[must_use]
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows.
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push<I, S>(&mut self, row: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Renders the table as aligned monospaced text.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+                .trim_end()
+                .to_owned()
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as CSV (naive quoting: cells containing commas or
+    /// quotes are double-quoted).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let quote = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| quote(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats an `f64` with a fixed number of decimals (helper for rows).
+#[must_use]
+pub fn num(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("sample", &["name", "value"]);
+        t.push(["alpha", "1"]);
+        t.push(["beta, the second", "2"]);
+        t
+    }
+
+    #[test]
+    fn text_alignment() {
+        let text = sample().to_text();
+        assert!(text.contains("== sample =="));
+        let lines: Vec<&str> = text.lines().collect();
+        // header, rule, two rows, plus title.
+        assert_eq!(lines.len(), 5);
+        // The "value" column starts at the same offset in every data line.
+        let header_off = lines[1].find("value").unwrap();
+        assert_eq!(lines[3].find('1'), Some(header_off));
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let csv = sample().to_csv();
+        assert!(csv.contains("\"beta, the second\""));
+        assert!(csv.starts_with("name,value\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("bad", &["only"]);
+        t.push(["a", "b"]);
+    }
+
+    #[test]
+    fn num_helper() {
+        assert_eq!(num(3.14159, 2), "3.14");
+        assert_eq!(num(10.0, 0), "10");
+    }
+
+    #[test]
+    fn accessors() {
+        let t = sample();
+        assert_eq!(t.title(), "sample");
+        assert_eq!(t.headers().len(), 2);
+        assert_eq!(t.rows().len(), 2);
+    }
+}

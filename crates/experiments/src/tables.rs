@@ -1,0 +1,161 @@
+//! Tables I–III of the paper.
+
+use f1_components::{names, Catalog};
+use f1_skyline::Knobs;
+
+use crate::report::{num, Table};
+
+/// Table I — specification of the four custom validation UAVs.
+///
+/// # Errors
+///
+/// Propagates catalog errors (none for the paper catalog).
+pub fn table1_specs() -> Result<Table, Box<dyn std::error::Error>> {
+    let catalog = Catalog::paper();
+    let airframe = catalog.airframe(names::CUSTOM_S500)?;
+    let mut t = Table::new(
+        "Table I — custom validation UAV specifications",
+        &[
+            "component",
+            "UAV-A",
+            "UAV-B",
+            "UAV-C",
+            "UAV-D",
+        ],
+    );
+    let uavs = Catalog::validation_uavs();
+    t.push([
+        "flight controller".to_string(),
+        "NXP FMUk66".into(),
+        "NXP FMUk66".into(),
+        "NXP FMUk66".into(),
+        "NXP FMUk66".into(),
+    ]);
+    let base = num(airframe.base_mass().get(), 0);
+    t.push([
+        "base weight (g)".to_string(),
+        base.clone(),
+        base.clone(),
+        base.clone(),
+        base,
+    ]);
+    t.push([
+        "battery".to_string(),
+        "3S 5000 mAh, 11.1 V".into(),
+        "3S 5000 mAh, 11.1 V".into(),
+        "3S 5000 mAh, 11.1 V".into(),
+        "3S 5000 mAh, 11.1 V".into(),
+    ]);
+    let mut compute_row = vec!["onboard compute".to_string()];
+    compute_row.extend(uavs.iter().map(|u| u.compute.clone()));
+    t.push(compute_row);
+    let pull = format!("≈{:.0} gf", airframe.rotor_pull().get());
+    t.push([
+        "motor pull (single)".to_string(),
+        pull.clone(),
+        pull.clone(),
+        pull.clone(),
+        pull,
+    ]);
+    let mut payload_row = vec!["payload weight (g)".to_string()];
+    payload_row.extend(uavs.iter().map(|u| num(u.payload.get(), 0)));
+    t.push(payload_row);
+    Ok(t)
+}
+
+/// Table II — the Skyline knob inventory.
+#[must_use]
+pub fn table2_knobs() -> Table {
+    let mut t = Table::new(
+        "Table II — knobs available in the Skyline tool",
+        &["parameter", "unit", "description"],
+    );
+    for k in Knobs::table2() {
+        t.push([k.parameter, k.unit, k.description]);
+    }
+    t
+}
+
+/// Table III — the evaluation case-study overview.
+#[must_use]
+pub fn table3_case_studies() -> Table {
+    let mut t = Table::new(
+        "Table III — evaluation case studies",
+        &["case study", "onboard compute", "autonomy algorithm", "redundancy", "UAV type"],
+    );
+    t.push([
+        "VI-A onboard compute",
+        "Intel NCS & Nvidia AGX",
+        "DroNet",
+        "none",
+        "DJI Spark",
+    ]);
+    t.push([
+        "VI-B autonomy algorithms",
+        "Nvidia TX2",
+        "Sense-Plan-Act & TrailNet & DroNet",
+        "none",
+        "AscTec Pelican",
+    ]);
+    t.push([
+        "VI-C payload redundancies",
+        "two Nvidia TX2",
+        "DroNet",
+        "dual modular redundancy",
+        "AscTec Pelican",
+    ]);
+    t.push([
+        "VI-D full UAV system",
+        "TX2 / AGX / NCS / Ras-Pi",
+        "CAD2RL / DroNet / TrailNet",
+        "none",
+        "AscTec Pelican & DJI Spark",
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_payloads() {
+        let t = table1_specs().unwrap();
+        let payload_row = t
+            .rows()
+            .iter()
+            .find(|r| r[0].starts_with("payload"))
+            .unwrap();
+        assert_eq!(payload_row[1], "590");
+        assert_eq!(payload_row[2], "800");
+        assert_eq!(payload_row[3], "640");
+        assert_eq!(payload_row[4], "690");
+    }
+
+    #[test]
+    fn table1_compute_assignment() {
+        let t = table1_specs().unwrap();
+        let row = t
+            .rows()
+            .iter()
+            .find(|r| r[0].starts_with("onboard"))
+            .unwrap();
+        assert_eq!(row[1], names::RAS_PI4);
+        assert_eq!(row[2], names::UPBOARD);
+        assert_eq!(row[3], names::RAS_PI4);
+    }
+
+    #[test]
+    fn table2_lists_all_knobs() {
+        let t = table2_knobs();
+        assert_eq!(t.rows().len(), 8);
+        assert!(t.to_text().contains("Sensor Framerate"));
+    }
+
+    #[test]
+    fn table3_lists_four_case_studies() {
+        let t = table3_case_studies();
+        assert_eq!(t.rows().len(), 4);
+        assert!(t.to_text().contains("dual modular redundancy"));
+    }
+}

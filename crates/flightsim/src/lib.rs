@@ -1,0 +1,63 @@
+//! # `f1-flightsim` — flight simulation and the stop-before-obstacle protocol
+//!
+//! The paper validates the F-1 model with real flights: four custom S500
+//! drones fly at commanded velocities toward an obstacle 3 m away and brake
+//! on detection; the measured safe velocity is compared with the model's
+//! prediction, showing the model is optimistic by 5.1–9.5 %. This crate
+//! reproduces that experiment in simulation.
+//!
+//! The simulator deliberately includes the effects the F-1 model *omits* —
+//! the paper names them as its error sources (§IV):
+//!
+//! 1. **Brake-engagement lag**: the attitude loop and motors take tens of
+//!    milliseconds to establish the braking attitude
+//!    ([`VehicleDynamics::response_lag`]).
+//! 2. **Aerodynamic drag** ([`f1_model::physics::DragModel`]).
+//! 3. **Payload jerk / disturbances**: mounting compliance and gusts
+//!    perturb the deceleration ([`DisturbanceModel`]).
+//! 4. **Discrete decisions**: the autonomy loop reacts only at its tick
+//!    (worst-case blind time, which Eq. 4 *does* model).
+//!
+//! Searching the simulator for the largest velocity with zero infractions
+//! over repeated trials therefore reproduces the paper's model-vs-flight
+//! error band by the same mechanism as the real experiment.
+//!
+//! # Examples
+//!
+//! ```
+//! use f1_flightsim::{StopScenario, VehicleDynamics};
+//! use f1_model::physics::DragModel;
+//! use f1_units::*;
+//!
+//! // UAV-A-like vehicle: 1.62 kg, F-1 a_max ≈ 0.8 m/s².
+//! let dynamics = VehicleDynamics::new(
+//!     Kilograms::new(1.62),
+//!     MetersPerSecondSquared::new(0.8),
+//!     MetersPerSecondSquared::new(0.8),
+//!     Seconds::new(0.08),
+//!     DragModel::quadratic(0.05)?,
+//! )?;
+//! let scenario = StopScenario::paper_validation(dynamics, Hertz::new(10.0), Meters::new(3.0));
+//! let outcome = scenario.run_trial(MetersPerSecond::new(1.5), 42);
+//! assert!(!outcome.infraction); // 1.5 m/s always stops safely (paper Fig. 7a)
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod disturbance;
+mod dynamics;
+mod pid;
+mod planar;
+mod scenario;
+mod search;
+mod validation;
+
+pub use disturbance::DisturbanceModel;
+pub use dynamics::{VehicleDynamics, VehicleState};
+pub use planar::{PlanarDynamics, PlanarState};
+pub use pid::Pid;
+pub use scenario::{DecisionPhase, StopScenario, Trajectory, TrajectorySample, TrialOutcome};
+pub use search::{find_safe_velocity, SafeVelocityResult, SearchConfig};
+pub use validation::{validate_custom_drones, DroneValidation, ValidationConfig, ValidationReport};

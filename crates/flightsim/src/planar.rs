@@ -1,0 +1,360 @@
+//! Planar (x–z) quadcopter dynamics with pitch attitude.
+//!
+//! The longitudinal model in [`dynamics`](crate::dynamics) abstracts
+//! braking as a lagged acceleration command. This module models the
+//! mechanism underneath: a quadcopter brakes by *pitching*, the thrust
+//! vector tilts, and the vertical component must still carry the weight —
+//! so a low thrust-to-weight vehicle either sags in altitude or brakes
+//! gently. It exists to validate the 1-D abstraction (see the
+//! `planar_ablation` experiment) and to expose thrust-saturation effects
+//! the F-1 model's Eq. 5 hints at.
+//!
+//! Conventions: `x` forward, `z` up, pitch `θ > 0` tilts the thrust vector
+//! backward (braking a forward-moving vehicle).
+
+use f1_model::physics::DragModel;
+use f1_model::ModelError;
+use f1_units::{
+    Kilograms, Meters, MetersPerSecond, Newtons, Radians, Seconds, STANDARD_GRAVITY,
+};
+
+/// The planar vehicle state.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PlanarState {
+    /// Forward position (m).
+    pub x: Meters,
+    /// Altitude relative to the start (m).
+    pub z: Meters,
+    /// Forward velocity (m/s).
+    pub vx: MetersPerSecond,
+    /// Vertical velocity (m/s).
+    pub vz: MetersPerSecond,
+    /// Pitch attitude (rad); positive = thrust tilted against travel.
+    pub pitch: Radians,
+}
+
+/// Planar dynamics parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanarDynamics {
+    mass: Kilograms,
+    max_thrust: Newtons,
+    attitude_lag: Seconds,
+    tilt_limit: Radians,
+    drag: DragModel,
+}
+
+impl PlanarDynamics {
+    /// Creates a planar dynamics model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::OutOfDomain`] for non-positive mass, thrust,
+    /// lag or tilt limit, and [`ModelError::InsufficientThrust`] when the
+    /// vehicle cannot hover at all.
+    pub fn new(
+        mass: Kilograms,
+        max_thrust: Newtons,
+        attitude_lag: Seconds,
+        tilt_limit: Radians,
+        drag: DragModel,
+    ) -> Result<Self, ModelError> {
+        for (name, v) in [
+            ("mass", mass.get()),
+            ("max thrust", max_thrust.get()),
+            ("attitude lag", attitude_lag.get()),
+            ("tilt limit", tilt_limit.get()),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(ModelError::OutOfDomain {
+                    parameter: name,
+                    value: v,
+                    expected: "finite and > 0",
+                });
+            }
+        }
+        let weight = mass.get() * STANDARD_GRAVITY;
+        if max_thrust.get() <= weight {
+            return Err(ModelError::InsufficientThrust {
+                available_thrust_n: max_thrust.get(),
+                required_weight_n: weight,
+            });
+        }
+        Ok(Self {
+            mass,
+            max_thrust,
+            attitude_lag,
+            tilt_limit,
+            drag,
+        })
+    }
+
+    /// Builds the planar model from an F-1 body-dynamics estimate.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PlanarDynamics::new`].
+    pub fn from_body_dynamics(
+        body: &f1_model::physics::BodyDynamics,
+        attitude_lag: Seconds,
+        tilt_limit: Radians,
+        drag: DragModel,
+    ) -> Result<Self, ModelError> {
+        Self::new(
+            body.total_mass(),
+            body.total_thrust(),
+            attitude_lag,
+            tilt_limit,
+            drag,
+        )
+    }
+
+    /// Vehicle mass.
+    #[must_use]
+    pub fn mass(&self) -> Kilograms {
+        self.mass
+    }
+
+    /// Maximum total thrust.
+    #[must_use]
+    pub fn max_thrust(&self) -> Newtons {
+        self.max_thrust
+    }
+
+    /// The tilt limit.
+    #[must_use]
+    pub fn tilt_limit(&self) -> Radians {
+        self.tilt_limit
+    }
+
+    /// The braking pitch that commands a deceleration `a` in coordinated
+    /// flight: `θ = atan(a/g)`, clipped to the tilt limit.
+    #[must_use]
+    pub fn brake_pitch_for(&self, decel: f64) -> Radians {
+        let theta = (decel.max(0.0) / STANDARD_GRAVITY).atan();
+        Radians::new(theta.min(self.tilt_limit.get()))
+    }
+
+    /// Advances the state by `dt` under a commanded pitch. The altitude
+    /// controller requests `T = m·g/cos θ` (coordinated flight) but is
+    /// clamped to the available thrust — an over-tilted, thrust-limited
+    /// vehicle sags.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not strictly positive.
+    #[must_use]
+    pub fn step(&self, state: PlanarState, pitch_cmd: Radians, dt: Seconds) -> PlanarState {
+        assert!(dt.get() > 0.0, "dt must be positive, got {dt}");
+        let dt_s = dt.get();
+        // Attitude loop: first-order tracking of the clipped command.
+        let cmd = pitch_cmd
+            .get()
+            .clamp(-self.tilt_limit.get(), self.tilt_limit.get());
+        let alpha = (dt_s / self.attitude_lag.get()).min(1.0);
+        let pitch = state.pitch.get() + (cmd - state.pitch.get()) * alpha;
+
+        let m = self.mass.get();
+        let weight = m * STANDARD_GRAVITY;
+        // Altitude-hold thrust demand, clamped to what the rotors give.
+        let demand = weight / pitch.cos().abs().max(0.2);
+        let thrust = demand.min(self.max_thrust.get());
+
+        let vx = state.vx.get();
+        let drag_ax = self.drag.force(state.vx.abs()).get() / m * vx.signum();
+        // θ > 0 tilts the thrust vector backward: decelerating +x motion.
+        let ax = -thrust * pitch.sin() / m - drag_ax;
+        let az = thrust * pitch.cos() / m - STANDARD_GRAVITY;
+
+        let new_vx = vx + ax * dt_s;
+        let new_vz = state.vz.get() + az * dt_s;
+        PlanarState {
+            x: Meters::new(state.x.get() + 0.5 * (vx + new_vx) * dt_s),
+            z: Meters::new(state.z.get() + 0.5 * (state.vz.get() + new_vz) * dt_s),
+            vx: MetersPerSecond::new(new_vx),
+            vz: MetersPerSecond::new(new_vz),
+            pitch: Radians::new(pitch),
+        }
+    }
+
+    /// Simulates a full braking manoeuvre from forward speed `v0`: command
+    /// the braking pitch for `decel` until the vehicle stops (or the step
+    /// budget runs out), and report the stopping distance and the maximum
+    /// altitude sag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not strictly positive (via [`step`](Self::step)).
+    #[must_use]
+    pub fn brake_to_stop(
+        &self,
+        v0: MetersPerSecond,
+        decel: f64,
+        dt: Seconds,
+    ) -> (Meters, Meters) {
+        let mut state = PlanarState {
+            vx: v0,
+            ..PlanarState::default()
+        };
+        let pitch_cmd = self.brake_pitch_for(decel);
+        let mut max_sag = 0.0f64;
+        for _ in 0..600_000 {
+            state = self.step(state, pitch_cmd, dt);
+            max_sag = max_sag.max(-state.z.get());
+            if state.vx.get() <= 0.0 {
+                break;
+            }
+        }
+        (state.x, Meters::new(max_sag))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f1_units::Degrees;
+
+    /// UAV-A-class planar vehicle (1.62 kg, 1880 gf of thrust).
+    fn uav_a() -> PlanarDynamics {
+        PlanarDynamics::new(
+            Kilograms::new(1.62),
+            f1_units::GramForce::new(1880.0).to_newtons(),
+            Seconds::new(0.08),
+            Degrees::new(35.0).to_radians(),
+            DragModel::none(),
+        )
+        .unwrap()
+    }
+
+    fn hover_step_count() -> usize {
+        2000
+    }
+
+    #[test]
+    fn rejects_underpowered_vehicle() {
+        let e = PlanarDynamics::new(
+            Kilograms::new(2.0),
+            f1_units::GramForce::new(1740.0).to_newtons(),
+            Seconds::new(0.1),
+            Degrees::new(30.0).to_radians(),
+            DragModel::none(),
+        );
+        assert!(matches!(e, Err(ModelError::InsufficientThrust { .. })));
+    }
+
+    #[test]
+    fn level_hover_holds_altitude() {
+        let d = uav_a();
+        let mut s = PlanarState::default();
+        for _ in 0..hover_step_count() {
+            s = d.step(s, Radians::ZERO, Seconds::new(0.001));
+        }
+        assert!(s.z.get().abs() < 0.01, "altitude drifted to {}", s.z);
+        assert!(s.vx.get().abs() < 1e-9);
+    }
+
+    #[test]
+    fn braking_pitch_decelerates_forward_motion() {
+        let d = uav_a();
+        let (stop, _) = d.brake_to_stop(MetersPerSecond::new(2.0), 0.7, Seconds::new(0.001));
+        let kinematic = 2.0 * 2.0 / (2.0 * 0.7);
+        // The planar stop must be at least the kinematic distance (attitude
+        // lag only adds), and within a plausible factor of it.
+        assert!(stop.get() >= kinematic * 0.95, "stop {stop} vs {kinematic}");
+        assert!(stop.get() < kinematic * 1.5, "stop {stop} vs {kinematic}");
+    }
+
+    #[test]
+    fn gentle_braking_keeps_altitude() {
+        // UAV-A's T/W (≈1.16) covers the thrust demand at the shallow
+        // braking pitch for a ≈ 0.7 m/s² ⇒ negligible sag.
+        let d = uav_a();
+        let (_, sag) = d.brake_to_stop(MetersPerSecond::new(2.0), 0.7, Seconds::new(0.001));
+        assert!(sag.get() < 0.05, "sag {sag}");
+    }
+
+    #[test]
+    fn aggressive_braking_saturates_thrust_and_sags() {
+        // Demanding a 1 g stop pins the pitch at the 35° tilt limit; the
+        // mg/cos 35° thrust demand (1.22·mg) exceeds the 1.16 T/W budget,
+        // so the vehicle sags measurably while braking.
+        let d = uav_a();
+        let (_, sag) = d.brake_to_stop(MetersPerSecond::new(4.0), 10.0, Seconds::new(0.001));
+        assert!(sag.get() > 0.02, "expected sag, got {sag}");
+    }
+
+    #[test]
+    fn tilt_limit_enforced() {
+        let d = uav_a();
+        // A 10 m/s² brake wants atan(10/9.8) ≈ 45.6° but the frame caps at 35°.
+        let pitch = d.brake_pitch_for(10.0);
+        assert!((pitch.to_degrees().get() - 35.0).abs() < 1e-9);
+        let mut s = PlanarState {
+            vx: MetersPerSecond::new(3.0),
+            ..PlanarState::default()
+        };
+        for _ in 0..1000 {
+            s = d.step(s, Radians::new(2.0), Seconds::new(0.001));
+        }
+        assert!(s.pitch.get() <= d.tilt_limit().get() + 1e-9);
+    }
+
+    #[test]
+    fn drag_shortens_planar_stop() {
+        let no_drag = uav_a();
+        let with_drag = PlanarDynamics::new(
+            Kilograms::new(1.62),
+            f1_units::GramForce::new(1880.0).to_newtons(),
+            Seconds::new(0.08),
+            Degrees::new(35.0).to_radians(),
+            DragModel::quadratic(0.3).unwrap(),
+        )
+        .unwrap();
+        let v = MetersPerSecond::new(2.5);
+        let (d1, _) = no_drag.brake_to_stop(v, 0.7, Seconds::new(0.001));
+        let (d2, _) = with_drag.brake_to_stop(v, 0.7, Seconds::new(0.001));
+        assert!(d2 < d1);
+    }
+
+    #[test]
+    fn planar_agrees_with_longitudinal_abstraction() {
+        // The 1-D model with brake limit a and lag τ should predict nearly
+        // the same stopping distance as the planar mechanism commanding
+        // the same deceleration (this is the abstraction's justification).
+        use crate::dynamics::{VehicleDynamics, VehicleState};
+        let a = 0.7;
+        let planar = uav_a();
+        let (planar_stop, _) = planar.brake_to_stop(MetersPerSecond::new(2.0), a, Seconds::new(0.001));
+
+        let longitudinal = VehicleDynamics::new(
+            Kilograms::new(1.62),
+            f1_units::MetersPerSecondSquared::new(a),
+            f1_units::MetersPerSecondSquared::new(a),
+            Seconds::new(0.08),
+            DragModel::none(),
+        )
+        .unwrap();
+        let mut s = VehicleState {
+            velocity: MetersPerSecond::new(2.0),
+            ..VehicleState::default()
+        };
+        let mut steps = 0;
+        while s.velocity.get() > 0.0 && steps < 100_000 {
+            s = longitudinal.step(
+                s,
+                f1_units::MetersPerSecondSquared::new(-a),
+                f1_units::MetersPerSecondSquared::ZERO,
+                Seconds::new(0.001),
+            );
+            steps += 1;
+        }
+        let rel = (planar_stop.get() - s.position.get()).abs() / s.position.get();
+        assert!(rel < 0.10, "planar {} vs 1-D {} ({rel})", planar_stop, s.position);
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must be positive")]
+    fn zero_dt_rejected() {
+        let d = uav_a();
+        let _ = d.step(PlanarState::default(), Radians::ZERO, Seconds::ZERO);
+    }
+}

@@ -1,0 +1,238 @@
+//! Empirical safe-velocity search over repeated trials.
+//!
+//! The paper varies the commanded velocity "in the seed value
+//! neighborhood" and declares the largest zero-infraction velocity safe.
+//! This module automates that protocol with a bisection over the (noisy
+//! but practically monotone) safety predicate.
+
+use f1_units::MetersPerSecond;
+
+use crate::scenario::StopScenario;
+
+/// Search configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchConfig {
+    /// Upper bound of the scan (should comfortably exceed the expected
+    /// safe velocity).
+    pub v_max: MetersPerSecond,
+    /// Velocity resolution at which the search stops.
+    pub resolution: MetersPerSecond,
+    /// Trials per probed velocity (the paper uses five).
+    pub trials: usize,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        Self {
+            v_max: MetersPerSecond::new(20.0),
+            resolution: MetersPerSecond::new(0.01),
+            trials: 5,
+        }
+    }
+}
+
+/// Result of a safe-velocity search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SafeVelocityResult {
+    /// The largest velocity found safe at the configured resolution.
+    pub safe_velocity: MetersPerSecond,
+    /// Total trials simulated during the search.
+    pub trials_run: usize,
+    /// Whether even the smallest probed velocity was unsafe.
+    pub floor_unsafe: bool,
+}
+
+/// Bisects for the empirical safe velocity of a scenario.
+///
+/// The predicate "all `trials` trials at velocity v are infraction-free" is
+/// treated as monotone in `v`; disturbances make it slightly fuzzy, which
+/// mirrors the experimental reality the paper describes (2 m/s failing 2
+/// of 5 trials on UAV-A).
+///
+/// # Panics
+///
+/// Panics if the configuration has non-positive bounds, resolution, or
+/// zero trials.
+#[must_use]
+pub fn find_safe_velocity(
+    scenario: &StopScenario,
+    config: &SearchConfig,
+    seed: u64,
+) -> SafeVelocityResult {
+    assert!(config.v_max.get() > 0.0, "v_max must be positive");
+    assert!(config.resolution.get() > 0.0, "resolution must be positive");
+    assert!(config.trials > 0, "need at least one trial per probe");
+
+    let mut trials_run = 0usize;
+    let mut probe = |v: f64, probe_idx: u64| -> bool {
+        trials_run += config.trials;
+        scenario.is_velocity_safe(
+            MetersPerSecond::new(v),
+            config.trials,
+            seed.wrapping_mul(1_000_003).wrapping_add(probe_idx * 7919),
+        )
+    };
+
+    let mut lo = config.resolution.get();
+    let mut hi = config.v_max.get();
+    if !probe(lo, 0) {
+        return SafeVelocityResult {
+            safe_velocity: MetersPerSecond::ZERO,
+            trials_run,
+            floor_unsafe: true,
+        };
+    }
+    if probe(hi, 1) {
+        // The scan ceiling itself is safe; report it (caller picked v_max
+        // too low for this vehicle).
+        return SafeVelocityResult {
+            safe_velocity: config.v_max,
+            trials_run,
+            floor_unsafe: false,
+        };
+    }
+    let mut idx = 2u64;
+    while hi - lo > config.resolution.get() {
+        let mid = 0.5 * (lo + hi);
+        if probe(mid, idx) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        idx += 1;
+    }
+    SafeVelocityResult {
+        safe_velocity: MetersPerSecond::new(lo),
+        trials_run,
+        floor_unsafe: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamics::VehicleDynamics;
+    use f1_model::physics::DragModel;
+    use f1_model::safety::SafetyModel;
+    use f1_units::{Hertz, Kilograms, Meters, MetersPerSecondSquared, Seconds};
+
+    fn scenario(lag: f64) -> StopScenario {
+        let dynamics = VehicleDynamics::new(
+            Kilograms::new(1.62),
+            MetersPerSecondSquared::new(0.8),
+            MetersPerSecondSquared::new(0.8),
+            Seconds::new(lag),
+            DragModel::none(),
+        )
+        .unwrap();
+        StopScenario::new(dynamics, Hertz::new(10.0), Meters::new(3.0))
+    }
+
+    #[test]
+    fn found_velocity_is_below_model_prediction() {
+        // With actuation lag, the empirical safe velocity must sit a few
+        // percent below Eq. 4's prediction — the paper's core finding.
+        let s = scenario(0.08);
+        let result = find_safe_velocity(
+            &s,
+            &SearchConfig {
+                v_max: MetersPerSecond::new(5.0),
+                resolution: MetersPerSecond::new(0.005),
+                trials: 3,
+            },
+            1,
+        );
+        let model =
+            SafetyModel::new(MetersPerSecondSquared::new(0.8), Meters::new(3.0)).unwrap();
+        let v_pred = model.safe_velocity(Hertz::new(10.0).period()).get();
+        let v_sim = result.safe_velocity.get();
+        assert!(v_sim > 0.0 && !result.floor_unsafe);
+        let err = (v_pred - v_sim) / v_pred;
+        assert!(err > 0.0, "model should be optimistic: pred {v_pred}, sim {v_sim}");
+        assert!(err < 0.20, "error {err} implausibly large");
+        assert!(result.trials_run > 0);
+    }
+
+    #[test]
+    fn shorter_lag_means_smaller_error() {
+        let cfg = SearchConfig {
+            v_max: MetersPerSecond::new(5.0),
+            resolution: MetersPerSecond::new(0.005),
+            trials: 3,
+        };
+        let crisp = find_safe_velocity(&scenario(0.02), &cfg, 1).safe_velocity;
+        let sluggish = find_safe_velocity(&scenario(0.20), &cfg, 1).safe_velocity;
+        assert!(crisp > sluggish);
+    }
+
+    #[test]
+    fn hopeless_vehicle_reports_floor_unsafe() {
+        // A sensing range shorter than what even a crawl requires.
+        let dynamics = VehicleDynamics::new(
+            Kilograms::new(1.62),
+            MetersPerSecondSquared::new(0.01),
+            MetersPerSecondSquared::new(0.01),
+            Seconds::new(2.0),
+            DragModel::none(),
+        )
+        .unwrap();
+        let s = StopScenario::new(dynamics, Hertz::new(0.05), Meters::new(0.005));
+        let result = find_safe_velocity(
+            &s,
+            &SearchConfig {
+                v_max: MetersPerSecond::new(1.0),
+                resolution: MetersPerSecond::new(0.05),
+                trials: 1,
+            },
+            1,
+        );
+        assert!(result.floor_unsafe);
+        assert_eq!(result.safe_velocity, MetersPerSecond::ZERO);
+    }
+
+    #[test]
+    fn safe_ceiling_is_reported_as_ceiling() {
+        // Huge range: everything up to v_max is safe.
+        let dynamics = VehicleDynamics::new(
+            Kilograms::new(1.0),
+            MetersPerSecondSquared::new(10.0),
+            MetersPerSecondSquared::new(10.0),
+            Seconds::new(0.01),
+            DragModel::none(),
+        )
+        .unwrap();
+        let s = StopScenario::new(dynamics, Hertz::new(100.0), Meters::new(1000.0));
+        let cfg = SearchConfig {
+            v_max: MetersPerSecond::new(2.0),
+            resolution: MetersPerSecond::new(0.05),
+            trials: 1,
+        };
+        let result = find_safe_velocity(&s, &cfg, 3);
+        assert_eq!(result.safe_velocity, cfg.v_max);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let s = scenario(0.08);
+        let cfg = SearchConfig {
+            v_max: MetersPerSecond::new(5.0),
+            resolution: MetersPerSecond::new(0.01),
+            trials: 2,
+        };
+        let a = find_safe_velocity(&s, &cfg, 5);
+        let b = find_safe_velocity(&s, &cfg, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "trial")]
+    fn zero_trials_rejected() {
+        let s = scenario(0.08);
+        let cfg = SearchConfig {
+            v_max: MetersPerSecond::new(5.0),
+            resolution: MetersPerSecond::new(0.01),
+            trials: 0,
+        };
+        let _ = find_safe_velocity(&s, &cfg, 1);
+    }
+}

@@ -1,0 +1,258 @@
+//! End-to-end F-1 model validation against the simulated flights
+//! (paper §IV / Fig. 7).
+
+use f1_components::{names, Catalog};
+use f1_model::physics::DragModel;
+use f1_model::safety::SafetyModel;
+use f1_units::{Grams, Hertz, Meters, MetersPerSecond, Seconds};
+
+use crate::dynamics::VehicleDynamics;
+use crate::scenario::StopScenario;
+use crate::search::{find_safe_velocity, SafeVelocityResult, SearchConfig};
+
+/// Configuration of the validation campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationConfig {
+    /// Autonomy loop rate (the paper sets the MAVROS loop to 10 Hz).
+    pub decision_rate: Hertz,
+    /// Obstacle distance / sensing range (3 m in the paper).
+    pub sensing_range: Meters,
+    /// Actuation (attitude + motor) lag of the simulated vehicles.
+    pub response_lag: Seconds,
+    /// Quadratic drag coefficient, N/(m/s)².
+    pub drag_coefficient: f64,
+    /// Payload-jerk disturbance standard deviation, m/s².
+    pub disturbance_std: f64,
+    /// Trials per probed velocity (the paper uses five).
+    pub trials: usize,
+    /// Velocity search resolution.
+    pub resolution: MetersPerSecond,
+}
+
+impl Default for ValidationConfig {
+    fn default() -> Self {
+        // Lag/drag/jerk magnitudes are chosen so the simulated "real
+        // flight" shortfall lands in the paper's 5–10 % error band: a
+        // 200 ms attitude+motor engagement lag (S500-class frames with
+        // strapped-on payloads are sluggish), mild drag at ≤ 3 m/s, and a
+        // 0.04 m/s² payload-jerk disturbance.
+        Self {
+            decision_rate: Hertz::new(10.0),
+            sensing_range: Meters::new(3.0),
+            response_lag: Seconds::new(0.20),
+            drag_coefficient: 0.01,
+            disturbance_std: 0.04,
+            trials: 5,
+            resolution: MetersPerSecond::new(0.01),
+        }
+    }
+}
+
+/// Validation result for one drone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DroneValidation {
+    /// Drone label (`'A'`–`'D'`).
+    pub label: char,
+    /// Payload mass from Table I.
+    pub payload: Grams,
+    /// F-1 predicted safe velocity.
+    pub predicted: MetersPerSecond,
+    /// Simulated ("flight test") safe velocity.
+    pub simulated: MetersPerSecond,
+    /// `(predicted − simulated) / predicted · 100`. Positive = the model is
+    /// optimistic, as the paper observes.
+    pub error_percent: f64,
+    /// Raw search result (trial counts etc.).
+    pub search: SafeVelocityResult,
+}
+
+/// A full validation campaign over the Table I drones.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationReport {
+    /// Per-drone results, in Table I order (A, B, C, D).
+    pub drones: Vec<DroneValidation>,
+}
+
+impl ValidationReport {
+    /// Mean absolute model error across drones, in percent.
+    #[must_use]
+    pub fn mean_error_percent(&self) -> f64 {
+        if self.drones.is_empty() {
+            return 0.0;
+        }
+        self.drones.iter().map(|d| d.error_percent.abs()).sum::<f64>() / self.drones.len() as f64
+    }
+
+    /// Largest absolute model error, in percent.
+    #[must_use]
+    pub fn max_error_percent(&self) -> f64 {
+        self.drones
+            .iter()
+            .map(|d| d.error_percent.abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether the model over-predicted (was optimistic) for every drone —
+    /// the property §IV argues makes F-1 safe to design against.
+    #[must_use]
+    pub fn model_always_optimistic(&self) -> bool {
+        self.drones.iter().all(|d| d.error_percent >= 0.0)
+    }
+}
+
+/// Runs the §IV validation campaign: for each Table I drone, predict the
+/// safe velocity with the F-1 model, then measure it in the flight
+/// simulator (which includes lag, drag and jerk the model ignores), and
+/// report the per-drone error.
+///
+/// # Errors
+///
+/// Propagates catalog and model errors (the paper catalog is
+/// self-consistent, so these indicate programming errors in custom
+/// catalogs).
+pub fn validate_custom_drones(
+    catalog: &Catalog,
+    config: &ValidationConfig,
+    seed: u64,
+) -> Result<ValidationReport, Box<dyn std::error::Error>> {
+    let airframe = catalog.airframe(names::CUSTOM_S500)?;
+    let drag = DragModel::quadratic(config.drag_coefficient)?;
+    let mut drones = Vec::new();
+    for uav in Catalog::validation_uavs() {
+        let body = airframe.loaded_dynamics(uav.payload)?;
+        let a_max = body.a_max()?;
+        // Model prediction.
+        let safety = SafetyModel::new(a_max, config.sensing_range)?;
+        let predicted = safety.safe_velocity(config.decision_rate.period());
+        // Simulated flight test.
+        let vehicle = VehicleDynamics::from_body_dynamics(&body, config.response_lag, drag)?;
+        let scenario = StopScenario::new(vehicle, config.decision_rate, config.sensing_range)
+            .with_disturbance(
+                crate::disturbance::DisturbanceModel::gaussian(config.disturbance_std)?,
+            );
+        let search_cfg = SearchConfig {
+            v_max: MetersPerSecond::new(predicted.get() * 2.0),
+            resolution: config.resolution,
+            trials: config.trials,
+        };
+        let search = find_safe_velocity(&scenario, &search_cfg, seed ^ (uav.label as u64));
+        let simulated = search.safe_velocity;
+        let error_percent = (predicted.get() - simulated.get()) / predicted.get() * 100.0;
+        drones.push(DroneValidation {
+            label: uav.label,
+            payload: uav.payload,
+            predicted,
+            simulated,
+            error_percent,
+            search,
+        });
+    }
+    Ok(ValidationReport { drones })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> ValidationConfig {
+        ValidationConfig {
+            trials: 2,
+            resolution: MetersPerSecond::new(0.02),
+            ..ValidationConfig::default()
+        }
+    }
+
+    #[test]
+    fn validation_produces_four_drones_in_order() {
+        let catalog = Catalog::paper();
+        let report = validate_custom_drones(&catalog, &quick_config(), 42).unwrap();
+        let labels: Vec<char> = report.drones.iter().map(|d| d.label).collect();
+        assert_eq!(labels, vec!['A', 'B', 'C', 'D']);
+    }
+
+    #[test]
+    fn model_is_optimistic_single_digit_error() {
+        // The paper's headline: the F-1 model over-predicts by 5.1–9.5 %.
+        // Our simulator (lag + drag + jerk) must land in the same regime:
+        // strictly optimistic, error bounded by ~15 %.
+        let catalog = Catalog::paper();
+        let report = validate_custom_drones(&catalog, &quick_config(), 42).unwrap();
+        assert!(report.model_always_optimistic());
+        for d in &report.drones {
+            assert!(
+                d.error_percent > 0.5 && d.error_percent < 15.0,
+                "UAV-{}: error {:.2}% (pred {}, sim {})",
+                d.label,
+                d.error_percent,
+                d.predicted,
+                d.simulated
+            );
+        }
+        assert!(report.mean_error_percent() < 12.0);
+        assert!(report.max_error_percent() < 15.0);
+    }
+
+    #[test]
+    fn heavier_drones_are_slower() {
+        // Fig. 9's monotonicity, observed through the validation pipeline:
+        // payload order A (590 g) < C (640 g) < D (690 g) < B (800 g) must
+        // reverse-order the velocities.
+        let catalog = Catalog::paper();
+        let report = validate_custom_drones(&catalog, &quick_config(), 7).unwrap();
+        let by_label = |l: char| {
+            report
+                .drones
+                .iter()
+                .find(|d| d.label == l)
+                .unwrap()
+                .predicted
+                .get()
+        };
+        assert!(by_label('A') > by_label('C'));
+        assert!(by_label('C') > by_label('D'));
+        assert!(by_label('D') > by_label('B'));
+    }
+
+    #[test]
+    fn report_statistics() {
+        let report = ValidationReport {
+            drones: vec![
+                DroneValidation {
+                    label: 'A',
+                    payload: Grams::new(590.0),
+                    predicted: MetersPerSecond::new(2.0),
+                    simulated: MetersPerSecond::new(1.9),
+                    error_percent: 5.0,
+                    search: SafeVelocityResult {
+                        safe_velocity: MetersPerSecond::new(1.9),
+                        trials_run: 10,
+                        floor_unsafe: false,
+                    },
+                },
+                DroneValidation {
+                    label: 'B',
+                    payload: Grams::new(800.0),
+                    predicted: MetersPerSecond::new(1.0),
+                    simulated: MetersPerSecond::new(0.9),
+                    error_percent: 10.0,
+                    search: SafeVelocityResult {
+                        safe_velocity: MetersPerSecond::new(0.9),
+                        trials_run: 10,
+                        floor_unsafe: false,
+                    },
+                },
+            ],
+        };
+        assert!((report.mean_error_percent() - 7.5).abs() < 1e-12);
+        assert!((report.max_error_percent() - 10.0).abs() < 1e-12);
+        assert!(report.model_always_optimistic());
+    }
+
+    #[test]
+    fn empty_report_degenerates() {
+        let report = ValidationReport { drones: vec![] };
+        assert_eq!(report.mean_error_percent(), 0.0);
+        assert_eq!(report.max_error_percent(), 0.0);
+        assert!(report.model_always_optimistic());
+    }
+}

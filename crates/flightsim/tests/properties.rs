@@ -1,0 +1,85 @@
+//! Property-based tests of the flight simulator's physical sanity.
+
+use f1_flightsim::{StopScenario, VehicleDynamics};
+use f1_model::physics::DragModel;
+use f1_model::safety::SafetyModel;
+use f1_units::{Hertz, Kilograms, Meters, MetersPerSecond, MetersPerSecondSquared, Seconds};
+use proptest::prelude::*;
+
+fn scenario(a: f64, lag: f64, d: f64, rate: f64) -> StopScenario {
+    let dynamics = VehicleDynamics::new(
+        Kilograms::new(1.5),
+        MetersPerSecondSquared::new(a),
+        MetersPerSecondSquared::new(a),
+        Seconds::new(lag),
+        DragModel::none(),
+    )
+    .unwrap();
+    StopScenario::new(dynamics, Hertz::new(rate), Meters::new(d))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Stop position grows monotonically with commanded velocity.
+    #[test]
+    fn stop_position_monotone_in_velocity(
+        a in 0.5f64..5.0, v in 0.5f64..4.0, bump in 1.05f64..1.5
+    ) {
+        let s = scenario(a, 0.05, 3.0, 10.0);
+        let slow = s.run_trial(MetersPerSecond::new(v), 7).stop_position;
+        let fast = s.run_trial(MetersPerSecond::new(v * bump), 7).stop_position;
+        prop_assert!(fast > slow);
+    }
+
+    /// The noise-free simulated stop is never shorter than the Eq. 4 ideal
+    /// (lag only hurts), and exceeds it by at most ~v·τ plus the braking
+    /// build-up.
+    #[test]
+    fn simulated_stop_bounded_by_theory(a in 0.5f64..5.0, v in 0.5f64..4.0, lag in 0.01f64..0.3) {
+        let s = scenario(a, lag, 3.0, 10.0);
+        let out = s.run_trial(MetersPerSecond::new(v), 11);
+        let ideal = v * 0.1 + v * v / (2.0 * a); // blind + kinematic braking
+        prop_assert!(out.stop_position.get() >= ideal - 1e-6);
+        prop_assert!(
+            out.stop_position.get() <= ideal + 2.5 * v * lag + 0.05,
+            "stop {} vs ideal {} (lag {lag})",
+            out.stop_position.get(),
+            ideal
+        );
+    }
+
+    /// If Eq. 4 declares a velocity unsafe by a wide margin, the simulator
+    /// must also produce an infraction (the sim is never *more* optimistic
+    /// than the model).
+    #[test]
+    fn sim_never_more_optimistic_than_model(a in 0.5f64..5.0, d in 1.0f64..6.0) {
+        let model = SafetyModel::new(
+            MetersPerSecondSquared::new(a), Meters::new(d)).unwrap();
+        let v_unsafe = model.safe_velocity(Seconds::new(0.1)) * 1.2;
+        let s = scenario(a, 0.05, d, 10.0);
+        let out = s.run_trial(v_unsafe, 13);
+        prop_assert!(out.infraction, "sim stopped at {} inside {}", out.stop_position.get(), d);
+    }
+
+    /// Determinism: identical seeds give identical outcomes.
+    #[test]
+    fn deterministic(a in 0.5f64..5.0, v in 0.5f64..4.0, seed in 0u64..50) {
+        let s = scenario(a, 0.05, 3.0, 10.0);
+        let x = s.run_trial(MetersPerSecond::new(v), seed);
+        let y = s.run_trial(MetersPerSecond::new(v), seed);
+        prop_assert_eq!(x, y);
+    }
+
+    /// A faster decision loop never reduces the safe envelope: with a
+    /// higher decision rate, any velocity that was safe stays safe.
+    #[test]
+    fn faster_decisions_never_hurt(a in 0.5f64..5.0, v in 0.3f64..3.0) {
+        let slow_loop = scenario(a, 0.05, 3.0, 5.0);
+        let fast_loop = scenario(a, 0.05, 3.0, 50.0);
+        let v = MetersPerSecond::new(v);
+        if !slow_loop.run_trial(v, 17).infraction {
+            prop_assert!(!fast_loop.run_trial(v, 17).infraction);
+        }
+    }
+}

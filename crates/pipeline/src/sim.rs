@@ -1,0 +1,341 @@
+//! The event-driven pipeline simulator.
+
+use f1_units::Seconds;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::stage::StageConfig;
+use crate::stats::PipelineStats;
+
+/// How the three stages execute relative to each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// Stages run concurrently with latest-wins hand-off buffers — the
+    /// overlap assumption behind Eq. 1/Eq. 3.
+    Pipelined,
+    /// One sample flows through all three stages before the next starts —
+    /// the no-overlap worst case behind Eq. 2.
+    Sequential,
+}
+
+/// The sensor→compute→control pipeline simulator.
+///
+/// Semantics (pipelined mode):
+///
+/// * The **sensor** emits frames back-to-back at its sampled latency. A
+///   frame not yet consumed when the next arrives goes *stale* (latest-wins,
+///   as real perception stacks do).
+/// * The **compute** stage picks up the freshest frame the moment it is
+///   idle, runs for its sampled latency, and publishes a command.
+/// * The **control** stage loops at its sampled period; an iteration that
+///   observes a fresh command actuates it — that is one *action*.
+///
+/// Failure injection: each stage can drop invocations (sensor frame lost,
+/// algorithm crash/timeout, actuation fault); drops consume time but
+/// produce no output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineSim {
+    sensor: StageConfig,
+    compute: StageConfig,
+    control: StageConfig,
+}
+
+impl PipelineSim {
+    /// Creates a simulator from the three stage configurations.
+    #[must_use]
+    pub fn new(sensor: StageConfig, compute: StageConfig, control: StageConfig) -> Self {
+        Self {
+            sensor,
+            compute,
+            control,
+        }
+    }
+
+    /// The sensor stage configuration.
+    #[must_use]
+    pub fn sensor(&self) -> &StageConfig {
+        &self.sensor
+    }
+
+    /// The compute stage configuration.
+    #[must_use]
+    pub fn compute(&self) -> &StageConfig {
+        &self.compute
+    }
+
+    /// The control stage configuration.
+    #[must_use]
+    pub fn control(&self) -> &StageConfig {
+        &self.control
+    }
+
+    /// Runs the pipeline until `target_actions` actions complete (or an
+    /// internal event cap is reached under extreme failure injection) and
+    /// returns the measured statistics.
+    ///
+    /// Deterministic for a given seed.
+    #[must_use]
+    pub fn run(&self, mode: ExecutionMode, target_actions: usize, seed: u64) -> PipelineStats {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match mode {
+            ExecutionMode::Pipelined => self.run_pipelined(target_actions, &mut rng),
+            ExecutionMode::Sequential => self.run_sequential(target_actions, &mut rng),
+        }
+    }
+
+    fn run_sequential(&self, target_actions: usize, rng: &mut StdRng) -> PipelineStats {
+        let mut t = 0.0;
+        let mut actions = 0;
+        let mut frames = 0;
+        let mut failures = 0;
+        let mut latencies = Vec::with_capacity(target_actions);
+        let max_iters = target_actions.saturating_mul(200) + 10_000;
+        let mut iters = 0;
+        while actions < target_actions && iters < max_iters {
+            iters += 1;
+            let ts = self.sensor.sample_latency(rng).get();
+            let tc = self.compute.sample_latency(rng).get();
+            let tctl = self.control.sample_latency(rng).get();
+            t += ts;
+            frames += 1;
+            if self.sensor.sample_drop(rng) {
+                failures += 1;
+                continue;
+            }
+            let capture = t;
+            t += tc;
+            if self.compute.sample_drop(rng) {
+                failures += 1;
+                continue;
+            }
+            t += tctl;
+            if self.control.sample_drop(rng) {
+                failures += 1;
+                continue;
+            }
+            actions += 1;
+            latencies.push(t - capture);
+        }
+        PipelineStats::new(actions, frames, 0, failures, Seconds::new(t), latencies)
+    }
+
+    fn run_pipelined(&self, target_actions: usize, rng: &mut StdRng) -> PipelineStats {
+        // Stage state.
+        let mut next_sensor_done = self.sensor.sample_latency(rng).get();
+        let mut latest_frame: Option<f64> = None; // capture time
+        let mut compute_busy_until: Option<f64> = None;
+        let mut compute_input_capture = 0.0;
+        let mut fresh_command: Option<f64> = None; // capture time of command
+        let mut next_control_done = self.control.sample_latency(rng).get();
+
+        let mut t = 0.0;
+        let mut actions = 0usize;
+        let mut frames = 0usize;
+        let mut stale = 0usize;
+        let mut failures = 0usize;
+        let mut latencies = Vec::with_capacity(target_actions);
+
+        let max_events = target_actions.saturating_mul(1000) + 100_000;
+        let mut events = 0usize;
+
+        while actions < target_actions && events < max_events {
+            events += 1;
+            // Pick the earliest pending event.
+            let compute_done = compute_busy_until.unwrap_or(f64::INFINITY);
+            let t_next = next_sensor_done.min(compute_done).min(next_control_done);
+            t = t_next;
+
+            if t == next_sensor_done {
+                frames += 1;
+                if self.sensor.sample_drop(rng) {
+                    failures += 1;
+                } else {
+                    if latest_frame.is_some() {
+                        stale += 1;
+                    }
+                    latest_frame = Some(t);
+                }
+                next_sensor_done = t + self.sensor.sample_latency(rng).get();
+            } else if t == compute_done {
+                compute_busy_until = None;
+                if self.compute.sample_drop(rng) {
+                    failures += 1;
+                } else {
+                    fresh_command = Some(compute_input_capture);
+                }
+            } else {
+                // Control loop tick.
+                if let Some(capture) = fresh_command {
+                    if self.control.sample_drop(rng) {
+                        failures += 1;
+                    } else {
+                        actions += 1;
+                        latencies.push(t - capture);
+                        fresh_command = None;
+                    }
+                }
+                next_control_done = t + self.control.sample_latency(rng).get();
+            }
+
+            // Start compute whenever it is idle and a frame is waiting.
+            if compute_busy_until.is_none() {
+                if let Some(capture) = latest_frame.take() {
+                    compute_input_capture = capture;
+                    compute_busy_until = Some(t + self.compute.sample_latency(rng).get());
+                }
+            }
+        }
+        PipelineStats::new(actions, frames, stale, failures, Seconds::new(t), latencies)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::Jitter;
+    use f1_units::Hertz;
+    use f1_model::pipeline::StageLatencies;
+
+    fn typical() -> PipelineSim {
+        PipelineSim::new(
+            StageConfig::fixed(Hertz::new(60.0).period()),
+            StageConfig::fixed(Hertz::new(178.0).period()),
+            StageConfig::fixed(Hertz::new(1000.0).period()),
+        )
+    }
+
+    #[test]
+    fn pipelined_matches_eq3_min_rule() {
+        // Sensor-bound pipeline: Eq. 3 predicts 60 Hz.
+        let stats = typical().run(ExecutionMode::Pipelined, 3000, 7);
+        let f = stats.action_throughput().get();
+        assert!((f - 60.0).abs() / 60.0 < 0.02, "f = {f}");
+        assert_eq!(stats.failures, 0);
+    }
+
+    #[test]
+    fn pipelined_compute_bound_matches_eq3() {
+        // SPA at 1.1 Hz dominates everything else.
+        let sim = PipelineSim::new(
+            StageConfig::fixed(Hertz::new(60.0).period()),
+            StageConfig::fixed(Hertz::new(1.1).period()),
+            StageConfig::fixed(Hertz::new(1000.0).period()),
+        );
+        let stats = sim.run(ExecutionMode::Pipelined, 300, 11);
+        let f = stats.action_throughput().get();
+        assert!((f - 1.1).abs() / 1.1 < 0.03, "f = {f}");
+        // Most sensor frames go stale behind the slow algorithm.
+        assert!(stats.staleness_ratio() > 0.9);
+    }
+
+    #[test]
+    fn sequential_matches_eq2_sum_rule() {
+        let stats = typical().run(ExecutionMode::Sequential, 2000, 13);
+        let expected = 1.0 / (1.0 / 60.0 + 1.0 / 178.0 + 1.0 / 1000.0);
+        let f = stats.action_throughput().get();
+        assert!((f - expected).abs() / expected < 0.01, "f = {f} vs {expected}");
+    }
+
+    #[test]
+    fn measured_period_respects_eq1_eq2_envelope() {
+        // The analytic envelope of f1-model must contain both execution
+        // modes' measured periods (jitter-free).
+        let lat = StageLatencies::new(
+            Hertz::new(60.0).period(),
+            Hertz::new(178.0).period(),
+            Hertz::new(1000.0).period(),
+        )
+        .unwrap();
+        for (mode, seed) in [(ExecutionMode::Pipelined, 1), (ExecutionMode::Sequential, 2)] {
+            let stats = typical().run(mode, 2000, seed);
+            let period = stats.mean_action_period().unwrap();
+            assert!(
+                lat.envelope_contains(Seconds::new(period.get() * 0.995))
+                    || lat.envelope_contains(period),
+                "{mode:?}: period {period} outside envelope [{} , {}]",
+                lat.period_lower_bound(),
+                lat.period_upper_bound(),
+            );
+        }
+    }
+
+    #[test]
+    fn jitter_keeps_throughput_near_nominal() {
+        let sim = PipelineSim::new(
+            StageConfig::fixed(Hertz::new(60.0).period())
+                .with_jitter(Jitter::Uniform { spread: 0.2 }),
+            StageConfig::fixed(Hertz::new(178.0).period())
+                .with_jitter(Jitter::LogNormal { sigma: 0.2 }),
+            StageConfig::fixed(Hertz::new(1000.0).period()),
+        );
+        let stats = sim.run(ExecutionMode::Pipelined, 3000, 17);
+        let f = stats.action_throughput().get();
+        assert!((f - 60.0).abs() / 60.0 < 0.1, "f = {f}");
+    }
+
+    #[test]
+    fn compute_failures_reduce_action_rate() {
+        let healthy = typical().run(ExecutionMode::Pipelined, 1500, 23);
+        let flaky = PipelineSim::new(
+            StageConfig::fixed(Hertz::new(60.0).period()),
+            StageConfig::fixed(Hertz::new(178.0).period()).with_drop_rate(0.3),
+            StageConfig::fixed(Hertz::new(1000.0).period()),
+        )
+        .run(ExecutionMode::Pipelined, 1500, 23);
+        assert!(flaky.failures > 0);
+        assert!(
+            flaky.action_throughput().get() < healthy.action_throughput().get(),
+            "flaky {} vs healthy {}",
+            flaky.action_throughput(),
+            healthy.action_throughput()
+        );
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = typical().run(ExecutionMode::Pipelined, 500, 99);
+        let b = typical().run(ExecutionMode::Pipelined, 500, 99);
+        assert_eq!(a, b);
+        let c = typical().run(ExecutionMode::Pipelined, 500, 100);
+        // A different seed changes nothing here without jitter, but with
+        // jitter it must:
+        let sim = PipelineSim::new(
+            StageConfig::fixed(Hertz::new(60.0).period())
+                .with_jitter(Jitter::Uniform { spread: 0.3 }),
+            StageConfig::fixed(Hertz::new(178.0).period()),
+            StageConfig::fixed(Hertz::new(1000.0).period()),
+        );
+        let d = sim.run(ExecutionMode::Pipelined, 500, 1);
+        let e = sim.run(ExecutionMode::Pipelined, 500, 2);
+        assert_eq!(c.actions, 500);
+        assert_ne!(d.elapsed, e.elapsed);
+    }
+
+    #[test]
+    fn end_to_end_latency_at_least_compute_latency() {
+        let stats = typical().run(ExecutionMode::Pipelined, 1000, 31);
+        let min_latency = stats.latency_percentile(0.0).unwrap();
+        assert!(min_latency.get() >= 1.0 / 178.0 - 1e-9);
+    }
+
+    #[test]
+    fn extreme_failure_injection_terminates() {
+        let sim = PipelineSim::new(
+            StageConfig::fixed(Hertz::new(60.0).period()).with_drop_rate(0.99),
+            StageConfig::fixed(Hertz::new(178.0).period()).with_drop_rate(0.99),
+            StageConfig::fixed(Hertz::new(1000.0).period()).with_drop_rate(0.99),
+        );
+        // Must hit the event cap without hanging, possibly with zero actions.
+        let stats = sim.run(ExecutionMode::Pipelined, 10_000, 5);
+        assert!(stats.actions < 10_000);
+        assert!(stats.failures > 0);
+    }
+
+    #[test]
+    fn accessors() {
+        let sim = typical();
+        assert!((sim.sensor().base_latency().get() - 1.0 / 60.0).abs() < 1e-12);
+        assert!((sim.compute().base_latency().get() - 1.0 / 178.0).abs() < 1e-12);
+        assert!((sim.control().base_latency().get() - 1.0 / 1000.0).abs() < 1e-12);
+    }
+}

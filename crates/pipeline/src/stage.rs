@@ -1,0 +1,235 @@
+//! Per-stage latency/jitter/failure configuration.
+
+use f1_units::Seconds;
+use rand::Rng;
+
+/// Latency jitter applied around a stage's base latency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
+pub enum Jitter {
+    /// Deterministic latency.
+    #[default]
+    None,
+    /// Uniform jitter: latency is drawn from
+    /// `base · [1 − spread, 1 + spread]`.
+    Uniform {
+        /// Relative half-width, in `[0, 1)`.
+        spread: f64,
+    },
+    /// Log-normal-ish heavy tail: latency is `base · exp(σ·z)` with `z`
+    /// standard normal, capturing OS scheduling hiccups on single-board
+    /// computers.
+    LogNormal {
+        /// The σ parameter of the multiplier.
+        sigma: f64,
+    },
+}
+
+
+/// Configuration of a single pipeline stage.
+///
+/// # Examples
+///
+/// ```
+/// use f1_pipeline::{Jitter, StageConfig};
+/// use f1_units::Seconds;
+///
+/// let compute = StageConfig::fixed(Seconds::new(1.0 / 178.0))
+///     .with_jitter(Jitter::Uniform { spread: 0.1 })
+///     .with_drop_rate(0.01);
+/// assert!((compute.base_latency().get() - 0.00562).abs() < 1e-4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageConfig {
+    base_latency: Seconds,
+    jitter: Jitter,
+    /// Probability that a stage invocation fails and its output is
+    /// discarded (failure injection).
+    drop_rate: f64,
+}
+
+impl StageConfig {
+    /// A stage with deterministic latency, no failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the latency is not strictly positive and finite.
+    #[must_use]
+    pub fn fixed(latency: Seconds) -> Self {
+        assert!(
+            latency.get().is_finite() && latency.get() > 0.0,
+            "stage latency must be positive and finite, got {latency}"
+        );
+        Self {
+            base_latency: latency,
+            jitter: Jitter::None,
+            drop_rate: 0.0,
+        }
+    }
+
+    /// Adds latency jitter.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid jitter parameters (uniform spread outside
+    /// `[0, 1)`, non-finite or negative σ).
+    #[must_use]
+    pub fn with_jitter(mut self, jitter: Jitter) -> Self {
+        match jitter {
+            Jitter::None => {}
+            Jitter::Uniform { spread } => assert!(
+                (0.0..1.0).contains(&spread),
+                "uniform spread must be in [0, 1), got {spread}"
+            ),
+            Jitter::LogNormal { sigma } => assert!(
+                sigma.is_finite() && sigma >= 0.0,
+                "log-normal sigma must be non-negative, got {sigma}"
+            ),
+        }
+        self.jitter = jitter;
+        self
+    }
+
+    /// Sets the per-invocation failure probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the rate is in `[0, 1)`.
+    #[must_use]
+    pub fn with_drop_rate(mut self, rate: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&rate),
+            "drop rate must be in [0, 1), got {rate}"
+        );
+        self.drop_rate = rate;
+        self
+    }
+
+    /// The base (jitter-free) latency.
+    #[must_use]
+    pub fn base_latency(&self) -> Seconds {
+        self.base_latency
+    }
+
+    /// The configured jitter.
+    #[must_use]
+    pub fn jitter(&self) -> Jitter {
+        self.jitter
+    }
+
+    /// The failure probability.
+    #[must_use]
+    pub fn drop_rate(&self) -> f64 {
+        self.drop_rate
+    }
+
+    /// Draws one invocation latency.
+    pub(crate) fn sample_latency<R: Rng>(&self, rng: &mut R) -> Seconds {
+        let base = self.base_latency.get();
+        let lat = match self.jitter {
+            Jitter::None => base,
+            Jitter::Uniform { spread } => {
+                if spread == 0.0 {
+                    base
+                } else {
+                    base * rng.gen_range(1.0 - spread..1.0 + spread)
+                }
+            }
+            Jitter::LogNormal { sigma } => {
+                if sigma == 0.0 {
+                    base
+                } else {
+                    // Box-Muller standard normal.
+                    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    let u2: f64 = rng.gen_range(0.0..1.0);
+                    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                    base * (sigma * z).exp()
+                }
+            }
+        };
+        Seconds::new(lat.max(base * 1e-3))
+    }
+
+    /// Draws whether this invocation fails.
+    pub(crate) fn sample_drop<R: Rng>(&self, rng: &mut R) -> bool {
+        self.drop_rate > 0.0 && rng.gen_bool(self.drop_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_stage_samples_exactly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = StageConfig::fixed(Seconds::new(0.01));
+        for _ in 0..10 {
+            assert_eq!(s.sample_latency(&mut rng), Seconds::new(0.01));
+            assert!(!s.sample_drop(&mut rng));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_latency_rejected() {
+        let _ = StageConfig::fixed(Seconds::ZERO);
+    }
+
+    #[test]
+    fn uniform_jitter_stays_in_band() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = StageConfig::fixed(Seconds::new(0.02)).with_jitter(Jitter::Uniform { spread: 0.2 });
+        for _ in 0..1000 {
+            let l = s.sample_latency(&mut rng).get();
+            assert!((0.016 - 1e-12..=0.024 + 1e-12).contains(&l), "{l}");
+        }
+    }
+
+    #[test]
+    fn lognormal_jitter_is_positive_and_varies() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = StageConfig::fixed(Seconds::new(0.02))
+            .with_jitter(Jitter::LogNormal { sigma: 0.3 });
+        let samples: Vec<f64> = (0..500).map(|_| s.sample_latency(&mut rng).get()).collect();
+        assert!(samples.iter().all(|l| *l > 0.0));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 0.02).abs() / 0.02 < 0.25, "mean = {mean}");
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(0.0, f64::max);
+        assert!(max > min);
+    }
+
+    #[test]
+    fn zero_sigma_and_spread_degenerate_to_fixed() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = StageConfig::fixed(Seconds::new(0.01)).with_jitter(Jitter::Uniform { spread: 0.0 });
+        let b =
+            StageConfig::fixed(Seconds::new(0.01)).with_jitter(Jitter::LogNormal { sigma: 0.0 });
+        assert_eq!(a.sample_latency(&mut rng), Seconds::new(0.01));
+        assert_eq!(b.sample_latency(&mut rng), Seconds::new(0.01));
+    }
+
+    #[test]
+    fn drop_rate_statistics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = StageConfig::fixed(Seconds::new(0.01)).with_drop_rate(0.25);
+        let drops = (0..4000).filter(|_| s.sample_drop(&mut rng)).count();
+        let rate = drops as f64 / 4000.0;
+        assert!((rate - 0.25).abs() < 0.03, "rate = {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "drop rate")]
+    fn drop_rate_validation() {
+        let _ = StageConfig::fixed(Seconds::new(0.01)).with_drop_rate(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform spread")]
+    fn spread_validation() {
+        let _ = StageConfig::fixed(Seconds::new(0.01)).with_jitter(Jitter::Uniform { spread: 1.0 });
+    }
+}

@@ -1,0 +1,170 @@
+//! Measured pipeline statistics.
+
+use f1_units::{Hertz, Seconds};
+
+/// Statistics from one simulated pipeline run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineStats {
+    /// Number of distinct actions actuated (control iterations that used a
+    /// fresh compute result).
+    pub actions: usize,
+    /// Sensor frames produced.
+    pub frames_produced: usize,
+    /// Frames discarded because a newer frame superseded them before the
+    /// compute stage picked them up (latest-wins semantics).
+    pub frames_stale: usize,
+    /// Invocations lost to injected failures across all stages.
+    pub failures: usize,
+    /// Total simulated time.
+    pub elapsed: Seconds,
+    /// End-to-end latencies (sensor capture → actuation) of every action,
+    /// sorted ascending.
+    latencies: Vec<f64>,
+}
+
+impl PipelineStats {
+    pub(crate) fn new(
+        actions: usize,
+        frames_produced: usize,
+        frames_stale: usize,
+        failures: usize,
+        elapsed: Seconds,
+        mut latencies: Vec<f64>,
+    ) -> Self {
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        Self {
+            actions,
+            frames_produced,
+            frames_stale,
+            failures,
+            elapsed,
+            latencies,
+        }
+    }
+
+    /// The measured action throughput, `actions / elapsed`.
+    #[must_use]
+    pub fn action_throughput(&self) -> Hertz {
+        if self.elapsed.get() <= 0.0 {
+            return Hertz::ZERO;
+        }
+        Hertz::new(self.actions as f64 / self.elapsed.get())
+    }
+
+    /// The measured mean action period (inverse of throughput), or `None`
+    /// if no actions completed.
+    #[must_use]
+    pub fn mean_action_period(&self) -> Option<Seconds> {
+        if self.actions == 0 {
+            None
+        } else {
+            Some(Seconds::new(self.elapsed.get() / self.actions as f64))
+        }
+    }
+
+    /// Mean end-to-end (sensor → actuation) latency.
+    #[must_use]
+    pub fn mean_latency(&self) -> Option<Seconds> {
+        if self.latencies.is_empty() {
+            return None;
+        }
+        Some(Seconds::new(
+            self.latencies.iter().sum::<f64>() / self.latencies.len() as f64,
+        ))
+    }
+
+    /// End-to-end latency percentile, `p ∈ [0, 100]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    #[must_use]
+    pub fn latency_percentile(&self, p: f64) -> Option<Seconds> {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
+        if self.latencies.is_empty() {
+            return None;
+        }
+        let idx = ((p / 100.0) * (self.latencies.len() - 1) as f64).round() as usize;
+        Some(Seconds::new(self.latencies[idx]))
+    }
+
+    /// Fraction of produced frames that went stale before compute consumed
+    /// them.
+    #[must_use]
+    pub fn staleness_ratio(&self) -> f64 {
+        if self.frames_produced == 0 {
+            0.0
+        } else {
+            self.frames_stale as f64 / self.frames_produced as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> PipelineStats {
+        PipelineStats::new(
+            100,
+            120,
+            15,
+            5,
+            Seconds::new(10.0),
+            (1..=100).map(|i| i as f64 * 0.001).collect(),
+        )
+    }
+
+    #[test]
+    fn throughput_and_period() {
+        let s = stats();
+        assert!((s.action_throughput().get() - 10.0).abs() < 1e-12);
+        assert!((s.mean_action_period().unwrap().get() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_degenerates_gracefully() {
+        let s = PipelineStats::new(0, 0, 0, 0, Seconds::ZERO, vec![]);
+        assert_eq!(s.action_throughput(), Hertz::ZERO);
+        assert!(s.mean_action_period().is_none());
+        assert!(s.mean_latency().is_none());
+        assert!(s.latency_percentile(50.0).is_none());
+        assert_eq!(s.staleness_ratio(), 0.0);
+    }
+
+    #[test]
+    fn latency_percentiles_ordered() {
+        let s = stats();
+        let p50 = s.latency_percentile(50.0).unwrap();
+        let p99 = s.latency_percentile(99.0).unwrap();
+        let p0 = s.latency_percentile(0.0).unwrap();
+        let p100 = s.latency_percentile(100.0).unwrap();
+        assert!(p0 <= p50 && p50 <= p99 && p99 <= p100);
+        assert_eq!(p100, Seconds::new(0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn percentile_domain() {
+        let _ = stats().latency_percentile(101.0);
+    }
+
+    #[test]
+    fn mean_latency() {
+        let s = stats();
+        let expect = (1..=100).map(|i| i as f64 * 0.001).sum::<f64>() / 100.0;
+        assert!((s.mean_latency().unwrap().get() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn staleness() {
+        assert!((stats().staleness_ratio() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latencies_sorted_even_if_input_unsorted() {
+        let s = PipelineStats::new(3, 3, 0, 0, Seconds::new(1.0), vec![0.3, 0.1, 0.2]);
+        assert_eq!(s.latency_percentile(0.0).unwrap(), Seconds::new(0.1));
+        assert_eq!(s.latency_percentile(100.0).unwrap(), Seconds::new(0.3));
+    }
+}

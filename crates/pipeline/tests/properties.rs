@@ -1,0 +1,100 @@
+//! Property-based tests of the pipeline simulator against the analytic
+//! Eq. 1–3 envelopes.
+
+use f1_pipeline::{ExecutionMode, Jitter, PipelineSim, StageConfig};
+use f1_units::Hertz;
+use proptest::prelude::*;
+
+fn rate() -> impl Strategy<Value = f64> {
+    1.0f64..500.0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Jitter-free pipelined throughput matches the Eq. 3 min rule within
+    /// 3 % for any stage-rate triple.
+    #[test]
+    fn pipelined_matches_min_rule(fs in rate(), fc in rate(), fctl in rate(), seed in 0u64..1000) {
+        let sim = PipelineSim::new(
+            StageConfig::fixed(Hertz::new(fs).period()),
+            StageConfig::fixed(Hertz::new(fc).period()),
+            StageConfig::fixed(Hertz::new(fctl).period()),
+        );
+        let measured = sim.run(ExecutionMode::Pipelined, 600, seed).action_throughput().get();
+        let expected = fs.min(fc).min(fctl);
+        prop_assert!(
+            (measured - expected).abs() / expected < 0.03,
+            "measured {measured}, expected {expected}"
+        );
+    }
+
+    /// Jitter-free sequential throughput matches the Eq. 2 sum rule within
+    /// 2 %.
+    #[test]
+    fn sequential_matches_sum_rule(fs in rate(), fc in rate(), fctl in rate(), seed in 0u64..1000) {
+        let sim = PipelineSim::new(
+            StageConfig::fixed(Hertz::new(fs).period()),
+            StageConfig::fixed(Hertz::new(fc).period()),
+            StageConfig::fixed(Hertz::new(fctl).period()),
+        );
+        let measured = sim.run(ExecutionMode::Sequential, 600, seed).action_throughput().get();
+        let expected = 1.0 / (1.0 / fs + 1.0 / fc + 1.0 / fctl);
+        prop_assert!(
+            (measured - expected).abs() / expected < 0.02,
+            "measured {measured}, expected {expected}"
+        );
+    }
+
+    /// Sequential never beats pipelined on the same configuration, and
+    /// both stay within the Eq. 1/Eq. 2 rate envelope.
+    #[test]
+    fn mode_ordering_and_envelope(fs in rate(), fc in rate(), fctl in rate()) {
+        let sim = PipelineSim::new(
+            StageConfig::fixed(Hertz::new(fs).period()),
+            StageConfig::fixed(Hertz::new(fc).period()),
+            StageConfig::fixed(Hertz::new(fctl).period()),
+        );
+        let p = sim.run(ExecutionMode::Pipelined, 400, 1).action_throughput().get();
+        let s = sim.run(ExecutionMode::Sequential, 400, 1).action_throughput().get();
+        prop_assert!(s <= p * 1.001);
+        let hi = fs.min(fc).min(fctl);
+        let lo = 1.0 / (1.0 / fs + 1.0 / fc + 1.0 / fctl);
+        prop_assert!(p <= hi * 1.03);
+        prop_assert!(s >= lo * 0.97);
+    }
+
+    /// Moderate symmetric jitter keeps throughput within 15 % of nominal
+    /// and never yields more actions than frames.
+    #[test]
+    fn jitter_bounded_impact(fs in rate(), fc in rate(), spread in 0.0f64..0.4, seed in 0u64..100) {
+        let sim = PipelineSim::new(
+            StageConfig::fixed(Hertz::new(fs).period()).with_jitter(Jitter::Uniform { spread }),
+            StageConfig::fixed(Hertz::new(fc).period()).with_jitter(Jitter::Uniform { spread }),
+            StageConfig::fixed(Hertz::new(1000.0).period()),
+        );
+        let stats = sim.run(ExecutionMode::Pipelined, 500, seed);
+        let nominal = fs.min(fc);
+        let measured = stats.action_throughput().get();
+        prop_assert!((measured - nominal).abs() / nominal < 0.15);
+        prop_assert!(stats.actions <= stats.frames_produced);
+    }
+
+    /// Failure injection only reduces the action rate.
+    #[test]
+    fn failures_never_help(fs in rate(), drop in 0.0f64..0.6, seed in 0u64..100) {
+        let clean = PipelineSim::new(
+            StageConfig::fixed(Hertz::new(fs).period()),
+            StageConfig::fixed(Hertz::new(200.0).period()),
+            StageConfig::fixed(Hertz::new(1000.0).period()),
+        );
+        let flaky = PipelineSim::new(
+            StageConfig::fixed(Hertz::new(fs).period()).with_drop_rate(drop),
+            StageConfig::fixed(Hertz::new(200.0).period()),
+            StageConfig::fixed(Hertz::new(1000.0).period()),
+        );
+        let f_clean = clean.run(ExecutionMode::Pipelined, 300, seed).action_throughput().get();
+        let f_flaky = flaky.run(ExecutionMode::Pipelined, 300, seed).action_throughput().get();
+        prop_assert!(f_flaky <= f_clean * 1.02, "flaky {f_flaky} vs clean {f_clean}");
+    }
+}

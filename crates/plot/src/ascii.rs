@@ -1,0 +1,156 @@
+//! A character-cell canvas for terminal chart rendering.
+
+/// A fixed-size grid of characters with (0,0) at the top-left.
+#[derive(Debug, Clone)]
+pub(crate) struct AsciiCanvas {
+    cols: usize,
+    rows: usize,
+    cells: Vec<char>,
+}
+
+impl AsciiCanvas {
+    pub(crate) fn new(cols: usize, rows: usize) -> Self {
+        Self {
+            cols,
+            rows,
+            cells: vec![' '; cols * rows],
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[cfg(test)]
+    pub(crate) fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Sets a cell if it is inside the canvas; existing non-space content is
+    /// only overwritten by "stronger" glyphs (markers beat line segments).
+    pub(crate) fn set(&mut self, col: isize, row: isize, ch: char) {
+        if col < 0 || row < 0 {
+            return;
+        }
+        let (c, r) = (col as usize, row as usize);
+        if c >= self.cols || r >= self.rows {
+            return;
+        }
+        let idx = r * self.cols + c;
+        let current = self.cells[idx];
+        if current == ' ' || glyph_rank(ch) >= glyph_rank(current) {
+            self.cells[idx] = ch;
+        }
+    }
+
+    /// Writes a string starting at a cell (clipped at the right edge).
+    pub(crate) fn write_str(&mut self, col: isize, row: isize, s: &str) {
+        for (i, ch) in s.chars().enumerate() {
+            self.set(col + i as isize, row, ch);
+        }
+    }
+
+    /// Bresenham line between two cells.
+    pub(crate) fn line(&mut self, c0: isize, r0: isize, c1: isize, r1: isize, ch: char) {
+        let (mut x, mut y) = (c0, r0);
+        let dx = (c1 - c0).abs();
+        let dy = -(r1 - r0).abs();
+        let sx = if c0 < c1 { 1 } else { -1 };
+        let sy = if r0 < r1 { 1 } else { -1 };
+        let mut err = dx + dy;
+        loop {
+            self.set(x, y, ch);
+            if x == c1 && y == r1 {
+                break;
+            }
+            let e2 = 2 * err;
+            if e2 >= dy {
+                err += dy;
+                x += sx;
+            }
+            if e2 <= dx {
+                err += dx;
+                y += sy;
+            }
+        }
+    }
+
+    pub(crate) fn render(&self) -> String {
+        let mut out = String::with_capacity((self.cols + 1) * self.rows);
+        for r in 0..self.rows {
+            let row: String = self.cells[r * self.cols..(r + 1) * self.cols]
+                .iter()
+                .collect();
+            out.push_str(row.trim_end());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Priority of glyphs when cells collide: markers > axes > line art.
+fn glyph_rank(ch: char) -> u8 {
+    match ch {
+        '●' | '○' | '*' | 'x' | 'o' => 3,
+        '|' | '-' | '+' => 2,
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_render() {
+        let mut c = AsciiCanvas::new(5, 2);
+        c.set(0, 0, 'a');
+        c.set(4, 1, 'b');
+        let out = c.render();
+        assert_eq!(out, "a\n    b\n");
+    }
+
+    #[test]
+    fn out_of_bounds_ignored() {
+        let mut c = AsciiCanvas::new(3, 3);
+        c.set(-1, 0, 'x');
+        c.set(0, -1, 'x');
+        c.set(3, 0, 'x');
+        c.set(0, 3, 'x');
+        assert_eq!(c.render(), "\n\n\n");
+    }
+
+    #[test]
+    fn line_connects_endpoints() {
+        let mut c = AsciiCanvas::new(10, 10);
+        c.line(0, 0, 9, 9, '.');
+        let out = c.render();
+        assert!(out.lines().next().unwrap().starts_with('.'));
+        assert!(out.lines().nth(9).unwrap().ends_with('.'));
+    }
+
+    #[test]
+    fn markers_beat_lines() {
+        let mut c = AsciiCanvas::new(3, 1);
+        c.set(1, 0, '.');
+        c.set(1, 0, '*');
+        assert!(c.render().contains('*'));
+        // And line art does not overwrite markers.
+        c.set(1, 0, '.');
+        assert!(c.render().contains('*'));
+    }
+
+    #[test]
+    fn write_str_clips() {
+        let mut c = AsciiCanvas::new(4, 1);
+        c.write_str(2, 0, "abcdef");
+        assert_eq!(c.render(), "  ab\n");
+    }
+
+    #[test]
+    fn dimensions() {
+        let c = AsciiCanvas::new(7, 3);
+        assert_eq!((c.cols(), c.rows()), (7, 3));
+    }
+}

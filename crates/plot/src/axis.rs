@@ -1,0 +1,253 @@
+//! Axis scales, ranges and tick generation.
+
+use crate::PlotError;
+
+/// An axis scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Linear mapping.
+    #[default]
+    Linear,
+    /// Base-10 logarithmic mapping (rooflines use this on the x-axis).
+    Log10,
+}
+
+impl Scale {
+    /// Maps a data value into scale space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlotError::ScaleDomain`] for non-positive values on a log
+    /// scale or non-finite values on any scale.
+    pub fn transform(self, axis: &'static str, v: f64) -> Result<f64, PlotError> {
+        if !v.is_finite() {
+            return Err(PlotError::ScaleDomain {
+                axis,
+                value: format!("{v}"),
+            });
+        }
+        match self {
+            Scale::Linear => Ok(v),
+            Scale::Log10 => {
+                if v <= 0.0 {
+                    Err(PlotError::ScaleDomain {
+                        axis,
+                        value: format!("{v}"),
+                    })
+                } else {
+                    Ok(v.log10())
+                }
+            }
+        }
+    }
+}
+
+/// A fully-resolved axis: label, scale and data range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Axis {
+    /// Axis label text.
+    pub label: String,
+    /// The scale.
+    pub scale: Scale,
+    /// Minimum data value.
+    pub min: f64,
+    /// Maximum data value.
+    pub max: f64,
+}
+
+impl Axis {
+    /// Builds an axis over a data range, widening degenerate ranges so a
+    /// single point still renders.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlotError::ScaleDomain`] if the range is incompatible with
+    /// the scale.
+    pub fn over(
+        label: impl Into<String>,
+        scale: Scale,
+        name: &'static str,
+        mut min: f64,
+        mut max: f64,
+    ) -> Result<Self, PlotError> {
+        if min > max {
+            core::mem::swap(&mut min, &mut max);
+        }
+        // Widen degenerate ranges.
+        if (max - min).abs() < f64::EPSILON {
+            match scale {
+                Scale::Linear => {
+                    let pad = if min == 0.0 { 1.0 } else { min.abs() * 0.1 };
+                    min -= pad;
+                    max += pad;
+                }
+                Scale::Log10 => {
+                    min /= 2.0;
+                    max *= 2.0;
+                }
+            }
+        }
+        // Validate against the scale.
+        scale.transform(name, min)?;
+        scale.transform(name, max)?;
+        Ok(Self {
+            label: label.into(),
+            scale,
+            min,
+            max,
+        })
+    }
+
+    /// Normalized position of a value in `[0, 1]` along the axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlotError::ScaleDomain`] if the value is incompatible with
+    /// the scale.
+    pub fn position(&self, name: &'static str, v: f64) -> Result<f64, PlotError> {
+        let lo = self.scale.transform(name, self.min)?;
+        let hi = self.scale.transform(name, self.max)?;
+        let x = self.scale.transform(name, v)?;
+        if (hi - lo).abs() < f64::EPSILON {
+            return Ok(0.5);
+        }
+        Ok((x - lo) / (hi - lo))
+    }
+
+    /// Generates tick positions (data values) for the axis.
+    ///
+    /// Linear axes get ~`target` evenly-spaced "nice" ticks; log axes get
+    /// one tick per decade (and every 10^k within range).
+    #[must_use]
+    pub fn ticks(&self, target: usize) -> Vec<f64> {
+        match self.scale {
+            Scale::Linear => nice_linear_ticks(self.min, self.max, target.max(2)),
+            Scale::Log10 => {
+                let lo = self.min.log10().floor() as i32;
+                let hi = self.max.log10().ceil() as i32;
+                (lo..=hi)
+                    .map(|k| 10f64.powi(k))
+                    .filter(|v| *v >= self.min * 0.999 && *v <= self.max * 1.001)
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Chooses "nice" round-number ticks covering `[min, max]`.
+fn nice_linear_ticks(min: f64, max: f64, target: usize) -> Vec<f64> {
+    let span = max - min;
+    if span <= 0.0 || !span.is_finite() {
+        return vec![min];
+    }
+    let raw_step = span / target as f64;
+    let mag = 10f64.powf(raw_step.log10().floor());
+    let norm = raw_step / mag;
+    let step = if norm < 1.5 {
+        mag
+    } else if norm < 3.0 {
+        2.0 * mag
+    } else if norm < 7.0 {
+        5.0 * mag
+    } else {
+        10.0 * mag
+    };
+    let first = (min / step).ceil() * step;
+    let mut ticks = Vec::new();
+    let mut v = first;
+    while v <= max + step * 1e-9 {
+        // Snap tiny FP noise to zero.
+        ticks.push(if v.abs() < step * 1e-9 { 0.0 } else { v });
+        v += step;
+    }
+    ticks
+}
+
+/// Formats a tick value compactly (used by both renderers).
+#[must_use]
+pub(crate) fn format_tick(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    let a = v.abs();
+    if !(0.01..10000.0).contains(&a) {
+        format!("{v:.0e}")
+    } else if a >= 100.0 || (v - v.round()).abs() < 1e-9 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_transform_is_identity() {
+        assert_eq!(Scale::Linear.transform("x", 3.5).unwrap(), 3.5);
+        assert!(Scale::Linear.transform("x", f64::NAN).is_err());
+    }
+
+    #[test]
+    fn log_transform_rejects_non_positive() {
+        assert!(Scale::Log10.transform("x", 0.0).is_err());
+        assert!(Scale::Log10.transform("x", -1.0).is_err());
+        assert!((Scale::Log10.transform("x", 100.0).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axis_position_normalizes() {
+        let ax = Axis::over("f", Scale::Log10, "x", 1.0, 100.0).unwrap();
+        assert!((ax.position("x", 1.0).unwrap() - 0.0).abs() < 1e-12);
+        assert!((ax.position("x", 10.0).unwrap() - 0.5).abs() < 1e-12);
+        assert!((ax.position("x", 100.0).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_range_is_widened() {
+        let ax = Axis::over("y", Scale::Linear, "y", 5.0, 5.0).unwrap();
+        assert!(ax.min < 5.0 && ax.max > 5.0);
+        let axl = Axis::over("x", Scale::Log10, "x", 8.0, 8.0).unwrap();
+        assert!(axl.min < 8.0 && axl.max > 8.0);
+    }
+
+    #[test]
+    fn swapped_range_is_fixed() {
+        let ax = Axis::over("y", Scale::Linear, "y", 10.0, 2.0).unwrap();
+        assert_eq!((ax.min, ax.max), (2.0, 10.0));
+    }
+
+    #[test]
+    fn log_axis_rejects_non_positive_range() {
+        assert!(Axis::over("x", Scale::Log10, "x", 0.0, 10.0).is_err());
+        assert!(Axis::over("x", Scale::Log10, "x", -5.0, 10.0).is_err());
+    }
+
+    #[test]
+    fn linear_ticks_are_nice() {
+        let ax = Axis::over("y", Scale::Linear, "y", 0.0, 10.0).unwrap();
+        let ticks = ax.ticks(5);
+        assert!(ticks.len() >= 3);
+        for w in ticks.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        assert!(ticks.iter().all(|t| *t >= 0.0 && *t <= 10.0 + 1e-9));
+    }
+
+    #[test]
+    fn log_ticks_are_decades() {
+        let ax = Axis::over("x", Scale::Log10, "x", 1.0, 1000.0).unwrap();
+        let ticks = ax.ticks(4);
+        assert_eq!(ticks, vec![1.0, 10.0, 100.0, 1000.0]);
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(format_tick(0.0), "0");
+        assert_eq!(format_tick(10.0), "10");
+        assert_eq!(format_tick(2.5), "2.50");
+        assert_eq!(format_tick(1e5), "1e5");
+        assert_eq!(format_tick(0.001), "1e-3");
+    }
+}

@@ -1,0 +1,631 @@
+//! The chart builder and its SVG/ASCII renderers.
+
+use crate::ascii::AsciiCanvas;
+use crate::axis::{format_tick, Axis, Scale};
+use crate::color::Color;
+use crate::series::{Series, SeriesKind};
+use crate::svg::SvgDoc;
+use crate::PlotError;
+
+/// A text annotation anchored at a data coordinate (knee points, operating
+/// points, "~75 %" arrows in the paper's figures).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Annotation {
+    /// Data x-coordinate.
+    pub x: f64,
+    /// Data y-coordinate.
+    pub y: f64,
+    /// The label text.
+    pub text: String,
+    /// Whether to draw a marker at the anchor.
+    pub marker: bool,
+}
+
+impl Annotation {
+    /// Creates a marker-less annotation.
+    #[must_use]
+    pub fn text(x: f64, y: f64, text: impl Into<String>) -> Self {
+        Self {
+            x,
+            y,
+            text: text.into(),
+            marker: false,
+        }
+    }
+
+    /// Creates an annotation with a point marker.
+    #[must_use]
+    pub fn marked(x: f64, y: f64, text: impl Into<String>) -> Self {
+        Self {
+            x,
+            y,
+            text: text.into(),
+            marker: true,
+        }
+    }
+}
+
+/// A horizontal reference line (velocity ceilings).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HLine {
+    /// Data y-coordinate.
+    pub y: f64,
+    /// Legend/annotation label.
+    pub label: String,
+}
+
+/// A vertical reference line (knee rates, stage throughputs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VLine {
+    /// Data x-coordinate.
+    pub x: f64,
+    /// Legend/annotation label.
+    pub label: String,
+}
+
+/// A chart under construction.
+///
+/// # Examples
+///
+/// ```
+/// use f1_plot::{Annotation, Chart, Scale, Series};
+///
+/// let ascii = Chart::new("roofline")
+///     .x_scale(Scale::Log10)
+///     .x_label("Action Throughput (Hz)")
+///     .y_label("Safe Velocity (m/s)")
+///     .series(Series::line("uav", vec![(1.0, 2.0), (10.0, 6.0), (100.0, 6.3)]))
+///     .annotation(Annotation::marked(10.0, 6.0, "knee"))
+///     .render_ascii(60, 20)?;
+/// assert!(ascii.contains("knee"));
+/// # Ok::<(), f1_plot::PlotError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Chart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    x_scale: Scale,
+    y_scale: Scale,
+    series: Vec<Series>,
+    annotations: Vec<Annotation>,
+    hlines: Vec<HLine>,
+    vlines: Vec<VLine>,
+    y_min_zero: bool,
+}
+
+impl Chart {
+    /// Starts a chart with a title.
+    #[must_use]
+    pub fn new(title: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            y_min_zero: true,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the x-axis label.
+    #[must_use]
+    pub fn x_label(mut self, label: impl Into<String>) -> Self {
+        self.x_label = label.into();
+        self
+    }
+
+    /// Sets the y-axis label.
+    #[must_use]
+    pub fn y_label(mut self, label: impl Into<String>) -> Self {
+        self.y_label = label.into();
+        self
+    }
+
+    /// Sets the x-axis scale (rooflines use [`Scale::Log10`]).
+    #[must_use]
+    pub fn x_scale(mut self, scale: Scale) -> Self {
+        self.x_scale = scale;
+        self
+    }
+
+    /// Sets the y-axis scale.
+    #[must_use]
+    pub fn y_scale(mut self, scale: Scale) -> Self {
+        self.y_scale = scale;
+        self
+    }
+
+    /// When `true` (default) a linear y-axis is pinned at zero.
+    #[must_use]
+    pub fn y_from_zero(mut self, pin: bool) -> Self {
+        self.y_min_zero = pin;
+        self
+    }
+
+    /// Adds a data series.
+    #[must_use]
+    pub fn series(mut self, series: Series) -> Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Adds an annotation.
+    #[must_use]
+    pub fn annotation(mut self, a: Annotation) -> Self {
+        self.annotations.push(a);
+        self
+    }
+
+    /// Adds a horizontal reference line.
+    #[must_use]
+    pub fn hline(mut self, y: f64, label: impl Into<String>) -> Self {
+        self.hlines.push(HLine {
+            y,
+            label: label.into(),
+        });
+        self
+    }
+
+    /// Adds a vertical reference line.
+    #[must_use]
+    pub fn vline(mut self, x: f64, label: impl Into<String>) -> Self {
+        self.vlines.push(VLine {
+            x,
+            label: label.into(),
+        });
+        self
+    }
+
+    /// The chart title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The series added so far.
+    #[must_use]
+    pub fn series_list(&self) -> &[Series] {
+        &self.series
+    }
+
+    /// Resolves the data bounds into axes.
+    fn resolve_axes(&self) -> Result<(Axis, Axis), PlotError> {
+        let mut bounds: Option<(f64, f64, f64, f64)> = None;
+        for s in &self.series {
+            if !s.is_finite() {
+                return Err(PlotError::NonFiniteData {
+                    series: s.name().to_owned(),
+                });
+            }
+            if let Some(b) = s.bounds() {
+                bounds = Some(match bounds {
+                    None => b,
+                    Some(acc) => (
+                        acc.0.min(b.0),
+                        acc.1.max(b.1),
+                        acc.2.min(b.2),
+                        acc.3.max(b.3),
+                    ),
+                });
+            }
+        }
+        // Reference lines and annotations extend the bounds too.
+        for a in &self.annotations {
+            if let Some(b) = bounds.as_mut() {
+                b.0 = b.0.min(a.x);
+                b.1 = b.1.max(a.x);
+                b.2 = b.2.min(a.y);
+                b.3 = b.3.max(a.y);
+            }
+        }
+        for h in &self.hlines {
+            if let Some(b) = bounds.as_mut() {
+                b.2 = b.2.min(h.y);
+                b.3 = b.3.max(h.y);
+            }
+        }
+        for v in &self.vlines {
+            if let Some(b) = bounds.as_mut() {
+                b.0 = b.0.min(v.x);
+                b.1 = b.1.max(v.x);
+            }
+        }
+        let (x0, x1, mut y0, y1) = bounds.ok_or(PlotError::EmptyChart)?;
+        if self.y_min_zero && self.y_scale == Scale::Linear && y0 > 0.0 {
+            y0 = 0.0;
+        }
+        let x_axis = Axis::over(self.x_label.clone(), self.x_scale, "x", x0, x1)?;
+        // Headroom above the tallest point so roofs do not hug the frame.
+        let y_pad = match self.y_scale {
+            Scale::Linear => (y1 - y0) * 0.08,
+            Scale::Log10 => 0.0,
+        };
+        let y_hi = if self.y_scale == Scale::Log10 {
+            y1 * 1.3
+        } else {
+            y1 + y_pad.max(1e-12)
+        };
+        let y_axis = Axis::over(self.y_label.clone(), self.y_scale, "y", y0, y_hi)?;
+        Ok((x_axis, y_axis))
+    }
+
+    /// Renders the chart as a standalone SVG document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlotError::EmptyChart`] with no data,
+    /// [`PlotError::CanvasTooSmall`] under 160×120, and scale-domain errors
+    /// for data incompatible with the axes.
+    pub fn render_svg(&self, width: usize, height: usize) -> Result<String, PlotError> {
+        if width < 160 || height < 120 {
+            return Err(PlotError::CanvasTooSmall { width, height });
+        }
+        let (x_axis, y_axis) = self.resolve_axes()?;
+        let (w, h) = (width as f64, height as f64);
+        let margin_l = 62.0;
+        let margin_r = 18.0;
+        let margin_t = 34.0;
+        let margin_b = 48.0;
+        let plot_w = w - margin_l - margin_r;
+        let plot_h = h - margin_t - margin_b;
+
+        let to_px = |x: f64, y: f64| -> Result<(f64, f64), PlotError> {
+            let px = margin_l + x_axis.position("x", x)? * plot_w;
+            let py = margin_t + (1.0 - y_axis.position("y", y)?) * plot_h;
+            Ok((px, py))
+        };
+
+        let mut doc = SvgDoc::new(width, height);
+        doc.rect(0.0, 0.0, w, h, "#ffffff");
+        // Frame.
+        doc.line(margin_l, margin_t, margin_l, h - margin_b, "#000000", 1.2, false);
+        doc.line(
+            margin_l,
+            h - margin_b,
+            w - margin_r,
+            h - margin_b,
+            "#000000",
+            1.2,
+            false,
+        );
+        // Title + labels.
+        doc.text(w / 2.0, margin_t - 14.0, 14.0, "middle", "#000000", &self.title);
+        doc.text(
+            margin_l + plot_w / 2.0,
+            h - 10.0,
+            12.0,
+            "middle",
+            "#000000",
+            &x_axis.label,
+        );
+        doc.text_rotated(16.0, margin_t + plot_h / 2.0, 12.0, &y_axis.label);
+
+        // Ticks + grid.
+        for t in x_axis.ticks(6) {
+            let (px, _) = to_px(t, y_axis.min.max(y_axis.min))?;
+            doc.line(px, margin_t, px, h - margin_b, &Color::GREY.to_hex(), 0.5, true);
+            doc.text(px, h - margin_b + 16.0, 10.0, "middle", "#000000", &format_tick(t));
+        }
+        for t in y_axis.ticks(6) {
+            let py = margin_t + (1.0 - y_axis.position("y", t)?) * plot_h;
+            doc.line(margin_l, py, w - margin_r, py, &Color::GREY.to_hex(), 0.5, true);
+            doc.text(margin_l - 6.0, py + 3.5, 10.0, "end", "#000000", &format_tick(t));
+        }
+
+        // Reference lines.
+        for hl in &self.hlines {
+            let py = margin_t + (1.0 - y_axis.position("y", hl.y)?) * plot_h;
+            doc.line(margin_l, py, w - margin_r, py, "#888888", 1.0, true);
+            doc.text(w - margin_r - 4.0, py - 4.0, 10.0, "end", "#444444", &hl.label);
+        }
+        for vl in &self.vlines {
+            let px = margin_l + x_axis.position("x", vl.x)? * plot_w;
+            doc.line(px, margin_t, px, h - margin_b, "#888888", 1.0, true);
+            doc.text(px + 4.0, margin_t + 12.0, 10.0, "start", "#444444", &vl.label);
+        }
+
+        // Series.
+        let mut legend_y = margin_t + 6.0;
+        for (i, s) in self.series.iter().enumerate() {
+            let color = s.color().unwrap_or_else(|| Color::for_index(i)).to_hex();
+            match s.kind() {
+                SeriesKind::Line | SeriesKind::DashedLine => {
+                    let mut pts = Vec::with_capacity(s.points().len());
+                    for &(x, y) in s.points() {
+                        pts.push(to_px(x, y)?);
+                    }
+                    doc.polyline(&pts, &color, 1.8, s.kind() == SeriesKind::DashedLine);
+                }
+                SeriesKind::Scatter => {
+                    for &(x, y) in s.points() {
+                        let (px, py) = to_px(x, y)?;
+                        doc.circle(px, py, 3.5, &color);
+                    }
+                }
+                SeriesKind::Bars => {
+                    let n = s.points().len().max(1) as f64;
+                    let bar_w = (plot_w / (n * 2.0)).clamp(2.0, 40.0);
+                    let baseline = y_axis.min.max(0.0);
+                    for &(x, y) in s.points() {
+                        let (px, py) = to_px(x, y)?;
+                        let (_, py0) = to_px(x, baseline)?;
+                        let top = py.min(py0);
+                        let height = (py0 - py).abs();
+                        doc.rect(px - bar_w / 2.0, top, bar_w, height, &color);
+                    }
+                }
+            }
+            // Legend entry.
+            let lx = margin_l + plot_w - 130.0;
+            doc.circle(lx, legend_y, 3.0, &color);
+            doc.text(lx + 8.0, legend_y + 3.5, 10.0, "start", "#000000", s.name());
+            legend_y += 14.0;
+        }
+
+        // Annotations on top.
+        for a in &self.annotations {
+            let (px, py) = to_px(a.x, a.y)?;
+            if a.marker {
+                doc.circle(px, py, 4.0, "#000000");
+            }
+            doc.text(px + 6.0, py - 6.0, 10.0, "start", "#000000", &a.text);
+        }
+        Ok(doc.finish())
+    }
+
+    /// Renders the chart as ASCII art.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlotError::EmptyChart`] with no data,
+    /// [`PlotError::CanvasTooSmall`] under 24×10, and scale-domain errors
+    /// for data incompatible with the axes.
+    pub fn render_ascii(&self, cols: usize, rows: usize) -> Result<String, PlotError> {
+        if cols < 24 || rows < 10 {
+            return Err(PlotError::CanvasTooSmall {
+                width: cols,
+                height: rows,
+            });
+        }
+        let (x_axis, y_axis) = self.resolve_axes()?;
+        let margin_l: isize = 9;
+        let margin_b: isize = 3;
+        let margin_t: isize = 1;
+        let plot_w = cols as isize - margin_l - 2;
+        let plot_h = rows as isize - margin_t - margin_b;
+        let mut canvas = AsciiCanvas::new(cols, rows);
+
+        let to_cell = |x: f64, y: f64| -> Result<(isize, isize), PlotError> {
+            let cx = margin_l + 1 + (x_axis.position("x", x)? * (plot_w - 1) as f64).round() as isize;
+            let cy = margin_t + ((1.0 - y_axis.position("y", y)?) * (plot_h - 1) as f64).round() as isize;
+            Ok((cx, cy))
+        };
+
+        // Title.
+        canvas.write_str(margin_l + 2, 0, &self.title);
+        // Frame.
+        for r in margin_t..(margin_t + plot_h) {
+            canvas.set(margin_l, r, '|');
+        }
+        for c in margin_l..(margin_l + 1 + plot_w) {
+            canvas.set(c, margin_t + plot_h, '-');
+        }
+        canvas.set(margin_l, margin_t + plot_h, '+');
+
+        // Y tick labels (min / mid / max).
+        for (frac, v) in [
+            (0.0, y_axis.min),
+            (0.5, (y_axis.min + y_axis.max) / 2.0),
+            (1.0, y_axis.max),
+        ] {
+            let r = margin_t + ((1.0 - frac) * (plot_h - 1) as f64).round() as isize;
+            let label = format_tick(v);
+            canvas.write_str(margin_l - 1 - label.len() as isize, r, &label);
+        }
+        // X tick labels.
+        for t in x_axis.ticks(5) {
+            let (c, _) = to_cell(t, y_axis.max)?;
+            let label = format_tick(t);
+            canvas.write_str(c - label.len() as isize / 2, margin_t + plot_h + 1, &label);
+        }
+        // Axis captions.
+        canvas.write_str(margin_l + 2, rows as isize - 1, &x_axis.label);
+
+        // Reference lines.
+        for hl in &self.hlines {
+            let (_, r) = to_cell(x_axis.max, hl.y)?;
+            for c in (margin_l + 1)..(margin_l + 1 + plot_w) {
+                canvas.set(c, r, '·');
+            }
+            canvas.write_str(margin_l + 2, r, &hl.label);
+        }
+        for vl in &self.vlines {
+            let (c, _) = to_cell(vl.x, y_axis.max)?;
+            for r in margin_t..(margin_t + plot_h) {
+                canvas.set(c, r, '·');
+            }
+        }
+
+        // Series.
+        let glyphs = ['*', 'o', 'x', '#', '%', '@', '&', '$'];
+        for (i, s) in self.series.iter().enumerate() {
+            let glyph = glyphs[i % glyphs.len()];
+            match s.kind() {
+                SeriesKind::Line | SeriesKind::DashedLine => {
+                    let mut prev: Option<(isize, isize)> = None;
+                    for &(x, y) in s.points() {
+                        let cell = to_cell(x, y)?;
+                        if let Some(p) = prev {
+                            canvas.line(p.0, p.1, cell.0, cell.1, glyph);
+                        } else {
+                            canvas.set(cell.0, cell.1, glyph);
+                        }
+                        prev = Some(cell);
+                    }
+                }
+                SeriesKind::Scatter => {
+                    for &(x, y) in s.points() {
+                        let (c, r) = to_cell(x, y)?;
+                        canvas.set(c, r, '●');
+                    }
+                }
+                SeriesKind::Bars => {
+                    let baseline = y_axis.min.max(0.0);
+                    for &(x, y) in s.points() {
+                        let (c, r_top) = to_cell(x, y)?;
+                        let (_, r_base) = to_cell(x, baseline)?;
+                        for r in r_top.min(r_base)..=r_top.max(r_base) {
+                            canvas.set(c, r, '█');
+                        }
+                    }
+                }
+            }
+        }
+
+        // Annotations.
+        for a in &self.annotations {
+            let (c, r) = to_cell(a.x, a.y)?;
+            if a.marker {
+                canvas.set(c, r, '●');
+            }
+            canvas.write_str(c + 1, r - 1, &a.text);
+        }
+        Ok(canvas.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roofline_chart() -> Chart {
+        let curve: Vec<(f64, f64)> = (0..=60)
+            .map(|i| {
+                let f = 10f64.powf(i as f64 / 20.0); // 1..1000 Hz
+                let v = 2.0 * 10.0 / ((1.0 / f / f + 0.4f64).sqrt() + 1.0 / f);
+                (f, v)
+            })
+            .collect();
+        Chart::new("F-1")
+            .x_scale(Scale::Log10)
+            .x_label("Action Throughput (Hz)")
+            .y_label("Safe Velocity (m/s)")
+            .series(Series::line("AscTec Pelican", curve))
+            .series(Series::scatter("DroNet + TX2", vec![(178.0, 30.0)]))
+            .annotation(Annotation::marked(100.0, 30.5, "knee"))
+            .hline(31.6, "physics roof")
+            .vline(43.0, "f_k")
+    }
+
+    #[test]
+    fn svg_renders_and_contains_parts() {
+        let svg = roofline_chart().render_svg(640, 480).unwrap();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("Action Throughput"));
+        assert!(svg.contains("polyline"));
+        assert!(svg.contains("knee"));
+        assert!(svg.contains("physics roof"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn ascii_renders_and_contains_parts() {
+        let art = roofline_chart().render_ascii(80, 24).unwrap();
+        assert!(art.contains("F-1"));
+        assert!(art.contains('*'));
+        assert!(art.contains("knee"));
+        assert!(art.lines().count() >= 20);
+    }
+
+    #[test]
+    fn empty_chart_is_error() {
+        assert_eq!(
+            Chart::new("empty").render_svg(640, 480),
+            Err(PlotError::EmptyChart)
+        );
+        assert_eq!(
+            Chart::new("empty").render_ascii(80, 24),
+            Err(PlotError::EmptyChart)
+        );
+    }
+
+    #[test]
+    fn tiny_canvas_is_error() {
+        let c = roofline_chart();
+        assert!(matches!(
+            c.render_svg(10, 10),
+            Err(PlotError::CanvasTooSmall { .. })
+        ));
+        assert!(matches!(
+            c.render_ascii(5, 5),
+            Err(PlotError::CanvasTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_data_is_error() {
+        let c = Chart::new("bad").series(Series::line("nan", vec![(1.0, f64::NAN)]));
+        assert!(matches!(
+            c.render_svg(640, 480),
+            Err(PlotError::NonFiniteData { .. })
+        ));
+    }
+
+    #[test]
+    fn log_axis_rejects_non_positive_x() {
+        let c = Chart::new("bad")
+            .x_scale(Scale::Log10)
+            .series(Series::line("zero", vec![(0.0, 1.0), (1.0, 2.0)]));
+        assert!(matches!(
+            c.render_svg(640, 480),
+            Err(PlotError::ScaleDomain { .. })
+        ));
+    }
+
+    #[test]
+    fn y_from_zero_pins_linear_axis() {
+        let c = Chart::new("pin").series(Series::line("s", vec![(1.0, 5.0), (2.0, 6.0)]));
+        let (_, y) = c.resolve_axes().unwrap();
+        assert_eq!(y.min, 0.0);
+        let unpinned = Chart::new("nopin")
+            .y_from_zero(false)
+            .series(Series::line("s", vec![(1.0, 5.0), (2.0, 6.0)]));
+        let (_, y2) = unpinned.resolve_axes().unwrap();
+        assert!(y2.min > 0.0);
+    }
+
+    #[test]
+    fn annotations_extend_bounds() {
+        let c = Chart::new("ext")
+            .series(Series::line("s", vec![(1.0, 1.0), (2.0, 2.0)]))
+            .annotation(Annotation::text(50.0, 9.0, "far"));
+        let (x, y) = c.resolve_axes().unwrap();
+        assert!(x.max >= 50.0);
+        assert!(y.max >= 9.0);
+    }
+
+    #[test]
+    fn builder_accessors() {
+        let c = roofline_chart();
+        assert_eq!(c.title(), "F-1");
+        assert_eq!(c.series_list().len(), 2);
+    }
+
+    #[test]
+    fn bar_series_renders_rects_and_columns() {
+        // The paper's Fig. 12 style: heatsink grams per TDP bucket.
+        let chart = Chart::new("heatsink")
+            .x_label("TDP (W)")
+            .y_label("grams")
+            .series(Series::bars(
+                "heatsink",
+                vec![(1.5, 10.0), (15.0, 81.0), (30.0, 162.0)],
+            ));
+        let svg = chart.render_svg(640, 480).unwrap();
+        // Three bars (plus the background rect).
+        assert_eq!(svg.matches("<rect").count(), 4);
+        let ascii = chart.render_ascii(60, 20).unwrap();
+        assert!(ascii.contains('█'));
+        // The tallest bar spans more rows than the shortest.
+        let col_count = |s: &str| s.lines().filter(|l| l.contains('█')).count();
+        assert!(col_count(&ascii) >= 10);
+    }
+}

@@ -1,0 +1,73 @@
+//! A small RGB color type and the default palette.
+
+/// An RGB color.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Color {
+    /// Red channel.
+    pub r: u8,
+    /// Green channel.
+    pub g: u8,
+    /// Blue channel.
+    pub b: u8,
+}
+
+impl Color {
+    /// Builds a color from channels.
+    #[must_use]
+    pub const fn rgb(r: u8, g: u8, b: u8) -> Self {
+        Self { r, g, b }
+    }
+
+    /// Black.
+    pub const BLACK: Color = Color::rgb(0, 0, 0);
+    /// Mid grey (grid lines).
+    pub const GREY: Color = Color::rgb(160, 160, 160);
+
+    /// The default qualitative palette (colorblind-safe-ish Okabe-Ito
+    /// subset), cycled by series index.
+    pub const PALETTE: [Color; 8] = [
+        Color::rgb(0, 114, 178),   // blue
+        Color::rgb(213, 94, 0),    // vermillion
+        Color::rgb(0, 158, 115),   // green
+        Color::rgb(204, 121, 167), // purple
+        Color::rgb(230, 159, 0),   // orange
+        Color::rgb(86, 180, 233),  // sky
+        Color::rgb(240, 228, 66),  // yellow
+        Color::rgb(0, 0, 0),       // black
+    ];
+
+    /// Palette color for a series index (wraps around).
+    #[must_use]
+    pub fn for_index(i: usize) -> Self {
+        Self::PALETTE[i % Self::PALETTE.len()]
+    }
+
+    /// CSS hex form, `#rrggbb`.
+    #[must_use]
+    pub fn to_hex(self) -> String {
+        format!("#{:02x}{:02x}{:02x}", self.r, self.g, self.b)
+    }
+}
+
+impl core::fmt::Display for Color {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_format() {
+        assert_eq!(Color::rgb(0, 114, 178).to_hex(), "#0072b2");
+        assert_eq!(Color::BLACK.to_string(), "#000000");
+    }
+
+    #[test]
+    fn palette_wraps() {
+        assert_eq!(Color::for_index(0), Color::for_index(8));
+        assert_eq!(Color::for_index(3), Color::PALETTE[3]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Plot rendering errors.
+
+/// Errors produced while building or rendering a chart.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PlotError {
+    /// The chart has no drawable data.
+    EmptyChart,
+    /// A data value is incompatible with the axis scale (e.g. a
+    /// non-positive value on a log axis).
+    ScaleDomain {
+        /// Which axis rejected the value.
+        axis: &'static str,
+        /// A rendering of the offending value.
+        value: String,
+    },
+    /// The requested canvas is too small to draw into.
+    CanvasTooSmall {
+        /// Requested width.
+        width: usize,
+        /// Requested height.
+        height: usize,
+    },
+    /// The data contains non-finite coordinates.
+    NonFiniteData {
+        /// The series containing the bad point.
+        series: String,
+    },
+}
+
+impl core::fmt::Display for PlotError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::EmptyChart => f.write_str("chart has no drawable data"),
+            Self::ScaleDomain { axis, value } => {
+                write!(f, "{axis}-axis scale cannot represent value {value}")
+            }
+            Self::CanvasTooSmall { width, height } => {
+                write!(f, "canvas {width}×{height} too small to render")
+            }
+            Self::NonFiniteData { series } => {
+                write!(f, "series {series:?} contains non-finite coordinates")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlotError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(PlotError::EmptyChart.to_string().contains("no drawable"));
+        let s = PlotError::ScaleDomain {
+            axis: "x",
+            value: "-1".into(),
+        }
+        .to_string();
+        assert!(s.contains("x-axis"));
+        assert!(PlotError::CanvasTooSmall {
+            width: 3,
+            height: 2
+        }
+        .to_string()
+        .contains("3×2"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync>() {}
+        assert_err::<PlotError>();
+    }
+}

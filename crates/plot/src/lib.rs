@@ -1,0 +1,44 @@
+//! # `f1-plot` — dependency-free SVG and ASCII charts
+//!
+//! The F-1 model is a *visual* performance model: its output is a roofline
+//! chart (velocity vs. action throughput on a log axis) with ceilings, knee
+//! markers and annotated operating points. This crate renders such charts
+//! as standalone SVG documents and as ASCII canvases for terminal output,
+//! with zero third-party dependencies (the `plotters` crate is not in this
+//! workspace's offline allowlist; rooflines only need lines, points, log
+//! axes and text, all implemented here).
+//!
+//! # Examples
+//!
+//! ```
+//! use f1_plot::{Chart, Scale, Series};
+//!
+//! let curve: Vec<(f64, f64)> = (1..=100)
+//!     .map(|i| (i as f64, (i as f64).sqrt()))
+//!     .collect();
+//! let svg = Chart::new("sqrt")
+//!     .x_label("x")
+//!     .y_label("√x")
+//!     .x_scale(Scale::Log10)
+//!     .series(Series::line("sqrt", curve))
+//!     .render_svg(640, 480)?;
+//! assert!(svg.starts_with("<svg"));
+//! # Ok::<(), f1_plot::PlotError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ascii;
+mod axis;
+mod chart;
+mod color;
+mod error;
+mod series;
+mod svg;
+
+pub use axis::{Axis, Scale};
+pub use chart::{Annotation, Chart, HLine, VLine};
+pub use color::Color;
+pub use error::PlotError;
+pub use series::{Series, SeriesKind};

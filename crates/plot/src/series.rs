@@ -1,0 +1,169 @@
+//! Data series: points plus drawing style.
+
+use crate::Color;
+
+/// How a series is drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SeriesKind {
+    /// Connected polyline (roofline curves).
+    #[default]
+    Line,
+    /// Individual markers (operating points).
+    Scatter,
+    /// Dashed polyline (ceilings, what-if variants).
+    DashedLine,
+    /// Vertical bars rising from the baseline (the paper's Fig. 12 style).
+    Bars,
+}
+
+/// A named data series.
+///
+/// # Examples
+///
+/// ```
+/// use f1_plot::Series;
+/// let s = Series::scatter("DroNet + TX2", vec![(178.0, 7.2)]);
+/// assert_eq!(s.points().len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    name: String,
+    points: Vec<(f64, f64)>,
+    kind: SeriesKind,
+    color: Option<Color>,
+}
+
+impl Series {
+    /// A connected line series.
+    #[must_use]
+    pub fn line(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self {
+            name: name.into(),
+            points,
+            kind: SeriesKind::Line,
+            color: None,
+        }
+    }
+
+    /// A scatter (marker-only) series.
+    #[must_use]
+    pub fn scatter(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self {
+            name: name.into(),
+            points,
+            kind: SeriesKind::Scatter,
+            color: None,
+        }
+    }
+
+    /// A dashed line series.
+    #[must_use]
+    pub fn dashed(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self {
+            name: name.into(),
+            points,
+            kind: SeriesKind::DashedLine,
+            color: None,
+        }
+    }
+
+    /// A vertical-bar series.
+    #[must_use]
+    pub fn bars(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self {
+            name: name.into(),
+            points,
+            kind: SeriesKind::Bars,
+            color: None,
+        }
+    }
+
+    /// Overrides the palette color.
+    #[must_use]
+    pub fn with_color(mut self, color: Color) -> Self {
+        self.color = Some(color);
+        self
+    }
+
+    /// The series name (used in the legend).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The data points.
+    #[must_use]
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// The drawing kind.
+    #[must_use]
+    pub fn kind(&self) -> SeriesKind {
+        self.kind
+    }
+
+    /// The explicit color, if set.
+    #[must_use]
+    pub fn color(&self) -> Option<Color> {
+        self.color
+    }
+
+    /// Whether every coordinate is finite.
+    #[must_use]
+    pub fn is_finite(&self) -> bool {
+        self.points
+            .iter()
+            .all(|(x, y)| x.is_finite() && y.is_finite())
+    }
+
+    /// The bounding box `(min_x, max_x, min_y, max_y)` of the series, or
+    /// `None` if it has no points.
+    #[must_use]
+    pub fn bounds(&self) -> Option<(f64, f64, f64, f64)> {
+        let mut it = self.points.iter().copied();
+        let (x0, y0) = it.next()?;
+        let mut b = (x0, x0, y0, y0);
+        for (x, y) in it {
+            b.0 = b.0.min(x);
+            b.1 = b.1.max(x);
+            b.2 = b.2.min(y);
+            b.3 = b.3.max(y);
+        }
+        Some(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind() {
+        assert_eq!(Series::line("a", vec![]).kind(), SeriesKind::Line);
+        assert_eq!(Series::scatter("b", vec![]).kind(), SeriesKind::Scatter);
+        assert_eq!(Series::dashed("c", vec![]).kind(), SeriesKind::DashedLine);
+        assert_eq!(Series::bars("d", vec![]).kind(), SeriesKind::Bars);
+    }
+
+    #[test]
+    fn bounds_cover_all_points() {
+        let s = Series::line("curve", vec![(1.0, 5.0), (10.0, 2.0), (5.0, 9.0)]);
+        assert_eq!(s.bounds(), Some((1.0, 10.0, 2.0, 9.0)));
+        assert_eq!(Series::line("empty", vec![]).bounds(), None);
+    }
+
+    #[test]
+    fn finiteness_check() {
+        assert!(Series::line("ok", vec![(1.0, 2.0)]).is_finite());
+        assert!(!Series::line("bad", vec![(f64::NAN, 2.0)]).is_finite());
+        assert!(!Series::line("bad2", vec![(1.0, f64::INFINITY)]).is_finite());
+    }
+
+    #[test]
+    fn color_override() {
+        let s = Series::line("x", vec![]).with_color(Color::BLACK);
+        assert_eq!(s.color(), Some(Color::BLACK));
+        assert_eq!(Series::line("y", vec![]).color(), None);
+    }
+}

@@ -1,0 +1,144 @@
+//! Minimal SVG document builder with text escaping.
+
+use std::fmt::Write as _;
+
+/// An SVG document under construction.
+#[derive(Debug, Clone)]
+pub(crate) struct SvgDoc {
+    width: usize,
+    height: usize,
+    body: String,
+}
+
+impl SvgDoc {
+    pub(crate) fn new(width: usize, height: usize) -> Self {
+        Self {
+            width,
+            height,
+            body: String::new(),
+        }
+    }
+
+    pub(crate) fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str) {
+        let _ = write!(
+            self.body,
+            r#"<rect x="{x:.1}" y="{y:.1}" width="{w:.1}" height="{h:.1}" fill="{fill}"/>"#
+        );
+        self.body.push('\n');
+    }
+
+    #[allow(clippy::too_many_arguments)] // a line is naturally 2 points + 3 style attrs
+    pub(crate) fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64, dashed: bool) {
+        let dash = if dashed { r#" stroke-dasharray="6 4""# } else { "" };
+        let _ = write!(
+            self.body,
+            r#"<line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" stroke="{stroke}" stroke-width="{width:.1}"{dash}/>"#
+        );
+        self.body.push('\n');
+    }
+
+    pub(crate) fn polyline(&mut self, pts: &[(f64, f64)], stroke: &str, width: f64, dashed: bool) {
+        if pts.len() < 2 {
+            return;
+        }
+        let mut coords = String::with_capacity(pts.len() * 12);
+        for (x, y) in pts {
+            let _ = write!(coords, "{x:.1},{y:.1} ");
+        }
+        let dash = if dashed { r#" stroke-dasharray="6 4""# } else { "" };
+        let _ = write!(
+            self.body,
+            r#"<polyline points="{}" fill="none" stroke="{stroke}" stroke-width="{width:.1}"{dash}/>"#,
+            coords.trim_end()
+        );
+        self.body.push('\n');
+    }
+
+    pub(crate) fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str) {
+        let _ = write!(
+            self.body,
+            r#"<circle cx="{cx:.1}" cy="{cy:.1}" r="{r:.1}" fill="{fill}"/>"#
+        );
+        self.body.push('\n');
+    }
+
+    pub(crate) fn text(&mut self, x: f64, y: f64, size: f64, anchor: &str, fill: &str, content: &str) {
+        let _ = write!(
+            self.body,
+            r#"<text x="{x:.1}" y="{y:.1}" font-size="{size:.0}" font-family="sans-serif" text-anchor="{anchor}" fill="{fill}">{}</text>"#,
+            escape(content)
+        );
+        self.body.push('\n');
+    }
+
+    pub(crate) fn text_rotated(&mut self, x: f64, y: f64, size: f64, content: &str) {
+        let _ = write!(
+            self.body,
+            r#"<text x="{x:.1}" y="{y:.1}" font-size="{size:.0}" font-family="sans-serif" text-anchor="middle" transform="rotate(-90 {x:.1} {y:.1})">{}</text>"#,
+            escape(content)
+        );
+        self.body.push('\n');
+    }
+
+    pub(crate) fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" viewBox=\"0 0 {} {}\">\n{}</svg>\n",
+            self.width, self.height, self.width, self.height, self.body
+        )
+    }
+}
+
+/// Escapes text content for XML.
+pub(crate) fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a<b & c>\"d\""), "a&lt;b &amp; c&gt;&quot;d&quot;");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn document_structure() {
+        let mut doc = SvgDoc::new(100, 50);
+        doc.rect(0.0, 0.0, 100.0, 50.0, "#ffffff");
+        doc.line(0.0, 0.0, 10.0, 10.0, "#000000", 1.0, false);
+        doc.circle(5.0, 5.0, 2.0, "#ff0000");
+        doc.text(1.0, 1.0, 10.0, "start", "#000", "hello <world>");
+        let svg = doc.finish();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("hello &lt;world&gt;"));
+        assert!(svg.contains("viewBox=\"0 0 100 50\""));
+    }
+
+    #[test]
+    fn polyline_skips_degenerate() {
+        let mut doc = SvgDoc::new(10, 10);
+        doc.polyline(&[(1.0, 1.0)], "#000", 1.0, false);
+        assert!(!doc.finish().contains("polyline"));
+    }
+
+    #[test]
+    fn dashed_attribute() {
+        let mut doc = SvgDoc::new(10, 10);
+        doc.line(0.0, 0.0, 5.0, 5.0, "#000", 1.0, true);
+        assert!(doc.finish().contains("stroke-dasharray"));
+    }
+}

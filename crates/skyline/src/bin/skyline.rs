@@ -1,0 +1,141 @@
+//! `skyline` — the paper's interactive tool as a CLI.
+//!
+//! ```sh
+//! # list everything in the paper's catalog
+//! cargo run -p f1-skyline --bin skyline -- --list
+//!
+//! # analyze a build (the §VI-B study)
+//! cargo run -p f1-skyline --bin skyline -- \
+//!     --airframe "AscTec Pelican" --sensor "RGB-D 60FPS" \
+//!     --compute "Nvidia TX2" --algorithm "DroNet" --chart --mission 1000
+//! ```
+
+use f1_components::Catalog;
+use f1_skyline::chart::{roofline_chart, OperatingPoint};
+use f1_skyline::mission::{analyze_mission, MissionSpec};
+use f1_skyline::UavSystem;
+use f1_units::{Hertz, Meters};
+
+struct Args {
+    airframe: Option<String>,
+    sensor: Option<String>,
+    compute: Option<String>,
+    algorithm: Option<String>,
+    list: bool,
+    chart: bool,
+    mission_m: Option<f64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        airframe: None,
+        sensor: None,
+        compute: None,
+        algorithm: None,
+        list: false,
+        chart: false,
+        mission_m: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--airframe" => args.airframe = Some(value("--airframe")?),
+            "--sensor" => args.sensor = Some(value("--sensor")?),
+            "--compute" => args.compute = Some(value("--compute")?),
+            "--algorithm" => args.algorithm = Some(value("--algorithm")?),
+            "--mission" => {
+                let v = value("--mission")?;
+                args.mission_m =
+                    Some(v.parse().map_err(|_| format!("bad mission distance {v:?}"))?);
+            }
+            "--list" => args.list = true,
+            "--chart" => args.chart = true,
+            "--help" | "-h" => {
+                println!(
+                    "skyline — F-1 bottleneck analysis for UAV onboard compute\n\n\
+                     usage:\n  skyline --list\n  skyline --airframe NAME --sensor NAME \
+                     --compute NAME --algorithm NAME [--chart] [--mission METERS]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn list_catalog(catalog: &Catalog) {
+    println!("airframes:");
+    for a in catalog.airframes() {
+        println!("  {a}");
+    }
+    println!("sensors:");
+    for s in catalog.sensors() {
+        println!("  {s}");
+    }
+    println!("compute platforms:");
+    for c in catalog.computes() {
+        println!("  {c}");
+    }
+    println!("algorithms:");
+    for a in catalog.algorithms() {
+        println!("  {a}");
+    }
+    println!("characterized throughputs:");
+    for (p, a, f) in catalog.matrix().iter() {
+        println!("  {a} on {p}: {f:.2}");
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args().map_err(|e| -> Box<dyn std::error::Error> { e.into() })?;
+    let catalog = Catalog::paper();
+    if args.list {
+        list_catalog(&catalog);
+        return Ok(());
+    }
+    let (Some(airframe), Some(sensor), Some(compute), Some(algorithm)) =
+        (&args.airframe, &args.sensor, &args.compute, &args.algorithm)
+    else {
+        return Err("need --airframe, --sensor, --compute and --algorithm (or --list)".into());
+    };
+    let system = UavSystem::from_catalog(&catalog, airframe, sensor, compute, algorithm)?;
+    let analysis = system.analyze()?;
+    println!("{analysis}");
+
+    if let Some(distance) = args.mission_m {
+        let mission = analyze_mission(&system, &MissionSpec::over(Meters::new(distance)))?;
+        println!(
+            "mission {distance:.0} m: {:.1} at {:.2} using {:.1} Wh \
+             (bottleneck penalty: {:+.1}% time, {:+.1}% energy)",
+            mission.at_cruise.duration.to_minutes(),
+            mission.cruise,
+            mission.at_cruise.energy_wh,
+            mission.time_penalty_percent(),
+            mission.energy_penalty_percent(),
+        );
+    }
+
+    if args.chart {
+        let roofline = system.roofline()?;
+        let rates = system.stage_rates()?;
+        let op = OperatingPoint {
+            label: format!("{algorithm} @ {:.1}", rates.compute()),
+            rate: rates.compute(),
+            velocity: roofline.velocity_at(rates.action_throughput()),
+        };
+        let chart = roofline_chart(
+            &format!("{airframe} / {compute} / {algorithm}"),
+            &[(airframe.clone(), roofline)],
+            &[op],
+            Hertz::new(0.5),
+            Hertz::new(1000.0),
+        )?;
+        println!("{}", chart.render_ascii(100, 28)?);
+    }
+    Ok(())
+}

@@ -1,0 +1,186 @@
+//! Roofline chart construction (the Skyline "visualization area").
+
+use f1_model::roofline::Roofline;
+use f1_plot::{Annotation, Chart, Scale, Series};
+use f1_units::{Hertz, MetersPerSecond};
+
+use crate::SkylineError;
+
+/// A labelled operating point to overlay on the chart (e.g.
+/// "DroNet + TX2" at 178 Hz).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatingPoint {
+    /// Display label.
+    pub label: String,
+    /// Action throughput of the point.
+    pub rate: Hertz,
+    /// Safe velocity at the point.
+    pub velocity: MetersPerSecond,
+}
+
+/// Builds the F-1 roofline chart for one or more systems, with knee
+/// markers and operating-point overlays — the layout of the paper's
+/// Fig. 11b/13b/15b.
+///
+/// # Errors
+///
+/// Returns [`SkylineError::Model`] domain errors for an empty rate range
+/// (cannot occur with the defaults).
+pub fn roofline_chart(
+    title: &str,
+    rooflines: &[(String, Roofline)],
+    points: &[OperatingPoint],
+    f_lo: Hertz,
+    f_hi: Hertz,
+) -> Result<Chart, SkylineError> {
+    let mut chart = Chart::new(title)
+        .x_label("Action Throughput (Hz)")
+        .y_label("Safe Velocity (m/s)")
+        .x_scale(Scale::Log10);
+    for (label, roofline) in rooflines {
+        let curve: Vec<(f64, f64)> = roofline
+            .sample_log(f_lo, f_hi, 120)
+            .into_iter()
+            .map(|(f, v)| (f.get(), v.get()))
+            .collect();
+        chart = chart.series(Series::line(label.clone(), curve));
+        let knee = roofline.knee();
+        chart = chart.annotation(Annotation::marked(
+            knee.rate.get(),
+            knee.velocity.get(),
+            format!("knee {:.0} Hz", knee.rate.get()),
+        ));
+    }
+    if !points.is_empty() {
+        let scatter: Vec<(f64, f64)> = points
+            .iter()
+            .map(|p| (p.rate.get(), p.velocity.get()))
+            .collect();
+        chart = chart.series(Series::scatter("operating points", scatter));
+        for p in points {
+            chart = chart.annotation(Annotation::text(
+                p.rate.get(),
+                p.velocity.get(),
+                p.label.clone(),
+            ));
+        }
+    }
+    Ok(chart)
+}
+
+/// Builds the complete single-system chart: the roofline, the operating
+/// point, the knee, and the Fig. 4a stage ceilings for every pipeline
+/// stage running below the knee.
+///
+/// # Errors
+///
+/// Propagates analysis errors ([`SkylineError::CannotHover`] for
+/// infeasible builds).
+pub fn system_chart(system: &crate::UavSystem) -> Result<Chart, SkylineError> {
+    let roofline = system.roofline()?;
+    let rates = system.stage_rates()?;
+    let f_action = rates.action_throughput();
+    let mut chart = roofline_chart(
+        system.name(),
+        &[(system.airframe().name().to_owned(), roofline)],
+        &[OperatingPoint {
+            label: format!("{} @ {:.1}", system.algorithm().name(), f_action),
+            rate: f_action,
+            velocity: roofline.velocity_at(f_action),
+        }],
+        Hertz::new((f_action.get() * 0.05).max(0.05)),
+        Hertz::new(1000.0),
+    )?;
+    for (stage, rate, ceiling) in roofline.stage_ceilings(&rates) {
+        chart = chart.hline(
+            ceiling.get(),
+            format!("{stage}-bound ceiling ({rate:.1})"),
+        );
+    }
+    Ok(chart)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f1_model::roofline::Saturation;
+    use f1_model::safety::SafetyModel;
+    use f1_units::{Meters, MetersPerSecondSquared};
+
+    fn sample_roofline() -> Roofline {
+        Roofline::with_saturation(
+            SafetyModel::new(MetersPerSecondSquared::new(6.8), Meters::new(4.5)).unwrap(),
+            Saturation::DEFAULT,
+        )
+    }
+
+    #[test]
+    fn chart_renders_both_backends() {
+        let r = sample_roofline();
+        let v = r.velocity_at(Hertz::new(178.0));
+        let chart = roofline_chart(
+            "AscTec Pelican",
+            &[("Pelican".into(), r)],
+            &[OperatingPoint {
+                label: "DroNet + TX2".into(),
+                rate: Hertz::new(178.0),
+                velocity: v,
+            }],
+            Hertz::new(0.5),
+            Hertz::new(1000.0),
+        )
+        .unwrap();
+        let svg = chart.render_svg(640, 480).unwrap();
+        assert!(svg.contains("DroNet + TX2"));
+        assert!(svg.contains("knee"));
+        let ascii = chart.render_ascii(100, 30).unwrap();
+        assert!(ascii.contains("knee"));
+    }
+
+    #[test]
+    fn system_chart_draws_ceilings_when_bound() {
+        use f1_components::{names, Catalog};
+        let catalog = Catalog::paper();
+        // SPA on TX2 is deeply compute-bound ⇒ a compute ceiling appears.
+        let system = crate::UavSystem::from_catalog(
+            &catalog,
+            names::ASCTEC_PELICAN,
+            names::RGBD_60,
+            names::TX2,
+            names::MAVBENCH_PD,
+        )
+        .unwrap();
+        let svg = system_chart(&system).unwrap().render_svg(800, 520).unwrap();
+        assert!(svg.contains("compute-bound ceiling"), "missing ceiling");
+
+        // DroNet is physics-bound ⇒ no ceilings.
+        let fast = crate::UavSystem::from_catalog(
+            &catalog,
+            names::ASCTEC_PELICAN,
+            names::RGBD_60,
+            names::TX2,
+            names::DRONET,
+        )
+        .unwrap();
+        let svg2 = system_chart(&fast).unwrap().render_svg(800, 520).unwrap();
+        assert!(!svg2.contains("ceiling"));
+    }
+
+    #[test]
+    fn multiple_rooflines_render() {
+        let a = sample_roofline();
+        let b = Roofline::with_saturation(
+            SafetyModel::new(MetersPerSecondSquared::new(2.0), Meters::new(4.5)).unwrap(),
+            Saturation::DEFAULT,
+        );
+        let chart = roofline_chart(
+            "two UAVs",
+            &[("fast".into(), a), ("slow".into(), b)],
+            &[],
+            Hertz::new(1.0),
+            Hertz::new(500.0),
+        )
+        .unwrap();
+        assert_eq!(chart.series_list().len(), 2);
+    }
+}

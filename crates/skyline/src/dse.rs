@@ -1,0 +1,189 @@
+//! Automated design-space exploration over the component catalog.
+//!
+//! The paper's conclusion: "We believe that the model can be used for
+//! automated design space exploration and aid with generating an optimal
+//! domain-specific architecture best suited for a UAV." This module does
+//! exactly that: it enumerates every characterized sensor × compute ×
+//! algorithm combination for an airframe, evaluates the F-1 model for
+//! each, and ranks the feasible builds by safe velocity.
+
+use f1_model::roofline::Bound;
+use f1_units::MetersPerSecond;
+
+use f1_components::Catalog;
+
+use crate::sweep::parallel_map;
+use crate::system::UavSystem;
+use crate::SkylineError;
+
+/// One evaluated candidate configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DseOutcome {
+    /// Sensor name.
+    pub sensor: String,
+    /// Compute platform name.
+    pub compute: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Achieved safe velocity (zero when infeasible).
+    pub velocity: MetersPerSecond,
+    /// Bound classification (None when infeasible).
+    pub bound: Option<Bound>,
+    /// Whether the build can hover at all.
+    pub feasible: bool,
+}
+
+/// Result of a design-space exploration: candidates ranked by velocity,
+/// feasible first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DseResult {
+    /// The airframe explored.
+    pub airframe: String,
+    /// Ranked outcomes (best first).
+    pub ranked: Vec<DseOutcome>,
+    /// Number of combinations skipped because the platform × algorithm
+    /// pair was never characterized.
+    pub uncharacterized: usize,
+}
+
+impl DseResult {
+    /// The best feasible candidate, if any.
+    #[must_use]
+    pub fn best(&self) -> Option<&DseOutcome> {
+        self.ranked.iter().find(|o| o.feasible)
+    }
+
+    /// All feasible candidates.
+    pub fn feasible(&self) -> impl Iterator<Item = &DseOutcome> {
+        self.ranked.iter().filter(|o| o.feasible)
+    }
+}
+
+/// Exhaustively explores the catalog for one airframe.
+///
+/// # Errors
+///
+/// Returns [`SkylineError::Component`] for an unknown airframe.
+pub fn explore(catalog: &Catalog, airframe: &str) -> Result<DseResult, SkylineError> {
+    // Validate the airframe up front.
+    let _ = catalog.airframe(airframe)?;
+    let mut candidates = Vec::new();
+    let mut uncharacterized = 0usize;
+    for sensor in catalog.sensors() {
+        for compute in catalog.computes() {
+            for algorithm in catalog.algorithms() {
+                if catalog.matrix().contains(compute.name(), algorithm.name()) {
+                    candidates.push((
+                        sensor.name().to_owned(),
+                        compute.name().to_owned(),
+                        algorithm.name().to_owned(),
+                    ));
+                } else {
+                    uncharacterized += 1;
+                }
+            }
+        }
+    }
+
+    let outcomes = parallel_map(candidates, |(sensor, compute, algorithm)| {
+        let system = UavSystem::from_catalog(catalog, airframe, sensor, compute, algorithm)
+            .expect("candidate components exist by construction");
+        match system.analyze() {
+            Ok(analysis) => DseOutcome {
+                sensor: sensor.clone(),
+                compute: compute.clone(),
+                algorithm: algorithm.clone(),
+                velocity: analysis.bound.velocity,
+                bound: Some(analysis.bound.bound),
+                feasible: true,
+            },
+            Err(SkylineError::CannotHover { .. }) => DseOutcome {
+                sensor: sensor.clone(),
+                compute: compute.clone(),
+                algorithm: algorithm.clone(),
+                velocity: MetersPerSecond::ZERO,
+                bound: None,
+                feasible: false,
+            },
+            Err(other) => panic!("unexpected analysis error in DSE: {other}"),
+        }
+    });
+
+    let mut ranked = outcomes;
+    ranked.sort_by(|a, b| {
+        b.feasible
+            .cmp(&a.feasible)
+            .then(b.velocity.partial_cmp(&a.velocity).expect("finite velocities"))
+    });
+    Ok(DseResult {
+        airframe: airframe.to_owned(),
+        ranked,
+        uncharacterized,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f1_components::names;
+
+    #[test]
+    fn explores_pelican_and_ranks() {
+        let catalog = Catalog::paper();
+        let result = explore(&catalog, names::ASCTEC_PELICAN).unwrap();
+        assert!(!result.ranked.is_empty());
+        // Ranked descending by velocity among feasible entries.
+        let feas: Vec<f64> = result.feasible().map(|o| o.velocity.get()).collect();
+        for w in feas.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        // Pelican can lift everything in the catalog.
+        let best = result.best().unwrap();
+        assert!(best.velocity.get() > 0.0);
+    }
+
+    #[test]
+    fn best_pelican_build_uses_a_light_fast_combo() {
+        // The winner should be physics-bound (fast algorithm) and use a
+        // lightweight platform; heavyweights like SPA-on-TX2 must rank low.
+        let catalog = Catalog::paper();
+        let result = explore(&catalog, names::ASCTEC_PELICAN).unwrap();
+        let best = result.best().unwrap();
+        assert_eq!(best.bound, Some(Bound::Physics));
+        let worst_feasible = result.feasible().last().unwrap();
+        assert!(best.velocity.get() > worst_feasible.velocity.get());
+    }
+
+    #[test]
+    fn nano_uav_rejects_heavy_platforms() {
+        let catalog = Catalog::paper();
+        let result = explore(&catalog, names::NANO_UAV).unwrap();
+        // AGX/TX2 builds are infeasible on the nano frame.
+        assert!(result
+            .ranked
+            .iter()
+            .any(|o| !o.feasible && (o.compute == names::AGX || o.compute == names::TX2)));
+        // But PULP-DroNet flies.
+        let best = result.best().unwrap();
+        assert!(
+            best.compute == names::PULP
+                || best.compute == names::NAVION
+                || best.compute == names::NCS,
+            "best nano compute was {}",
+            best.compute
+        );
+    }
+
+    #[test]
+    fn uncharacterized_pairs_are_counted_not_evaluated() {
+        let catalog = Catalog::paper();
+        let result = explore(&catalog, names::DJI_SPARK).unwrap();
+        assert!(result.uncharacterized > 0);
+    }
+
+    #[test]
+    fn unknown_airframe_is_an_error() {
+        let catalog = Catalog::paper();
+        assert!(explore(&catalog, "Ingenuity").is_err());
+    }
+}

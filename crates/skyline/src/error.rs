@@ -1,0 +1,130 @@
+//! Skyline error type.
+
+use f1_components::ComponentError;
+use f1_model::ModelError;
+use f1_plot::PlotError;
+
+/// Errors produced by the Skyline engine.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SkylineError {
+    /// A component lookup or construction failed.
+    Component(ComponentError),
+    /// A model construction or evaluation failed.
+    Model(ModelError),
+    /// Chart rendering failed.
+    Plot(PlotError),
+    /// The assembled system is missing a required part.
+    IncompleteSystem {
+        /// Which part is missing.
+        missing: &'static str,
+    },
+    /// The assembled system cannot fly (payload exceeds thrust budget).
+    CannotHover {
+        /// The system's name.
+        system: String,
+        /// Take-off mass in grams.
+        takeoff_g: f64,
+        /// Equivalent liftable mass in grams.
+        liftable_g: f64,
+    },
+}
+
+impl core::fmt::Display for SkylineError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Component(e) => write!(f, "component error: {e}"),
+            Self::Model(e) => write!(f, "model error: {e}"),
+            Self::Plot(e) => write!(f, "plot error: {e}"),
+            Self::IncompleteSystem { missing } => {
+                write!(f, "incomplete UAV system: missing {missing}")
+            }
+            Self::CannotHover {
+                system,
+                takeoff_g,
+                liftable_g,
+            } => write!(
+                f,
+                "{system} cannot hover: take-off mass {takeoff_g:.0} g exceeds \
+                 liftable {liftable_g:.0} g"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SkylineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Component(e) => Some(e),
+            Self::Model(e) => Some(e),
+            Self::Plot(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ComponentError> for SkylineError {
+    fn from(e: ComponentError) -> Self {
+        Self::Component(e)
+    }
+}
+
+impl From<ModelError> for SkylineError {
+    fn from(e: ModelError) -> Self {
+        Self::Model(e)
+    }
+}
+
+impl From<PlotError> for SkylineError {
+    fn from(e: PlotError) -> Self {
+        Self::Plot(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let ce: SkylineError = ComponentError::UnknownComponent {
+            family: "sensor",
+            name: "sonar".into(),
+        }
+        .into();
+        assert!(ce.to_string().contains("sonar"));
+
+        let me: SkylineError = ModelError::NoConvergence {
+            solver: "bisect",
+            iterations: 3,
+        }
+        .into();
+        assert!(me.to_string().contains("bisect"));
+
+        let pe: SkylineError = PlotError::EmptyChart.into();
+        assert!(pe.to_string().contains("chart"));
+
+        let hover = SkylineError::CannotHover {
+            system: "nano + AGX".into(),
+            takeoff_g: 470.0,
+            liftable_g: 34.0,
+        };
+        assert!(hover.to_string().contains("470"));
+    }
+
+    #[test]
+    fn source_chain() {
+        use std::error::Error as _;
+        let e: SkylineError = PlotError::EmptyChart.into();
+        assert!(e.source().is_some());
+        assert!(SkylineError::IncompleteSystem { missing: "sensor" }
+            .source()
+            .is_none());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<SkylineError>();
+    }
+}

@@ -1,0 +1,57 @@
+//! # `f1-skyline` — the Skyline analysis engine (paper §V)
+//!
+//! Skyline is the paper's interactive tool over the F-1 model. This crate
+//! is its engine:
+//!
+//! * [`Knobs`] — the user-settable UAV parameters of paper Table II.
+//! * [`UavSystem`] — a full UAV assembled from catalog components (or raw
+//!   knobs): airframe + sensor + onboard computer(s) + autonomy algorithm;
+//!   it derives payload mass (including the TDP-driven heatsink), body
+//!   dynamics, stage rates and the F-1 roofline.
+//! * [`SystemAnalysis`] — the "Automatic Analysis" pane: bound
+//!   classification, knee, design assessment and optimization tips.
+//! * [`redundancy`] — N-modular-redundancy what-ifs (paper §VI-C).
+//! * [`sweep`] — a crossbeam-parallel parameter sweep engine for
+//!   characterization studies (payload sweeps, TDP sweeps, full-system
+//!   matrices).
+//! * [`chart`] — roofline chart construction on top of `f1-plot`.
+//! * [`dse`] — automated design-space exploration over the catalog (the
+//!   paper's conclusion proposes exactly this use).
+//!
+//! # Examples
+//!
+//! ```
+//! use f1_components::{names, Catalog};
+//! use f1_skyline::UavSystem;
+//!
+//! let catalog = Catalog::paper();
+//! // §VI-B: AscTec Pelican + TX2 running DroNet behind an RGB-D camera.
+//! let system = UavSystem::from_catalog(
+//!     &catalog,
+//!     names::ASCTEC_PELICAN,
+//!     names::RGBD_60,
+//!     names::TX2,
+//!     names::DRONET,
+//! )?;
+//! let analysis = system.analyze()?;
+//! // DroNet on TX2 exceeds the knee: the UAV is physics-bound.
+//! assert_eq!(analysis.bound.bound, f1_model::roofline::Bound::Physics);
+//! # Ok::<(), f1_skyline::SkylineError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod dse;
+mod error;
+mod knobs;
+pub mod mission;
+pub mod redundancy;
+pub mod report;
+pub mod sweep;
+mod system;
+
+pub use error::SkylineError;
+pub use knobs::{KnobDescription, Knobs};
+pub use system::{Recommendation, SystemAnalysis, UavSystem, UavSystemBuilder};

@@ -1,0 +1,238 @@
+//! Mission-level consequences of an F-1 operating point (extension).
+//!
+//! The paper's §I argument is that a higher safe velocity "lowers the
+//! mission time and overall mission energy". This module closes the loop:
+//! it derives a cruise power model from the assembled system's physical
+//! parameters (momentum-theory hover power from take-off mass and rotor
+//! disk area, avionics power from the compute TDPs) and compares the
+//! mission cost at the *achieved* safe velocity against the cost at the
+//! knee velocity — quantifying what a compute or sensor bottleneck costs
+//! in minutes and watt-hours.
+
+use f1_model::mission::{estimate_mission, MissionEstimate, PowerModel};
+use f1_units::{Meters, MetersPerSecond};
+
+use crate::system::UavSystem;
+use crate::SkylineError;
+
+/// Mission parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MissionSpec {
+    /// One-way mission distance.
+    pub distance: Meters,
+    /// Usable battery fraction (depth-of-discharge guard), default 0.8.
+    pub battery_reserve: f64,
+    /// Hover figure of merit for the momentum-theory power estimate.
+    pub figure_of_merit: f64,
+    /// Parasitic power coefficient, W/(m/s)³.
+    pub parasitic_coeff: f64,
+}
+
+impl MissionSpec {
+    /// A mission over the given distance with conventional defaults
+    /// (80 % usable battery, FoM 0.65, c_p 0.08 W/(m/s)³).
+    #[must_use]
+    pub fn over(distance: Meters) -> Self {
+        Self {
+            distance,
+            battery_reserve: 0.8,
+            figure_of_merit: 0.65,
+            parasitic_coeff: 0.08,
+        }
+    }
+}
+
+/// Mission analysis of one assembled system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MissionAnalysis {
+    /// The F-1 safe velocity the system can actually cruise at.
+    pub cruise: MetersPerSecond,
+    /// The knee velocity — what the airframe could do with a balanced
+    /// pipeline.
+    pub knee_velocity: MetersPerSecond,
+    /// Mission cost at the achieved cruise.
+    pub at_cruise: MissionEstimate,
+    /// Mission cost at the knee velocity.
+    pub at_knee: MissionEstimate,
+    /// The derived power model.
+    pub power: PowerModel,
+    /// Usable battery energy, if the system carries a mission battery.
+    pub usable_battery_wh: Option<f64>,
+    /// Whether the mission fits the usable battery at the achieved cruise
+    /// (None without a battery).
+    pub feasible: Option<bool>,
+}
+
+impl MissionAnalysis {
+    /// Extra mission time caused by the pipeline bottleneck, percent.
+    #[must_use]
+    pub fn time_penalty_percent(&self) -> f64 {
+        (self.at_cruise.duration.get() / self.at_knee.duration.get() - 1.0) * 100.0
+    }
+
+    /// Extra mission energy caused by the pipeline bottleneck, percent
+    /// (can be negative above the energy-optimal speed).
+    #[must_use]
+    pub fn energy_penalty_percent(&self) -> f64 {
+        (self.at_cruise.energy_wh / self.at_knee.energy_wh - 1.0) * 100.0
+    }
+}
+
+/// Derives the power model for a system from its physical parameters.
+///
+/// # Errors
+///
+/// Propagates hover/model errors ([`SkylineError::CannotHover`] etc.).
+pub fn derive_power_model(
+    system: &UavSystem,
+    spec: &MissionSpec,
+) -> Result<PowerModel, SkylineError> {
+    let body = system.body_dynamics()?;
+    // Rotor disk: radius ≈ a quarter of the diagonal frame size per rotor
+    // (props span roughly half an arm), a standard sizing heuristic.
+    let radius = system.airframe().frame_size().to_meters().get() * 0.25;
+    let disk_area =
+        f64::from(system.airframe().rotor_count()) * std::f64::consts::PI * radius * radius;
+    let hover = PowerModel::induced_hover_power(
+        body.total_mass(),
+        disk_area,
+        spec.figure_of_merit,
+    )?;
+    // Avionics: compute TDPs plus a couple of watts for the sensor stack.
+    let avionics = system.total_tdp().get() + 2.0;
+    Ok(PowerModel::new(
+        hover.get(),
+        avionics,
+        spec.parasitic_coeff,
+    )?)
+}
+
+/// Runs the mission analysis for a system.
+///
+/// # Errors
+///
+/// Returns [`SkylineError::CannotHover`] for infeasible builds and domain
+/// errors for invalid specs.
+pub fn analyze_mission(
+    system: &UavSystem,
+    spec: &MissionSpec,
+) -> Result<MissionAnalysis, SkylineError> {
+    if !(spec.battery_reserve.is_finite() && spec.battery_reserve > 0.0 && spec.battery_reserve <= 1.0)
+    {
+        return Err(SkylineError::Model(f1_model::ModelError::OutOfDomain {
+            parameter: "battery reserve",
+            value: spec.battery_reserve,
+            expected: "0 < reserve <= 1",
+        }));
+    }
+    let analysis = system.analyze()?;
+    let power = derive_power_model(system, spec)?;
+    let cruise = analysis.bound.velocity;
+    let knee_velocity = analysis.bound.knee.velocity;
+    let at_cruise = estimate_mission(&power, spec.distance, cruise)?;
+    let at_knee = estimate_mission(&power, spec.distance, knee_velocity)?;
+    let usable_battery_wh = system
+        .battery()
+        .map(|b| b.energy_watt_hours() * spec.battery_reserve);
+    let feasible = usable_battery_wh.map(|wh| at_cruise.energy_wh <= wh);
+    Ok(MissionAnalysis {
+        cruise,
+        knee_velocity,
+        at_cruise,
+        at_knee,
+        power,
+        usable_battery_wh,
+        feasible,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f1_components::{names, Catalog};
+
+    fn pelican(algorithm: &str) -> UavSystem {
+        UavSystem::from_catalog(
+            &Catalog::paper(),
+            names::ASCTEC_PELICAN,
+            names::RGBD_60,
+            names::TX2,
+            algorithm,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn compute_bottleneck_costs_time_and_energy() {
+        // SPA at 1.1 Hz caps the Pelican at ~3.8 m/s vs a ~7.7 m/s knee:
+        // the mission takes ~2× longer AND burns more battery (§I's claim,
+        // now with numbers).
+        let spec = MissionSpec::over(Meters::new(1000.0));
+        let slow = analyze_mission(&pelican(names::MAVBENCH_PD), &spec).unwrap();
+        assert!(slow.time_penalty_percent() > 50.0);
+        assert!(slow.energy_penalty_percent() > 10.0);
+
+        // A physics-bound build pays (almost) no penalty.
+        let fast = analyze_mission(&pelican(names::DRONET), &spec).unwrap();
+        assert!(fast.time_penalty_percent() < 2.0);
+        assert!(fast.energy_penalty_percent().abs() < 5.0);
+    }
+
+    #[test]
+    fn battery_feasibility() {
+        let catalog = Catalog::paper();
+        let battery = catalog.battery(names::BATTERY_PELICAN).unwrap().clone();
+        let base = pelican(names::DRONET);
+        let with_battery = UavSystem::builder("pelican + battery")
+            .airframe(base.airframe().clone())
+            .sensor(base.sensor().clone())
+            .compute(base.computes()[0].clone())
+            .algorithm(base.algorithm().clone())
+            .compute_throughput(base.compute_throughput())
+            .battery(battery)
+            .build()
+            .unwrap();
+        let short = analyze_mission(&with_battery, &MissionSpec::over(Meters::new(500.0))).unwrap();
+        assert_eq!(short.feasible, Some(true));
+        let absurd =
+            analyze_mission(&with_battery, &MissionSpec::over(Meters::new(500_000.0))).unwrap();
+        assert_eq!(absurd.feasible, Some(false));
+        // Without a battery, feasibility is unknowable.
+        let none = analyze_mission(&base, &MissionSpec::over(Meters::new(500.0))).unwrap();
+        assert_eq!(none.feasible, None);
+    }
+
+    #[test]
+    fn derived_power_is_plausible() {
+        let spec = MissionSpec::over(Meters::new(100.0));
+        let p = derive_power_model(&pelican(names::DRONET), &spec).unwrap();
+        // 1.5 kg research quad: roughly 100–400 W hover.
+        assert!(p.hover_power().get() > 80.0 && p.hover_power().get() < 450.0);
+        // Avionics includes the TX2's 15 W.
+        assert!(p.avionics_power().get() >= 15.0);
+    }
+
+    #[test]
+    fn invalid_reserve_rejected() {
+        let mut spec = MissionSpec::over(Meters::new(100.0));
+        spec.battery_reserve = 0.0;
+        assert!(analyze_mission(&pelican(names::DRONET), &spec).is_err());
+        spec.battery_reserve = 1.5;
+        assert!(analyze_mission(&pelican(names::DRONET), &spec).is_err());
+    }
+
+    #[test]
+    fn heavier_compute_needs_more_hover_power() {
+        let spec = MissionSpec::over(Meters::new(100.0));
+        let catalog = Catalog::paper();
+        let light = pelican(names::DRONET);
+        let heavy = light.with_compute_platform(
+            catalog.compute(names::AGX).unwrap().clone(),
+            f1_units::Hertz::new(230.0),
+        );
+        let p_light = derive_power_model(&light, &spec).unwrap();
+        let p_heavy = derive_power_model(&heavy, &spec).unwrap();
+        assert!(p_heavy.hover_power() > p_light.hover_power());
+        assert!(p_heavy.avionics_power() > p_light.avionics_power());
+    }
+}

@@ -1,0 +1,128 @@
+//! Modular-redundancy what-ifs (paper §VI-C).
+//!
+//! Adding a second (or N-th) onboard computer increases reliability via
+//! voting but adds its fielded mass *and* its heatsink mass, lowering
+//! `a_max` and with it the roofline. Throughput does not improve: replicas
+//! compute the same answer.
+
+use f1_units::MetersPerSecond;
+
+use crate::system::UavSystem;
+use crate::SkylineError;
+
+/// Result of a redundancy characterization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RedundancyStudy {
+    /// Replication factor (1 = baseline).
+    pub replicas: usize,
+    /// The redundant system.
+    pub system: UavSystem,
+    /// The baseline (single-computer) roof.
+    pub baseline_roof: MetersPerSecond,
+    /// The redundant system's roof.
+    pub redundant_roof: MetersPerSecond,
+}
+
+impl RedundancyStudy {
+    /// Fractional velocity loss versus baseline, in `[0, 1)`.
+    #[must_use]
+    pub fn velocity_loss(&self) -> f64 {
+        1.0 - self.redundant_roof.get() / self.baseline_roof.get()
+    }
+}
+
+/// Builds the N-modular-redundant variant of a system by replicating its
+/// first onboard computer `replicas` times in total.
+///
+/// # Errors
+///
+/// Returns an error for `replicas == 0`, or [`SkylineError::CannotHover`]
+/// if the replicated payload exceeds the thrust budget.
+pub fn with_modular_redundancy(
+    system: &UavSystem,
+    replicas: usize,
+) -> Result<RedundancyStudy, SkylineError> {
+    if replicas == 0 {
+        return Err(SkylineError::Model(f1_model::ModelError::OutOfDomain {
+            parameter: "replicas",
+            value: 0.0,
+            expected: ">= 1",
+        }));
+    }
+    let baseline_roof = system.roofline()?.roof();
+    let primary = system.computes()[0].clone();
+    let mut redundant = system.clone();
+    redundant.rename(format!("{} ({}x redundant)", system.name(), replicas));
+    for _ in system.computes().len()..replicas {
+        redundant.push_compute(primary.clone());
+    }
+    let redundant_roof = redundant.roofline()?.roof();
+    Ok(RedundancyStudy {
+        replicas,
+        system: redundant,
+        baseline_roof,
+        redundant_roof,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f1_components::{names, Catalog};
+
+    fn pelican_tx2() -> UavSystem {
+        UavSystem::from_catalog(
+            &Catalog::paper(),
+            names::ASCTEC_PELICAN,
+            names::RGBD_60,
+            names::TX2,
+            names::DRONET,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dual_redundancy_lowers_roof() {
+        // §VI-C: dual TX2 reduces safe velocity ~33 % on the Pelican.
+        let study = with_modular_redundancy(&pelican_tx2(), 2).unwrap();
+        assert_eq!(study.system.computes().len(), 2);
+        let loss = study.velocity_loss();
+        assert!(loss > 0.03 && loss < 0.5, "loss = {loss}");
+        assert!(study.redundant_roof < study.baseline_roof);
+    }
+
+    #[test]
+    fn triple_redundancy_lowers_more() {
+        let dual = with_modular_redundancy(&pelican_tx2(), 2).unwrap();
+        let triple = with_modular_redundancy(&pelican_tx2(), 3).unwrap();
+        assert!(triple.velocity_loss() > dual.velocity_loss());
+        assert_eq!(triple.system.computes().len(), 3);
+    }
+
+    #[test]
+    fn single_replica_is_identity() {
+        let study = with_modular_redundancy(&pelican_tx2(), 1).unwrap();
+        assert!((study.velocity_loss()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_replicas_rejected() {
+        assert!(with_modular_redundancy(&pelican_tx2(), 0).is_err());
+    }
+
+    #[test]
+    fn throughput_unchanged_by_redundancy() {
+        let base = pelican_tx2();
+        let study = with_modular_redundancy(&base, 2).unwrap();
+        assert_eq!(
+            study.system.compute_throughput(),
+            base.compute_throughput()
+        );
+    }
+
+    #[test]
+    fn excessive_redundancy_cannot_hover() {
+        let study = with_modular_redundancy(&pelican_tx2(), 40);
+        assert!(matches!(study, Err(SkylineError::CannotHover { .. })));
+    }
+}

@@ -1,0 +1,176 @@
+//! Markdown report generation — the Skyline "analysis and guidance area"
+//! (paper §V-D) as a self-contained document.
+
+use f1_units::Hertz;
+
+use crate::chart::{roofline_chart, OperatingPoint};
+use crate::mission::{analyze_mission, MissionSpec};
+use crate::system::UavSystem;
+use crate::SkylineError;
+
+/// Renders a complete Markdown report for a system: component inventory,
+/// automatic analysis, optimization tips, optional mission estimate, and
+/// the roofline as an ASCII chart.
+///
+/// # Errors
+///
+/// Propagates analysis errors ([`SkylineError::CannotHover`] for
+/// infeasible builds) and chart-rendering errors.
+pub fn markdown_report(
+    system: &UavSystem,
+    mission: Option<&MissionSpec>,
+) -> Result<String, SkylineError> {
+    let analysis = system.analyze()?;
+    let rates = system.stage_rates()?;
+    let mut out = String::new();
+
+    out.push_str(&format!("# Skyline report — {}\n\n", system.name()));
+
+    out.push_str("## Configuration\n\n");
+    out.push_str("| component | value |\n|---|---|\n");
+    out.push_str(&format!("| airframe | {} |\n", system.airframe()));
+    out.push_str(&format!("| sensor | {} |\n", system.sensor()));
+    for c in system.computes() {
+        out.push_str(&format!(
+            "| onboard compute | {} (heatsink {:.0}) |\n",
+            c,
+            system.heatsink_mass(c)
+        ));
+    }
+    out.push_str(&format!("| algorithm | {} |\n", system.algorithm()));
+    out.push_str(&format!(
+        "| payload | {:.0} (take-off {:.0} g) |\n",
+        analysis.payload, analysis.takeoff_mass_g
+    ));
+
+    out.push_str("\n## Analysis\n\n");
+    out.push_str(&format!(
+        "- pipeline: sensor {:.1}, compute {:.1}, control {:.1} → f_action **{:.2}**\n",
+        rates.sensor(),
+        rates.compute(),
+        rates.control(),
+        analysis.bound.action_throughput
+    ));
+    out.push_str(&format!(
+        "- roofline: roof **{:.2}**, {}\n",
+        analysis.bound.roof, analysis.bound.knee
+    ));
+    out.push_str(&format!(
+        "- achieved safe velocity: **{:.2}** ({:.0}% of roof)\n",
+        analysis.bound.velocity,
+        analysis.bound.roof_utilization() * 100.0
+    ));
+    out.push_str(&format!("- verdict: **{}** — {}\n", analysis.bound.bound, analysis.assessment));
+    out.push_str(&format!(
+        "- compute stage alone: {}\n",
+        analysis.compute_assessment
+    ));
+
+    if !analysis.recommendations.is_empty() {
+        out.push_str("\n## Optimization tips\n\n");
+        for r in &analysis.recommendations {
+            out.push_str(&format!("- {r}\n"));
+        }
+    }
+
+    if let Some(spec) = mission {
+        let m = analyze_mission(system, spec)?;
+        out.push_str("\n## Mission estimate\n\n");
+        out.push_str(&format!(
+            "- {:.0} m at {:.2}: **{:.1}**, {:.1} Wh (avg {:.0})\n",
+            spec.distance.get(),
+            m.cruise,
+            m.at_cruise.duration.to_minutes(),
+            m.at_cruise.energy_wh,
+            m.at_cruise.avg_power
+        ));
+        out.push_str(&format!(
+            "- bottleneck cost vs a balanced pipeline: {:+.1}% time, {:+.1}% energy\n",
+            m.time_penalty_percent(),
+            m.energy_penalty_percent()
+        ));
+        match m.feasible {
+            Some(true) => out.push_str("- fits the usable battery ✓\n"),
+            Some(false) => out.push_str("- **exceeds the usable battery ✗**\n"),
+            None => out.push_str("- no mission battery configured; feasibility unknown\n"),
+        }
+    }
+
+    out.push_str("\n## Roofline\n\n```\n");
+    let roofline = system.roofline()?;
+    let op = OperatingPoint {
+        label: format!("{} @ {:.1}", system.algorithm().name(), rates.compute()),
+        rate: rates.compute(),
+        velocity: roofline.velocity_at(rates.action_throughput()),
+    };
+    let chart = roofline_chart(
+        system.name(),
+        &[(system.airframe().name().to_owned(), roofline)],
+        &[op],
+        Hertz::new(0.5),
+        Hertz::new(1000.0),
+    )?;
+    out.push_str(&chart.render_ascii(96, 26)?);
+    out.push_str("```\n");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f1_components::{names, Catalog};
+    use f1_units::Meters;
+
+    fn system() -> UavSystem {
+        UavSystem::from_catalog(
+            &Catalog::paper(),
+            names::ASCTEC_PELICAN,
+            names::RGBD_60,
+            names::TX2,
+            names::DRONET,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn report_contains_all_sections() {
+        let md = markdown_report(&system(), None).unwrap();
+        for section in ["# Skyline report", "## Configuration", "## Analysis", "## Roofline"] {
+            assert!(md.contains(section), "missing {section}");
+        }
+        assert!(md.contains("physics-bound"));
+        assert!(!md.contains("## Mission estimate"));
+    }
+
+    #[test]
+    fn report_with_mission_section() {
+        let spec = MissionSpec::over(Meters::new(1500.0));
+        let md = markdown_report(&system(), Some(&spec)).unwrap();
+        assert!(md.contains("## Mission estimate"));
+        assert!(md.contains("1500 m"));
+        assert!(md.contains("feasibility unknown"));
+    }
+
+    #[test]
+    fn infeasible_system_reports_error() {
+        let sys = UavSystem::from_catalog(
+            &Catalog::paper(),
+            names::NANO_UAV,
+            names::NANO_CAM_60,
+            names::AGX,
+            names::DRONET,
+        )
+        .unwrap();
+        assert!(matches!(
+            markdown_report(&sys, None),
+            Err(SkylineError::CannotHover { .. })
+        ));
+    }
+
+    #[test]
+    fn chart_is_fenced() {
+        let md = markdown_report(&system(), None).unwrap();
+        let fences = md.matches("```").count();
+        assert_eq!(fences, 2);
+    }
+}

@@ -1,0 +1,187 @@
+//! A crossbeam-parallel parameter sweep engine.
+//!
+//! Skyline's characterization studies evaluate the model across hundreds of
+//! configurations (payload sweeps for Fig. 9, the full platform × algorithm
+//! × UAV matrix for Fig. 15, TDP sweeps for Fig. 12). Evaluations are
+//! independent, so they parallelize trivially; this module provides an
+//! order-preserving parallel map built on scoped threads.
+
+use crossbeam::channel;
+
+/// Applies `f` to every input on a pool of scoped worker threads,
+/// preserving input order in the output.
+///
+/// Falls back to a sequential map for tiny workloads (< 2 items or a
+/// single available core).
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the worker's panic aborts the scope).
+pub fn parallel_map<T, R, F>(inputs: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(inputs.len().max(1));
+    if workers <= 1 || inputs.len() < 2 {
+        return inputs.iter().map(&f).collect();
+    }
+
+    let (tx, rx) = channel::unbounded::<(usize, R)>();
+    let indexed: Vec<(usize, T)> = inputs.into_iter().enumerate().collect();
+    crossbeam::scope(|scope| {
+        for chunk in indexed.chunks(indexed.len().div_ceil(workers)) {
+            let tx = tx.clone();
+            let f = &f;
+            scope.spawn(move |_| {
+                for (i, item) in chunk {
+                    let _ = tx.send((*i, f(item)));
+                }
+            });
+        }
+        drop(tx);
+    })
+    .expect("sweep worker panicked");
+
+    let mut out: Vec<(usize, R)> = rx.into_iter().collect();
+    out.sort_by_key(|(i, _)| *i);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+/// A single point of a one-dimensional sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint<R> {
+    /// The swept parameter value.
+    pub input: f64,
+    /// The evaluation result at that value.
+    pub output: R,
+}
+
+/// Sweeps a closure over `n` evenly-spaced values in `[lo, hi]`
+/// (inclusive), in parallel.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or the interval is not ordered.
+pub fn sweep_linear<R, F>(lo: f64, hi: f64, n: usize, f: F) -> Vec<SweepPoint<R>>
+where
+    R: Send,
+    F: Fn(f64) -> R + Sync,
+{
+    assert!(n >= 2, "need at least two sweep points");
+    assert!(lo < hi, "sweep interval must be ordered");
+    let inputs: Vec<f64> = (0..n)
+        .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+        .collect();
+    let outputs = parallel_map(inputs.clone(), |x| f(*x));
+    inputs
+        .into_iter()
+        .zip(outputs)
+        .map(|(input, output)| SweepPoint { input, output })
+        .collect()
+}
+
+/// Sweeps a closure over `n` log-spaced values in `[lo, hi]` (inclusive),
+/// in parallel.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or the interval is not positive and ordered.
+pub fn sweep_log<R, F>(lo: f64, hi: f64, n: usize, f: F) -> Vec<SweepPoint<R>>
+where
+    R: Send,
+    F: Fn(f64) -> R + Sync,
+{
+    assert!(n >= 2, "need at least two sweep points");
+    assert!(lo > 0.0 && lo < hi, "log sweep interval must be positive and ordered");
+    let (l0, l1) = (lo.ln(), hi.ln());
+    let inputs: Vec<f64> = (0..n)
+        .map(|i| (l0 + (l1 - l0) * i as f64 / (n - 1) as f64).exp())
+        .collect();
+    let outputs = parallel_map(inputs.clone(), |x| f(*x));
+    inputs
+        .into_iter()
+        .zip(outputs)
+        .map(|(input, output)| SweepPoint { input, output })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let inputs: Vec<i64> = (0..500).collect();
+        let out = parallel_map(inputs, |x| x * 2);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as i64 * 2);
+        }
+    }
+
+    #[test]
+    fn parallel_map_runs_every_input_once() {
+        let counter = AtomicUsize::new(0);
+        let out = parallel_map((0..200).collect::<Vec<_>>(), |_| {
+            counter.fetch_add(1, Ordering::SeqCst)
+        });
+        assert_eq!(out.len(), 200);
+        assert_eq!(counter.load(Ordering::SeqCst), 200);
+    }
+
+    #[test]
+    fn tiny_inputs_work() {
+        assert_eq!(parallel_map(Vec::<i32>::new(), |x| *x), Vec::<i32>::new());
+        assert_eq!(parallel_map(vec![7], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn linear_sweep_endpoints_and_spacing() {
+        let pts = sweep_linear(0.0, 10.0, 11, |x| x * x);
+        assert_eq!(pts.len(), 11);
+        assert_eq!(pts[0].input, 0.0);
+        assert_eq!(pts[10].input, 10.0);
+        assert_eq!(pts[3].output, 9.0);
+        for w in pts.windows(2) {
+            assert!((w[1].input - w[0].input - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn log_sweep_is_geometric() {
+        let pts = sweep_log(1.0, 1000.0, 4, |x| x);
+        let ratios: Vec<f64> = pts.windows(2).map(|w| w[1].input / w[0].input).collect();
+        for r in ratios {
+            assert!((r - 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "two sweep points")]
+    fn sweep_needs_two_points() {
+        let _ = sweep_linear(0.0, 1.0, 1, |x| x);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        // A panicking evaluation must surface in the caller (crossbeam
+        // re-raises the child's payload), not silently drop results.
+        let inputs: Vec<i32> = (0..64).collect();
+        let _ = parallel_map(inputs, |x| {
+            assert!(*x != 33, "boom");
+            *x
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and ordered")]
+    fn log_sweep_rejects_zero_lo() {
+        let _ = sweep_log(0.0, 1.0, 3, |x| x);
+    }
+}

@@ -1,0 +1,97 @@
+//! Angular quantities, used for the pitch angle α in Eq. 5.
+
+use crate::macros::quantity;
+
+quantity! {
+    /// An angle in radians.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use f1_units::Radians;
+    /// let a = Radians::new(std::f64::consts::FRAC_PI_4);
+    /// assert!((a.sin() - a.cos()).abs() < 1e-12);
+    /// ```
+    Radians, "rad"
+}
+
+quantity! {
+    /// An angle in degrees (frame tilt limits are quoted in degrees).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use f1_units::{Degrees, Radians};
+    /// let tilt = Degrees::new(180.0);
+    /// assert!((tilt.to_radians().get() - std::f64::consts::PI).abs() < 1e-12);
+    /// ```
+    Degrees, "°"
+}
+
+impl Radians {
+    /// Sine of the angle.
+    #[must_use]
+    pub fn sin(self) -> f64 {
+        self.0.sin()
+    }
+
+    /// Cosine of the angle.
+    #[must_use]
+    pub fn cos(self) -> f64 {
+        self.0.cos()
+    }
+
+    /// Tangent of the angle.
+    #[must_use]
+    pub fn tan(self) -> f64 {
+        self.0.tan()
+    }
+
+    /// Converts to degrees.
+    #[must_use]
+    pub fn to_degrees(self) -> Degrees {
+        Degrees::new(self.0.to_degrees())
+    }
+
+    /// Builds an angle from its cosine, clamping the input into `[-1, 1]`
+    /// to absorb floating-point excursions.
+    #[must_use]
+    pub fn from_cos_clamped(c: f64) -> Self {
+        Self::new(c.clamp(-1.0, 1.0).acos())
+    }
+}
+
+impl Degrees {
+    /// Converts to radians.
+    #[must_use]
+    pub fn to_radians(self) -> Radians {
+        Radians::new(self.0.to_radians())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_radian_round_trip() {
+        let d = Degrees::new(35.0);
+        assert!((d.to_radians().to_degrees().get() - 35.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_cos_clamps_excursions() {
+        // 1.0 + 1e-12 would make acos return NaN without clamping.
+        let a = Radians::from_cos_clamped(1.0 + 1e-12);
+        assert_eq!(a.get(), 0.0);
+        let b = Radians::from_cos_clamped(-1.0 - 1e-12);
+        assert!((b.get() - std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trig_identities() {
+        let a = Radians::new(0.7);
+        assert!((a.sin().powi(2) + a.cos().powi(2) - 1.0).abs() < 1e-12);
+        assert!((a.tan() - a.sin() / a.cos()).abs() < 1e-12);
+    }
+}

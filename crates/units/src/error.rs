@@ -1,0 +1,84 @@
+//! Error type for quantity construction.
+
+/// Error returned when constructing a quantity from an invalid magnitude.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UnitError {
+    /// The magnitude was NaN or infinite.
+    NotFinite {
+        /// Name of the quantity type being constructed.
+        quantity: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The magnitude was negative where a non-negative value is required.
+    Negative {
+        /// Name of the quantity type being constructed.
+        quantity: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The magnitude was zero or negative where a strictly positive value is
+    /// required.
+    NotPositive {
+        /// Name of the quantity type being constructed.
+        quantity: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl core::fmt::Display for UnitError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::NotFinite { quantity, value } => {
+                write!(f, "{quantity} magnitude must be finite, got {value}")
+            }
+            Self::Negative { quantity, value } => {
+                write!(f, "{quantity} magnitude must be non-negative, got {value}")
+            }
+            Self::NotPositive { quantity, value } => {
+                write!(f, "{quantity} magnitude must be positive, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UnitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Hertz;
+
+    #[test]
+    fn display_mentions_quantity_and_value() {
+        let err = Hertz::try_new(f64::NAN).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("Hertz"), "{msg}");
+        assert!(msg.contains("finite"), "{msg}");
+    }
+
+    #[test]
+    fn negative_rejected_by_non_negative_ctor() {
+        let err = Hertz::try_non_negative(-3.0).unwrap_err();
+        assert_eq!(
+            err,
+            UnitError::Negative {
+                quantity: "Hertz",
+                value: -3.0
+            }
+        );
+    }
+
+    #[test]
+    fn zero_rejected_by_positive_ctor() {
+        let err = Hertz::try_positive(0.0).unwrap_err();
+        assert!(matches!(err, UnitError::NotPositive { .. }));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<UnitError>();
+    }
+}

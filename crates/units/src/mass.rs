@@ -1,0 +1,132 @@
+//! Mass quantities. UAV payload budgets are conventionally quoted in grams.
+
+use crate::macros::quantity;
+use crate::{Newtons, STANDARD_GRAVITY};
+
+quantity! {
+    /// A mass in grams — the unit the paper (and the hobby-UAV industry)
+    /// uses for payloads, heatsinks and frame weights.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use f1_units::{Grams, Kilograms};
+    /// assert_eq!(Grams::new(590.0).to_kilograms(), Kilograms::new(0.59));
+    /// ```
+    Grams, "g"
+}
+
+quantity! {
+    /// A mass in kilograms, used for SI-consistent dynamics computations.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use f1_units::{Kilograms, Grams};
+    /// assert_eq!(Kilograms::new(1.62).to_grams(), Grams::new(1620.0));
+    /// ```
+    Kilograms, "kg"
+}
+
+quantity! {
+    /// A force expressed as the weight of a mass in grams under standard
+    /// gravity — "gram-force".
+    ///
+    /// Motor datasheets specify "pull" this way (the paper's ReadytoSky 2210
+    /// motor pulls ≈ 435 g per motor, Table I). Convert to [`Newtons`] before
+    /// doing dynamics.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use f1_units::GramForce;
+    /// let pull = GramForce::new(435.0);
+    /// assert!((pull.to_newtons().get() - 4.266).abs() < 1e-3);
+    /// ```
+    GramForce, "gf"
+}
+
+impl Grams {
+    /// Converts to kilograms.
+    #[must_use]
+    pub fn to_kilograms(self) -> Kilograms {
+        Kilograms::new(self.0 * 1e-3)
+    }
+
+    /// The weight force of this mass under standard gravity.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use f1_units::Grams;
+    /// assert!((Grams::new(1000.0).weight().get() - 9.80665).abs() < 1e-9);
+    /// ```
+    #[must_use]
+    pub fn weight(self) -> Newtons {
+        self.to_kilograms().weight()
+    }
+}
+
+impl Kilograms {
+    /// Converts to grams.
+    #[must_use]
+    pub fn to_grams(self) -> Grams {
+        Grams::new(self.0 * 1e3)
+    }
+
+    /// The weight force of this mass under standard gravity.
+    #[must_use]
+    pub fn weight(self) -> Newtons {
+        Newtons::new(self.0 * STANDARD_GRAVITY)
+    }
+}
+
+impl GramForce {
+    /// Converts gram-force to newtons: `F[N] = m[kg] · g₀`.
+    #[must_use]
+    pub fn to_newtons(self) -> Newtons {
+        Newtons::new(self.0 * 1e-3 * STANDARD_GRAVITY)
+    }
+
+    /// The mass whose standard weight equals this force.
+    ///
+    /// Useful to express thrust budgets back in the gram units used by
+    /// payload tables: a rotor pulling 435 gf can hover 435 g of mass.
+    #[must_use]
+    pub fn equivalent_mass(self) -> Grams {
+        Grams::new(self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gram_kilogram_round_trip() {
+        let g = Grams::new(1030.0);
+        assert!((g.to_kilograms().to_grams().get() - 1030.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weight_of_one_kilogram() {
+        assert!((Kilograms::new(1.0).weight().get() - STANDARD_GRAVITY).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gram_force_mass_equivalence() {
+        // 435 gf of pull exactly supports 435 g of mass.
+        let pull = GramForce::new(435.0);
+        assert_eq!(pull.equivalent_mass(), Grams::new(435.0));
+        let supported = pull.equivalent_mass().weight();
+        assert!((supported.get() - pull.to_newtons().get()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table1_uav_a_total_mass() {
+        // Table I: base 1030 g + payload 590 g = 1620 g take-off mass.
+        let total = Grams::new(1030.0) + Grams::new(590.0);
+        assert_eq!(total, Grams::new(1620.0));
+        assert!((total.to_kilograms().get() - 1.62).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,67 @@
+//! Power and energy-capacity quantities.
+
+use crate::macros::quantity;
+
+quantity! {
+    /// Power in watts — the onboard computer's thermal design power (TDP),
+    /// which drives heatsink sizing and therefore payload weight.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use f1_units::Watts;
+    /// let agx = Watts::new(30.0);
+    /// let optimized = agx * 0.5;
+    /// assert_eq!(optimized, Watts::new(15.0));
+    /// ```
+    Watts, "W"
+}
+
+quantity! {
+    /// Battery capacity in milliamp-hours (Fig. 2b size classes).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use f1_units::MilliampHours;
+    /// let nano = MilliampHours::new(240.0);
+    /// let mini = MilliampHours::new(3830.0);
+    /// assert!(mini > nano);
+    /// ```
+    MilliampHours, "mAh"
+}
+
+impl MilliampHours {
+    /// Energy content in watt-hours at the given pack voltage.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use f1_units::MilliampHours;
+    /// // Table I battery: 3S 5000 mAh at 11.1 V ≈ 55.5 Wh.
+    /// let wh = MilliampHours::new(5000.0).energy_watt_hours(11.1);
+    /// assert!((wh - 55.5).abs() < 1e-9);
+    /// ```
+    #[must_use]
+    pub fn energy_watt_hours(self, pack_voltage: f64) -> f64 {
+        self.0 * 1e-3 * pack_voltage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tdp_halving() {
+        // §VI-A: reducing AGX TDP from 30 W to 15 W.
+        let agx = Watts::new(30.0);
+        assert_eq!(agx / 2.0, Watts::new(15.0));
+    }
+
+    #[test]
+    fn energy_scales_with_voltage() {
+        let cap = MilliampHours::new(1300.0);
+        assert!(cap.energy_watt_hours(11.1) > cap.energy_watt_hours(7.4));
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the quantity newtypes.
+
+use f1_units::*;
+use proptest::prelude::*;
+
+fn finite() -> impl Strategy<Value = f64> {
+    -1e12f64..1e12
+}
+
+fn positive() -> impl Strategy<Value = f64> {
+    1e-9f64..1e9
+}
+
+proptest! {
+    /// Construction accepts exactly the finite reals.
+    #[test]
+    fn try_new_accepts_finite(v in finite()) {
+        prop_assert!(Hertz::try_new(v).is_ok());
+        prop_assert!(Seconds::try_new(v).is_ok());
+        prop_assert!(Grams::try_new(v).is_ok());
+    }
+
+    /// Arithmetic matches raw f64 arithmetic.
+    #[test]
+    fn arithmetic_is_transparent(a in finite(), b in finite()) {
+        prop_assert_eq!((Meters::new(a) + Meters::new(b)).get(), a + b);
+        prop_assert_eq!((Meters::new(a) - Meters::new(b)).get(), a - b);
+        prop_assert_eq!((Meters::new(a) * 2.0).get(), a * 2.0);
+        prop_assert_eq!((2.0 * Meters::new(a)).get(), 2.0 * a);
+        prop_assert_eq!((-Meters::new(a)).get(), -a);
+    }
+
+    /// Period/frequency are mutual inverses on the positive reals.
+    #[test]
+    fn period_frequency_inverse(f in positive()) {
+        let hz = Hertz::new(f);
+        let back = hz.period().frequency();
+        prop_assert!((back.get() - f).abs() <= f * 1e-12);
+    }
+
+    /// Unit conversions round-trip.
+    #[test]
+    fn conversions_round_trip(v in positive()) {
+        prop_assert!((Grams::new(v).to_kilograms().to_grams().get() - v).abs() <= v * 1e-12);
+        prop_assert!((Millimeters::new(v).to_meters().to_millimeters().get() - v).abs() <= v * 1e-9);
+        prop_assert!((Minutes::new(v).to_seconds().to_minutes().get() - v).abs() <= v * 1e-12);
+        prop_assert!((Degrees::new(v % 360.0).to_radians().to_degrees().get() - v % 360.0).abs() < 1e-9);
+    }
+
+    /// Gram-force ↔ newtons is linear with slope g₀.
+    #[test]
+    fn gram_force_linear(v in positive()) {
+        let n = GramForce::new(v).to_newtons().get();
+        prop_assert!((n - v * 1e-3 * STANDARD_GRAVITY).abs() <= n.abs() * 1e-12);
+    }
+
+    /// Dimensional algebra: (v·t)/t = v and (a·t) = Δv.
+    #[test]
+    fn dimensional_algebra(v in positive(), t in positive()) {
+        let d = MetersPerSecond::new(v) * Seconds::new(t);
+        let back = d / Seconds::new(t);
+        prop_assert!((back.get() - v).abs() <= v * 1e-12);
+        let dt = Meters::new(d.get()) / MetersPerSecond::new(v);
+        prop_assert!((dt.get() - t).abs() <= t * 1e-9);
+    }
+
+    /// Braking distance is quadratic in speed and inverse in deceleration.
+    #[test]
+    fn braking_distance_scaling(v in 0.1f64..100.0, a in 0.1f64..100.0) {
+        let d1 = MetersPerSecond::new(v).braking_distance(MetersPerSecondSquared::new(a));
+        let d2 = MetersPerSecond::new(2.0 * v).braking_distance(MetersPerSecondSquared::new(a));
+        prop_assert!((d2.get() / d1.get() - 4.0).abs() < 1e-9);
+        let d3 = MetersPerSecond::new(v).braking_distance(MetersPerSecondSquared::new(2.0 * a));
+        prop_assert!((d1.get() / d3.get() - 2.0).abs() < 1e-9);
+    }
+
+    /// total_bits ordering matches numeric ordering for finite values.
+    #[test]
+    fn total_bits_order(a in finite(), b in finite()) {
+        use f1_units::Quantity as _;
+        let (qa, qb) = (Watts::new(a), Watts::new(b));
+        if a < b {
+            prop_assert!(qa.total_bits() < qb.total_bits() || a == b);
+        } else if a > b {
+            prop_assert!(qa.total_bits() > qb.total_bits());
+        }
+    }
+
+    /// min/max/abs/lerp behave like their f64 counterparts.
+    #[test]
+    fn helpers_match_f64(a in finite(), b in finite(), t in 0.0f64..1.0) {
+        prop_assert_eq!(Hertz::new(a).min(Hertz::new(b)).get(), a.min(b));
+        prop_assert_eq!(Hertz::new(a).max(Hertz::new(b)).get(), a.max(b));
+        prop_assert_eq!(Hertz::new(a).abs().get(), a.abs());
+        let l = Hertz::new(a).lerp(Hertz::new(b), t).get();
+        prop_assert!((l - (a + (b - a) * t)).abs() <= (a.abs() + b.abs()) * 1e-12 + 1e-12);
+    }
+}
+
+#[test]
+fn nan_and_infinity_rejected_everywhere() {
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        assert!(Hertz::try_new(bad).is_err());
+        assert!(Seconds::try_new(bad).is_err());
+        assert!(Meters::try_new(bad).is_err());
+        assert!(Grams::try_new(bad).is_err());
+        assert!(Watts::try_new(bad).is_err());
+        assert!(Newtons::try_new(bad).is_err());
+        assert!(Radians::try_new(bad).is_err());
+    }
+}

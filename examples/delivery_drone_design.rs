@@ -1,0 +1,53 @@
+//! Package-delivery drone design via automated design-space exploration.
+//!
+//! The paper's intro motivates package delivery as a target workload and
+//! its conclusion proposes using F-1 for automated DSE. This example
+//! explores every characterized sensor × compute × algorithm combination
+//! for an AscTec Pelican delivery platform and reports the ranking.
+//!
+//! ```sh
+//! cargo run --example delivery_drone_design
+//! ```
+
+use f1_uav::components::{names, Catalog};
+use f1_uav::skyline::dse;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let catalog = Catalog::paper();
+    let result = dse::explore(&catalog, names::ASCTEC_PELICAN)?;
+
+    println!(
+        "Explored {} candidate builds for {} ({} platform×algorithm pairs uncharacterized).\n",
+        result.ranked.len(),
+        result.airframe,
+        result.uncharacterized
+    );
+
+    println!("top 5 builds by safe velocity:");
+    for (i, o) in result.feasible().take(5).enumerate() {
+        println!(
+            "  {}. {:<16} + {:<26} + {:<28} → {:.2} m/s ({})",
+            i + 1,
+            o.sensor,
+            o.compute,
+            o.algorithm,
+            o.velocity.get(),
+            o.bound.map_or_else(|| "-".into(), |b| b.to_string()),
+        );
+    }
+
+    println!("\nbuilds that cannot even hover on this frame:");
+    for o in result.ranked.iter().filter(|o| !o.feasible).take(3) {
+        println!("  ✗ {} + {}", o.compute, o.algorithm);
+    }
+
+    let best = result.best().expect("the Pelican lifts the whole catalog");
+    println!(
+        "\nrecommended delivery build: {} + {} + {} at {:.2} m/s",
+        best.sensor,
+        best.compute,
+        best.algorithm,
+        best.velocity.get()
+    );
+    Ok(())
+}

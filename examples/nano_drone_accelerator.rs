@@ -1,0 +1,60 @@
+//! §VII replayed as a design session: you built a shiny low-power
+//! accelerator for a nano-UAV — is the *drone* actually faster?
+//!
+//! ```sh
+//! cargo run --example nano_drone_accelerator
+//! ```
+
+use f1_uav::components::{names, Catalog};
+use f1_uav::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let catalog = Catalog::paper();
+
+    // PULP-DroNet: 6 FPS of full autonomy at 64 mW.
+    let pulp = UavSystem::from_catalog(
+        &catalog,
+        names::NANO_UAV,
+        names::NANO_CAM_60,
+        names::PULP,
+        names::DRONET,
+    )?;
+    let analysis = pulp.analyze()?;
+    println!("{analysis}");
+    println!(
+        "isolated metric says 6 FPS @ 64 mW is impressive; the F-1 model says the \
+         drone needs {:.2}× more end-to-end throughput to hit its physics roof.\n",
+        analysis.assessment.speedup_required()
+    );
+
+    // Navion: a 172 FPS SLAM chip — but SLAM is only one SPA stage.
+    let navion = UavSystem::from_catalog(
+        &catalog,
+        names::NANO_UAV,
+        names::NANO_CAM_60,
+        names::NAVION,
+        names::MAVBENCH_PD,
+    )?;
+    let spa = catalog.algorithm(names::MAVBENCH_PD)?;
+    let residual_ms = spa.residual_share_without("SLAM")? * (1000.0 / 1.1);
+    let navion_analysis = navion.analyze()?;
+    println!("{navion_analysis}");
+    println!(
+        "Navion runs SLAM in {:.1} ms, but the un-accelerated mapping/planning \
+         stages still take {residual_ms:.0} ms — so the pipeline crawls at \
+         {:.2} Hz and needs {:.1}× improvement. Build accelerators for the \
+         *whole* sense-plan-act pipeline, not one kernel.",
+        1000.0 / 172.0,
+        navion_analysis.bound.action_throughput,
+        navion_analysis.assessment.speedup_required()
+    );
+
+    // What would a balanced nano accelerator look like?
+    let knee = pulp.roofline()?.knee();
+    println!(
+        "\ndesign target from the F-1 model: ~{:.0} Hz end-to-end at nano power \
+         — anything faster is wasted against this airframe's physics.",
+        knee.rate.get()
+    );
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Quickstart: assemble a UAV from the paper's catalog, run the automatic
+//! analysis, and print the roofline as ASCII art.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use f1_uav::prelude::*;
+use f1_uav::skyline::chart::{roofline_chart, OperatingPoint};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let catalog = Catalog::paper();
+
+    // The paper's §VI-B configuration: AscTec Pelican, RGB-D camera,
+    // Jetson TX2 running the DroNet end-to-end policy.
+    let system = UavSystem::from_catalog(
+        &catalog,
+        names::ASCTEC_PELICAN,
+        names::RGBD_60,
+        names::TX2,
+        names::DRONET,
+    )?;
+
+    // Skyline's automatic analysis: bound classification, knee point,
+    // design assessment and optimization tips.
+    let analysis = system.analyze()?;
+    println!("{analysis}");
+
+    // The same information, visually: the F-1 roofline.
+    let roofline = system.roofline()?;
+    let v = roofline.velocity_at(Hertz::new(178.0));
+    let chart = roofline_chart(
+        "AscTec Pelican + TX2 + DroNet",
+        &[("Pelican".into(), roofline)],
+        &[OperatingPoint {
+            label: "DroNet @ 178 Hz".into(),
+            rate: Hertz::new(178.0),
+            velocity: v,
+        }],
+        Hertz::new(0.5),
+        Hertz::new(1000.0),
+    )?;
+    println!("{}", chart.render_ascii(100, 28)?);
+
+    // What-if: would a Ras-Pi 4 keep up instead?
+    let raspi = UavSystem::from_catalog(
+        &catalog,
+        names::ASCTEC_PELICAN,
+        names::RGBD_60,
+        names::RAS_PI4,
+        names::DRONET,
+    )?;
+    let raspi_analysis = raspi.analyze()?;
+    println!(
+        "Swap in a Ras-Pi 4 and the UAV becomes {}: v_safe drops {:.2} → {:.2} m/s.",
+        raspi_analysis.bound.bound, analysis.bound.velocity, raspi_analysis.bound.velocity
+    );
+    for tip in &raspi_analysis.recommendations {
+        println!("  tip: {tip}");
+    }
+    Ok(())
+}

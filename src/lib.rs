@@ -1,0 +1,71 @@
+//! # `f1-uav` — Roofline Model for UAVs (ISPASS 2022 reproduction)
+//!
+//! A full reimplementation of *"Roofline Model for UAVs: A Bottleneck
+//! Analysis Tool for Onboard Compute Characterization of Autonomous
+//! Unmanned Aerial Vehicles"* (Krishnan et al., ISPASS 2022) as a Rust
+//! workspace. This facade crate re-exports every subsystem:
+//!
+//! * [`model`] (`f1-model`) — the F-1 model: safety model (Eq. 4),
+//!   pipeline bounds (Eq. 1–3), body dynamics (Eq. 5), heatsink sizing,
+//!   roofline/knee/bounds analysis.
+//! * [`components`] (`f1-components`) — the component catalog: airframes,
+//!   sensors, compute platforms, algorithms, throughput matrix.
+//! * [`skyline`] (`f1-skyline`) — the Skyline engine: system assembly,
+//!   automatic analysis, redundancy, sweeps, DSE, charts.
+//! * [`pipeline`] (`f1-pipeline`) — discrete-event pipeline simulation.
+//! * [`flightsim`] (`f1-flightsim`) — flight simulation and the §IV
+//!   stop-before-obstacle validation protocol.
+//! * [`plot`] (`f1-plot`) — SVG/ASCII chart rendering.
+//! * [`experiments`] (`f1-experiments`) — regenerators for every paper
+//!   figure and table.
+//! * [`units`] (`f1-units`) — typed physical quantities.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use f1_uav::prelude::*;
+//!
+//! // Assemble the paper's §VI-B system and ask where its bottleneck is.
+//! let catalog = Catalog::paper();
+//! let system = UavSystem::from_catalog(
+//!     &catalog,
+//!     names::ASCTEC_PELICAN,
+//!     names::RGBD_60,
+//!     names::TX2,
+//!     names::DRONET,
+//! )?;
+//! let analysis = system.analyze()?;
+//! println!("{analysis}");
+//! assert_eq!(analysis.bound.bound, Bound::Physics);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use f1_components as components;
+pub use f1_experiments as experiments;
+pub use f1_flightsim as flightsim;
+pub use f1_model as model;
+pub use f1_pipeline as pipeline;
+pub use f1_plot as plot;
+pub use f1_skyline as skyline;
+pub use f1_units as units;
+
+/// One-stop imports for typical use.
+pub mod prelude {
+    pub use f1_components::{names, Catalog, ComponentError};
+    pub use f1_model::prelude::*;
+    pub use f1_skyline::{Knobs, Recommendation, SkylineError, SystemAnalysis, UavSystem};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        let cat = crate::components::Catalog::paper();
+        assert!(cat.computes().count() > 0);
+        let eta = crate::model::roofline::Saturation::default();
+        assert!(eta.get() > 0.9);
+    }
+}

@@ -1,0 +1,212 @@
+//! Property-based tests of the F-1 model's core invariants, spanning
+//! `f1-units`, `f1-model` and `f1-skyline`.
+
+use f1_uav::model::analysis::DesignAssessment;
+use f1_uav::model::pipeline::StageRates;
+use f1_uav::model::roofline::{Bound, Roofline, Saturation};
+use f1_uav::model::safety::SafetyModel;
+use f1_uav::prelude::*;
+use proptest::prelude::*;
+
+fn arb_safety() -> impl Strategy<Value = SafetyModel> {
+    (0.05f64..100.0, 0.2f64..100.0).prop_map(|(a, d)| {
+        SafetyModel::new(MetersPerSecondSquared::new(a), Meters::new(d)).unwrap()
+    })
+}
+
+fn arb_saturation() -> impl Strategy<Value = Saturation> {
+    (0.5f64..0.999).prop_map(|eta| Saturation::new(eta).unwrap())
+}
+
+proptest! {
+    /// Eq. 4 is strictly decreasing in the action period and bounded by
+    /// the physics roof.
+    #[test]
+    fn velocity_monotone_and_bounded(safety in arb_safety(), t1 in 1e-4f64..10.0, t2 in 1e-4f64..10.0) {
+        let (lo, hi) = if t1 < t2 { (t1, t2) } else { (t2, t1) };
+        prop_assume!(hi - lo > 1e-9);
+        let v_fast = safety.safe_velocity(Seconds::new(lo));
+        let v_slow = safety.safe_velocity(Seconds::new(hi));
+        prop_assert!(v_fast > v_slow);
+        prop_assert!(v_fast <= safety.peak_velocity());
+        prop_assert!(v_slow.get() > 0.0);
+    }
+
+    /// Eq. 4 is increasing in both a_max and sensing range.
+    #[test]
+    fn velocity_monotone_in_physics(
+        a in 0.1f64..50.0, d in 0.5f64..50.0, t in 0.01f64..2.0, bump in 1.01f64..3.0
+    ) {
+        let base = SafetyModel::new(MetersPerSecondSquared::new(a), Meters::new(d)).unwrap();
+        let more_a = SafetyModel::new(MetersPerSecondSquared::new(a * bump), Meters::new(d)).unwrap();
+        let more_d = SafetyModel::new(MetersPerSecondSquared::new(a), Meters::new(d * bump)).unwrap();
+        let t = Seconds::new(t);
+        prop_assert!(more_a.safe_velocity(t) > base.safe_velocity(t));
+        prop_assert!(more_d.safe_velocity(t) > base.safe_velocity(t));
+    }
+
+    /// The closed-form inverse round-trips through Eq. 4.
+    #[test]
+    fn inverse_round_trip(safety in arb_safety(), frac in 0.01f64..0.99) {
+        let v = safety.peak_velocity() * frac;
+        let t = safety.action_period_for(v).unwrap();
+        let back = safety.safe_velocity(t);
+        prop_assert!((back.get() - v.get()).abs() < 1e-6 * v.get().max(1.0));
+    }
+
+    /// The knee's closed form agrees with the saturation definition:
+    /// v(f_k) = η·v_max exactly, v just below is smaller.
+    #[test]
+    fn knee_is_saturation_point(safety in arb_safety(), eta in arb_saturation()) {
+        let roofline = Roofline::with_saturation(safety, eta);
+        let knee = roofline.knee();
+        let v_at = roofline.velocity_at(knee.rate);
+        prop_assert!((v_at.get() - eta.get() * roofline.roof().get()).abs() < 1e-9 * roofline.roof().get());
+        let v_below = roofline.velocity_at(knee.rate * 0.9);
+        prop_assert!(v_below < v_at);
+    }
+
+    /// calibrate_a_max places the knee where it was asked to.
+    #[test]
+    fn knee_calibration_round_trip(d in 0.5f64..50.0, f_k in 1.0f64..500.0, eta in arb_saturation()) {
+        let a = Roofline::calibrate_a_max(Meters::new(d), Hertz::new(f_k), eta).unwrap();
+        let roofline = Roofline::with_saturation(
+            SafetyModel::new(a, Meters::new(d)).unwrap(), eta);
+        prop_assert!((roofline.knee().rate.get() - f_k).abs() / f_k < 1e-9);
+    }
+
+    /// Bound classification is total and consistent: physics iff the
+    /// action rate clears the knee, otherwise the bottleneck stage.
+    #[test]
+    fn classification_total_and_consistent(
+        safety in arb_safety(), eta in arb_saturation(),
+        fs in 0.1f64..2000.0, fc in 0.1f64..2000.0, fctl in 0.1f64..2000.0
+    ) {
+        let roofline = Roofline::with_saturation(safety, eta);
+        let rates = StageRates::new(Hertz::new(fs), Hertz::new(fc), Hertz::new(fctl)).unwrap();
+        let analysis = roofline.classify(&rates);
+        let f_action = fs.min(fc).min(fctl);
+        prop_assert!((analysis.action_throughput.get() - f_action).abs() < 1e-12);
+        if analysis.bound == Bound::Physics {
+            prop_assert!(f_action >= roofline.knee().rate.get() - 1e-9);
+        } else {
+            prop_assert!(f_action < roofline.knee().rate.get());
+            let stage = analysis.bound.stage().unwrap();
+            prop_assert!((rates.stage(stage).get() - f_action).abs() < 1e-12);
+        }
+        prop_assert!(analysis.velocity <= analysis.roof);
+        prop_assert!(analysis.roof_utilization() > 0.0 && analysis.roof_utilization() <= 1.0);
+    }
+
+    /// Design assessment partitions the axis: under | optimal | over, and
+    /// gap factors are always ≥ 1.
+    #[test]
+    fn assessment_partition(safety in arb_safety(), f in 0.01f64..5000.0) {
+        let roofline = Roofline::new(safety);
+        let a = DesignAssessment::of(&roofline, Hertz::new(f));
+        prop_assert!(a.speedup_required() >= 1.0);
+        prop_assert!(a.surplus_factor() >= 1.0);
+        let knee = roofline.knee().rate.get();
+        match a {
+            DesignAssessment::Optimal => prop_assert!((f / knee - 1.0).abs() <= 0.05 + 1e-9),
+            DesignAssessment::OverProvisioned(g) => {
+                prop_assert!(f > knee);
+                prop_assert!((g.factor - f / knee).abs() < 1e-9);
+            }
+            DesignAssessment::UnderProvisioned(g) => {
+                prop_assert!(f < knee);
+                prop_assert!((g.factor - knee / f).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// The linearized roofline is always an upper bound on the exact curve.
+    #[test]
+    fn linearization_is_optimistic(safety in arb_safety(), f in 0.01f64..5000.0) {
+        let roofline = Roofline::new(safety);
+        let f = Hertz::new(f);
+        prop_assert!(roofline.linearized_velocity_at(f) >= roofline.velocity_at(f));
+        prop_assert!(roofline.linearization_error_at(f) >= 0.0);
+    }
+
+    /// Eq. 5: a_max decreases with payload mass and increases with thrust,
+    /// under every pitch policy that applies.
+    #[test]
+    fn a_max_monotonicities(mass_g in 100.0f64..3000.0, margin in 1.05f64..3.0) {
+        use f1_uav::model::physics::{BodyDynamics, PitchPolicy};
+        let thrust_gf = mass_g * margin;
+        for policy in [PitchPolicy::VerticalMargin, PitchPolicy::AltitudeHold] {
+            let base = BodyDynamics::from_grams(
+                Grams::new(mass_g), GramForce::new(thrust_gf), policy).unwrap();
+            let heavier = BodyDynamics::from_grams(
+                Grams::new(mass_g * 1.1), GramForce::new(thrust_gf), policy).unwrap();
+            let stronger = BodyDynamics::from_grams(
+                Grams::new(mass_g), GramForce::new(thrust_gf * 1.1), policy).unwrap();
+            let a0 = base.a_max().unwrap();
+            if heavier.can_hover() {
+                prop_assert!(heavier.a_max().unwrap() < a0);
+            }
+            prop_assert!(stronger.a_max().unwrap() > a0);
+        }
+    }
+
+    /// Heatsink mass is monotone in TDP and the inverse round-trips.
+    #[test]
+    fn heatsink_monotone_and_invertible(w1 in 1.5f64..100.0, w2 in 1.5f64..100.0) {
+        let hs = HeatsinkModel::paper_calibrated();
+        let (lo, hi) = if w1 < w2 { (w1, w2) } else { (w2, w1) };
+        prop_assume!(hi - lo > 1e-6);
+        prop_assert!(hs.mass_for(Watts::new(hi)) > hs.mass_for(Watts::new(lo)));
+        let m = hs.mass_for(Watts::new(hi));
+        let back = hs.tdp_for(m).unwrap();
+        prop_assert!((back.get() - hi).abs() < 1e-6);
+    }
+
+    /// Mission energy is convex in cruise speed with its minimum at the
+    /// closed-form optimal velocity.
+    #[test]
+    fn mission_energy_convex(
+        hover in 20.0f64..500.0, avionics in 0.0f64..50.0, cp in 0.01f64..1.0,
+        d in 100.0f64..10_000.0
+    ) {
+        use f1_uav::model::mission::{estimate_mission, PowerModel};
+        let p = PowerModel::new(hover, avionics, cp).unwrap();
+        let v_star = p.energy_optimal_velocity().unwrap();
+        let d = Meters::new(d);
+        let e = |v: f64| estimate_mission(&p, d, MetersPerSecond::new(v)).unwrap().energy_wh;
+        let at = e(v_star.get());
+        prop_assert!(at <= e(v_star.get() * 0.8) + 1e-9);
+        prop_assert!(at <= e(v_star.get() * 1.25) + 1e-9);
+        // Mission time is strictly decreasing in cruise speed.
+        let t_slow = estimate_mission(&p, d, MetersPerSecond::new(1.0)).unwrap().duration;
+        let t_fast = estimate_mission(&p, d, MetersPerSecond::new(2.0)).unwrap().duration;
+        prop_assert!(t_fast < t_slow);
+    }
+
+    /// Hover endurance scales linearly with battery energy and inversely
+    /// with hover power.
+    #[test]
+    fn endurance_scaling(hover in 20.0f64..500.0, wh in 1.0f64..200.0) {
+        use f1_uav::model::mission::{hover_endurance, PowerModel};
+        let p = PowerModel::new(hover, 0.0, 0.1).unwrap();
+        let base = hover_endurance(&p, wh, 0.8).unwrap().get();
+        let double_battery = hover_endurance(&p, wh * 2.0, 0.8).unwrap().get();
+        prop_assert!((double_battery / base - 2.0).abs() < 1e-9);
+        let double_power = PowerModel::new(hover * 2.0, 0.0, 0.1).unwrap();
+        let halved = hover_endurance(&double_power, wh, 0.8).unwrap().get();
+        prop_assert!((base / halved - 2.0).abs() < 1e-9);
+    }
+
+    /// The pipeline envelope always brackets both execution models.
+    #[test]
+    fn pipeline_envelope(fs in 1.0f64..500.0, fc in 1.0f64..500.0, fctl in 1.0f64..500.0) {
+        use f1_uav::model::pipeline::StageLatencies;
+        let lat = StageLatencies::new(
+            Hertz::new(fs).period(), Hertz::new(fc).period(), Hertz::new(fctl).period()).unwrap();
+        prop_assert!(lat.period_lower_bound() <= lat.period_upper_bound());
+        prop_assert!(lat.envelope_contains(lat.period_lower_bound()));
+        prop_assert!(lat.envelope_contains(lat.period_upper_bound()));
+        prop_assert!((lat.action_throughput().get() - fs.min(fc).min(fctl)).abs() < 1e-9);
+        prop_assert!(lat.sequential_throughput() <= lat.action_throughput());
+    }
+}

@@ -1,0 +1,135 @@
+//! End-to-end assertions of every headline number the paper reports,
+//! exercised through the public facade exactly as a downstream user would.
+
+use f1_uav::components::{names, Catalog};
+use f1_uav::experiments;
+use f1_uav::model::roofline::Bound;
+use f1_uav::prelude::*;
+
+/// §VI-B: DroNet 178 Hz / TrailNet 55 Hz / SPA 1.1 Hz on TX2; Pelican knee
+/// 43 Hz; factors 4.13× / 1.27× over and 39× under.
+#[test]
+fn section_6b_algorithm_factors() {
+    let fig = experiments::fig13::run().unwrap();
+    let spa = &fig.points[0];
+    let trailnet = &fig.points[1];
+    let dronet = &fig.points[2];
+    assert!((spa.knee - 43.0).abs() < 1.0);
+    assert!((spa.assessment.speedup_required() - 39.0).abs() < 1.5);
+    assert!((trailnet.assessment.surplus_factor() - 1.27).abs() < 0.03);
+    assert!((dronet.assessment.surplus_factor() - 4.13).abs() < 0.1);
+}
+
+/// §VI-A: the NCS build beats the AGX build on the Spark despite 1.5×
+/// less compute throughput, and the 30 W → 15 W what-if raises the roof
+/// substantially (paper: ~75 %).
+#[test]
+fn section_6a_compute_selection() {
+    let fig = experiments::fig11::run().unwrap();
+    let ncs = &fig.choices[0];
+    let agx30 = &fig.choices[1];
+    assert!((agx30.compute_rate / ncs.compute_rate - 1.5333).abs() < 0.01);
+    assert!(ncs.velocity > agx30.velocity);
+    let gain = fig.tdp_whatif_improvement_percent();
+    assert!(gain > 40.0, "TDP what-if gain = {gain}%");
+}
+
+/// §I: ad-hoc selection by peak throughput costs ≥ 2× velocity (paper:
+/// 2.3×).
+#[test]
+fn intro_adhoc_selection_degradation() {
+    let fig = experiments::fig11::run().unwrap();
+    let degradation = fig.choices[0].velocity / fig.choices[1].velocity;
+    assert!(
+        degradation > 2.0 && degradation < 6.0,
+        "degradation = {degradation}×"
+    );
+}
+
+/// §VI-C: dual-TX2 redundancy costs double-digit percent velocity.
+#[test]
+fn section_6c_redundancy_cost() {
+    let fig = experiments::fig14::run().unwrap();
+    let loss = fig.studies[0].velocity_loss() * 100.0;
+    assert!(loss > 5.0 && loss < 45.0, "loss = {loss}%");
+}
+
+/// §VI-D: Ras-Pi gaps ordered DroNet < TrailNet < CAD2RL with magnitudes
+/// comparable to the paper's 3.3× / 110× / 660×.
+#[test]
+fn section_6d_raspi_gaps() {
+    let fig = experiments::fig15::run().unwrap();
+    let gap = |alg: &str| {
+        fig.cell(names::ASCTEC_PELICAN, names::RAS_PI4, alg)
+            .unwrap()
+            .factor
+    };
+    assert!(gap(names::DRONET) < 10.0);
+    assert!(gap(names::TRAILNET) > 50.0);
+    assert!(gap(names::CAD2RL) > 300.0);
+}
+
+/// §VII: PULP 4.33× and Navion 21.1× end-to-end gaps at a ~26 Hz knee,
+/// with the Navion pipeline at 1.23 Hz / 810 ms.
+#[test]
+fn section_7_accelerator_pitfalls() {
+    let fig = experiments::fig16::run().unwrap();
+    assert!((fig.points[0].required_speedup - 4.33).abs() < 0.3);
+    assert!((fig.points[1].required_speedup - 21.1).abs() < 2.0);
+    assert!((fig.points[0].knee - 26.0).abs() < 2.0);
+    assert!((fig.navion_latency.as_millis() - 810.0).abs() < 20.0);
+}
+
+/// Fig. 5: √(2·10·50) ≈ 31.6 m/s asymptote, ~9.2 m/s at 1 Hz, knee near
+/// 100 Hz with the paper's saturation.
+#[test]
+fn fig5_construction_numbers() {
+    let fig = experiments::fig05::run();
+    assert!((fig.safety.peak_velocity().get() - 31.62).abs() < 0.01);
+    assert!((fig.point_a_velocity - 9.16).abs() < 0.01);
+    assert!((fig.knee.rate.get() - 100.0).abs() < 5.0);
+}
+
+/// Fig. 12: heatsink anchors 162 g @ 30 W, ~81 g @ 15 W, 16.2× across a
+/// 20× TDP span.
+#[test]
+fn fig12_heatsink_anchors() {
+    let hs = HeatsinkModel::paper_calibrated();
+    assert!((hs.mass_for(Watts::new(30.0)).get() - 162.0).abs() < 0.5);
+    assert!((hs.mass_for(Watts::new(15.0)).get() - 81.0).abs() / 81.0 < 0.05);
+    let ratio = hs.mass_for(Watts::new(30.0)).get() / hs.mass_for(Watts::new(1.5)).get();
+    assert!((ratio - 16.2).abs() < 0.1);
+}
+
+/// Table I: payload weights and the 210 g Ras-Pi/UpBoard delta.
+#[test]
+fn table1_payloads() {
+    let uavs = Catalog::validation_uavs();
+    let payloads: Vec<f64> = uavs.iter().map(|u| u.payload.get()).collect();
+    assert_eq!(payloads, vec![590.0, 800.0, 640.0, 690.0]);
+}
+
+/// The §VI-B spa system is compute-bound while DroNet is physics-bound —
+/// the central bound-classification claim.
+#[test]
+fn bound_classification_end_to_end() {
+    let catalog = Catalog::paper();
+    let spa = UavSystem::from_catalog(
+        &catalog,
+        names::ASCTEC_PELICAN,
+        names::RGBD_60,
+        names::TX2,
+        names::MAVBENCH_PD,
+    )
+    .unwrap();
+    assert_eq!(spa.analyze().unwrap().bound.bound, Bound::Compute);
+    let dronet = UavSystem::from_catalog(
+        &catalog,
+        names::ASCTEC_PELICAN,
+        names::RGBD_60,
+        names::TX2,
+        names::DRONET,
+    )
+    .unwrap();
+    assert_eq!(dronet.analyze().unwrap().bound.bound, Bound::Physics);
+}
