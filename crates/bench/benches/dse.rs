@@ -1,0 +1,57 @@
+//! Benchmarks for the ID-interned, batched design-space exploration
+//! engine: full-catalog `explore_all`, single-airframe exploration, and
+//! raw candidate enumeration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use f1_components::{names, Catalog};
+use f1_skyline::dse::{self, Engine};
+
+fn bench_explore_all(c: &mut Criterion) {
+    let catalog = Catalog::paper();
+    let engine = Engine::new(&catalog);
+    c.bench_function("dse_explore_all_full_catalog", |b| {
+        b.iter(|| black_box(engine.explore_all().unwrap()))
+    });
+}
+
+fn bench_explore_single(c: &mut Criterion) {
+    let catalog = Catalog::paper();
+    let engine = Engine::new(&catalog);
+    let pelican = catalog.airframe_id(names::ASCTEC_PELICAN).unwrap();
+    let mut g = c.benchmark_group("dse_single_airframe");
+    g.bench_function("engine_ids", |b| {
+        b.iter(|| black_box(engine.explore_airframe(pelican).unwrap()))
+    });
+    g.bench_function("string_compat_wrapper", |b| {
+        b.iter(|| black_box(dse::explore(&catalog, names::ASCTEC_PELICAN).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_candidate_enumeration(c: &mut Criterion) {
+    let catalog = Catalog::paper();
+    let engine = Engine::new(&catalog);
+    c.bench_function("dse_candidate_enumeration", |b| {
+        b.iter(|| black_box(engine.candidates().count()))
+    });
+}
+
+fn bench_pareto(c: &mut Criterion) {
+    let catalog = Catalog::paper();
+    let engine = Engine::new(&catalog);
+    let exploration = engine.explore_all().unwrap();
+    c.bench_function("dse_pareto_frontier", |b| {
+        b.iter(|| black_box(exploration.pareto_frontier()))
+    });
+}
+
+criterion_group!(
+    dse,
+    bench_explore_all,
+    bench_explore_single,
+    bench_candidate_enumeration,
+    bench_pareto,
+);
+criterion_main!(dse);

@@ -41,8 +41,7 @@ fn bench_knee(c: &mut Criterion) {
 
 fn bench_classify(c: &mut Criterion) {
     let r = Roofline::new(safety());
-    let rates =
-        StageRates::new(Hertz::new(60.0), Hertz::new(178.0), Hertz::new(1000.0)).unwrap();
+    let rates = StageRates::new(Hertz::new(60.0), Hertz::new(178.0), Hertz::new(1000.0)).unwrap();
     c.bench_function("bound_classification", |b| {
         b.iter(|| black_box(r.classify(black_box(&rates))))
     });

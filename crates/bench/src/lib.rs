@@ -1,6 +1,6 @@
 //! # `f1-bench` — Criterion benchmark harness
 //!
-//! Four bench targets regenerate and time the paper's artifacts:
+//! Five bench targets regenerate and time the paper's artifacts:
 //!
 //! * `figures` — one benchmark per paper figure/table regeneration
 //!   (Fig. 2b, 4, 5, 9, 11b, 12, 13b, 14b, 15b, 16c, Tables I–III).
@@ -11,6 +11,10 @@
 //! * `ablations` — design-choice ablations DESIGN.md calls out
 //!   (exact vs linearized roofline, drag-free vs drag-aware stopping,
 //!   serial vs parallel sweeps).
+//! * `dse` — the ID-interned design-space exploration engine:
+//!   full-catalog `explore_all`, single-airframe exploration vs the
+//!   string-keyed compatibility wrapper, candidate enumeration, and the
+//!   Pareto frontier.
 //!
 //! Run with `cargo bench --workspace`. Absolute timings are
 //! machine-dependent; the interesting output of the `figures` target is

@@ -1,9 +1,9 @@
 //! Airframe records: frame, motors, thrust budget and control loop.
 
-use f1_units::{Grams, Hertz, Kilograms, Millimeters, Newtons};
 use f1_model::physics::{BodyDynamics, PitchPolicy};
 use f1_model::ModelError;
 use f1_units::GramForce;
+use f1_units::{Grams, Hertz, Kilograms, Millimeters, Newtons};
 use serde::{Deserialize, Serialize};
 
 use crate::{ComponentError, SizeClass};
@@ -312,9 +312,16 @@ mod tests {
 
     #[test]
     fn builder_validation() {
-        assert!(Airframe::builder("").base_mass(Grams::new(1.0)).rotor_pull_gf(1.0).build().is_err());
+        assert!(Airframe::builder("")
+            .base_mass(Grams::new(1.0))
+            .rotor_pull_gf(1.0)
+            .build()
+            .is_err());
         assert!(Airframe::builder("x").rotor_pull_gf(1.0).build().is_err());
-        assert!(Airframe::builder("x").base_mass(Grams::new(1.0)).build().is_err());
+        assert!(Airframe::builder("x")
+            .base_mass(Grams::new(1.0))
+            .build()
+            .is_err());
         assert!(Airframe::builder("x")
             .base_mass(Grams::ZERO)
             .rotor_pull_gf(1.0)
@@ -363,8 +370,16 @@ mod tests {
     #[test]
     fn heavier_payload_means_less_acceleration() {
         let a = s500();
-        let d1 = a.loaded_dynamics(Grams::new(500.0)).unwrap().a_max().unwrap();
-        let d2 = a.loaded_dynamics(Grams::new(700.0)).unwrap().a_max().unwrap();
+        let d1 = a
+            .loaded_dynamics(Grams::new(500.0))
+            .unwrap()
+            .a_max()
+            .unwrap();
+        let d2 = a
+            .loaded_dynamics(Grams::new(700.0))
+            .unwrap()
+            .a_max()
+            .unwrap();
         assert!(d2 < d1);
     }
 

@@ -137,7 +137,13 @@ mod tests {
     use super::*;
 
     fn table1() -> Battery {
-        Battery::new("3S 5000", MilliampHours::new(5000.0), 11.1, Grams::new(390.0)).unwrap()
+        Battery::new(
+            "3S 5000",
+            MilliampHours::new(5000.0),
+            11.1,
+            Grams::new(390.0),
+        )
+        .unwrap()
     }
 
     #[test]

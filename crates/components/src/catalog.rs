@@ -16,8 +16,9 @@ use f1_units::{Grams, Hertz, Meters, MilliampHours, Millimeters, Watts};
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    Airframe, AutonomyAlgorithm, Battery, ComponentError, ComputeKind, ComputePlatform, Sensor,
-    SensorModality, SpaStage, ThroughputMatrix,
+    Airframe, AirframeId, AlgorithmId, AutonomyAlgorithm, Battery, BatteryId, ComponentError,
+    ComputeId, ComputeKind, ComputePlatform, Sensor, SensorId, SensorModality, SpaStage,
+    ThroughputMatrix, ThroughputTable,
 };
 
 /// Canonical component names, so lookups cannot drift out of sync with the
@@ -99,18 +100,98 @@ pub struct ValidationUav {
 
 /// The component catalog: airframes, sensors, compute platforms,
 /// algorithms, batteries, and the throughput matrix.
+///
+/// Storage is **ID-interned**: each family lives in a dense `Vec` with a
+/// name → id map on the side. String lookups (`airframe("AscTec
+/// Pelican")`) resolve through the map once; hot paths hold typed ids
+/// ([`AirframeId`], [`SensorId`], [`ComputeId`], [`AlgorithmId`],
+/// [`BatteryId`]) and resolve them with a plain array index.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Catalog {
-    airframes: BTreeMap<String, Airframe>,
-    sensors: BTreeMap<String, Sensor>,
-    computes: BTreeMap<String, ComputePlatform>,
-    algorithms: BTreeMap<String, AutonomyAlgorithm>,
-    batteries: BTreeMap<String, Battery>,
+    airframes: Registry<Airframe>,
+    sensors: Registry<Sensor>,
+    computes: Registry<ComputePlatform>,
+    algorithms: Registry<AutonomyAlgorithm>,
+    batteries: Registry<Battery>,
     throughput: ThroughputMatrix,
 }
 
-macro_rules! add_method {
-    ($add:ident, $get:ident, $iter:ident, $field:ident, $ty:ty, $family:literal) => {
+/// Dense storage for one component family: items in insertion (= id)
+/// order plus a name → id index.
+///
+/// NOTE: the serde derives are inert markers today (`crates/ext/serde`).
+/// Before swapping in real serde, give this a logical representation
+/// (`#[serde(from/into)]` a name → item map) so the dense layout stays an
+/// in-memory detail and deserialization cannot smuggle in out-of-range
+/// ids.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Registry<T> {
+    items: Vec<T>,
+    ids: BTreeMap<String, u32>,
+}
+
+impl<T> Default for Registry<T> {
+    fn default() -> Self {
+        Self {
+            items: Vec::new(),
+            ids: BTreeMap::new(),
+        }
+    }
+}
+
+/// Logical equality: same named items, regardless of insertion order.
+impl<T: PartialEq> PartialEq for Registry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.ids.len() == other.ids.len() && self.iter_named().eq(other.iter_named())
+    }
+}
+
+impl<T> Registry<T> {
+    fn add(&mut self, name: String, item: T) -> Option<u32> {
+        if self.ids.contains_key(&name) {
+            return None;
+        }
+        let id = u32::try_from(self.items.len()).expect("registry larger than u32::MAX");
+        self.ids.insert(name, id);
+        self.items.push(item);
+        Some(id)
+    }
+
+    fn id(&self, name: &str) -> Option<u32> {
+        self.ids.get(name).copied()
+    }
+
+    fn get(&self, name: &str) -> Option<&T> {
+        self.id(name).map(|id| &self.items[id as usize])
+    }
+
+    #[inline]
+    fn by_index(&self, index: usize) -> &T {
+        &self.items[index]
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `(name, item)` pairs in name order.
+    fn iter_named(&self) -> impl Iterator<Item = (&str, &T)> {
+        self.ids
+            .iter()
+            .map(|(name, &id)| (name.as_str(), &self.items[id as usize]))
+    }
+
+    /// `(id, item)` pairs in name order.
+    fn entries(&self) -> impl Iterator<Item = (u32, &T)> {
+        self.ids.values().map(|&id| (id, &self.items[id as usize]))
+    }
+}
+
+macro_rules! family_methods {
+    (
+        $add:ident, $get:ident, $iter:ident, $id_fn:ident, $by_id:ident,
+        $entries:ident, $count:ident, $field:ident, $ty:ty, $idty:ty, $family:literal
+    ) => {
         /// Adds a component, rejecting duplicates.
         ///
         /// # Errors
@@ -119,13 +200,12 @@ macro_rules! add_method {
         /// the same name exists.
         pub fn $add(&mut self, item: $ty) -> Result<(), ComponentError> {
             let name = item.name().to_owned();
-            if self.$field.contains_key(&name) {
+            if self.$field.add(name.clone(), item).is_none() {
                 return Err(ComponentError::DuplicateEntry {
                     family: $family,
                     name,
                 });
             }
-            self.$field.insert(name, item);
             Ok(())
         }
 
@@ -145,7 +225,47 @@ macro_rules! add_method {
 
         /// Iterates over all components of this family in name order.
         pub fn $iter(&self) -> impl Iterator<Item = &$ty> {
-            self.$field.values()
+            self.$field.iter_named().map(|(_, item)| item)
+        }
+
+        /// Resolves a name to this catalog's interned id.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`ComponentError::UnknownComponent`] if absent.
+        pub fn $id_fn(&self, name: &str) -> Result<$idty, ComponentError> {
+            self.$field
+                .id(name)
+                .map(|id| <$idty>::from_index(id as usize))
+                .ok_or_else(|| ComponentError::UnknownComponent {
+                    family: $family,
+                    name: name.to_owned(),
+                })
+        }
+
+        /// Resolves an interned id to its component — a plain array index,
+        /// no string hashing.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the id was minted by a different catalog and is out
+        /// of range here.
+        #[must_use]
+        pub fn $by_id(&self, id: $idty) -> &$ty {
+            self.$field.by_index(id.index())
+        }
+
+        /// Iterates `(id, component)` pairs in name order.
+        pub fn $entries(&self) -> impl Iterator<Item = ($idty, &$ty)> {
+            self.$field
+                .entries()
+                .map(|(id, item)| (<$idty>::from_index(id as usize), item))
+        }
+
+        /// Number of components in this family.
+        #[must_use]
+        pub fn $count(&self) -> usize {
+            self.$field.len()
         }
     };
 }
@@ -157,11 +277,71 @@ impl Catalog {
         Self::default()
     }
 
-    add_method!(add_airframe, airframe, airframes, airframes, Airframe, "airframe");
-    add_method!(add_sensor, sensor, sensors, sensors, Sensor, "sensor");
-    add_method!(add_compute, compute, computes, computes, ComputePlatform, "compute platform");
-    add_method!(add_algorithm, algorithm, algorithms, algorithms, AutonomyAlgorithm, "autonomy algorithm");
-    add_method!(add_battery, battery, batteries, batteries, Battery, "battery");
+    family_methods!(
+        add_airframe,
+        airframe,
+        airframes,
+        airframe_id,
+        airframe_by_id,
+        airframe_entries,
+        airframe_count,
+        airframes,
+        Airframe,
+        AirframeId,
+        "airframe"
+    );
+    family_methods!(
+        add_sensor,
+        sensor,
+        sensors,
+        sensor_id,
+        sensor_by_id,
+        sensor_entries,
+        sensor_count,
+        sensors,
+        Sensor,
+        SensorId,
+        "sensor"
+    );
+    family_methods!(
+        add_compute,
+        compute,
+        computes,
+        compute_id,
+        compute_by_id,
+        compute_entries,
+        compute_count,
+        computes,
+        ComputePlatform,
+        ComputeId,
+        "compute platform"
+    );
+    family_methods!(
+        add_algorithm,
+        algorithm,
+        algorithms,
+        algorithm_id,
+        algorithm_by_id,
+        algorithm_entries,
+        algorithm_count,
+        algorithms,
+        AutonomyAlgorithm,
+        AlgorithmId,
+        "autonomy algorithm"
+    );
+    family_methods!(
+        add_battery,
+        battery,
+        batteries,
+        battery_id,
+        battery_by_id,
+        battery_entries,
+        battery_count,
+        batteries,
+        Battery,
+        BatteryId,
+        "battery"
+    );
 
     /// The characterized throughput of an algorithm on a platform.
     ///
@@ -171,6 +351,52 @@ impl Catalog {
     /// pairs.
     pub fn throughput(&self, platform: &str, algorithm: &str) -> Result<Hertz, ComponentError> {
         self.throughput.get(platform, algorithm)
+    }
+
+    /// The characterized throughput for interned ids — a thin resolving
+    /// wrapper over the string API; use [`throughput_table`] for hot
+    /// paths.
+    ///
+    /// [`throughput_table`]: Self::throughput_table
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ComponentError::MissingThroughput`] for uncharacterized
+    /// pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ids were minted by a different catalog and are out
+    /// of range here.
+    pub fn throughput_by_id(
+        &self,
+        compute: ComputeId,
+        algorithm: AlgorithmId,
+    ) -> Result<Hertz, ComponentError> {
+        self.throughput.get(
+            self.compute_by_id(compute).name(),
+            self.algorithm_by_id(algorithm).name(),
+        )
+    }
+
+    /// Snapshots the characterization matrix into a dense
+    /// `computes × algorithms` table indexed by this catalog's ids.
+    ///
+    /// Lookups against the table do zero string hashing and zero
+    /// allocation — this is what the DSE hot loop uses. Matrix entries
+    /// naming components absent from the catalog (see [`validate`]) are
+    /// skipped; rebuild the snapshot after mutating the catalog.
+    ///
+    /// [`validate`]: Self::validate
+    #[must_use]
+    pub fn throughput_table(&self) -> ThroughputTable {
+        ThroughputTable::build(
+            self.compute_count(),
+            self.algorithm_count(),
+            self.throughput.iter().filter_map(|(p, a, f)| {
+                Some((self.compute_id(p).ok()?, self.algorithm_id(a).ok()?, f))
+            }),
+        )
     }
 
     /// The throughput matrix.
@@ -229,13 +455,13 @@ impl Catalog {
     /// dangling reference.
     pub fn validate(&self) -> Result<(), ComponentError> {
         for (platform, algorithm, _) in self.throughput.iter() {
-            if !self.computes.contains_key(platform) {
+            if self.computes.id(platform).is_none() {
                 return Err(ComponentError::UnknownComponent {
                     family: "compute platform (referenced by throughput matrix)",
                     name: platform.to_owned(),
                 });
             }
-            if !self.algorithms.contains_key(algorithm) {
+            if self.algorithms.id(algorithm).is_none() {
                 return Err(ComponentError::UnknownComponent {
                     family: "autonomy algorithm (referenced by throughput matrix)",
                     name: algorithm.to_owned(),
@@ -651,6 +877,83 @@ mod tests {
             .insert(names::TX2, "PilotNet", Hertz::new(20.0))
             .unwrap();
         assert!(cat2.validate().is_err());
+    }
+
+    #[test]
+    fn interned_ids_resolve_to_the_named_components() {
+        let cat = Catalog::paper();
+        assert_eq!(cat.compute_count(), cat.computes().count());
+        for compute in cat.computes() {
+            let id = cat.compute_id(compute.name()).unwrap();
+            assert_eq!(cat.compute_by_id(id).name(), compute.name());
+        }
+        for airframe in cat.airframes() {
+            let id = cat.airframe_id(airframe.name()).unwrap();
+            assert_eq!(cat.airframe_by_id(id).name(), airframe.name());
+        }
+        for sensor in cat.sensors() {
+            let id = cat.sensor_id(sensor.name()).unwrap();
+            assert_eq!(cat.sensor_by_id(id).name(), sensor.name());
+        }
+        for algorithm in cat.algorithms() {
+            let id = cat.algorithm_id(algorithm.name()).unwrap();
+            assert_eq!(cat.algorithm_by_id(id).name(), algorithm.name());
+        }
+        for battery in cat.batteries() {
+            let id = cat.battery_id(battery.name()).unwrap();
+            assert_eq!(cat.battery_by_id(id).name(), battery.name());
+        }
+        assert!(cat.compute_id("TPU v9").is_err());
+        assert!(cat.airframe_id("Ingenuity").is_err());
+    }
+
+    #[test]
+    fn entries_iterate_in_name_order() {
+        let cat = Catalog::paper();
+        let names: Vec<&str> = cat.compute_entries().map(|(_, c)| c.name()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+        assert_eq!(cat.compute_entries().count(), cat.compute_count());
+    }
+
+    #[test]
+    fn throughput_table_matches_string_lookups_over_whole_catalog() {
+        // Acceptance: ID-interned lookups are equivalent to string-keyed
+        // lookups for every compute × algorithm pair in the paper catalog.
+        let cat = Catalog::paper();
+        let table = cat.throughput_table();
+        let mut characterized = 0;
+        for (cid, compute) in cat.compute_entries() {
+            for (aid, algorithm) in cat.algorithm_entries() {
+                let by_string = cat.throughput(compute.name(), algorithm.name()).ok();
+                let by_id = table.get(cid, aid);
+                assert_eq!(
+                    by_string,
+                    by_id,
+                    "{} × {}",
+                    compute.name(),
+                    algorithm.name()
+                );
+                assert_eq!(cat.throughput_by_id(cid, aid).ok(), by_string);
+                if by_id.is_some() {
+                    characterized += 1;
+                }
+            }
+        }
+        assert_eq!(characterized, cat.matrix().len());
+        assert_eq!(table.len(), cat.matrix().len());
+    }
+
+    #[test]
+    fn throughput_table_skips_dangling_matrix_entries() {
+        let mut cat = Catalog::paper();
+        cat.matrix_mut()
+            .insert("TPU v9", names::DRONET, Hertz::new(500.0))
+            .unwrap();
+        // The dangling row cannot be represented by ids; the table holds
+        // only resolvable pairs.
+        assert_eq!(cat.throughput_table().len(), cat.matrix().len() - 1);
     }
 
     #[test]

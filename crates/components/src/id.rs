@@ -1,0 +1,58 @@
+//! Interned component identifiers.
+//!
+//! A [`Catalog`](crate::Catalog) assigns each component a small dense
+//! index at insertion time. Hot paths (design-space exploration, the
+//! throughput table) carry these `Copy` ids instead of `String` names:
+//! resolving an id is a bounds-checked array access with **zero string
+//! hashing or allocation**. Ids are only handed out by the catalog that
+//! owns the component, and are meaningless in any other catalog.
+
+macro_rules! component_id {
+    ($(#[$doc:meta] $name:ident),* $(,)?) => {$(
+        #[$doc]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Wraps a dense index (crate-internal: only catalogs mint ids).
+            #[inline]
+            pub(crate) fn from_index(index: usize) -> Self {
+                Self(u32::try_from(index).expect("catalog larger than u32::MAX entries"))
+            }
+
+            /// The dense index backing this id.
+            #[inline]
+            #[must_use]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+    )*};
+}
+
+component_id! {
+    /// Identifier of an [`Airframe`](crate::Airframe) within its catalog.
+    AirframeId,
+    /// Identifier of a [`Sensor`](crate::Sensor) within its catalog.
+    SensorId,
+    /// Identifier of a [`ComputePlatform`](crate::ComputePlatform) within its catalog.
+    ComputeId,
+    /// Identifier of an [`AutonomyAlgorithm`](crate::AutonomyAlgorithm) within its catalog.
+    AlgorithmId,
+    /// Identifier of a [`Battery`](crate::Battery) within its catalog.
+    BatteryId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        let a = ComputeId::from_index(0);
+        let b = ComputeId::from_index(3);
+        assert!(a < b);
+        assert_eq!(b.index(), 3);
+        assert_eq!(a, ComputeId::from_index(0));
+    }
+}

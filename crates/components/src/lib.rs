@@ -38,6 +38,7 @@ mod catalog;
 mod classes;
 mod compute;
 mod error;
+mod id;
 mod sensor;
 mod throughput;
 
@@ -48,5 +49,6 @@ pub use catalog::{names, Catalog, ValidationUav};
 pub use classes::SizeClass;
 pub use compute::{ComputeKind, ComputePlatform, ComputePlatformBuilder};
 pub use error::ComponentError;
+pub use id::{AirframeId, AlgorithmId, BatteryId, ComputeId, SensorId};
 pub use sensor::{Sensor, SensorModality};
-pub use throughput::ThroughputMatrix;
+pub use throughput::{ThroughputMatrix, ThroughputTable};

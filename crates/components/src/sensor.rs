@@ -215,7 +215,10 @@ mod tests {
             Meters::new(30.0),
             Grams::new(100.0),
         );
-        assert!(matches!(e, Err(ComponentError::InvalidField { field: "name", .. })));
+        assert!(matches!(
+            e,
+            Err(ComponentError::InvalidField { field: "name", .. })
+        ));
     }
 
     #[test]

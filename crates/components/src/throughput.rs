@@ -4,13 +4,20 @@
 //! platform)* pair: DroNet runs at 178 Hz on a TX2 but at 13 Hz on a
 //! Ras-Pi 4 and at 6 Hz on PULP. The paper obtains these numbers by
 //! on-device characterization; this matrix stores them.
+//!
+//! Internally the matrix is **ID-interned and dense**: platform and
+//! algorithm names are interned into small indices once at insertion,
+//! and rates live in a dense row-per-platform table. The public `&str`
+//! API is a thin resolving wrapper over that storage; hot paths go
+//! through [`ThroughputTable`], which is indexed directly by
+//! [`ComputeId`] × [`AlgorithmId`] and does zero string hashing.
 
 use std::collections::BTreeMap;
 
 use f1_units::Hertz;
 use serde::{Deserialize, Serialize};
 
-use crate::ComponentError;
+use crate::{AlgorithmId, ComponentError, ComputeId};
 
 /// Characterized compute throughputs keyed by (platform, algorithm).
 ///
@@ -26,9 +33,37 @@ use crate::ComponentError;
 /// assert!(m.get("Nvidia TX2", "CAD2RL").is_err());
 /// # Ok::<(), f1_components::ComponentError>(())
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// NOTE: the serde derives are inert markers today (`crates/ext/serde`).
+/// Before swapping in real serde, give this a logical representation
+/// (`#[serde(from/into)]` a `(platform, algorithm, rate)` entry list) so
+/// the interned slots/ragged rows/`entries` counter stay in-memory
+/// details that deserialization cannot desynchronize.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ThroughputMatrix {
-    entries: BTreeMap<(String, String), Hertz>,
+    /// Interned platform names, in first-insertion order.
+    platforms: Vec<String>,
+    /// Interned algorithm names, in first-insertion order.
+    algorithms: Vec<String>,
+    /// Platform name → row index.
+    platform_slots: BTreeMap<String, usize>,
+    /// Algorithm name → column index.
+    algorithm_slots: BTreeMap<String, usize>,
+    /// Dense rows: `rows[platform][algorithm]`. Rows are ragged — a row
+    /// shorter than the algorithm count means "no entry" past its end.
+    rows: Vec<Vec<Option<Hertz>>>,
+    /// Number of `Some` cells.
+    entries: usize,
+}
+
+fn validate_rate(throughput: Hertz) -> Result<(), ComponentError> {
+    if throughput.get() <= 0.0 || !throughput.get().is_finite() {
+        return Err(ComponentError::InvalidField {
+            field: "throughput",
+            reason: format!("must be positive, got {throughput}"),
+        });
+    }
+    Ok(())
 }
 
 impl ThroughputMatrix {
@@ -41,13 +76,47 @@ impl ThroughputMatrix {
     /// Number of characterized pairs.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.entries
     }
 
     /// Whether the matrix has no entries.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.entries == 0
+    }
+
+    fn intern_platform(&mut self, name: String) -> usize {
+        if let Some(&slot) = self.platform_slots.get(&name) {
+            return slot;
+        }
+        let slot = self.platforms.len();
+        self.platform_slots.insert(name.clone(), slot);
+        self.platforms.push(name);
+        self.rows.push(Vec::new());
+        slot
+    }
+
+    fn intern_algorithm(&mut self, name: String) -> usize {
+        if let Some(&slot) = self.algorithm_slots.get(&name) {
+            return slot;
+        }
+        let slot = self.algorithms.len();
+        self.algorithm_slots.insert(name.clone(), slot);
+        self.algorithms.push(name);
+        slot
+    }
+
+    #[inline]
+    fn cell(&self, platform: usize, algorithm: usize) -> Option<Hertz> {
+        self.rows[platform].get(algorithm).copied().flatten()
+    }
+
+    fn cell_mut(&mut self, platform: usize, algorithm: usize) -> &mut Option<Hertz> {
+        let row = &mut self.rows[platform];
+        if row.len() <= algorithm {
+            row.resize(algorithm + 1, None);
+        }
+        &mut row[algorithm]
     }
 
     /// Records a characterized throughput.
@@ -63,20 +132,21 @@ impl ThroughputMatrix {
         algorithm: impl Into<String>,
         throughput: Hertz,
     ) -> Result<(), ComponentError> {
-        if throughput.get() <= 0.0 || !throughput.get().is_finite() {
-            return Err(ComponentError::InvalidField {
-                field: "throughput",
-                reason: format!("must be positive, got {throughput}"),
-            });
-        }
-        let key = (platform.into(), algorithm.into());
-        if self.entries.contains_key(&key) {
+        validate_rate(throughput)?;
+        let (platform, algorithm) = (platform.into(), algorithm.into());
+        let (p, a) = (
+            self.intern_platform(platform),
+            self.intern_algorithm(algorithm),
+        );
+        let cell = self.cell_mut(p, a);
+        if cell.is_some() {
             return Err(ComponentError::DuplicateEntry {
                 family: "throughput",
-                name: format!("{} × {}", key.0, key.1),
+                name: format!("{} × {}", self.platforms[p], self.algorithms[a]),
             });
         }
-        self.entries.insert(key, throughput);
+        *cell = Some(throughput);
+        self.entries += 1;
         Ok(())
     }
 
@@ -93,15 +163,17 @@ impl ThroughputMatrix {
         algorithm: impl Into<String>,
         throughput: Hertz,
     ) -> Result<Option<Hertz>, ComponentError> {
-        if throughput.get() <= 0.0 || !throughput.get().is_finite() {
-            return Err(ComponentError::InvalidField {
-                field: "throughput",
-                reason: format!("must be positive, got {throughput}"),
-            });
+        validate_rate(throughput)?;
+        let (p, a) = (
+            self.intern_platform(platform.into()),
+            self.intern_algorithm(algorithm.into()),
+        );
+        let cell = self.cell_mut(p, a);
+        let previous = cell.replace(throughput);
+        if previous.is_none() {
+            self.entries += 1;
         }
-        Ok(self
-            .entries
-            .insert((platform.into(), algorithm.into()), throughput))
+        Ok(previous)
     }
 
     /// Looks up the throughput of an algorithm on a platform.
@@ -111,9 +183,10 @@ impl ThroughputMatrix {
     /// Returns [`ComponentError::MissingThroughput`] if the pair was never
     /// characterized.
     pub fn get(&self, platform: &str, algorithm: &str) -> Result<Hertz, ComponentError> {
-        self.entries
-            .get(&(platform.to_owned(), algorithm.to_owned()))
-            .copied()
+        self.platform_slots
+            .get(platform)
+            .zip(self.algorithm_slots.get(algorithm))
+            .and_then(|(&p, &a)| self.cell(p, a))
             .ok_or_else(|| ComponentError::MissingThroughput {
                 platform: platform.to_owned(),
                 algorithm: algorithm.to_owned(),
@@ -123,43 +196,65 @@ impl ThroughputMatrix {
     /// Whether a pair has been characterized.
     #[must_use]
     pub fn contains(&self, platform: &str, algorithm: &str) -> bool {
-        self.entries
-            .contains_key(&(platform.to_owned(), algorithm.to_owned()))
+        self.platform_slots
+            .get(platform)
+            .zip(self.algorithm_slots.get(algorithm))
+            .and_then(|(&p, &a)| self.cell(p, a))
+            .is_some()
     }
 
-    /// All algorithms characterized on a platform, with their throughputs.
+    /// All algorithms characterized on a platform, with their throughputs,
+    /// in algorithm-name order.
     #[must_use]
     pub fn algorithms_on(&self, platform: &str) -> Vec<(&str, Hertz)> {
-        self.entries
+        let Some(&p) = self.platform_slots.get(platform) else {
+            return Vec::new();
+        };
+        self.algorithm_slots
             .iter()
-            .filter(|((p, _), _)| p == platform)
-            .map(|((_, a), f)| (a.as_str(), *f))
+            .filter_map(|(name, &a)| self.cell(p, a).map(|f| (name.as_str(), f)))
             .collect()
     }
 
-    /// All platforms on which an algorithm was characterized.
+    /// All platforms on which an algorithm was characterized, in
+    /// platform-name order.
     #[must_use]
     pub fn platforms_for(&self, algorithm: &str) -> Vec<(&str, Hertz)> {
-        self.entries
+        let Some(&a) = self.algorithm_slots.get(algorithm) else {
+            return Vec::new();
+        };
+        self.platform_slots
             .iter()
-            .filter(|((_, a), _)| a == algorithm)
-            .map(|((p, _), f)| (p.as_str(), *f))
+            .filter_map(|(name, &p)| self.cell(p, a).map(|f| (name.as_str(), f)))
             .collect()
     }
 
-    /// Iterates over `((platform, algorithm), throughput)` entries in
-    /// deterministic (sorted) order.
+    /// Iterates over `(platform, algorithm, throughput)` entries in
+    /// deterministic (name-sorted) order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &str, Hertz)> {
-        self.entries
-            .iter()
-            .map(|((p, a), f)| (p.as_str(), a.as_str(), *f))
+        self.platform_slots.iter().flat_map(move |(pname, &p)| {
+            self.algorithm_slots.iter().filter_map(move |(aname, &a)| {
+                self.cell(p, a).map(|f| (pname.as_str(), aname.as_str(), f))
+            })
+        })
     }
 
     /// Merges another matrix into this one; existing entries win.
     pub fn merge_preferring_self(&mut self, other: &ThroughputMatrix) {
-        for ((p, a), f) in &other.entries {
-            self.entries.entry((p.clone(), a.clone())).or_insert(*f);
+        for (platform, algorithm, throughput) in other.iter() {
+            if !self.contains(platform, algorithm) {
+                self.insert(platform, algorithm, throughput)
+                    .expect("source entry is valid and absent here");
+            }
         }
+    }
+}
+
+/// Logical equality: same characterized pairs with the same rates,
+/// regardless of interning order.
+impl PartialEq for ThroughputMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries && self.iter().eq(other.iter())
     }
 }
 
@@ -181,6 +276,73 @@ impl FromIterator<(String, String, Hertz)> for ThroughputMatrix {
     }
 }
 
+/// A dense `computes × algorithms` throughput table indexed by catalog
+/// ids — the zero-allocation, zero-hashing lookup the DSE hot path uses.
+///
+/// Built by [`Catalog::throughput_table`](crate::Catalog::throughput_table)
+/// as a snapshot of the catalog's characterization matrix; matrix entries
+/// that name components absent from the catalog are not represented.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputTable {
+    algorithm_count: usize,
+    cells: Vec<Option<Hertz>>,
+    characterized: usize,
+}
+
+impl ThroughputTable {
+    pub(crate) fn build(
+        compute_count: usize,
+        algorithm_count: usize,
+        entries: impl Iterator<Item = (ComputeId, AlgorithmId, Hertz)>,
+    ) -> Self {
+        let mut cells = vec![None; compute_count * algorithm_count];
+        let mut characterized = 0;
+        for (compute, algorithm, throughput) in entries {
+            let cell = &mut cells[compute.index() * algorithm_count + algorithm.index()];
+            if cell.replace(throughput).is_none() {
+                characterized += 1;
+            }
+        }
+        Self {
+            algorithm_count,
+            cells,
+            characterized,
+        }
+    }
+
+    /// The characterized throughput for a compute × algorithm pair, or
+    /// `None` if the pair was never characterized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ids come from a different (or mutated) catalog and
+    /// exceed this table's dimensions.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, compute: ComputeId, algorithm: AlgorithmId) -> Option<Hertz> {
+        self.cells[compute.index() * self.algorithm_count + algorithm.index()]
+    }
+
+    /// Whether the pair is characterized.
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, compute: ComputeId, algorithm: AlgorithmId) -> bool {
+        self.get(compute, algorithm).is_some()
+    }
+
+    /// Number of characterized pairs in the table.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.characterized
+    }
+
+    /// Whether no pair is characterized.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.characterized == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,7 +350,8 @@ mod tests {
     fn sample() -> ThroughputMatrix {
         let mut m = ThroughputMatrix::new();
         m.insert("Nvidia TX2", "DroNet", Hertz::new(178.0)).unwrap();
-        m.insert("Nvidia TX2", "TrailNet", Hertz::new(55.0)).unwrap();
+        m.insert("Nvidia TX2", "TrailNet", Hertz::new(55.0))
+            .unwrap();
         m.insert("Ras-Pi 4", "DroNet", Hertz::new(13.0)).unwrap();
         m
     }
@@ -213,7 +376,9 @@ mod tests {
     #[test]
     fn duplicate_insert_rejected() {
         let mut m = sample();
-        let e = m.insert("Nvidia TX2", "DroNet", Hertz::new(200.0)).unwrap_err();
+        let e = m
+            .insert("Nvidia TX2", "DroNet", Hertz::new(200.0))
+            .unwrap_err();
         assert!(matches!(e, ComponentError::DuplicateEntry { .. }));
         // Original preserved.
         assert_eq!(m.get("Nvidia TX2", "DroNet").unwrap(), Hertz::new(178.0));
@@ -225,6 +390,7 @@ mod tests {
         let prev = m.upsert("Nvidia TX2", "DroNet", Hertz::new(200.0)).unwrap();
         assert_eq!(prev, Some(Hertz::new(178.0)));
         assert_eq!(m.get("Nvidia TX2", "DroNet").unwrap(), Hertz::new(200.0));
+        assert_eq!(m.len(), 3);
     }
 
     #[test]
@@ -243,6 +409,8 @@ mod tests {
         let dronet = m.platforms_for("DroNet");
         assert_eq!(dronet.len(), 2);
         assert!(dronet.iter().any(|(p, _)| *p == "Ras-Pi 4"));
+        assert!(m.algorithms_on("TPU v9").is_empty());
+        assert!(m.platforms_for("PilotNet").is_empty());
     }
 
     #[test]
@@ -252,6 +420,27 @@ mod tests {
         let mut sorted = keys.clone();
         sorted.sort();
         assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn logical_equality_ignores_interning_order() {
+        let forward = sample();
+        let mut reversed = ThroughputMatrix::new();
+        reversed
+            .insert("Ras-Pi 4", "DroNet", Hertz::new(13.0))
+            .unwrap();
+        reversed
+            .insert("Nvidia TX2", "TrailNet", Hertz::new(55.0))
+            .unwrap();
+        reversed
+            .insert("Nvidia TX2", "DroNet", Hertz::new(178.0))
+            .unwrap();
+        assert_eq!(forward, reversed);
+        let mut different = sample();
+        different
+            .upsert("Nvidia TX2", "DroNet", Hertz::new(1.0))
+            .unwrap();
+        assert_ne!(forward, different);
     }
 
     #[test]

@@ -50,7 +50,10 @@ impl core::fmt::Display for ModelError {
                 parameter,
                 value,
                 expected,
-            } => write!(f, "{parameter} = {value} out of domain (expected {expected})"),
+            } => write!(
+                f,
+                "{parameter} = {value} out of domain (expected {expected})"
+            ),
             Self::InsufficientThrust {
                 available_thrust_n,
                 required_weight_n,
@@ -64,7 +67,10 @@ impl core::fmt::Display for ModelError {
                 "velocity {requested:.2} m/s unreachable: physics roof is {peak:.2} m/s"
             ),
             Self::NoConvergence { solver, iterations } => {
-                write!(f, "{solver} failed to converge after {iterations} iterations")
+                write!(
+                    f,
+                    "{solver} failed to converge after {iterations} iterations"
+                )
             }
         }
     }

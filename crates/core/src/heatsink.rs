@@ -142,7 +142,9 @@ impl HeatsinkModel {
                 expected: "> 0 for inversion",
             });
         }
-        Ok(Watts::new((mass.get() / self.scale).powf(1.0 / self.exponent)))
+        Ok(Watts::new(
+            (mass.get() / self.scale).powf(1.0 / self.exponent),
+        ))
     }
 }
 
@@ -219,7 +221,9 @@ mod tests {
 
     #[test]
     fn linear_model() {
-        let hs = HeatsinkModel::linear(5.0).unwrap().with_threshold(Watts::ZERO);
+        let hs = HeatsinkModel::linear(5.0)
+            .unwrap()
+            .with_threshold(Watts::ZERO);
         assert!((hs.mass_for(Watts::new(10.0)).get() - 50.0).abs() < 1e-12);
     }
 

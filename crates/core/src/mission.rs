@@ -61,7 +61,10 @@ impl PowerModel {
                 expected: "finite and > 0",
             });
         }
-        for (name, v) in [("avionics power", avionics_w), ("parasitic coeff", parasitic_coeff)] {
+        for (name, v) in [
+            ("avionics power", avionics_w),
+            ("parasitic coeff", parasitic_coeff),
+        ] {
             if !(v.is_finite() && v >= 0.0) {
                 return Err(ModelError::OutOfDomain {
                     parameter: name,
@@ -252,15 +255,13 @@ mod tests {
 
     fn s500_power() -> PowerModel {
         // ~1.6 kg on ~0.2 m² of disk at FoM 0.65 ⇒ ≈ 180 W hover.
-        let hover =
-            PowerModel::induced_hover_power(Kilograms::new(1.62), 0.2, 0.65).unwrap();
+        let hover = PowerModel::induced_hover_power(Kilograms::new(1.62), 0.2, 0.65).unwrap();
         PowerModel::new(hover.get(), 12.0, 0.08).unwrap()
     }
 
     #[test]
     fn induced_power_plausible_for_s500() {
-        let hover =
-            PowerModel::induced_hover_power(Kilograms::new(1.62), 0.2, 0.65).unwrap();
+        let hover = PowerModel::induced_hover_power(Kilograms::new(1.62), 0.2, 0.65).unwrap();
         // Small quads hover at roughly 100 W/kg.
         assert!(hover.get() > 80.0 && hover.get() < 220.0, "{hover}");
     }
@@ -308,10 +309,12 @@ mod tests {
         let v_star = p.energy_optimal_velocity().unwrap();
         let d = Meters::new(1000.0);
         let at = estimate_mission(&p, d, v_star).unwrap().energy_wh;
-        let below =
-            estimate_mission(&p, d, MetersPerSecond::new(v_star.get() * 0.7)).unwrap().energy_wh;
-        let above =
-            estimate_mission(&p, d, MetersPerSecond::new(v_star.get() * 1.3)).unwrap().energy_wh;
+        let below = estimate_mission(&p, d, MetersPerSecond::new(v_star.get() * 0.7))
+            .unwrap()
+            .energy_wh;
+        let above = estimate_mission(&p, d, MetersPerSecond::new(v_star.get() * 1.3))
+            .unwrap()
+            .energy_wh;
         assert!(at < below);
         assert!(at < above);
     }
@@ -322,8 +325,12 @@ mod tests {
         assert!(p.energy_optimal_velocity().is_none());
         // Without drag, faster is strictly cheaper.
         let d = Meters::new(500.0);
-        let a = estimate_mission(&p, d, MetersPerSecond::new(2.0)).unwrap().energy_wh;
-        let b = estimate_mission(&p, d, MetersPerSecond::new(8.0)).unwrap().energy_wh;
+        let a = estimate_mission(&p, d, MetersPerSecond::new(2.0))
+            .unwrap()
+            .energy_wh;
+        let b = estimate_mission(&p, d, MetersPerSecond::new(8.0))
+            .unwrap()
+            .energy_wh;
         assert!(b < a);
     }
 

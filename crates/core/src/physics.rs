@@ -73,7 +73,6 @@ pub enum PitchPolicy {
     },
 }
 
-
 /// Quadratic aerodynamic drag, `F_D = c·v²`.
 ///
 /// # Examples
@@ -177,7 +176,9 @@ impl DragModel {
         let m = mass.get();
         let c = self.coefficient;
         let a = decel.get();
-        Ok(Meters::new(m / (2.0 * c) * (1.0 + c * v * v / (m * a)).ln()))
+        Ok(Meters::new(
+            m / (2.0 * c) * (1.0 + c * v * v / (m * a)).ln(),
+        ))
     }
 }
 
@@ -357,8 +358,14 @@ impl BodyDynamics {
                 // so the optimum sits at the smaller of the tilt limit and the
                 // altitude-hold pitch acos(1/r).
                 let alpha_hold = Radians::from_cos_clamped(1.0 / r);
-                let alpha = if limit < alpha_hold { limit } else { alpha_hold };
-                self.accel_components(alpha, Newtons::ZERO).magnitude().get()
+                let alpha = if limit < alpha_hold {
+                    limit
+                } else {
+                    alpha_hold
+                };
+                self.accel_components(alpha, Newtons::ZERO)
+                    .magnitude()
+                    .get()
             }
         };
         Ok(MetersPerSecondSquared::new(a))
@@ -531,7 +538,10 @@ mod tests {
         )
         .unwrap();
         assert!(!d.can_hover());
-        assert!(matches!(d.a_max(), Err(ModelError::InsufficientThrust { .. })));
+        assert!(matches!(
+            d.a_max(),
+            Err(ModelError::InsufficientThrust { .. })
+        ));
     }
 
     #[test]
@@ -542,19 +552,18 @@ mod tests {
         let t = d.total_thrust().get();
         let m = d.total_mass().get();
         assert!((comp.horizontal.get() - t * alpha.sin() / m).abs() < 1e-12);
-        assert!(
-            (comp.vertical.get() - (t * alpha.cos() - m * STANDARD_GRAVITY) / m).abs() < 1e-12
-        );
+        assert!((comp.vertical.get() - (t * alpha.cos() - m * STANDARD_GRAVITY) / m).abs() < 1e-12);
     }
 
     #[test]
     fn fixed_pitch_descending_is_rejected() {
         // At 45° the thrust's vertical component is far below the weight for
         // a T/W of 1.07, so the policy is infeasible.
-        let d = uav_a().with_policy(PitchPolicy::FixedPitch(
-            Degrees::new(45.0).to_radians(),
+        let d = uav_a().with_policy(PitchPolicy::FixedPitch(Degrees::new(45.0).to_radians()));
+        assert!(matches!(
+            d.a_max(),
+            Err(ModelError::InsufficientThrust { .. })
         ));
-        assert!(matches!(d.a_max(), Err(ModelError::InsufficientThrust { .. })));
     }
 
     #[test]

@@ -395,8 +395,7 @@ mod tests {
 
     #[test]
     fn tie_breaks_in_pipeline_order() {
-        let rates =
-            StageRates::new(Hertz::new(60.0), Hertz::new(60.0), Hertz::new(60.0)).unwrap();
+        let rates = StageRates::new(Hertz::new(60.0), Hertz::new(60.0), Hertz::new(60.0)).unwrap();
         assert_eq!(rates.bottleneck(), Stage::Sensor);
         let lat = rates.latencies();
         assert_eq!(lat.bottleneck(), Stage::Sensor);

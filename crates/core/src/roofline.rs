@@ -432,12 +432,8 @@ mod tests {
     fn knee_scales_with_physics() {
         // Fig. 4c: higher a_max ⇒ higher roof and higher knee rate.
         let d = Meters::new(10.0);
-        let slow = Roofline::new(
-            SafetyModel::new(MetersPerSecondSquared::new(5.0), d).unwrap(),
-        );
-        let fast = Roofline::new(
-            SafetyModel::new(MetersPerSecondSquared::new(50.0), d).unwrap(),
-        );
+        let slow = Roofline::new(SafetyModel::new(MetersPerSecondSquared::new(5.0), d).unwrap());
+        let fast = Roofline::new(SafetyModel::new(MetersPerSecondSquared::new(50.0), d).unwrap());
         assert!(fast.roof() > slow.roof());
         assert!(fast.knee().rate > slow.knee().rate);
     }
@@ -490,12 +486,8 @@ mod tests {
     #[test]
     fn classify_physics_bound_beyond_knee() {
         let r = fig5_roofline();
-        let rates = StageRates::new(
-            Hertz::new(1000.0),
-            Hertz::new(500.0),
-            Hertz::new(1000.0),
-        )
-        .unwrap();
+        let rates =
+            StageRates::new(Hertz::new(1000.0), Hertz::new(500.0), Hertz::new(1000.0)).unwrap();
         let a = r.classify(&rates);
         assert_eq!(a.bound, Bound::Physics);
         assert!(a.roof_utilization() > 0.98);
@@ -506,8 +498,7 @@ mod tests {
     fn classify_compute_bound() {
         let r = fig5_roofline();
         // Compute at 5 Hz, sensor at 60 Hz: compute-bound (knee ~100 Hz).
-        let rates =
-            StageRates::new(Hertz::new(60.0), Hertz::new(5.0), Hertz::new(1000.0)).unwrap();
+        let rates = StageRates::new(Hertz::new(60.0), Hertz::new(5.0), Hertz::new(1000.0)).unwrap();
         let a = r.classify(&rates);
         assert_eq!(a.bound, Bound::Compute);
         assert_eq!(a.bound.stage(), Some(Stage::Compute));
@@ -529,8 +520,7 @@ mod tests {
     #[test]
     fn classify_control_bound() {
         let r = fig5_roofline();
-        let rates =
-            StageRates::new(Hertz::new(60.0), Hertz::new(178.0), Hertz::new(8.0)).unwrap();
+        let rates = StageRates::new(Hertz::new(60.0), Hertz::new(178.0), Hertz::new(8.0)).unwrap();
         assert_eq!(r.classify(&rates).bound, Bound::Control);
     }
 
@@ -553,8 +543,7 @@ mod tests {
     #[test]
     fn stage_ceilings_only_below_knee() {
         let r = fig5_roofline(); // knee ≈ 100 Hz
-        let rates =
-            StageRates::new(Hertz::new(30.0), Hertz::new(5.0), Hertz::new(1000.0)).unwrap();
+        let rates = StageRates::new(Hertz::new(30.0), Hertz::new(5.0), Hertz::new(1000.0)).unwrap();
         let ceilings = r.stage_ceilings(&rates);
         // Sensor (30 Hz) and compute (5 Hz) are below the knee; control is
         // not.
@@ -567,12 +556,8 @@ mod tests {
         assert!(ceilings[0].2 < r.roof());
 
         // A fully-provisioned pipeline has no ceilings at all.
-        let fast = StageRates::new(
-            Hertz::new(500.0),
-            Hertz::new(500.0),
-            Hertz::new(1000.0),
-        )
-        .unwrap();
+        let fast =
+            StageRates::new(Hertz::new(500.0), Hertz::new(500.0), Hertz::new(1000.0)).unwrap();
         assert!(r.stage_ceilings(&fast).is_empty());
     }
 

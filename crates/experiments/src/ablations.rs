@@ -89,7 +89,11 @@ pub fn drag_ablation() -> Result<Table, Box<dyn std::error::Error>> {
 
     let mut t = Table::new(
         "Ablation — effect of drag on safe velocity (UAV-A class, 10 Hz, d = 3 m)",
-        &["drag coeff (N/(m/s)²)", "v_safe (m/s)", "delta vs drag-free (%)"],
+        &[
+            "drag coeff (N/(m/s)²)",
+            "v_safe (m/s)",
+            "delta vs drag-free (%)",
+        ],
     );
     for c in [0.0, 0.02, 0.05, 0.1, 0.2] {
         let drag = DragModel::quadratic(c)?;
@@ -112,7 +116,12 @@ pub fn linearization_ablation() -> Table {
     let roofline = Roofline::with_saturation(safety, Saturation::DEFAULT);
     let mut t = Table::new(
         "Ablation — linearization error of the two-segment roofline",
-        &["f_action (Hz)", "exact (m/s)", "linearized (m/s)", "error (%)"],
+        &[
+            "f_action (Hz)",
+            "exact (m/s)",
+            "linearized (m/s)",
+            "error (%)",
+        ],
     );
     for f in [0.1, 0.5, 1.0, 3.16, 10.0, 31.6, 100.0, 1000.0] {
         let f = Hertz::new(f);
@@ -156,7 +165,13 @@ pub fn planar_ablation() -> Result<Table, Box<dyn std::error::Error>> {
     )?;
     let mut t = Table::new(
         "Ablation — 1-D braking abstraction vs 2-D pitch mechanism (a = 0.7 m/s²)",
-        &["v0 (m/s)", "1-D stop (m)", "2-D stop (m)", "2-D altitude sag (m)", "delta (%)"],
+        &[
+            "v0 (m/s)",
+            "1-D stop (m)",
+            "2-D stop (m)",
+            "2-D altitude sag (m)",
+            "delta (%)",
+        ],
     );
     for v0 in [1.0, 1.5, 2.0, 2.5, 3.0] {
         let (planar_stop, sag) =
@@ -196,7 +211,12 @@ pub fn sensor_range_ablation() -> Table {
     let a = f1_units::MetersPerSecondSquared::new(6.8);
     let mut t = Table::new(
         "Ablation — sensor range moves roof and knee in opposite directions (a = 6.8 m/s²)",
-        &["range (m)", "roof (m/s)", "knee (Hz)", "v_safe @ 30 Hz (m/s)"],
+        &[
+            "range (m)",
+            "roof (m/s)",
+            "knee (Hz)",
+            "v_safe @ 30 Hz (m/s)",
+        ],
     );
     for d in [1.0, 2.0, 4.5, 10.0, 20.0] {
         let safety = SafetyModel::new(a, Meters::new(d)).expect("static params");

@@ -6,7 +6,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let fig02 = f1_experiments::fig02::run();
     out.write_table("fig02_size_classes", &fig02.table())?;
-    out.write("fig02_size_classes.svg", &fig02.chart().render_svg(720, 480)?)?;
+    out.write(
+        "fig02_size_classes.svg",
+        &fig02.chart().render_svg(720, 480)?,
+    )?;
 
     let fig04 = f1_experiments::fig04::run();
     out.write_table("fig04a_bounds", &fig04.bounds_table())?;
@@ -16,12 +19,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let fig05 = f1_experiments::fig05::run();
     out.write_table("fig05_safety_model", &fig05.table())?;
-    out.write("fig05a_period.svg", &fig05.period_chart().render_svg(720, 480)?)?;
-    out.write("fig05b_roofline.svg", &fig05.rate_chart().render_svg(720, 480)?)?;
+    out.write(
+        "fig05a_period.svg",
+        &fig05.period_chart().render_svg(720, 480)?,
+    )?;
+    out.write(
+        "fig05b_roofline.svg",
+        &fig05.rate_chart().render_svg(720, 480)?,
+    )?;
 
     let fig07 = f1_experiments::fig07::run(42)?;
     out.write_table("fig07b_errors", &fig07.error_table())?;
-    out.write("fig07a_trajectories.svg", &fig07.trajectory_chart().render_svg(860, 540)?)?;
+    out.write(
+        "fig07a_trajectories.svg",
+        &fig07.trajectory_chart().render_svg(860, 540)?,
+    )?;
 
     let fig09 = f1_experiments::fig09::run()?;
     out.write_table("fig09_payload", &fig09.table())?;
@@ -29,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let fig11 = f1_experiments::fig11::run()?;
     out.write_table("fig11_compute_selection", &fig11.table())?;
-    out.write("fig11_compute_selection.svg", &fig11.chart()?.render_svg(820, 520)?)?;
+    out.write(
+        "fig11_compute_selection.svg",
+        &fig11.chart()?.render_svg(820, 520)?,
+    )?;
 
     let fig12 = f1_experiments::fig12::run();
     out.write_table("fig12_heatsink", &fig12.table())?;
@@ -37,31 +52,55 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let fig13 = f1_experiments::fig13::run()?;
     out.write_table("fig13_algorithms", &fig13.table())?;
-    out.write("fig13_algorithms.svg", &fig13.chart()?.render_svg(820, 520)?)?;
+    out.write(
+        "fig13_algorithms.svg",
+        &fig13.chart()?.render_svg(820, 520)?,
+    )?;
 
     let fig14 = f1_experiments::fig14::run()?;
     out.write_table("fig14_redundancy", &fig14.table())?;
-    out.write("fig14_redundancy.svg", &fig14.chart()?.render_svg(820, 520)?)?;
+    out.write(
+        "fig14_redundancy.svg",
+        &fig14.chart()?.render_svg(820, 520)?,
+    )?;
 
     let fig15 = f1_experiments::fig15::run()?;
     out.write_table("fig15_full_system", &fig15.table())?;
-    out.write("fig15_full_system.svg", &fig15.chart()?.render_svg(960, 620)?)?;
+    out.write(
+        "fig15_full_system.svg",
+        &fig15.chart()?.render_svg(960, 620)?,
+    )?;
 
     let fig16 = f1_experiments::fig16::run()?;
     out.write_table("fig16_accelerators", &fig16.table())?;
-    out.write("fig16_accelerators.svg", &fig16.chart()?.render_svg(820, 520)?)?;
+    out.write(
+        "fig16_accelerators.svg",
+        &fig16.chart()?.render_svg(820, 520)?,
+    )?;
 
     out.write_table("table1_specs", &f1_experiments::tables::table1_specs()?)?;
     out.write_table("table2_knobs", &f1_experiments::tables::table2_knobs())?;
-    out.write_table("table3_case_studies", &f1_experiments::tables::table3_case_studies())?;
+    out.write_table(
+        "table3_case_studies",
+        &f1_experiments::tables::table3_case_studies(),
+    )?;
 
-    out.write_table("ablation_pipeline", &f1_experiments::ablations::pipeline_validation(7))?;
-    out.write_table("ablation_drag", &f1_experiments::ablations::drag_ablation()?)?;
+    out.write_table(
+        "ablation_pipeline",
+        &f1_experiments::ablations::pipeline_validation(7),
+    )?;
+    out.write_table(
+        "ablation_drag",
+        &f1_experiments::ablations::drag_ablation()?,
+    )?;
     out.write_table(
         "ablation_linearization",
         &f1_experiments::ablations::linearization_ablation(),
     )?;
 
-    println!("regenerated all figures and tables into {}", out.path().display());
+    println!(
+        "regenerated all figures and tables into {}",
+        out.path().display()
+    );
     Ok(())
 }

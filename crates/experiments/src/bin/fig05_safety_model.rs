@@ -7,8 +7,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let table = fig.table();
     println!("{}", table.to_text());
     out.write_table("fig05_safety_model", &table)?;
-    out.write("fig05a_period.svg", &fig.period_chart().render_svg(720, 480)?)?;
-    out.write("fig05b_roofline.svg", &fig.rate_chart().render_svg(720, 480)?)?;
+    out.write(
+        "fig05a_period.svg",
+        &fig.period_chart().render_svg(720, 480)?,
+    )?;
+    out.write(
+        "fig05b_roofline.svg",
+        &fig.rate_chart().render_svg(720, 480)?,
+    )?;
     println!("{}", fig.rate_chart().render_ascii(90, 24)?);
     println!("artifacts in {}", out.path().display());
     Ok(())

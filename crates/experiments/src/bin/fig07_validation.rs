@@ -8,7 +8,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let table = fig.error_table();
     println!("{}", table.to_text());
     out.write_table("fig07b_errors", &table)?;
-    out.write("fig07a_trajectories.svg", &fig.trajectory_chart().render_svg(860, 540)?)?;
+    out.write(
+        "fig07a_trajectories.svg",
+        &fig.trajectory_chart().render_svg(860, 540)?,
+    )?;
     println!("{}", fig.trajectory_chart().render_ascii(100, 28)?);
     println!(
         "mean error {:.1}% (max {:.1}%), model optimistic: {}",

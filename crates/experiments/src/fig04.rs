@@ -2,11 +2,11 @@
 //! over/sub-optimal designs, and the effect of payload weight on the roof.
 
 use f1_model::analysis::DesignAssessment;
+use f1_model::pipeline::StageRates;
 use f1_model::roofline::{Roofline, Saturation};
 use f1_model::safety::SafetyModel;
-use f1_model::pipeline::StageRates;
-use f1_units::{Hertz, Meters, MetersPerSecondSquared};
 use f1_plot::{Chart, Scale, Series};
+use f1_units::{Hertz, Meters, MetersPerSecondSquared};
 
 use crate::report::{num, Table};
 
@@ -65,9 +65,8 @@ impl Fig04 {
             (knee * 3.0, knee * 3.0), // physics-bound
         ];
         for (fs, fc) in cases {
-            let rates =
-                StageRates::new(Hertz::new(fs), Hertz::new(fc), Hertz::new(1000.0))
-                    .expect("positive rates");
+            let rates = StageRates::new(Hertz::new(fs), Hertz::new(fc), Hertz::new(1000.0))
+                .expect("positive rates");
             let analysis = self.roofline.classify(&rates);
             t.push([
                 num(fs, 1),

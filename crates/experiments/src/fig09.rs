@@ -2,10 +2,10 @@
 //! weight, with the four Table I drones mapped onto the curve.
 
 use f1_components::{names, Catalog};
+use f1_model::safety::SafetyModel;
 use f1_plot::{Annotation, Chart, Series};
 use f1_skyline::sweep::{sweep_linear, SweepPoint};
 use f1_units::{Grams, Hertz, Meters};
-use f1_model::safety::SafetyModel;
 
 use crate::report::{num, Table};
 
@@ -42,7 +42,9 @@ pub fn run() -> Result<Fig09, Box<dyn std::error::Error>> {
     for uav in Catalog::validation_uavs() {
         let body = airframe.loaded_dynamics(uav.payload)?;
         let a = body.a_max()?;
-        let v = SafetyModel::new(a, range)?.safe_velocity(rate.period()).get();
+        let v = SafetyModel::new(a, range)?
+            .safe_velocity(rate.period())
+            .get();
         drones.push((uav.label, uav.payload.get(), v));
     }
     Ok(Fig09 { sweep, drones })
@@ -106,11 +108,7 @@ mod tests {
     #[test]
     fn velocity_monotone_decreasing_in_payload() {
         let fig = run().unwrap();
-        let vs: Vec<f64> = fig
-            .sweep
-            .iter()
-            .filter_map(|p| p.output)
-            .collect();
+        let vs: Vec<f64> = fig.sweep.iter().filter_map(|p| p.output).collect();
         assert!(vs.len() > 100);
         for w in vs.windows(2) {
             assert!(w[1] < w[0], "velocity not decreasing");

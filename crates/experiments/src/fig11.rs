@@ -2,9 +2,10 @@
 //! a DJI Spark running DroNet, plus the AGX 30 W → 15 W TDP what-if.
 
 use f1_components::{names, Catalog};
+use f1_model::roofline::Roofline;
 use f1_plot::Chart;
 use f1_skyline::chart::{roofline_chart, OperatingPoint};
-use f1_skyline::UavSystem;
+use f1_skyline::dse::{Engine, Outcome};
 use f1_units::Hertz;
 
 use crate::report::{num, Table};
@@ -24,8 +25,8 @@ pub struct ComputeChoice {
     pub velocity: f64,
     /// The knee (Hz).
     pub knee: f64,
-    /// The assembled system.
-    pub system: UavSystem,
+    /// The configuration's roofline (for charting).
+    pub roofline: Roofline,
 }
 
 /// The Fig. 11 regeneration result.
@@ -42,45 +43,52 @@ pub struct Fig11 {
 /// Propagates catalog errors (none for the paper catalog).
 pub fn run() -> Result<Fig11, Box<dyn std::error::Error>> {
     let catalog = Catalog::paper();
+    let engine = Engine::new(&catalog);
     let mut choices = Vec::new();
 
-    let ncs = UavSystem::from_catalog(
-        &catalog,
-        names::DJI_SPARK,
-        names::RGB_60,
-        names::NCS,
-        names::DRONET,
-    )?;
-    choices.push(evaluate("Intel NCS", ncs)?);
+    let ncs = engine.evaluate_named(names::DJI_SPARK, names::RGB_60, names::NCS, names::DRONET)?;
+    choices.push(choice("Intel NCS", ncs.candidate.throughput, ncs.outcome)?);
 
-    let agx30 = UavSystem::from_catalog(
-        &catalog,
-        names::DJI_SPARK,
-        names::RGB_60,
-        names::AGX,
-        names::DRONET,
-    )?;
-    choices.push(evaluate("Nvidia AGX-30W", agx30.clone())?);
+    let agx30 =
+        engine.evaluate_named(names::DJI_SPARK, names::RGB_60, names::AGX, names::DRONET)?;
+    choices.push(choice(
+        "Nvidia AGX-30W",
+        agx30.candidate.throughput,
+        agx30.outcome,
+    )?);
 
     // §VI-A what-if: halve the TDP "without impacting the compute
-    // throughput"; the heatsink shrinks accordingly.
+    // throughput"; the heatsink shrinks accordingly. The optimized
+    // platform is not a catalog entry, so it goes through the engine's
+    // parts-level evaluation.
     let optimized_platform = catalog.compute(names::AGX)?.with_tdp_scaled(0.5)?;
-    let agx15 = agx30.with_compute_platform(optimized_platform, Hertz::new(230.0));
-    choices.push(evaluate("Nvidia AGX-15W", agx15)?);
+    let agx15 = engine.evaluate_parts(
+        catalog.airframe(names::DJI_SPARK)?,
+        catalog.sensor(names::RGB_60)?,
+        &optimized_platform,
+        Hertz::new(230.0),
+    )?;
+    choices.push(choice("Nvidia AGX-15W", Hertz::new(230.0), agx15)?);
 
     Ok(Fig11 { choices })
 }
 
-fn evaluate(label: &str, system: UavSystem) -> Result<ComputeChoice, Box<dyn std::error::Error>> {
-    let analysis = system.analyze()?;
+fn choice(
+    label: &str,
+    throughput: Hertz,
+    outcome: Outcome,
+) -> Result<ComputeChoice, Box<dyn std::error::Error>> {
+    let roofline = outcome
+        .roofline
+        .ok_or_else(|| format!("{label}: configuration cannot hover"))?;
     Ok(ComputeChoice {
         label: label.to_owned(),
-        compute_rate: system.compute_throughput().get(),
-        payload_g: system.payload_mass().get(),
-        roof: analysis.bound.roof.get(),
-        velocity: analysis.bound.velocity.get(),
-        knee: analysis.bound.knee.rate.get(),
-        system,
+        compute_rate: throughput.get(),
+        payload_g: outcome.payload.get(),
+        roof: outcome.roof.get(),
+        velocity: outcome.velocity.get(),
+        knee: outcome.knee.get(),
+        roofline,
     })
 }
 
@@ -129,7 +137,7 @@ impl Fig11 {
         let mut rooflines = Vec::new();
         let mut points = Vec::new();
         for c in &self.choices {
-            rooflines.push((c.label.clone(), c.system.roofline()?));
+            rooflines.push((c.label.clone(), c.roofline));
             points.push(OperatingPoint {
                 label: format!("{} @ {:.0} Hz", c.label, c.compute_rate),
                 rate: Hertz::new(c.compute_rate),

@@ -160,8 +160,7 @@ mod tests {
         assert!(fig.points[0].velocity < fig.points[1].velocity);
         // TrailNet (55 Hz) and DroNet (178 Hz) both exceed the knee, so
         // their velocities are nearly identical (physics roof).
-        let rel = (fig.points[1].velocity - fig.points[2].velocity).abs()
-            / fig.points[2].velocity;
+        let rel = (fig.points[1].velocity - fig.points[2].velocity).abs() / fig.points[2].velocity;
         assert!(rel < 0.03, "rel = {rel}");
     }
 

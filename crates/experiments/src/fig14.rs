@@ -48,7 +48,12 @@ impl Fig14 {
     pub fn table(&self) -> Table {
         let mut t = Table::new(
             "Fig. 14b — modular redundancy on AscTec Pelican (DroNet @ 178 Hz)",
-            &["configuration", "payload (g)", "roof (m/s)", "velocity loss (%)"],
+            &[
+                "configuration",
+                "payload (g)",
+                "roof (m/s)",
+                "velocity loss (%)",
+            ],
         );
         t.push([
             "1× TX2 (baseline)".to_string(),

@@ -6,6 +6,7 @@ use f1_components::{names, Catalog};
 use f1_model::roofline::Bound;
 use f1_plot::Chart;
 use f1_skyline::chart::{roofline_chart, OperatingPoint};
+use f1_skyline::dse::Engine;
 use f1_skyline::sweep::parallel_map;
 use f1_skyline::{SkylineError, UavSystem};
 use f1_units::Hertz;
@@ -64,17 +65,19 @@ const RASPI_EXTRAS: [(&str, &str); 2] = [
 /// Propagates catalog errors (none for the paper catalog).
 pub fn run() -> Result<Fig15, Box<dyn std::error::Error>> {
     let catalog = Catalog::paper();
-    let mut jobs: Vec<(String, String, String)> = Vec::new();
+    let engine = Engine::new(&catalog);
+    let mut jobs: Vec<(&str, &str, &str)> = Vec::new();
     for uav in [names::DJI_SPARK, names::ASCTEC_PELICAN] {
-        let sensor = default_sensor(uav);
-        let _ = sensor; // sensor resolved again per job below
         for (platform, algorithm) in COMBOS.iter().chain(RASPI_EXTRAS.iter()) {
-            jobs.push((uav.to_owned(), (*platform).to_owned(), (*algorithm).to_owned()));
+            jobs.push((uav, platform, algorithm));
         }
     }
-    let cells = parallel_map(jobs, |(uav, platform, algorithm)| {
-        evaluate(&catalog, uav, platform, algorithm)
+    let cells = parallel_map(jobs, |&(uav, platform, algorithm)| {
+        evaluate(&engine, uav, platform, algorithm)
     });
+    let cells = cells
+        .into_iter()
+        .collect::<Result<Vec<_>, SkylineError>>()?;
     Ok(Fig15 { cells })
 }
 
@@ -86,39 +89,29 @@ fn default_sensor(uav: &str) -> &'static str {
     }
 }
 
-fn evaluate(catalog: &Catalog, uav: &str, platform: &str, algorithm: &str) -> GridCell {
-    let system = UavSystem::from_catalog(catalog, uav, default_sensor(uav), platform, algorithm)
-        .expect("grid components exist");
-    let compute_rate = system.compute_throughput().get();
-    match system.analyze() {
-        Ok(analysis) => {
-            let factor = match analysis.bound.bound {
-                Bound::Physics => analysis.compute_assessment.surplus_factor(),
-                _ => analysis.compute_assessment.speedup_required(),
-            };
-            GridCell {
-                uav: uav.to_owned(),
-                platform: platform.to_owned(),
-                algorithm: algorithm.to_owned(),
-                compute_rate,
-                velocity: analysis.bound.velocity.get(),
-                knee: analysis.bound.knee.rate.get(),
-                bound: Some(analysis.bound.bound),
-                factor,
-            }
-        }
-        Err(SkylineError::CannotHover { .. }) => GridCell {
-            uav: uav.to_owned(),
-            platform: platform.to_owned(),
-            algorithm: algorithm.to_owned(),
-            compute_rate,
-            velocity: 0.0,
-            knee: 0.0,
-            bound: None,
-            factor: 0.0,
-        },
-        Err(other) => panic!("unexpected analysis error: {other}"),
-    }
+fn evaluate(
+    engine: &Engine<'_>,
+    uav: &str,
+    platform: &str,
+    algorithm: &str,
+) -> Result<GridCell, SkylineError> {
+    let evaluated = engine.evaluate_named(uav, default_sensor(uav), platform, algorithm)?;
+    let outcome = evaluated.outcome;
+    let factor = match (outcome.bound, outcome.compute_assessment) {
+        (Some(Bound::Physics), Some(assessment)) => assessment.surplus_factor(),
+        (Some(_), Some(assessment)) => assessment.speedup_required(),
+        _ => 0.0, // cannot hover
+    };
+    Ok(GridCell {
+        uav: uav.to_owned(),
+        platform: platform.to_owned(),
+        algorithm: algorithm.to_owned(),
+        compute_rate: evaluated.candidate.throughput.get(),
+        velocity: outcome.velocity.get(),
+        knee: outcome.knee.get(),
+        bound: outcome.bound,
+        factor,
+    })
 }
 
 impl Fig15 {
@@ -234,7 +227,10 @@ mod tests {
         let trailnet = gap(names::TRAILNET);
         let cad2rl = gap(names::CAD2RL);
         assert!(dronet > 1.0 && dronet < 7.0, "DroNet gap {dronet}");
-        assert!(trailnet > 50.0 && trailnet < 220.0, "TrailNet gap {trailnet}");
+        assert!(
+            trailnet > 50.0 && trailnet < 220.0,
+            "TrailNet gap {trailnet}"
+        );
         assert!(cad2rl > 300.0 && cad2rl < 1300.0, "CAD2RL gap {cad2rl}");
         assert!(cad2rl > trailnet && trailnet > dronet);
     }

@@ -175,7 +175,7 @@ mod tests {
 
     #[test]
     fn num_helper() {
-        assert_eq!(num(3.14159, 2), "3.14");
+        assert_eq!(num(std::f64::consts::PI, 2), "3.14");
         assert_eq!(num(10.0, 0), "10");
     }
 

@@ -15,13 +15,7 @@ pub fn table1_specs() -> Result<Table, Box<dyn std::error::Error>> {
     let airframe = catalog.airframe(names::CUSTOM_S500)?;
     let mut t = Table::new(
         "Table I — custom validation UAV specifications",
-        &[
-            "component",
-            "UAV-A",
-            "UAV-B",
-            "UAV-C",
-            "UAV-D",
-        ],
+        &["component", "UAV-A", "UAV-B", "UAV-C", "UAV-D"],
     );
     let uavs = Catalog::validation_uavs();
     t.push([
@@ -81,7 +75,13 @@ pub fn table2_knobs() -> Table {
 pub fn table3_case_studies() -> Table {
     let mut t = Table::new(
         "Table III — evaluation case studies",
-        &["case study", "onboard compute", "autonomy algorithm", "redundancy", "UAV type"],
+        &[
+            "case study",
+            "onboard compute",
+            "autonomy algorithm",
+            "redundancy",
+            "UAV type",
+        ],
     );
     t.push([
         "VI-A onboard compute",

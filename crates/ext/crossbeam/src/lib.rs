@@ -1,0 +1,152 @@
+//! Offline stand-in for `crossbeam` (see `crates/ext/README.md`).
+//!
+//! Provides the two pieces the workspace uses — `channel::unbounded` and
+//! `scope` — on top of `std::sync::mpsc` and `std::thread::scope`. One
+//! behavioral refinement over upstream: a panic in a spawned worker is
+//! re-raised in the caller with its **original payload** (upstream
+//! surfaces it as an opaque `Err`), so `#[should_panic(expected = ...)]`
+//! tests see the worker's message.
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+
+/// Multi-producer multi-consumer channels (subset: unbounded, mpsc).
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Self(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message; errors only if the receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), mpsc::SendError<T>> {
+            self.0.send(msg)
+        }
+    }
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next message until all senders are dropped.
+        pub fn recv(&self) -> Result<T, mpsc::RecvError> {
+            self.0.recv()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// A scope for spawning borrowing threads, mirroring `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    panic: Arc<Mutex<Option<PanicPayload>>>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: self.inner,
+            panic: Arc::clone(&self.panic),
+        }
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a worker that may borrow from the enclosing scope. The
+    /// closure receives the scope (so workers can spawn sub-workers).
+    pub fn spawn<F, T>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let this = self.clone();
+        self.inner.spawn(move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(&this))) {
+                let mut slot = this.panic.lock().unwrap_or_else(|e| e.into_inner());
+                slot.get_or_insert(payload);
+            }
+        });
+    }
+}
+
+/// Runs `f` with a scope in which borrowing threads can be spawned; joins
+/// them all before returning. If any worker panicked, the first panic is
+/// resumed in the caller.
+///
+/// # Errors
+///
+/// The `Err` variant exists for signature compatibility with upstream
+/// `crossbeam::scope`; this implementation re-raises worker panics
+/// instead of returning them.
+pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    let panic_slot: Arc<Mutex<Option<PanicPayload>>> = Arc::new(Mutex::new(None));
+    let result = std::thread::scope(|s| {
+        let scope = Scope {
+            inner: s,
+            panic: Arc::clone(&panic_slot),
+        };
+        f(&scope)
+    });
+    let payload = panic_slot.lock().unwrap_or_else(|e| e.into_inner()).take();
+    match payload {
+        Some(payload) => resume_unwind(payload),
+        None => Ok(result),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_workers_borrow_and_join() {
+        let data = vec![1, 2, 3, 4];
+        let (tx, rx) = channel::unbounded();
+        scope(|s| {
+            for x in &data {
+                let tx = tx.clone();
+                s.spawn(move |_| tx.send(*x * 10).unwrap());
+            }
+            drop(tx);
+        })
+        .unwrap();
+        let mut got: Vec<i32> = rx.into_iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker exploded")]
+    fn worker_panic_payload_is_resumed() {
+        let _ = scope(|s| {
+            s.spawn(|_| panic!("worker exploded"));
+        });
+    }
+}

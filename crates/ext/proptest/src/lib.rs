@@ -1,0 +1,175 @@
+//! Offline stand-in for `proptest` (see `crates/ext/README.md`).
+//!
+//! Implements the workspace's property-testing surface: the
+//! [`proptest!`] macro with optional `#![proptest_config(...)]`,
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!`, and a
+//! [`strategy::Strategy`] trait with range, tuple, regex-lite string and
+//! `prop_map` strategies. Sampling is deterministic per test name, so
+//! failures reproduce. Unlike upstream there is **no shrinking**: a
+//! failing case reports the sampled inputs as-is.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// One-stop imports mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Defines property tests: `proptest! { #[test] fn p(x in strat) {...} }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal recursion for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let runner = $crate::test_runner::TestRunner::new($cfg, stringify!($name));
+            for case in 0..runner.cases() {
+                let mut rng = runner.rng_for(case);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                let inputs = format!("{:?}", ($(&$arg,)*));
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        Ok(())
+                    })();
+                match outcome {
+                    Ok(()) => {}
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => continue,
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => panic!(
+                        "property {} failed at case {case}: {msg}\n  inputs: {inputs}",
+                        stringify!($name),
+                    ),
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        // `if cond {} else` keeps clippy's negated-partial-ord lint quiet
+        // for float conditions.
+        if $cond {
+        } else {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if $cond {
+        } else {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {:?} != {:?}", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Skips the current case (without failing) unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_owned(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn doubled() -> impl Strategy<Value = f64> {
+        (1.0f64..10.0).prop_map(|x| x * 2.0)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3.0f64..7.0, n in 5u64..9) {
+            prop_assert!((3.0..7.0).contains(&x));
+            prop_assert!((5..9).contains(&n));
+        }
+
+        #[test]
+        fn mapped_strategy_applies(y in doubled()) {
+            prop_assert!((2.0..20.0).contains(&y), "y = {y}");
+        }
+
+        #[test]
+        fn tuples_and_assume(pair in (0.0f64..1.0, 0.0f64..1.0), c in 0.0f64..1.0) {
+            let (a, b) = pair;
+            prop_assume!(a != b);
+            prop_assert_eq!(a + b, b + a);
+            prop_assert!((a + b + c - (c + b + a)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn regex_lite_strings(s in "[A-Za-z][A-Za-z0-9 -]{0,20}") {
+            prop_assert!(!s.is_empty() && s.len() <= 21, "s = {s:?}");
+            let first = s.chars().next().unwrap();
+            prop_assert!(first.is_ascii_alphabetic());
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_name() {
+        let runner = crate::test_runner::TestRunner::new(
+            ProptestConfig::with_cases(4),
+            "cases_are_deterministic_per_name",
+        );
+        let sample = |runner: &crate::test_runner::TestRunner| -> Vec<f64> {
+            (0..runner.cases())
+                .map(|case| Strategy::generate(&(0.0f64..1.0), &mut runner.rng_for(case)))
+                .collect()
+        };
+        assert_eq!(sample(&runner), sample(&runner));
+    }
+}

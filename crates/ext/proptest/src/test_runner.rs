@@ -1,0 +1,68 @@
+//! Deterministic case scheduling for the [`proptest!`](crate::proptest) macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How many cases each property runs (subset of upstream's config).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject(String),
+    /// `prop_assert!`/`prop_assert_eq!` failed; the property fails.
+    Fail(String),
+}
+
+/// Drives one property: seeds each case deterministically from the
+/// property's name, so failures reproduce run-over-run.
+#[derive(Debug, Clone)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    seed: u64,
+}
+
+impl TestRunner {
+    /// Creates a runner for the named property.
+    #[must_use]
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        // FNV-1a over the property name: stable across runs and platforms.
+        let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            seed ^= u64::from(byte);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self { config, seed }
+    }
+
+    /// Number of cases to run.
+    #[must_use]
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// The RNG for one case.
+    #[must_use]
+    pub fn rng_for(&self, case: u32) -> StdRng {
+        StdRng::seed_from_u64(self.seed ^ (u64::from(case)).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}

@@ -1,0 +1,149 @@
+//! Offline stand-in for `serde_derive` (see `crates/ext/README.md`).
+//!
+//! The real derives generate full (de)serialization impls; these emit
+//! empty **marker** impls of the stub `serde::Serialize` /
+//! `serde::Deserialize<'de>` traits, so code that bounds on the traits
+//! (`T: Serialize + for<'de> Deserialize<'de>`) still type-checks. The
+//! input is parsed with a tiny token scanner instead of `syn`: it
+//! extracts the type name and generic parameters (helper
+//! `#[serde(...)]` attributes are accepted and ignored).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Marker-impl `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let target = parse_target(input);
+    target
+        .impl_block("serde::Serialize", None)
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Marker-impl `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let target = parse_target(input);
+    target
+        .impl_block("serde::Deserialize<'de>", Some("'de"))
+        .parse()
+        .expect("generated impl parses")
+}
+
+struct GenericParam {
+    /// Full declaration minus any default, e.g. `T: Clone` or `'a`.
+    decl: String,
+    /// Just the name, e.g. `T` or `'a`.
+    name: String,
+}
+
+struct Target {
+    name: String,
+    params: Vec<GenericParam>,
+}
+
+impl Target {
+    fn impl_block(&self, trait_path: &str, extra_lifetime: Option<&str>) -> String {
+        let mut decls: Vec<String> = Vec::new();
+        if let Some(lt) = extra_lifetime {
+            decls.push(lt.to_owned());
+        }
+        decls.extend(self.params.iter().map(|p| p.decl.clone()));
+        let impl_generics = if decls.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", decls.join(", "))
+        };
+        let names: Vec<&str> = self.params.iter().map(|p| p.name.as_str()).collect();
+        let ty_generics = if names.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", names.join(", "))
+        };
+        format!(
+            "impl{impl_generics} {trait_path} for {}{ty_generics} {{}}",
+            self.name
+        )
+    }
+}
+
+/// Extracts the deriving type's name and generic parameters.
+fn parse_target(input: TokenStream) -> Target {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes and visibility up to the `struct`/`enum`/`union`
+    // keyword.
+    let mut name = None;
+    while let Some(tree) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tree {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" || word == "union" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("expected type name after `{word}`, got {other:?}"),
+                }
+                break;
+            }
+        }
+    }
+    let name = name.expect("derive input must declare a struct, enum or union");
+
+    // Collect generic parameters if a `<...>` group follows the name.
+    let mut params: Vec<GenericParam> = Vec::new();
+    if matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        tokens.next();
+        let mut depth = 1usize;
+        let mut decl: Vec<TokenTree> = Vec::new();
+        let mut in_default = false;
+        let mut finish = |decl: &mut Vec<TokenTree>| {
+            if decl.is_empty() {
+                return;
+            }
+            let decl_ts: TokenStream = decl.drain(..).collect();
+            let decl_str = decl_ts.to_string();
+            let name = decl_str
+                .split(':')
+                .next()
+                .map(str::trim)
+                .map(|n| n.strip_prefix("const ").unwrap_or(n).trim().to_owned())
+                .filter(|n| !n.is_empty())
+                .expect("generic parameter has a name");
+            params.push(GenericParam {
+                decl: decl_str,
+                name,
+            });
+        };
+        for tree in tokens.by_ref() {
+            match &tree {
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    depth += 1;
+                    if !in_default {
+                        decl.push(tree);
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                    if !in_default {
+                        decl.push(tree);
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                    finish(&mut decl);
+                    in_default = false;
+                }
+                TokenTree::Punct(p) if p.as_char() == '=' && depth == 1 => {
+                    // `T = Default` / `const N: usize = 4`: drop defaults,
+                    // impls may not repeat them.
+                    in_default = true;
+                }
+                _ if in_default => {}
+                _ => decl.push(tree),
+            }
+        }
+        finish(&mut decl);
+    }
+
+    Target { name, params }
+}

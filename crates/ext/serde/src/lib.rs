@@ -1,0 +1,47 @@
+//! Offline stand-in for `serde` (see `crates/ext/README.md`).
+//!
+//! Exposes the two traits and the derive macros under their upstream
+//! names so `use serde::{Deserialize, Serialize};`,
+//! `#[derive(Serialize, Deserialize)]` and bounds like
+//! `T: Serialize + for<'de> Deserialize<'de>` compile unchanged. The
+//! traits are empty markers — no serialization machinery exists; swap
+//! this path dependency for the real crate to get it.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that would be serializable with the real `serde`.
+pub trait Serialize {}
+
+/// Marker for types that would be deserializable with the real `serde`.
+pub trait Deserialize<'de> {}
+
+#[cfg(test)]
+mod tests {
+    #![allow(dead_code)]
+
+    use crate as serde;
+    use serde_derive::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize)]
+    struct Plain {
+        x: f64,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    #[serde(transparent)]
+    struct Transparent(u64);
+
+    #[derive(Serialize, Deserialize)]
+    enum Shape<T: Clone, U> {
+        Dot,
+        Pair(T, U),
+    }
+
+    #[test]
+    fn derives_satisfy_bounds() {
+        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+        assert_serde::<Plain>();
+        assert_serde::<Transparent>();
+        assert_serde::<Shape<u8, f32>>();
+    }
+}

@@ -50,10 +50,7 @@ impl DisturbanceModel {
                 expected: "finite and >= 0",
             });
         }
-        Ok(Self {
-            std_dev,
-            bias: 0.0,
-        })
+        Ok(Self { std_dev, bias: 0.0 })
     }
 
     /// Adds a constant bias (e.g. a steady headwind component) in m/s².

@@ -305,8 +305,7 @@ mod tests {
             velocity: MetersPerSecond::new(2.0),
             accel: MetersPerSecondSquared::ZERO,
         };
-        let stop =
-            |d: &VehicleDynamics| -> f64 { settle(d, cruise, -0.8, 20_000).position.get() };
+        let stop = |d: &VehicleDynamics| -> f64 { settle(d, cruise, -0.8, 20_000).position.get() };
         assert!(stop(&with_drag) < stop(&no_drag));
     }
 
@@ -320,12 +319,8 @@ mod tests {
             PitchPolicy::VerticalMargin,
         )
         .unwrap();
-        let v = VehicleDynamics::from_body_dynamics(
-            &body,
-            Seconds::new(0.08),
-            DragModel::none(),
-        )
-        .unwrap();
+        let v = VehicleDynamics::from_body_dynamics(&body, Seconds::new(0.08), DragModel::none())
+            .unwrap();
         assert!((v.brake_limit().get() - body.a_max().unwrap().get()).abs() < 1e-12);
         assert_eq!(v.mass(), Kilograms::new(1.62));
     }

@@ -56,8 +56,8 @@ mod validation;
 
 pub use disturbance::DisturbanceModel;
 pub use dynamics::{VehicleDynamics, VehicleState};
-pub use planar::{PlanarDynamics, PlanarState};
 pub use pid::Pid;
+pub use planar::{PlanarDynamics, PlanarState};
 pub use scenario::{DecisionPhase, StopScenario, Trajectory, TrajectorySample, TrialOutcome};
 pub use search::{find_safe_velocity, SafeVelocityResult, SearchConfig};
 pub use validation::{validate_custom_drones, DroneValidation, ValidationConfig, ValidationReport};

@@ -33,7 +33,10 @@ impl Pid {
     #[must_use]
     pub fn new(kp: f64, ki: f64, kd: f64) -> Self {
         for (name, g) in [("kp", kp), ("ki", ki), ("kd", kd)] {
-            assert!(g.is_finite() && g >= 0.0, "{name} must be non-negative, got {g}");
+            assert!(
+                g.is_finite() && g >= 0.0,
+                "{name} must be non-negative, got {g}"
+            );
         }
         Self {
             kp,
@@ -77,8 +80,8 @@ impl Pid {
     /// Panics if `dt` is not strictly positive.
     pub fn update(&mut self, error: f64, dt: f64) -> f64 {
         assert!(dt > 0.0, "dt must be positive, got {dt}");
-        self.integral = (self.integral + error * dt)
-            .clamp(-self.integral_limit, self.integral_limit);
+        self.integral =
+            (self.integral + error * dt).clamp(-self.integral_limit, self.integral_limit);
         let derivative = match self.prev_error {
             Some(prev) => (error - prev) / dt,
             None => 0.0,

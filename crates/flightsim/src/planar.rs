@@ -14,9 +14,7 @@
 
 use f1_model::physics::DragModel;
 use f1_model::ModelError;
-use f1_units::{
-    Kilograms, Meters, MetersPerSecond, Newtons, Radians, Seconds, STANDARD_GRAVITY,
-};
+use f1_units::{Kilograms, Meters, MetersPerSecond, Newtons, Radians, Seconds, STANDARD_GRAVITY};
 
 /// The planar vehicle state.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -185,12 +183,7 @@ impl PlanarDynamics {
     ///
     /// Panics if `dt` is not strictly positive (via [`step`](Self::step)).
     #[must_use]
-    pub fn brake_to_stop(
-        &self,
-        v0: MetersPerSecond,
-        decel: f64,
-        dt: Seconds,
-    ) -> (Meters, Meters) {
+    pub fn brake_to_stop(&self, v0: MetersPerSecond, decel: f64, dt: Seconds) -> (Meters, Meters) {
         let mut state = PlanarState {
             vx: v0,
             ..PlanarState::default()
@@ -323,7 +316,8 @@ mod tests {
         use crate::dynamics::{VehicleDynamics, VehicleState};
         let a = 0.7;
         let planar = uav_a();
-        let (planar_stop, _) = planar.brake_to_stop(MetersPerSecond::new(2.0), a, Seconds::new(0.001));
+        let (planar_stop, _) =
+            planar.brake_to_stop(MetersPerSecond::new(2.0), a, Seconds::new(0.001));
 
         let longitudinal = VehicleDynamics::new(
             Kilograms::new(1.62),
@@ -348,7 +342,12 @@ mod tests {
             steps += 1;
         }
         let rel = (planar_stop.get() - s.position.get()).abs() / s.position.get();
-        assert!(rel < 0.10, "planar {} vs 1-D {} ({rel})", planar_stop, s.position);
+        assert!(
+            rel < 0.10,
+            "planar {} vs 1-D {} ({rel})",
+            planar_stop,
+            s.position
+        );
     }
 
     #[test]

@@ -153,9 +153,8 @@ impl StopScenario {
         decision_rate: Hertz,
         sensing_range: Meters,
     ) -> Self {
-        Self::new(dynamics, decision_rate, sensing_range).with_disturbance(
-            DisturbanceModel::gaussian(0.03).expect("static std-dev is valid"),
-        )
+        Self::new(dynamics, decision_rate, sensing_range)
+            .with_disturbance(DisturbanceModel::gaussian(0.03).expect("static std-dev is valid"))
     }
 
     /// Sets the disturbance model.
@@ -376,8 +375,7 @@ mod tests {
         // The whole point of the validation: real (simulated) flight is
         // slightly worse than the F-1 ideal because of actuation lag.
         let s = uav_a_scenario();
-        let model =
-            SafetyModel::new(MetersPerSecondSquared::new(0.8), Meters::new(3.0)).unwrap();
+        let model = SafetyModel::new(MetersPerSecondSquared::new(0.8), Meters::new(3.0)).unwrap();
         let v_pred = model.safe_velocity(Hertz::new(10.0).period());
         // At exactly the predicted safe velocity the simulation overshoots.
         let out = s.run_trial(v_pred, 7);
@@ -436,8 +434,7 @@ mod tests {
 
     #[test]
     fn disturbances_change_outcomes_across_seeds() {
-        let s = uav_a_scenario()
-            .with_disturbance(DisturbanceModel::gaussian(0.05).unwrap());
+        let s = uav_a_scenario().with_disturbance(DisturbanceModel::gaussian(0.05).unwrap());
         let a = s.run_trial(MetersPerSecond::new(1.9), 1).stop_position;
         let b = s.run_trial(MetersPerSecond::new(1.9), 2).stop_position;
         assert_ne!(a, b);
@@ -445,8 +442,7 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let s = uav_a_scenario()
-            .with_disturbance(DisturbanceModel::gaussian(0.05).unwrap());
+        let s = uav_a_scenario().with_disturbance(DisturbanceModel::gaussian(0.05).unwrap());
         let a = s.run_trial(MetersPerSecond::new(1.9), 9);
         let b = s.run_trial(MetersPerSecond::new(1.9), 9);
         assert_eq!(a, b);

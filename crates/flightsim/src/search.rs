@@ -142,13 +142,15 @@ mod tests {
             },
             1,
         );
-        let model =
-            SafetyModel::new(MetersPerSecondSquared::new(0.8), Meters::new(3.0)).unwrap();
+        let model = SafetyModel::new(MetersPerSecondSquared::new(0.8), Meters::new(3.0)).unwrap();
         let v_pred = model.safe_velocity(Hertz::new(10.0).period()).get();
         let v_sim = result.safe_velocity.get();
         assert!(v_sim > 0.0 && !result.floor_unsafe);
         let err = (v_pred - v_sim) / v_pred;
-        assert!(err > 0.0, "model should be optimistic: pred {v_pred}, sim {v_sim}");
+        assert!(
+            err > 0.0,
+            "model should be optimistic: pred {v_pred}, sim {v_sim}"
+        );
         assert!(err < 0.20, "error {err} implausibly large");
         assert!(result.trials_run > 0);
     }

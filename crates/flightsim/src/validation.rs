@@ -80,7 +80,11 @@ impl ValidationReport {
         if self.drones.is_empty() {
             return 0.0;
         }
-        self.drones.iter().map(|d| d.error_percent.abs()).sum::<f64>() / self.drones.len() as f64
+        self.drones
+            .iter()
+            .map(|d| d.error_percent.abs())
+            .sum::<f64>()
+            / self.drones.len() as f64
     }
 
     /// Largest absolute model error, in percent.
@@ -127,9 +131,9 @@ pub fn validate_custom_drones(
         // Simulated flight test.
         let vehicle = VehicleDynamics::from_body_dynamics(&body, config.response_lag, drag)?;
         let scenario = StopScenario::new(vehicle, config.decision_rate, config.sensing_range)
-            .with_disturbance(
-                crate::disturbance::DisturbanceModel::gaussian(config.disturbance_std)?,
-            );
+            .with_disturbance(crate::disturbance::DisturbanceModel::gaussian(
+                config.disturbance_std,
+            )?);
         let search_cfg = SearchConfig {
             v_max: MetersPerSecond::new(predicted.get() * 2.0),
             resolution: config.resolution,

@@ -193,8 +193,8 @@ impl PipelineSim {
 mod tests {
     use super::*;
     use crate::stage::Jitter;
-    use f1_units::Hertz;
     use f1_model::pipeline::StageLatencies;
+    use f1_units::Hertz;
 
     fn typical() -> PipelineSim {
         PipelineSim::new(
@@ -233,7 +233,10 @@ mod tests {
         let stats = typical().run(ExecutionMode::Sequential, 2000, 13);
         let expected = 1.0 / (1.0 / 60.0 + 1.0 / 178.0 + 1.0 / 1000.0);
         let f = stats.action_throughput().get();
-        assert!((f - expected).abs() / expected < 0.01, "f = {f} vs {expected}");
+        assert!(
+            (f - expected).abs() / expected < 0.01,
+            "f = {f} vs {expected}"
+        );
     }
 
     #[test]
@@ -246,7 +249,10 @@ mod tests {
             Hertz::new(1000.0).period(),
         )
         .unwrap();
-        for (mode, seed) in [(ExecutionMode::Pipelined, 1), (ExecutionMode::Sequential, 2)] {
+        for (mode, seed) in [
+            (ExecutionMode::Pipelined, 1),
+            (ExecutionMode::Sequential, 2),
+        ] {
             let stats = typical().run(mode, 2000, seed);
             let period = stats.mean_action_period().unwrap();
             assert!(

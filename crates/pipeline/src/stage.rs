@@ -4,8 +4,7 @@ use f1_units::Seconds;
 use rand::Rng;
 
 /// Latency jitter applied around a stage's base latency.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Jitter {
     /// Deterministic latency.
     #[default]
@@ -24,7 +23,6 @@ pub enum Jitter {
         sigma: f64,
     },
 }
-
 
 /// Configuration of a single pipeline stage.
 ///
@@ -191,8 +189,8 @@ mod tests {
     #[test]
     fn lognormal_jitter_is_positive_and_varies() {
         let mut rng = StdRng::seed_from_u64(3);
-        let s = StageConfig::fixed(Seconds::new(0.02))
-            .with_jitter(Jitter::LogNormal { sigma: 0.3 });
+        let s =
+            StageConfig::fixed(Seconds::new(0.02)).with_jitter(Jitter::LogNormal { sigma: 0.3 });
         let samples: Vec<f64> = (0..500).map(|_| s.sample_latency(&mut rng).get()).collect();
         assert!(samples.iter().all(|l| *l > 0.0));
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;

@@ -276,7 +276,15 @@ impl Chart {
         let mut doc = SvgDoc::new(width, height);
         doc.rect(0.0, 0.0, w, h, "#ffffff");
         // Frame.
-        doc.line(margin_l, margin_t, margin_l, h - margin_b, "#000000", 1.2, false);
+        doc.line(
+            margin_l,
+            margin_t,
+            margin_l,
+            h - margin_b,
+            "#000000",
+            1.2,
+            false,
+        );
         doc.line(
             margin_l,
             h - margin_b,
@@ -287,7 +295,14 @@ impl Chart {
             false,
         );
         // Title + labels.
-        doc.text(w / 2.0, margin_t - 14.0, 14.0, "middle", "#000000", &self.title);
+        doc.text(
+            w / 2.0,
+            margin_t - 14.0,
+            14.0,
+            "middle",
+            "#000000",
+            &self.title,
+        );
         doc.text(
             margin_l + plot_w / 2.0,
             h - 10.0,
@@ -300,26 +315,70 @@ impl Chart {
 
         // Ticks + grid.
         for t in x_axis.ticks(6) {
-            let (px, _) = to_px(t, y_axis.min.max(y_axis.min))?;
-            doc.line(px, margin_t, px, h - margin_b, &Color::GREY.to_hex(), 0.5, true);
-            doc.text(px, h - margin_b + 16.0, 10.0, "middle", "#000000", &format_tick(t));
+            let (px, _) = to_px(t, y_axis.min)?;
+            doc.line(
+                px,
+                margin_t,
+                px,
+                h - margin_b,
+                &Color::GREY.to_hex(),
+                0.5,
+                true,
+            );
+            doc.text(
+                px,
+                h - margin_b + 16.0,
+                10.0,
+                "middle",
+                "#000000",
+                &format_tick(t),
+            );
         }
         for t in y_axis.ticks(6) {
             let py = margin_t + (1.0 - y_axis.position("y", t)?) * plot_h;
-            doc.line(margin_l, py, w - margin_r, py, &Color::GREY.to_hex(), 0.5, true);
-            doc.text(margin_l - 6.0, py + 3.5, 10.0, "end", "#000000", &format_tick(t));
+            doc.line(
+                margin_l,
+                py,
+                w - margin_r,
+                py,
+                &Color::GREY.to_hex(),
+                0.5,
+                true,
+            );
+            doc.text(
+                margin_l - 6.0,
+                py + 3.5,
+                10.0,
+                "end",
+                "#000000",
+                &format_tick(t),
+            );
         }
 
         // Reference lines.
         for hl in &self.hlines {
             let py = margin_t + (1.0 - y_axis.position("y", hl.y)?) * plot_h;
             doc.line(margin_l, py, w - margin_r, py, "#888888", 1.0, true);
-            doc.text(w - margin_r - 4.0, py - 4.0, 10.0, "end", "#444444", &hl.label);
+            doc.text(
+                w - margin_r - 4.0,
+                py - 4.0,
+                10.0,
+                "end",
+                "#444444",
+                &hl.label,
+            );
         }
         for vl in &self.vlines {
             let px = margin_l + x_axis.position("x", vl.x)? * plot_w;
             doc.line(px, margin_t, px, h - margin_b, "#888888", 1.0, true);
-            doc.text(px + 4.0, margin_t + 12.0, 10.0, "start", "#444444", &vl.label);
+            doc.text(
+                px + 4.0,
+                margin_t + 12.0,
+                10.0,
+                "start",
+                "#444444",
+                &vl.label,
+            );
         }
 
         // Series.
@@ -394,8 +453,10 @@ impl Chart {
         let mut canvas = AsciiCanvas::new(cols, rows);
 
         let to_cell = |x: f64, y: f64| -> Result<(isize, isize), PlotError> {
-            let cx = margin_l + 1 + (x_axis.position("x", x)? * (plot_w - 1) as f64).round() as isize;
-            let cy = margin_t + ((1.0 - y_axis.position("y", y)?) * (plot_h - 1) as f64).round() as isize;
+            let cx =
+                margin_l + 1 + (x_axis.position("x", x)? * (plot_w - 1) as f64).round() as isize;
+            let cy = margin_t
+                + ((1.0 - y_axis.position("y", y)?) * (plot_h - 1) as f64).round() as isize;
             Ok((cx, cy))
         };
 

@@ -28,8 +28,21 @@ impl SvgDoc {
     }
 
     #[allow(clippy::too_many_arguments)] // a line is naturally 2 points + 3 style attrs
-    pub(crate) fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64, dashed: bool) {
-        let dash = if dashed { r#" stroke-dasharray="6 4""# } else { "" };
+    pub(crate) fn line(
+        &mut self,
+        x1: f64,
+        y1: f64,
+        x2: f64,
+        y2: f64,
+        stroke: &str,
+        width: f64,
+        dashed: bool,
+    ) {
+        let dash = if dashed {
+            r#" stroke-dasharray="6 4""#
+        } else {
+            ""
+        };
         let _ = write!(
             self.body,
             r#"<line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" stroke="{stroke}" stroke-width="{width:.1}"{dash}/>"#
@@ -45,7 +58,11 @@ impl SvgDoc {
         for (x, y) in pts {
             let _ = write!(coords, "{x:.1},{y:.1} ");
         }
-        let dash = if dashed { r#" stroke-dasharray="6 4""# } else { "" };
+        let dash = if dashed {
+            r#" stroke-dasharray="6 4""#
+        } else {
+            ""
+        };
         let _ = write!(
             self.body,
             r#"<polyline points="{}" fill="none" stroke="{stroke}" stroke-width="{width:.1}"{dash}/>"#,
@@ -62,7 +79,15 @@ impl SvgDoc {
         self.body.push('\n');
     }
 
-    pub(crate) fn text(&mut self, x: f64, y: f64, size: f64, anchor: &str, fill: &str, content: &str) {
+    pub(crate) fn text(
+        &mut self,
+        x: f64,
+        y: f64,
+        size: f64,
+        anchor: &str,
+        fill: &str,
+        content: &str,
+    ) {
         let _ = write!(
             self.body,
             r#"<text x="{x:.1}" y="{y:.1}" font-size="{size:.0}" font-family="sans-serif" text-anchor="{anchor}" fill="{fill}">{}</text>"#,

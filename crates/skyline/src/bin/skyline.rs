@@ -12,6 +12,7 @@
 
 use f1_components::Catalog;
 use f1_skyline::chart::{roofline_chart, OperatingPoint};
+use f1_skyline::dse::{Engine, Exploration};
 use f1_skyline::mission::{analyze_mission, MissionSpec};
 use f1_skyline::UavSystem;
 use f1_units::{Hertz, Meters};
@@ -23,6 +24,8 @@ struct Args {
     algorithm: Option<String>,
     list: bool,
     chart: bool,
+    dse: bool,
+    dse_top: usize,
     mission_m: Option<f64>,
 }
 
@@ -34,14 +37,13 @@ fn parse_args() -> Result<Args, String> {
         algorithm: None,
         list: false,
         chart: false,
+        dse: false,
+        dse_top: 5,
         mission_m: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("{name} requires a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match flag.as_str() {
             "--airframe" => args.airframe = Some(value("--airframe")?),
             "--sensor" => args.sensor = Some(value("--sensor")?),
@@ -49,15 +51,25 @@ fn parse_args() -> Result<Args, String> {
             "--algorithm" => args.algorithm = Some(value("--algorithm")?),
             "--mission" => {
                 let v = value("--mission")?;
-                args.mission_m =
-                    Some(v.parse().map_err(|_| format!("bad mission distance {v:?}"))?);
+                args.mission_m = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad mission distance {v:?}"))?,
+                );
             }
             "--list" => args.list = true,
             "--chart" => args.chart = true,
+            "--dse" => args.dse = true,
+            "--dse-top" => {
+                let v = value("--dse-top")?;
+                args.dse_top = v
+                    .parse()
+                    .map_err(|_| format!("bad --dse-top count {v:?}"))?;
+            }
             "--help" | "-h" => {
                 println!(
                     "skyline — F-1 bottleneck analysis for UAV onboard compute\n\n\
-                     usage:\n  skyline --list\n  skyline --airframe NAME --sensor NAME \
+                     usage:\n  skyline --list\n  skyline --dse [--airframe NAME] \
+                     [--dse-top N]\n  skyline --airframe NAME --sensor NAME \
                      --compute NAME --algorithm NAME [--chart] [--mission METERS]"
                 );
                 std::process::exit(0);
@@ -91,12 +103,83 @@ fn list_catalog(catalog: &Catalog) {
     }
 }
 
+/// Runs the catalog-wide design-space exploration and prints the ranked
+/// report plus the Pareto frontier over (velocity, TDP, payload).
+fn dse_report(
+    catalog: &Catalog,
+    only_airframe: Option<&str>,
+    top: usize,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let engine = Engine::new(catalog);
+    let exploration = match only_airframe {
+        // One airframe: explore just that slice of the design space
+        // (failing loudly on a typo'd name instead of printing nothing).
+        Some(name) => {
+            let id = catalog.airframe_id(name).map_err(|e| e.to_string())?;
+            Exploration {
+                airframes: vec![engine.explore_airframe(id)?],
+            }
+        }
+        None => engine.explore_all()?,
+    };
+    for result in &exploration.airframes {
+        let airframe = catalog.airframe_by_id(result.airframe).name();
+        let feasible = result.feasible().count();
+        println!(
+            "━━ {airframe}: {} candidates ({} feasible, {} uncharacterized pairs skipped) ━━",
+            result.ranked.len(),
+            feasible,
+            result.uncharacterized,
+        );
+        for evaluated in result.ranked.iter().take(top) {
+            let candidate = evaluated.candidate;
+            let outcome = evaluated.outcome;
+            let verdict = outcome.bound.map_or_else(
+                || "cannot hover".to_owned(),
+                |bound| format!("{:.2} m/s, {bound}", outcome.velocity.get()),
+            );
+            println!(
+                "  {:<16} + {:<18} + {:<26} {verdict}",
+                catalog.sensor_by_id(candidate.sensor).name(),
+                catalog.compute_by_id(candidate.compute).name(),
+                catalog.algorithm_by_id(candidate.algorithm).name(),
+            );
+        }
+    }
+    if only_airframe.is_none() {
+        println!("Pareto frontier over (velocity ↑, TDP ↓, payload ↓):");
+        for point in exploration.pareto_frontier() {
+            let outcome = point.evaluated.outcome;
+            println!(
+                "  {:<16} {:<20} {:<18} {:<26} {:>6.2} m/s {:>7.2} W {:>7.0} g",
+                catalog.airframe_by_id(point.airframe).name(),
+                catalog
+                    .sensor_by_id(point.evaluated.candidate.sensor)
+                    .name(),
+                catalog
+                    .compute_by_id(point.evaluated.candidate.compute)
+                    .name(),
+                catalog
+                    .algorithm_by_id(point.evaluated.candidate.algorithm)
+                    .name(),
+                outcome.velocity.get(),
+                outcome.total_tdp.get(),
+                outcome.payload.get(),
+            );
+        }
+    }
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args().map_err(|e| -> Box<dyn std::error::Error> { e.into() })?;
     let catalog = Catalog::paper();
     if args.list {
         list_catalog(&catalog);
         return Ok(());
+    }
+    if args.dse {
+        return dse_report(&catalog, args.airframe.as_deref(), args.dse_top);
     }
     let (Some(airframe), Some(sensor), Some(compute), Some(algorithm)) =
         (&args.airframe, &args.sensor, &args.compute, &args.algorithm)

@@ -92,10 +92,7 @@ pub fn system_chart(system: &crate::UavSystem) -> Result<Chart, SkylineError> {
         Hertz::new(1000.0),
     )?;
     for (stage, rate, ceiling) in roofline.stage_ceilings(&rates) {
-        chart = chart.hline(
-            ceiling.get(),
-            format!("{stage}-bound ceiling ({rate:.1})"),
-        );
+        chart = chart.hline(ceiling.get(), format!("{stage}-bound ceiling ({rate:.1})"));
     }
     Ok(chart)
 }

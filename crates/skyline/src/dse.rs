@@ -3,20 +3,518 @@
 //! The paper's conclusion: "We believe that the model can be used for
 //! automated design space exploration and aid with generating an optimal
 //! domain-specific architecture best suited for a UAV." This module does
-//! exactly that: it enumerates every characterized sensor × compute ×
-//! algorithm combination for an airframe, evaluates the F-1 model for
-//! each, and ranks the feasible builds by safe velocity.
+//! exactly that, as a reusable [`Engine`]:
+//!
+//! * candidates are enumerated **lazily over interned ids**
+//!   ([`f1_components::SensorId`] × [`f1_components::ComputeId`] ×
+//!   [`f1_components::AlgorithmId`]) against a dense
+//!   [`ThroughputTable`], so the hot loop performs **zero string hashing
+//!   and zero per-candidate allocation**;
+//! * evaluation runs through
+//!   [`parallel_map_chunked`](crate::sweep::parallel_map_chunked) in
+//!   work-stealing-friendly chunks, and **propagates** model errors as
+//!   [`SkylineError`] instead of panicking (an un-liftable payload is an
+//!   infeasible outcome, not an error);
+//! * [`Engine::explore_all`] batches every airframe into one parallel
+//!   evaluation, and [`Exploration::pareto_frontier`] reports the
+//!   non-dominated builds over (safe velocity ↑, total TDP ↓, payload
+//!   mass ↓).
+//!
+//! The original string-keyed [`explore`] entry point is kept as a thin
+//! compatibility wrapper over the engine.
 
-use f1_model::roofline::Bound;
-use f1_units::MetersPerSecond;
+use f1_components::{
+    Airframe, AirframeId, AlgorithmId, Catalog, ComputeId, ComputePlatform, Sensor, SensorId,
+    ThroughputTable,
+};
+use f1_model::analysis::DesignAssessment;
+use f1_model::heatsink::HeatsinkModel;
+use f1_model::pipeline::StageRates;
+use f1_model::roofline::{Bound, Roofline, Saturation};
+use f1_model::safety::SafetyModel;
+use f1_units::{Grams, Hertz, MetersPerSecond, Watts};
 
-use f1_components::Catalog;
-
-use crate::sweep::parallel_map;
-use crate::system::UavSystem;
+use crate::sweep::parallel_map_chunked;
 use crate::SkylineError;
 
-/// One evaluated candidate configuration.
+/// One sensor × compute × algorithm combination, by interned id, with its
+/// characterized throughput already resolved. `Copy` — the evaluation
+/// loop moves these around without touching the heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// The sensor.
+    pub sensor: SensorId,
+    /// The compute platform.
+    pub compute: ComputeId,
+    /// The autonomy algorithm.
+    pub algorithm: AlgorithmId,
+    /// Characterized throughput of the algorithm on the platform.
+    pub throughput: Hertz,
+}
+
+/// The F-1 outcome of evaluating one set of parts on an airframe,
+/// independent of how the parts were chosen.
+///
+/// `feasible` is the authoritative flag: the engine produces `Some` for
+/// `bound`/`compute_assessment`/`roofline` and non-zero
+/// `velocity`/`roof`/`knee` exactly when `feasible` is true. The struct
+/// stays flat-and-`Copy` for the hot loop rather than encoding that as
+/// an enum; don't hand-construct inconsistent values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Outcome {
+    /// Whether the build can hover at all.
+    pub feasible: bool,
+    /// Achieved safe velocity (zero when infeasible).
+    pub velocity: MetersPerSecond,
+    /// The physics roof (zero when infeasible).
+    pub roof: MetersPerSecond,
+    /// The roofline knee rate (zero when infeasible).
+    pub knee: Hertz,
+    /// Bound classification (`None` when infeasible).
+    pub bound: Option<Bound>,
+    /// Combined TDP of the onboard compute (Pareto objective ↓).
+    pub total_tdp: Watts,
+    /// Total payload mass including the TDP-sized heatsink (objective ↓).
+    pub payload: Grams,
+    /// Compute stage vs. knee assessment (`None` when infeasible).
+    pub compute_assessment: Option<DesignAssessment>,
+    /// The roofline, for charting (`None` when infeasible).
+    pub roofline: Option<Roofline>,
+}
+
+impl Outcome {
+    fn infeasible(total_tdp: Watts, payload: Grams) -> Self {
+        Self {
+            feasible: false,
+            velocity: MetersPerSecond::ZERO,
+            roof: MetersPerSecond::ZERO,
+            knee: Hertz::ZERO,
+            bound: None,
+            total_tdp,
+            payload,
+            compute_assessment: None,
+            roofline: None,
+        }
+    }
+}
+
+/// One evaluated candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evaluated {
+    /// The candidate that was evaluated.
+    pub candidate: Candidate,
+    /// Its F-1 outcome.
+    pub outcome: Outcome,
+}
+
+/// Exploration result for one airframe: candidates ranked best-first
+/// (feasible before infeasible, then by safe velocity descending; ties
+/// keep enumeration order, so results are deterministic run-over-run).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AirframeExploration {
+    /// The explored airframe.
+    pub airframe: AirframeId,
+    /// Ranked evaluations (best first).
+    pub ranked: Vec<Evaluated>,
+    /// Number of sensor × compute × algorithm combinations skipped
+    /// because the platform × algorithm pair was never characterized.
+    pub uncharacterized: usize,
+}
+
+impl AirframeExploration {
+    /// The best feasible candidate, if any.
+    #[must_use]
+    pub fn best(&self) -> Option<&Evaluated> {
+        self.ranked.iter().find(|e| e.outcome.feasible)
+    }
+
+    /// All feasible candidates, best first.
+    pub fn feasible(&self) -> impl Iterator<Item = &Evaluated> {
+        self.ranked.iter().filter(|e| e.outcome.feasible)
+    }
+}
+
+/// A point on the catalog-wide Pareto frontier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParetoPoint<'e> {
+    /// The airframe the build flies on.
+    pub airframe: AirframeId,
+    /// The evaluated build.
+    pub evaluated: &'e Evaluated,
+}
+
+/// Result of a full-catalog exploration across every airframe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Exploration {
+    /// Per-airframe results, in airframe-name order.
+    pub airframes: Vec<AirframeExploration>,
+}
+
+/// `a` dominates `b` when it is at least as good on every objective
+/// (velocity ↑, TDP ↓, payload ↓) and strictly better on one.
+fn dominates(a: &Outcome, b: &Outcome) -> bool {
+    a.velocity >= b.velocity
+        && a.total_tdp <= b.total_tdp
+        && a.payload <= b.payload
+        && (a.velocity > b.velocity || a.total_tdp < b.total_tdp || a.payload < b.payload)
+}
+
+impl Exploration {
+    /// Total number of evaluated candidates across all airframes.
+    #[must_use]
+    pub fn evaluated_count(&self) -> usize {
+        self.airframes.iter().map(|a| a.ranked.len()).sum()
+    }
+
+    /// The feasible builds not dominated by any other feasible build on
+    /// (safe velocity ↑, total TDP ↓, payload mass ↓), across all
+    /// airframes, in deterministic (airframe, rank) order.
+    ///
+    /// Candidates with a non-finite objective are excluded up front:
+    /// `dominates` uses IEEE comparisons, under which a NaN point could
+    /// never be dominated and would pollute the frontier. (The current
+    /// paper catalog cannot produce one; what-if inputs through
+    /// [`Engine::evaluate_parts`] could.)
+    ///
+    /// Complexity is O(n²) all-pairs dominance — fine at catalog scale;
+    /// see ROADMAP for the sort-based skyline needed at 10⁵+ candidates.
+    #[must_use]
+    pub fn pareto_frontier(&self) -> Vec<ParetoPoint<'_>> {
+        let finite = |o: &Outcome| {
+            o.velocity.get().is_finite()
+                && o.total_tdp.get().is_finite()
+                && o.payload.get().is_finite()
+        };
+        let feasible: Vec<ParetoPoint<'_>> = self
+            .airframes
+            .iter()
+            .flat_map(|result| {
+                result
+                    .feasible()
+                    .filter(|e| finite(&e.outcome))
+                    .map(|evaluated| ParetoPoint {
+                        airframe: result.airframe,
+                        evaluated,
+                    })
+            })
+            .collect();
+        feasible
+            .iter()
+            .filter(|p| {
+                !feasible
+                    .iter()
+                    .any(|q| dominates(&q.evaluated.outcome, &p.evaluated.outcome))
+            })
+            .copied()
+            .collect()
+    }
+}
+
+/// Default number of candidates per work-stealing chunk.
+pub const DEFAULT_CHUNK_SIZE: usize = 8;
+
+/// A reusable, ID-interned design-space exploration engine over one
+/// catalog.
+///
+/// Construction snapshots the catalog's component ids (in name order, so
+/// results are deterministic) and its throughput matrix into a dense
+/// [`ThroughputTable`]. Exploration then never touches a string: every
+/// lookup is an array index over `Copy` ids.
+#[derive(Debug, Clone)]
+pub struct Engine<'c> {
+    catalog: &'c Catalog,
+    airframes: Vec<AirframeId>,
+    sensors: Vec<SensorId>,
+    computes: Vec<ComputeId>,
+    algorithms: Vec<AlgorithmId>,
+    table: ThroughputTable,
+    heatsink: HeatsinkModel,
+    saturation: Saturation,
+    chunk_size: usize,
+}
+
+impl<'c> Engine<'c> {
+    /// Builds an engine over the catalog with the same heatsink model and
+    /// knee saturation [`UavSystem`](crate::UavSystem) uses, so engine
+    /// outcomes match `UavSystem::from_catalog(..).analyze()` exactly.
+    #[must_use]
+    pub fn new(catalog: &'c Catalog) -> Self {
+        Self {
+            catalog,
+            airframes: catalog.airframe_entries().map(|(id, _)| id).collect(),
+            sensors: catalog.sensor_entries().map(|(id, _)| id).collect(),
+            computes: catalog.compute_entries().map(|(id, _)| id).collect(),
+            algorithms: catalog.algorithm_entries().map(|(id, _)| id).collect(),
+            table: catalog.throughput_table(),
+            heatsink: HeatsinkModel::paper_calibrated(),
+            saturation: Saturation::DEFAULT,
+            chunk_size: DEFAULT_CHUNK_SIZE,
+        }
+    }
+
+    /// Overrides the work-stealing chunk size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero.
+    #[must_use]
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        self.chunk_size = chunk_size;
+        self
+    }
+
+    /// Overrides the heatsink model used to convert TDP into payload.
+    #[must_use]
+    pub fn with_heatsink(mut self, heatsink: HeatsinkModel) -> Self {
+        self.heatsink = heatsink;
+        self
+    }
+
+    /// Overrides the knee saturation used for rooflines.
+    #[must_use]
+    pub fn with_saturation(mut self, saturation: Saturation) -> Self {
+        self.saturation = saturation;
+        self
+    }
+
+    /// The catalog this engine explores.
+    #[must_use]
+    pub fn catalog(&self) -> &'c Catalog {
+        self.catalog
+    }
+
+    /// Lazily enumerates every characterized sensor × compute × algorithm
+    /// candidate (airframe-independent), in deterministic name order.
+    pub fn candidates(&self) -> impl Iterator<Item = Candidate> + '_ {
+        self.sensors.iter().flat_map(move |&sensor| {
+            self.computes.iter().flat_map(move |&compute| {
+                self.algorithms.iter().filter_map(move |&algorithm| {
+                    self.table
+                        .get(compute, algorithm)
+                        .map(|throughput| Candidate {
+                            sensor,
+                            compute,
+                            algorithm,
+                            throughput,
+                        })
+                })
+            })
+        })
+    }
+
+    /// Number of combinations per airframe that are skipped for lack of a
+    /// characterized throughput.
+    fn uncharacterized_per_airframe(&self, candidate_count: usize) -> usize {
+        self.sensors.len() * self.computes.len() * self.algorithms.len() - candidate_count
+    }
+
+    /// Evaluates arbitrary parts (used for what-if platforms that are not
+    /// in the catalog, e.g. a TDP-scaled variant).
+    ///
+    /// This intentionally mirrors the single-compute, no-battery slice of
+    /// [`UavSystem`](crate::UavSystem)'s payload/safety composition
+    /// without allocating a system; the `engine_matches_uav_system_analysis`
+    /// test pins the two paths together over the whole catalog — change
+    /// them in lockstep.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-domain errors as [`SkylineError::Model`]. An
+    /// over-heavy payload is **not** an error: it yields an infeasible
+    /// [`Outcome`].
+    pub fn evaluate_parts(
+        &self,
+        airframe: &Airframe,
+        sensor: &Sensor,
+        platform: &ComputePlatform,
+        throughput: Hertz,
+    ) -> Result<Outcome, SkylineError> {
+        let total_tdp = platform.tdp();
+        let payload = Grams::new(
+            platform.fielded_mass().get()
+                + self.heatsink.mass_for(total_tdp).get()
+                + sensor.mass().get(),
+        );
+        let dynamics = airframe.loaded_dynamics(payload)?;
+        let Ok(a_max) = dynamics.a_max() else {
+            return Ok(Outcome::infeasible(total_tdp, payload));
+        };
+        let safety = SafetyModel::new(a_max, sensor.range())?;
+        let roofline = Roofline::with_saturation(safety, self.saturation);
+        let rates = StageRates::new(sensor.frame_rate(), throughput, airframe.control_rate())?;
+        let bound = roofline.classify(&rates);
+        Ok(Outcome {
+            feasible: true,
+            velocity: bound.velocity,
+            roof: bound.roof,
+            knee: bound.knee.rate,
+            bound: Some(bound.bound),
+            total_tdp,
+            payload,
+            compute_assessment: Some(DesignAssessment::of(&roofline, rates.compute())),
+            roofline: Some(roofline),
+        })
+    }
+
+    /// Evaluates one id-interned candidate on an airframe. This is the
+    /// hot-loop body: every component resolve is an array index.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`evaluate_parts`](Self::evaluate_parts).
+    pub fn evaluate(
+        &self,
+        airframe: AirframeId,
+        candidate: Candidate,
+    ) -> Result<Evaluated, SkylineError> {
+        let outcome = self.evaluate_parts(
+            self.catalog.airframe_by_id(airframe),
+            self.catalog.sensor_by_id(candidate.sensor),
+            self.catalog.compute_by_id(candidate.compute),
+            candidate.throughput,
+        )?;
+        Ok(Evaluated { candidate, outcome })
+    }
+
+    /// Resolves catalog names and evaluates that single combination.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SkylineError::Component`] for unknown names or an
+    /// uncharacterized platform × algorithm pair, plus the errors of
+    /// [`evaluate`](Self::evaluate).
+    pub fn evaluate_named(
+        &self,
+        airframe: &str,
+        sensor: &str,
+        compute: &str,
+        algorithm: &str,
+    ) -> Result<Evaluated, SkylineError> {
+        let airframe = self.catalog.airframe_id(airframe)?;
+        let candidate = Candidate {
+            sensor: self.catalog.sensor_id(sensor)?,
+            compute: self.catalog.compute_id(compute)?,
+            algorithm: self.catalog.algorithm_id(algorithm)?,
+            throughput: self.catalog.throughput(compute, algorithm)?,
+        };
+        self.evaluate(airframe, candidate)
+    }
+
+    fn rank(ranked: &mut [Evaluated]) {
+        // Stable sort: ties keep deterministic enumeration order.
+        ranked.sort_by(|a, b| {
+            b.outcome.feasible.cmp(&a.outcome.feasible).then_with(|| {
+                b.outcome
+                    .velocity
+                    .get()
+                    .total_cmp(&a.outcome.velocity.get())
+            })
+        });
+    }
+
+    /// Exhaustively explores the catalog for one airframe, evaluating
+    /// candidates in parallel work-stealing chunks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first evaluation error ([`SkylineError::Model`]);
+    /// infeasible builds are ranked last, not errors.
+    pub fn explore_airframe(
+        &self,
+        airframe: AirframeId,
+    ) -> Result<AirframeExploration, SkylineError> {
+        let candidates: Vec<Candidate> = self.candidates().collect();
+        let uncharacterized = self.uncharacterized_per_airframe(candidates.len());
+        let outcomes = parallel_map_chunked(candidates, self.chunk_size, |&candidate| {
+            self.evaluate(airframe, candidate)
+        });
+        let mut ranked = outcomes.into_iter().collect::<Result<Vec<_>, _>>()?;
+        Self::rank(&mut ranked);
+        Ok(AirframeExploration {
+            airframe,
+            ranked,
+            uncharacterized,
+        })
+    }
+
+    /// Explores **every** airframe in the catalog as one batched parallel
+    /// evaluation over the full airframe × sensor × compute × algorithm
+    /// cross product.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`explore_airframe`](Self::explore_airframe).
+    pub fn explore_all(&self) -> Result<Exploration, SkylineError> {
+        let candidates: Vec<Candidate> = self.candidates().collect();
+        let uncharacterized = self.uncharacterized_per_airframe(candidates.len());
+        let jobs: Vec<(AirframeId, Candidate)> = self
+            .airframes
+            .iter()
+            .flat_map(|&airframe| candidates.iter().map(move |&c| (airframe, c)))
+            .collect();
+        let outcomes = parallel_map_chunked(jobs, self.chunk_size, |&(airframe, candidate)| {
+            self.evaluate(airframe, candidate)
+        });
+        let mut results = outcomes.into_iter();
+        let mut airframes = Vec::with_capacity(self.airframes.len());
+        for &airframe in &self.airframes {
+            let mut ranked = results
+                .by_ref()
+                .take(candidates.len())
+                .collect::<Result<Vec<_>, _>>()?;
+            Self::rank(&mut ranked);
+            airframes.push(AirframeExploration {
+                airframe,
+                ranked,
+                uncharacterized,
+            });
+        }
+        Ok(Exploration { airframes })
+    }
+
+    /// Renders an id-based exploration into the string-keyed [`DseResult`]
+    /// of the original API (allocates names once per outcome, outside the
+    /// evaluation loop).
+    #[must_use]
+    pub fn describe(&self, result: &AirframeExploration) -> DseResult {
+        DseResult {
+            airframe: self
+                .catalog
+                .airframe_by_id(result.airframe)
+                .name()
+                .to_owned(),
+            ranked: result
+                .ranked
+                .iter()
+                .map(|e| DseOutcome {
+                    sensor: self
+                        .catalog
+                        .sensor_by_id(e.candidate.sensor)
+                        .name()
+                        .to_owned(),
+                    compute: self
+                        .catalog
+                        .compute_by_id(e.candidate.compute)
+                        .name()
+                        .to_owned(),
+                    algorithm: self
+                        .catalog
+                        .algorithm_by_id(e.candidate.algorithm)
+                        .name()
+                        .to_owned(),
+                    velocity: e.outcome.velocity,
+                    bound: e.outcome.bound,
+                    feasible: e.outcome.feasible,
+                })
+                .collect(),
+            uncharacterized: result.uncharacterized,
+        }
+    }
+}
+
+/// One evaluated candidate configuration (string-keyed compatibility
+/// view; see [`Evaluated`] for the id-interned form).
 #[derive(Debug, Clone, PartialEq)]
 pub struct DseOutcome {
     /// Sensor name.
@@ -59,72 +557,24 @@ impl DseResult {
     }
 }
 
-/// Exhaustively explores the catalog for one airframe.
+/// Exhaustively explores the catalog for one airframe (compatibility
+/// wrapper over [`Engine`]).
 ///
 /// # Errors
 ///
-/// Returns [`SkylineError::Component`] for an unknown airframe.
+/// Returns [`SkylineError::Component`] for an unknown airframe, and
+/// propagates evaluation errors from the engine.
 pub fn explore(catalog: &Catalog, airframe: &str) -> Result<DseResult, SkylineError> {
-    // Validate the airframe up front.
-    let _ = catalog.airframe(airframe)?;
-    let mut candidates = Vec::new();
-    let mut uncharacterized = 0usize;
-    for sensor in catalog.sensors() {
-        for compute in catalog.computes() {
-            for algorithm in catalog.algorithms() {
-                if catalog.matrix().contains(compute.name(), algorithm.name()) {
-                    candidates.push((
-                        sensor.name().to_owned(),
-                        compute.name().to_owned(),
-                        algorithm.name().to_owned(),
-                    ));
-                } else {
-                    uncharacterized += 1;
-                }
-            }
-        }
-    }
-
-    let outcomes = parallel_map(candidates, |(sensor, compute, algorithm)| {
-        let system = UavSystem::from_catalog(catalog, airframe, sensor, compute, algorithm)
-            .expect("candidate components exist by construction");
-        match system.analyze() {
-            Ok(analysis) => DseOutcome {
-                sensor: sensor.clone(),
-                compute: compute.clone(),
-                algorithm: algorithm.clone(),
-                velocity: analysis.bound.velocity,
-                bound: Some(analysis.bound.bound),
-                feasible: true,
-            },
-            Err(SkylineError::CannotHover { .. }) => DseOutcome {
-                sensor: sensor.clone(),
-                compute: compute.clone(),
-                algorithm: algorithm.clone(),
-                velocity: MetersPerSecond::ZERO,
-                bound: None,
-                feasible: false,
-            },
-            Err(other) => panic!("unexpected analysis error in DSE: {other}"),
-        }
-    });
-
-    let mut ranked = outcomes;
-    ranked.sort_by(|a, b| {
-        b.feasible
-            .cmp(&a.feasible)
-            .then(b.velocity.partial_cmp(&a.velocity).expect("finite velocities"))
-    });
-    Ok(DseResult {
-        airframe: airframe.to_owned(),
-        ranked,
-        uncharacterized,
-    })
+    let engine = Engine::new(catalog);
+    let id = catalog.airframe_id(airframe)?;
+    let result = engine.explore_airframe(id)?;
+    Ok(engine.describe(&result))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::system::UavSystem;
     use f1_components::names;
 
     #[test]
@@ -185,5 +635,181 @@ mod tests {
     fn unknown_airframe_is_an_error() {
         let catalog = Catalog::paper();
         assert!(explore(&catalog, "Ingenuity").is_err());
+    }
+
+    #[test]
+    fn engine_matches_uav_system_analysis() {
+        // The id-interned fast path must agree with the full
+        // UavSystem::from_catalog + analyze pipeline on EVERY airframe ×
+        // candidate of the catalog. This test is the contract that keeps
+        // Engine::evaluate_parts and UavSystem's payload/safety
+        // composition from drifting apart — extend one, extend the other.
+        let catalog = Catalog::paper();
+        let engine = Engine::new(&catalog);
+        for (airframe_id, airframe) in catalog.airframe_entries() {
+            for candidate in engine.candidates() {
+                let fast = engine.evaluate(airframe_id, candidate).unwrap();
+                let system = UavSystem::from_catalog(
+                    &catalog,
+                    airframe.name(),
+                    catalog.sensor_by_id(candidate.sensor).name(),
+                    catalog.compute_by_id(candidate.compute).name(),
+                    catalog.algorithm_by_id(candidate.algorithm).name(),
+                )
+                .unwrap();
+                match system.analyze() {
+                    Ok(analysis) => {
+                        assert!(fast.outcome.feasible);
+                        assert_eq!(fast.outcome.velocity, analysis.bound.velocity);
+                        assert_eq!(fast.outcome.bound, Some(analysis.bound.bound));
+                        assert_eq!(fast.outcome.knee, analysis.bound.knee.rate);
+                        assert_eq!(fast.outcome.payload, analysis.payload);
+                    }
+                    Err(SkylineError::CannotHover { .. }) => {
+                        assert!(!fast.outcome.feasible);
+                    }
+                    Err(other) => panic!("unexpected analysis error: {other}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn explore_all_covers_every_airframe_and_is_deterministic() {
+        let catalog = Catalog::paper();
+        let engine = Engine::new(&catalog);
+        let first = engine.explore_all().unwrap();
+        let second = engine.explore_all().unwrap();
+        assert_eq!(first, second, "explore_all must be deterministic");
+        assert_eq!(first.airframes.len(), catalog.airframe_count());
+        // Airframes come back in name order.
+        let names_in_order: Vec<&str> = first
+            .airframes
+            .iter()
+            .map(|a| catalog.airframe_by_id(a.airframe).name())
+            .collect();
+        let mut sorted = names_in_order.clone();
+        sorted.sort_unstable();
+        assert_eq!(names_in_order, sorted);
+        // Each per-airframe slice matches a standalone exploration.
+        for per_airframe in &first.airframes {
+            let standalone = engine.explore_airframe(per_airframe.airframe).unwrap();
+            assert_eq!(per_airframe, &standalone);
+        }
+    }
+
+    #[test]
+    fn explore_all_matches_string_compat_wrapper() {
+        let catalog = Catalog::paper();
+        let engine = Engine::new(&catalog);
+        let all = engine.explore_all().unwrap();
+        for per_airframe in &all.airframes {
+            let name = catalog.airframe_by_id(per_airframe.airframe).name();
+            let compat = explore(&catalog, name).unwrap();
+            assert_eq!(engine.describe(per_airframe), compat);
+        }
+    }
+
+    #[test]
+    fn pareto_frontier_invariants() {
+        let catalog = Catalog::paper();
+        let engine = Engine::new(&catalog);
+        let exploration = engine.explore_all().unwrap();
+        let frontier = exploration.pareto_frontier();
+        assert!(!frontier.is_empty());
+
+        let all_feasible: Vec<&Evaluated> = exploration
+            .airframes
+            .iter()
+            .flat_map(|a| a.feasible())
+            .collect();
+        // 1. Every frontier point is feasible and undominated by ANY
+        //    feasible candidate.
+        for point in &frontier {
+            assert!(point.evaluated.outcome.feasible);
+            for other in &all_feasible {
+                assert!(
+                    !dominates(&other.outcome, &point.evaluated.outcome),
+                    "frontier point dominated by {other:?}"
+                );
+            }
+        }
+        // 2. Every feasible non-frontier candidate is dominated by some
+        //    frontier point (dominance is transitive, so the maximal set
+        //    covers everything).
+        for candidate in &all_feasible {
+            let on_frontier = frontier
+                .iter()
+                .any(|p| std::ptr::eq(p.evaluated, *candidate));
+            if !on_frontier {
+                assert!(
+                    frontier
+                        .iter()
+                        .any(|p| dominates(&p.evaluated.outcome, &candidate.outcome)),
+                    "non-frontier candidate undominated: {candidate:?}"
+                );
+            }
+        }
+        // 3. The global best-velocity build is always on the frontier.
+        let best_velocity = all_feasible
+            .iter()
+            .map(|e| e.outcome.velocity.get())
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(frontier
+            .iter()
+            .any(|p| p.evaluated.outcome.velocity.get() == best_velocity));
+    }
+
+    #[test]
+    fn chunk_size_does_not_change_results() {
+        let catalog = Catalog::paper();
+        let baseline = Engine::new(&catalog).explore_all().unwrap();
+        for chunk_size in [1, 3, 64, 10_000] {
+            let engine = Engine::new(&catalog).with_chunk_size(chunk_size);
+            assert_eq!(
+                engine.explore_all().unwrap(),
+                baseline,
+                "chunk {chunk_size}"
+            );
+        }
+    }
+
+    #[test]
+    fn candidate_enumeration_is_lazy_and_characterized_only() {
+        let catalog = Catalog::paper();
+        let engine = Engine::new(&catalog);
+        let total = catalog.sensor_count() * catalog.compute_count() * catalog.algorithm_count();
+        let candidates: Vec<Candidate> = engine.candidates().collect();
+        assert!(candidates.len() < total);
+        assert_eq!(
+            candidates.len(),
+            catalog.sensor_count() * catalog.matrix().len()
+        );
+        // Every candidate's throughput matches the string-keyed lookup.
+        for c in &candidates {
+            let compute = catalog.compute_by_id(c.compute).name();
+            let algorithm = catalog.algorithm_by_id(c.algorithm).name();
+            assert_eq!(
+                catalog.throughput(compute, algorithm).unwrap(),
+                c.throughput
+            );
+        }
+    }
+
+    #[test]
+    fn evaluate_parts_supports_what_if_platforms() {
+        // The §VI-A AGX 30 W → 15 W what-if: halving TDP keeps throughput
+        // but sheds heatsink mass, raising the roof.
+        let catalog = Catalog::paper();
+        let engine = Engine::new(&catalog);
+        let spark = catalog.airframe(names::DJI_SPARK).unwrap();
+        let sensor = catalog.sensor(names::RGB_60).unwrap();
+        let agx = catalog.compute(names::AGX).unwrap();
+        let rate = catalog.throughput(names::AGX, names::DRONET).unwrap();
+        let stock = engine.evaluate_parts(spark, sensor, agx, rate).unwrap();
+        let halved = agx.with_tdp_scaled(0.5).unwrap();
+        let optimized = engine.evaluate_parts(spark, sensor, &halved, rate).unwrap();
+        assert!(optimized.payload < stock.payload);
+        assert!(optimized.roof > stock.roof);
     }
 }

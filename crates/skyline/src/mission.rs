@@ -93,11 +93,8 @@ pub fn derive_power_model(
     let radius = system.airframe().frame_size().to_meters().get() * 0.25;
     let disk_area =
         f64::from(system.airframe().rotor_count()) * std::f64::consts::PI * radius * radius;
-    let hover = PowerModel::induced_hover_power(
-        body.total_mass(),
-        disk_area,
-        spec.figure_of_merit,
-    )?;
+    let hover =
+        PowerModel::induced_hover_power(body.total_mass(), disk_area, spec.figure_of_merit)?;
     // Avionics: compute TDPs plus a couple of watts for the sensor stack.
     let avionics = system.total_tdp().get() + 2.0;
     Ok(PowerModel::new(
@@ -117,7 +114,9 @@ pub fn analyze_mission(
     system: &UavSystem,
     spec: &MissionSpec,
 ) -> Result<MissionAnalysis, SkylineError> {
-    if !(spec.battery_reserve.is_finite() && spec.battery_reserve > 0.0 && spec.battery_reserve <= 1.0)
+    if !(spec.battery_reserve.is_finite()
+        && spec.battery_reserve > 0.0
+        && spec.battery_reserve <= 1.0)
     {
         return Err(SkylineError::Model(f1_model::ModelError::OutOfDomain {
             parameter: "battery reserve",

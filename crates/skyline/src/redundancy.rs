@@ -114,10 +114,7 @@ mod tests {
     fn throughput_unchanged_by_redundancy() {
         let base = pelican_tx2();
         let study = with_modular_redundancy(&base, 2).unwrap();
-        assert_eq!(
-            study.system.compute_throughput(),
-            base.compute_throughput()
-        );
+        assert_eq!(study.system.compute_throughput(), base.compute_throughput());
     }
 
     #[test]

@@ -60,7 +60,10 @@ pub fn markdown_report(
         analysis.bound.velocity,
         analysis.bound.roof_utilization() * 100.0
     ));
-    out.push_str(&format!("- verdict: **{}** — {}\n", analysis.bound.bound, analysis.assessment));
+    out.push_str(&format!(
+        "- verdict: **{}** — {}\n",
+        analysis.bound.bound, analysis.assessment
+    ));
     out.push_str(&format!(
         "- compute stage alone: {}\n",
         analysis.compute_assessment
@@ -135,7 +138,12 @@ mod tests {
     #[test]
     fn report_contains_all_sections() {
         let md = markdown_report(&system(), None).unwrap();
-        for section in ["# Skyline report", "## Configuration", "## Analysis", "## Roofline"] {
+        for section in [
+            "# Skyline report",
+            "## Configuration",
+            "## Analysis",
+            "## Roofline",
+        ] {
             assert!(md.contains(section), "missing {section}");
         }
         assert!(md.contains("physics-bound"));

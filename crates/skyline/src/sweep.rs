@@ -6,10 +6,23 @@
 //! independent, so they parallelize trivially; this module provides an
 //! order-preserving parallel map built on scoped threads.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use crossbeam::channel;
+
+fn worker_count(items: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(items.max(1))
+}
 
 /// Applies `f` to every input on a pool of scoped worker threads,
 /// preserving input order in the output.
+///
+/// Inputs are split into one contiguous chunk per worker. For workloads
+/// with very uneven per-item cost, prefer [`parallel_map_chunked`] with a
+/// small chunk size so idle workers can steal remaining chunks.
 ///
 /// Falls back to a sequential map for tiny workloads (< 2 items or a
 /// single available core).
@@ -23,23 +36,50 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(inputs.len().max(1));
-    if workers <= 1 || inputs.len() < 2 {
+    let chunk_size = inputs.len().div_ceil(worker_count(inputs.len())).max(1);
+    parallel_map_chunked(inputs, chunk_size, f)
+}
+
+/// Applies `f` to every input in work-stealing-friendly chunks of
+/// `chunk_size`, preserving input order in the output.
+///
+/// Workers self-schedule: each repeatedly claims the next unprocessed
+/// chunk from a shared atomic cursor, so a worker stuck on an expensive
+/// chunk never strands cheap ones behind it. This is the evaluation
+/// engine under the DSE hot loop.
+///
+/// # Panics
+///
+/// Panics if `chunk_size == 0`; propagates panics from `f`.
+pub fn parallel_map_chunked<T, R, F>(inputs: Vec<T>, chunk_size: usize, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    assert!(chunk_size > 0, "chunk size must be positive");
+    let n = inputs.len();
+    let chunks = n.div_ceil(chunk_size);
+    let workers = worker_count(n).min(chunks.max(1));
+    if workers <= 1 || n < 2 {
         return inputs.iter().map(&f).collect();
     }
 
     let (tx, rx) = channel::unbounded::<(usize, R)>();
-    let indexed: Vec<(usize, T)> = inputs.into_iter().enumerate().collect();
+    let cursor = AtomicUsize::new(0);
     crossbeam::scope(|scope| {
-        for chunk in indexed.chunks(indexed.len().div_ceil(workers)) {
+        for _ in 0..workers {
             let tx = tx.clone();
-            let f = &f;
-            scope.spawn(move |_| {
-                for (i, item) in chunk {
-                    let _ = tx.send((*i, f(item)));
+            let (f, inputs, cursor) = (&f, &inputs, &cursor);
+            scope.spawn(move |_| loop {
+                let chunk = cursor.fetch_add(1, Ordering::Relaxed);
+                let start = chunk * chunk_size;
+                if start >= n {
+                    break;
+                }
+                let end = (start + chunk_size).min(n);
+                for (offset, item) in inputs[start..end].iter().enumerate() {
+                    let _ = tx.send((start + offset, f(item)));
                 }
             });
         }
@@ -97,7 +137,10 @@ where
     F: Fn(f64) -> R + Sync,
 {
     assert!(n >= 2, "need at least two sweep points");
-    assert!(lo > 0.0 && lo < hi, "log sweep interval must be positive and ordered");
+    assert!(
+        lo > 0.0 && lo < hi,
+        "log sweep interval must be positive and ordered"
+    );
     let (l0, l1) = (lo.ln(), hi.ln());
     let inputs: Vec<f64> = (0..n)
         .map(|i| (l0 + (l1 - l0) * i as f64 / (n - 1) as f64).exp())
@@ -132,6 +175,34 @@ mod tests {
         });
         assert_eq!(out.len(), 200);
         assert_eq!(counter.load(Ordering::SeqCst), 200);
+    }
+
+    #[test]
+    fn chunked_map_preserves_order_for_all_chunk_sizes() {
+        let inputs: Vec<i64> = (0..97).collect();
+        for chunk_size in [1, 2, 3, 16, 97, 500] {
+            let out = parallel_map_chunked(inputs.clone(), chunk_size, |x| x * 3);
+            assert_eq!(out.len(), 97, "chunk_size {chunk_size}");
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(*v, i as i64 * 3, "chunk_size {chunk_size}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_map_runs_every_input_once() {
+        let counter = AtomicUsize::new(0);
+        let out = parallel_map_chunked((0..300).collect::<Vec<_>>(), 7, |_| {
+            counter.fetch_add(1, Ordering::SeqCst)
+        });
+        assert_eq!(out.len(), 300);
+        assert_eq!(counter.load(Ordering::SeqCst), 300);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn zero_chunk_size_rejected() {
+        let _ = parallel_map_chunked(vec![1, 2, 3], 0, |x| *x);
     }
 
     #[test]

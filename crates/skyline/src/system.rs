@@ -215,8 +215,7 @@ impl UavSystem {
         let a_max = body.a_max().map_err(|_| SkylineError::CannotHover {
             system: self.name.clone(),
             takeoff_g: body.total_mass().to_grams().get(),
-            liftable_g: self.airframe.payload_capacity().get()
-                + self.airframe.base_mass().get(),
+            liftable_g: self.airframe.payload_capacity().get() + self.airframe.base_mass().get(),
         })?;
         Ok(SafetyModel::new(a_max, self.sensor.range())?)
     }
@@ -566,9 +565,9 @@ impl UavSystemBuilder {
     /// Returns [`SkylineError::IncompleteSystem`] if any required part is
     /// missing, or a model error for a non-positive throughput.
     pub fn build(self) -> Result<UavSystem, SkylineError> {
-        let airframe = self
-            .airframe
-            .ok_or(SkylineError::IncompleteSystem { missing: "airframe" })?;
+        let airframe = self.airframe.ok_or(SkylineError::IncompleteSystem {
+            missing: "airframe",
+        })?;
         let sensor = self
             .sensor
             .ok_or(SkylineError::IncompleteSystem { missing: "sensor" })?;
@@ -577,12 +576,14 @@ impl UavSystemBuilder {
                 missing: "onboard compute",
             });
         }
-        let algorithm = self
-            .algorithm
-            .ok_or(SkylineError::IncompleteSystem { missing: "algorithm" })?;
-        let throughput = self.compute_throughput.ok_or(SkylineError::IncompleteSystem {
-            missing: "compute throughput",
+        let algorithm = self.algorithm.ok_or(SkylineError::IncompleteSystem {
+            missing: "algorithm",
         })?;
+        let throughput = self
+            .compute_throughput
+            .ok_or(SkylineError::IncompleteSystem {
+                missing: "compute throughput",
+            })?;
         if !(throughput.get().is_finite() && throughput.get() > 0.0) {
             return Err(SkylineError::Model(f1_model::ModelError::OutOfDomain {
                 parameter: "compute throughput",
@@ -730,7 +731,9 @@ mod tests {
         let b = UavSystem::builder("incomplete");
         assert!(matches!(
             b.clone().build(),
-            Err(SkylineError::IncompleteSystem { missing: "airframe" })
+            Err(SkylineError::IncompleteSystem {
+                missing: "airframe"
+            })
         ));
         let b = b.airframe(cat.airframe(names::DJI_SPARK).unwrap().clone());
         assert!(matches!(
@@ -740,17 +743,23 @@ mod tests {
         let b = b.sensor(cat.sensor(names::RGB_60).unwrap().clone());
         assert!(matches!(
             b.clone().build(),
-            Err(SkylineError::IncompleteSystem { missing: "onboard compute" })
+            Err(SkylineError::IncompleteSystem {
+                missing: "onboard compute"
+            })
         ));
         let b = b.compute(cat.compute(names::NCS).unwrap().clone());
         assert!(matches!(
             b.clone().build(),
-            Err(SkylineError::IncompleteSystem { missing: "algorithm" })
+            Err(SkylineError::IncompleteSystem {
+                missing: "algorithm"
+            })
         ));
         let b = b.algorithm(cat.algorithm(names::DRONET).unwrap().clone());
         assert!(matches!(
             b.clone().build(),
-            Err(SkylineError::IncompleteSystem { missing: "compute throughput" })
+            Err(SkylineError::IncompleteSystem {
+                missing: "compute throughput"
+            })
         ));
         assert!(b.compute_throughput(Hertz::new(150.0)).build().is_ok());
     }

@@ -194,9 +194,13 @@ mod tests {
     #[test]
     fn sum_of_stage_latencies() {
         // Eq. 2 upper bound is the sum of stage latencies.
-        let total: Seconds = [Seconds::new(0.0167), Seconds::new(0.0056), Seconds::new(0.001)]
-            .into_iter()
-            .sum();
+        let total: Seconds = [
+            Seconds::new(0.0167),
+            Seconds::new(0.0056),
+            Seconds::new(0.001),
+        ]
+        .into_iter()
+        .sum();
         assert!((total.get() - 0.0233).abs() < 1e-12);
     }
 

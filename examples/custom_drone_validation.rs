@@ -36,8 +36,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Simulated flight campaign with the effects the model ignores.
     let vehicle = VehicleDynamics::from_body_dynamics(
         &body,
-        Seconds::new(0.15),               // attitude/motor lag
-        DragModel::quadratic(0.02)?,      // mild drag
+        Seconds::new(0.15),          // attitude/motor lag
+        DragModel::quadratic(0.02)?, // mild drag
     )?;
     let scenario = StopScenario::new(vehicle, decision_rate, sensing)
         .with_disturbance(DisturbanceModel::gaussian(0.05)?);

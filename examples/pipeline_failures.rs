@@ -21,13 +21,22 @@ fn main() {
         )
     };
 
-    println!("{:<42} {:>12} {:>12} {:>10}", "configuration", "f_action", "p99 latency", "failures");
+    println!(
+        "{:<42} {:>12} {:>12} {:>10}",
+        "configuration", "f_action", "p99 latency", "failures"
+    );
     let cases: Vec<(&str, PipelineSim)> = vec![
         ("healthy", nominal(0.0, Jitter::None)),
-        ("OS jitter (σ = 0.3 log-normal)", nominal(0.0, Jitter::LogNormal { sigma: 0.3 })),
+        (
+            "OS jitter (σ = 0.3 log-normal)",
+            nominal(0.0, Jitter::LogNormal { sigma: 0.3 }),
+        ),
         ("5% algorithm timeouts", nominal(0.05, Jitter::None)),
         ("20% algorithm timeouts", nominal(0.2, Jitter::None)),
-        ("timeouts + jitter", nominal(0.2, Jitter::LogNormal { sigma: 0.3 })),
+        (
+            "timeouts + jitter",
+            nominal(0.2, Jitter::LogNormal { sigma: 0.3 }),
+        ),
     ];
     let mut degraded_rate = 0.0;
     for (label, sim) in &cases {

@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         names::DRONET,
     )?;
 
-    println!("baseline: single TX2, payload {:.0}", baseline.payload_mass());
+    println!(
+        "baseline: single TX2, payload {:.0}",
+        baseline.payload_mass()
+    );
     for replicas in [2, 3] {
         let study = with_modular_redundancy(&baseline, replicas)?;
         println!(

@@ -155,7 +155,10 @@ fn dse_winner_dominates_case_study_builds() {
         .bound
         .velocity
         .get();
-        assert!(best >= v - 1e-9, "DSE best {best} < {platform}+{algorithm} {v}");
+        assert!(
+            best >= v - 1e-9,
+            "DSE best {best} < {platform}+{algorithm} {v}"
+        );
     }
 }
 
@@ -204,10 +207,7 @@ fn knobs_and_catalog_assemblies_agree() {
         // Catalog payload minus the heatsink the knob path re-adds.
         payload_weight: Grams::new(
             cat_system.payload_mass().get()
-                - cat_system
-                    .heatsink()
-                    .mass_for(Watts::new(15.0))
-                    .get(),
+                - cat_system.heatsink().mass_for(Watts::new(15.0)).get(),
         ),
     };
     let knob_system = UavSystem::from_knobs("knob spark", &knobs).unwrap();
