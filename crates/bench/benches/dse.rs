@@ -1,12 +1,18 @@
 //! Benchmarks for the ID-interned, batched design-space exploration
-//! engine: full-catalog `explore_all`, single-airframe exploration, and
-//! raw candidate enumeration.
+//! engine: full-catalog `explore_all`, single-airframe exploration, raw
+//! candidate enumeration, and — the headline — the synthetic-catalog
+//! group comparing the old O(n²) all-pairs Pareto scan against the new
+//! O(n log n) sort-and-sweep skyline at 10³/10⁴/10⁵ candidates.
+//! Representative numbers are recorded in `BENCH_dse.json` at the repo
+//! root.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use f1_components::{names, Catalog};
 use f1_skyline::dse::{self, Engine};
+use f1_skyline::frontier;
+use f1_skyline::query::Objective;
 
 fn bench_explore_all(c: &mut Criterion) {
     let catalog = Catalog::paper();
@@ -24,6 +30,7 @@ fn bench_explore_single(c: &mut Criterion) {
     g.bench_function("engine_ids", |b| {
         b.iter(|| black_box(engine.explore_airframe(pelican).unwrap()))
     });
+    #[allow(deprecated)] // the compat wrapper's overhead is the point
     g.bench_function("string_compat_wrapper", |b| {
         b.iter(|| black_box(dse::explore(&catalog, names::ASCTEC_PELICAN).unwrap()))
     });
@@ -47,11 +54,93 @@ fn bench_pareto(c: &mut Criterion) {
     });
 }
 
+/// The minimized key buffer of a synthesized catalog's single-airframe
+/// query over the first `dims` of the four headline objectives — the
+/// frontier benchmarks' common input.
+fn synthetic_keys(n_per_family: usize, dims: usize) -> Vec<f64> {
+    let objectives = &[
+        Objective::SafeVelocity,
+        Objective::TotalTdp,
+        Objective::PayloadMass,
+        Objective::MissionEnergyWhPerKm,
+    ][..dims];
+    let catalog = Catalog::synthesize(42, n_per_family);
+    let engine = Engine::new(&catalog);
+    let airframe = catalog
+        .airframe_entries()
+        .next()
+        .map(|(id, _)| id)
+        .expect("synthesized catalog has airframes");
+    let result = engine
+        .query()
+        .airframes(&[airframe])
+        .objectives(objectives)
+        .run()
+        .expect("synthetic query evaluates");
+    result.minimized_keys().0
+}
+
+/// Old O(n²) scan vs new sort-based skyline on synthesized catalogs of
+/// 10³/10⁴/10⁵ candidates, for the 3-objective staircase sweep (the
+/// ROADMAP's velocity/TDP/payload skyline) and the 4-objective
+/// running-frontier fallback. The naive arm is capped at ~10⁴ points —
+/// at 10⁵ it needs ~10¹⁰ dominance checks per iteration and would
+/// dominate the whole bench run, which is exactly the result.
+fn bench_synthetic_frontier(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dse_synthetic_frontier");
+    for dims in [3usize, 4] {
+        for (label, n_per_family) in [("1e3", 10usize), ("1e4", 22), ("1e5", 47)] {
+            let keys = synthetic_keys(n_per_family, dims);
+            let points = keys.len() / dims;
+            g.bench_function(format!("sweep{dims}/{label}_{points}pts"), |b| {
+                b.iter(|| black_box(frontier::pareto_min(dims, &keys)))
+            });
+            if points <= 15_000 {
+                g.bench_function(format!("naive{dims}/{label}_{points}pts"), |b| {
+                    b.iter(|| black_box(frontier::naive_pareto_min(dims, &keys)))
+                });
+            }
+        }
+    }
+    g.finish();
+}
+
+/// End-to-end four-objective queries over synthesized catalogs: the
+/// batched evaluation pass plus the frontier.
+fn bench_synthetic_query(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dse_synthetic_query");
+    for (label, n_per_family) in [("1e3", 10usize), ("1e4", 22), ("1e5", 47)] {
+        let catalog = Catalog::synthesize(42, n_per_family);
+        let engine = Engine::new(&catalog);
+        let airframe = catalog.airframe_entries().next().map(|(id, _)| id).unwrap();
+        g.bench_function(format!("four_objectives/{label}"), |b| {
+            b.iter(|| {
+                black_box(
+                    engine
+                        .query()
+                        .airframes(&[airframe])
+                        .objectives(&[
+                            Objective::SafeVelocity,
+                            Objective::TotalTdp,
+                            Objective::PayloadMass,
+                            Objective::MissionEnergyWhPerKm,
+                        ])
+                        .run()
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     dse,
     bench_explore_all,
     bench_explore_single,
     bench_candidate_enumeration,
     bench_pareto,
+    bench_synthetic_frontier,
+    bench_synthetic_query,
 );
 criterion_main!(dse);

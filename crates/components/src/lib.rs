@@ -40,6 +40,7 @@ mod compute;
 mod error;
 mod id;
 mod sensor;
+mod synth;
 mod throughput;
 
 pub use airframe::{Airframe, AirframeBuilder};

@@ -89,3 +89,30 @@ proptest! {
         prop_assert_eq!(m.len(), 1);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Synthetic catalog generation is a pure function of the seed: the
+    /// same `(seed, n)` reproduces an identical catalog, every generated
+    /// catalog validates, and the families have the requested sizes with
+    /// a dense throughput matrix.
+    #[test]
+    fn synthesize_is_deterministic_and_valid(seed in 0u64..1_000_000, n in 1usize..10) {
+        let a = f1_components::Catalog::synthesize(seed, n);
+        let b = f1_components::Catalog::synthesize(seed, n);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.validate().is_ok());
+        prop_assert_eq!(a.airframe_count(), n);
+        prop_assert_eq!(a.sensor_count(), n);
+        prop_assert_eq!(a.compute_count(), n);
+        prop_assert_eq!(a.algorithm_count(), n);
+        prop_assert_eq!(a.battery_count(), n);
+        prop_assert_eq!(a.matrix().len(), n * n);
+        prop_assert_eq!(a.throughput_table().len(), n * n);
+        // A different seed gives a different catalog (the parameters are
+        // continuous draws, so collisions have probability zero).
+        let c = f1_components::Catalog::synthesize(seed ^ 0xDEAD_BEEF, n);
+        prop_assert!(a != c);
+    }
+}

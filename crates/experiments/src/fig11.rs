@@ -6,6 +6,7 @@ use f1_model::roofline::Roofline;
 use f1_plot::Chart;
 use f1_skyline::chart::{roofline_chart, OperatingPoint};
 use f1_skyline::dse::{Engine, Outcome};
+use f1_skyline::query::{Knob, KnobSweep};
 use f1_units::Hertz;
 
 use crate::report::{num, Table};
@@ -36,7 +37,10 @@ pub struct Fig11 {
     pub choices: Vec<ComputeChoice>,
 }
 
-/// Runs the §VI-A study.
+/// Runs the §VI-A study as one DSE query: the Spark's RGB camera and
+/// DroNet over the {NCS, AGX} compute choice, with the paper's TDP
+/// what-if expressed as a [`Knob::TdpScale`] sweep at {1, ½} — the
+/// halved-TDP AGX keeps its 230 FPS but sheds heatsink mass.
 ///
 /// # Errors
 ///
@@ -44,31 +48,47 @@ pub struct Fig11 {
 pub fn run() -> Result<Fig11, Box<dyn std::error::Error>> {
     let catalog = Catalog::paper();
     let engine = Engine::new(&catalog);
+    let result = engine
+        .query()
+        .airframes(&[catalog.airframe_id(names::DJI_SPARK)?])
+        .sensors(&[catalog.sensor_id(names::RGB_60)?])
+        .computes(&[
+            catalog.compute_id(names::NCS)?,
+            catalog.compute_id(names::AGX)?,
+        ])
+        .algorithms(&[catalog.algorithm_id(names::DRONET)?])
+        .sweep(KnobSweep::new(Knob::TdpScale, vec![1.0, 0.5]))
+        .run()?;
+
+    let agx = catalog.compute_id(names::AGX)?;
+    let ncs = catalog.compute_id(names::NCS)?;
+    let point = |compute, tdp_scale: f64| {
+        result
+            .points()
+            .iter()
+            .find(|p| p.candidate.compute == compute && p.setting.tdp_scale == tdp_scale)
+            .ok_or_else(|| format!("query is missing the {tdp_scale}× point"))
+    };
+
     let mut choices = Vec::new();
-
-    let ncs = engine.evaluate_named(names::DJI_SPARK, names::RGB_60, names::NCS, names::DRONET)?;
-    choices.push(choice("Intel NCS", ncs.candidate.throughput, ncs.outcome)?);
-
-    let agx30 =
-        engine.evaluate_named(names::DJI_SPARK, names::RGB_60, names::AGX, names::DRONET)?;
+    let stock_ncs = point(ncs, 1.0)?;
+    choices.push(choice(
+        "Intel NCS",
+        stock_ncs.candidate.throughput,
+        stock_ncs.outcome,
+    )?);
+    let agx30 = point(agx, 1.0)?;
     choices.push(choice(
         "Nvidia AGX-30W",
         agx30.candidate.throughput,
         agx30.outcome,
     )?);
-
-    // §VI-A what-if: halve the TDP "without impacting the compute
-    // throughput"; the heatsink shrinks accordingly. The optimized
-    // platform is not a catalog entry, so it goes through the engine's
-    // parts-level evaluation.
-    let optimized_platform = catalog.compute(names::AGX)?.with_tdp_scaled(0.5)?;
-    let agx15 = engine.evaluate_parts(
-        catalog.airframe(names::DJI_SPARK)?,
-        catalog.sensor(names::RGB_60)?,
-        &optimized_platform,
-        Hertz::new(230.0),
-    )?;
-    choices.push(choice("Nvidia AGX-15W", Hertz::new(230.0), agx15)?);
+    let agx15 = point(agx, 0.5)?;
+    choices.push(choice(
+        "Nvidia AGX-15W",
+        agx15.candidate.throughput,
+        agx15.outcome,
+    )?);
 
     Ok(Fig11 { choices })
 }

@@ -7,8 +7,8 @@ use f1_model::roofline::Bound;
 use f1_plot::Chart;
 use f1_skyline::chart::{roofline_chart, OperatingPoint};
 use f1_skyline::dse::Engine;
-use f1_skyline::sweep::parallel_map;
-use f1_skyline::{SkylineError, UavSystem};
+use f1_skyline::query::QueryPoint;
+use f1_skyline::UavSystem;
 use f1_units::Hertz;
 
 use crate::report::{num, Table};
@@ -58,7 +58,9 @@ const RASPI_EXTRAS: [(&str, &str); 2] = [
     (names::RAS_PI4, names::CAD2RL),
 ];
 
-/// Runs the §VI-D grid in parallel.
+/// Runs the §VI-D grid: one batched DSE query per UAV (its default
+/// sensor over the plotted platforms × algorithms), then picks the
+/// paper's plotted cells from the evaluated subspace.
 ///
 /// # Errors
 ///
@@ -66,18 +68,41 @@ const RASPI_EXTRAS: [(&str, &str); 2] = [
 pub fn run() -> Result<Fig15, Box<dyn std::error::Error>> {
     let catalog = Catalog::paper();
     let engine = Engine::new(&catalog);
-    let mut jobs: Vec<(&str, &str, &str)> = Vec::new();
+    let platforms = [names::NCS, names::TX2, names::RAS_PI4];
+    let algorithms = [names::DRONET, names::TRAILNET, names::VGG16, names::CAD2RL];
+
+    let compute_ids = platforms
+        .iter()
+        .map(|p| catalog.compute_id(p))
+        .collect::<Result<Vec<_>, _>>()?;
+    let algorithm_ids = algorithms
+        .iter()
+        .map(|a| catalog.algorithm_id(a))
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut cells = Vec::new();
     for uav in [names::DJI_SPARK, names::ASCTEC_PELICAN] {
+        let result = engine
+            .query()
+            .airframes(&[catalog.airframe_id(uav)?])
+            .sensors(&[catalog.sensor_id(default_sensor(uav))?])
+            .computes(&compute_ids)
+            .algorithms(&algorithm_ids)
+            .run()?;
+        // The query evaluates every characterized pair of the subspace;
+        // the figure plots the paper's cells, in the paper's order.
         for (platform, algorithm) in COMBOS.iter().chain(RASPI_EXTRAS.iter()) {
-            jobs.push((uav, platform, algorithm));
+            let platform_id = catalog.compute_id(platform)?;
+            let algorithm_id = catalog.algorithm_id(algorithm)?;
+            let point = result
+                .points()
+                .iter()
+                .find(|p| {
+                    p.candidate.compute == platform_id && p.candidate.algorithm == algorithm_id
+                })
+                .ok_or_else(|| format!("{algorithm} on {platform} not characterized"))?;
+            cells.push(cell_from(uav, platform, algorithm, point));
         }
     }
-    let cells = parallel_map(jobs, |&(uav, platform, algorithm)| {
-        evaluate(&engine, uav, platform, algorithm)
-    });
-    let cells = cells
-        .into_iter()
-        .collect::<Result<Vec<_>, SkylineError>>()?;
     Ok(Fig15 { cells })
 }
 
@@ -89,29 +114,23 @@ fn default_sensor(uav: &str) -> &'static str {
     }
 }
 
-fn evaluate(
-    engine: &Engine<'_>,
-    uav: &str,
-    platform: &str,
-    algorithm: &str,
-) -> Result<GridCell, SkylineError> {
-    let evaluated = engine.evaluate_named(uav, default_sensor(uav), platform, algorithm)?;
-    let outcome = evaluated.outcome;
+fn cell_from(uav: &str, platform: &str, algorithm: &str, point: &QueryPoint) -> GridCell {
+    let outcome = point.outcome;
     let factor = match (outcome.bound, outcome.compute_assessment) {
         (Some(Bound::Physics), Some(assessment)) => assessment.surplus_factor(),
         (Some(_), Some(assessment)) => assessment.speedup_required(),
         _ => 0.0, // cannot hover
     };
-    Ok(GridCell {
+    GridCell {
         uav: uav.to_owned(),
         platform: platform.to_owned(),
         algorithm: algorithm.to_owned(),
-        compute_rate: evaluated.candidate.throughput.get(),
+        compute_rate: point.candidate.throughput.get(),
         velocity: outcome.velocity.get(),
         knee: outcome.knee.get(),
         bound: outcome.bound,
         factor,
-    })
+    }
 }
 
 impl Fig15 {

@@ -8,14 +8,23 @@
 //! cargo run -p f1-skyline --bin skyline -- \
 //!     --airframe "AscTec Pelican" --sensor "RGB-D 60FPS" \
 //!     --compute "Nvidia TX2" --algorithm "DroNet" --chart --mission 1000
+//!
+//! # a four-objective DSE query under a TDP budget, on a synthesized
+//! # 10⁴-candidate catalog
+//! cargo run -p f1-skyline --bin skyline -- --dse --synth 22 \
+//!     --objectives velocity,tdp,payload,energy --max-tdp 20
 //! ```
 
 use f1_components::Catalog;
 use f1_skyline::chart::{roofline_chart, OperatingPoint};
-use f1_skyline::dse::{Engine, Exploration};
+use f1_skyline::dse::Engine;
 use f1_skyline::mission::{analyze_mission, MissionSpec};
+use f1_skyline::query::{Constraint, Objective};
 use f1_skyline::UavSystem;
-use f1_units::{Hertz, Meters};
+use f1_units::{Hertz, Meters, Watts};
+
+/// Seed for `--synth` catalogs, fixed so runs are reproducible.
+const SYNTH_SEED: u64 = 42;
 
 struct Args {
     airframe: Option<String>,
@@ -27,6 +36,10 @@ struct Args {
     dse: bool,
     dse_top: usize,
     mission_m: Option<f64>,
+    objectives: Vec<Objective>,
+    max_tdp: Option<f64>,
+    battery: Option<String>,
+    synth: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -40,6 +53,10 @@ fn parse_args() -> Result<Args, String> {
         dse: false,
         dse_top: 5,
         mission_m: None,
+        objectives: Vec::new(),
+        max_tdp: None,
+        battery: None,
+        synth: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -49,6 +66,7 @@ fn parse_args() -> Result<Args, String> {
             "--sensor" => args.sensor = Some(value("--sensor")?),
             "--compute" => args.compute = Some(value("--compute")?),
             "--algorithm" => args.algorithm = Some(value("--algorithm")?),
+            "--battery" => args.battery = Some(value("--battery")?),
             "--mission" => {
                 let v = value("--mission")?;
                 args.mission_m = Some(
@@ -65,12 +83,43 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| format!("bad --dse-top count {v:?}"))?;
             }
+            "--objectives" => {
+                let v = value("--objectives")?;
+                args.objectives = v
+                    .split(',')
+                    .map(str::parse)
+                    .collect::<Result<Vec<_>, _>>()?;
+            }
+            "--max-tdp" => {
+                let v = value("--max-tdp")?;
+                args.max_tdp = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --max-tdp watts {v:?}"))?,
+                );
+            }
+            "--synth" => {
+                let v = value("--synth")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("bad --synth family size {v:?}"))?;
+                if n == 0 {
+                    return Err("--synth needs at least 1 part per family".into());
+                }
+                args.synth = Some(n);
+            }
             "--help" | "-h" => {
                 println!(
                     "skyline — F-1 bottleneck analysis for UAV onboard compute\n\n\
-                     usage:\n  skyline --list\n  skyline --dse [--airframe NAME] \
-                     [--dse-top N]\n  skyline --airframe NAME --sensor NAME \
-                     --compute NAME --algorithm NAME [--chart] [--mission METERS]"
+                     usage:\n  skyline --list\n  skyline --dse [--airframe NAME] [--dse-top N]\n\
+                     \x20         [--objectives velocity,tdp,payload,energy,endurance]\n\
+                     \x20         [--max-tdp WATTS] [--battery NAME] [--synth N_PER_FAMILY]\n\
+                     \x20 skyline --airframe NAME --sensor NAME --compute NAME \
+                     --algorithm NAME [--chart] [--mission METERS]\n\n\
+                     --objectives: comma-separated; the first is the primary ranking \
+                     objective.\n--synth N: explore a deterministic synthetic catalog with \
+                     N parts per family\n  (N³ candidates per airframe) instead of the \
+                     paper catalog.\n--battery NAME: mount a catalog battery (required \
+                     for the endurance objective)."
                 );
                 std::process::exit(0);
             }
@@ -103,83 +152,119 @@ fn list_catalog(catalog: &Catalog) {
     }
 }
 
-/// Runs the catalog-wide design-space exploration and prints the ranked
-/// report plus the Pareto frontier over (velocity, TDP, payload).
-fn dse_report(
-    catalog: &Catalog,
-    only_airframe: Option<&str>,
-    top: usize,
-) -> Result<(), Box<dyn std::error::Error>> {
+/// Runs the catalog-wide design-space query and prints the ranked
+/// report plus the Pareto frontier over the requested objectives.
+fn dse_report(catalog: &Catalog, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let engine = Engine::new(catalog);
-    let exploration = match only_airframe {
+    let mut query = engine.query();
+    if !args.objectives.is_empty() {
+        query = query.objectives(&args.objectives);
+    }
+    if let Some(name) = args.airframe.as_deref() {
         // One airframe: explore just that slice of the design space
         // (failing loudly on a typo'd name instead of printing nothing).
-        Some(name) => {
-            let id = catalog.airframe_id(name).map_err(|e| e.to_string())?;
-            Exploration {
-                airframes: vec![engine.explore_airframe(id)?],
-            }
-        }
-        None => engine.explore_all()?,
-    };
-    for result in &exploration.airframes {
-        let airframe = catalog.airframe_by_id(result.airframe).name();
-        let feasible = result.feasible().count();
-        println!(
-            "━━ {airframe}: {} candidates ({} feasible, {} uncharacterized pairs skipped) ━━",
-            result.ranked.len(),
-            feasible,
-            result.uncharacterized,
+        query = query.airframes(&[catalog.airframe_id(name).map_err(|e| e.to_string())?]);
+    }
+    if let Some(watts) = args.max_tdp {
+        query = query.constraint(Constraint::MaxTotalTdp(Watts::new(watts)));
+    }
+    if let Some(name) = args.battery.as_deref() {
+        query = query.battery(catalog.battery_id(name).map_err(|e| e.to_string())?);
+    }
+    // Stringify so a failed query prints its Display form, not Debug.
+    let result = query.run().map_err(|e| e.to_string())?;
+    let objectives = result.objectives().to_vec();
+
+    let describe = |index: usize| {
+        let point = &result.points()[index];
+        let parts = format!(
+            "{:<18} + {:<18} + {:<26}",
+            catalog.sensor_by_id(point.candidate.sensor).name(),
+            catalog.compute_by_id(point.candidate.compute).name(),
+            catalog.algorithm_by_id(point.candidate.algorithm).name(),
         );
-        for evaluated in result.ranked.iter().take(top) {
-            let candidate = evaluated.candidate;
-            let outcome = evaluated.outcome;
-            let verdict = outcome.bound.map_or_else(
-                || "cannot hover".to_owned(),
-                |bound| format!("{:.2} m/s, {bound}", outcome.velocity.get()),
-            );
-            println!(
-                "  {:<16} + {:<18} + {:<26} {verdict}",
-                catalog.sensor_by_id(candidate.sensor).name(),
-                catalog.compute_by_id(candidate.compute).name(),
-                catalog.algorithm_by_id(candidate.algorithm).name(),
-            );
+        let values = result
+            .values(index)
+            .iter()
+            .zip(&objectives)
+            .map(|(v, o)| format!("{v:>8.2} {}", o.unit()))
+            .collect::<Vec<_>>()
+            .join("  ");
+        let setting = if point.setting.is_identity() {
+            String::new()
+        } else {
+            format!("  [tdp×{:.2}]", point.setting.tdp_scale)
+        };
+        format!("{parts} {values}{setting}")
+    };
+
+    let ranked = result.ranked();
+    let primary = objectives[0];
+    println!(
+        "query: {} objectives ({} primary), {} points kept, {} dropped by constraints",
+        objectives.len(),
+        primary,
+        result.points().len(),
+        result.dropped(),
+    );
+    for (airframe_id, airframe) in catalog.airframe_entries() {
+        let per_airframe: Vec<usize> = ranked
+            .iter()
+            .copied()
+            .filter(|&i| result.points()[i].airframe == airframe_id)
+            .collect();
+        if per_airframe.is_empty() {
+            continue;
+        }
+        let feasible = per_airframe
+            .iter()
+            .filter(|&&i| result.points()[i].outcome.feasible)
+            .count();
+        println!(
+            "━━ {}: {} candidates ({} feasible, {} uncharacterized pairs skipped) ━━",
+            airframe.name(),
+            per_airframe.len(),
+            feasible,
+            result.uncharacterized(),
+        );
+        for &index in per_airframe.iter().take(args.dse_top) {
+            let verdict = if result.points()[index].outcome.feasible {
+                describe(index)
+            } else {
+                format!("{} cannot hover", describe(index))
+            };
+            println!("  {verdict}");
         }
     }
-    if only_airframe.is_none() {
-        println!("Pareto frontier over (velocity ↑, TDP ↓, payload ↓):");
-        for point in exploration.pareto_frontier() {
-            let outcome = point.evaluated.outcome;
-            println!(
-                "  {:<16} {:<20} {:<18} {:<26} {:>6.2} m/s {:>7.2} W {:>7.0} g",
-                catalog.airframe_by_id(point.airframe).name(),
-                catalog
-                    .sensor_by_id(point.evaluated.candidate.sensor)
-                    .name(),
-                catalog
-                    .compute_by_id(point.evaluated.candidate.compute)
-                    .name(),
-                catalog
-                    .algorithm_by_id(point.evaluated.candidate.algorithm)
-                    .name(),
-                outcome.velocity.get(),
-                outcome.total_tdp.get(),
-                outcome.payload.get(),
-            );
-        }
+    println!(
+        "Pareto frontier over ({}):",
+        objectives
+            .iter()
+            .map(|o| format!("{o} {}", if o.maximize() { "↑" } else { "↓" }))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    for &index in result.frontier() {
+        let airframe = catalog
+            .airframe_by_id(result.points()[index].airframe)
+            .name();
+        println!("  {airframe:<18} {}", describe(index));
     }
     Ok(())
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args().map_err(|e| -> Box<dyn std::error::Error> { e.into() })?;
-    let catalog = Catalog::paper();
+    let catalog = match args.synth {
+        Some(n_per_family) => Catalog::synthesize(SYNTH_SEED, n_per_family),
+        None => Catalog::paper(),
+    };
     if args.list {
         list_catalog(&catalog);
         return Ok(());
     }
     if args.dse {
-        return dse_report(&catalog, args.airframe.as_deref(), args.dse_top);
+        return dse_report(&catalog, &args);
     }
     let (Some(airframe), Some(sensor), Some(compute), Some(algorithm)) =
         (&args.airframe, &args.sensor, &args.compute, &args.algorithm)

@@ -20,8 +20,12 @@
 //!   non-dominated builds over (safe velocity ↑, total TDP ↓, payload
 //!   mass ↓).
 //!
-//! The original string-keyed [`explore`] entry point is kept as a thin
-//! compatibility wrapper over the engine.
+//! What to optimize, filter and sweep is expressed through the
+//! composable [`Engine::query`] API (see [`crate::query`]): `explore`,
+//! [`Engine::explore_airframe`] and [`Engine::explore_all`] are thin
+//! compatibility wrappers over a default 3-objective query, and
+//! [`Exploration::pareto_frontier`] rides the O(n log n) skyline of
+//! [`crate::frontier`].
 
 use f1_components::{
     Airframe, AirframeId, AlgorithmId, Catalog, ComputeId, ComputePlatform, Sensor, SensorId,
@@ -34,7 +38,8 @@ use f1_model::roofline::{Bound, Roofline, Saturation};
 use f1_model::safety::SafetyModel;
 use f1_units::{Grams, Hertz, MetersPerSecond, Watts};
 
-use crate::sweep::parallel_map_chunked;
+use crate::frontier;
+use crate::query::QueryPoint;
 use crate::SkylineError;
 
 /// One sensor × compute × algorithm combination, by interned id, with its
@@ -151,7 +156,9 @@ pub struct Exploration {
 }
 
 /// `a` dominates `b` when it is at least as good on every objective
-/// (velocity ↑, TDP ↓, payload ↓) and strictly better on one.
+/// (velocity ↑, TDP ↓, payload ↓) and strictly better on one. Kept as
+/// the test oracle for the sort-based frontier.
+#[cfg(test)]
 fn dominates(a: &Outcome, b: &Outcome) -> bool {
     a.velocity >= b.velocity
         && a.total_tdp <= b.total_tdp
@@ -171,13 +178,16 @@ impl Exploration {
     /// airframes, in deterministic (airframe, rank) order.
     ///
     /// Candidates with a non-finite objective are excluded up front:
-    /// `dominates` uses IEEE comparisons, under which a NaN point could
+    /// dominance uses IEEE comparisons, under which a NaN point could
     /// never be dominated and would pollute the frontier. (The current
     /// paper catalog cannot produce one; what-if inputs through
     /// [`Engine::evaluate_parts`] could.)
     ///
-    /// Complexity is O(n²) all-pairs dominance — fine at catalog scale;
-    /// see ROADMAP for the sort-based skyline needed at 10⁵+ candidates.
+    /// Computed with the O(n log n) sort-and-sweep skyline of
+    /// [`crate::frontier`] — identical membership and order to the old
+    /// all-pairs scan (still available as
+    /// [`frontier::naive_pareto_min`]), but usable at the 10⁵–10⁶
+    /// candidates of [`Catalog::synthesize`]d catalogs.
     #[must_use]
     pub fn pareto_frontier(&self) -> Vec<ParetoPoint<'_>> {
         let finite = |o: &Outcome| {
@@ -198,14 +208,14 @@ impl Exploration {
                     })
             })
             .collect();
-        feasible
-            .iter()
-            .filter(|p| {
-                !feasible
-                    .iter()
-                    .any(|q| dominates(&q.evaluated.outcome, &p.evaluated.outcome))
-            })
-            .copied()
+        let mut keys = Vec::with_capacity(feasible.len() * 3);
+        for point in &feasible {
+            let o = &point.evaluated.outcome;
+            keys.extend([-o.velocity.get(), o.total_tdp.get(), o.payload.get()]);
+        }
+        frontier::pareto_min(3, &keys)
+            .into_iter()
+            .map(|i| feasible[i])
             .collect()
     }
 }
@@ -284,6 +294,36 @@ impl<'c> Engine<'c> {
         self.catalog
     }
 
+    /// The snapshotted airframe ids, in name order.
+    pub(crate) fn airframe_ids(&self) -> &[AirframeId] {
+        &self.airframes
+    }
+
+    /// The snapshotted sensor ids, in name order.
+    pub(crate) fn sensor_ids(&self) -> &[SensorId] {
+        &self.sensors
+    }
+
+    /// The snapshotted compute ids, in name order.
+    pub(crate) fn compute_ids(&self) -> &[ComputeId] {
+        &self.computes
+    }
+
+    /// The snapshotted algorithm ids, in name order.
+    pub(crate) fn algorithm_ids(&self) -> &[AlgorithmId] {
+        &self.algorithms
+    }
+
+    /// The dense throughput snapshot.
+    pub(crate) fn table(&self) -> &ThroughputTable {
+        &self.table
+    }
+
+    /// The configured work-stealing chunk size.
+    pub(crate) fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
     /// Lazily enumerates every characterized sensor × compute × algorithm
     /// candidate (airframe-independent), in deterministic name order.
     pub fn candidates(&self) -> impl Iterator<Item = Candidate> + '_ {
@@ -301,12 +341,6 @@ impl<'c> Engine<'c> {
                 })
             })
         })
-    }
-
-    /// Number of combinations per airframe that are skipped for lack of a
-    /// characterized throughput.
-    fn uncharacterized_per_airframe(&self, candidate_count: usize) -> usize {
-        self.sensors.len() * self.computes.len() * self.algorithms.len() - candidate_count
     }
 
     /// Evaluates arbitrary parts (used for what-if platforms that are not
@@ -330,11 +364,35 @@ impl<'c> Engine<'c> {
         platform: &ComputePlatform,
         throughput: Hertz,
     ) -> Result<Outcome, SkylineError> {
+        self.evaluate_parts_loaded(airframe, sensor, platform, throughput, Grams::ZERO)
+    }
+
+    /// [`evaluate_parts`](Self::evaluate_parts) with extra payload mass
+    /// riding along (a mission battery, cargo, or a
+    /// [`Knob::PayloadDelta`](crate::query::Knob::PayloadDelta) sweep
+    /// value). The **extra** contribution is floored at zero as
+    /// defense-in-depth for direct callers: a negative value
+    /// contributes nothing rather than erasing platform, heatsink or
+    /// sensor mass and evaluating a physically impossible build. (The
+    /// query layer rejects negative payload deltas outright.)
+    ///
+    /// # Errors
+    ///
+    /// Same as [`evaluate_parts`](Self::evaluate_parts).
+    pub fn evaluate_parts_loaded(
+        &self,
+        airframe: &Airframe,
+        sensor: &Sensor,
+        platform: &ComputePlatform,
+        throughput: Hertz,
+        extra_payload: Grams,
+    ) -> Result<Outcome, SkylineError> {
         let total_tdp = platform.tdp();
         let payload = Grams::new(
             platform.fielded_mass().get()
                 + self.heatsink.mass_for(total_tdp).get()
-                + sensor.mass().get(),
+                + sensor.mass().get()
+                + extra_payload.get().max(0.0),
         );
         let dynamics = airframe.loaded_dynamics(payload)?;
         let Ok(a_max) = dynamics.a_max() else {
@@ -413,8 +471,34 @@ impl<'c> Engine<'c> {
         });
     }
 
+    /// Converts one airframe's contiguous slice of default-query points
+    /// back into the classic velocity-ranked exploration view.
+    fn rank_points(
+        airframe: AirframeId,
+        points: &[QueryPoint],
+        uncharacterized: usize,
+    ) -> AirframeExploration {
+        let mut ranked: Vec<Evaluated> = points
+            .iter()
+            .map(|p| Evaluated {
+                candidate: p.candidate,
+                outcome: p.outcome,
+            })
+            .collect();
+        Self::rank(&mut ranked);
+        AirframeExploration {
+            airframe,
+            ranked,
+            uncharacterized,
+        }
+    }
+
     /// Exhaustively explores the catalog for one airframe, evaluating
     /// candidates in parallel work-stealing chunks.
+    ///
+    /// Compatibility wrapper: runs a default 3-objective
+    /// [`query`](Self::query) restricted to `airframe` and re-ranks by
+    /// safe velocity.
     ///
     /// # Errors
     ///
@@ -424,52 +508,44 @@ impl<'c> Engine<'c> {
         &self,
         airframe: AirframeId,
     ) -> Result<AirframeExploration, SkylineError> {
-        let candidates: Vec<Candidate> = self.candidates().collect();
-        let uncharacterized = self.uncharacterized_per_airframe(candidates.len());
-        let outcomes = parallel_map_chunked(candidates, self.chunk_size, |&candidate| {
-            self.evaluate(airframe, candidate)
-        });
-        let mut ranked = outcomes.into_iter().collect::<Result<Vec<_>, _>>()?;
-        Self::rank(&mut ranked);
-        Ok(AirframeExploration {
+        let result = self.query().airframes(&[airframe]).run_without_frontier()?;
+        Ok(Self::rank_points(
             airframe,
-            ranked,
-            uncharacterized,
-        })
+            result.points(),
+            result.uncharacterized(),
+        ))
     }
 
     /// Explores **every** airframe in the catalog as one batched parallel
     /// evaluation over the full airframe × sensor × compute × algorithm
     /// cross product.
     ///
+    /// Compatibility wrapper over a default 3-objective unconstrained
+    /// [`query`](Self::query), whose points come back airframe-major in
+    /// this engine's airframe order.
+    ///
     /// # Errors
     ///
     /// Same as [`explore_airframe`](Self::explore_airframe).
     pub fn explore_all(&self) -> Result<Exploration, SkylineError> {
-        let candidates: Vec<Candidate> = self.candidates().collect();
-        let uncharacterized = self.uncharacterized_per_airframe(candidates.len());
-        let jobs: Vec<(AirframeId, Candidate)> = self
+        let result = self.query().run_without_frontier()?;
+        let per_airframe = if self.airframes.is_empty() {
+            0
+        } else {
+            result.points().len() / self.airframes.len()
+        };
+        let airframes = self
             .airframes
             .iter()
-            .flat_map(|&airframe| candidates.iter().map(move |&c| (airframe, c)))
+            .enumerate()
+            .map(|(i, &airframe)| {
+                Self::rank_points(
+                    airframe,
+                    &result.points()[i * per_airframe..(i + 1) * per_airframe],
+                    result.uncharacterized(),
+                )
+            })
             .collect();
-        let outcomes = parallel_map_chunked(jobs, self.chunk_size, |&(airframe, candidate)| {
-            self.evaluate(airframe, candidate)
-        });
-        let mut results = outcomes.into_iter();
-        let mut airframes = Vec::with_capacity(self.airframes.len());
-        for &airframe in &self.airframes {
-            let mut ranked = results
-                .by_ref()
-                .take(candidates.len())
-                .collect::<Result<Vec<_>, _>>()?;
-            Self::rank(&mut ranked);
-            airframes.push(AirframeExploration {
-                airframe,
-                ranked,
-                uncharacterized,
-            });
-        }
         Ok(Exploration { airframes })
     }
 
@@ -564,6 +640,7 @@ impl DseResult {
 ///
 /// Returns [`SkylineError::Component`] for an unknown airframe, and
 /// propagates evaluation errors from the engine.
+#[deprecated(note = "use Engine::query()")]
 pub fn explore(catalog: &Catalog, airframe: &str) -> Result<DseResult, SkylineError> {
     let engine = Engine::new(catalog);
     let id = catalog.airframe_id(airframe)?;
@@ -572,6 +649,9 @@ pub fn explore(catalog: &Catalog, airframe: &str) -> Result<DseResult, SkylineEr
 }
 
 #[cfg(test)]
+// The tests exercise the deprecated `explore` wrapper on purpose: it must
+// keep matching the query-backed engine until it is removed.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::system::UavSystem;

@@ -1,0 +1,450 @@
+//! Pareto-skyline computation: O(n log n) sort-and-sweep frontiers.
+//!
+//! The DSE engine's original frontier was an O(n²) all-pairs dominance
+//! scan — fine for the paper's ~10² candidates per airframe, hopeless for
+//! the 10⁵–10⁶-candidate synthetic catalogs the ROADMAP targets. This
+//! module provides the sort-based skyline the engine's
+//! [`query`](crate::query) layer uses:
+//!
+//! * **2 objectives** — the classic sweep: sort lexicographically, keep a
+//!   running minimum of the second key.
+//! * **3 objectives** — sort by the first key and sweep a *staircase*
+//!   (the running 2-D frontier of the remaining keys), maintained as a
+//!   B-tree with O(log n) queries and amortized O(log n) inserts.
+//! * **d ≥ 4 objectives** — a running-frontier fallback: after a
+//!   lexicographic sort no point can dominate an earlier one, so each
+//!   point is tested against the accumulated frontier only. Worst case
+//!   O(n·f) for a frontier of size f, which degenerates to O(n²) only
+//!   when nearly everything is non-dominated.
+//!
+//! All functions use the **minimization** convention: a point dominates
+//! another when it is ≤ in every key and < in at least one. Callers with
+//! maximizing objectives (e.g. safe velocity) negate those keys. Ties and
+//! exact duplicates are preserved exactly as the naive all-pairs scan
+//! would keep them — duplicates do occur in real explorations (two
+//! physics-bound algorithms on the same build share velocity, TDP and
+//! payload) — and [`naive_pareto_min`] stays available as the reference
+//! implementation for tests and benchmarks.
+//!
+//! Keys must be **finite**: NaN keys make the result unspecified (the
+//! query layer filters non-finite outcomes before calling in, mirroring
+//! the original engine's behavior). Negative zero is fine — keys are
+//! normalized so `-0.0` and `+0.0` land in the same tie group, matching
+//! the IEEE comparisons the naive scan uses.
+
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+
+/// Returns `true` when `a` dominates `b` under minimization: `a ≤ b` in
+/// every key and `a < b` in at least one.
+///
+/// # Panics
+///
+/// Panics (debug) if the slices have different lengths.
+#[must_use]
+pub fn dominates_min(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut strict = false;
+    for (x, y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strict = true;
+        }
+    }
+    strict
+}
+
+fn point_count(dims: usize, keys: &[f64]) -> usize {
+    assert!(dims > 0, "need at least one objective");
+    assert_eq!(
+        keys.len() % dims,
+        0,
+        "key buffer length must be a multiple of the dimension count"
+    );
+    keys.len() / dims
+}
+
+/// Reference O(n²) all-pairs Pareto scan (minimization convention).
+///
+/// `keys` is row-major: point `i` occupies `keys[i*dims .. (i+1)*dims]`.
+/// Returns the indices of non-dominated points in ascending order. Kept
+/// public as the ground truth for property tests and the "old frontier"
+/// arm of the DSE benchmarks.
+///
+/// # Panics
+///
+/// Panics if `dims == 0` or `keys.len()` is not a multiple of `dims`.
+#[must_use]
+pub fn naive_pareto_min(dims: usize, keys: &[f64]) -> Vec<usize> {
+    let n = point_count(dims, keys);
+    let row = |i: usize| &keys[i * dims..(i + 1) * dims];
+    (0..n)
+        .filter(|&i| !(0..n).any(|j| dominates_min(row(j), row(i))))
+        .collect()
+}
+
+/// Sort-based Pareto skyline (minimization convention): O(n log n) for
+/// 2–3 objectives, lexicographic running-frontier fallback for d ≥ 4.
+///
+/// `keys` is row-major: point `i` occupies `keys[i*dims .. (i+1)*dims]`.
+/// Returns exactly the same index set as [`naive_pareto_min`], in
+/// ascending order.
+///
+/// # Panics
+///
+/// Panics if `dims == 0` or `keys.len()` is not a multiple of `dims`.
+#[must_use]
+pub fn pareto_min(dims: usize, keys: &[f64]) -> Vec<usize> {
+    let n = point_count(dims, keys);
+    if n == 0 {
+        return Vec::new();
+    }
+    // Normalize -0.0 to +0.0: the sweeps split tie groups with
+    // `total_cmp`, under which -0.0 < +0.0, while dominance (and the
+    // naive scan) uses IEEE comparisons where they are equal. `x + 0.0`
+    // maps -0.0 to +0.0 and is the identity on every other value, so
+    // the two orders agree afterwards.
+    let keys: Vec<f64> = keys.iter().map(|v| v + 0.0).collect();
+    let keys = keys.as_slice();
+    let order = lex_order(dims, keys, n);
+    let mut survivors = match dims {
+        1 => min_scan(&order, keys),
+        2 => sweep2(&order, &|i| (keys[i * 2], keys[i * 2 + 1])),
+        3 => sweep3(&order, keys),
+        _ => running_frontier(dims, keys, &order),
+    };
+    survivors.sort_unstable();
+    survivors
+}
+
+/// Indices `0..n` sorted lexicographically over all keys; the stable sort
+/// keeps index order for fully tied points, so every routine downstream
+/// is deterministic.
+fn lex_order(dims: usize, keys: &[f64], n: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let (pa, pb) = (
+            &keys[a * dims..(a + 1) * dims],
+            &keys[b * dims..(b + 1) * dims],
+        );
+        pa.iter()
+            .zip(pb)
+            .map(|(x, y)| x.total_cmp(y))
+            .find(|o| *o != Ordering::Equal)
+            .unwrap_or(Ordering::Equal)
+    });
+    order
+}
+
+/// 1-D frontier: every point tied at the minimum key.
+fn min_scan(order: &[usize], keys: &[f64]) -> Vec<usize> {
+    let min = keys[order[0]];
+    order
+        .iter()
+        .copied()
+        .take_while(|&i| keys[i].total_cmp(&min) == Ordering::Equal)
+        .collect()
+}
+
+/// 2-D sweep over indices pre-sorted lexicographically by `key`.
+///
+/// Walks groups of equal first key in ascending order, tracking the best
+/// (minimum) second key seen in *strictly earlier* groups. Within a
+/// group, only the points tied at the group's minimum second key can
+/// survive (anything above is strictly dominated inside the group), and
+/// they do survive exactly when that minimum beats every earlier group.
+///
+/// Also the in-group engine of the 3-D sweep, which is why it takes an
+/// index slice rather than a raw buffer.
+fn sweep2(order: &[usize], key: &dyn Fn(usize) -> (f64, f64)) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut best: Option<f64> = None;
+    let mut start = 0;
+    while start < order.len() {
+        let (a, group_min) = key(order[start]);
+        let mut end = start;
+        while end < order.len() && key(order[end]).0.total_cmp(&a) == Ordering::Equal {
+            end += 1;
+        }
+        if best.map_or(true, |b| group_min < b) {
+            out.extend(
+                order[start..end]
+                    .iter()
+                    .copied()
+                    .take_while(|&i| key(i).1.total_cmp(&group_min) == Ordering::Equal),
+            );
+        }
+        best = Some(best.map_or(group_min, |b| b.min(group_min)));
+        start = end;
+    }
+    out
+}
+
+/// A totally ordered f64 (via `total_cmp`) for use as a B-tree key.
+#[derive(Debug, Clone, Copy)]
+struct Key(f64);
+
+impl PartialEq for Key {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}
+
+impl Eq for Key {}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// A staircase: 2-D running frontier over `(b, c)` pairs, held as a
+/// B-tree map from `b` to the smallest `c` seen at that `b`, with `c`
+/// strictly descending as `b` ascends. Membership means "some point in
+/// an earlier first-key group had these trailing keys", so weak (≤, ≤)
+/// coverage is full dominance — the first key is already strict.
+///
+/// Queries are O(log f); inserts are amortized O(log f) because every
+/// step a new one covers is removed exactly once over the sweep's
+/// lifetime (this is why the structure is a B-tree rather than a sorted
+/// `Vec`, whose front inserts would memmove O(f) elements and turn
+/// anti-correlated inputs quadratic).
+struct Staircase {
+    steps: BTreeMap<Key, f64>,
+}
+
+impl Staircase {
+    fn new() -> Self {
+        Self {
+            steps: BTreeMap::new(),
+        }
+    }
+
+    /// Is `(b, c)` weakly covered by an existing step?
+    fn covers(&self, b: f64, c: f64) -> bool {
+        // c descends as b ascends, so among the steps with step.b ≤ b
+        // the rightmost has the smallest c.
+        self.steps
+            .range(..=Key(b))
+            .next_back()
+            .is_some_and(|(_, &step_c)| step_c <= c)
+    }
+
+    /// Inserts `(b, c)`, dropping any steps it covers.
+    fn insert(&mut self, b: f64, c: f64) {
+        if self.covers(b, c) {
+            return;
+        }
+        // Steps at b' ≥ b with c' ≥ c are now covered; by the descending-c
+        // invariant they form a contiguous run starting at b.
+        let covered: Vec<Key> = self
+            .steps
+            .range(Key(b)..)
+            .take_while(|(_, &step_c)| step_c >= c)
+            .map(|(&key, _)| key)
+            .collect();
+        for key in covered {
+            self.steps.remove(&key);
+        }
+        self.steps.insert(Key(b), c);
+    }
+}
+
+/// 3-D sweep: groups of equal first key in ascending order, tested
+/// against the staircase of all earlier groups, then 2-D-swept within
+/// the group (equal first keys dominate on the trailing pair alone).
+/// Each surviving point is inserted into the staircase *after* its whole
+/// group is processed, so equal-first-key points never dominate each
+/// other through it. Dominance is transitive, so testing the in-group
+/// sweep only on staircase survivors loses nothing.
+fn sweep3(order: &[usize], keys: &[f64]) -> Vec<usize> {
+    let k = |i: usize, d: usize| keys[i * 3 + d];
+    let mut out = Vec::new();
+    let mut stair = Staircase::new();
+    let mut start = 0;
+    while start < order.len() {
+        let a = k(order[start], 0);
+        let mut end = start;
+        while end < order.len() && k(order[end], 0).total_cmp(&a) == Ordering::Equal {
+            end += 1;
+        }
+        let undominated: Vec<usize> = order[start..end]
+            .iter()
+            .copied()
+            .filter(|&i| !stair.covers(k(i, 1), k(i, 2)))
+            .collect();
+        // `undominated` inherits the (k1, k2, index) lexicographic order
+        // the group was sorted in, which is what sweep2 requires.
+        let survivors = sweep2(&undominated, &|i| (k(i, 1), k(i, 2)));
+        for &i in &survivors {
+            stair.insert(k(i, 1), k(i, 2));
+        }
+        out.extend_from_slice(&survivors);
+        start = end;
+    }
+    out
+}
+
+/// d-dimensional fallback: after a lexicographic sort a later point can
+/// never dominate an earlier one (componentwise ≤ plus lexicographic ≥
+/// forces equality), so the frontier only grows — each point is checked
+/// against it once. Frontier members are probed newest-first: a point's
+/// dominator tends to be a lexicographically close predecessor, so the
+/// reverse probe usually exits after a handful of checks.
+fn running_frontier(dims: usize, keys: &[f64], order: &[usize]) -> Vec<usize> {
+    let row = |i: usize| &keys[i * dims..(i + 1) * dims];
+    let mut front: Vec<usize> = Vec::new();
+    for &i in order {
+        if !front.iter().rev().any(|&j| dominates_min(row(j), row(i))) {
+            front.push(i);
+        }
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn grid_points(seed: u64, n: usize, dims: usize, grid: u32) -> Vec<f64> {
+        // Coarse integer grids force heavy ties and exact duplicates —
+        // the cases where sweep bookkeeping can drift from the naive scan.
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n * dims)
+            .map(|_| f64::from(rng.gen_range(0u32..grid)))
+            .collect()
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        for dims in 1..=5 {
+            assert!(pareto_min(dims, &[]).is_empty());
+        }
+        assert_eq!(pareto_min(3, &[1.0, 2.0, 3.0]), vec![0]);
+    }
+
+    #[test]
+    fn duplicates_all_survive() {
+        // Exact duplicates never dominate each other; all copies stay.
+        let keys = [1.0, 2.0, 1.0, 2.0, 1.0, 2.0, 3.0, 0.5];
+        assert_eq!(pareto_min(2, &keys), vec![0, 1, 2, 3]);
+        assert_eq!(naive_pareto_min(2, &keys), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn simple_2d_staircase() {
+        // (0,3) (1,1) (3,0) frontier; (2,2) dominated by (1,1).
+        let keys = [0.0, 3.0, 1.0, 1.0, 2.0, 2.0, 3.0, 0.0];
+        assert_eq!(pareto_min(2, &keys), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn one_dim_keeps_all_minima() {
+        let keys = [3.0, 1.0, 2.0, 1.0, 1.0];
+        assert_eq!(pareto_min(1, &keys), vec![1, 3, 4]);
+        assert_eq!(naive_pareto_min(1, &keys), vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn equal_first_key_groups_dominate_within_group() {
+        // Same first key: (5,1,9) dominates (5,2,9); (5,1,9) survives.
+        let keys = [5.0, 1.0, 9.0, 5.0, 2.0, 9.0];
+        assert_eq!(pareto_min(3, &keys), vec![0]);
+    }
+
+    #[test]
+    fn matches_naive_on_random_grids() {
+        for dims in 1..=5 {
+            for seed in 0..40u64 {
+                for &grid in &[2u32, 3, 5, 17] {
+                    let n = 1 + (seed as usize * 7 + dims) % 90;
+                    let keys = grid_points(seed * 31 + dims as u64, n, dims, grid);
+                    assert_eq!(
+                        pareto_min(dims, &keys),
+                        naive_pareto_min(dims, &keys),
+                        "dims {dims} seed {seed} grid {grid}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_continuous_points() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for dims in 2..=4 {
+            for _ in 0..20 {
+                let n = rng.gen_range(1usize..200);
+                let keys: Vec<f64> = (0..n * dims).map(|_| rng.gen_range(-5.0..5.0)).collect();
+                assert_eq!(pareto_min(dims, &keys), naive_pareto_min(dims, &keys));
+            }
+        }
+    }
+
+    #[test]
+    fn large_3d_frontier_is_fast_and_correct_on_sample() {
+        // 20k anti-correlated points (worst-ish case: big frontier); spot
+        // check the sweep's frontier against the dominance predicate.
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 20_000;
+        let keys: Vec<f64> = (0..n)
+            .flat_map(|_| {
+                let a = rng.gen_range(0.0..1.0);
+                let b = rng.gen_range(0.0..1.0);
+                [a, b, 2.0 - a - b + rng.gen_range(0.0..0.01)]
+            })
+            .collect();
+        let front = pareto_min(3, &keys);
+        assert!(!front.is_empty());
+        let row = |i: usize| &keys[i * 3..i * 3 + 3];
+        for &i in front.iter().step_by(97) {
+            for j in 0..n {
+                assert!(!dominates_min(row(j), row(i)));
+            }
+        }
+    }
+
+    #[test]
+    fn negative_zero_ties_with_positive_zero() {
+        // -0.0 and +0.0 are IEEE-equal, so neither point dominates the
+        // other and both stay — even though total_cmp orders them.
+        let keys = [-0.0, 5.0, 0.0, 5.0];
+        assert_eq!(pareto_min(2, &keys), vec![0, 1]);
+        assert_eq!(naive_pareto_min(2, &keys), vec![0, 1]);
+        let keys3 = [1.0, -0.0, 2.0, 1.0, 0.0, 2.0];
+        assert_eq!(pareto_min(3, &keys3), naive_pareto_min(3, &keys3));
+    }
+
+    #[test]
+    fn anti_correlated_staircase_inserts_stay_fast() {
+        // Every point is on the frontier and every staircase insert
+        // lands at the front — the case a sorted-Vec staircase turns
+        // quadratic on. 200k points must finish promptly (the B-tree
+        // makes this ~n log n; a memmove staircase would do ~2·10¹⁰
+        // element moves here).
+        let n = 200_000;
+        let keys: Vec<f64> = (0..n)
+            .flat_map(|i| {
+                let x = i as f64;
+                [x, (n - i) as f64, x]
+            })
+            .collect();
+        let front = pareto_min(3, &keys);
+        assert_eq!(front.len(), n);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the dimension count")]
+    fn ragged_buffer_rejected() {
+        let _ = pareto_min(3, &[1.0, 2.0]);
+    }
+}

@@ -17,6 +17,9 @@
 //! * [`chart`] — roofline chart construction on top of `f1-plot`.
 //! * [`dse`] — automated design-space exploration over the catalog (the
 //!   paper's conclusion proposes exactly this use).
+//! * [`query`] — the composable DSE query API: typed objectives,
+//!   constraints and Table II knob sweeps compiled onto the engine.
+//! * [`frontier`] — O(n log n) sort-and-sweep Pareto skylines.
 //!
 //! # Examples
 //!
@@ -45,8 +48,10 @@
 pub mod chart;
 pub mod dse;
 mod error;
+pub mod frontier;
 mod knobs;
 pub mod mission;
+pub mod query;
 pub mod redundancy;
 pub mod report;
 pub mod sweep;

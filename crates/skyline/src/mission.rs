@@ -9,11 +9,30 @@
 //! knee velocity — quantifying what a compute or sensor bottleneck costs
 //! in minutes and watt-hours.
 
+use f1_components::Airframe;
 use f1_model::mission::{estimate_mission, MissionEstimate, PowerModel};
-use f1_units::{Meters, MetersPerSecond};
+use f1_units::{Kilograms, Meters, MetersPerSecond, Watts};
 
 use crate::system::UavSystem;
 use crate::SkylineError;
+
+/// Constant sensor-stack power (W) added to the compute TDP when
+/// deriving avionics power — shared by [`derive_power_model`] and the
+/// query API's energy objectives
+/// ([`Objective::MissionEnergyWhPerKm`](crate::query::Objective::MissionEnergyWhPerKm)).
+pub const SENSOR_STACK_POWER_W: f64 = 2.0;
+
+/// Conventional hover figure of merit for small multirotors — the
+/// single source for [`MissionSpec::over`] and the query API's
+/// [`MissionProfile`](crate::query::MissionProfile) default.
+pub const DEFAULT_FIGURE_OF_MERIT: f64 = 0.65;
+
+/// Conventional parasitic power coefficient, W/(m/s)³ (same sharing).
+pub const DEFAULT_PARASITIC_COEFF: f64 = 0.08;
+
+/// Conventional usable battery fraction, the depth-of-discharge guard
+/// (same sharing).
+pub const DEFAULT_BATTERY_RESERVE: f64 = 0.8;
 
 /// Mission parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,9 +54,9 @@ impl MissionSpec {
     pub fn over(distance: Meters) -> Self {
         Self {
             distance,
-            battery_reserve: 0.8,
-            figure_of_merit: 0.65,
-            parasitic_coeff: 0.08,
+            battery_reserve: DEFAULT_BATTERY_RESERVE,
+            figure_of_merit: DEFAULT_FIGURE_OF_MERIT,
+            parasitic_coeff: DEFAULT_PARASITIC_COEFF,
         }
     }
 }
@@ -78,6 +97,33 @@ impl MissionAnalysis {
     }
 }
 
+/// Derives the cruise/hover power model from bare parts: momentum-theory
+/// hover power from the airframe's rotor geometry and the take-off mass,
+/// plus avionics power from the compute TDP and the sensor stack. The
+/// parts-level core shared by [`derive_power_model`] and the query API's
+/// energy objectives.
+///
+/// # Errors
+///
+/// Returns [`SkylineError::Model`] for out-of-domain mass, figure of
+/// merit or parasitic coefficient.
+pub fn power_model_for_parts(
+    airframe: &Airframe,
+    takeoff_mass: Kilograms,
+    total_tdp: Watts,
+    figure_of_merit: f64,
+    parasitic_coeff: f64,
+) -> Result<PowerModel, SkylineError> {
+    // Rotor disk: radius ≈ a quarter of the diagonal frame size per rotor
+    // (props span roughly half an arm), a standard sizing heuristic.
+    let radius = airframe.frame_size().to_meters().get() * 0.25;
+    let disk_area = f64::from(airframe.rotor_count()) * std::f64::consts::PI * radius * radius;
+    let hover = PowerModel::induced_hover_power(takeoff_mass, disk_area, figure_of_merit)?;
+    // Avionics: compute TDPs plus a couple of watts for the sensor stack.
+    let avionics = total_tdp.get() + SENSOR_STACK_POWER_W;
+    Ok(PowerModel::new(hover.get(), avionics, parasitic_coeff)?)
+}
+
 /// Derives the power model for a system from its physical parameters.
 ///
 /// # Errors
@@ -88,20 +134,13 @@ pub fn derive_power_model(
     spec: &MissionSpec,
 ) -> Result<PowerModel, SkylineError> {
     let body = system.body_dynamics()?;
-    // Rotor disk: radius ≈ a quarter of the diagonal frame size per rotor
-    // (props span roughly half an arm), a standard sizing heuristic.
-    let radius = system.airframe().frame_size().to_meters().get() * 0.25;
-    let disk_area =
-        f64::from(system.airframe().rotor_count()) * std::f64::consts::PI * radius * radius;
-    let hover =
-        PowerModel::induced_hover_power(body.total_mass(), disk_area, spec.figure_of_merit)?;
-    // Avionics: compute TDPs plus a couple of watts for the sensor stack.
-    let avionics = system.total_tdp().get() + 2.0;
-    Ok(PowerModel::new(
-        hover.get(),
-        avionics,
+    power_model_for_parts(
+        system.airframe(),
+        body.total_mass(),
+        system.total_tdp(),
+        spec.figure_of_merit,
         spec.parasitic_coeff,
-    )?)
+    )
 }
 
 /// Runs the mission analysis for a system.

@@ -1,0 +1,1411 @@
+//! The composable DSE query API: typed objectives, constraints and knob
+//! sweeps over the exploration engine.
+//!
+//! [`Engine::explore_all`](crate::dse::Engine::explore_all) hardcodes one
+//! objective set — the (safe velocity, TDP, payload) Pareto. This module
+//! makes the exploration *expressible*: a [`Query`] names what to
+//! optimize ([`Objective`]), what to filter ([`Constraint`]), and which
+//! continuous Table II knob ranges to sweep around each discrete
+//! candidate ([`KnobSweep`]), then compiles to a single batched pass over
+//! the engine's id-interned enumeration. Frontiers come from
+//! [`crate::frontier`]'s O(n log n) skyline, so synthetic 10⁵–10⁶-part
+//! catalogs ([`Catalog::synthesize`](f1_components::Catalog::synthesize))
+//! are explored in seconds.
+//!
+//! ```
+//! use f1_components::{names, Catalog};
+//! use f1_skyline::dse::Engine;
+//! use f1_skyline::query::{Constraint, Knob, KnobSweep, Objective};
+//! use f1_units::Watts;
+//!
+//! let catalog = Catalog::paper();
+//! let engine = Engine::new(&catalog);
+//! let result = engine
+//!     .query()
+//!     .objectives(&[
+//!         Objective::SafeVelocity,
+//!         Objective::TotalTdp,
+//!         Objective::PayloadMass,
+//!         Objective::MissionEnergyWhPerKm,
+//!     ])
+//!     .constraint(Constraint::MaxTotalTdp(Watts::new(20.0)))
+//!     .sweep(KnobSweep::new(Knob::TdpScale, vec![1.0, 0.5]))
+//!     .run()?;
+//! assert!(!result.frontier().is_empty());
+//! # Ok::<(), f1_skyline::SkylineError>(())
+//! ```
+
+use std::collections::BTreeMap;
+
+use f1_components::{
+    Airframe, AirframeId, AlgorithmId, BatteryId, ComputeId, ComputePlatform, Sensor, SensorId,
+};
+use f1_model::mission::{hover_endurance, PowerModel};
+use f1_model::ModelError;
+use f1_units::{Grams, Hertz, Meters, MetersPerSecond, Watts};
+
+use crate::dse::{Candidate, DseOutcome, DseResult, Engine, Outcome};
+use crate::frontier;
+use crate::sweep::parallel_map_chunked;
+use crate::SkylineError;
+
+pub use crate::mission::SENSOR_STACK_POWER_W;
+
+/// One optimization axis of a query.
+///
+/// The first objective of a query is its **primary** objective: ranked
+/// reports ([`QueryResult::ranked`], [`Engine::describe_query`]) sort by
+/// it. Frontiers treat all objectives simultaneously.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Objective {
+    /// F-1 safe velocity (m/s) — maximize.
+    SafeVelocity,
+    /// Combined compute TDP (W) — minimize.
+    TotalTdp,
+    /// Total payload mass including heatsink (g) — minimize.
+    PayloadMass,
+    /// Cruise energy per kilometre (Wh/km) at the achieved safe velocity,
+    /// from the momentum-theory power model of [`crate::mission`] —
+    /// minimize. Infeasible builds score `+∞` and never reach a frontier.
+    MissionEnergyWhPerKm,
+    /// Hover endurance (minutes) on the query's battery — maximize.
+    /// Requires [`Query::battery`]; infeasible builds score zero.
+    HoverEnduranceMin,
+}
+
+impl Objective {
+    /// Every objective, in the order used by reports.
+    pub const ALL: [Self; 5] = [
+        Self::SafeVelocity,
+        Self::TotalTdp,
+        Self::PayloadMass,
+        Self::MissionEnergyWhPerKm,
+        Self::HoverEnduranceMin,
+    ];
+
+    /// Whether bigger values are better (`false`: smaller is better).
+    #[must_use]
+    pub fn maximize(self) -> bool {
+        matches!(self, Self::SafeVelocity | Self::HoverEnduranceMin)
+    }
+
+    /// Short human label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::SafeVelocity => "velocity",
+            Self::TotalTdp => "tdp",
+            Self::PayloadMass => "payload",
+            Self::MissionEnergyWhPerKm => "energy",
+            Self::HoverEnduranceMin => "endurance",
+        }
+    }
+
+    /// The unit the objective's values are reported in.
+    #[must_use]
+    pub fn unit(self) -> &'static str {
+        match self {
+            Self::SafeVelocity => "m/s",
+            Self::TotalTdp => "W",
+            Self::PayloadMass => "g",
+            Self::MissionEnergyWhPerKm => "Wh/km",
+            Self::HoverEnduranceMin => "min",
+        }
+    }
+}
+
+impl core::fmt::Display for Objective {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for Objective {
+    type Err = String;
+
+    /// Parses the CLI spellings: `velocity`/`vsafe`, `tdp`/`power`,
+    /// `payload`/`mass`, `energy`, `endurance`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "velocity" | "vsafe" | "safe-velocity" => Ok(Self::SafeVelocity),
+            "tdp" | "power" => Ok(Self::TotalTdp),
+            "payload" | "mass" => Ok(Self::PayloadMass),
+            "energy" | "wh-per-km" => Ok(Self::MissionEnergyWhPerKm),
+            "endurance" | "hover-endurance" => Ok(Self::HoverEnduranceMin),
+            other => Err(format!(
+                "unknown objective {other:?} (try velocity, tdp, payload, energy, endurance)"
+            )),
+        }
+    }
+}
+
+/// A hard filter applied to every evaluated candidate before ranking and
+/// frontier computation. Filtered candidates are counted in
+/// [`QueryResult::dropped`], not returned.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum Constraint {
+    /// Keep builds achieving at least this safe velocity (also drops
+    /// infeasible builds, whose velocity is zero).
+    MinVelocity(MetersPerSecond),
+    /// Keep builds whose combined compute TDP is at most this.
+    MaxTotalTdp(Watts),
+    /// Keep builds whose payload (incl. heatsink) is at most this.
+    MaxPayload(Grams),
+    /// Keep only builds that can hover.
+    FeasibleOnly,
+}
+
+impl Constraint {
+    /// Does this outcome satisfy the constraint?
+    #[must_use]
+    pub fn admits(&self, outcome: &Outcome) -> bool {
+        match *self {
+            Self::MinVelocity(v) => outcome.velocity >= v,
+            Self::MaxTotalTdp(w) => outcome.total_tdp <= w,
+            Self::MaxPayload(g) => outcome.payload <= g,
+            Self::FeasibleOnly => outcome.feasible,
+        }
+    }
+}
+
+/// A continuous knob from paper Table II, swept *around* each discrete
+/// catalog candidate (the §VI-A "what-if" generalized).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Knob {
+    /// Multiply the platform TDP (throughput unchanged, heatsink resized
+    /// — the paper's AGX 30 W → 15 W study is `TdpScale` at 0.5).
+    TdpScale,
+    /// Multiply the sensor frame rate.
+    SensorRateScale,
+    /// Multiply the sensor range.
+    SensorRangeScale,
+    /// Add extra payload mass in grams (cargo, ballast). Values must be
+    /// ≥ 0: the build's own parts and the mounted battery cannot be
+    /// shed by a sweep (shedding battery mass while its energy still
+    /// backs the endurance objective would fabricate impossible
+    /// frontier points; use [`Knob::TdpScale`] for the
+    /// heatsink-shedding what-if).
+    PayloadDelta,
+}
+
+impl Knob {
+    /// The paper Table II parameter this knob corresponds to.
+    #[must_use]
+    pub fn table2_parameter(self) -> &'static str {
+        match self {
+            Self::TdpScale => "Compute TDP",
+            Self::SensorRateScale => "Sensor Framerate",
+            Self::SensorRangeScale => "Sensor Range",
+            Self::PayloadDelta => "Payload Weight",
+        }
+    }
+}
+
+/// One swept knob with its values. Multiple sweeps combine as a
+/// cartesian product; sweeps of the same knob compose (scales multiply,
+/// deltas add).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnobSweep {
+    knob: Knob,
+    values: Vec<f64>,
+}
+
+impl KnobSweep {
+    /// A sweep over explicit values (scale factors, or gram deltas for
+    /// [`Knob::PayloadDelta`]). Include `1.0` (or `0.0` for deltas) to
+    /// keep the unmodified candidate in the result set.
+    #[must_use]
+    pub fn new(knob: Knob, values: Vec<f64>) -> Self {
+        Self { knob, values }
+    }
+
+    /// A sweep over `steps` evenly spaced values in `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps < 2` or the interval is not ordered.
+    #[must_use]
+    pub fn linear(knob: Knob, lo: f64, hi: f64, steps: usize) -> Self {
+        assert!(steps >= 2, "need at least two sweep steps");
+        assert!(lo < hi, "sweep interval must be ordered");
+        let values = (0..steps)
+            .map(|i| lo + (hi - lo) * i as f64 / (steps - 1) as f64)
+            .collect();
+        Self { knob, values }
+    }
+
+    /// The swept knob.
+    #[must_use]
+    pub fn knob(&self) -> Knob {
+        self.knob
+    }
+
+    /// The swept values.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    fn validate(&self) -> Result<(), SkylineError> {
+        let out_of_domain = |value: f64, expected: &'static str| {
+            SkylineError::Model(ModelError::OutOfDomain {
+                parameter: "knob sweep value",
+                value,
+                expected,
+            })
+        };
+        if self.values.is_empty() {
+            return Err(out_of_domain(f64::NAN, "at least one sweep value"));
+        }
+        for &v in &self.values {
+            match self.knob {
+                Knob::TdpScale | Knob::SensorRateScale | Knob::SensorRangeScale => {
+                    if !(v.is_finite() && v > 0.0) {
+                        return Err(out_of_domain(v, "finite scale factor > 0"));
+                    }
+                }
+                Knob::PayloadDelta => {
+                    // Negative deltas are rejected outright: there is no
+                    // baseline cargo to shed, so a negative value could
+                    // only erase part or battery mass while objectives
+                    // (hover endurance) kept crediting the full battery
+                    // energy — a physically impossible frontier point.
+                    if !(v.is_finite() && v >= 0.0) {
+                        return Err(out_of_domain(v, "finite payload delta >= 0 (g)"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The resolved knob values one evaluated point was produced under.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KnobSetting {
+    /// TDP scale factor (1 = stock).
+    pub tdp_scale: f64,
+    /// Sensor frame-rate scale factor (1 = stock).
+    pub sensor_rate_scale: f64,
+    /// Sensor range scale factor (1 = stock).
+    pub sensor_range_scale: f64,
+    /// Extra payload mass (0 = stock; the query's battery, if any, is
+    /// accounted separately).
+    pub payload_delta: Grams,
+}
+
+impl KnobSetting {
+    /// The stock, unswept setting.
+    pub const IDENTITY: Self = Self {
+        tdp_scale: 1.0,
+        sensor_rate_scale: 1.0,
+        sensor_range_scale: 1.0,
+        payload_delta: Grams::ZERO,
+    };
+
+    /// Is this the stock setting?
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        *self == Self::IDENTITY
+    }
+
+    fn apply(mut self, knob: Knob, value: f64) -> Self {
+        match knob {
+            Knob::TdpScale => self.tdp_scale *= value,
+            Knob::SensorRateScale => self.sensor_rate_scale *= value,
+            Knob::SensorRangeScale => self.sensor_range_scale *= value,
+            Knob::PayloadDelta => {
+                self.payload_delta = Grams::new(self.payload_delta.get() + value);
+            }
+        }
+        self
+    }
+}
+
+/// Parameters of the cruise/hover power model used by the energy
+/// objectives; defaults match [`crate::mission::MissionSpec::over`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MissionProfile {
+    /// Hover figure of merit for the momentum-theory power estimate.
+    pub figure_of_merit: f64,
+    /// Parasitic power coefficient, W/(m/s)³.
+    pub parasitic_coeff: f64,
+    /// Usable battery fraction (depth-of-discharge guard).
+    pub battery_reserve: f64,
+}
+
+impl Default for MissionProfile {
+    fn default() -> Self {
+        Self {
+            figure_of_merit: crate::mission::DEFAULT_FIGURE_OF_MERIT,
+            parasitic_coeff: crate::mission::DEFAULT_PARASITIC_COEFF,
+            battery_reserve: crate::mission::DEFAULT_BATTERY_RESERVE,
+        }
+    }
+}
+
+impl MissionProfile {
+    fn validate(&self) -> Result<(), SkylineError> {
+        let out_of_domain = |parameter, value, expected| {
+            SkylineError::Model(ModelError::OutOfDomain {
+                parameter,
+                value,
+                expected,
+            })
+        };
+        if !(self.figure_of_merit.is_finite()
+            && self.figure_of_merit > 0.0
+            && self.figure_of_merit <= 1.0)
+        {
+            return Err(out_of_domain(
+                "figure of merit",
+                self.figure_of_merit,
+                "0 < FoM <= 1",
+            ));
+        }
+        if !(self.parasitic_coeff.is_finite() && self.parasitic_coeff >= 0.0) {
+            return Err(out_of_domain(
+                "parasitic coeff",
+                self.parasitic_coeff,
+                "finite and >= 0",
+            ));
+        }
+        if !(self.battery_reserve.is_finite()
+            && self.battery_reserve > 0.0
+            && self.battery_reserve <= 1.0)
+        {
+            return Err(out_of_domain(
+                "battery reserve",
+                self.battery_reserve,
+                "0 < reserve <= 1",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One evaluated point of a query: a discrete candidate, the knob
+/// setting it was evaluated under, and its outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryPoint {
+    /// The airframe the build flies on.
+    pub airframe: AirframeId,
+    /// The discrete catalog candidate (stock throughput/ids; the knob
+    /// setting describes how the parts were modified).
+    pub candidate: Candidate,
+    /// The knob setting this point was evaluated under.
+    pub setting: KnobSetting,
+    /// The F-1 outcome.
+    pub outcome: Outcome,
+}
+
+/// The result of running a [`Query`]: every evaluated point that passed
+/// the constraints, its objective values, and the Pareto frontier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    objectives: Vec<Objective>,
+    points: Vec<QueryPoint>,
+    /// Row-major `points.len() × objectives.len()` objective values, in
+    /// each objective's natural (unnegated) unit.
+    values: Vec<f64>,
+    frontier: Vec<usize>,
+    uncharacterized: usize,
+    dropped: usize,
+}
+
+impl QueryResult {
+    /// The query's objectives, primary first.
+    #[must_use]
+    pub fn objectives(&self) -> &[Objective] {
+        &self.objectives
+    }
+
+    /// Every evaluated point that passed the constraints, in
+    /// deterministic enumeration order (airframe-major, then knob
+    /// setting, then sensor × compute × algorithm in name order).
+    #[must_use]
+    pub fn points(&self) -> &[QueryPoint] {
+        &self.points
+    }
+
+    /// The objective values of point `index`, aligned with
+    /// [`objectives`](Self::objectives).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn values(&self, index: usize) -> &[f64] {
+        let k = self.objectives.len();
+        &self.values[index * k..(index + 1) * k]
+    }
+
+    /// Indices (into [`points`](Self::points)) of the Pareto frontier
+    /// over all objectives jointly, ascending. Only feasible points with
+    /// finite objective values participate.
+    #[must_use]
+    pub fn frontier(&self) -> &[usize] {
+        &self.frontier
+    }
+
+    /// The frontier as points, in enumeration order.
+    pub fn frontier_points(&self) -> impl Iterator<Item = &QueryPoint> {
+        self.frontier.iter().map(|&i| &self.points[i])
+    }
+
+    /// Indices of all points ranked best-first: feasible before
+    /// infeasible, then by the **primary** (first) objective; ties keep
+    /// enumeration order.
+    #[must_use]
+    pub fn ranked(&self) -> Vec<usize> {
+        let primary = self.objectives[0];
+        let k = self.objectives.len();
+        let mut order: Vec<usize> = (0..self.points.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.points[b]
+                .outcome
+                .feasible
+                .cmp(&self.points[a].outcome.feasible)
+                .then_with(|| {
+                    let (va, vb) = (self.values[a * k], self.values[b * k]);
+                    if primary.maximize() {
+                        vb.total_cmp(&va)
+                    } else {
+                        va.total_cmp(&vb)
+                    }
+                })
+        });
+        order
+    }
+
+    /// The best feasible point by the primary objective, if any.
+    #[must_use]
+    pub fn best(&self) -> Option<&QueryPoint> {
+        self.ranked()
+            .first()
+            .map(|&i| &self.points[i])
+            .filter(|p| p.outcome.feasible)
+    }
+
+    /// Sensor × compute × algorithm combinations skipped **per airframe
+    /// and knob setting** because the platform × algorithm pair was never
+    /// characterized.
+    #[must_use]
+    pub fn uncharacterized(&self) -> usize {
+        self.uncharacterized
+    }
+
+    /// Number of evaluated points rejected by the query's constraints.
+    #[must_use]
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+
+    /// The frontier's input domain: minimized objective-key rows
+    /// (maximize objectives negated) for every feasible point with
+    /// finite values, plus the map from key-row position back to the
+    /// index in [`points`](Self::points). This is exactly what
+    /// [`frontier`](Self::frontier) was computed from — benchmarks and
+    /// tests that compare skyline algorithms against the naive scan
+    /// should extract keys through here so they keep measuring the
+    /// production path.
+    #[must_use]
+    pub fn minimized_keys(&self) -> (Vec<f64>, Vec<usize>) {
+        let k = self.objectives.len();
+        let mut keys = Vec::new();
+        let mut map = Vec::new();
+        for (i, point) in self.points.iter().enumerate() {
+            if !point.outcome.feasible {
+                continue;
+            }
+            let row = &self.values[i * k..(i + 1) * k];
+            if row.iter().any(|v| !v.is_finite()) {
+                continue;
+            }
+            map.push(i);
+            keys.extend(
+                row.iter()
+                    .zip(&self.objectives)
+                    .map(|(&v, o)| if o.maximize() { -v } else { v }),
+            );
+        }
+        (keys, map)
+    }
+}
+
+/// Pre-built component variants for one knob setting, indexed by
+/// position in the query's resolved sensor/compute lists.
+struct VariantParts {
+    sensors: Vec<Sensor>,
+    computes: Vec<ComputePlatform>,
+    extra_payload: Grams,
+}
+
+/// An indexed candidate: the public [`Candidate`] plus positions into
+/// the query's resolved lists (for variant lookup without id → position
+/// maps in the hot loop).
+#[derive(Clone, Copy)]
+struct IndexedCandidate {
+    candidate: Candidate,
+    sensor_pos: u32,
+    compute_pos: u32,
+}
+
+/// A builder-style, composable design-space query over an [`Engine`].
+///
+/// Construct with [`Engine::query`]; see the [module docs](self) for a
+/// full example. With no explicit objectives, constraints or sweeps, a
+/// query reproduces the engine's classic 3-objective exploration —
+/// [`Engine::explore_all`] is literally a default query.
+#[derive(Debug, Clone)]
+pub struct Query<'e, 'c> {
+    engine: &'e Engine<'c>,
+    objectives: Vec<Objective>,
+    constraints: Vec<Constraint>,
+    sweeps: Vec<KnobSweep>,
+    airframes: Option<Vec<AirframeId>>,
+    sensors: Option<Vec<SensorId>>,
+    computes: Option<Vec<ComputeId>>,
+    algorithms: Option<Vec<AlgorithmId>>,
+    battery: Option<BatteryId>,
+    profile: MissionProfile,
+}
+
+/// The objectives a query with none specified runs under — the engine's
+/// classic (velocity ↑, TDP ↓, payload ↓) Pareto.
+pub const DEFAULT_OBJECTIVES: [Objective; 3] = [
+    Objective::SafeVelocity,
+    Objective::TotalTdp,
+    Objective::PayloadMass,
+];
+
+impl<'e, 'c> Query<'e, 'c> {
+    pub(crate) fn new(engine: &'e Engine<'c>) -> Self {
+        Self {
+            engine,
+            objectives: Vec::new(),
+            constraints: Vec::new(),
+            sweeps: Vec::new(),
+            airframes: None,
+            sensors: None,
+            computes: None,
+            algorithms: None,
+            battery: None,
+            profile: MissionProfile::default(),
+        }
+    }
+
+    /// Appends one objective (the first appended is the primary).
+    #[must_use]
+    pub fn objective(mut self, objective: Objective) -> Self {
+        self.objectives.push(objective);
+        self
+    }
+
+    /// Replaces the objective list (first entry is the primary).
+    #[must_use]
+    pub fn objectives(mut self, objectives: &[Objective]) -> Self {
+        self.objectives = objectives.to_vec();
+        self
+    }
+
+    /// Adds a hard constraint.
+    #[must_use]
+    pub fn constraint(mut self, constraint: Constraint) -> Self {
+        self.constraints.push(constraint);
+        self
+    }
+
+    /// Adds a knob sweep (cartesian product with any earlier sweeps).
+    #[must_use]
+    pub fn sweep(mut self, sweep: KnobSweep) -> Self {
+        self.sweeps.push(sweep);
+        self
+    }
+
+    /// Restricts the query to these airframes (default: all).
+    #[must_use]
+    pub fn airframes(mut self, ids: &[AirframeId]) -> Self {
+        self.airframes = Some(ids.to_vec());
+        self
+    }
+
+    /// Restricts the query to these sensors (default: all).
+    #[must_use]
+    pub fn sensors(mut self, ids: &[SensorId]) -> Self {
+        self.sensors = Some(ids.to_vec());
+        self
+    }
+
+    /// Restricts the query to these compute platforms (default: all).
+    #[must_use]
+    pub fn computes(mut self, ids: &[ComputeId]) -> Self {
+        self.computes = Some(ids.to_vec());
+        self
+    }
+
+    /// Restricts the query to these algorithms (default: all).
+    #[must_use]
+    pub fn algorithms(mut self, ids: &[AlgorithmId]) -> Self {
+        self.algorithms = Some(ids.to_vec());
+        self
+    }
+
+    /// Mounts a battery on every candidate: its mass joins the payload,
+    /// and [`Objective::HoverEnduranceMin`] draws on its capacity.
+    #[must_use]
+    pub fn battery(mut self, id: BatteryId) -> Self {
+        self.battery = Some(id);
+        self
+    }
+
+    /// Overrides the power-model parameters of the energy objectives.
+    #[must_use]
+    pub fn mission_profile(mut self, profile: MissionProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// The objectives this query will run under (the default set if none
+    /// were specified, deduplicated preserving first occurrence).
+    #[must_use]
+    pub fn resolved_objectives(&self) -> Vec<Objective> {
+        let mut out: Vec<Objective> = Vec::new();
+        let source: &[Objective] = if self.objectives.is_empty() {
+            &DEFAULT_OBJECTIVES
+        } else {
+            &self.objectives
+        };
+        for &o in source {
+            if !out.contains(&o) {
+                out.push(o);
+            }
+        }
+        out
+    }
+
+    fn expand_settings(&self) -> Result<Vec<KnobSetting>, SkylineError> {
+        let mut out = vec![KnobSetting::IDENTITY];
+        for sweep in &self.sweeps {
+            sweep.validate()?;
+            let mut next = Vec::with_capacity(out.len() * sweep.values.len());
+            for setting in &out {
+                for &value in &sweep.values {
+                    next.push(setting.apply(sweep.knob, value));
+                }
+            }
+            out = next;
+        }
+        Ok(out)
+    }
+
+    /// Builds the per-setting component variants.
+    fn build_variants(
+        &self,
+        sensors: &[SensorId],
+        computes: &[ComputeId],
+        settings: &[KnobSetting],
+    ) -> Result<Vec<VariantParts>, SkylineError> {
+        let catalog = self.engine.catalog();
+        let battery_mass = self
+            .battery
+            .map_or(0.0, |id| catalog.battery_by_id(id).mass().get());
+        settings
+            .iter()
+            .map(|setting| {
+                let sensors = sensors
+                    .iter()
+                    .map(|&id| {
+                        let s = catalog.sensor_by_id(id);
+                        if setting.sensor_rate_scale == 1.0 && setting.sensor_range_scale == 1.0 {
+                            Ok(s.clone())
+                        } else {
+                            Sensor::new(
+                                s.name(),
+                                s.modality(),
+                                Hertz::new(s.frame_rate().get() * setting.sensor_rate_scale),
+                                Meters::new(s.range().get() * setting.sensor_range_scale),
+                                s.mass(),
+                            )
+                            .map_err(SkylineError::from)
+                        }
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                let computes = computes
+                    .iter()
+                    .map(|&id| {
+                        let c = catalog.compute_by_id(id);
+                        if setting.tdp_scale == 1.0 {
+                            Ok(c.clone())
+                        } else {
+                            c.with_tdp_scaled(setting.tdp_scale)
+                                .map_err(SkylineError::from)
+                        }
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(VariantParts {
+                    sensors,
+                    computes,
+                    extra_payload: Grams::new(battery_mass + setting.payload_delta.get()),
+                })
+            })
+            .collect()
+    }
+
+    /// The momentum-theory power model for one evaluated point — the
+    /// same parts-level derivation
+    /// ([`mission::power_model_for_parts`](crate::mission::power_model_for_parts))
+    /// that backs [`crate::mission::derive_power_model`].
+    fn power_model(
+        &self,
+        airframe: &Airframe,
+        outcome: &Outcome,
+    ) -> Result<PowerModel, SkylineError> {
+        crate::mission::power_model_for_parts(
+            airframe,
+            airframe.takeoff_mass(outcome.payload),
+            outcome.total_tdp,
+            self.profile.figure_of_merit,
+            self.profile.parasitic_coeff,
+        )
+    }
+
+    /// Compiles and runs the query: one batched parallel pass over every
+    /// airframe × knob setting × characterized candidate, followed by
+    /// constraint filtering, objective extraction and the O(n log n)
+    /// frontier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SkylineError::IncompleteSystem`] when
+    /// [`Objective::HoverEnduranceMin`] is requested without a
+    /// [`battery`](Self::battery), [`SkylineError::Model`] for invalid
+    /// sweep values or mission-profile parameters, and propagates the
+    /// first evaluation error. Infeasible builds are outcomes, not
+    /// errors.
+    pub fn run(&self) -> Result<QueryResult, SkylineError> {
+        self.run_impl(true)
+    }
+
+    /// [`run`](Self::run) without the frontier pass, for the classic
+    /// `explore_*` wrappers that only re-rank points and would discard
+    /// it ([`Exploration::pareto_frontier`](crate::dse::Exploration)
+    /// computes its own on demand). The returned result's `frontier()`
+    /// is empty.
+    pub(crate) fn run_without_frontier(&self) -> Result<QueryResult, SkylineError> {
+        self.run_impl(false)
+    }
+
+    fn run_impl(&self, with_frontier: bool) -> Result<QueryResult, SkylineError> {
+        let objectives = self.resolved_objectives();
+        self.profile.validate()?;
+        if objectives.contains(&Objective::HoverEnduranceMin) && self.battery.is_none() {
+            return Err(SkylineError::IncompleteSystem {
+                missing: "battery (the hover-endurance objective needs one)",
+            });
+        }
+        let settings = self.expand_settings()?;
+        let catalog = self.engine.catalog();
+
+        let airframes = self
+            .airframes
+            .clone()
+            .unwrap_or_else(|| self.engine.airframe_ids().to_vec());
+        let sensors = self
+            .sensors
+            .clone()
+            .unwrap_or_else(|| self.engine.sensor_ids().to_vec());
+        let computes = self
+            .computes
+            .clone()
+            .unwrap_or_else(|| self.engine.compute_ids().to_vec());
+        let algorithms = self
+            .algorithms
+            .clone()
+            .unwrap_or_else(|| self.engine.algorithm_ids().to_vec());
+
+        // Same nesting order as Engine::candidates, so a default query
+        // enumerates identically to the classic exploration.
+        let mut candidates: Vec<IndexedCandidate> = Vec::new();
+        for (sensor_pos, &sensor) in sensors.iter().enumerate() {
+            for (compute_pos, &compute) in computes.iter().enumerate() {
+                for &algorithm in &algorithms {
+                    if let Some(throughput) = self.engine.table().get(compute, algorithm) {
+                        candidates.push(IndexedCandidate {
+                            candidate: Candidate {
+                                sensor,
+                                compute,
+                                algorithm,
+                                throughput,
+                            },
+                            sensor_pos: sensor_pos as u32,
+                            compute_pos: compute_pos as u32,
+                        });
+                    }
+                }
+            }
+        }
+        let uncharacterized = sensors.len() * computes.len() * algorithms.len() - candidates.len();
+
+        let variants = self.build_variants(&sensors, &computes, &settings)?;
+        let airframe_refs: Vec<&Airframe> = airframes
+            .iter()
+            .map(|&id| catalog.airframe_by_id(id))
+            .collect();
+
+        // Airframe-major job order (then setting, then candidate) — the
+        // explore_all compatibility wrapper relies on this layout.
+        let mut jobs: Vec<(u32, u32, u32)> =
+            Vec::with_capacity(airframes.len() * settings.len() * candidates.len());
+        for airframe_pos in 0..airframes.len() as u32 {
+            for setting_pos in 0..settings.len() as u32 {
+                for candidate_pos in 0..candidates.len() as u32 {
+                    jobs.push((airframe_pos, setting_pos, candidate_pos));
+                }
+            }
+        }
+
+        let evaluated = parallel_map_chunked(
+            jobs,
+            self.engine.chunk_size(),
+            |&(airframe_pos, setting_pos, candidate_pos)| {
+                let indexed = &candidates[candidate_pos as usize];
+                let parts = &variants[setting_pos as usize];
+                let outcome = self.engine.evaluate_parts_loaded(
+                    airframe_refs[airframe_pos as usize],
+                    &parts.sensors[indexed.sensor_pos as usize],
+                    &parts.computes[indexed.compute_pos as usize],
+                    indexed.candidate.throughput,
+                    parts.extra_payload,
+                );
+                ((airframe_pos, setting_pos, candidate_pos), outcome)
+            },
+        );
+
+        let mut points = Vec::with_capacity(evaluated.len());
+        let mut dropped = 0usize;
+        for ((airframe_pos, setting_pos, candidate_pos), outcome) in evaluated {
+            let outcome = outcome?;
+            if self.constraints.iter().all(|c| c.admits(&outcome)) {
+                points.push(QueryPoint {
+                    airframe: airframes[airframe_pos as usize],
+                    candidate: candidates[candidate_pos as usize].candidate,
+                    setting: settings[setting_pos as usize],
+                    outcome,
+                });
+            } else {
+                dropped += 1;
+            }
+        }
+
+        let values = self.objective_values(&objectives, &points)?;
+        let mut result = QueryResult {
+            objectives,
+            points,
+            values,
+            frontier: Vec::new(),
+            uncharacterized,
+            dropped,
+        };
+        if with_frontier {
+            let (keys, map) = result.minimized_keys();
+            result.frontier = frontier::pareto_min(result.objectives.len(), &keys)
+                .into_iter()
+                .map(|i| map[i])
+                .collect();
+        }
+        Ok(result)
+    }
+
+    fn objective_values(
+        &self,
+        objectives: &[Objective],
+        points: &[QueryPoint],
+    ) -> Result<Vec<f64>, SkylineError> {
+        let catalog = self.engine.catalog();
+        let needs_power = objectives.iter().any(|o| {
+            matches!(
+                o,
+                Objective::MissionEnergyWhPerKm | Objective::HoverEnduranceMin
+            )
+        });
+        let battery_wh = self
+            .battery
+            .map(|id| catalog.battery_by_id(id).energy_watt_hours());
+        let mut values = Vec::with_capacity(points.len() * objectives.len());
+        for point in points {
+            let power = if needs_power && point.outcome.feasible {
+                Some(self.power_model(catalog.airframe_by_id(point.airframe), &point.outcome)?)
+            } else {
+                None
+            };
+            for &objective in objectives {
+                values.push(match objective {
+                    Objective::SafeVelocity => point.outcome.velocity.get(),
+                    Objective::TotalTdp => point.outcome.total_tdp.get(),
+                    Objective::PayloadMass => point.outcome.payload.get(),
+                    Objective::MissionEnergyWhPerKm => match &power {
+                        Some(p) if point.outcome.velocity.get() > 0.0 => {
+                            let v = point.outcome.velocity;
+                            p.power_at(v).get() * (1000.0 / v.get()) / 3600.0
+                        }
+                        _ => f64::INFINITY,
+                    },
+                    Objective::HoverEnduranceMin => match &power {
+                        Some(p) => {
+                            let wh = battery_wh
+                                .expect("run() rejects endurance queries without a battery");
+                            hover_endurance(p, wh, self.profile.battery_reserve)?.get()
+                        }
+                        None => 0.0,
+                    },
+                });
+            }
+        }
+        Ok(values)
+    }
+}
+
+impl<'c> Engine<'c> {
+    /// Starts a composable design-space query over this engine's catalog.
+    /// See the [`query`](self) module docs for the full API.
+    #[must_use]
+    pub fn query(&self) -> Query<'_, 'c> {
+        Query::new(self)
+    }
+
+    /// Renders a query result into the string-keyed [`DseResult`]
+    /// compatibility view, one per airframe (in airframe-name order),
+    /// each ranked by the query's **primary objective** — feasible
+    /// first, ties in enumeration order.
+    #[must_use]
+    pub fn describe_query(&self, result: &QueryResult) -> Vec<DseResult> {
+        let catalog = self.catalog();
+        let mut groups: BTreeMap<AirframeId, Vec<usize>> = BTreeMap::new();
+        for index in result.ranked() {
+            groups
+                .entry(result.points()[index].airframe)
+                .or_default()
+                .push(index);
+        }
+        self.airframe_ids()
+            .iter()
+            .filter_map(|id| groups.get(id).map(|indices| (id, indices)))
+            .map(|(&airframe, indices)| DseResult {
+                airframe: catalog.airframe_by_id(airframe).name().to_owned(),
+                ranked: indices
+                    .iter()
+                    .map(|&i| {
+                        let point = &result.points()[i];
+                        DseOutcome {
+                            sensor: catalog
+                                .sensor_by_id(point.candidate.sensor)
+                                .name()
+                                .to_owned(),
+                            compute: catalog
+                                .compute_by_id(point.candidate.compute)
+                                .name()
+                                .to_owned(),
+                            algorithm: catalog
+                                .algorithm_by_id(point.candidate.algorithm)
+                                .name()
+                                .to_owned(),
+                            velocity: point.outcome.velocity,
+                            bound: point.outcome.bound,
+                            feasible: point.outcome.feasible,
+                        }
+                    })
+                    .collect(),
+                uncharacterized: result.uncharacterized(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f1_components::{names, Catalog};
+
+    #[test]
+    fn default_query_matches_classic_exploration() {
+        let catalog = Catalog::paper();
+        let engine = Engine::new(&catalog);
+        let result = engine.query().run().unwrap();
+        let classic = engine.explore_all().unwrap();
+        assert_eq!(result.points().len(), classic.evaluated_count());
+        assert_eq!(result.objectives(), DEFAULT_OBJECTIVES);
+        // Identical frontier membership (order differs: the classic API
+        // reports in (airframe, rank) order, the query in enumeration
+        // order).
+        let classic_frontier = classic.pareto_frontier();
+        assert_eq!(result.frontier().len(), classic_frontier.len());
+        for point in result.frontier_points() {
+            assert!(classic_frontier.iter().any(|p| {
+                p.airframe == point.airframe
+                    && *p.evaluated
+                        == crate::dse::Evaluated {
+                            candidate: point.candidate,
+                            outcome: point.outcome,
+                        }
+            }));
+        }
+    }
+
+    #[test]
+    fn constraints_filter_and_count() {
+        let catalog = Catalog::paper();
+        let engine = Engine::new(&catalog);
+        let all = engine.query().run().unwrap();
+        let constrained = engine
+            .query()
+            .constraint(Constraint::MaxTotalTdp(Watts::new(5.0)))
+            .constraint(Constraint::FeasibleOnly)
+            .run()
+            .unwrap();
+        assert!(constrained.points().len() < all.points().len());
+        assert_eq!(
+            constrained.points().len() + constrained.dropped(),
+            all.points().len()
+        );
+        for point in constrained.points() {
+            assert!(point.outcome.feasible);
+            assert!(point.outcome.total_tdp.get() <= 5.0);
+        }
+    }
+
+    #[test]
+    fn min_velocity_drops_infeasible() {
+        let catalog = Catalog::paper();
+        let engine = Engine::new(&catalog);
+        let result = engine
+            .query()
+            .constraint(Constraint::MinVelocity(MetersPerSecond::new(0.1)))
+            .run()
+            .unwrap();
+        assert!(result.points().iter().all(|p| p.outcome.feasible));
+    }
+
+    #[test]
+    fn tdp_sweep_reproduces_parts_level_what_if() {
+        // The §VI-A AGX 30 W → 15 W study as a knob sweep: identical
+        // arithmetic to the hand-built evaluate_parts path.
+        let catalog = Catalog::paper();
+        let engine = Engine::new(&catalog);
+        let spark = catalog.airframe_id(names::DJI_SPARK).unwrap();
+        let result = engine
+            .query()
+            .airframes(&[spark])
+            .sensors(&[catalog.sensor_id(names::RGB_60).unwrap()])
+            .computes(&[catalog.compute_id(names::AGX).unwrap()])
+            .algorithms(&[catalog.algorithm_id(names::DRONET).unwrap()])
+            .sweep(KnobSweep::new(Knob::TdpScale, vec![1.0, 0.5]))
+            .run()
+            .unwrap();
+        assert_eq!(result.points().len(), 2);
+        let stock = &result.points()[0];
+        let halved = &result.points()[1];
+        assert!(stock.setting.is_identity());
+        assert_eq!(halved.setting.tdp_scale, 0.5);
+        let manual = engine
+            .evaluate_parts(
+                catalog.airframe(names::DJI_SPARK).unwrap(),
+                catalog.sensor(names::RGB_60).unwrap(),
+                &catalog
+                    .compute(names::AGX)
+                    .unwrap()
+                    .with_tdp_scaled(0.5)
+                    .unwrap(),
+                catalog.throughput(names::AGX, names::DRONET).unwrap(),
+            )
+            .unwrap();
+        assert_eq!(halved.outcome, manual);
+        assert!(halved.outcome.payload < stock.outcome.payload);
+    }
+
+    #[test]
+    fn payload_delta_and_range_sweeps_shift_outcomes() {
+        let catalog = Catalog::paper();
+        let engine = Engine::new(&catalog);
+        let pelican = catalog.airframe_id(names::ASCTEC_PELICAN).unwrap();
+        let result = engine
+            .query()
+            .airframes(&[pelican])
+            .sweep(KnobSweep::new(Knob::PayloadDelta, vec![0.0, 200.0]))
+            .sweep(KnobSweep::new(Knob::SensorRangeScale, vec![1.0, 2.0]))
+            .run()
+            .unwrap();
+        // 4 settings per candidate.
+        let per_candidate = 4;
+        assert_eq!(result.points().len() % per_candidate, 0);
+        // Extra payload can only lower (or keep) velocity; extra range
+        // can only raise (or keep) it.
+        let base = result
+            .points()
+            .iter()
+            .find(|p| p.setting.is_identity())
+            .unwrap();
+        let heavy = result
+            .points()
+            .iter()
+            .find(|p| {
+                p.candidate == base.candidate
+                    && p.setting.payload_delta.get() == 200.0
+                    && p.setting.sensor_range_scale == 1.0
+            })
+            .unwrap();
+        assert!(heavy.outcome.payload > base.outcome.payload);
+        assert!(heavy.outcome.velocity <= base.outcome.velocity);
+        let far = result
+            .points()
+            .iter()
+            .find(|p| {
+                p.candidate == base.candidate
+                    && p.setting.payload_delta.get() == 0.0
+                    && p.setting.sensor_range_scale == 2.0
+            })
+            .unwrap();
+        assert!(far.outcome.velocity >= base.outcome.velocity);
+    }
+
+    #[test]
+    fn negative_payload_delta_is_rejected_and_cannot_erase_mass() {
+        // Sweeps cannot shed part or battery mass: negative deltas are
+        // rejected up front (there is no baseline cargo to remove, and
+        // partially erasing a mounted battery's mass while endurance
+        // credits its full energy would fabricate impossible frontier
+        // points).
+        let catalog = Catalog::paper();
+        let engine = Engine::new(&catalog);
+        let pelican = catalog.airframe_id(names::ASCTEC_PELICAN).unwrap();
+        let battery = catalog.battery_id(names::BATTERY_PELICAN).unwrap();
+        let err = engine
+            .query()
+            .airframes(&[pelican])
+            .battery(battery)
+            .sweep(KnobSweep::new(Knob::PayloadDelta, vec![-10.0]))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SkylineError::Model(_)));
+
+        // Direct callers of evaluate_parts_loaded get the same floor:
+        // negative extra payload contributes nothing, never less.
+        let spark = catalog.airframe(names::DJI_SPARK).unwrap();
+        let sensor = catalog.sensor(names::RGB_60).unwrap();
+        let ncs = catalog.compute(names::NCS).unwrap();
+        let rate = catalog.throughput(names::NCS, names::DRONET).unwrap();
+        let stock = engine.evaluate_parts(spark, sensor, ncs, rate).unwrap();
+        let shed = engine
+            .evaluate_parts_loaded(spark, sensor, ncs, rate, Grams::new(-10_000.0))
+            .unwrap();
+        assert_eq!(shed.payload, stock.payload);
+    }
+
+    #[test]
+    fn energy_objective_ranks_and_is_finite_for_feasible() {
+        let catalog = Catalog::paper();
+        let engine = Engine::new(&catalog);
+        let result = engine
+            .query()
+            .objectives(&[Objective::MissionEnergyWhPerKm, Objective::SafeVelocity])
+            .constraint(Constraint::FeasibleOnly)
+            .run()
+            .unwrap();
+        assert!(!result.points().is_empty());
+        for i in 0..result.points().len() {
+            let energy = result.values(i)[0];
+            assert!(energy.is_finite() && energy > 0.0);
+        }
+        // Ranked ascending by energy (primary objective, minimized).
+        let ranked = result.ranked();
+        for pair in ranked.windows(2) {
+            assert!(result.values(pair[0])[0] <= result.values(pair[1])[0]);
+        }
+    }
+
+    #[test]
+    fn endurance_objective_needs_and_uses_a_battery() {
+        let catalog = Catalog::paper();
+        let engine = Engine::new(&catalog);
+        let err = engine
+            .query()
+            .objective(Objective::HoverEnduranceMin)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SkylineError::IncompleteSystem { .. }));
+
+        let battery = catalog.battery_id(names::BATTERY_PELICAN).unwrap();
+        let pelican = catalog.airframe_id(names::ASCTEC_PELICAN).unwrap();
+        let result = engine
+            .query()
+            .airframes(&[pelican])
+            .objective(Objective::HoverEnduranceMin)
+            .battery(battery)
+            .constraint(Constraint::FeasibleOnly)
+            .run()
+            .unwrap();
+        assert!(!result.points().is_empty());
+        for i in 0..result.points().len() {
+            let endurance = result.values(i)[0];
+            assert!(endurance.is_finite() && endurance > 0.0);
+            // A Pelican-sized pack hovers a research quad for minutes,
+            // not hours.
+            assert!(endurance < 120.0, "endurance {endurance} min");
+        }
+        // The battery's mass rides along as payload.
+        let unloaded = engine
+            .query()
+            .airframes(&[pelican])
+            .constraint(Constraint::FeasibleOnly)
+            .run()
+            .unwrap();
+        let battery_mass = catalog.battery_by_id(battery).mass().get();
+        let loaded_first = &result.points()[0];
+        let unloaded_match = unloaded
+            .points()
+            .iter()
+            .find(|p| p.candidate == loaded_first.candidate)
+            .unwrap();
+        assert!(
+            (loaded_first.outcome.payload.get()
+                - unloaded_match.outcome.payload.get()
+                - battery_mass)
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn four_objective_frontier_contains_three_objective_frontier_candidates() {
+        // Adding an objective can only grow (or keep) the frontier set:
+        // a point undominated on (v, tdp, payload) stays undominated when
+        // energy is added.
+        let catalog = Catalog::paper();
+        let engine = Engine::new(&catalog);
+        let three = engine.query().run().unwrap();
+        let four = engine
+            .query()
+            .objectives(&[
+                Objective::SafeVelocity,
+                Objective::TotalTdp,
+                Objective::PayloadMass,
+                Objective::MissionEnergyWhPerKm,
+            ])
+            .run()
+            .unwrap();
+        assert!(four.frontier().len() >= three.frontier().len());
+        for &i in three.frontier() {
+            assert!(
+                four.frontier().contains(&i),
+                "3-objective frontier point {i} missing from 4-objective frontier"
+            );
+        }
+    }
+
+    #[test]
+    fn describe_query_ranks_by_primary_objective() {
+        let catalog = Catalog::paper();
+        let engine = Engine::new(&catalog);
+        // Primary = TDP: every airframe's report must be ascending in
+        // TDP among feasible entries, not descending in velocity.
+        let result = engine
+            .query()
+            .objectives(&[Objective::TotalTdp, Objective::SafeVelocity])
+            .run()
+            .unwrap();
+        let reports = engine.describe_query(&result);
+        assert_eq!(reports.len(), catalog.airframe_count());
+        for report in &reports {
+            let tdps: Vec<f64> = report
+                .ranked
+                .iter()
+                .filter(|o| o.feasible)
+                .map(|o| catalog.compute(&o.compute).unwrap().tdp().get())
+                .collect();
+            for pair in tdps.windows(2) {
+                assert!(pair[0] <= pair[1], "{}: {tdps:?}", report.airframe);
+            }
+            // Feasible entries precede infeasible ones.
+            let first_infeasible = report.ranked.iter().position(|o| !o.feasible);
+            if let Some(pos) = first_infeasible {
+                assert!(report.ranked[pos..].iter().all(|o| !o.feasible));
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_objectives_are_deduplicated() {
+        let catalog = Catalog::paper();
+        let engine = Engine::new(&catalog);
+        let result = engine
+            .query()
+            .objectives(&[
+                Objective::SafeVelocity,
+                Objective::SafeVelocity,
+                Objective::TotalTdp,
+            ])
+            .run()
+            .unwrap();
+        assert_eq!(
+            result.objectives(),
+            [Objective::SafeVelocity, Objective::TotalTdp]
+        );
+    }
+
+    #[test]
+    fn invalid_sweeps_and_profiles_are_rejected() {
+        let catalog = Catalog::paper();
+        let engine = Engine::new(&catalog);
+        assert!(engine
+            .query()
+            .sweep(KnobSweep::new(Knob::TdpScale, vec![0.0]))
+            .run()
+            .is_err());
+        assert!(engine
+            .query()
+            .sweep(KnobSweep::new(Knob::TdpScale, vec![]))
+            .run()
+            .is_err());
+        assert!(engine
+            .query()
+            .sweep(KnobSweep::new(Knob::PayloadDelta, vec![f64::NAN]))
+            .run()
+            .is_err());
+        let profile = MissionProfile {
+            figure_of_merit: 1.5,
+            ..MissionProfile::default()
+        };
+        assert!(engine.query().mission_profile(profile).run().is_err());
+    }
+
+    #[test]
+    fn objective_parsing_round_trips() {
+        for objective in Objective::ALL {
+            let parsed: Objective = objective.label().parse().unwrap();
+            assert_eq!(parsed, objective);
+        }
+        assert!("warp-drive".parse::<Objective>().is_err());
+    }
+
+    #[test]
+    fn queries_are_deterministic() {
+        let catalog = Catalog::paper();
+        let engine = Engine::new(&catalog);
+        let build = || {
+            engine
+                .query()
+                .objectives(&[
+                    Objective::SafeVelocity,
+                    Objective::TotalTdp,
+                    Objective::MissionEnergyWhPerKm,
+                ])
+                .sweep(KnobSweep::linear(Knob::TdpScale, 0.5, 1.0, 3))
+                .run()
+                .unwrap()
+        };
+        assert_eq!(build(), build());
+    }
+}

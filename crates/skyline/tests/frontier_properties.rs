@@ -1,0 +1,68 @@
+//! Property tests pinning the sort-based skyline to the naive O(n²)
+//! Pareto scan on random point sets — including coarse integer grids,
+//! where ties and exact duplicates are the norm rather than the
+//! exception and the sweep's tie bookkeeping earns its keep.
+
+use f1_skyline::frontier;
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Random points quantized to a `grid`-level integer lattice: small
+/// grids force duplicate coordinates and whole duplicate points.
+fn lattice_points(seed: u64, n: usize, dims: usize, grid: u32) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n * dims)
+        .map(|_| f64::from(rng.gen_range(0u32..grid)))
+        .collect()
+}
+
+/// Continuous points, where ties are rare but orderings are adversarial.
+fn continuous_points(seed: u64, n: usize, dims: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n * dims).map(|_| rng.gen_range(-10.0..10.0)).collect()
+}
+
+fn assert_matches_naive(dims: usize, keys: &[f64]) -> Result<(), TestCaseError> {
+    let sweep = frontier::pareto_min(dims, keys);
+    let naive = frontier::naive_pareto_min(dims, keys);
+    prop_assert_eq!(sweep, naive);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// 2-objective sweep equals the naive Pareto on lattice and
+    /// continuous point sets.
+    #[test]
+    fn sweep2_matches_naive(seed in 0u64..1_000_000, n in 0usize..150, grid in 2u32..14) {
+        assert_matches_naive(2, &lattice_points(seed, n, 2, grid))?;
+        assert_matches_naive(2, &continuous_points(seed, n, 2))?;
+    }
+
+    /// 3-objective staircase sweep equals the naive Pareto.
+    #[test]
+    fn sweep3_matches_naive(seed in 0u64..1_000_000, n in 0usize..150, grid in 2u32..14) {
+        assert_matches_naive(3, &lattice_points(seed, n, 3, grid))?;
+        assert_matches_naive(3, &continuous_points(seed, n, 3))?;
+    }
+
+    /// 4-objective running-frontier fallback equals the naive Pareto.
+    #[test]
+    fn frontier4_matches_naive(seed in 0u64..1_000_000, n in 0usize..150, grid in 2u32..14) {
+        assert_matches_naive(4, &lattice_points(seed, n, 4, grid))?;
+        assert_matches_naive(4, &continuous_points(seed, n, 4))?;
+    }
+
+    /// Frontier membership is invariant under a uniform shift — Pareto
+    /// dominance only cares about relative order.
+    #[test]
+    fn frontier_is_translation_invariant(seed in 0u64..1_000_000, n in 1usize..80, shift in -100.0f64..100.0) {
+        let keys = continuous_points(seed, n, 3);
+        let shifted: Vec<f64> = keys.iter().map(|v| v + shift).collect();
+        prop_assert_eq!(
+            frontier::pareto_min(3, &keys),
+            frontier::pareto_min(3, &shifted)
+        );
+    }
+}

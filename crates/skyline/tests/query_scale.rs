@@ -1,0 +1,177 @@
+//! Acceptance tests for the composable query API at scale: the
+//! four-objective query over a synthesized 10⁵-candidate catalog, and
+//! exact frontier agreement with the naive Pareto on the paper catalog.
+
+use f1_components::{Catalog, ComputeId};
+use f1_skyline::dse::Engine;
+use f1_skyline::frontier;
+use f1_skyline::query::{Constraint, Objective};
+
+const FOUR_OBJECTIVES: [Objective; 4] = [
+    Objective::SafeVelocity,
+    Objective::TotalTdp,
+    Objective::PayloadMass,
+    Objective::MissionEnergyWhPerKm,
+];
+
+/// The headline acceptance: a 4-objective query (velocity, TDP, payload,
+/// mission energy) over a synthesized 10⁵-candidate catalog completes
+/// with the O(n log n) frontier.
+#[test]
+fn four_objective_query_over_1e5_candidate_catalog() {
+    // 47 parts per family ⇒ 47³ = 103 823 characterized candidates on
+    // one airframe.
+    let catalog = Catalog::synthesize(42, 47);
+    let engine = Engine::new(&catalog);
+    let airframe = catalog
+        .airframe_entries()
+        .next()
+        .map(|(id, _)| id)
+        .expect("synthesized catalog has airframes");
+    let result = engine
+        .query()
+        .airframes(&[airframe])
+        .objectives(&FOUR_OBJECTIVES)
+        .run()
+        .expect("query over the synthetic catalog evaluates");
+    assert_eq!(result.points().len(), 47 * 47 * 47);
+    assert!(!result.frontier().is_empty());
+
+    // Frontier points are feasible, finite-valued, and mutually
+    // non-dominated (full pairwise check within the frontier itself —
+    // it is small, unlike the candidate set).
+    let objectives = result.objectives();
+    let frontier_rows: Vec<Vec<f64>> = result
+        .frontier()
+        .iter()
+        .map(|&i| {
+            assert!(result.points()[i].outcome.feasible);
+            result
+                .values(i)
+                .iter()
+                .zip(objectives)
+                .map(|(&v, o)| {
+                    assert!(v.is_finite());
+                    if o.maximize() {
+                        -v
+                    } else {
+                        v
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    for a in &frontier_rows {
+        for b in &frontier_rows {
+            assert!(!frontier::dominates_min(a, b));
+        }
+    }
+
+    // Spot-check optimality: the single best point per objective is
+    // undominated, hence on the frontier.
+    for (pos, objective) in objectives.iter().enumerate() {
+        let best = (0..result.points().len())
+            .filter(|&i| result.points()[i].outcome.feasible)
+            .filter(|&i| result.values(i).iter().all(|v| v.is_finite()))
+            .min_by(|&a, &b| {
+                let (va, vb) = (result.values(a)[pos], result.values(b)[pos]);
+                if objective.maximize() {
+                    vb.total_cmp(&va)
+                } else {
+                    va.total_cmp(&vb)
+                }
+            })
+            .expect("some feasible point exists");
+        let best_value = result.values(best)[pos];
+        assert!(
+            result
+                .frontier()
+                .iter()
+                .any(|&i| result.values(i)[pos] == best_value),
+            "the {objective}-optimal value {best_value} is missing from the frontier"
+        );
+    }
+}
+
+/// On the paper-sized catalog the sweep frontier must equal the naive
+/// O(n²) Pareto **exactly** — same indices, same order — for the default
+/// 3-objective query and the 4-objective energy query alike.
+#[test]
+fn sweep_frontier_matches_naive_exactly_on_paper_catalog() {
+    let catalog = Catalog::paper();
+    let engine = Engine::new(&catalog);
+    for objectives in [
+        &[
+            Objective::SafeVelocity,
+            Objective::TotalTdp,
+            Objective::PayloadMass,
+        ][..],
+        &FOUR_OBJECTIVES[..],
+    ] {
+        let result = engine.query().objectives(objectives).run().unwrap();
+        let (keys, map) = result.minimized_keys();
+        let naive: Vec<usize> = frontier::naive_pareto_min(objectives.len(), &keys)
+            .into_iter()
+            .map(|i| map[i])
+            .collect();
+        assert_eq!(result.frontier(), naive, "{} objectives", objectives.len());
+        assert!(!naive.is_empty());
+    }
+}
+
+/// Same exactness on a small synthesized catalog, where duplicates and
+/// near-ties are common because parts repeat across candidates.
+#[test]
+fn sweep_frontier_matches_naive_exactly_on_small_synth_catalog() {
+    let catalog = Catalog::synthesize(7, 8);
+    let engine = Engine::new(&catalog);
+    for k in [2, 3, 4] {
+        let result = engine
+            .query()
+            .objectives(&FOUR_OBJECTIVES[..k])
+            .run()
+            .unwrap();
+        let (keys, map) = result.minimized_keys();
+        let naive: Vec<usize> = frontier::naive_pareto_min(k, &keys)
+            .into_iter()
+            .map(|i| map[i])
+            .collect();
+        assert_eq!(result.frontier(), naive, "{k} objectives");
+    }
+}
+
+/// Constraints compose with scale: a TDP cap prunes the synthetic space
+/// without touching the surviving outcomes.
+#[test]
+fn constrained_query_on_synth_catalog_prunes_consistently() {
+    let catalog = Catalog::synthesize(42, 12);
+    let engine = Engine::new(&catalog);
+    let airframe = catalog.airframe_entries().next().map(|(id, _)| id).unwrap();
+    let open = engine.query().airframes(&[airframe]).run().unwrap();
+    let capped = engine
+        .query()
+        .airframes(&[airframe])
+        .constraint(Constraint::MaxTotalTdp(f1_units::Watts::new(10.0)))
+        .run()
+        .unwrap();
+    assert_eq!(
+        capped.points().len() + capped.dropped(),
+        open.points().len()
+    );
+    let kept: Vec<ComputeId> = capped
+        .points()
+        .iter()
+        .map(|p| p.candidate.compute)
+        .collect();
+    for id in kept {
+        assert!(catalog.compute_by_id(id).tdp().get() <= 10.0);
+    }
+    for point in capped.points() {
+        let twin = open
+            .points()
+            .iter()
+            .find(|p| p.candidate == point.candidate)
+            .expect("unconstrained query holds a superset");
+        assert_eq!(twin.outcome, point.outcome);
+    }
+}

@@ -2,52 +2,82 @@
 //!
 //! The paper's intro motivates package delivery as a target workload and
 //! its conclusion proposes using F-1 for automated DSE. This example
-//! explores every characterized sensor × compute × algorithm combination
-//! for an AscTec Pelican delivery platform and reports the ranking.
+//! runs a composable DSE **query** for an AscTec Pelican delivery
+//! platform: maximize safe velocity and minimize mission energy under a
+//! TDP budget, with the battery mounted so hover endurance is scored
+//! too, then reports the ranking and the Pareto frontier.
 //!
 //! ```sh
 //! cargo run --example delivery_drone_design
 //! ```
 
 use f1_uav::components::{names, Catalog};
-use f1_uav::skyline::dse;
+use f1_uav::skyline::dse::Engine;
+use f1_uav::skyline::query::{Constraint, Objective};
+use f1_uav::units::Watts;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let catalog = Catalog::paper();
-    let result = dse::explore(&catalog, names::ASCTEC_PELICAN)?;
+    let engine = Engine::new(&catalog);
+    let result = engine
+        .query()
+        .airframes(&[catalog.airframe_id(names::ASCTEC_PELICAN)?])
+        .battery(catalog.battery_id(names::BATTERY_PELICAN)?)
+        .objectives(&[
+            Objective::SafeVelocity,
+            Objective::MissionEnergyWhPerKm,
+            Objective::HoverEnduranceMin,
+        ])
+        .constraint(Constraint::MaxTotalTdp(Watts::new(20.0)))
+        .constraint(Constraint::FeasibleOnly)
+        .run()?;
 
     println!(
-        "Explored {} candidate builds for {} ({} platform×algorithm pairs uncharacterized).\n",
-        result.ranked.len(),
-        result.airframe,
-        result.uncharacterized
+        "Explored {} delivery builds under a 20 W TDP budget ({} filtered out, \
+         {} platform×algorithm pairs uncharacterized).\n",
+        result.points().len(),
+        result.dropped(),
+        result.uncharacterized()
     );
 
-    println!("top 5 builds by safe velocity:");
-    for (i, o) in result.feasible().take(5).enumerate() {
+    println!("top 5 builds by safe velocity (energy, endurance alongside):");
+    for (rank, index) in result.ranked().into_iter().take(5).enumerate() {
+        let point = &result.points()[index];
+        let values = result.values(index);
         println!(
-            "  {}. {:<16} + {:<26} + {:<28} → {:.2} m/s ({})",
-            i + 1,
-            o.sensor,
-            o.compute,
-            o.algorithm,
-            o.velocity.get(),
-            o.bound.map_or_else(|| "-".into(), |b| b.to_string()),
+            "  {}. {:<16} + {:<16} + {:<26} → {:>5.2} m/s  {:>5.2} Wh/km  {:>4.1} min hover",
+            rank + 1,
+            catalog.sensor_by_id(point.candidate.sensor).name(),
+            catalog.compute_by_id(point.candidate.compute).name(),
+            catalog.algorithm_by_id(point.candidate.algorithm).name(),
+            values[0],
+            values[1],
+            values[2],
         );
     }
 
-    println!("\nbuilds that cannot even hover on this frame:");
-    for o in result.ranked.iter().filter(|o| !o.feasible).take(3) {
-        println!("  ✗ {} + {}", o.compute, o.algorithm);
+    println!("\nPareto frontier over (velocity ↑, energy ↓, endurance ↑):");
+    for &index in result.frontier() {
+        let point = &result.points()[index];
+        let values = result.values(index);
+        println!(
+            "  • {} + {} + {}: {:.2} m/s, {:.2} Wh/km, {:.1} min",
+            catalog.sensor_by_id(point.candidate.sensor).name(),
+            catalog.compute_by_id(point.candidate.compute).name(),
+            catalog.algorithm_by_id(point.candidate.algorithm).name(),
+            values[0],
+            values[1],
+            values[2],
+        );
     }
 
     let best = result.best().expect("the Pelican lifts the whole catalog");
     println!(
         "\nrecommended delivery build: {} + {} + {} at {:.2} m/s",
-        best.sensor,
-        best.compute,
-        best.algorithm,
-        best.velocity.get()
+        catalog.sensor_by_id(best.candidate.sensor).name(),
+        catalog.compute_by_id(best.candidate.compute).name(),
+        catalog.algorithm_by_id(best.candidate.algorithm).name(),
+        best.outcome.velocity.get()
     );
     Ok(())
 }
