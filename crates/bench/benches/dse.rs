@@ -55,15 +55,12 @@ fn bench_pareto(c: &mut Criterion) {
 }
 
 /// The minimized key buffer of a synthesized catalog's single-airframe
-/// query over the first `dims` of the four headline objectives — the
-/// frontier benchmarks' common input.
+/// query over the first `dims` of [`Objective::ALL`] (velocity, TDP,
+/// payload, energy, endurance) — the frontier benchmarks' common input.
+/// The 5-objective slice mounts the catalog's first battery (the
+/// endurance objective requires one).
 fn synthetic_keys(n_per_family: usize, dims: usize) -> Vec<f64> {
-    let objectives = &[
-        Objective::SafeVelocity,
-        Objective::TotalTdp,
-        Objective::PayloadMass,
-        Objective::MissionEnergyWhPerKm,
-    ][..dims];
+    let objectives = &Objective::ALL[..dims];
     let catalog = Catalog::synthesize(42, n_per_family);
     let engine = Engine::new(&catalog);
     let airframe = catalog
@@ -71,30 +68,45 @@ fn synthetic_keys(n_per_family: usize, dims: usize) -> Vec<f64> {
         .next()
         .map(|(id, _)| id)
         .expect("synthesized catalog has airframes");
-    let result = engine
-        .query()
-        .airframes(&[airframe])
-        .objectives(objectives)
-        .run()
-        .expect("synthetic query evaluates");
+    let mut query = engine.query().airframes(&[airframe]).objectives(objectives);
+    if objectives.contains(&Objective::HoverEnduranceMin) {
+        let battery = catalog
+            .battery_entries()
+            .next()
+            .map(|(id, _)| id)
+            .expect("synthesized catalog has batteries");
+        query = query.battery(battery);
+    }
+    let result = query.run().expect("synthetic query evaluates");
     result.minimized_keys().0
 }
 
-/// Old O(n²) scan vs new sort-based skyline on synthesized catalogs of
-/// 10³/10⁴/10⁵ candidates, for the 3-objective staircase sweep (the
-/// ROADMAP's velocity/TDP/payload skyline) and the 4-objective
-/// running-frontier fallback. The naive arm is capped at ~10⁴ points —
-/// at 10⁵ it needs ~10¹⁰ dominance checks per iteration and would
-/// dominate the whole bench run, which is exactly the result.
+/// Skyline algorithms on synthesized catalogs of 10³/10⁴/10⁵
+/// candidates: the production `pareto_min` (staircase sweep at 3
+/// objectives, divide-and-conquer at 4–5) against the old O(n·f)
+/// running-frontier fallback (4–5 objectives) and the O(n²) all-pairs
+/// scan. The naive arm is capped at ~10⁴ points — at 10⁵ it needs
+/// ~10¹⁰ dominance checks per iteration and would dominate the whole
+/// bench run, which is exactly the result.
 fn bench_synthetic_frontier(c: &mut Criterion) {
     let mut g = c.benchmark_group("dse_synthetic_frontier");
-    for dims in [3usize, 4] {
+    for dims in [3usize, 4, 5] {
         for (label, n_per_family) in [("1e3", 10usize), ("1e4", 22), ("1e5", 47)] {
             let keys = synthetic_keys(n_per_family, dims);
             let points = keys.len() / dims;
-            g.bench_function(format!("sweep{dims}/{label}_{points}pts"), |b| {
+            // "sweep3" is the 3-objective staircase; "pareto4/5" is the
+            // production dispatch (divide-and-conquer, except small
+            // 5-objective inputs which cross back to the running
+            // frontier).
+            let name = if dims == 3 { "sweep" } else { "pareto" };
+            g.bench_function(format!("{name}{dims}/{label}_{points}pts"), |b| {
                 b.iter(|| black_box(frontier::pareto_min(dims, &keys)))
             });
+            if dims >= 4 {
+                g.bench_function(format!("running{dims}/{label}_{points}pts"), |b| {
+                    b.iter(|| black_box(frontier::running_frontier_min(dims, &keys)))
+                });
+            }
             if points <= 15_000 {
                 g.bench_function(format!("naive{dims}/{label}_{points}pts"), |b| {
                     b.iter(|| black_box(frontier::naive_pareto_min(dims, &keys)))
@@ -105,31 +117,35 @@ fn bench_synthetic_frontier(c: &mut Criterion) {
     g.finish();
 }
 
-/// End-to-end four-objective queries over synthesized catalogs: the
-/// batched evaluation pass plus the frontier.
+/// End-to-end queries over synthesized catalogs: the fused batched
+/// pass (evaluation + constraints + objective extraction) plus the
+/// frontier, at 4 objectives and — with a mounted battery — 5.
 fn bench_synthetic_query(c: &mut Criterion) {
     let mut g = c.benchmark_group("dse_synthetic_query");
-    for (label, n_per_family) in [("1e3", 10usize), ("1e4", 22), ("1e5", 47)] {
-        let catalog = Catalog::synthesize(42, n_per_family);
-        let engine = Engine::new(&catalog);
-        let airframe = catalog.airframe_entries().next().map(|(id, _)| id).unwrap();
-        g.bench_function(format!("four_objectives/{label}"), |b| {
-            b.iter(|| {
-                black_box(
-                    engine
+    for dims in [4usize, 5] {
+        for (label, n_per_family) in [("1e3", 10usize), ("1e4", 22), ("1e5", 47)] {
+            let catalog = Catalog::synthesize(42, n_per_family);
+            let engine = Engine::new(&catalog);
+            let airframe = catalog.airframe_entries().next().map(|(id, _)| id).unwrap();
+            let battery = catalog.battery_entries().next().map(|(id, _)| id).unwrap();
+            let group = if dims == 4 {
+                "four_objectives"
+            } else {
+                "five_objectives"
+            };
+            g.bench_function(format!("{group}/{label}"), |b| {
+                b.iter(|| {
+                    let mut query = engine
                         .query()
                         .airframes(&[airframe])
-                        .objectives(&[
-                            Objective::SafeVelocity,
-                            Objective::TotalTdp,
-                            Objective::PayloadMass,
-                            Objective::MissionEnergyWhPerKm,
-                        ])
-                        .run()
-                        .unwrap(),
-                )
-            })
-        });
+                        .objectives(&Objective::ALL[..dims]);
+                    if dims == 5 {
+                        query = query.battery(battery);
+                    }
+                    black_box(query.run().unwrap())
+                })
+            });
+        }
     }
     g.finish();
 }

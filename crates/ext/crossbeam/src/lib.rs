@@ -1,11 +1,13 @@
 //! Offline stand-in for `crossbeam` (see `crates/ext/README.md`).
 //!
-//! Provides the two pieces the workspace uses — `channel::unbounded` and
-//! `scope` — on top of `std::sync::mpsc` and `std::thread::scope`. One
-//! behavioral refinement over upstream: a panic in a spawned worker is
-//! re-raised in the caller with its **original payload** (upstream
-//! surfaces it as an opaque `Err`), so `#[should_panic(expected = ...)]`
-//! tests see the worker's message.
+//! Provides `scope` — the piece the workspace's parallel sweep engine
+//! uses — plus `channel::unbounded` for API parity (the sweep engine's
+//! former consumer; kept so dependents can reach for channels without
+//! touching this stub), on top of `std::sync::mpsc` and
+//! `std::thread::scope`. One behavioral refinement over upstream: a
+//! panic in a spawned worker is re-raised in the caller with its
+//! **original payload** (upstream surfaces it as an opaque `Err`), so
+//! `#[should_panic(expected = ...)]` tests see the worker's message.
 
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};

@@ -40,6 +40,7 @@ struct Args {
     max_tdp: Option<f64>,
     battery: Option<String>,
     synth: Option<usize>,
+    chunk_size: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -57,6 +58,7 @@ fn parse_args() -> Result<Args, String> {
         max_tdp: None,
         battery: None,
         synth: None,
+        chunk_size: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -97,6 +99,16 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| format!("bad --max-tdp watts {v:?}"))?,
                 );
             }
+            "--chunk-size" => {
+                let v = value("--chunk-size")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("bad --chunk-size count {v:?}"))?;
+                if n == 0 {
+                    return Err("--chunk-size must be at least 1".into());
+                }
+                args.chunk_size = Some(n);
+            }
             "--synth" => {
                 let v = value("--synth")?;
                 let n: usize = v
@@ -113,13 +125,16 @@ fn parse_args() -> Result<Args, String> {
                      usage:\n  skyline --list\n  skyline --dse [--airframe NAME] [--dse-top N]\n\
                      \x20         [--objectives velocity,tdp,payload,energy,endurance]\n\
                      \x20         [--max-tdp WATTS] [--battery NAME] [--synth N_PER_FAMILY]\n\
+                     \x20         [--chunk-size N]\n\
                      \x20 skyline --airframe NAME --sensor NAME --compute NAME \
                      --algorithm NAME [--chart] [--mission METERS]\n\n\
                      --objectives: comma-separated; the first is the primary ranking \
                      objective.\n--synth N: explore a deterministic synthetic catalog with \
                      N parts per family\n  (N³ candidates per airframe) instead of the \
                      paper catalog.\n--battery NAME: mount a catalog battery (required \
-                     for the endurance objective)."
+                     for the endurance objective).\n--chunk-size N: pin the parallel \
+                     evaluation chunk size (default: autotuned\n  from the job count and \
+                     core count)."
                 );
                 std::process::exit(0);
             }
@@ -155,7 +170,10 @@ fn list_catalog(catalog: &Catalog) {
 /// Runs the catalog-wide design-space query and prints the ranked
 /// report plus the Pareto frontier over the requested objectives.
 fn dse_report(catalog: &Catalog, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    let engine = Engine::new(catalog);
+    let mut engine = Engine::new(catalog);
+    if let Some(chunk_size) = args.chunk_size {
+        engine = engine.with_chunk_size(chunk_size);
+    }
     let mut query = engine.query();
     if !args.objectives.is_empty() {
         query = query.objectives(&args.objectives);
@@ -201,11 +219,13 @@ fn dse_report(catalog: &Catalog, args: &Args) -> Result<(), Box<dyn std::error::
     let ranked = result.ranked();
     let primary = objectives[0];
     println!(
-        "query: {} objectives ({} primary), {} points kept, {} dropped by constraints",
+        "query: {} objectives ({} primary), {} points kept, {} dropped by \
+         constraints, {} feasible with non-finite objectives (off-frontier)",
         objectives.len(),
         primary,
         result.points().len(),
         result.dropped(),
+        result.nonfinite(),
     );
     for (airframe_id, airframe) in catalog.airframe_entries() {
         let per_airframe: Vec<usize> = ranked

@@ -11,8 +11,10 @@
 //!   [`ThroughputTable`], so the hot loop performs **zero string hashing
 //!   and zero per-candidate allocation**;
 //! * evaluation runs through
-//!   [`parallel_map_chunked`](crate::sweep::parallel_map_chunked) in
-//!   work-stealing-friendly chunks, and **propagates** model errors as
+//!   [`parallel_map_indices`](crate::sweep::parallel_map_indices) in
+//!   work-stealing-friendly chunks **sized automatically from the job
+//!   count and core count** ([`Engine::with_chunk_size`] pins an
+//!   explicit override), and **propagates** model errors as
 //!   [`SkylineError`] instead of panicking (an un-liftable payload is an
 //!   infeasible outcome, not an error);
 //! * [`Engine::explore_all`] batches every airframe into one parallel
@@ -220,9 +222,6 @@ impl Exploration {
     }
 }
 
-/// Default number of candidates per work-stealing chunk.
-pub const DEFAULT_CHUNK_SIZE: usize = 8;
-
 /// A reusable, ID-interned design-space exploration engine over one
 /// catalog.
 ///
@@ -240,7 +239,9 @@ pub struct Engine<'c> {
     table: ThroughputTable,
     heatsink: HeatsinkModel,
     saturation: Saturation,
-    chunk_size: usize,
+    /// Explicit work-stealing chunk override; `None` means autotune per
+    /// workload via [`crate::sweep::auto_chunk_size`].
+    chunk_size: Option<usize>,
 }
 
 impl<'c> Engine<'c> {
@@ -258,11 +259,14 @@ impl<'c> Engine<'c> {
             table: catalog.throughput_table(),
             heatsink: HeatsinkModel::paper_calibrated(),
             saturation: Saturation::DEFAULT,
-            chunk_size: DEFAULT_CHUNK_SIZE,
+            chunk_size: None,
         }
     }
 
-    /// Overrides the work-stealing chunk size.
+    /// Pins the work-stealing chunk size, overriding the default
+    /// autotune (which derives the chunk from the job count and the
+    /// machine's available parallelism — see
+    /// [`crate::sweep::auto_chunk_size`]).
     ///
     /// # Panics
     ///
@@ -270,7 +274,7 @@ impl<'c> Engine<'c> {
     #[must_use]
     pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
         assert!(chunk_size > 0, "chunk size must be positive");
-        self.chunk_size = chunk_size;
+        self.chunk_size = Some(chunk_size);
         self
     }
 
@@ -319,9 +323,11 @@ impl<'c> Engine<'c> {
         &self.table
     }
 
-    /// The configured work-stealing chunk size.
-    pub(crate) fn chunk_size(&self) -> usize {
+    /// The work-stealing chunk size for a workload of `jobs` evaluations:
+    /// the pinned override if one was set, otherwise autotuned.
+    pub(crate) fn chunk_size_for(&self, jobs: usize) -> usize {
         self.chunk_size
+            .unwrap_or_else(|| crate::sweep::auto_chunk_size(jobs))
     }
 
     /// Lazily enumerates every characterized sensor × compute × algorithm
@@ -585,6 +591,7 @@ impl<'c> Engine<'c> {
                 })
                 .collect(),
             uncharacterized: result.uncharacterized,
+            nonfinite: 0,
         }
     }
 }
@@ -618,6 +625,12 @@ pub struct DseResult {
     /// Number of combinations skipped because the platform × algorithm
     /// pair was never characterized.
     pub uncharacterized: usize,
+    /// Feasible points of this airframe excluded from frontier
+    /// computation because an objective value was non-finite (the
+    /// per-airframe reports sum to `QueryResult::nonfinite`; always zero
+    /// for the classic velocity/TDP/payload exploration, whose
+    /// objectives are finite for every valid part).
+    pub nonfinite: usize,
 }
 
 impl DseResult {

@@ -19,6 +19,18 @@ pub enum SkylineError {
         /// Which part is missing.
         missing: &'static str,
     },
+    /// A knob sweep value produced an out-of-domain component variant.
+    /// Raised while a query builds its per-setting part variants —
+    /// strictly *before* the batched parallel pass — so one bad knob
+    /// value can never abort a running evaluation.
+    KnobVariant {
+        /// The paper Table II parameter of the offending knob.
+        knob: &'static str,
+        /// The swept value that produced the invalid variant.
+        value: f64,
+        /// The underlying component error.
+        source: ComponentError,
+    },
     /// The assembled system cannot fly (payload exceeds thrust budget).
     CannotHover {
         /// The system's name.
@@ -39,6 +51,15 @@ impl core::fmt::Display for SkylineError {
             Self::IncompleteSystem { missing } => {
                 write!(f, "incomplete UAV system: missing {missing}")
             }
+            Self::KnobVariant {
+                knob,
+                value,
+                source,
+            } => write!(
+                f,
+                "knob sweep {knob} = {value} produced an invalid component \
+                 variant: {source}"
+            ),
             Self::CannotHover {
                 system,
                 takeoff_g,
@@ -58,6 +79,7 @@ impl std::error::Error for SkylineError {
             Self::Component(e) => Some(e),
             Self::Model(e) => Some(e),
             Self::Plot(e) => Some(e),
+            Self::KnobVariant { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -110,6 +132,17 @@ mod tests {
             liftable_g: 34.0,
         };
         assert!(hover.to_string().contains("470"));
+
+        let knob = SkylineError::KnobVariant {
+            knob: "Sensor Framerate",
+            value: 2.5,
+            source: ComponentError::InvalidField {
+                field: "frame_rate",
+                reason: "must be positive, got inf".into(),
+            },
+        };
+        let text = knob.to_string();
+        assert!(text.contains("Sensor Framerate") && text.contains("2.5"));
     }
 
     #[test]
@@ -120,6 +153,16 @@ mod tests {
         assert!(SkylineError::IncompleteSystem { missing: "sensor" }
             .source()
             .is_none());
+        assert!(SkylineError::KnobVariant {
+            knob: "Compute TDP",
+            value: 0.0,
+            source: ComponentError::InvalidField {
+                field: "tdp factor",
+                reason: "must be positive and finite, got 0".into(),
+            },
+        }
+        .source()
+        .is_some());
     }
 
     #[test]

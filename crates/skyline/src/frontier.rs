@@ -11,11 +11,13 @@
 //! * **3 objectives** — sort by the first key and sweep a *staircase*
 //!   (the running 2-D frontier of the remaining keys), maintained as a
 //!   B-tree with O(log n) queries and amortized O(log n) inserts.
-//! * **d ≥ 4 objectives** — a running-frontier fallback: after a
-//!   lexicographic sort no point can dominate an earlier one, so each
-//!   point is tested against the accumulated frontier only. Worst case
-//!   O(n·f) for a frontier of size f, which degenerates to O(n²) only
-//!   when nearly everything is non-dominated.
+//! * **d ≥ 4 objectives** — a divide-and-conquer skyline: split the
+//!   lexicographically sorted points in half, recurse, then strip the
+//!   lex-later half's skyline of points dominated by the lex-earlier
+//!   half's skyline with a dimension-reducing merge (Bentley's
+//!   multidimensional divide and conquer), ~O(n·logᵈ⁻² n) instead of
+//!   the old running-frontier fallback's O(n·f) — which survives as
+//!   [`running_frontier_min`], the benchmarks' comparison arm.
 //!
 //! All functions use the **minimization** convention: a point dominates
 //! another when it is ≤ in every key and < in at least one. Callers with
@@ -86,7 +88,7 @@ pub fn naive_pareto_min(dims: usize, keys: &[f64]) -> Vec<usize> {
 }
 
 /// Sort-based Pareto skyline (minimization convention): O(n log n) for
-/// 2–3 objectives, lexicographic running-frontier fallback for d ≥ 4.
+/// 2–3 objectives, divide-and-conquer skyline for d ≥ 4.
 ///
 /// `keys` is row-major: point `i` occupies `keys[i*dims .. (i+1)*dims]`.
 /// Returns exactly the same index set as [`naive_pareto_min`], in
@@ -97,26 +99,72 @@ pub fn naive_pareto_min(dims: usize, keys: &[f64]) -> Vec<usize> {
 /// Panics if `dims == 0` or `keys.len()` is not a multiple of `dims`.
 #[must_use]
 pub fn pareto_min(dims: usize, keys: &[f64]) -> Vec<usize> {
-    let n = point_count(dims, keys);
-    if n == 0 {
-        return Vec::new();
-    }
-    // Normalize -0.0 to +0.0: the sweeps split tie groups with
-    // `total_cmp`, under which -0.0 < +0.0, while dominance (and the
-    // naive scan) uses IEEE comparisons where they are equal. `x + 0.0`
-    // maps -0.0 to +0.0 and is the identity on every other value, so
-    // the two orders agree afterwards.
-    let keys: Vec<f64> = keys.iter().map(|v| v + 0.0).collect();
+    let (keys, order) = match prepare(dims, keys) {
+        Some(prepared) => prepared,
+        None => return Vec::new(),
+    };
     let keys = keys.as_slice();
-    let order = lex_order(dims, keys, n);
     let mut survivors = match dims {
         1 => min_scan(&order, keys),
         2 => sweep2(&order, &|i| (keys[i * 2], keys[i * 2 + 1])),
         3 => sweep3(&order, keys),
-        _ => running_frontier(dims, keys, &order),
+        // Crossover dispatch: the divide-and-conquer skyline wins
+        // asymptotically, but its recursion overhead grows with the
+        // dimension — at 5+ objectives the running frontier is
+        // measurably faster below a few thousand points
+        // (BENCH_dse.json: ~123 µs vs ~221 µs at 10³ points), while at
+        // 4 objectives d&c already wins by 10³.
+        _ if dims >= 5 && order.len() <= DC_SMALL_N => running_frontier(dims, keys, &order),
+        _ => dc_skyline(dims, keys, &order),
     };
     survivors.sort_unstable();
     survivors
+}
+
+/// Below this many points, 5+-objective inputs dispatch to the running
+/// frontier instead of the divide-and-conquer skyline (measured
+/// crossover; see [`pareto_min`]).
+const DC_SMALL_N: usize = 2048;
+
+/// The previous d ≥ 4 path: a lexicographic running frontier, worst case
+/// O(n·f) for a frontier of size f. [`pareto_min`] now uses a
+/// divide-and-conquer skyline instead; this stays public as the
+/// comparison arm of the DSE benchmarks and a second reference
+/// implementation (same contract as [`pareto_min`]).
+///
+/// # Panics
+///
+/// Panics if `dims == 0` or `keys.len()` is not a multiple of `dims`.
+#[must_use]
+pub fn running_frontier_min(dims: usize, keys: &[f64]) -> Vec<usize> {
+    let (keys, order) = match prepare(dims, keys) {
+        Some(prepared) => prepared,
+        None => return Vec::new(),
+    };
+    let mut survivors = running_frontier(dims, &keys, &order);
+    survivors.sort_unstable();
+    survivors
+}
+
+/// The shared skyline preamble: validates the buffer, normalizes
+/// `-0.0` to `+0.0`, and computes the lexicographic order. `None` for
+/// an empty input.
+///
+/// The normalization is correctness-critical for every algorithm
+/// downstream: the sorts split tie groups with `total_cmp`, under which
+/// `-0.0 < +0.0`, while dominance (and the naive scan) uses IEEE
+/// comparisons where they are equal — without it a total_cmp-lex-later
+/// point could still dominate an earlier one (e.g. `[+0.0, 1]` vs
+/// `[-0.0, 2]`), breaking the sorted-order invariants. `x + 0.0` maps
+/// `-0.0` to `+0.0` and is the identity on every other value.
+fn prepare(dims: usize, keys: &[f64]) -> Option<(Vec<f64>, Vec<usize>)> {
+    let n = point_count(dims, keys);
+    if n == 0 {
+        return None;
+    }
+    let keys: Vec<f64> = keys.iter().map(|v| v + 0.0).collect();
+    let order = lex_order(dims, &keys, n);
+    Some((keys, order))
 }
 
 /// Indices `0..n` sorted lexicographically over all keys; the stable sort
@@ -310,6 +358,168 @@ fn running_frontier(dims: usize, keys: &[f64], order: &[usize]) -> Vec<usize> {
     front
 }
 
+/// Below this many points a subproblem is solved by the running
+/// frontier directly — recursion overhead beats O(n·f) only once n·f
+/// can actually grow.
+const DC_BASE: usize = 64;
+
+/// Below this many candidate pairs the cross-filter tests dominance
+/// pairwise instead of partitioning further.
+const DC_PAIRWISE: usize = 512;
+
+/// d ≥ 4 divide-and-conquer skyline over a lexicographically sorted
+/// index slice (Bentley's multidimensional divide and conquer).
+///
+/// Split the sorted points at the midpoint into a lex-earlier half `A`
+/// and a lex-later half `B`. No point of `B` can dominate a point of
+/// `A` (componentwise ≤ plus lexicographically ≥ forces equality, and
+/// equals never dominate), so
+/// `skyline(S) = skyline(A) ∪ filter(skyline(B) vs skyline(A))`
+/// where the filter removes `B`-skyline points dominated by an
+/// `A`-skyline point — dominance is transitive, so testing against the
+/// skyline loses nothing. The filter recurses on one coordinate at a
+/// time ([`filter_dominated`]), giving ~O(n·logᵈ⁻² n) overall.
+///
+/// Returns survivors in input (lexicographic) order.
+fn dc_skyline(dims: usize, keys: &[f64], order: &[usize]) -> Vec<usize> {
+    if order.len() <= DC_BASE {
+        return running_frontier(dims, keys, order);
+    }
+    let mid = order.len() / 2;
+    let mut left = dc_skyline(dims, keys, &order[..mid]);
+    let right = dc_skyline(dims, keys, &order[mid..]);
+    let right = cross_filter(dims, keys, &left, right);
+    left.extend(right);
+    left
+}
+
+/// Removes from `b` (the lex-later half's skyline) every point dominated
+/// by a point of `a` (the lex-earlier half's skyline), preserving order.
+fn cross_filter(dims: usize, keys: &[f64], a: &[usize], b: Vec<usize>) -> Vec<usize> {
+    let mut dead = vec![false; b.len()];
+    let positions: Vec<u32> = (0..b.len() as u32).collect();
+    filter_dominated(dims, keys, &b, &mut dead, a.to_vec(), positions, dims);
+    b.into_iter()
+        .zip(dead)
+        .filter_map(|(i, dead)| (!dead).then_some(i))
+        .collect()
+}
+
+/// The cross-filter's dimension-reducing recursion: marks `dead[p]` for
+/// every position `p` (into `b_ids`) whose point is dominated by some
+/// point of `a`.
+///
+/// `d` counts the leading coordinates still unverified; the recursion
+/// maintains the invariant that every (a, b) pair in the current
+/// subproblem is already weakly ≤ on all coordinates `>= d`. Each step
+/// partitions both sets around a pivot of coordinate `d − 1`:
+/// strictly-smaller `a`s versus weakly-larger `b`s have that coordinate
+/// settled (strictly, even) and descend with `d − 1`; the two same-side
+/// quadrants keep `d` but strictly shrink; the remaining quadrant
+/// (larger `a`, smaller `b`) can never dominate and is skipped — this
+/// pruning is the entire speedup. Elimination itself only ever happens
+/// in the leaves via the exact predicate ([`dominates_min`], or the
+/// exact-duplicate rule at `d == 0`), so ties and duplicates behave
+/// precisely as in [`naive_pareto_min`].
+fn filter_dominated(
+    dims: usize,
+    keys: &[f64],
+    b_ids: &[usize],
+    dead: &mut [bool],
+    a: Vec<usize>,
+    b: Vec<u32>,
+    d: usize,
+) {
+    let row = |i: usize| &keys[i * dims..(i + 1) * dims];
+    // Skip positions already killed on an earlier recursion path.
+    let b: Vec<u32> = b.into_iter().filter(|&p| !dead[p as usize]).collect();
+    if a.is_empty() || b.is_empty() {
+        return;
+    }
+    if d == 0 {
+        // Every pair is weakly ≤ on every coordinate, so a `b` point
+        // survives only when it is an exact duplicate of every `a`
+        // point (equals never dominate).
+        for &bp in &b {
+            let brow = row(b_ids[bp as usize]);
+            if a.iter().any(|&ai| row(ai) != brow) {
+                dead[bp as usize] = true;
+            }
+        }
+        return;
+    }
+    if a.len() * b.len() <= DC_PAIRWISE {
+        eliminate_pairwise(dims, keys, b_ids, dead, &a, &b);
+        return;
+    }
+    let c = d - 1;
+    let ak = |i: usize| keys[i * dims + c];
+    let bk = |p: u32| keys[b_ids[p as usize] * dims + c];
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for v in a.iter().map(|&i| ak(i)).chain(b.iter().map(|&p| bk(p))) {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if lo == hi {
+        // No spread: coordinate c is weakly ≤ (equal) for every pair.
+        filter_dominated(dims, keys, b_ids, dead, a, b, c);
+        return;
+    }
+    // Median pivot, nudged above the minimum so both sides shrink.
+    let mut vals: Vec<f64> = a
+        .iter()
+        .map(|&i| ak(i))
+        .chain(b.iter().map(|&p| bk(p)))
+        .collect();
+    let mid = vals.len() / 2;
+    vals.select_nth_unstable_by(mid, f64::total_cmp);
+    let mut pivot = vals[mid];
+    if pivot == lo {
+        pivot = vals
+            .iter()
+            .copied()
+            .filter(|&v| v > lo)
+            .fold(f64::INFINITY, f64::min);
+    }
+    let (a_lo, a_hi): (Vec<usize>, Vec<usize>) = a.iter().partition(|&&i| ak(i) < pivot);
+    let (b_lo, b_hi): (Vec<u32>, Vec<u32>) = b.iter().partition(|&&p| bk(p) < pivot);
+    if (a_lo.is_empty() && b_lo.is_empty()) || (a_hi.is_empty() && b_hi.is_empty()) {
+        // Degenerate pivot: with finite keys both sides always shrink,
+        // but NaN keys (unspecified per the module contract) compare
+        // false against any pivot and would otherwise recurse forever.
+        // Resolve the whole subproblem with the exact pairwise
+        // predicate instead — never crash.
+        eliminate_pairwise(dims, keys, b_ids, dead, &a, &b);
+        return;
+    }
+    // a_lo < pivot ≤ b_hi: coordinate c is strictly settled — drop a dim.
+    filter_dominated(dims, keys, b_ids, dead, a_lo.clone(), b_hi.clone(), c);
+    filter_dominated(dims, keys, b_ids, dead, a_lo, b_lo, d);
+    // a_hi can never dominate b_lo (strictly larger on coordinate c).
+    filter_dominated(dims, keys, b_ids, dead, a_hi, b_hi, d);
+}
+
+/// The cross-filter's exact leaf: marks dead every `b` position whose
+/// point is dominated (full predicate, all `dims` coordinates) by some
+/// `a` point. Shared by the small-subproblem cutoff and the
+/// degenerate-pivot fallback of [`filter_dominated`].
+fn eliminate_pairwise(
+    dims: usize,
+    keys: &[f64],
+    b_ids: &[usize],
+    dead: &mut [bool],
+    a: &[usize],
+    b: &[u32],
+) {
+    let row = |i: usize| &keys[i * dims..(i + 1) * dims];
+    for &bp in b {
+        let brow = row(b_ids[bp as usize]);
+        if a.iter().any(|&ai| dominates_min(row(ai), brow)) {
+            dead[bp as usize] = true;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -322,6 +532,16 @@ mod tests {
         (0..n * dims)
             .map(|_| f64::from(rng.gen_range(0u32..grid)))
             .collect()
+    }
+
+    /// The divide-and-conquer path directly, bypassing `pareto_min`'s
+    /// small-n crossover dispatch, so property tests exercise it at
+    /// every size and dimension.
+    fn dc_direct(dims: usize, keys: &[f64]) -> Vec<usize> {
+        let (keys, order) = prepare(dims, keys).expect("non-empty input");
+        let mut survivors = dc_skyline(dims, &keys, &order);
+        survivors.sort_unstable();
+        survivors
     }
 
     #[test]
@@ -440,6 +660,110 @@ mod tests {
             .collect();
         let front = pareto_min(3, &keys);
         assert_eq!(front.len(), n);
+    }
+
+    #[test]
+    fn dc_matches_naive_on_large_lattices() {
+        // Tie-heavy integer grids at 4 and 5 objectives, big enough to
+        // exercise the divide-and-conquer recursion (base case is 64
+        // points) and the dimension-reducing cross-filter.
+        for dims in [4usize, 5] {
+            for (seed, grid) in [(11u64, 3u32), (12, 5), (13, 9), (14, 17)] {
+                let n = 600 + seed as usize * 37;
+                let keys = grid_points(seed * 101 + dims as u64, n, dims, grid);
+                let expected = naive_pareto_min(dims, &keys);
+                assert_eq!(
+                    pareto_min(dims, &keys),
+                    expected,
+                    "dims {dims} seed {seed} grid {grid}"
+                );
+                assert_eq!(
+                    dc_direct(dims, &keys),
+                    expected,
+                    "d&c dims {dims} seed {seed} grid {grid}"
+                );
+                assert_eq!(
+                    running_frontier_min(dims, &keys),
+                    expected,
+                    "running frontier dims {dims} seed {seed} grid {grid}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dc_matches_naive_on_large_continuous_sets() {
+        let mut rng = StdRng::seed_from_u64(4242);
+        for dims in [4usize, 5] {
+            for _ in 0..6 {
+                let n = rng.gen_range(300usize..1200);
+                let keys: Vec<f64> = (0..n * dims).map(|_| rng.gen_range(-5.0..5.0)).collect();
+                let expected = naive_pareto_min(dims, &keys);
+                assert_eq!(pareto_min(dims, &keys), expected, "dims {dims} n {n}");
+                assert_eq!(dc_direct(dims, &keys), expected, "d&c dims {dims} n {n}");
+                assert_eq!(running_frontier_min(dims, &keys), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn dc_keeps_duplicates_split_across_halves() {
+        // Hundreds of exact copies of one frontier point, interleaved
+        // with dominated points: the position split lands copies in both
+        // recursion halves, and the cross-filter must not let one copy
+        // kill another (equals never dominate).
+        let mut keys = Vec::new();
+        for i in 0..400 {
+            if i % 2 == 0 {
+                keys.extend([1.0, 1.0, 1.0, 1.0]);
+            } else {
+                keys.extend([2.0, 2.0, 2.0, 1.0 + f64::from(i)]);
+            }
+        }
+        let front = pareto_min(4, &keys);
+        let expected: Vec<usize> = (0..400).step_by(2).collect();
+        assert_eq!(front, expected);
+        assert_eq!(naive_pareto_min(4, &keys), expected);
+    }
+
+    #[test]
+    fn nan_keys_do_not_crash_the_dc_skyline() {
+        // NaN keys are contractually unspecified, but they must never
+        // crash: a NaN coordinate defeats every pivot comparison, and
+        // without the degenerate-pivot fallback the cross-filter would
+        // recurse forever (stack overflow). On all-NaN duplicates the
+        // result even matches the naive scan: nothing dominates, all
+        // points survive.
+        let n = 200;
+        let keys: Vec<f64> = (0..n).flat_map(|_| [f64::NAN, 1.0, 1.0, 1.0]).collect();
+        let front = pareto_min(4, &keys);
+        assert_eq!(front, naive_pareto_min(4, &keys));
+        assert_eq!(front.len(), n);
+    }
+
+    #[test]
+    fn dc_handles_large_anti_correlated_4d_sets() {
+        // Everything on (or near) the frontier — the worst case for the
+        // old O(n·f) running frontier. 30k points must finish promptly;
+        // spot-check survivors against the dominance predicate.
+        let mut rng = StdRng::seed_from_u64(7177);
+        let n = 30_000;
+        let keys: Vec<f64> = (0..n)
+            .flat_map(|_| {
+                let a = rng.gen_range(0.0..1.0);
+                let b = rng.gen_range(0.0..1.0);
+                let c = rng.gen_range(0.0..1.0);
+                [a, b, c, 3.0 - a - b - c + rng.gen_range(0.0..0.01)]
+            })
+            .collect();
+        let front = pareto_min(4, &keys);
+        assert!(!front.is_empty());
+        let row = |i: usize| &keys[i * 4..i * 4 + 4];
+        for &i in front.iter().step_by(211) {
+            for j in 0..n {
+                assert!(!dominates_min(row(j), row(i)));
+            }
+        }
     }
 
     #[test]

@@ -38,15 +38,16 @@
 use std::collections::BTreeMap;
 
 use f1_components::{
-    Airframe, AirframeId, AlgorithmId, BatteryId, ComputeId, ComputePlatform, Sensor, SensorId,
+    Airframe, AirframeId, AlgorithmId, BatteryId, ComponentError, ComputeId, ComputePlatform,
+    Sensor, SensorId,
 };
-use f1_model::mission::{hover_endurance, PowerModel};
+use f1_model::mission::hover_endurance;
 use f1_model::ModelError;
 use f1_units::{Grams, Hertz, Meters, MetersPerSecond, Watts};
 
 use crate::dse::{Candidate, DseOutcome, DseResult, Engine, Outcome};
 use crate::frontier;
-use crate::sweep::parallel_map_chunked;
+use crate::sweep::parallel_map_indices;
 use crate::SkylineError;
 
 pub use crate::mission::SENSOR_STACK_POWER_W;
@@ -402,6 +403,11 @@ pub struct QueryPoint {
     pub outcome: Outcome,
 }
 
+/// The number of distinct objectives a query can carry
+/// ([`Objective::ALL`] — objective lists are deduplicated), which bounds
+/// the fused per-job objective row at a stack array.
+const MAX_OBJECTIVES: usize = Objective::ALL.len();
+
 /// The result of running a [`Query`]: every evaluated point that passed
 /// the constraints, its objective values, and the Pareto frontier.
 #[derive(Debug, Clone, PartialEq)]
@@ -414,6 +420,7 @@ pub struct QueryResult {
     frontier: Vec<usize>,
     uncharacterized: usize,
     dropped: usize,
+    nonfinite: usize,
 }
 
 impl QueryResult {
@@ -504,6 +511,18 @@ impl QueryResult {
         self.dropped
     }
 
+    /// Number of **feasible** points whose objective row contains a
+    /// non-finite value (e.g. [`Objective::MissionEnergyWhPerKm`] at a
+    /// vanishing achieved velocity → `+∞`). Such points stay in
+    /// [`points`](Self::points) and the ranked report but cannot
+    /// participate in the frontier, which is defined over finite keys
+    /// only — this counter is the accounting for that exclusion, so no
+    /// feasible point ever vanishes silently.
+    #[must_use]
+    pub fn nonfinite(&self) -> usize {
+        self.nonfinite
+    }
+
     /// The frontier's input domain: minimized objective-key rows
     /// (maximize objectives negated) for every feasible point with
     /// finite values, plus the map from key-row position back to the
@@ -511,7 +530,8 @@ impl QueryResult {
     /// [`frontier`](Self::frontier) was computed from — benchmarks and
     /// tests that compare skyline algorithms against the naive scan
     /// should extract keys through here so they keep measuring the
-    /// production path.
+    /// production path. Feasible points skipped for non-finite rows are
+    /// counted by [`nonfinite`](Self::nonfinite).
     #[must_use]
     pub fn minimized_keys(&self) -> (Vec<f64>, Vec<usize>) {
         let k = self.objectives.len();
@@ -694,6 +714,27 @@ impl<'e, 'c> Query<'e, 'c> {
             let mut next = Vec::with_capacity(out.len() * sweep.values.len());
             for setting in &out {
                 for &value in &sweep.values {
+                    // Same-knob payload sweeps compose by addition, and
+                    // two individually valid deltas can sum to +∞ —
+                    // which would panic in the `Grams` constructor
+                    // inside `apply`. Scales compose by multiplication
+                    // on plain f64 fields; an overflowed scale is
+                    // caught by `build_variants`' magnitude guard.
+                    if sweep.knob == Knob::PayloadDelta
+                        && !(setting.payload_delta.get() + value).is_finite()
+                    {
+                        return Err(SkylineError::KnobVariant {
+                            knob: Knob::PayloadDelta.table2_parameter(),
+                            value,
+                            source: ComponentError::InvalidField {
+                                field: "payload_delta",
+                                reason: format!(
+                                    "composed payload delta must be finite, got {}",
+                                    setting.payload_delta.get() + value
+                                ),
+                            },
+                        });
+                    }
                     next.push(setting.apply(sweep.knob, value));
                 }
             }
@@ -703,6 +744,12 @@ impl<'e, 'c> Query<'e, 'c> {
     }
 
     /// Builds the per-setting component variants.
+    ///
+    /// This is where sweep variants are **validated**: every scaled
+    /// sensor and compute platform is constructed (and domain-checked)
+    /// here, before the batched parallel pass, so an out-of-domain knob
+    /// value surfaces as [`SkylineError::KnobVariant`] naming the
+    /// offending knob instead of aborting a running evaluation.
     fn build_variants(
         &self,
         sensors: &[SensorId],
@@ -713,6 +760,26 @@ impl<'e, 'c> Query<'e, 'c> {
         let battery_mass = self
             .battery
             .map_or(0.0, |id| catalog.battery_by_id(id).mass().get());
+        // A scaled magnitude must stay positive and finite *before* it
+        // reaches the unit types (whose constructors panic on
+        // non-finite values) or the component constructors.
+        let scaled = |base: f64, knob: Knob, scale: f64, field: &'static str| {
+            let value = base * scale;
+            if value.is_finite() && value > 0.0 {
+                Ok(value)
+            } else {
+                Err(SkylineError::KnobVariant {
+                    knob: knob.table2_parameter(),
+                    value: scale,
+                    source: ComponentError::InvalidField {
+                        field,
+                        reason: format!(
+                            "scaled magnitude must be positive and finite, got {value}"
+                        ),
+                    },
+                })
+            }
+        };
         settings
             .iter()
             .map(|setting| {
@@ -723,11 +790,26 @@ impl<'e, 'c> Query<'e, 'c> {
                         if setting.sensor_rate_scale == 1.0 && setting.sensor_range_scale == 1.0 {
                             Ok(s.clone())
                         } else {
+                            let rate = scaled(
+                                s.frame_rate().get(),
+                                Knob::SensorRateScale,
+                                setting.sensor_rate_scale,
+                                "frame_rate",
+                            )?;
+                            let range = scaled(
+                                s.range().get(),
+                                Knob::SensorRangeScale,
+                                setting.sensor_range_scale,
+                                "range",
+                            )?;
+                            // `scaled` has already validated both
+                            // magnitudes; any residual constructor error
+                            // is a catalog-field problem, not a knob one.
                             Sensor::new(
                                 s.name(),
                                 s.modality(),
-                                Hertz::new(s.frame_rate().get() * setting.sensor_rate_scale),
-                                Meters::new(s.range().get() * setting.sensor_range_scale),
+                                Hertz::new(rate),
+                                Meters::new(range),
                                 s.mass(),
                             )
                             .map_err(SkylineError::from)
@@ -741,6 +823,10 @@ impl<'e, 'c> Query<'e, 'c> {
                         if setting.tdp_scale == 1.0 {
                             Ok(c.clone())
                         } else {
+                            // Guards the product: `with_tdp_scaled` only
+                            // validates the factor, and an overflowed TDP
+                            // would panic inside the Watts constructor.
+                            scaled(c.tdp().get(), Knob::TdpScale, setting.tdp_scale, "tdp")?;
                             c.with_tdp_scaled(setting.tdp_scale)
                                 .map_err(SkylineError::from)
                         }
@@ -755,37 +841,73 @@ impl<'e, 'c> Query<'e, 'c> {
             .collect()
     }
 
-    /// The momentum-theory power model for one evaluated point — the
-    /// same parts-level derivation
-    /// ([`mission::power_model_for_parts`](crate::mission::power_model_for_parts))
-    /// that backs [`crate::mission::derive_power_model`].
-    fn power_model(
+    /// The fused per-point objective extraction, run **inside** the
+    /// batched parallel pass: derives the momentum-theory power model
+    /// (the same parts-level derivation that backs
+    /// [`crate::mission::derive_power_model`]) when an energy objective
+    /// needs it, then fills one objective row.
+    fn objective_row(
         &self,
+        objectives: &[Objective],
+        needs_power: bool,
         airframe: &Airframe,
         outcome: &Outcome,
-    ) -> Result<PowerModel, SkylineError> {
-        crate::mission::power_model_for_parts(
-            airframe,
-            airframe.takeoff_mass(outcome.payload),
-            outcome.total_tdp,
-            self.profile.figure_of_merit,
-            self.profile.parasitic_coeff,
-        )
+        battery_wh: Option<f64>,
+    ) -> Result<[f64; MAX_OBJECTIVES], SkylineError> {
+        let power = if needs_power && outcome.feasible {
+            Some(crate::mission::power_model_for_parts(
+                airframe,
+                airframe.takeoff_mass(outcome.payload),
+                outcome.total_tdp,
+                self.profile.figure_of_merit,
+                self.profile.parasitic_coeff,
+            )?)
+        } else {
+            None
+        };
+        let mut row = [0.0; MAX_OBJECTIVES];
+        for (slot, &objective) in row.iter_mut().zip(objectives) {
+            *slot = match objective {
+                Objective::SafeVelocity => outcome.velocity.get(),
+                Objective::TotalTdp => outcome.total_tdp.get(),
+                Objective::PayloadMass => outcome.payload.get(),
+                Objective::MissionEnergyWhPerKm => match &power {
+                    Some(p) if outcome.velocity.get() > 0.0 => {
+                        let v = outcome.velocity;
+                        p.power_at(v).get() * (1000.0 / v.get()) / 3600.0
+                    }
+                    _ => f64::INFINITY,
+                },
+                Objective::HoverEnduranceMin => match &power {
+                    Some(p) => {
+                        let wh =
+                            battery_wh.expect("run() rejects endurance queries without a battery");
+                        hover_endurance(p, wh, self.profile.battery_reserve)?.get()
+                    }
+                    None => 0.0,
+                },
+            };
+        }
+        Ok(row)
     }
 
-    /// Compiles and runs the query: one batched parallel pass over every
-    /// airframe × knob setting × characterized candidate, followed by
-    /// constraint filtering, objective extraction and the O(n log n)
-    /// frontier.
+    /// Compiles and runs the query: one fused batched parallel pass over
+    /// every airframe × knob setting × characterized candidate —
+    /// evaluation, constraint filtering **and** objective extraction all
+    /// happen inside the pass — followed by the O(n log n) frontier.
     ///
     /// # Errors
     ///
     /// Returns [`SkylineError::IncompleteSystem`] when
     /// [`Objective::HoverEnduranceMin`] is requested without a
     /// [`battery`](Self::battery), [`SkylineError::Model`] for invalid
-    /// sweep values or mission-profile parameters, and propagates the
-    /// first evaluation error. Infeasible builds are outcomes, not
-    /// errors.
+    /// sweep values or mission-profile parameters, and
+    /// [`SkylineError::KnobVariant`] — naming the offending knob — when
+    /// a sweep value produces an out-of-domain component variant. All of
+    /// these surface **before** the parallel pass; an evaluation error
+    /// raised mid-pass (unreachable for catalog parts and validated
+    /// variants) is propagated deterministically in enumeration order.
+    /// Infeasible builds are outcomes, not errors.
     pub fn run(&self) -> Result<QueryResult, SkylineError> {
         self.run_impl(true)
     }
@@ -856,52 +978,87 @@ impl<'e, 'c> Query<'e, 'c> {
             .map(|&id| catalog.airframe_by_id(id))
             .collect();
 
-        // Airframe-major job order (then setting, then candidate) — the
-        // explore_all compatibility wrapper relies on this layout.
-        let mut jobs: Vec<(u32, u32, u32)> =
-            Vec::with_capacity(airframes.len() * settings.len() * candidates.len());
-        for airframe_pos in 0..airframes.len() as u32 {
-            for setting_pos in 0..settings.len() as u32 {
-                for candidate_pos in 0..candidates.len() as u32 {
-                    jobs.push((airframe_pos, setting_pos, candidate_pos));
-                }
-            }
-        }
+        let needs_power = objectives.iter().any(|o| {
+            matches!(
+                o,
+                Objective::MissionEnergyWhPerKm | Objective::HoverEnduranceMin
+            )
+        });
+        let battery_wh = self
+            .battery
+            .map(|id| catalog.battery_by_id(id).energy_watt_hours());
+        let k = objectives.len();
 
-        let evaluated = parallel_map_chunked(
-            jobs,
-            self.engine.chunk_size(),
-            |&(airframe_pos, setting_pos, candidate_pos)| {
-                let indexed = &candidates[candidate_pos as usize];
-                let parts = &variants[setting_pos as usize];
-                let outcome = self.engine.evaluate_parts_loaded(
-                    airframe_refs[airframe_pos as usize],
+        // Airframe-major job order (then setting, then candidate) — the
+        // explore_all compatibility wrapper relies on this layout. Jobs
+        // are plain indices into that nesting; the fused pass writes
+        // each (outcome, objective row) straight into its slot of the
+        // output buffer, so input order is output order.
+        let per_airframe = settings.len() * candidates.len();
+        let job_count = airframes.len() * per_airframe;
+        // job_count > 0 implies candidates and settings are non-empty,
+        // so the decode divisions are safe whenever a job exists.
+        let decode = |job: usize| {
+            (
+                job / per_airframe,
+                (job / candidates.len()) % settings.len(),
+                job % candidates.len(),
+            )
+        };
+        let evaluated =
+            parallel_map_indices(job_count, self.engine.chunk_size_for(job_count), |job| {
+                let (airframe_pos, setting_pos, candidate_pos) = decode(job);
+                let indexed = &candidates[candidate_pos];
+                let parts = &variants[setting_pos];
+                let outcome = match self.engine.evaluate_parts_loaded(
+                    airframe_refs[airframe_pos],
                     &parts.sensors[indexed.sensor_pos as usize],
                     &parts.computes[indexed.compute_pos as usize],
                     indexed.candidate.throughput,
                     parts.extra_payload,
-                );
-                ((airframe_pos, setting_pos, candidate_pos), outcome)
-            },
-        );
+                ) {
+                    Ok(outcome) => outcome,
+                    Err(e) => return JobOut::Failed(e),
+                };
+                if !self.constraints.iter().all(|c| c.admits(&outcome)) {
+                    return JobOut::Dropped;
+                }
+                match self.objective_row(
+                    &objectives,
+                    needs_power,
+                    airframe_refs[airframe_pos],
+                    &outcome,
+                    battery_wh,
+                ) {
+                    Ok(row) => JobOut::Kept(outcome, row),
+                    Err(e) => JobOut::Failed(e),
+                }
+            });
 
         let mut points = Vec::with_capacity(evaluated.len());
+        let mut values = Vec::with_capacity(evaluated.len() * k);
         let mut dropped = 0usize;
-        for ((airframe_pos, setting_pos, candidate_pos), outcome) in evaluated {
-            let outcome = outcome?;
-            if self.constraints.iter().all(|c| c.admits(&outcome)) {
-                points.push(QueryPoint {
-                    airframe: airframes[airframe_pos as usize],
-                    candidate: candidates[candidate_pos as usize].candidate,
-                    setting: settings[setting_pos as usize],
-                    outcome,
-                });
-            } else {
-                dropped += 1;
+        let mut nonfinite = 0usize;
+        for (job, out) in evaluated.into_iter().enumerate() {
+            match out {
+                JobOut::Kept(outcome, row) => {
+                    if outcome.feasible && row[..k].iter().any(|v| !v.is_finite()) {
+                        nonfinite += 1;
+                    }
+                    let (airframe_pos, setting_pos, candidate_pos) = decode(job);
+                    points.push(QueryPoint {
+                        airframe: airframes[airframe_pos],
+                        candidate: candidates[candidate_pos].candidate,
+                        setting: settings[setting_pos],
+                        outcome,
+                    });
+                    values.extend_from_slice(&row[..k]);
+                }
+                JobOut::Dropped => dropped += 1,
+                JobOut::Failed(e) => return Err(e),
             }
         }
 
-        let values = self.objective_values(&objectives, &points)?;
         let mut result = QueryResult {
             objectives,
             points,
@@ -909,6 +1066,7 @@ impl<'e, 'c> Query<'e, 'c> {
             frontier: Vec::new(),
             uncharacterized,
             dropped,
+            nonfinite,
         };
         if with_frontier {
             let (keys, map) = result.minimized_keys();
@@ -919,54 +1077,20 @@ impl<'e, 'c> Query<'e, 'c> {
         }
         Ok(result)
     }
+}
 
-    fn objective_values(
-        &self,
-        objectives: &[Objective],
-        points: &[QueryPoint],
-    ) -> Result<Vec<f64>, SkylineError> {
-        let catalog = self.engine.catalog();
-        let needs_power = objectives.iter().any(|o| {
-            matches!(
-                o,
-                Objective::MissionEnergyWhPerKm | Objective::HoverEnduranceMin
-            )
-        });
-        let battery_wh = self
-            .battery
-            .map(|id| catalog.battery_by_id(id).energy_watt_hours());
-        let mut values = Vec::with_capacity(points.len() * objectives.len());
-        for point in points {
-            let power = if needs_power && point.outcome.feasible {
-                Some(self.power_model(catalog.airframe_by_id(point.airframe), &point.outcome)?)
-            } else {
-                None
-            };
-            for &objective in objectives {
-                values.push(match objective {
-                    Objective::SafeVelocity => point.outcome.velocity.get(),
-                    Objective::TotalTdp => point.outcome.total_tdp.get(),
-                    Objective::PayloadMass => point.outcome.payload.get(),
-                    Objective::MissionEnergyWhPerKm => match &power {
-                        Some(p) if point.outcome.velocity.get() > 0.0 => {
-                            let v = point.outcome.velocity;
-                            p.power_at(v).get() * (1000.0 / v.get()) / 3600.0
-                        }
-                        _ => f64::INFINITY,
-                    },
-                    Objective::HoverEnduranceMin => match &power {
-                        Some(p) => {
-                            let wh = battery_wh
-                                .expect("run() rejects endurance queries without a battery");
-                            hover_endurance(p, wh, self.profile.battery_reserve)?.get()
-                        }
-                        None => 0.0,
-                    },
-                });
-            }
-        }
-        Ok(values)
-    }
+/// One fused evaluation job's result: the batched pass evaluates,
+/// filters and extracts objectives in a single parallel sweep.
+enum JobOut {
+    /// Passed every constraint: outcome plus objective row (the first
+    /// `objectives.len()` slots are meaningful).
+    Kept(Outcome, [f64; MAX_OBJECTIVES]),
+    /// Rejected by a constraint (counted, not returned).
+    Dropped,
+    /// Evaluation or extraction failed. Unreachable for catalog parts
+    /// and build-time-validated sweep variants; propagated
+    /// deterministically in enumeration order if it ever happens.
+    Failed(SkylineError),
 }
 
 impl<'c> Engine<'c> {
@@ -1020,6 +1144,15 @@ impl<'c> Engine<'c> {
                     })
                     .collect(),
                 uncharacterized: result.uncharacterized(),
+                // Per-airframe slice of the query-wide count, so the
+                // reports sum back to `result.nonfinite()`.
+                nonfinite: indices
+                    .iter()
+                    .filter(|&&i| {
+                        result.points()[i].outcome.feasible
+                            && result.values(i).iter().any(|v| !v.is_finite())
+                    })
+                    .count(),
             })
             .collect()
     }
@@ -1379,6 +1512,93 @@ mod tests {
             ..MissionProfile::default()
         };
         assert!(engine.query().mission_profile(profile).run().is_err());
+    }
+
+    #[test]
+    fn nonfinite_energy_points_are_counted_not_silently_dropped() {
+        // Regression: a sensor-range scale of 1e-307 crushes the sensing
+        // range toward the smallest normal float. Builds stay feasible
+        // (they can hover) but the achieved velocity collapses toward
+        // zero, so the Wh/km energy objective overflows to +∞. Those
+        // points used to vanish from the frontier with no accounting;
+        // they must be counted.
+        let catalog = Catalog::paper();
+        let engine = Engine::new(&catalog);
+        let result = engine
+            .query()
+            .objectives(&[Objective::SafeVelocity, Objective::MissionEnergyWhPerKm])
+            .constraint(Constraint::FeasibleOnly)
+            .sweep(KnobSweep::new(Knob::SensorRangeScale, vec![1e-307]))
+            .run()
+            .unwrap();
+        assert!(!result.points().is_empty());
+        assert!(result.points().iter().all(|p| p.outcome.feasible));
+        // Every kept point is feasible with +∞ energy: all counted.
+        assert_eq!(result.nonfinite(), result.points().len());
+        // Excluded from the frontier domain, but never lost from points.
+        let (keys, map) = result.minimized_keys();
+        assert!(keys.is_empty() && map.is_empty());
+        assert!(result.frontier().is_empty());
+        // A finite-valued query counts zero.
+        let finite = engine
+            .query()
+            .objectives(&[Objective::SafeVelocity, Objective::MissionEnergyWhPerKm])
+            .constraint(Constraint::FeasibleOnly)
+            .run()
+            .unwrap();
+        assert_eq!(finite.nonfinite(), 0);
+        assert!(!finite.frontier().is_empty());
+        // The per-airframe reports carry their slice of the count and
+        // sum back to the query-wide total.
+        let reports = engine.describe_query(&result);
+        assert_eq!(
+            reports.iter().map(|r| r.nonfinite).sum::<usize>(),
+            result.nonfinite()
+        );
+        assert!(reports.iter().any(|r| r.nonfinite > 0));
+    }
+
+    #[test]
+    fn out_of_domain_knob_variants_fail_before_the_pass_naming_the_knob() {
+        // 1e308 passes the sweep-value validation (finite, positive) but
+        // scales the catalog rates/ranges to infinity: the variant build
+        // must reject it before any evaluation runs, naming the knob.
+        let catalog = Catalog::paper();
+        let engine = Engine::new(&catalog);
+        for (knob, expected) in [
+            (Knob::SensorRateScale, "Sensor Framerate"),
+            (Knob::SensorRangeScale, "Sensor Range"),
+            (Knob::TdpScale, "Compute TDP"),
+        ] {
+            let err = engine
+                .query()
+                .sweep(KnobSweep::new(knob, vec![1e308]))
+                .run()
+                .unwrap_err();
+            match err {
+                SkylineError::KnobVariant { knob, value, .. } => {
+                    assert_eq!(knob, expected);
+                    assert_eq!(value, 1e308);
+                }
+                other => panic!("expected KnobVariant, got {other:?}"),
+            }
+        }
+        // Stacked payload deltas compose by addition: two individually
+        // valid values summing to +∞ must fail the same way, not panic
+        // in the units layer.
+        let err = engine
+            .query()
+            .sweep(KnobSweep::new(Knob::PayloadDelta, vec![1e308]))
+            .sweep(KnobSweep::new(Knob::PayloadDelta, vec![1e308]))
+            .run()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SkylineError::KnobVariant {
+                knob: "Payload Weight",
+                ..
+            }
+        ));
     }
 
     #[test]
