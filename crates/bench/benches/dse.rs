@@ -1,18 +1,23 @@
 //! Benchmarks for the ID-interned, batched design-space exploration
 //! engine: full-catalog `explore_all`, single-airframe exploration, raw
-//! candidate enumeration, and — the headline — the synthetic-catalog
-//! group comparing the old O(n²) all-pairs Pareto scan against the new
-//! O(n log n) sort-and-sweep skyline at 10³/10⁴/10⁵ candidates.
-//! Representative numbers are recorded in `BENCH_dse.json` at the repo
-//! root.
+//! candidate enumeration, the synthetic-catalog group comparing the old
+//! O(n²) all-pairs Pareto scan against the O(n log n) sort-and-sweep
+//! skyline at 10³/10⁴/10⁵ candidates, and — since the compile/execute
+//! split — the `plan_reuse` group: one cold fused pass vs. a session
+//! plan-cache hit vs. an 8-plan shared-pass batch. Representative
+//! numbers are recorded in `BENCH_dse.json` at the repo root.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 
 use f1_components::{names, Catalog};
 use f1_skyline::dse::{self, Engine};
 use f1_skyline::frontier;
-use f1_skyline::query::Objective;
+use f1_skyline::plan::QueryPlan;
+use f1_skyline::query::{Constraint, Objective};
+use f1_skyline::session::Session;
+use f1_units::Watts;
 
 fn bench_explore_all(c: &mut Criterion) {
     let catalog = Catalog::paper();
@@ -150,6 +155,50 @@ fn bench_synthetic_query(c: &mut Criterion) {
     g.finish();
 }
 
+/// The compile/execute split at serving scale: a cold 4-objective plan
+/// through a fresh `Session` (one fused pass, session construction
+/// included), the same plan repeated against a warm session (a
+/// plan-cache lookup returning the memoized `Arc`), and an 8-plan
+/// shared-pass batch (a Table II-style TDP budget sweep over one
+/// enumeration + evaluation), at 10⁴ and 10⁵ synthetic candidates.
+fn bench_plan_reuse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dse_plan_reuse");
+    for (label, n_per_family) in [("1e4", 22usize), ("1e5", 47)] {
+        let catalog = Arc::new(Catalog::synthesize(42, n_per_family));
+        let airframe = catalog.airframe_entries().next().map(|(id, _)| id).unwrap();
+        let caps = [60.0, 30.0, 16.0, 8.0, 4.0, 2.0, 1.0, 0.5];
+        let plans: Vec<QueryPlan> = caps
+            .iter()
+            .map(|&w| {
+                QueryPlan::builder()
+                    .airframes(&[airframe])
+                    .objectives(&Objective::ALL[..4])
+                    .constraint(Constraint::MaxTotalTdp(Watts::new(w)))
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        g.bench_function(format!("cold_pass/{label}"), |b| {
+            b.iter(|| {
+                let session = Session::new(Arc::clone(&catalog));
+                black_box(session.run(&plans[0]).unwrap())
+            })
+        });
+        let warm = Session::new(Arc::clone(&catalog));
+        warm.run(&plans[0]).unwrap();
+        g.bench_function(format!("cached_lookup/{label}"), |b| {
+            b.iter(|| black_box(warm.run(&plans[0]).unwrap()))
+        });
+        g.bench_function(format!("batch8_shared_pass/{label}"), |b| {
+            b.iter(|| {
+                let session = Session::new(Arc::clone(&catalog));
+                black_box(session.run_batch(&plans).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     dse,
     bench_explore_all,
@@ -158,5 +207,6 @@ criterion_group!(
     bench_pareto,
     bench_synthetic_frontier,
     bench_synthetic_query,
+    bench_plan_reuse,
 );
 criterion_main!(dse);

@@ -141,6 +141,57 @@ impl Airframe {
         let thrust_mass = (self.rotor_pull * f64::from(self.rotor_count)).equivalent_mass();
         Grams::new((thrust_mass.get() - self.base_mass.get()).max(0.0))
     }
+
+    /// Returns a copy with a scaled base (frame + motors + ESC) mass —
+    /// paper Table II's "Drone Weight" knob. Payload is unaffected: a
+    /// lighter frame buys acceleration headroom, not cargo.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ComponentError::InvalidField`] if the factor is not in
+    /// `(0, ∞)`, or if the scaled mass overflows to a non-finite value.
+    pub fn with_base_mass_scaled(&self, factor: f64) -> Result<Self, ComponentError> {
+        let scaled = self.base_mass.get() * factor;
+        // Validate the product too: a finite factor can still overflow
+        // the mass, and the unit constructor panics on non-finite.
+        if !(factor.is_finite() && factor > 0.0 && scaled.is_finite()) {
+            return Err(ComponentError::InvalidField {
+                field: "base mass factor",
+                reason: format!(
+                    "must scale to a positive finite mass, got {factor} (×{})",
+                    self.base_mass
+                ),
+            });
+        }
+        let mut out = self.clone();
+        out.base_mass = Grams::new(scaled);
+        Ok(out)
+    }
+
+    /// Returns a copy with the per-rotor pull scaled — paper Table II's
+    /// "Rotor Pull" knob (a motor/prop upgrade or derating; the rotor
+    /// count is unchanged).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ComponentError::InvalidField`] if the factor is not in
+    /// `(0, ∞)`, or if the scaled pull overflows to a non-finite value.
+    pub fn with_rotor_pull_scaled(&self, factor: f64) -> Result<Self, ComponentError> {
+        let scaled = self.rotor_pull.get() * factor;
+        // Same product guard as `with_base_mass_scaled`.
+        if !(factor.is_finite() && factor > 0.0 && scaled.is_finite()) {
+            return Err(ComponentError::InvalidField {
+                field: "rotor pull factor",
+                reason: format!(
+                    "must scale to a positive finite pull, got {factor} (×{})",
+                    self.rotor_pull
+                ),
+            });
+        }
+        let mut out = self.clone();
+        out.rotor_pull = GramForce::new(scaled);
+        Ok(out)
+    }
 }
 
 impl core::fmt::Display for Airframe {
@@ -381,6 +432,28 @@ mod tests {
             .a_max()
             .unwrap();
         assert!(d2 < d1);
+    }
+
+    #[test]
+    fn scaled_variants_shift_mass_and_thrust() {
+        let a = s500();
+        let light = a.with_base_mass_scaled(0.8).unwrap();
+        assert!((light.base_mass().get() - 824.0).abs() < 1e-9);
+        assert_eq!(light.rotor_pull(), a.rotor_pull());
+        // A lighter frame carries more payload within the same thrust.
+        assert!(light.payload_capacity() > a.payload_capacity());
+
+        let strong = a.with_rotor_pull_scaled(1.25).unwrap();
+        assert!((strong.rotor_pull().get() - 587.5).abs() < 1e-9);
+        assert_eq!(strong.base_mass(), a.base_mass());
+        assert!(strong.total_thrust() > a.total_thrust());
+
+        // Invalid factors — and finite factors whose product overflows —
+        // are errors, never unit-constructor panics.
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY, 1e306] {
+            assert!(a.with_base_mass_scaled(bad).is_err(), "{bad}");
+            assert!(a.with_rotor_pull_scaled(bad).is_err(), "{bad}");
+        }
     }
 
     #[test]

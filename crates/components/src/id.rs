@@ -14,9 +14,19 @@ macro_rules! component_id {
         pub struct $name(u32);
 
         impl $name {
-            /// Wraps a dense index (crate-internal: only catalogs mint ids).
+            /// Wraps a dense index. Normally only catalogs mint ids; this
+            /// exists so serialized ids (e.g. a canonical query-plan key)
+            /// can be rebuilt. The index is **not** validated here — an id
+            /// is only meaningful in the catalog that minted it, and
+            /// consumers that accept external ids must bounds-check them
+            /// against their catalog before resolving.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` exceeds `u32::MAX`.
             #[inline]
-            pub(crate) fn from_index(index: usize) -> Self {
+            #[must_use]
+            pub fn from_index(index: usize) -> Self {
                 Self(u32::try_from(index).expect("catalog larger than u32::MAX entries"))
             }
 

@@ -10,16 +10,22 @@
 //!     --compute "Nvidia TX2" --algorithm "DroNet" --chart --mission 1000
 //!
 //! # a four-objective DSE query under a TDP budget, on a synthesized
-//! # 10⁴-candidate catalog
+//! # 10⁴-candidate catalog, exporting the result set and demonstrating
+//! # the session plan cache
 //! cargo run -p f1-skyline --bin skyline -- --dse --synth 22 \
-//!     --objectives velocity,tdp,payload,energy --max-tdp 20
+//!     --objectives velocity,tdp,payload,energy --max-tdp 20 \
+//!     --top-k 10 --json out.json --repeat 3
 //! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use f1_components::Catalog;
 use f1_skyline::chart::{roofline_chart, OperatingPoint};
-use f1_skyline::dse::Engine;
 use f1_skyline::mission::{analyze_mission, MissionSpec};
+use f1_skyline::plan::QueryPlan;
 use f1_skyline::query::{Constraint, Objective};
+use f1_skyline::session::{ResultSet, Session};
 use f1_skyline::UavSystem;
 use f1_units::{Hertz, Meters, Watts};
 
@@ -41,6 +47,9 @@ struct Args {
     battery: Option<String>,
     synth: Option<usize>,
     chunk_size: Option<usize>,
+    top_k: Option<usize>,
+    json: Option<String>,
+    repeat: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -59,6 +68,9 @@ fn parse_args() -> Result<Args, String> {
         battery: None,
         synth: None,
         chunk_size: None,
+        top_k: None,
+        json: None,
+        repeat: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -84,6 +96,23 @@ fn parse_args() -> Result<Args, String> {
                 args.dse_top = v
                     .parse()
                     .map_err(|_| format!("bad --dse-top count {v:?}"))?;
+            }
+            "--top-k" => {
+                let v = value("--top-k")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --top-k count {v:?}"))?;
+                if n == 0 {
+                    return Err("--top-k must be at least 1".into());
+                }
+                args.top_k = Some(n);
+            }
+            "--json" => args.json = Some(value("--json")?),
+            "--repeat" => {
+                let v = value("--repeat")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --repeat count {v:?}"))?;
+                if n == 0 {
+                    return Err("--repeat must be at least 1".into());
+                }
+                args.repeat = n;
             }
             "--objectives" => {
                 let v = value("--objectives")?;
@@ -125,7 +154,7 @@ fn parse_args() -> Result<Args, String> {
                      usage:\n  skyline --list\n  skyline --dse [--airframe NAME] [--dse-top N]\n\
                      \x20         [--objectives velocity,tdp,payload,energy,endurance]\n\
                      \x20         [--max-tdp WATTS] [--battery NAME] [--synth N_PER_FAMILY]\n\
-                     \x20         [--chunk-size N]\n\
+                     \x20         [--chunk-size N] [--top-k N] [--json PATH] [--repeat N]\n\
                      \x20 skyline --airframe NAME --sensor NAME --compute NAME \
                      --algorithm NAME [--chart] [--mission METERS]\n\n\
                      --objectives: comma-separated; the first is the primary ranking \
@@ -134,7 +163,10 @@ fn parse_args() -> Result<Args, String> {
                      paper catalog.\n--battery NAME: mount a catalog battery (required \
                      for the endurance objective).\n--chunk-size N: pin the parallel \
                      evaluation chunk size (default: autotuned\n  from the job count and \
-                     core count)."
+                     core count).\n--top-k N: also print the overall best N builds via \
+                     the bounded-heap\n  selection (no full ranking sort).\n--json PATH: \
+                     export the columnar result set as JSON.\n--repeat N: run the compiled \
+                     plan N times through one session to\n  demonstrate plan-cache hits."
                 );
                 std::process::exit(0);
             }
@@ -167,57 +199,78 @@ fn list_catalog(catalog: &Catalog) {
     }
 }
 
-/// Runs the catalog-wide design-space query and prints the ranked
-/// report plus the Pareto frontier over the requested objectives.
-fn dse_report(catalog: &Catalog, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    let mut engine = Engine::new(catalog);
-    if let Some(chunk_size) = args.chunk_size {
-        engine = engine.with_chunk_size(chunk_size);
+fn human_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.1} µs", ns as f64 / 1e3)
     }
-    let mut query = engine.query();
+}
+
+fn describe_point(catalog: &Catalog, result: &ResultSet, index: usize) -> String {
+    let point = &result.points()[index];
+    let parts = format!(
+        "{:<18} + {:<18} + {:<26}",
+        catalog.sensor_by_id(point.candidate.sensor).name(),
+        catalog.compute_by_id(point.candidate.compute).name(),
+        catalog.algorithm_by_id(point.candidate.algorithm).name(),
+    );
+    let values = result
+        .row(index)
+        .iter()
+        .zip(result.objectives())
+        .map(|(v, o)| format!("{v:>8.2} {}", o.unit()))
+        .collect::<Vec<_>>()
+        .join("  ");
+    let setting = if point.setting.is_identity() {
+        String::new()
+    } else {
+        format!("  [{}]", point.setting.describe())
+    };
+    format!("{parts} {values}{setting}")
+}
+
+/// Compiles the CLI request into a `QueryPlan`, executes it through a
+/// `Session` (optionally `--repeat`ed to exercise the plan cache), and
+/// prints the ranked report plus the Pareto frontier over the requested
+/// objectives.
+fn dse_report(catalog: &Arc<Catalog>, args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let mut builder = QueryPlan::builder();
     if !args.objectives.is_empty() {
-        query = query.objectives(&args.objectives);
+        builder = builder.objectives(&args.objectives);
     }
     if let Some(name) = args.airframe.as_deref() {
         // One airframe: explore just that slice of the design space
         // (failing loudly on a typo'd name instead of printing nothing).
-        query = query.airframes(&[catalog.airframe_id(name).map_err(|e| e.to_string())?]);
+        builder = builder.airframes(&[catalog.airframe_id(name).map_err(|e| e.to_string())?]);
     }
     if let Some(watts) = args.max_tdp {
-        query = query.constraint(Constraint::MaxTotalTdp(Watts::new(watts)));
+        builder = builder.constraint(Constraint::MaxTotalTdp(Watts::new(watts)));
     }
     if let Some(name) = args.battery.as_deref() {
-        query = query.battery(catalog.battery_id(name).map_err(|e| e.to_string())?);
+        builder = builder.battery(catalog.battery_id(name).map_err(|e| e.to_string())?);
     }
-    // Stringify so a failed query prints its Display form, not Debug.
-    let result = query.run().map_err(|e| e.to_string())?;
-    let objectives = result.objectives().to_vec();
+    // Stringify so a failed build/run prints its Display form, not Debug.
+    let plan = builder.build().map_err(|e| e.to_string())?;
 
-    let describe = |index: usize| {
-        let point = &result.points()[index];
-        let parts = format!(
-            "{:<18} + {:<18} + {:<26}",
-            catalog.sensor_by_id(point.candidate.sensor).name(),
-            catalog.compute_by_id(point.candidate.compute).name(),
-            catalog.algorithm_by_id(point.candidate.algorithm).name(),
-        );
-        let values = result
-            .values(index)
-            .iter()
-            .zip(&objectives)
-            .map(|(v, o)| format!("{v:>8.2} {}", o.unit()))
-            .collect::<Vec<_>>()
-            .join("  ");
-        let setting = if point.setting.is_identity() {
-            String::new()
-        } else {
-            format!("  [tdp×{:.2}]", point.setting.tdp_scale)
-        };
-        format!("{parts} {values}{setting}")
-    };
-
-    let ranked = result.ranked();
+    let mut session = Session::new(Arc::clone(catalog));
+    if let Some(chunk_size) = args.chunk_size {
+        session = session.with_chunk_size(chunk_size);
+    }
+    let mut timings: Vec<Duration> = Vec::with_capacity(args.repeat);
+    let mut result = None;
+    for _ in 0..args.repeat {
+        let start = Instant::now();
+        result = Some(session.run(&plan).map_err(|e| e.to_string())?);
+        timings.push(start.elapsed());
+    }
+    let result = result.expect("--repeat is at least 1");
+    let objectives = result.objectives();
     let primary = objectives[0];
+
     println!(
         "query: {} objectives ({} primary), {} points kept, {} dropped by \
          constraints, {} feasible with non-finite objectives (off-frontier)",
@@ -227,6 +280,26 @@ fn dse_report(catalog: &Catalog, args: &Args) -> Result<(), Box<dyn std::error::
         result.dropped(),
         result.nonfinite(),
     );
+    let stats = session.cache_stats();
+    if args.repeat > 1 {
+        let cached_avg = timings[1..]
+            .iter()
+            .sum::<Duration>()
+            .div_f64((args.repeat - 1) as f64);
+        println!(
+            "plan cache: run 1 computed in {}, runs 2-{} served from cache in {} avg \
+             ({} hits / {} misses, {} entries; key {:.48}…)",
+            human_duration(timings[0]),
+            args.repeat,
+            human_duration(cached_avg),
+            stats.hits,
+            stats.misses,
+            stats.entries,
+            plan.key(),
+        );
+    }
+
+    let ranked = result.ranked();
     for (airframe_id, airframe) in catalog.airframe_entries() {
         let per_airframe: Vec<usize> = ranked
             .iter()
@@ -249,13 +322,27 @@ fn dse_report(catalog: &Catalog, args: &Args) -> Result<(), Box<dyn std::error::
         );
         for &index in per_airframe.iter().take(args.dse_top) {
             let verdict = if result.points()[index].outcome.feasible {
-                describe(index)
+                describe_point(catalog, &result, index)
             } else {
-                format!("{} cannot hover", describe(index))
+                format!("{} cannot hover", describe_point(catalog, &result, index))
             };
             println!("  {verdict}");
         }
     }
+
+    if let Some(k) = args.top_k {
+        println!("top {k} overall by {primary} (bounded-heap top_k, no full sort):");
+        for index in result.top_k(k) {
+            let airframe = catalog
+                .airframe_by_id(result.points()[index].airframe)
+                .name();
+            println!(
+                "  {airframe:<18} {}",
+                describe_point(catalog, &result, index)
+            );
+        }
+    }
+
     println!(
         "Pareto frontier over ({}):",
         objectives
@@ -268,17 +355,29 @@ fn dse_report(catalog: &Catalog, args: &Args) -> Result<(), Box<dyn std::error::
         let airframe = catalog
             .airframe_by_id(result.points()[index].airframe)
             .name();
-        println!("  {airframe:<18} {}", describe(index));
+        println!(
+            "  {airframe:<18} {}",
+            describe_point(catalog, &result, index)
+        );
+    }
+
+    if let Some(path) = args.json.as_deref() {
+        std::fs::write(path, result.to_json(catalog))?;
+        println!(
+            "wrote {} points ({} objective columns) to {path}",
+            result.len(),
+            objectives.len()
+        );
     }
     Ok(())
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args().map_err(|e| -> Box<dyn std::error::Error> { e.into() })?;
-    let catalog = match args.synth {
+    let catalog = Arc::new(match args.synth {
         Some(n_per_family) => Catalog::synthesize(SYNTH_SEED, n_per_family),
         None => Catalog::paper(),
-    };
+    });
     if args.list {
         list_catalog(&catalog);
         return Ok(());

@@ -303,33 +303,6 @@ impl<'c> Engine<'c> {
         &self.airframes
     }
 
-    /// The snapshotted sensor ids, in name order.
-    pub(crate) fn sensor_ids(&self) -> &[SensorId] {
-        &self.sensors
-    }
-
-    /// The snapshotted compute ids, in name order.
-    pub(crate) fn compute_ids(&self) -> &[ComputeId] {
-        &self.computes
-    }
-
-    /// The snapshotted algorithm ids, in name order.
-    pub(crate) fn algorithm_ids(&self) -> &[AlgorithmId] {
-        &self.algorithms
-    }
-
-    /// The dense throughput snapshot.
-    pub(crate) fn table(&self) -> &ThroughputTable {
-        &self.table
-    }
-
-    /// The work-stealing chunk size for a workload of `jobs` evaluations:
-    /// the pinned override if one was set, otherwise autotuned.
-    pub(crate) fn chunk_size_for(&self, jobs: usize) -> usize {
-        self.chunk_size
-            .unwrap_or_else(|| crate::sweep::auto_chunk_size(jobs))
-    }
-
     /// Lazily enumerates every characterized sensor × compute × algorithm
     /// candidate (airframe-independent), in deterministic name order.
     pub fn candidates(&self) -> impl Iterator<Item = Candidate> + '_ {
@@ -393,32 +366,32 @@ impl<'c> Engine<'c> {
         throughput: Hertz,
         extra_payload: Grams,
     ) -> Result<Outcome, SkylineError> {
-        let total_tdp = platform.tdp();
-        let payload = Grams::new(
-            platform.fielded_mass().get()
-                + self.heatsink.mass_for(total_tdp).get()
-                + sensor.mass().get()
-                + extra_payload.get().max(0.0),
-        );
-        let dynamics = airframe.loaded_dynamics(payload)?;
-        let Ok(a_max) = dynamics.a_max() else {
-            return Ok(Outcome::infeasible(total_tdp, payload));
-        };
-        let safety = SafetyModel::new(a_max, sensor.range())?;
-        let roofline = Roofline::with_saturation(safety, self.saturation);
-        let rates = StageRates::new(sensor.frame_rate(), throughput, airframe.control_rate())?;
-        let bound = roofline.classify(&rates);
-        Ok(Outcome {
-            feasible: true,
-            velocity: bound.velocity,
-            roof: bound.roof,
-            knee: bound.knee.rate,
-            bound: Some(bound.bound),
-            total_tdp,
-            payload,
-            compute_assessment: Some(DesignAssessment::of(&roofline, rates.compute())),
-            roofline: Some(roofline),
-        })
+        evaluate_parts_with(
+            &self.heatsink,
+            self.saturation,
+            airframe,
+            sensor,
+            platform,
+            throughput,
+            extra_payload,
+        )
+    }
+
+    /// Projects this engine into the shared-pass executor's borrowed
+    /// context, so [`Query::run`](crate::query::Query::run) and
+    /// [`Session`](crate::session::Session) execute identical code.
+    pub(crate) fn pass_context(&self) -> crate::session::PassContext<'_> {
+        crate::session::PassContext {
+            catalog: self.catalog,
+            airframes: &self.airframes,
+            sensors: &self.sensors,
+            computes: &self.computes,
+            algorithms: &self.algorithms,
+            table: &self.table,
+            heatsink: &self.heatsink,
+            saturation: self.saturation,
+            chunk_size: self.chunk_size,
+        }
     }
 
     /// Evaluates one id-interned candidate on an airframe. This is the
@@ -594,6 +567,54 @@ impl<'c> Engine<'c> {
             nonfinite: 0,
         }
     }
+}
+
+/// The engine-free evaluation core: one set of parts on one airframe,
+/// under a heatsink model and knee saturation. This is the hot-loop body
+/// shared by [`Engine::evaluate_parts_loaded`] and the fused shared-pass
+/// executor of [`crate::session`] (which has no engine, only a
+/// [`Session`](crate::session::Session) snapshot).
+///
+/// This intentionally mirrors the single-compute, no-battery slice of
+/// [`UavSystem`](crate::UavSystem)'s payload/safety composition without
+/// allocating a system; the `engine_matches_uav_system_analysis` test
+/// pins the two paths together over the whole catalog — change them in
+/// lockstep.
+pub(crate) fn evaluate_parts_with(
+    heatsink: &HeatsinkModel,
+    saturation: Saturation,
+    airframe: &Airframe,
+    sensor: &Sensor,
+    platform: &ComputePlatform,
+    throughput: Hertz,
+    extra_payload: Grams,
+) -> Result<Outcome, SkylineError> {
+    let total_tdp = platform.tdp();
+    let payload = Grams::new(
+        platform.fielded_mass().get()
+            + heatsink.mass_for(total_tdp).get()
+            + sensor.mass().get()
+            + extra_payload.get().max(0.0),
+    );
+    let dynamics = airframe.loaded_dynamics(payload)?;
+    let Ok(a_max) = dynamics.a_max() else {
+        return Ok(Outcome::infeasible(total_tdp, payload));
+    };
+    let safety = SafetyModel::new(a_max, sensor.range())?;
+    let roofline = Roofline::with_saturation(safety, saturation);
+    let rates = StageRates::new(sensor.frame_rate(), throughput, airframe.control_rate())?;
+    let bound = roofline.classify(&rates);
+    Ok(Outcome {
+        feasible: true,
+        velocity: bound.velocity,
+        roof: bound.roof,
+        knee: bound.knee.rate,
+        bound: Some(bound.bound),
+        total_tdp,
+        payload,
+        compute_assessment: Some(DesignAssessment::of(&roofline, rates.compute())),
+        roofline: Some(roofline),
+    })
 }
 
 /// One evaluated candidate configuration (string-keyed compatibility

@@ -31,6 +31,24 @@ pub enum SkylineError {
         /// The underlying component error.
         source: ComponentError,
     },
+    /// A [`QueryPlan`](crate::QueryPlan) referenced a component id that
+    /// is out of range for the [`Session`](crate::Session) catalog it
+    /// was executed against. Plans carry interned ids; an id is only
+    /// meaningful in the catalog that minted it.
+    PlanCatalog {
+        /// The component family of the offending id.
+        family: &'static str,
+        /// The out-of-range dense index the plan carried.
+        index: usize,
+        /// How many components of that family the catalog holds.
+        count: usize,
+    },
+    /// A canonical plan key failed to parse back into a
+    /// [`QueryPlan`](crate::QueryPlan).
+    PlanKey {
+        /// What was malformed.
+        reason: String,
+    },
     /// The assembled system cannot fly (payload exceeds thrust budget).
     CannotHover {
         /// The system's name.
@@ -60,6 +78,16 @@ impl core::fmt::Display for SkylineError {
                 "knob sweep {knob} = {value} produced an invalid component \
                  variant: {source}"
             ),
+            Self::PlanCatalog {
+                family,
+                index,
+                count,
+            } => write!(
+                f,
+                "plan references {family} id {index}, but the session catalog \
+                 holds only {count} {family}s (ids are catalog-specific)"
+            ),
+            Self::PlanKey { reason } => write!(f, "invalid plan key: {reason}"),
             Self::CannotHover {
                 system,
                 takeoff_g,
@@ -132,6 +160,19 @@ mod tests {
             liftable_g: 34.0,
         };
         assert!(hover.to_string().contains("470"));
+
+        let mismatch = SkylineError::PlanCatalog {
+            family: "sensor",
+            index: 9,
+            count: 4,
+        };
+        let text = mismatch.to_string();
+        assert!(text.contains("sensor") && text.contains('9') && text.contains('4'));
+
+        let key = SkylineError::PlanKey {
+            reason: "missing objectives section".into(),
+        };
+        assert!(key.to_string().contains("missing objectives"));
 
         let knob = SkylineError::KnobVariant {
             knob: "Sensor Framerate",

@@ -19,6 +19,11 @@
 //!   paper's conclusion proposes exactly this use).
 //! * [`query`] — the composable DSE query API: typed objectives,
 //!   constraints and Table II knob sweeps compiled onto the engine.
+//! * [`plan`] / [`session`] — the compile/execute split for serving:
+//!   owned `Send + Sync` [`QueryPlan`]s with canonical cache keys,
+//!   executed (and batched into one fused shared pass, and memoized) by
+//!   a [`Session`] over an `Arc<Catalog>`, producing columnar
+//!   [`ResultSet`]s with bounded-heap top-k and paged iteration.
 //! * [`frontier`] — O(n log n) sort-and-sweep Pareto skylines.
 //!
 //! # Examples
@@ -51,12 +56,16 @@ mod error;
 pub mod frontier;
 mod knobs;
 pub mod mission;
+pub mod plan;
 pub mod query;
 pub mod redundancy;
 pub mod report;
+pub mod session;
 pub mod sweep;
 mod system;
 
 pub use error::SkylineError;
 pub use knobs::{KnobDescription, Knobs};
+pub use plan::{PlanBuilder, QueryPlan};
+pub use session::{CacheStats, ResultSet, Session};
 pub use system::{Recommendation, SystemAnalysis, UavSystem, UavSystemBuilder};

@@ -6,11 +6,14 @@
 //! makes the exploration *expressible*: a [`Query`] names what to
 //! optimize ([`Objective`]), what to filter ([`Constraint`]), and which
 //! continuous Table II knob ranges to sweep around each discrete
-//! candidate ([`KnobSweep`]), then compiles to a single batched pass over
-//! the engine's id-interned enumeration. Frontiers come from
-//! [`crate::frontier`]'s O(n log n) skyline, so synthetic 10⁵–10⁶-part
-//! catalogs ([`Catalog::synthesize`](f1_components::Catalog::synthesize))
-//! are explored in seconds.
+//! candidate ([`KnobSweep`]).
+//!
+//! Since the compile/execute split, [`Query`] is a thin borrowed facade:
+//! [`Query::run`] compiles the request into an owned
+//! [`QueryPlan`] and executes it through the
+//! same fused shared-pass core that backs [`Session`](crate::Session) —
+//! use [`Query::plan`] to keep the compiled plan and hand it to a
+//! session for caching, batching and multi-threaded serving.
 //!
 //! ```
 //! use f1_components::{names, Catalog};
@@ -37,25 +40,26 @@
 
 use std::collections::BTreeMap;
 
-use f1_components::{
-    Airframe, AirframeId, AlgorithmId, BatteryId, ComponentError, ComputeId, ComputePlatform,
-    Sensor, SensorId,
-};
-use f1_model::mission::hover_endurance;
+use f1_components::{AirframeId, AlgorithmId, BatteryId, ComputeId, SensorId};
 use f1_model::ModelError;
-use f1_units::{Grams, Hertz, Meters, MetersPerSecond, Watts};
+use f1_units::{Grams, MetersPerSecond, Watts};
 
 use crate::dse::{Candidate, DseOutcome, DseResult, Engine, Outcome};
-use crate::frontier;
-use crate::sweep::parallel_map_indices;
+use crate::plan::{PlanBuilder, QueryPlan};
+use crate::session::{run_plans, ResultSet};
 use crate::SkylineError;
 
 pub use crate::mission::SENSOR_STACK_POWER_W;
 
+/// The former name of [`ResultSet`], kept for downstream code written
+/// against the pre-split API.
+#[deprecated(note = "renamed to ResultSet (now columnar, with top_k and pages)")]
+pub type QueryResult = ResultSet;
+
 /// One optimization axis of a query.
 ///
 /// The first objective of a query is its **primary** objective: ranked
-/// reports ([`QueryResult::ranked`], [`Engine::describe_query`]) sort by
+/// reports ([`ResultSet::ranked`], [`Engine::describe_query`]) sort by
 /// it. Frontiers treat all objectives simultaneously.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
@@ -71,7 +75,7 @@ pub enum Objective {
     /// minimize. Infeasible builds score `+∞` and never reach a frontier.
     MissionEnergyWhPerKm,
     /// Hover endurance (minutes) on the query's battery — maximize.
-    /// Requires [`Query::battery`]; infeasible builds score zero.
+    /// Requires a mounted battery; infeasible builds score zero.
     HoverEnduranceMin,
 }
 
@@ -89,6 +93,18 @@ impl Objective {
     #[must_use]
     pub fn maximize(self) -> bool {
         matches!(self, Self::SafeVelocity | Self::HoverEnduranceMin)
+    }
+
+    /// Position of this objective in [`Objective::ALL`] — the slot it
+    /// occupies in the shared-pass executor's per-job value cache.
+    pub(crate) fn all_index(self) -> usize {
+        match self {
+            Self::SafeVelocity => 0,
+            Self::TotalTdp => 1,
+            Self::PayloadMass => 2,
+            Self::MissionEnergyWhPerKm => 3,
+            Self::HoverEnduranceMin => 4,
+        }
     }
 
     /// Short human label.
@@ -143,7 +159,7 @@ impl std::str::FromStr for Objective {
 
 /// A hard filter applied to every evaluated candidate before ranking and
 /// frontier computation. Filtered candidates are counted in
-/// [`QueryResult::dropped`], not returned.
+/// [`ResultSet::dropped`], not returned.
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
 pub enum Constraint {
@@ -190,6 +206,13 @@ pub enum Knob {
     /// frontier points; use [`Knob::TdpScale`] for the
     /// heatsink-shedding what-if).
     PayloadDelta,
+    /// Multiply the airframe's base (frame + motors + ESC) mass —
+    /// Table II's "Drone Weight". Evaluated through per-setting airframe
+    /// variant tables; a lighter frame buys acceleration headroom.
+    WeightScale,
+    /// Multiply the per-rotor pull (thrust) — Table II's "Rotor Pull".
+    /// Evaluated through per-setting airframe variant tables.
+    RotorPull,
 }
 
 impl Knob {
@@ -201,6 +224,33 @@ impl Knob {
             Self::SensorRateScale => "Sensor Framerate",
             Self::SensorRangeScale => "Sensor Range",
             Self::PayloadDelta => "Payload Weight",
+            Self::WeightScale => "Drone Weight",
+            Self::RotorPull => "Rotor Pull",
+        }
+    }
+
+    /// The token naming this knob in canonical plan keys.
+    pub(crate) fn key_token(self) -> &'static str {
+        match self {
+            Self::TdpScale => "tdp_scale",
+            Self::SensorRateScale => "sensor_rate_scale",
+            Self::SensorRangeScale => "sensor_range_scale",
+            Self::PayloadDelta => "payload_delta",
+            Self::WeightScale => "weight_scale",
+            Self::RotorPull => "rotor_pull",
+        }
+    }
+
+    /// Inverse of [`key_token`](Self::key_token).
+    pub(crate) fn from_key_token(token: &str) -> Option<Self> {
+        match token {
+            "tdp_scale" => Some(Self::TdpScale),
+            "sensor_rate_scale" => Some(Self::SensorRateScale),
+            "sensor_range_scale" => Some(Self::SensorRangeScale),
+            "payload_delta" => Some(Self::PayloadDelta),
+            "weight_scale" => Some(Self::WeightScale),
+            "rotor_pull" => Some(Self::RotorPull),
+            _ => None,
         }
     }
 }
@@ -250,7 +300,7 @@ impl KnobSweep {
         &self.values
     }
 
-    fn validate(&self) -> Result<(), SkylineError> {
+    pub(crate) fn validate(&self) -> Result<(), SkylineError> {
         let out_of_domain = |value: f64, expected: &'static str| {
             SkylineError::Model(ModelError::OutOfDomain {
                 parameter: "knob sweep value",
@@ -263,7 +313,11 @@ impl KnobSweep {
         }
         for &v in &self.values {
             match self.knob {
-                Knob::TdpScale | Knob::SensorRateScale | Knob::SensorRangeScale => {
+                Knob::TdpScale
+                | Knob::SensorRateScale
+                | Knob::SensorRangeScale
+                | Knob::WeightScale
+                | Knob::RotorPull => {
                     if !(v.is_finite() && v > 0.0) {
                         return Err(out_of_domain(v, "finite scale factor > 0"));
                     }
@@ -296,6 +350,10 @@ pub struct KnobSetting {
     /// Extra payload mass (0 = stock; the query's battery, if any, is
     /// accounted separately).
     pub payload_delta: Grams,
+    /// Airframe base-mass scale factor (1 = stock).
+    pub weight_scale: f64,
+    /// Per-rotor pull scale factor (1 = stock).
+    pub rotor_pull_scale: f64,
 }
 
 impl KnobSetting {
@@ -305,6 +363,8 @@ impl KnobSetting {
         sensor_rate_scale: 1.0,
         sensor_range_scale: 1.0,
         payload_delta: Grams::ZERO,
+        weight_scale: 1.0,
+        rotor_pull_scale: 1.0,
     };
 
     /// Is this the stock setting?
@@ -313,7 +373,28 @@ impl KnobSetting {
         *self == Self::IDENTITY
     }
 
-    fn apply(mut self, knob: Knob, value: f64) -> Self {
+    /// Compact human description of the non-stock knobs, e.g.
+    /// `"tdp×0.50 weight×0.80"`; empty for the identity setting.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        let mut parts = Vec::new();
+        let mut scale = |label: &str, v: f64| {
+            if v != 1.0 {
+                parts.push(format!("{label}×{v:.2}"));
+            }
+        };
+        scale("tdp", self.tdp_scale);
+        scale("rate", self.sensor_rate_scale);
+        scale("range", self.sensor_range_scale);
+        scale("weight", self.weight_scale);
+        scale("pull", self.rotor_pull_scale);
+        if self.payload_delta != Grams::ZERO {
+            parts.push(format!("load+{:.0}g", self.payload_delta.get()));
+        }
+        parts.join(" ")
+    }
+
+    pub(crate) fn apply(mut self, knob: Knob, value: f64) -> Self {
         match knob {
             Knob::TdpScale => self.tdp_scale *= value,
             Knob::SensorRateScale => self.sensor_rate_scale *= value,
@@ -321,6 +402,8 @@ impl KnobSetting {
             Knob::PayloadDelta => {
                 self.payload_delta = Grams::new(self.payload_delta.get() + value);
             }
+            Knob::WeightScale => self.weight_scale *= value,
+            Knob::RotorPull => self.rotor_pull_scale *= value,
         }
         self
     }
@@ -349,7 +432,7 @@ impl Default for MissionProfile {
 }
 
 impl MissionProfile {
-    fn validate(&self) -> Result<(), SkylineError> {
+    pub(crate) fn validate(&self) -> Result<(), SkylineError> {
         let out_of_domain = |parameter, value, expected| {
             SkylineError::Model(ModelError::OutOfDomain {
                 parameter,
@@ -406,173 +489,7 @@ pub struct QueryPoint {
 /// The number of distinct objectives a query can carry
 /// ([`Objective::ALL`] — objective lists are deduplicated), which bounds
 /// the fused per-job objective row at a stack array.
-const MAX_OBJECTIVES: usize = Objective::ALL.len();
-
-/// The result of running a [`Query`]: every evaluated point that passed
-/// the constraints, its objective values, and the Pareto frontier.
-#[derive(Debug, Clone, PartialEq)]
-pub struct QueryResult {
-    objectives: Vec<Objective>,
-    points: Vec<QueryPoint>,
-    /// Row-major `points.len() × objectives.len()` objective values, in
-    /// each objective's natural (unnegated) unit.
-    values: Vec<f64>,
-    frontier: Vec<usize>,
-    uncharacterized: usize,
-    dropped: usize,
-    nonfinite: usize,
-}
-
-impl QueryResult {
-    /// The query's objectives, primary first.
-    #[must_use]
-    pub fn objectives(&self) -> &[Objective] {
-        &self.objectives
-    }
-
-    /// Every evaluated point that passed the constraints, in
-    /// deterministic enumeration order (airframe-major, then knob
-    /// setting, then sensor × compute × algorithm in name order).
-    #[must_use]
-    pub fn points(&self) -> &[QueryPoint] {
-        &self.points
-    }
-
-    /// The objective values of point `index`, aligned with
-    /// [`objectives`](Self::objectives).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `index` is out of range.
-    #[must_use]
-    pub fn values(&self, index: usize) -> &[f64] {
-        let k = self.objectives.len();
-        &self.values[index * k..(index + 1) * k]
-    }
-
-    /// Indices (into [`points`](Self::points)) of the Pareto frontier
-    /// over all objectives jointly, ascending. Only feasible points with
-    /// finite objective values participate.
-    #[must_use]
-    pub fn frontier(&self) -> &[usize] {
-        &self.frontier
-    }
-
-    /// The frontier as points, in enumeration order.
-    pub fn frontier_points(&self) -> impl Iterator<Item = &QueryPoint> {
-        self.frontier.iter().map(|&i| &self.points[i])
-    }
-
-    /// Indices of all points ranked best-first: feasible before
-    /// infeasible, then by the **primary** (first) objective; ties keep
-    /// enumeration order.
-    #[must_use]
-    pub fn ranked(&self) -> Vec<usize> {
-        let primary = self.objectives[0];
-        let k = self.objectives.len();
-        let mut order: Vec<usize> = (0..self.points.len()).collect();
-        order.sort_by(|&a, &b| {
-            self.points[b]
-                .outcome
-                .feasible
-                .cmp(&self.points[a].outcome.feasible)
-                .then_with(|| {
-                    let (va, vb) = (self.values[a * k], self.values[b * k]);
-                    if primary.maximize() {
-                        vb.total_cmp(&va)
-                    } else {
-                        va.total_cmp(&vb)
-                    }
-                })
-        });
-        order
-    }
-
-    /// The best feasible point by the primary objective, if any.
-    #[must_use]
-    pub fn best(&self) -> Option<&QueryPoint> {
-        self.ranked()
-            .first()
-            .map(|&i| &self.points[i])
-            .filter(|p| p.outcome.feasible)
-    }
-
-    /// Sensor × compute × algorithm combinations skipped **per airframe
-    /// and knob setting** because the platform × algorithm pair was never
-    /// characterized.
-    #[must_use]
-    pub fn uncharacterized(&self) -> usize {
-        self.uncharacterized
-    }
-
-    /// Number of evaluated points rejected by the query's constraints.
-    #[must_use]
-    pub fn dropped(&self) -> usize {
-        self.dropped
-    }
-
-    /// Number of **feasible** points whose objective row contains a
-    /// non-finite value (e.g. [`Objective::MissionEnergyWhPerKm`] at a
-    /// vanishing achieved velocity → `+∞`). Such points stay in
-    /// [`points`](Self::points) and the ranked report but cannot
-    /// participate in the frontier, which is defined over finite keys
-    /// only — this counter is the accounting for that exclusion, so no
-    /// feasible point ever vanishes silently.
-    #[must_use]
-    pub fn nonfinite(&self) -> usize {
-        self.nonfinite
-    }
-
-    /// The frontier's input domain: minimized objective-key rows
-    /// (maximize objectives negated) for every feasible point with
-    /// finite values, plus the map from key-row position back to the
-    /// index in [`points`](Self::points). This is exactly what
-    /// [`frontier`](Self::frontier) was computed from — benchmarks and
-    /// tests that compare skyline algorithms against the naive scan
-    /// should extract keys through here so they keep measuring the
-    /// production path. Feasible points skipped for non-finite rows are
-    /// counted by [`nonfinite`](Self::nonfinite).
-    #[must_use]
-    pub fn minimized_keys(&self) -> (Vec<f64>, Vec<usize>) {
-        let k = self.objectives.len();
-        let mut keys = Vec::new();
-        let mut map = Vec::new();
-        for (i, point) in self.points.iter().enumerate() {
-            if !point.outcome.feasible {
-                continue;
-            }
-            let row = &self.values[i * k..(i + 1) * k];
-            if row.iter().any(|v| !v.is_finite()) {
-                continue;
-            }
-            map.push(i);
-            keys.extend(
-                row.iter()
-                    .zip(&self.objectives)
-                    .map(|(&v, o)| if o.maximize() { -v } else { v }),
-            );
-        }
-        (keys, map)
-    }
-}
-
-/// Pre-built component variants for one knob setting, indexed by
-/// position in the query's resolved sensor/compute lists.
-struct VariantParts {
-    sensors: Vec<Sensor>,
-    computes: Vec<ComputePlatform>,
-    extra_payload: Grams,
-}
-
-/// An indexed candidate: the public [`Candidate`] plus positions into
-/// the query's resolved lists (for variant lookup without id → position
-/// maps in the hot loop).
-#[derive(Clone, Copy)]
-struct IndexedCandidate {
-    candidate: Candidate,
-    sensor_pos: u32,
-    compute_pos: u32,
-}
+pub(crate) const MAX_OBJECTIVES: usize = Objective::ALL.len();
 
 /// A builder-style, composable design-space query over an [`Engine`].
 ///
@@ -580,18 +497,14 @@ struct IndexedCandidate {
 /// full example. With no explicit objectives, constraints or sweeps, a
 /// query reproduces the engine's classic 3-objective exploration —
 /// [`Engine::explore_all`] is literally a default query.
+///
+/// A `Query` borrows the engine; [`Query::plan`] compiles the identical
+/// request into an owned [`QueryPlan`] for the
+/// [`Session`](crate::Session) serving path.
 #[derive(Debug, Clone)]
 pub struct Query<'e, 'c> {
     engine: &'e Engine<'c>,
-    objectives: Vec<Objective>,
-    constraints: Vec<Constraint>,
-    sweeps: Vec<KnobSweep>,
-    airframes: Option<Vec<AirframeId>>,
-    sensors: Option<Vec<SensorId>>,
-    computes: Option<Vec<ComputeId>>,
-    algorithms: Option<Vec<AlgorithmId>>,
-    battery: Option<BatteryId>,
-    profile: MissionProfile,
+    builder: PlanBuilder,
 }
 
 /// The objectives a query with none specified runs under — the engine's
@@ -606,71 +519,63 @@ impl<'e, 'c> Query<'e, 'c> {
     pub(crate) fn new(engine: &'e Engine<'c>) -> Self {
         Self {
             engine,
-            objectives: Vec::new(),
-            constraints: Vec::new(),
-            sweeps: Vec::new(),
-            airframes: None,
-            sensors: None,
-            computes: None,
-            algorithms: None,
-            battery: None,
-            profile: MissionProfile::default(),
+            builder: QueryPlan::builder(),
         }
     }
 
     /// Appends one objective (the first appended is the primary).
     #[must_use]
     pub fn objective(mut self, objective: Objective) -> Self {
-        self.objectives.push(objective);
+        self.builder = self.builder.objective(objective);
         self
     }
 
     /// Replaces the objective list (first entry is the primary).
     #[must_use]
     pub fn objectives(mut self, objectives: &[Objective]) -> Self {
-        self.objectives = objectives.to_vec();
+        self.builder = self.builder.objectives(objectives);
         self
     }
 
     /// Adds a hard constraint.
     #[must_use]
     pub fn constraint(mut self, constraint: Constraint) -> Self {
-        self.constraints.push(constraint);
+        self.builder = self.builder.constraint(constraint);
         self
     }
 
     /// Adds a knob sweep (cartesian product with any earlier sweeps).
     #[must_use]
     pub fn sweep(mut self, sweep: KnobSweep) -> Self {
-        self.sweeps.push(sweep);
+        self.builder = self.builder.sweep(sweep);
         self
     }
 
     /// Restricts the query to these airframes (default: all).
     #[must_use]
     pub fn airframes(mut self, ids: &[AirframeId]) -> Self {
-        self.airframes = Some(ids.to_vec());
+        self.builder = self.builder.airframes(ids);
         self
     }
 
     /// Restricts the query to these sensors (default: all).
     #[must_use]
     pub fn sensors(mut self, ids: &[SensorId]) -> Self {
-        self.sensors = Some(ids.to_vec());
+        self.builder = self.builder.sensors(ids);
         self
     }
 
     /// Restricts the query to these compute platforms (default: all).
     #[must_use]
     pub fn computes(mut self, ids: &[ComputeId]) -> Self {
-        self.computes = Some(ids.to_vec());
+        self.builder = self.builder.computes(ids);
         self
     }
 
     /// Restricts the query to these algorithms (default: all).
     #[must_use]
     pub fn algorithms(mut self, ids: &[AlgorithmId]) -> Self {
-        self.algorithms = Some(ids.to_vec());
+        self.builder = self.builder.algorithms(ids);
         self
     }
 
@@ -678,14 +583,14 @@ impl<'e, 'c> Query<'e, 'c> {
     /// and [`Objective::HoverEnduranceMin`] draws on its capacity.
     #[must_use]
     pub fn battery(mut self, id: BatteryId) -> Self {
-        self.battery = Some(id);
+        self.builder = self.builder.battery(id);
         self
     }
 
     /// Overrides the power-model parameters of the energy objectives.
     #[must_use]
     pub fn mission_profile(mut self, profile: MissionProfile) -> Self {
-        self.profile = profile;
+        self.builder = self.builder.mission_profile(profile);
         self
     }
 
@@ -693,208 +598,29 @@ impl<'e, 'c> Query<'e, 'c> {
     /// were specified, deduplicated preserving first occurrence).
     #[must_use]
     pub fn resolved_objectives(&self) -> Vec<Objective> {
-        let mut out: Vec<Objective> = Vec::new();
-        let source: &[Objective] = if self.objectives.is_empty() {
-            &DEFAULT_OBJECTIVES
-        } else {
-            &self.objectives
-        };
-        for &o in source {
-            if !out.contains(&o) {
-                out.push(o);
-            }
-        }
-        out
+        self.builder.resolved_objectives()
     }
 
-    fn expand_settings(&self) -> Result<Vec<KnobSetting>, SkylineError> {
-        let mut out = vec![KnobSetting::IDENTITY];
-        for sweep in &self.sweeps {
-            sweep.validate()?;
-            let mut next = Vec::with_capacity(out.len() * sweep.values.len());
-            for setting in &out {
-                for &value in &sweep.values {
-                    // Same-knob payload sweeps compose by addition, and
-                    // two individually valid deltas can sum to +∞ —
-                    // which would panic in the `Grams` constructor
-                    // inside `apply`. Scales compose by multiplication
-                    // on plain f64 fields; an overflowed scale is
-                    // caught by `build_variants`' magnitude guard.
-                    if sweep.knob == Knob::PayloadDelta
-                        && !(setting.payload_delta.get() + value).is_finite()
-                    {
-                        return Err(SkylineError::KnobVariant {
-                            knob: Knob::PayloadDelta.table2_parameter(),
-                            value,
-                            source: ComponentError::InvalidField {
-                                field: "payload_delta",
-                                reason: format!(
-                                    "composed payload delta must be finite, got {}",
-                                    setting.payload_delta.get() + value
-                                ),
-                            },
-                        });
-                    }
-                    next.push(setting.apply(sweep.knob, value));
-                }
-            }
-            out = next;
-        }
-        Ok(out)
-    }
-
-    /// Builds the per-setting component variants.
+    /// Compiles this query into an owned, engine-free [`QueryPlan`] —
+    /// the value to cache, batch and serve through a
+    /// [`Session`](crate::Session).
     ///
-    /// This is where sweep variants are **validated**: every scaled
-    /// sensor and compute platform is constructed (and domain-checked)
-    /// here, before the batched parallel pass, so an out-of-domain knob
-    /// value surfaces as [`SkylineError::KnobVariant`] naming the
-    /// offending knob instead of aborting a running evaluation.
-    fn build_variants(
-        &self,
-        sensors: &[SensorId],
-        computes: &[ComputeId],
-        settings: &[KnobSetting],
-    ) -> Result<Vec<VariantParts>, SkylineError> {
-        let catalog = self.engine.catalog();
-        let battery_mass = self
-            .battery
-            .map_or(0.0, |id| catalog.battery_by_id(id).mass().get());
-        // A scaled magnitude must stay positive and finite *before* it
-        // reaches the unit types (whose constructors panic on
-        // non-finite values) or the component constructors.
-        let scaled = |base: f64, knob: Knob, scale: f64, field: &'static str| {
-            let value = base * scale;
-            if value.is_finite() && value > 0.0 {
-                Ok(value)
-            } else {
-                Err(SkylineError::KnobVariant {
-                    knob: knob.table2_parameter(),
-                    value: scale,
-                    source: ComponentError::InvalidField {
-                        field,
-                        reason: format!(
-                            "scaled magnitude must be positive and finite, got {value}"
-                        ),
-                    },
-                })
-            }
-        };
-        settings
-            .iter()
-            .map(|setting| {
-                let sensors = sensors
-                    .iter()
-                    .map(|&id| {
-                        let s = catalog.sensor_by_id(id);
-                        if setting.sensor_rate_scale == 1.0 && setting.sensor_range_scale == 1.0 {
-                            Ok(s.clone())
-                        } else {
-                            let rate = scaled(
-                                s.frame_rate().get(),
-                                Knob::SensorRateScale,
-                                setting.sensor_rate_scale,
-                                "frame_rate",
-                            )?;
-                            let range = scaled(
-                                s.range().get(),
-                                Knob::SensorRangeScale,
-                                setting.sensor_range_scale,
-                                "range",
-                            )?;
-                            // `scaled` has already validated both
-                            // magnitudes; any residual constructor error
-                            // is a catalog-field problem, not a knob one.
-                            Sensor::new(
-                                s.name(),
-                                s.modality(),
-                                Hertz::new(rate),
-                                Meters::new(range),
-                                s.mass(),
-                            )
-                            .map_err(SkylineError::from)
-                        }
-                    })
-                    .collect::<Result<Vec<_>, _>>()?;
-                let computes = computes
-                    .iter()
-                    .map(|&id| {
-                        let c = catalog.compute_by_id(id);
-                        if setting.tdp_scale == 1.0 {
-                            Ok(c.clone())
-                        } else {
-                            // Guards the product: `with_tdp_scaled` only
-                            // validates the factor, and an overflowed TDP
-                            // would panic inside the Watts constructor.
-                            scaled(c.tdp().get(), Knob::TdpScale, setting.tdp_scale, "tdp")?;
-                            c.with_tdp_scaled(setting.tdp_scale)
-                                .map_err(SkylineError::from)
-                        }
-                    })
-                    .collect::<Result<Vec<_>, _>>()?;
-                Ok(VariantParts {
-                    sensors,
-                    computes,
-                    extra_payload: Grams::new(battery_mass + setting.payload_delta.get()),
-                })
-            })
-            .collect()
-    }
-
-    /// The fused per-point objective extraction, run **inside** the
-    /// batched parallel pass: derives the momentum-theory power model
-    /// (the same parts-level derivation that backs
-    /// [`crate::mission::derive_power_model`]) when an energy objective
-    /// needs it, then fills one objective row.
-    fn objective_row(
-        &self,
-        objectives: &[Objective],
-        needs_power: bool,
-        airframe: &Airframe,
-        outcome: &Outcome,
-        battery_wh: Option<f64>,
-    ) -> Result<[f64; MAX_OBJECTIVES], SkylineError> {
-        let power = if needs_power && outcome.feasible {
-            Some(crate::mission::power_model_for_parts(
-                airframe,
-                airframe.takeoff_mass(outcome.payload),
-                outcome.total_tdp,
-                self.profile.figure_of_merit,
-                self.profile.parasitic_coeff,
-            )?)
-        } else {
-            None
-        };
-        let mut row = [0.0; MAX_OBJECTIVES];
-        for (slot, &objective) in row.iter_mut().zip(objectives) {
-            *slot = match objective {
-                Objective::SafeVelocity => outcome.velocity.get(),
-                Objective::TotalTdp => outcome.total_tdp.get(),
-                Objective::PayloadMass => outcome.payload.get(),
-                Objective::MissionEnergyWhPerKm => match &power {
-                    Some(p) if outcome.velocity.get() > 0.0 => {
-                        let v = outcome.velocity;
-                        p.power_at(v).get() * (1000.0 / v.get()) / 3600.0
-                    }
-                    _ => f64::INFINITY,
-                },
-                Objective::HoverEnduranceMin => match &power {
-                    Some(p) => {
-                        let wh =
-                            battery_wh.expect("run() rejects endurance queries without a battery");
-                        hover_endurance(p, wh, self.profile.battery_reserve)?.get()
-                    }
-                    None => 0.0,
-                },
-            };
-        }
-        Ok(row)
+    /// # Errors
+    ///
+    /// Same validation as [`PlanBuilder::build`].
+    pub fn plan(&self) -> Result<QueryPlan, SkylineError> {
+        self.builder.clone().build()
     }
 
     /// Compiles and runs the query: one fused batched parallel pass over
     /// every airframe × knob setting × characterized candidate —
     /// evaluation, constraint filtering **and** objective extraction all
     /// happen inside the pass — followed by the O(n log n) frontier.
+    ///
+    /// This is a compatibility wrapper over [`plan`](Self::plan) plus
+    /// the shared-pass executor that backs
+    /// [`Session::run`](crate::Session::run); unlike a session it
+    /// caches nothing.
     ///
     /// # Errors
     ///
@@ -908,7 +634,7 @@ impl<'e, 'c> Query<'e, 'c> {
     /// raised mid-pass (unreachable for catalog parts and validated
     /// variants) is propagated deterministically in enumeration order.
     /// Infeasible builds are outcomes, not errors.
-    pub fn run(&self) -> Result<QueryResult, SkylineError> {
+    pub fn run(&self) -> Result<ResultSet, SkylineError> {
         self.run_impl(true)
     }
 
@@ -917,180 +643,15 @@ impl<'e, 'c> Query<'e, 'c> {
     /// it ([`Exploration::pareto_frontier`](crate::dse::Exploration)
     /// computes its own on demand). The returned result's `frontier()`
     /// is empty.
-    pub(crate) fn run_without_frontier(&self) -> Result<QueryResult, SkylineError> {
+    pub(crate) fn run_without_frontier(&self) -> Result<ResultSet, SkylineError> {
         self.run_impl(false)
     }
 
-    fn run_impl(&self, with_frontier: bool) -> Result<QueryResult, SkylineError> {
-        let objectives = self.resolved_objectives();
-        self.profile.validate()?;
-        if objectives.contains(&Objective::HoverEnduranceMin) && self.battery.is_none() {
-            return Err(SkylineError::IncompleteSystem {
-                missing: "battery (the hover-endurance objective needs one)",
-            });
-        }
-        let settings = self.expand_settings()?;
-        let catalog = self.engine.catalog();
-
-        let airframes = self
-            .airframes
-            .clone()
-            .unwrap_or_else(|| self.engine.airframe_ids().to_vec());
-        let sensors = self
-            .sensors
-            .clone()
-            .unwrap_or_else(|| self.engine.sensor_ids().to_vec());
-        let computes = self
-            .computes
-            .clone()
-            .unwrap_or_else(|| self.engine.compute_ids().to_vec());
-        let algorithms = self
-            .algorithms
-            .clone()
-            .unwrap_or_else(|| self.engine.algorithm_ids().to_vec());
-
-        // Same nesting order as Engine::candidates, so a default query
-        // enumerates identically to the classic exploration.
-        let mut candidates: Vec<IndexedCandidate> = Vec::new();
-        for (sensor_pos, &sensor) in sensors.iter().enumerate() {
-            for (compute_pos, &compute) in computes.iter().enumerate() {
-                for &algorithm in &algorithms {
-                    if let Some(throughput) = self.engine.table().get(compute, algorithm) {
-                        candidates.push(IndexedCandidate {
-                            candidate: Candidate {
-                                sensor,
-                                compute,
-                                algorithm,
-                                throughput,
-                            },
-                            sensor_pos: sensor_pos as u32,
-                            compute_pos: compute_pos as u32,
-                        });
-                    }
-                }
-            }
-        }
-        let uncharacterized = sensors.len() * computes.len() * algorithms.len() - candidates.len();
-
-        let variants = self.build_variants(&sensors, &computes, &settings)?;
-        let airframe_refs: Vec<&Airframe> = airframes
-            .iter()
-            .map(|&id| catalog.airframe_by_id(id))
-            .collect();
-
-        let needs_power = objectives.iter().any(|o| {
-            matches!(
-                o,
-                Objective::MissionEnergyWhPerKm | Objective::HoverEnduranceMin
-            )
-        });
-        let battery_wh = self
-            .battery
-            .map(|id| catalog.battery_by_id(id).energy_watt_hours());
-        let k = objectives.len();
-
-        // Airframe-major job order (then setting, then candidate) — the
-        // explore_all compatibility wrapper relies on this layout. Jobs
-        // are plain indices into that nesting; the fused pass writes
-        // each (outcome, objective row) straight into its slot of the
-        // output buffer, so input order is output order.
-        let per_airframe = settings.len() * candidates.len();
-        let job_count = airframes.len() * per_airframe;
-        // job_count > 0 implies candidates and settings are non-empty,
-        // so the decode divisions are safe whenever a job exists.
-        let decode = |job: usize| {
-            (
-                job / per_airframe,
-                (job / candidates.len()) % settings.len(),
-                job % candidates.len(),
-            )
-        };
-        let evaluated =
-            parallel_map_indices(job_count, self.engine.chunk_size_for(job_count), |job| {
-                let (airframe_pos, setting_pos, candidate_pos) = decode(job);
-                let indexed = &candidates[candidate_pos];
-                let parts = &variants[setting_pos];
-                let outcome = match self.engine.evaluate_parts_loaded(
-                    airframe_refs[airframe_pos],
-                    &parts.sensors[indexed.sensor_pos as usize],
-                    &parts.computes[indexed.compute_pos as usize],
-                    indexed.candidate.throughput,
-                    parts.extra_payload,
-                ) {
-                    Ok(outcome) => outcome,
-                    Err(e) => return JobOut::Failed(e),
-                };
-                if !self.constraints.iter().all(|c| c.admits(&outcome)) {
-                    return JobOut::Dropped;
-                }
-                match self.objective_row(
-                    &objectives,
-                    needs_power,
-                    airframe_refs[airframe_pos],
-                    &outcome,
-                    battery_wh,
-                ) {
-                    Ok(row) => JobOut::Kept(outcome, row),
-                    Err(e) => JobOut::Failed(e),
-                }
-            });
-
-        let mut points = Vec::with_capacity(evaluated.len());
-        let mut values = Vec::with_capacity(evaluated.len() * k);
-        let mut dropped = 0usize;
-        let mut nonfinite = 0usize;
-        for (job, out) in evaluated.into_iter().enumerate() {
-            match out {
-                JobOut::Kept(outcome, row) => {
-                    if outcome.feasible && row[..k].iter().any(|v| !v.is_finite()) {
-                        nonfinite += 1;
-                    }
-                    let (airframe_pos, setting_pos, candidate_pos) = decode(job);
-                    points.push(QueryPoint {
-                        airframe: airframes[airframe_pos],
-                        candidate: candidates[candidate_pos].candidate,
-                        setting: settings[setting_pos],
-                        outcome,
-                    });
-                    values.extend_from_slice(&row[..k]);
-                }
-                JobOut::Dropped => dropped += 1,
-                JobOut::Failed(e) => return Err(e),
-            }
-        }
-
-        let mut result = QueryResult {
-            objectives,
-            points,
-            values,
-            frontier: Vec::new(),
-            uncharacterized,
-            dropped,
-            nonfinite,
-        };
-        if with_frontier {
-            let (keys, map) = result.minimized_keys();
-            result.frontier = frontier::pareto_min(result.objectives.len(), &keys)
-                .into_iter()
-                .map(|i| map[i])
-                .collect();
-        }
-        Ok(result)
+    fn run_impl(&self, with_frontier: bool) -> Result<ResultSet, SkylineError> {
+        let plan = self.plan()?;
+        let mut results = run_plans(&self.engine.pass_context(), &[&plan], with_frontier)?;
+        Ok(results.pop().expect("one plan in, one result out"))
     }
-}
-
-/// One fused evaluation job's result: the batched pass evaluates,
-/// filters and extracts objectives in a single parallel sweep.
-enum JobOut {
-    /// Passed every constraint: outcome plus objective row (the first
-    /// `objectives.len()` slots are meaningful).
-    Kept(Outcome, [f64; MAX_OBJECTIVES]),
-    /// Rejected by a constraint (counted, not returned).
-    Dropped,
-    /// Evaluation or extraction failed. Unreachable for catalog parts
-    /// and build-time-validated sweep variants; propagated
-    /// deterministically in enumeration order if it ever happens.
-    Failed(SkylineError),
 }
 
 impl<'c> Engine<'c> {
@@ -1106,7 +667,7 @@ impl<'c> Engine<'c> {
     /// each ranked by the query's **primary objective** — feasible
     /// first, ties in enumeration order.
     #[must_use]
-    pub fn describe_query(&self, result: &QueryResult) -> Vec<DseResult> {
+    pub fn describe_query(&self, result: &ResultSet) -> Vec<DseResult> {
         let catalog = self.catalog();
         let mut groups: BTreeMap<AirframeId, Vec<usize>> = BTreeMap::new();
         for index in result.ranked() {
@@ -1149,8 +710,9 @@ impl<'c> Engine<'c> {
                 nonfinite: indices
                     .iter()
                     .filter(|&&i| {
-                        result.points()[i].outcome.feasible
-                            && result.values(i).iter().any(|v| !v.is_finite())
+                        result.point(i).outcome.feasible
+                            && (0..result.objectives().len())
+                                .any(|p| !result.value(i, p).is_finite())
                     })
                     .count(),
             })
@@ -1305,6 +867,117 @@ mod tests {
     }
 
     #[test]
+    fn airframe_knob_sweeps_shift_outcomes_through_variant_tables() {
+        // Table II's drone-weight / rotor-pull knobs: a lighter frame or
+        // stronger rotors can only help (more acceleration headroom ⇒
+        // velocity up, or unchanged when another stage binds); the
+        // payload objective must be untouched (the *frame* changed, not
+        // the carried mass).
+        let catalog = Catalog::paper();
+        let engine = Engine::new(&catalog);
+        let pelican = catalog.airframe_id(names::ASCTEC_PELICAN).unwrap();
+        let result = engine
+            .query()
+            .airframes(&[pelican])
+            .sweep(KnobSweep::new(Knob::WeightScale, vec![1.0, 0.7]))
+            .sweep(KnobSweep::new(Knob::RotorPull, vec![1.0, 1.3]))
+            .run()
+            .unwrap();
+        let base = result
+            .points()
+            .iter()
+            .find(|p| p.setting.is_identity())
+            .unwrap();
+        let light = result
+            .points()
+            .iter()
+            .find(|p| {
+                p.candidate == base.candidate
+                    && p.setting.weight_scale == 0.7
+                    && p.setting.rotor_pull_scale == 1.0
+            })
+            .unwrap();
+        let strong = result
+            .points()
+            .iter()
+            .find(|p| {
+                p.candidate == base.candidate
+                    && p.setting.weight_scale == 1.0
+                    && p.setting.rotor_pull_scale == 1.3
+            })
+            .unwrap();
+        assert!(light.outcome.velocity >= base.outcome.velocity);
+        assert!(strong.outcome.velocity >= base.outcome.velocity);
+        assert_eq!(light.outcome.payload, base.outcome.payload);
+        assert_eq!(strong.outcome.payload, base.outcome.payload);
+        // Somewhere in the catalog the physics roof must actually move.
+        assert!(
+            result
+                .points()
+                .iter()
+                .filter(|p| p.setting.weight_scale == 0.7)
+                .zip(result.points().iter().filter(|p| p.setting.is_identity()))
+                .any(|(l, b)| l.outcome.roof > b.outcome.roof),
+            "weight scale 0.7 never raised a physics roof"
+        );
+
+        // A heavier frame can tip marginal builds into infeasibility.
+        let heavy = engine
+            .query()
+            .airframes(&[pelican])
+            .sweep(KnobSweep::new(Knob::WeightScale, vec![3.0]))
+            .run()
+            .unwrap();
+        let infeasible_heavy = heavy
+            .points()
+            .iter()
+            .filter(|p| !p.outcome.feasible)
+            .count();
+        let infeasible_base = result
+            .points()
+            .iter()
+            .filter(|p| p.setting.is_identity() && !p.outcome.feasible)
+            .count();
+        assert!(infeasible_heavy >= infeasible_base);
+    }
+
+    #[test]
+    fn airframe_knob_sweeps_match_manual_variants() {
+        // The variant-table path must equal hand-built airframe variants
+        // bit for bit.
+        let catalog = Catalog::paper();
+        let engine = Engine::new(&catalog);
+        let spark_id = catalog.airframe_id(names::DJI_SPARK).unwrap();
+        let result = engine
+            .query()
+            .airframes(&[spark_id])
+            .sensors(&[catalog.sensor_id(names::RGB_60).unwrap()])
+            .computes(&[catalog.compute_id(names::NCS).unwrap()])
+            .algorithms(&[catalog.algorithm_id(names::DRONET).unwrap()])
+            .sweep(KnobSweep::new(Knob::WeightScale, vec![0.8]))
+            .sweep(KnobSweep::new(Knob::RotorPull, vec![1.2]))
+            .run()
+            .unwrap();
+        assert_eq!(result.points().len(), 1);
+        let variant = catalog
+            .airframe(names::DJI_SPARK)
+            .unwrap()
+            .with_base_mass_scaled(0.8)
+            .unwrap()
+            .with_rotor_pull_scaled(1.2)
+            .unwrap();
+        let manual = engine
+            .evaluate_parts(
+                &variant,
+                catalog.sensor(names::RGB_60).unwrap(),
+                catalog.compute(names::NCS).unwrap(),
+                catalog.throughput(names::NCS, names::DRONET).unwrap(),
+            )
+            .unwrap();
+        assert_eq!(result.points()[0].outcome, manual);
+    }
+
+    #[test]
     fn negative_payload_delta_is_rejected_and_cannot_erase_mass() {
         // Sweeps cannot shed part or battery mass: negative deltas are
         // rejected up front (there is no baseline cargo to remove, and
@@ -1349,13 +1022,13 @@ mod tests {
             .unwrap();
         assert!(!result.points().is_empty());
         for i in 0..result.points().len() {
-            let energy = result.values(i)[0];
+            let energy = result.value(i, 0);
             assert!(energy.is_finite() && energy > 0.0);
         }
         // Ranked ascending by energy (primary objective, minimized).
         let ranked = result.ranked();
         for pair in ranked.windows(2) {
-            assert!(result.values(pair[0])[0] <= result.values(pair[1])[0]);
+            assert!(result.value(pair[0], 0) <= result.value(pair[1], 0));
         }
     }
 
@@ -1382,7 +1055,7 @@ mod tests {
             .unwrap();
         assert!(!result.points().is_empty());
         for i in 0..result.points().len() {
-            let endurance = result.values(i)[0];
+            let endurance = result.value(i, 0);
             assert!(endurance.is_finite() && endurance > 0.0);
             // A Pelican-sized pack hovers a research quad for minutes,
             // not hours.
@@ -1492,11 +1165,16 @@ mod tests {
     fn invalid_sweeps_and_profiles_are_rejected() {
         let catalog = Catalog::paper();
         let engine = Engine::new(&catalog);
-        assert!(engine
-            .query()
-            .sweep(KnobSweep::new(Knob::TdpScale, vec![0.0]))
-            .run()
-            .is_err());
+        for knob in [Knob::TdpScale, Knob::WeightScale, Knob::RotorPull] {
+            assert!(
+                engine
+                    .query()
+                    .sweep(KnobSweep::new(knob, vec![0.0]))
+                    .run()
+                    .is_err(),
+                "{knob:?}"
+            );
+        }
         assert!(engine
             .query()
             .sweep(KnobSweep::new(Knob::TdpScale, vec![]))
@@ -1561,14 +1239,17 @@ mod tests {
     #[test]
     fn out_of_domain_knob_variants_fail_before_the_pass_naming_the_knob() {
         // 1e308 passes the sweep-value validation (finite, positive) but
-        // scales the catalog rates/ranges to infinity: the variant build
-        // must reject it before any evaluation runs, naming the knob.
+        // scales the catalog rates/ranges/masses to infinity: the
+        // variant build must reject it before any evaluation runs,
+        // naming the knob.
         let catalog = Catalog::paper();
         let engine = Engine::new(&catalog);
         for (knob, expected) in [
             (Knob::SensorRateScale, "Sensor Framerate"),
             (Knob::SensorRangeScale, "Sensor Range"),
             (Knob::TdpScale, "Compute TDP"),
+            (Knob::WeightScale, "Drone Weight"),
+            (Knob::RotorPull, "Rotor Pull"),
         ] {
             let err = engine
                 .query()
@@ -1611,6 +1292,34 @@ mod tests {
     }
 
     #[test]
+    fn knob_tokens_round_trip() {
+        for knob in [
+            Knob::TdpScale,
+            Knob::SensorRateScale,
+            Knob::SensorRangeScale,
+            Knob::PayloadDelta,
+            Knob::WeightScale,
+            Knob::RotorPull,
+        ] {
+            assert_eq!(Knob::from_key_token(knob.key_token()), Some(knob));
+        }
+        assert_eq!(Knob::from_key_token("warp"), None);
+    }
+
+    #[test]
+    fn knob_setting_describe_is_compact() {
+        assert_eq!(KnobSetting::IDENTITY.describe(), "");
+        let setting = KnobSetting::IDENTITY
+            .apply(Knob::TdpScale, 0.5)
+            .apply(Knob::WeightScale, 0.8)
+            .apply(Knob::PayloadDelta, 150.0);
+        let text = setting.describe();
+        assert!(text.contains("tdp×0.50"));
+        assert!(text.contains("weight×0.80"));
+        assert!(text.contains("load+150g"));
+    }
+
+    #[test]
     fn queries_are_deterministic() {
         let catalog = Catalog::paper();
         let engine = Engine::new(&catalog);
@@ -1627,5 +1336,26 @@ mod tests {
                 .unwrap()
         };
         assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn query_plan_compiles_the_same_request() {
+        let catalog = Catalog::paper();
+        let engine = Engine::new(&catalog);
+        let query = engine
+            .query()
+            .objectives(&[Objective::TotalTdp, Objective::SafeVelocity])
+            .constraint(Constraint::FeasibleOnly)
+            .sweep(KnobSweep::new(Knob::TdpScale, vec![1.0, 0.5]));
+        let plan = query.plan().unwrap();
+        assert_eq!(
+            plan.objectives(),
+            [Objective::TotalTdp, Objective::SafeVelocity]
+        );
+        // The borrowed run and the owned plan through a session agree.
+        let borrowed = query.run().unwrap();
+        let session = crate::session::Session::new(std::sync::Arc::new(Catalog::paper()));
+        let owned = session.run(&plan).unwrap();
+        assert_eq!(*owned, borrowed);
     }
 }

@@ -1,0 +1,1949 @@
+//! The **execute** half of the compile/execute split: a shared-pass,
+//! plan-cached [`Session`] over an `Arc<Catalog>`, and the columnar
+//! [`ResultSet`] it produces.
+//!
+//! A [`Session`] is the serving-side counterpart of
+//! [`Engine`](crate::dse::Engine): it owns its catalog (no lifetimes in
+//! the public API), is `Send + Sync`, and executes owned
+//! [`QueryPlan`]s:
+//!
+//! * [`Session::run_batch`] fuses a whole batch of plans into **one**
+//!   parallel pass — candidates are enumerated and the momentum-theory
+//!   outcome evaluated *once*, then each plan's constraint filter and
+//!   objective rows are applied in-pass — so eight what-if questions
+//!   over a 10⁵-candidate catalog cost barely more than one.
+//! * Completed results are memoized under each plan's
+//!   [canonical key](crate::plan::QueryPlan::key): a repeated query is a
+//!   cache lookup returning the same `Arc<ResultSet>`, not a pass.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use f1_components::Catalog;
+//! use f1_skyline::plan::QueryPlan;
+//! use f1_skyline::query::Objective;
+//! use f1_skyline::session::Session;
+//!
+//! let session = Session::new(Arc::new(Catalog::paper()));
+//! let plan = QueryPlan::builder()
+//!     .objectives(&[Objective::SafeVelocity, Objective::TotalTdp])
+//!     .build()?;
+//! let result = session.run(&plan)?;          // one fused pass
+//! let again = session.run(&plan)?;           // plan-cache hit
+//! assert!(Arc::ptr_eq(&result, &again));
+//! let top = result.top_k(3);                 // bounded-heap, no full sort
+//! assert_eq!(top, &result.ranked()[..3]);
+//! # Ok::<(), f1_skyline::SkylineError>(())
+//! ```
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::{Arc, Mutex};
+
+use f1_components::{
+    Airframe, AirframeId, AlgorithmId, Catalog, ComponentError, ComputeId, ComputePlatform, Sensor,
+    SensorId, ThroughputTable,
+};
+use f1_model::heatsink::HeatsinkModel;
+use f1_model::mission::{hover_endurance, PowerModel};
+use f1_model::roofline::Saturation;
+use f1_units::{Grams, Hertz, Meters};
+use serde::{Deserialize, Serialize};
+
+use crate::dse::{evaluate_parts_with, Candidate, Outcome};
+use crate::plan::QueryPlan;
+use crate::query::{
+    Constraint, Knob, KnobSetting, MissionProfile, Objective, QueryPoint, MAX_OBJECTIVES,
+};
+use crate::sweep::parallel_map_indices;
+use crate::{frontier, SkylineError};
+
+// ---------------------------------------------------------------------
+// ResultSet
+// ---------------------------------------------------------------------
+
+/// The columnar result of executing one plan: every evaluated point that
+/// passed the constraints, per-objective value columns, and the Pareto
+/// frontier.
+///
+/// Objective values are stored **column-major** — one contiguous
+/// `Vec<f64>` per objective ([`column`](Self::column)) — the layout a
+/// serving tier wants for export, streaming top-k selection and
+/// columnar analytics. Point identity (airframe, candidate, knob
+/// setting, outcome) stays row-wise in [`points`](Self::points).
+///
+/// Ranked access scales down gracefully: [`top_k`](Self::top_k) selects
+/// the best *k* with a bounded heap in O(n log k) without materializing
+/// the full ranking, [`pages`](Self::pages) iterates fixed-size windows
+/// for paged serving, and [`ranked`](Self::ranked) still materializes
+/// everything when asked.
+///
+/// The serde derives are inert markers today (`crates/ext/serde`); the
+/// working export format is [`to_json`](Self::to_json).
+///
+/// Internally, result sets produced by one shared-pass batch all point
+/// into **one** `Arc`-shared store of evaluated points (a plan holds
+/// the indices its constraints kept), so an 8-plan batch materializes
+/// the heavyweight point rows once, not eight times. [`point`] and the
+/// iterators read through the indirection for free;
+/// [`points`](Self::points) materializes a contiguous slice lazily on
+/// first call.
+///
+/// [`point`]: Self::point
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResultSet {
+    objectives: Vec<Objective>,
+    /// The evaluated points at least one plan of the producing batch
+    /// kept, in enumeration order, shared across the batch.
+    store: Arc<Vec<QueryPoint>>,
+    /// Indices into `store` this plan kept (`None`: kept everything —
+    /// `store` *is* the point list).
+    kept: Option<Vec<u32>>,
+    /// Lazily materialized contiguous point list for
+    /// [`points`](Self::points) when `kept` is `Some`.
+    points_cache: std::sync::OnceLock<Vec<QueryPoint>>,
+    /// One column per objective, each `len()` long, in each objective's
+    /// natural (unnegated) unit.
+    columns: Vec<Vec<f64>>,
+    frontier: Vec<usize>,
+    uncharacterized: usize,
+    dropped: usize,
+    nonfinite: usize,
+}
+
+impl PartialEq for ResultSet {
+    /// Logical equality: same objectives, same point sequence (read
+    /// through the shared store without materializing), same columns,
+    /// frontier and accounting.
+    fn eq(&self, other: &Self) -> bool {
+        self.objectives == other.objectives
+            && self.len() == other.len()
+            && self.columns == other.columns
+            && self.frontier == other.frontier
+            && self.uncharacterized == other.uncharacterized
+            && self.dropped == other.dropped
+            && self.nonfinite == other.nonfinite
+            && (0..self.len()).all(|i| self.point(i) == other.point(i))
+    }
+}
+
+impl ResultSet {
+    /// Builds a result whose `store` is exactly its kept point list.
+    fn from_own_points(
+        objectives: Vec<Objective>,
+        points: Vec<QueryPoint>,
+        columns: Vec<Vec<f64>>,
+        frontier: Vec<usize>,
+        uncharacterized: usize,
+        dropped: usize,
+        nonfinite: usize,
+    ) -> Self {
+        Self {
+            objectives,
+            store: Arc::new(points),
+            kept: None,
+            points_cache: std::sync::OnceLock::new(),
+            columns,
+            frontier,
+            uncharacterized,
+            dropped,
+            nonfinite,
+        }
+    }
+
+    /// The plan's objectives, primary first.
+    #[must_use]
+    pub fn objectives(&self) -> &[Objective] {
+        &self.objectives
+    }
+
+    /// The point at `index`, in deterministic enumeration order
+    /// (airframe-major, then knob setting, then sensor × compute ×
+    /// algorithm in name order). Reads through the batch-shared store —
+    /// prefer this (or the iterators) over [`points`](Self::points) when
+    /// a contiguous slice isn't needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn point(&self, index: usize) -> &QueryPoint {
+        match &self.kept {
+            None => &self.store[index],
+            Some(kept) => &self.store[kept[index] as usize],
+        }
+    }
+
+    /// Every kept point as a contiguous slice, in enumeration order.
+    /// When this result shares a batch's point store and kept only a
+    /// subset, the slice is materialized lazily on first call (and
+    /// cached); [`point`](Self::point), [`iter_points`](Self::iter_points)
+    /// and the ranked/paged accessors never pay that copy.
+    #[must_use]
+    pub fn points(&self) -> &[QueryPoint] {
+        match &self.kept {
+            None => &self.store,
+            Some(kept) => self
+                .points_cache
+                .get_or_init(|| kept.iter().map(|&j| self.store[j as usize]).collect()),
+        }
+    }
+
+    /// Iterates the kept points in enumeration order, reading through
+    /// the shared store.
+    pub fn iter_points(&self) -> impl Iterator<Item = &QueryPoint> {
+        (0..self.len()).map(|i| self.point(i))
+    }
+
+    /// Number of points in the result.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.kept.as_ref().map_or(self.store.len(), Vec::len)
+    }
+
+    /// Whether the result holds no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The contiguous value column of the objective at `position` in
+    /// [`objectives`](Self::objectives).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position` is out of range.
+    #[must_use]
+    pub fn column(&self, position: usize) -> &[f64] {
+        &self.columns[position]
+    }
+
+    /// The value column of `objective`, if the plan carried it.
+    #[must_use]
+    pub fn column_for(&self, objective: Objective) -> Option<&[f64]> {
+        self.objectives
+            .iter()
+            .position(|&o| o == objective)
+            .map(|pos| self.columns[pos].as_slice())
+    }
+
+    /// The value of point `index` under the objective at `position`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[must_use]
+    pub fn value(&self, index: usize, position: usize) -> f64 {
+        self.columns[position][index]
+    }
+
+    /// The objective values of point `index` gathered across the
+    /// columns, aligned with [`objectives`](Self::objectives).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn row(&self, index: usize) -> Vec<f64> {
+        self.columns.iter().map(|c| c[index]).collect()
+    }
+
+    /// Indices (into [`points`](Self::points)) of the Pareto frontier
+    /// over all objectives jointly, ascending. Only feasible points with
+    /// finite objective values participate.
+    #[must_use]
+    pub fn frontier(&self) -> &[usize] {
+        &self.frontier
+    }
+
+    /// The frontier as points, in enumeration order.
+    pub fn frontier_points(&self) -> impl Iterator<Item = &QueryPoint> {
+        self.frontier.iter().map(|&i| self.point(i))
+    }
+
+    /// The rank comparator: feasible before infeasible, then by the
+    /// primary objective, ties in enumeration order. Total.
+    fn rank_cmp(&self, a: usize, b: usize) -> Ordering {
+        self.point(b)
+            .outcome
+            .feasible
+            .cmp(&self.point(a).outcome.feasible)
+            .then_with(|| {
+                let (va, vb) = (self.columns[0][a], self.columns[0][b]);
+                if self.objectives[0].maximize() {
+                    vb.total_cmp(&va)
+                } else {
+                    va.total_cmp(&vb)
+                }
+            })
+            .then_with(|| a.cmp(&b))
+    }
+
+    /// Indices of all points ranked best-first: feasible before
+    /// infeasible, then by the **primary** (first) objective; ties keep
+    /// enumeration order. Materializes and sorts the full index vector —
+    /// prefer [`top_k`](Self::top_k) when only the head is needed.
+    #[must_use]
+    pub fn ranked(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.sort_unstable_by(|&a, &b| self.rank_cmp(a, b));
+        order
+    }
+
+    /// The best `k` point indices in rank order, selected with a bounded
+    /// heap in O(n log k) — no full sort, no O(n) ranking allocation
+    /// beyond the heap. Equals `ranked()[..k]` exactly (including tie
+    /// order). `k` larger than the result just returns the full ranking.
+    #[must_use]
+    pub fn top_k(&self, k: usize) -> Vec<usize> {
+        let k = k.min(self.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        // Max-heap ordered worst-first via `Reverse`-free trick: the heap
+        // key inverts the rank comparator, so `peek` is the worst kept
+        // index and a better candidate evicts it.
+        struct Key<'a> {
+            set: &'a ResultSet,
+            index: usize,
+        }
+        impl PartialEq for Key<'_> {
+            fn eq(&self, other: &Self) -> bool {
+                self.index == other.index
+            }
+        }
+        impl Eq for Key<'_> {}
+        impl PartialOrd for Key<'_> {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Key<'_> {
+            fn cmp(&self, other: &Self) -> Ordering {
+                // Greater = worse, so BinaryHeap's max is the eviction
+                // candidate.
+                self.set.rank_cmp(self.index, other.index)
+            }
+        }
+        let mut heap: BinaryHeap<Key<'_>> = BinaryHeap::with_capacity(k + 1);
+        for index in 0..self.len() {
+            let key = Key { set: self, index };
+            if heap.len() < k {
+                heap.push(key);
+            } else if let Some(worst) = heap.peek() {
+                if key.cmp(worst) == Ordering::Less {
+                    heap.pop();
+                    heap.push(key);
+                }
+            }
+        }
+        heap.into_sorted_vec()
+            .into_iter()
+            .map(|k| k.index)
+            .collect()
+    }
+
+    /// The best feasible point by the primary objective, if any —
+    /// bounded-heap selection, no full ranking.
+    #[must_use]
+    pub fn best(&self) -> Option<&QueryPoint> {
+        self.top_k(1)
+            .first()
+            .map(|&i| self.point(i))
+            .filter(|p| p.outcome.feasible)
+    }
+
+    /// One fixed-size window of the result, for paged serving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is zero (`offset` past the end just yields an
+    /// empty page).
+    #[must_use]
+    pub fn page(&self, offset: usize, limit: usize) -> ResultPage<'_> {
+        assert!(limit > 0, "page limit must be positive");
+        let start = offset.min(self.len());
+        let end = offset.saturating_add(limit).min(self.len());
+        ResultPage {
+            set: self,
+            start,
+            end,
+        }
+    }
+
+    /// Iterates the whole result as consecutive pages of at most
+    /// `limit` points, in enumeration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is zero.
+    pub fn pages(&self, limit: usize) -> impl Iterator<Item = ResultPage<'_>> {
+        assert!(limit > 0, "page limit must be positive");
+        (0..self.len().div_ceil(limit)).map(move |p| self.page(p * limit, limit))
+    }
+
+    /// Sensor × compute × algorithm combinations skipped **per airframe
+    /// and knob setting** because the platform × algorithm pair was never
+    /// characterized.
+    #[must_use]
+    pub fn uncharacterized(&self) -> usize {
+        self.uncharacterized
+    }
+
+    /// Number of evaluated points rejected by the plan's constraints.
+    #[must_use]
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+
+    /// Number of **feasible** points whose objective row contains a
+    /// non-finite value (e.g. [`Objective::MissionEnergyWhPerKm`] at a
+    /// vanishing achieved velocity → `+∞`). Such points stay in
+    /// [`points`](Self::points) and the ranked report but cannot
+    /// participate in the frontier, which is defined over finite keys
+    /// only — this counter is the accounting for that exclusion, so no
+    /// feasible point ever vanishes silently.
+    #[must_use]
+    pub fn nonfinite(&self) -> usize {
+        self.nonfinite
+    }
+
+    /// The frontier's input domain: minimized objective-key rows
+    /// (maximize objectives negated) for every feasible point with
+    /// finite values, plus the map from key-row position back to the
+    /// index in [`points`](Self::points). This is exactly what
+    /// [`frontier`](Self::frontier) was computed from — benchmarks and
+    /// tests that compare skyline algorithms against the naive scan
+    /// should extract keys through here so they keep measuring the
+    /// production path. Feasible points skipped for non-finite rows are
+    /// counted by [`nonfinite`](Self::nonfinite).
+    #[must_use]
+    pub fn minimized_keys(&self) -> (Vec<f64>, Vec<usize>) {
+        let mut keys = Vec::new();
+        let mut map = Vec::new();
+        'points: for i in 0..self.len() {
+            let point = self.point(i);
+            if !point.outcome.feasible {
+                continue;
+            }
+            for column in &self.columns {
+                if !column[i].is_finite() {
+                    continue 'points;
+                }
+            }
+            map.push(i);
+            keys.extend(self.columns.iter().zip(&self.objectives).map(|(c, o)| {
+                if o.maximize() {
+                    -c[i]
+                } else {
+                    c[i]
+                }
+            }));
+        }
+        (keys, map)
+    }
+
+    /// Serializes the result for serving: a self-describing JSON
+    /// document with the objective schema, the per-objective value
+    /// columns (column-major, `null` for non-finite values — JSON has
+    /// no `Infinity`), the catalog-resolved build identity of every
+    /// point, the frontier indices and the accounting counters. The
+    /// catalog must be the one the plan executed against.
+    #[must_use]
+    pub fn to_json(&self, catalog: &Catalog) -> String {
+        let mut out = String::with_capacity(64 + self.len() * 96);
+        out.push_str("{\n  \"objectives\": [");
+        for (i, o) in self.objectives.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"label\": {}, \"unit\": {}, \"maximize\": {}}}",
+                json_string(o.label()),
+                json_string(o.unit()),
+                o.maximize()
+            ));
+        }
+        out.push_str("],\n");
+        out.push_str(&format!(
+            "  \"count\": {}, \"dropped\": {}, \"uncharacterized\": {}, \"nonfinite\": {},\n",
+            self.len(),
+            self.dropped,
+            self.uncharacterized,
+            self.nonfinite
+        ));
+        out.push_str("  \"columns\": {");
+        for (pos, objective) in self.objectives.iter().enumerate() {
+            if pos > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_string(objective.label()));
+            out.push_str(": [");
+            for (i, v) in self.columns[pos].iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json_number(*v));
+            }
+            out.push(']');
+        }
+        out.push_str("},\n  \"builds\": [");
+        for i in 0..self.len() {
+            let point = self.point(i);
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\"airframe\": ");
+            out.push_str(&json_string(catalog.airframe_by_id(point.airframe).name()));
+            out.push_str(", \"sensor\": ");
+            out.push_str(&json_string(
+                catalog.sensor_by_id(point.candidate.sensor).name(),
+            ));
+            out.push_str(", \"compute\": ");
+            out.push_str(&json_string(
+                catalog.compute_by_id(point.candidate.compute).name(),
+            ));
+            out.push_str(", \"algorithm\": ");
+            out.push_str(&json_string(
+                catalog.algorithm_by_id(point.candidate.algorithm).name(),
+            ));
+            out.push_str(&format!(", \"feasible\": {}", point.outcome.feasible));
+            if !point.setting.is_identity() {
+                let s = &point.setting;
+                out.push_str(&format!(
+                    ", \"setting\": {{\"tdp_scale\": {}, \"sensor_rate_scale\": {}, \
+                     \"sensor_range_scale\": {}, \"payload_delta_g\": {}, \
+                     \"weight_scale\": {}, \"rotor_pull_scale\": {}}}",
+                    json_number(s.tdp_scale),
+                    json_number(s.sensor_rate_scale),
+                    json_number(s.sensor_range_scale),
+                    json_number(s.payload_delta.get()),
+                    json_number(s.weight_scale),
+                    json_number(s.rotor_pull_scale),
+                ));
+            }
+            out.push('}');
+        }
+        out.push_str("\n  ],\n  \"frontier\": [");
+        for (i, f) in self.frontier.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&f.to_string());
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// One fixed-size window of a [`ResultSet`], for paged serving.
+#[derive(Debug, Clone, Copy)]
+pub struct ResultPage<'a> {
+    set: &'a ResultSet,
+    start: usize,
+    end: usize,
+}
+
+impl<'a> ResultPage<'a> {
+    /// Index of the first point in this page.
+    #[must_use]
+    pub fn offset(&self) -> usize {
+        self.start
+    }
+
+    /// Number of points in this page.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the page is empty (offset past the end).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The page's points, in enumeration order (materializes the parent
+    /// result's contiguous point list on first access — see
+    /// [`ResultSet::points`]).
+    #[must_use]
+    pub fn points(&self) -> &'a [QueryPoint] {
+        &self.set.points()[self.start..self.end]
+    }
+
+    /// The page's slice of an objective's value column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position` is out of range.
+    #[must_use]
+    pub fn column(&self, position: usize) -> &'a [f64] {
+        &self.set.columns[position][self.start..self.end]
+    }
+
+    /// Iterates `(result index, point)` pairs of the page.
+    pub fn rows(self) -> impl Iterator<Item = (usize, &'a QueryPoint)> {
+        let start = self.start;
+        self.points()
+            .iter()
+            .enumerate()
+            .map(move |(i, p)| (start + i, p))
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+// ---------------------------------------------------------------------
+// The fused shared-pass executor
+// ---------------------------------------------------------------------
+
+/// Everything a pass needs, borrowed: both [`Engine`](crate::dse::Engine)
+/// (catalog by reference) and [`Session`] (catalog behind `Arc`) project
+/// themselves into one of these, so the borrowed compatibility query and
+/// the owned serving path execute the **same** code.
+pub(crate) struct PassContext<'a> {
+    pub catalog: &'a Catalog,
+    pub airframes: &'a [AirframeId],
+    pub sensors: &'a [SensorId],
+    pub computes: &'a [ComputeId],
+    pub algorithms: &'a [AlgorithmId],
+    pub table: &'a ThroughputTable,
+    pub heatsink: &'a HeatsinkModel,
+    pub saturation: Saturation,
+    pub chunk_size: Option<usize>,
+}
+
+impl PassContext<'_> {
+    fn chunk_size_for(&self, jobs: usize) -> usize {
+        self.chunk_size
+            .unwrap_or_else(|| crate::sweep::auto_chunk_size(jobs))
+    }
+}
+
+/// Pre-built component variants for one knob setting, indexed by
+/// position in the group's resolved sensor/compute/airframe lists.
+struct VariantParts {
+    sensors: Vec<Sensor>,
+    computes: Vec<ComputePlatform>,
+    /// `Some` only when the setting scales an airframe knob (drone
+    /// weight / rotor pull); `None` shares the stock catalog airframes.
+    airframes: Option<Vec<Airframe>>,
+    extra_payload: Grams,
+}
+
+/// An indexed candidate: the public [`Candidate`] plus positions into
+/// the group's resolved lists (for variant lookup without id → position
+/// maps in the hot loop).
+#[derive(Clone, Copy)]
+struct IndexedCandidate {
+    candidate: Candidate,
+    sensor_pos: u32,
+    compute_pos: u32,
+}
+
+/// One odd-profile plan's verdict on one evaluated job. Plans whose
+/// mission profile differs from the group's shared profile cannot read
+/// the shared per-job value cache, so the pass materializes their rows
+/// explicitly (a rare path — co-profiled batches produce no rows at
+/// all).
+enum PlanRow {
+    /// Rejected by a constraint.
+    Dropped,
+    /// Passed every constraint: objective row (the first
+    /// `objectives.len()` slots are meaningful).
+    Kept([f64; MAX_OBJECTIVES]),
+}
+
+/// Per-job output of the fused pass: the shared outcome, the bitmask of
+/// member plans whose constraints admit it, the shared-profile value
+/// cache (each objective computed **once** per job, in
+/// [`Objective::ALL`] order, `NaN` where no kept plan needs it), and —
+/// only when the group has odd-profile members — their materialized
+/// rows. Everything is inline except the rare odd-row vector
+/// (`Vec::new()` does not allocate), so a batch pass stays as
+/// allocation-free per job as the single-plan pass.
+type JobOut = (Outcome, u64, [f64; MAX_OBJECTIVES], Vec<PlanRow>);
+
+/// Validates that every id a plan carries is in range for the catalog.
+fn validate_plan_ids(ctx: &PassContext<'_>, plan: &QueryPlan) -> Result<(), SkylineError> {
+    fn check<T: Copy>(
+        ids: Option<&[T]>,
+        index: impl Fn(T) -> usize,
+        count: usize,
+        family: &'static str,
+    ) -> Result<(), SkylineError> {
+        for &id in ids.unwrap_or_default() {
+            if index(id) >= count {
+                return Err(SkylineError::PlanCatalog {
+                    family,
+                    index: index(id),
+                    count,
+                });
+            }
+        }
+        Ok(())
+    }
+    let catalog = ctx.catalog;
+    check(
+        plan.airframes(),
+        AirframeId::index,
+        catalog.airframe_count(),
+        "airframe",
+    )?;
+    check(
+        plan.sensors(),
+        SensorId::index,
+        catalog.sensor_count(),
+        "sensor",
+    )?;
+    check(
+        plan.computes(),
+        ComputeId::index,
+        catalog.compute_count(),
+        "compute",
+    )?;
+    check(
+        plan.algorithms(),
+        AlgorithmId::index,
+        catalog.algorithm_count(),
+        "algorithm",
+    )?;
+    if let Some(battery) = plan.battery() {
+        if battery.index() >= catalog.battery_count() {
+            return Err(SkylineError::PlanCatalog {
+                family: "battery",
+                index: battery.index(),
+                count: catalog.battery_count(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Two plans can share one evaluation pass when everything that shapes
+/// the evaluated *outcomes* matches: the candidate subspace, the
+/// expanded knob settings and the mounted battery (its mass rides on
+/// every build). Objectives, constraints and mission profiles are
+/// per-plan, applied in-pass.
+fn same_pass(a: &QueryPlan, b: &QueryPlan) -> bool {
+    a.airframes() == b.airframes()
+        && a.sensors() == b.sensors()
+        && a.computes() == b.computes()
+        && a.algorithms() == b.algorithms()
+        && a.settings() == b.settings()
+        && a.battery() == b.battery()
+}
+
+/// Runs a batch of plans, sharing one fused parallel pass among every
+/// subset of plans with the same evaluation signature. Results come
+/// back aligned with `plans`.
+pub(crate) fn run_plans(
+    ctx: &PassContext<'_>,
+    plans: &[&QueryPlan],
+    with_frontier: bool,
+) -> Result<Vec<ResultSet>, SkylineError> {
+    for plan in plans {
+        validate_plan_ids(ctx, plan)?;
+    }
+    // Group by pass signature (order-preserving; batches are small, the
+    // quadratic scan is noise next to a single evaluation).
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for (i, plan) in plans.iter().enumerate() {
+        match groups
+            .iter_mut()
+            .find(|members| same_pass(plans[members[0]], plan))
+        {
+            Some(members) => members.push(i),
+            None => groups.push(vec![i]),
+        }
+    }
+    let mut out: Vec<Option<ResultSet>> = (0..plans.len()).map(|_| None).collect();
+    for members in groups {
+        // The per-job kept set is a u64 bitmask; a (pathological) group
+        // beyond 64 members re-runs the pass per 64-plan chunk.
+        for chunk in members.chunks(64) {
+            let group_plans: Vec<&QueryPlan> = chunk.iter().map(|&i| plans[i]).collect();
+            let results = run_group(ctx, &group_plans, with_frontier)?;
+            for (&slot, result) in chunk.iter().zip(results) {
+                out[slot] = Some(result);
+            }
+        }
+    }
+    Ok(out
+        .into_iter()
+        .map(|r| r.expect("every plan belongs to exactly one group"))
+        .collect())
+}
+
+/// Builds the per-setting component variants for one pass group.
+///
+/// This is where sweep variants are **validated**: every scaled sensor,
+/// compute platform and airframe is constructed (and domain-checked)
+/// here, before the batched parallel pass, so an out-of-domain knob
+/// value surfaces as [`SkylineError::KnobVariant`] naming the offending
+/// knob instead of aborting a running evaluation.
+fn build_variants(
+    ctx: &PassContext<'_>,
+    sensors: &[SensorId],
+    computes: &[ComputeId],
+    airframes: &[AirframeId],
+    settings: &[KnobSetting],
+    battery_mass: f64,
+) -> Result<Vec<VariantParts>, SkylineError> {
+    let catalog = ctx.catalog;
+    // A scaled magnitude must stay positive and finite *before* it
+    // reaches the unit types (whose constructors panic on non-finite
+    // values) or the component constructors.
+    let scaled = |base: f64, knob: Knob, scale: f64, field: &'static str| {
+        let value = base * scale;
+        if value.is_finite() && value > 0.0 {
+            Ok(value)
+        } else {
+            Err(SkylineError::KnobVariant {
+                knob: knob.table2_parameter(),
+                value: scale,
+                source: ComponentError::InvalidField {
+                    field,
+                    reason: format!("scaled magnitude must be positive and finite, got {value}"),
+                },
+            })
+        }
+    };
+    settings
+        .iter()
+        .map(|setting| {
+            let sensors = sensors
+                .iter()
+                .map(|&id| {
+                    let s = catalog.sensor_by_id(id);
+                    if setting.sensor_rate_scale == 1.0 && setting.sensor_range_scale == 1.0 {
+                        Ok(s.clone())
+                    } else {
+                        let rate = scaled(
+                            s.frame_rate().get(),
+                            Knob::SensorRateScale,
+                            setting.sensor_rate_scale,
+                            "frame_rate",
+                        )?;
+                        let range = scaled(
+                            s.range().get(),
+                            Knob::SensorRangeScale,
+                            setting.sensor_range_scale,
+                            "range",
+                        )?;
+                        // `scaled` has already validated both magnitudes;
+                        // any residual constructor error is a
+                        // catalog-field problem, not a knob one.
+                        Sensor::new(
+                            s.name(),
+                            s.modality(),
+                            Hertz::new(rate),
+                            Meters::new(range),
+                            s.mass(),
+                        )
+                        .map_err(SkylineError::from)
+                    }
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let computes = computes
+                .iter()
+                .map(|&id| {
+                    let c = catalog.compute_by_id(id);
+                    if setting.tdp_scale == 1.0 {
+                        Ok(c.clone())
+                    } else {
+                        // Guards the product: `with_tdp_scaled` only
+                        // validates the factor, and an overflowed TDP
+                        // would panic inside the Watts constructor.
+                        scaled(c.tdp().get(), Knob::TdpScale, setting.tdp_scale, "tdp")?;
+                        c.with_tdp_scaled(setting.tdp_scale)
+                            .map_err(SkylineError::from)
+                    }
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let airframes = if setting.weight_scale == 1.0 && setting.rotor_pull_scale == 1.0 {
+                None
+            } else {
+                Some(
+                    airframes
+                        .iter()
+                        .map(|&id| {
+                            let a = catalog.airframe_by_id(id);
+                            scaled(
+                                a.base_mass().get(),
+                                Knob::WeightScale,
+                                setting.weight_scale,
+                                "base_mass",
+                            )?;
+                            scaled(
+                                a.rotor_pull().get(),
+                                Knob::RotorPull,
+                                setting.rotor_pull_scale,
+                                "rotor_pull",
+                            )?;
+                            let a = if setting.weight_scale == 1.0 {
+                                a.clone()
+                            } else {
+                                a.with_base_mass_scaled(setting.weight_scale)?
+                            };
+                            if setting.rotor_pull_scale == 1.0 {
+                                Ok(a)
+                            } else {
+                                a.with_rotor_pull_scaled(setting.rotor_pull_scale)
+                                    .map_err(SkylineError::from)
+                            }
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                )
+            };
+            Ok(VariantParts {
+                sensors,
+                computes,
+                airframes,
+                extra_payload: Grams::new(battery_mass + setting.payload_delta.get()),
+            })
+        })
+        .collect()
+}
+
+/// Per-plan execution state precomputed before the pass.
+struct PlanExec<'p> {
+    plan: &'p QueryPlan,
+    /// Positions of the plan's objectives in [`Objective::ALL`] order —
+    /// the gather indices into the shared per-job value cache.
+    all_indices: Vec<usize>,
+    /// Bitmask over [`Objective::ALL`] positions.
+    obj_mask: u8,
+    /// Whether this plan reads the shared value cache: its objectives
+    /// are profile-independent, or its profile equals the group's
+    /// shared profile.
+    shared: bool,
+    /// Dense index into the per-job odd-row vector when `!shared`.
+    odd_pos: usize,
+}
+
+/// Fills the requested slots (an [`Objective::ALL`]-order bitmask) of
+/// one job's value cache. Each objective is computed **once per job**
+/// and the momentum-theory power model is derived once, no matter how
+/// many plans of the batch read the values.
+fn fill_values(
+    mask: u8,
+    vals: &mut [f64; MAX_OBJECTIVES],
+    airframe: &Airframe,
+    outcome: &Outcome,
+    battery_wh: Option<f64>,
+    profile: MissionProfile,
+) -> Result<(), SkylineError> {
+    let needs_power = mask & (ENERGY_BIT | ENDURANCE_BIT) != 0;
+    let power: Option<PowerModel> = if needs_power && outcome.feasible {
+        Some(crate::mission::power_model_for_parts(
+            airframe,
+            airframe.takeoff_mass(outcome.payload),
+            outcome.total_tdp,
+            profile.figure_of_merit,
+            profile.parasitic_coeff,
+        )?)
+    } else {
+        None
+    };
+    for (idx, objective) in Objective::ALL.iter().enumerate() {
+        if mask & (1 << idx) == 0 {
+            continue;
+        }
+        vals[idx] = match objective {
+            Objective::SafeVelocity => outcome.velocity.get(),
+            Objective::TotalTdp => outcome.total_tdp.get(),
+            Objective::PayloadMass => outcome.payload.get(),
+            Objective::MissionEnergyWhPerKm => match &power {
+                Some(p) if outcome.velocity.get() > 0.0 => {
+                    let v = outcome.velocity;
+                    p.power_at(v).get() * (1000.0 / v.get()) / 3600.0
+                }
+                _ => f64::INFINITY,
+            },
+            Objective::HoverEnduranceMin => match &power {
+                Some(p) => {
+                    let wh = battery_wh
+                        .expect("plan validation rejects endurance plans without a battery");
+                    hover_endurance(p, wh, profile.battery_reserve)?.get()
+                }
+                None => 0.0,
+            },
+        };
+    }
+    Ok(())
+}
+
+/// [`Objective::ALL`] bit of [`Objective::MissionEnergyWhPerKm`].
+const ENERGY_BIT: u8 = 1 << 3;
+/// [`Objective::ALL`] bit of [`Objective::HoverEnduranceMin`].
+const ENDURANCE_BIT: u8 = 1 << 4;
+
+/// Whether every constraint of the plan is **downward-closed** with
+/// respect to the plan's own minimized objective keys: a cap on a
+/// minimized objective, a floor on a maximized one, or plain
+/// feasibility (which the frontier domain already implies).
+///
+/// For such plans the kept set is dominance-downward-closed — if build
+/// `b` dominates build `a` and `a` passed the constraints, then `b`
+/// passed them too, because each constraint bounds an objective on
+/// which `b` is at least as good. Consequently
+/// `frontier(kept) = frontier(domain) ∩ kept` **exactly** (membership
+/// and tie handling): a dominated point stays dominated by a kept
+/// dominator, and no new frontier point can appear. A batch of
+/// co-shaped plans (same objective set, e.g. a Table II budget sweep)
+/// therefore shares **one** skyline pass plus O(n) intersections,
+/// instead of one skyline per plan.
+fn frontier_reducible(plan: &QueryPlan) -> bool {
+    plan.constraints().iter().all(|c| match c {
+        Constraint::FeasibleOnly => true,
+        Constraint::MinVelocity(_) => plan.objectives().contains(&Objective::SafeVelocity),
+        Constraint::MaxTotalTdp(_) => plan.objectives().contains(&Objective::TotalTdp),
+        Constraint::MaxPayload(_) => plan.objectives().contains(&Objective::PayloadMass),
+    })
+}
+
+/// Runs one pass group: a single fused batched parallel pass over every
+/// airframe × knob setting × characterized candidate — evaluation once,
+/// then each member plan's constraint filter and objective rows —
+/// followed by the per-plan O(n log n) frontiers.
+fn run_group(
+    ctx: &PassContext<'_>,
+    plans: &[&QueryPlan],
+    with_frontier: bool,
+) -> Result<Vec<ResultSet>, SkylineError> {
+    let rep = plans[0];
+    let catalog = ctx.catalog;
+    let airframes: &[AirframeId] = rep.airframes().unwrap_or(ctx.airframes);
+    let sensors: &[SensorId] = rep.sensors().unwrap_or(ctx.sensors);
+    let computes: &[ComputeId] = rep.computes().unwrap_or(ctx.computes);
+    let algorithms: &[AlgorithmId] = rep.algorithms().unwrap_or(ctx.algorithms);
+    let settings = rep.settings();
+
+    // Same nesting order as Engine::candidates, so a default plan
+    // enumerates identically to the classic exploration.
+    let mut candidates: Vec<IndexedCandidate> = Vec::new();
+    for (sensor_pos, &sensor) in sensors.iter().enumerate() {
+        for (compute_pos, &compute) in computes.iter().enumerate() {
+            for &algorithm in algorithms {
+                if let Some(throughput) = ctx.table.get(compute, algorithm) {
+                    candidates.push(IndexedCandidate {
+                        candidate: Candidate {
+                            sensor,
+                            compute,
+                            algorithm,
+                            throughput,
+                        },
+                        sensor_pos: sensor_pos as u32,
+                        compute_pos: compute_pos as u32,
+                    });
+                }
+            }
+        }
+    }
+    let uncharacterized = sensors.len() * computes.len() * algorithms.len() - candidates.len();
+
+    let battery = rep.battery().map(|id| catalog.battery_by_id(id));
+    let battery_mass = battery.map_or(0.0, |b| b.mass().get());
+    let battery_wh = battery.map(f1_components::Battery::energy_watt_hours);
+    let variants = build_variants(ctx, sensors, computes, airframes, settings, battery_mass)?;
+    let airframe_refs: Vec<&Airframe> = airframes
+        .iter()
+        .map(|&id| catalog.airframe_by_id(id))
+        .collect();
+
+    // The profile the batch's value cache is computed under: the first
+    // power-needing plan's. Plans with profile-independent objectives
+    // share the cache regardless; a power-needing plan with a different
+    // profile is an "odd" member and materializes its own rows.
+    let shared_profile = plans
+        .iter()
+        .find(|p| p.needs_power())
+        .map(|p| p.mission_profile());
+    let mut odd_count = 0usize;
+    let execs: Vec<PlanExec<'_>> = plans
+        .iter()
+        .map(|plan| {
+            let all_indices: Vec<usize> = plan.objectives().iter().map(|o| o.all_index()).collect();
+            let obj_mask = all_indices.iter().fold(0u8, |m, &i| m | (1 << i));
+            let shared = !plan.needs_power() || shared_profile == Some(plan.mission_profile());
+            let odd_pos = if shared {
+                usize::MAX
+            } else {
+                odd_count += 1;
+                odd_count - 1
+            };
+            PlanExec {
+                plan,
+                all_indices,
+                obj_mask,
+                shared,
+                odd_pos,
+            }
+        })
+        .collect();
+
+    // Airframe-major job order (then setting, then candidate) — the
+    // explore_all compatibility wrapper relies on this layout. Jobs are
+    // plain indices into that nesting; the fused pass writes each
+    // (outcome, rows) straight into its slot of the output buffer, so
+    // input order is output order.
+    let per_airframe = settings.len() * candidates.len();
+    let job_count = airframes.len() * per_airframe;
+    // job_count > 0 implies candidates and settings are non-empty, so
+    // the decode divisions are safe whenever a job exists.
+    let decode = |job: usize| {
+        (
+            job / per_airframe,
+            (job / candidates.len()) % settings.len(),
+            job % candidates.len(),
+        )
+    };
+    let evaluated = parallel_map_indices(job_count, ctx.chunk_size_for(job_count), |job| {
+        let (airframe_pos, setting_pos, candidate_pos) = decode(job);
+        let indexed = &candidates[candidate_pos];
+        let parts = &variants[setting_pos];
+        let airframe: &Airframe = parts
+            .airframes
+            .as_ref()
+            .map_or(airframe_refs[airframe_pos], |a| &a[airframe_pos]);
+        let outcome = evaluate_parts_with(
+            ctx.heatsink,
+            ctx.saturation,
+            airframe,
+            &parts.sensors[indexed.sensor_pos as usize],
+            &parts.computes[indexed.compute_pos as usize],
+            indexed.candidate.throughput,
+            parts.extra_payload,
+        )?;
+        // Cheap per-plan constraint filter first: objective values are
+        // only derived for points at least one plan keeps.
+        let mut kept_mask = 0u64;
+        for (i, exec) in execs.iter().enumerate() {
+            if exec.plan.constraints().iter().all(|c| c.admits(&outcome)) {
+                kept_mask |= 1 << i;
+            }
+        }
+        let mut vals = [f64::NAN; MAX_OBJECTIVES];
+        let mut odd_rows: Vec<PlanRow> = Vec::new();
+        if kept_mask != 0 {
+            // One value-cache fill for the union of the keeping shared
+            // plans' objectives: the power model and every objective are
+            // computed once per job regardless of batch width.
+            let mut union_mask = 0u8;
+            for (i, exec) in execs.iter().enumerate() {
+                if exec.shared && kept_mask & (1 << i) != 0 {
+                    union_mask |= exec.obj_mask;
+                }
+            }
+            if union_mask != 0 {
+                fill_values(
+                    union_mask,
+                    &mut vals,
+                    airframe,
+                    &outcome,
+                    battery_wh,
+                    shared_profile.unwrap_or_default(),
+                )?;
+            }
+            if odd_count > 0 {
+                odd_rows = Vec::with_capacity(odd_count);
+                for (i, exec) in execs.iter().enumerate().filter(|(_, e)| !e.shared) {
+                    if kept_mask & (1 << i) != 0 {
+                        let mut own = [f64::NAN; MAX_OBJECTIVES];
+                        fill_values(
+                            exec.obj_mask,
+                            &mut own,
+                            airframe,
+                            &outcome,
+                            battery_wh,
+                            exec.plan.mission_profile(),
+                        )?;
+                        let mut row = [0.0; MAX_OBJECTIVES];
+                        for (slot, &idx) in row.iter_mut().zip(&exec.all_indices) {
+                            *slot = own[idx];
+                        }
+                        odd_rows.push(PlanRow::Kept(row));
+                    } else {
+                        odd_rows.push(PlanRow::Dropped);
+                    }
+                }
+            }
+        }
+        Ok::<JobOut, SkylineError>((outcome, kept_mask, vals, odd_rows))
+    });
+    // Single-plan fast path (the `Engine::query().run()` /
+    // `Session::run` hot case): collect and assemble in one serial
+    // sweep over the evaluated buffer — no intermediate job vector, no
+    // second 10⁵-element traversal. Frontier sharing needs at least
+    // two plans, so nothing is lost.
+    if execs.len() == 1 {
+        let exec = &execs[0];
+        let k = exec.all_indices.len();
+        let mut points: Vec<QueryPoint> = Vec::with_capacity(evaluated.len());
+        let mut columns: Vec<Vec<f64>> = vec![Vec::with_capacity(evaluated.len()); k];
+        let mut dropped = 0usize;
+        let mut nonfinite = 0usize;
+        for (job, result) in evaluated.into_iter().enumerate() {
+            // Propagate the first evaluation error in enumeration order
+            // (unreachable for catalog parts and validated variants).
+            let (outcome, kept_mask, vals, _) = result?;
+            if kept_mask & 1 == 0 {
+                dropped += 1;
+                continue;
+            }
+            let mut row = [0.0; MAX_OBJECTIVES];
+            for (slot, &idx) in row.iter_mut().zip(&exec.all_indices) {
+                *slot = vals[idx];
+            }
+            if outcome.feasible && row[..k].iter().any(|v| !v.is_finite()) {
+                nonfinite += 1;
+            }
+            let (airframe_pos, setting_pos, candidate_pos) = decode(job);
+            points.push(QueryPoint {
+                airframe: airframes[airframe_pos],
+                candidate: candidates[candidate_pos].candidate,
+                setting: settings[setting_pos],
+                outcome,
+            });
+            for (column, &v) in columns.iter_mut().zip(&row[..k]) {
+                column.push(v);
+            }
+        }
+        let mut result = ResultSet::from_own_points(
+            exec.plan.objectives().to_vec(),
+            points,
+            columns,
+            Vec::new(),
+            uncharacterized,
+            dropped,
+            nonfinite,
+        );
+        if with_frontier {
+            let (keys, map) = result.minimized_keys();
+            result.frontier = frontier::pareto_min(k, &keys)
+                .into_iter()
+                .map(|i| map[i])
+                .collect();
+        }
+        return Ok(vec![result]);
+    }
+
+    // Multi-plan batch. Identify the shared-skyline sets up front (see
+    // `frontier_reducible`): one skyline over the union domain per
+    // distinct objective set with at least two reducible members; each
+    // member then intersects in O(n). The union of the members' kept
+    // sets is itself downward-closed, so restricting the domain to jobs
+    // some member kept is exact.
+    let mut share_sets: Vec<(u8, u64)> = Vec::new();
+    if with_frontier {
+        let mut counted: Vec<(u8, u64, usize)> = Vec::new();
+        for (i, exec) in execs.iter().enumerate() {
+            if exec.shared && frontier_reducible(exec.plan) {
+                match counted.iter_mut().find(|(mask, ..)| *mask == exec.obj_mask) {
+                    Some((_, bits, count)) => {
+                        *bits |= 1 << i;
+                        *count += 1;
+                    }
+                    None => counted.push((exec.obj_mask, 1 << i, 1)),
+                }
+            }
+        }
+        share_sets = counted
+            .into_iter()
+            .filter(|&(_, _, count)| count >= 2)
+            .map(|(mask, bits, _)| (mask, bits))
+            .collect();
+    }
+
+    // One fused sequential sweep over the evaluated buffer builds every
+    // member plan's points, columns and kept-job list plus each share
+    // set's skyline domain — the job buffer (tens of MB at 10⁵
+    // candidates) is streamed ONCE instead of once per plan, which is
+    // what makes an 8-plan batch land near the cost of one query.
+    struct PlanAccum {
+        columns: Vec<Vec<f64>>,
+        kept_jobs: Vec<u32>,
+        nonfinite: usize,
+    }
+    // Exact preallocation from a cheap mask pre-scan: growth
+    // reallocations would otherwise rewrite each plan's point and
+    // column buffers about once over, interleaved across the batch.
+    let mut kept_counts = vec![0usize; execs.len()];
+    let mut union_count = 0usize;
+    for (_, kept_mask, _, _) in evaluated.iter().flatten() {
+        union_count += usize::from(*kept_mask != 0);
+        for (i, count) in kept_counts.iter_mut().enumerate() {
+            *count += usize::from(kept_mask & (1 << i) != 0);
+        }
+    }
+    let mut accums: Vec<PlanAccum> = execs
+        .iter()
+        .zip(&kept_counts)
+        .map(|(exec, &kept)| PlanAccum {
+            columns: vec![Vec::with_capacity(kept); exec.all_indices.len()],
+            kept_jobs: Vec::with_capacity(kept),
+            nonfinite: 0,
+        })
+        .collect();
+    // The batch-shared point store: the points at least one member
+    // plan kept, built ONCE in enumeration order (plans hold indices
+    // into it), so the heavyweight point rows are never materialized
+    // per plan — and jobs every plan dropped are never retained.
+    let mut store: Vec<QueryPoint> = Vec::with_capacity(union_count);
+    // (keys, job map) per share set, filled during the sweep.
+    let mut domains: Vec<(Vec<f64>, Vec<u32>)> = share_sets
+        .iter()
+        .map(|_| (Vec::new(), Vec::new()))
+        .collect();
+    let job_total = evaluated.len();
+    for (job, result) in evaluated.into_iter().enumerate() {
+        // Propagate the first evaluation error in enumeration order
+        // (unreachable for catalog parts and validated variants).
+        let (outcome, kept_mask, vals, odd_rows) = result?;
+        if kept_mask == 0 {
+            continue;
+        }
+        let (airframe_pos, setting_pos, candidate_pos) = decode(job);
+        store.push(QueryPoint {
+            airframe: airframes[airframe_pos],
+            candidate: candidates[candidate_pos].candidate,
+            setting: settings[setting_pos],
+            outcome,
+        });
+        let store_pos = (store.len() - 1) as u32;
+        for (plan_pos, (exec, accum)) in execs.iter().zip(&mut accums).enumerate() {
+            if kept_mask & (1 << plan_pos) == 0 {
+                continue;
+            }
+            let k = exec.all_indices.len();
+            let mut row = [0.0; MAX_OBJECTIVES];
+            if exec.shared {
+                for (slot, &idx) in row.iter_mut().zip(&exec.all_indices) {
+                    *slot = vals[idx];
+                }
+            } else {
+                match &odd_rows[exec.odd_pos] {
+                    PlanRow::Kept(r) => row = *r,
+                    PlanRow::Dropped => unreachable!("kept bit set for a dropped odd row"),
+                }
+            }
+            if outcome.feasible && row[..k].iter().any(|v| !v.is_finite()) {
+                accum.nonfinite += 1;
+            }
+            for (column, &v) in accum.columns.iter_mut().zip(&row[..k]) {
+                column.push(v);
+            }
+            accum.kept_jobs.push(store_pos);
+        }
+        if outcome.feasible {
+            'sets: for (&(mask, bits), (keys, map)) in share_sets.iter().zip(&mut domains) {
+                if kept_mask & bits == 0 {
+                    continue;
+                }
+                for (idx, v) in vals.iter().enumerate() {
+                    if mask & (1 << idx) != 0 && !v.is_finite() {
+                        continue 'sets;
+                    }
+                }
+                map.push(store_pos);
+                for (idx, objective) in Objective::ALL.iter().enumerate() {
+                    if mask & (1 << idx) != 0 {
+                        keys.push(if objective.maximize() {
+                            -vals[idx]
+                        } else {
+                            vals[idx]
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // One skyline per share set over its union domain.
+    let share_frontiers: Vec<Vec<u32>> = share_sets
+        .iter()
+        .zip(&domains)
+        .map(|(&(mask, _), (keys, map))| {
+            frontier::pareto_min(mask.count_ones() as usize, keys)
+                .iter()
+                .map(|&i| map[i])
+                .collect()
+        })
+        .collect();
+
+    // Per-plan frontiers: share-set members intersect (exact by the
+    // downward-closure argument), the rest run their own skyline — in
+    // parallel, since at 10⁵ points the d≥4 skyline of a non-reducible
+    // plan is the per-plan cost that would otherwise serialize a batch.
+    let frontiers: Vec<Vec<usize>> = if with_frontier {
+        parallel_map_indices(plans.len(), 1, |plan_pos| {
+            let exec = &execs[plan_pos];
+            let accum = &accums[plan_pos];
+            let bit = 1u64 << plan_pos;
+            let shared = share_sets
+                .iter()
+                .position(|&(mask, bits)| mask == exec.obj_mask && bits & bit != 0);
+            if let Some(set_pos) = shared {
+                // Intersect the shared skyline's store positions with
+                // this plan's kept list (both ascending), mapping to
+                // kept positions.
+                let kept_jobs = &accum.kept_jobs;
+                let mut out = Vec::new();
+                let mut ki = 0usize;
+                for &frontier_pos in &share_frontiers[set_pos] {
+                    while ki < kept_jobs.len() && kept_jobs[ki] < frontier_pos {
+                        ki += 1;
+                    }
+                    if ki < kept_jobs.len() && kept_jobs[ki] == frontier_pos {
+                        out.push(ki);
+                    }
+                }
+                out
+            } else {
+                let k = exec.all_indices.len();
+                let mut keys = Vec::new();
+                let mut map = Vec::new();
+                'points: for (i, &job) in accum.kept_jobs.iter().enumerate() {
+                    if !store[job as usize].outcome.feasible {
+                        continue;
+                    }
+                    for column in &accum.columns {
+                        if !column[i].is_finite() {
+                            continue 'points;
+                        }
+                    }
+                    map.push(i);
+                    keys.extend(
+                        accum
+                            .columns
+                            .iter()
+                            .zip(exec.plan.objectives())
+                            .map(|(c, o)| if o.maximize() { -c[i] } else { c[i] }),
+                    );
+                }
+                frontier::pareto_min(k, &keys)
+                    .into_iter()
+                    .map(|i| map[i])
+                    .collect()
+            }
+        })
+    } else {
+        vec![Vec::new(); plans.len()]
+    };
+
+    let store = Arc::new(store);
+    Ok(execs
+        .iter()
+        .zip(accums)
+        .zip(frontiers)
+        .map(|((exec, accum), frontier)| ResultSet {
+            objectives: exec.plan.objectives().to_vec(),
+            dropped: job_total - accum.kept_jobs.len(),
+            store: Arc::clone(&store),
+            // A plan that kept every job reads the store directly —
+            // `points()` is then free, not a lazy copy.
+            kept: (accum.kept_jobs.len() != store.len()).then_some(accum.kept_jobs),
+            points_cache: std::sync::OnceLock::new(),
+            columns: accum.columns,
+            frontier,
+            uncharacterized,
+            nonfinite: accum.nonfinite,
+        })
+        .collect())
+}
+
+// ---------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------
+
+/// Cache accounting of a [`Session`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Plan lookups served from the memo cache.
+    pub hits: u64,
+    /// Plan lookups that required a pass.
+    pub misses: u64,
+    /// Completed results currently held.
+    pub entries: usize,
+}
+
+/// A shared, thread-safe query-execution service over one catalog.
+///
+/// Construction snapshots the catalog exactly like
+/// [`Engine::new`](crate::dse::Engine::new) (interned ids in name order,
+/// dense throughput table, paper-calibrated heatsink model) but takes
+/// the catalog by `Arc`, so the session — and every
+/// `Arc<ResultSet>` it returns — is free of lifetimes: clone the `Arc`,
+/// move the session into a server, share it across threads.
+///
+/// See the [module docs](self) for the shared-pass and caching
+/// semantics, and [`QueryPlan`] for the owned request type.
+#[derive(Debug)]
+pub struct Session {
+    catalog: Arc<Catalog>,
+    airframes: Vec<AirframeId>,
+    sensors: Vec<SensorId>,
+    computes: Vec<ComputeId>,
+    algorithms: Vec<AlgorithmId>,
+    table: ThroughputTable,
+    heatsink: HeatsinkModel,
+    saturation: Saturation,
+    chunk_size: Option<usize>,
+    cache: Mutex<HashMap<String, Arc<ResultSet>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Session {
+    /// Opens a session over a shared catalog.
+    #[must_use]
+    pub fn new(catalog: Arc<Catalog>) -> Self {
+        let airframes = catalog.airframe_entries().map(|(id, _)| id).collect();
+        let sensors = catalog.sensor_entries().map(|(id, _)| id).collect();
+        let computes = catalog.compute_entries().map(|(id, _)| id).collect();
+        let algorithms = catalog.algorithm_entries().map(|(id, _)| id).collect();
+        let table = catalog.throughput_table();
+        Self {
+            catalog,
+            airframes,
+            sensors,
+            computes,
+            algorithms,
+            table,
+            heatsink: HeatsinkModel::paper_calibrated(),
+            saturation: Saturation::DEFAULT,
+            chunk_size: None,
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Pins the work-stealing chunk size, overriding the default
+    /// autotune (see [`crate::sweep::auto_chunk_size`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero.
+    #[must_use]
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        self.chunk_size = Some(chunk_size);
+        self
+    }
+
+    /// The catalog this session executes against.
+    #[must_use]
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    fn pass_context(&self) -> PassContext<'_> {
+        PassContext {
+            catalog: &self.catalog,
+            airframes: &self.airframes,
+            sensors: &self.sensors,
+            computes: &self.computes,
+            algorithms: &self.algorithms,
+            table: &self.table,
+            heatsink: &self.heatsink,
+            saturation: self.saturation,
+            chunk_size: self.chunk_size,
+        }
+    }
+
+    /// Cache read with no hit/miss accounting.
+    fn peek(&self, key: &str) -> Option<Arc<ResultSet>> {
+        self.cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(key)
+            .cloned()
+    }
+
+    /// Cache read counting one hit or one miss.
+    fn lookup(&self, key: &str) -> Option<Arc<ResultSet>> {
+        let hit = self.peek(key);
+        if hit.is_some() {
+            self.hits.fetch_add(1, AtomicOrdering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, AtomicOrdering::Relaxed);
+        }
+        hit
+    }
+
+    fn insert(&self, key: &str, result: Arc<ResultSet>) {
+        self.cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(key.to_owned(), result);
+    }
+
+    /// Executes one plan: a memo-cache lookup by
+    /// [canonical key](QueryPlan::key) first, one fused pass on a miss.
+    /// The cached `Arc` is returned as-is, so repeated queries are
+    /// pointer-identical — bit-identical objective rows and frontier
+    /// indices by construction.
+    ///
+    /// # Errors
+    ///
+    /// [`SkylineError::PlanCatalog`] when the plan's ids don't belong to
+    /// this session's catalog, [`SkylineError::KnobVariant`] when a
+    /// sweep value produces an out-of-domain part variant (both strictly
+    /// before the pass), plus any evaluation error, propagated
+    /// deterministically in enumeration order.
+    pub fn run(&self, plan: &QueryPlan) -> Result<Arc<ResultSet>, SkylineError> {
+        if let Some(hit) = self.lookup(plan.key()) {
+            return Ok(hit);
+        }
+        let mut results = run_plans(&self.pass_context(), &[plan], true)?;
+        let result = Arc::new(results.pop().expect("one plan in, one result out"));
+        self.insert(plan.key(), Arc::clone(&result));
+        Ok(result)
+    }
+
+    /// Executes a batch of plans in as few fused passes as their
+    /// evaluation signatures allow — plans over the same subspace, knob
+    /// settings and battery share **one** enumeration + evaluation, with
+    /// each plan's constraints and objective rows applied in-pass.
+    /// Cached plans are served from the memo cache without joining a
+    /// pass; duplicate plans within the batch are deduplicated by
+    /// canonical key. Results come back aligned with `plans`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run); the first error aborts the batch.
+    pub fn run_batch(&self, plans: &[QueryPlan]) -> Result<Vec<Arc<ResultSet>>, SkylineError> {
+        // Cache-served plans count a hit each; deduplicated uncached
+        // work counts ONE miss per pass actually run, so the stats keep
+        // meaning "lookups served" vs "passes paid".
+        let mut out: Vec<Option<Arc<ResultSet>>> = plans
+            .iter()
+            .map(|p| {
+                let hit = self.peek(p.key());
+                if hit.is_some() {
+                    self.hits.fetch_add(1, AtomicOrdering::Relaxed);
+                }
+                hit
+            })
+            .collect();
+        // Dedup uncached work by canonical key.
+        let mut pending: Vec<usize> = Vec::new();
+        for i in 0..plans.len() {
+            if out[i].is_none() && !pending.iter().any(|&j| plans[j].key() == plans[i].key()) {
+                pending.push(i);
+            }
+        }
+        if !pending.is_empty() {
+            self.misses
+                .fetch_add(pending.len() as u64, AtomicOrdering::Relaxed);
+            let refs: Vec<&QueryPlan> = pending.iter().map(|&i| &plans[i]).collect();
+            let results = run_plans(&self.pass_context(), &refs, true)?;
+            for (&i, result) in pending.iter().zip(results) {
+                let result = Arc::new(result);
+                self.insert(plans[i].key(), Arc::clone(&result));
+                out[i] = Some(result);
+            }
+        }
+        // Batch-internal duplicates resolve against the slots this very
+        // batch just filled — never back through the shared cache, which
+        // another thread may clear concurrently.
+        for i in 0..plans.len() {
+            if out[i].is_none() {
+                let twin = pending
+                    .iter()
+                    .find(|&&j| plans[j].key() == plans[i].key())
+                    .expect("every uncached plan has a pending representative");
+                out[i] = out[*twin].clone();
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|slot| slot.expect("every slot was cached, computed, or twinned"))
+            .collect())
+    }
+
+    /// Cache accounting: lookups served ([`CacheStats::hits`]) vs passes
+    /// run ([`CacheStats::misses`]), and the number of retained results.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(AtomicOrdering::Relaxed),
+            misses: self.misses.load(AtomicOrdering::Relaxed),
+            entries: self
+                .cache
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .len(),
+        }
+    }
+
+    /// Drops every memoized result (the hit/miss counters keep
+    /// counting).
+    pub fn clear_cache(&self) {
+        self.cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{Constraint, KnobSweep};
+    use f1_components::names;
+    use f1_units::Watts;
+
+    fn session() -> Session {
+        Session::new(Arc::new(Catalog::paper()))
+    }
+
+    #[test]
+    fn sessions_and_results_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync + 'static>() {}
+        assert_send_sync::<Session>();
+        assert_send_sync::<ResultSet>();
+    }
+
+    #[test]
+    fn session_matches_engine_query() {
+        let catalog = Catalog::paper();
+        let engine = crate::dse::Engine::new(&catalog);
+        let borrowed = engine.query().run().unwrap();
+        let owned = session()
+            .run(&QueryPlan::builder().build().unwrap())
+            .unwrap();
+        assert_eq!(*owned, borrowed);
+    }
+
+    #[test]
+    fn repeated_plans_hit_the_cache_pointer_identically() {
+        let session = session();
+        let plan = QueryPlan::builder().build().unwrap();
+        let first = session.run(&plan).unwrap();
+        let second = session.run(&plan).unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        // A semantically equal plan built separately shares the key,
+        // hence the entry.
+        let rebuilt = QueryPlan::builder().build().unwrap();
+        let third = session.run(&rebuilt).unwrap();
+        assert!(Arc::ptr_eq(&first, &third));
+        let stats = session.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (2, 1, 1));
+
+        session.clear_cache();
+        let fourth = session.run(&plan).unwrap();
+        assert!(!Arc::ptr_eq(&first, &fourth));
+        assert_eq!(*first, *fourth, "recomputation is deterministic");
+    }
+
+    #[test]
+    fn batch_shares_a_pass_and_matches_standalone() {
+        let session = session();
+        let caps = [20.0, 10.0, 5.0, 2.0];
+        let plans: Vec<QueryPlan> = caps
+            .iter()
+            .map(|&w| {
+                QueryPlan::builder()
+                    .constraint(Constraint::MaxTotalTdp(Watts::new(w)))
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let batch = session.run_batch(&plans).unwrap();
+        assert_eq!(batch.len(), plans.len());
+        for (plan, batched) in plans.iter().zip(&batch) {
+            let standalone = Session::new(Arc::clone(session.catalog()))
+                .run(plan)
+                .unwrap();
+            assert_eq!(**batched, *standalone);
+        }
+        // The batch memoized every member.
+        assert_eq!(session.cache_stats().entries, plans.len());
+        for (plan, batched) in plans.iter().zip(&batch) {
+            assert!(Arc::ptr_eq(batched, &session.run(plan).unwrap()));
+        }
+    }
+
+    #[test]
+    fn batch_dedups_identical_plans() {
+        let session = session();
+        let plan = QueryPlan::builder().build().unwrap();
+        let twin = QueryPlan::builder().build().unwrap();
+        let results = session.run_batch(&[plan, twin]).unwrap();
+        assert!(Arc::ptr_eq(&results[0], &results[1]));
+        assert_eq!(session.cache_stats().entries, 1);
+    }
+
+    #[test]
+    fn batch_with_mixed_signatures_still_matches_standalone() {
+        let catalog = Arc::new(Catalog::paper());
+        let spark = catalog.airframe_id(names::DJI_SPARK).unwrap();
+        let session = Session::new(Arc::clone(&catalog));
+        let plans = vec![
+            QueryPlan::builder().build().unwrap(),
+            QueryPlan::builder().airframes(&[spark]).build().unwrap(),
+            QueryPlan::builder()
+                .sweep(KnobSweep::new(Knob::TdpScale, vec![1.0, 0.5]))
+                .build()
+                .unwrap(),
+        ];
+        let batch = session.run_batch(&plans).unwrap();
+        for (plan, batched) in plans.iter().zip(&batch) {
+            let standalone = Session::new(Arc::clone(&catalog)).run(plan).unwrap();
+            assert_eq!(**batched, *standalone);
+        }
+    }
+
+    #[test]
+    fn foreign_ids_are_rejected_not_panicking() {
+        let session = session();
+        let plan = QueryPlan::builder()
+            .airframes(&[AirframeId::from_index(10_000)])
+            .build()
+            .unwrap();
+        match session.run(&plan).unwrap_err() {
+            SkylineError::PlanCatalog {
+                family,
+                index,
+                count,
+            } => {
+                assert_eq!(family, "airframe");
+                assert_eq!(index, 10_000);
+                assert_eq!(count, session.catalog().airframe_count());
+            }
+            other => panic!("expected PlanCatalog, got {other:?}"),
+        }
+        let plan = QueryPlan::builder()
+            .battery(f1_components::BatteryId::from_index(9_999))
+            .build()
+            .unwrap();
+        assert!(matches!(
+            session.run(&plan).unwrap_err(),
+            SkylineError::PlanCatalog {
+                family: "battery",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn top_k_equals_ranked_prefix() {
+        let result = session()
+            .run(&QueryPlan::builder().build().unwrap())
+            .unwrap();
+        let ranked = result.ranked();
+        for k in [0, 1, 2, 7, ranked.len(), ranked.len() + 5] {
+            assert_eq!(result.top_k(k), &ranked[..k.min(ranked.len())], "k={k}");
+        }
+        assert_eq!(
+            result.best().map(|p| p.candidate),
+            ranked
+                .first()
+                .map(|&i| result.points()[i])
+                .filter(|p| p.outcome.feasible)
+                .map(|p| p.candidate)
+        );
+    }
+
+    #[test]
+    fn pages_tile_the_result_exactly() {
+        let result = session()
+            .run(&QueryPlan::builder().build().unwrap())
+            .unwrap();
+        let n = result.len();
+        for limit in [1, 7, 64, n, n + 3] {
+            let pages: Vec<_> = result.pages(limit).collect();
+            assert_eq!(pages.len(), n.div_ceil(limit), "limit={limit}");
+            let mut seen = 0usize;
+            for page in &pages {
+                assert_eq!(page.offset(), seen);
+                assert!(page.len() <= limit);
+                assert_eq!(page.points().len(), page.len());
+                assert_eq!(page.column(0).len(), page.len());
+                for (index, point) in page.rows() {
+                    assert_eq!(point, &result.points()[index]);
+                }
+                seen += page.len();
+            }
+            assert_eq!(seen, n);
+        }
+        // Out-of-range page is empty, not a panic.
+        assert!(result.page(n + 10, 5).is_empty());
+    }
+
+    #[test]
+    fn json_export_is_well_formed() {
+        let session = session();
+        let plan = QueryPlan::builder()
+            .objectives(&[Objective::SafeVelocity, Objective::MissionEnergyWhPerKm])
+            .build()
+            .unwrap();
+        let result = session.run(&plan).unwrap();
+        let json = result.to_json(session.catalog());
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"objectives\""));
+        assert!(json.contains("\"velocity\": ["));
+        assert!(json.contains("\"frontier\": ["));
+        assert!(json.contains(&format!("\"count\": {}", result.len())));
+        // Non-finite energies (infeasible builds) must be null, never
+        // bare `inf`.
+        assert!(!json.contains("inf"));
+        // Balanced braces/brackets (cheap well-formedness check; no JSON
+        // parser in the offline stub set).
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                json.matches(open).count(),
+                json.matches(close).count(),
+                "{open}{close}"
+            );
+        }
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\u000a\"");
+        assert_eq!(json_number(f64::INFINITY), "null");
+        assert_eq!(json_number(1.5), "1.5");
+    }
+
+    #[test]
+    fn column_access_matches_rows() {
+        let result = session()
+            .run(
+                &QueryPlan::builder()
+                    .objectives(&[Objective::TotalTdp, Objective::SafeVelocity])
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        assert_eq!(result.column(0).len(), result.len());
+        assert_eq!(
+            result.column_for(Objective::SafeVelocity).unwrap(),
+            result.column(1)
+        );
+        assert!(result.column_for(Objective::PayloadMass).is_none());
+        for i in 0..result.len().min(50) {
+            assert_eq!(result.row(i), vec![result.value(i, 0), result.value(i, 1)]);
+        }
+    }
+}

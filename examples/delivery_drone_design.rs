@@ -41,9 +41,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("top 5 builds by safe velocity (energy, endurance alongside):");
-    for (rank, index) in result.ranked().into_iter().take(5).enumerate() {
+    for (rank, index) in result.top_k(5).into_iter().enumerate() {
         let point = &result.points()[index];
-        let values = result.values(index);
+        let values = result.row(index);
         println!(
             "  {}. {:<16} + {:<16} + {:<26} → {:>5.2} m/s  {:>5.2} Wh/km  {:>4.1} min hover",
             rank + 1,
@@ -59,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nPareto frontier over (velocity ↑, energy ↓, endurance ↑):");
     for &index in result.frontier() {
         let point = &result.points()[index];
-        let values = result.values(index);
+        let values = result.row(index);
         println!(
             "  • {} + {} + {}: {:.2} m/s, {:.2} Wh/km, {:.1} min",
             catalog.sensor_by_id(point.candidate.sensor).name(),
