@@ -11,8 +11,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
 
-use f1_components::{names, Catalog};
-use f1_skyline::dse::{self, Engine};
+use f1_components::{names, Catalog, CatalogDelta, CatalogStore};
+use f1_skyline::dse::Engine;
 use f1_skyline::frontier;
 use f1_skyline::plan::QueryPlan;
 use f1_skyline::query::{Constraint, Objective};
@@ -34,10 +34,6 @@ fn bench_explore_single(c: &mut Criterion) {
     let mut g = c.benchmark_group("dse_single_airframe");
     g.bench_function("engine_ids", |b| {
         b.iter(|| black_box(engine.explore_airframe(pelican).unwrap()))
-    });
-    #[allow(deprecated)] // the compat wrapper's overhead is the point
-    g.bench_function("string_compat_wrapper", |b| {
-        b.iter(|| black_box(dse::explore(&catalog, names::ASCTEC_PELICAN).unwrap()))
     });
     g.finish();
 }
@@ -199,6 +195,64 @@ fn bench_plan_reuse(c: &mut Criterion) {
     g.finish();
 }
 
+/// The versioned-store serving story: rolling catalog updates. Each
+/// iteration publishes a one-pair throughput patch as a new epoch and
+/// brings the 4-objective result forward — `incremental_refresh`
+/// through `Session::refresh` (survivors splice by reference, only the
+/// patched pair's candidates re-evaluate, frontier merged), vs
+/// `cold_rerun` paying the full fused pass at the new epoch. The
+/// session cache is LRU-capped so the rolling history stays bounded.
+fn bench_delta_repair(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dse_delta_repair");
+    for (label, n_per_family) in [("1e4", 22usize), ("1e5", 47)] {
+        let catalog = Catalog::synthesize(42, n_per_family);
+        let airframe = catalog.airframe_entries().next().map(|(id, _)| id).unwrap();
+        let compute = catalog
+            .computes()
+            .next()
+            .map(|c| c.name().to_owned())
+            .unwrap();
+        let algorithm = catalog
+            .algorithms()
+            .next()
+            .map(|a| a.name().to_owned())
+            .unwrap();
+        let plan = QueryPlan::builder()
+            .airframes(&[airframe])
+            .objectives(&Objective::ALL[..4])
+            .build()
+            .unwrap();
+        // Two deltas toggling one characterized pair, so every epoch
+        // differs from its predecessor.
+        let deltas = [
+            CatalogDelta::new().patch_throughput(&compute, &algorithm, f1_units::Hertz::new(90.0)),
+            CatalogDelta::new().patch_throughput(&compute, &algorithm, f1_units::Hertz::new(91.0)),
+        ];
+        let store = Arc::new(CatalogStore::new(catalog.clone()));
+        let session = Session::over(Arc::clone(&store)).with_cache_capacity(4);
+        session.run(&plan).unwrap();
+        let mut flip = 0usize;
+        g.bench_function(format!("incremental_refresh/{label}"), |b| {
+            b.iter(|| {
+                store.apply(&deltas[flip % 2]).unwrap();
+                flip += 1;
+                black_box(session.refresh(&plan).unwrap())
+            })
+        });
+        let store = Arc::new(CatalogStore::new(catalog));
+        let mut flip = 0usize;
+        g.bench_function(format!("cold_rerun/{label}"), |b| {
+            b.iter(|| {
+                store.apply(&deltas[flip % 2]).unwrap();
+                flip += 1;
+                let session = Session::over(Arc::clone(&store));
+                black_box(session.run(&plan).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     dse,
     bench_explore_all,
@@ -208,5 +262,6 @@ criterion_group!(
     bench_synthetic_frontier,
     bench_synthetic_query,
     bench_plan_reuse,
+    bench_delta_repair,
 );
 criterion_main!(dse);

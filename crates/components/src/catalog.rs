@@ -128,6 +128,11 @@ pub struct Catalog {
 struct Registry<T> {
     items: Vec<T>,
     ids: BTreeMap<String, u32>,
+    /// Retirement tombstones, aligned with `items`. A retired component
+    /// keeps its id (so interned ids stay stable across catalog epochs
+    /// and cached results remain resolvable) but is excluded from
+    /// iteration — and therefore from DSE enumeration.
+    retired: Vec<bool>,
 }
 
 impl<T> Default for Registry<T> {
@@ -135,15 +140,25 @@ impl<T> Default for Registry<T> {
         Self {
             items: Vec::new(),
             ids: BTreeMap::new(),
+            retired: Vec::new(),
         }
     }
 }
 
-/// Logical equality: same named items, regardless of insertion order.
+/// Logical equality: same **active** named items, regardless of
+/// insertion order or retired tombstones.
 impl<T: PartialEq> PartialEq for Registry<T> {
     fn eq(&self, other: &Self) -> bool {
-        self.ids.len() == other.ids.len() && self.iter_named().eq(other.iter_named())
+        self.active_len() == other.active_len() && self.iter_named().eq(other.iter_named())
     }
+}
+
+/// Outcome of a [`Registry::retire`] call, converted into errors by the
+/// per-family wrappers (which know the family name).
+enum RetireOutcome {
+    Retired,
+    AlreadyRetired,
+    Unknown,
 }
 
 impl<T> Registry<T> {
@@ -154,7 +169,19 @@ impl<T> Registry<T> {
         let id = u32::try_from(self.items.len()).expect("registry larger than u32::MAX");
         self.ids.insert(name, id);
         self.items.push(item);
+        self.retired.push(false);
         Some(id)
+    }
+
+    fn retire(&mut self, name: &str) -> RetireOutcome {
+        match self.ids.get(name) {
+            None => RetireOutcome::Unknown,
+            Some(&id) if self.retired[id as usize] => RetireOutcome::AlreadyRetired,
+            Some(&id) => {
+                self.retired[id as usize] = true;
+                RetireOutcome::Retired
+            }
+        }
     }
 
     fn id(&self, name: &str) -> Option<u32> {
@@ -170,20 +197,33 @@ impl<T> Registry<T> {
         &self.items[index]
     }
 
+    #[inline]
+    fn is_active(&self, index: usize) -> bool {
+        !self.retired[index]
+    }
+
     fn len(&self) -> usize {
         self.items.len()
     }
 
-    /// `(name, item)` pairs in name order.
+    fn active_len(&self) -> usize {
+        self.retired.iter().filter(|&&r| !r).count()
+    }
+
+    /// `(name, item)` pairs of the **active** components, in name order.
     fn iter_named(&self) -> impl Iterator<Item = (&str, &T)> {
         self.ids
             .iter()
+            .filter(|&(_, &id)| !self.retired[id as usize])
             .map(|(name, &id)| (name.as_str(), &self.items[id as usize]))
     }
 
-    /// `(id, item)` pairs in name order.
+    /// `(id, item)` pairs of the **active** components, in name order.
     fn entries(&self) -> impl Iterator<Item = (u32, &T)> {
-        self.ids.values().map(|&id| (id, &self.items[id as usize]))
+        self.ids
+            .values()
+            .filter(|&&id| !self.retired[id as usize])
+            .map(|&id| (id, &self.items[id as usize]))
     }
 }
 
@@ -262,10 +302,57 @@ macro_rules! family_methods {
                 .map(|(id, item)| (<$idty>::from_index(id as usize), item))
         }
 
-        /// Number of components in this family.
+        /// Size of this family's **id space**: every slot ever minted,
+        /// including retired components (whose ids stay resolvable).
+        /// Use the iterator count for the number of active components.
         #[must_use]
         pub fn $count(&self) -> usize {
             self.$field.len()
+        }
+    };
+}
+
+macro_rules! family_lifecycle_methods {
+    ($retire:ident, $is_active:ident, $active_count:ident, $field:ident, $idty:ty, $family:literal) => {
+        /// Retires a component: it keeps its interned id (cached plans
+        /// and result sets stay resolvable, and its name can never be
+        /// reused), but it disappears from iteration — and therefore
+        /// from design-space enumeration. Retirement is permanent.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`ComponentError::UnknownComponent`] for an unknown
+        /// name and [`ComponentError::DuplicateEntry`] when the
+        /// component is already retired.
+        pub fn $retire(&mut self, name: &str) -> Result<(), ComponentError> {
+            match self.$field.retire(name) {
+                RetireOutcome::Retired => Ok(()),
+                RetireOutcome::Unknown => Err(ComponentError::UnknownComponent {
+                    family: $family,
+                    name: name.to_owned(),
+                }),
+                RetireOutcome::AlreadyRetired => Err(ComponentError::DuplicateEntry {
+                    family: concat!("retired ", $family),
+                    name: name.to_owned(),
+                }),
+            }
+        }
+
+        /// Whether the id refers to an active (non-retired) component.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the id was minted by a different catalog and is out
+        /// of range here.
+        #[must_use]
+        pub fn $is_active(&self, id: $idty) -> bool {
+            self.$field.is_active(id.index())
+        }
+
+        /// Number of active (non-retired) components in this family.
+        #[must_use]
+        pub fn $active_count(&self) -> usize {
+            self.$field.active_len()
         }
     };
 }
@@ -339,6 +426,47 @@ impl Catalog {
         battery_count,
         batteries,
         Battery,
+        BatteryId,
+        "battery"
+    );
+
+    family_lifecycle_methods!(
+        retire_airframe,
+        airframe_is_active,
+        airframe_active_count,
+        airframes,
+        AirframeId,
+        "airframe"
+    );
+    family_lifecycle_methods!(
+        retire_sensor,
+        sensor_is_active,
+        sensor_active_count,
+        sensors,
+        SensorId,
+        "sensor"
+    );
+    family_lifecycle_methods!(
+        retire_compute,
+        compute_is_active,
+        compute_active_count,
+        computes,
+        ComputeId,
+        "compute platform"
+    );
+    family_lifecycle_methods!(
+        retire_algorithm,
+        algorithm_is_active,
+        algorithm_active_count,
+        algorithms,
+        AlgorithmId,
+        "autonomy algorithm"
+    );
+    family_lifecycle_methods!(
+        retire_battery,
+        battery_is_active,
+        battery_active_count,
+        batteries,
         BatteryId,
         "battery"
     );
@@ -954,6 +1082,74 @@ mod tests {
         // The dangling row cannot be represented by ids; the table holds
         // only resolvable pairs.
         assert_eq!(cat.throughput_table().len(), cat.matrix().len() - 1);
+    }
+
+    #[test]
+    fn retirement_keeps_ids_stable_and_hides_from_iteration() {
+        let mut cat = Catalog::paper();
+        let tx2 = cat.compute_id(names::TX2).unwrap();
+        assert!(cat.compute_is_active(tx2));
+        cat.retire_compute(names::TX2).unwrap();
+        // The id space is unchanged; the id still resolves …
+        assert_eq!(cat.compute_count(), 8);
+        assert_eq!(cat.compute_by_id(tx2).name(), names::TX2);
+        assert!(!cat.compute_is_active(tx2));
+        // … but iteration, entries and the active count skip it.
+        assert_eq!(cat.compute_active_count(), 7);
+        assert_eq!(cat.computes().count(), 7);
+        assert!(cat.compute_entries().all(|(id, _)| id != tx2));
+        // Later additions mint fresh ids after the tombstone.
+        cat.add_compute(
+            ComputePlatform::builder("TPU v9")
+                .kind(ComputeKind::Asic)
+                .mass(Grams::new(10.0))
+                .tdp(Watts::new(2.0))
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        assert_eq!(cat.compute_id("TPU v9").unwrap().index(), 8);
+        assert_eq!(cat.compute_count(), 9);
+        assert_eq!(cat.compute_active_count(), 8);
+    }
+
+    #[test]
+    fn retirement_errors_and_name_permanence() {
+        let mut cat = Catalog::paper();
+        assert!(matches!(
+            cat.retire_sensor("sonar"),
+            Err(ComponentError::UnknownComponent { .. })
+        ));
+        cat.retire_sensor(names::RGB_60).unwrap();
+        assert!(matches!(
+            cat.retire_sensor(names::RGB_60),
+            Err(ComponentError::DuplicateEntry { .. })
+        ));
+        // A retired name can never be reused: ids must stay unambiguous.
+        let dup = Sensor::new(
+            names::RGB_60,
+            SensorModality::RgbCamera,
+            Hertz::new(30.0),
+            Meters::new(4.0),
+            Grams::new(25.0),
+        )
+        .unwrap();
+        assert!(matches!(
+            cat.add_sensor(dup),
+            Err(ComponentError::DuplicateEntry { .. })
+        ));
+        // Name lookups still resolve the retired part (for display and
+        // validation); activity is a separate question.
+        assert!(cat.sensor(names::RGB_60).is_ok());
+    }
+
+    #[test]
+    fn equality_compares_active_views() {
+        let mut a = Catalog::paper();
+        let b = Catalog::paper();
+        assert_eq!(a, b);
+        a.retire_airframe(names::DJI_SPARK).unwrap();
+        assert_ne!(a, b);
     }
 
     #[test]

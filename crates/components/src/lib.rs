@@ -8,7 +8,11 @@
 //! * typed component records ([`Sensor`], [`ComputePlatform`],
 //!   [`AutonomyAlgorithm`], [`Battery`], [`Airframe`]),
 //! * a platform × algorithm [`ThroughputMatrix`],
-//! * the UAV [`SizeClass`] taxonomy of paper Fig. 2b, and
+//! * the UAV [`SizeClass`] taxonomy of paper Fig. 2b,
+//! * [`CatalogStore`] — a copy-on-write store of immutable catalog
+//!   **epochs**: [`CatalogDelta`]s add parts, retire parts (ids stay
+//!   stable) and patch throughputs, each publish minting a
+//!   [`CatalogEpoch`] with a structural digest, and
 //! * [`Catalog`] — the paper's own parts bin: the four Table I validation
 //!   drones, DJI Spark, AscTec Pelican, a nano-UAV, the commercial compute
 //!   platforms (Ras-Pi 4, UpBoard, TX2, AGX, NCS) and the UAV-specific
@@ -40,6 +44,7 @@ mod compute;
 mod error;
 mod id;
 mod sensor;
+mod store;
 mod synth;
 mod throughput;
 
@@ -52,4 +57,5 @@ pub use compute::{ComputeKind, ComputePlatform, ComputePlatformBuilder};
 pub use error::ComponentError;
 pub use id::{AirframeId, AlgorithmId, BatteryId, ComputeId, SensorId};
 pub use sensor::{Sensor, SensorModality};
+pub use store::{catalog_digest, CatalogDelta, CatalogEpoch, CatalogStore, EpochSnapshot};
 pub use throughput::{ThroughputMatrix, ThroughputTable};

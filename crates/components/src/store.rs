@@ -1,0 +1,984 @@
+//! Versioned catalog storage: copy-on-write epochs over an evolving
+//! parts bin.
+//!
+//! The paper treats the airframe × sensor × compute × algorithm catalog
+//! as fixed, but its own premise — rapidly evolving UAV compute and
+//! sensor hardware — means a long-lived DSE service must absorb catalog
+//! changes without invalidating everything computed so far. This module
+//! makes the catalog a first-class **versioned** entity:
+//!
+//! * [`CatalogStore`] — a copy-on-write store producing immutable
+//!   `Arc<Catalog>` **epochs**. Applying a [`CatalogDelta`] clones the
+//!   current catalog, applies the delta, validates the result, and
+//!   publishes it under the next [`CatalogEpoch`]; every prior epoch
+//!   stays resolvable, so sessions can pin, compare and incrementally
+//!   repair across versions.
+//! * [`CatalogDelta`] — a batched edit: add parts, retire parts (ids
+//!   stay stable; see [`Catalog::retire_compute`] and friends), patch
+//!   throughput characterizations. Deltas are all-or-nothing: a delta
+//!   that fails validation publishes no epoch.
+//! * Each epoch carries a **structural digest** ([`EpochSnapshot::digest`]):
+//!   equal content hashes equal, so a no-op delta advances the epoch
+//!   counter while the digest stays put — observable catalog identity
+//!   for caches and logs.
+//!
+//! ```
+//! use f1_components::{names, Catalog, CatalogDelta, CatalogStore};
+//! use f1_units::Hertz;
+//!
+//! let store = CatalogStore::new(Catalog::paper());
+//! let genesis = store.current();
+//! let next = store.apply(
+//!     &CatalogDelta::new()
+//!         .patch_throughput(names::TX2, names::DRONET, Hertz::new(200.0))
+//!         .retire_compute(names::UPBOARD),
+//! )?;
+//! assert_eq!(next.epoch().get(), genesis.epoch().get() + 1);
+//! assert_ne!(next.digest(), genesis.digest());
+//! // The genesis catalog is untouched and still resolvable.
+//! assert_eq!(
+//!     store.at(genesis.epoch()).unwrap().catalog().throughput(names::TX2, names::DRONET)?,
+//!     Hertz::new(178.0)
+//! );
+//! # Ok::<(), f1_components::ComponentError>(())
+//! ```
+
+use std::sync::{Arc, Mutex, PoisonError};
+
+use f1_units::{Grams, Hertz, Meters, MilliampHours, Millimeters, Watts};
+
+use crate::{
+    Airframe, AutonomyAlgorithm, Battery, Catalog, ComponentError, ComputeKind, ComputePlatform,
+    Sensor, SensorModality,
+};
+
+/// Monotonically increasing identity of one immutable catalog version
+/// within its [`CatalogStore`]. Epochs are only meaningful in the store
+/// that minted them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CatalogEpoch(u64);
+
+impl CatalogEpoch {
+    /// The first epoch of every store.
+    pub const GENESIS: Self = Self(0);
+
+    /// Wraps a raw epoch counter (e.g. parsed from a cache key or log
+    /// line). Not validated — resolve it through [`CatalogStore::at`].
+    #[must_use]
+    pub fn from_raw(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// The raw epoch counter.
+    #[must_use]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    fn next(self) -> Self {
+        Self(self.0.checked_add(1).expect("epoch counter overflow"))
+    }
+}
+
+impl core::fmt::Display for CatalogEpoch {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "epoch {}", self.0)
+    }
+}
+
+/// One published catalog version: the epoch id, the immutable catalog,
+/// and its structural digest. Cloning is cheap (`Arc` inside).
+#[derive(Debug, Clone)]
+pub struct EpochSnapshot {
+    epoch: CatalogEpoch,
+    catalog: Arc<Catalog>,
+    digest: u64,
+}
+
+impl EpochSnapshot {
+    /// The epoch id.
+    #[must_use]
+    pub fn epoch(&self) -> CatalogEpoch {
+        self.epoch
+    }
+
+    /// The immutable catalog of this epoch.
+    #[must_use]
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// The structural digest of this epoch's catalog content: equal
+    /// content produces an equal digest, so repeated no-op deltas keep
+    /// the digest stable while the epoch counter advances. (FNV-1a over
+    /// the catalog's deterministic debug representation — an identity
+    /// fingerprint for logs and cache keys, not a cryptographic hash.)
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+}
+
+/// Structural digest of a catalog: FNV-1a 64 over its deterministic
+/// debug representation (registries iterate `BTreeMap`s and dense
+/// `Vec`s — no hash-map iteration order anywhere).
+#[must_use]
+pub fn catalog_digest(catalog: &Catalog) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0100_0000_01b3;
+    let repr = format!("{catalog:?}");
+    let mut hash = OFFSET;
+    for byte in repr.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// A copy-on-write, thread-safe store of immutable catalog epochs.
+///
+/// See the [`CatalogDelta`] docs for the epoch/delta model. The store
+/// retains every published epoch (catalog metadata is small next to the
+/// result sets computed from it), so readers can pin any version.
+#[derive(Debug)]
+pub struct CatalogStore {
+    epochs: Mutex<Vec<EpochSnapshot>>,
+}
+
+impl CatalogStore {
+    /// Opens a store whose genesis epoch is `catalog`.
+    #[must_use]
+    pub fn new(catalog: Catalog) -> Self {
+        Self::from_shared(Arc::new(catalog))
+    }
+
+    /// Opens a store whose genesis epoch is an already-shared catalog.
+    #[must_use]
+    pub fn from_shared(catalog: Arc<Catalog>) -> Self {
+        let digest = catalog_digest(&catalog);
+        Self {
+            epochs: Mutex::new(vec![EpochSnapshot {
+                epoch: CatalogEpoch::GENESIS,
+                catalog,
+                digest,
+            }]),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<EpochSnapshot>> {
+        self.epochs.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The latest published epoch.
+    #[must_use]
+    pub fn current(&self) -> EpochSnapshot {
+        self.lock().last().expect("stores hold >= 1 epoch").clone()
+    }
+
+    /// The latest epoch id.
+    #[must_use]
+    pub fn current_epoch(&self) -> CatalogEpoch {
+        self.current().epoch
+    }
+
+    /// Resolves a pinned epoch, if this store published it.
+    #[must_use]
+    pub fn at(&self, epoch: CatalogEpoch) -> Option<EpochSnapshot> {
+        self.lock().get(usize::try_from(epoch.0).ok()?).cloned()
+    }
+
+    /// Number of published epochs (genesis included).
+    #[must_use]
+    pub fn epoch_count(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Applies a delta copy-on-write: clones the current catalog,
+    /// applies every operation, validates referential integrity, and
+    /// publishes the result as the next epoch. All-or-nothing — on
+    /// error, no epoch is published and the current catalog is
+    /// untouched.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ComponentError`] from the delta's operations (duplicate
+    /// names, unknown retirement targets, invalid throughputs) or from
+    /// [`Catalog::validate`] on the patched result.
+    pub fn apply(&self, delta: &CatalogDelta) -> Result<EpochSnapshot, ComponentError> {
+        let mut epochs = self.lock();
+        let current = epochs.last().expect("stores hold >= 1 epoch");
+        let mut next = Catalog::clone(&current.catalog);
+        delta.apply_to(&mut next)?;
+        next.validate()?;
+        let snapshot = EpochSnapshot {
+            epoch: current.epoch.next(),
+            digest: catalog_digest(&next),
+            catalog: Arc::new(next),
+        };
+        epochs.push(snapshot.clone());
+        Ok(snapshot)
+    }
+}
+
+/// A batched catalog edit: parts to add, parts to retire, throughput
+/// characterizations to patch (upsert). Built fluently and applied
+/// atomically by [`CatalogStore::apply`].
+///
+/// Adds run first, then retirements, then throughput patches — so one
+/// delta can introduce a part *and* characterize it. Names are
+/// permanent: adding a part under a retired name is rejected as a
+/// duplicate (ids must stay unambiguous across epochs).
+#[derive(Debug, Clone, Default)]
+pub struct CatalogDelta {
+    add_airframes: Vec<Airframe>,
+    add_sensors: Vec<Sensor>,
+    add_computes: Vec<ComputePlatform>,
+    add_algorithms: Vec<AutonomyAlgorithm>,
+    add_batteries: Vec<Battery>,
+    retire_airframes: Vec<String>,
+    retire_sensors: Vec<String>,
+    retire_computes: Vec<String>,
+    retire_algorithms: Vec<String>,
+    retire_batteries: Vec<String>,
+    throughput: Vec<(String, String, Hertz)>,
+}
+
+impl CatalogDelta {
+    /// Starts an empty delta.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an airframe.
+    #[must_use]
+    pub fn add_airframe(mut self, airframe: Airframe) -> Self {
+        self.add_airframes.push(airframe);
+        self
+    }
+
+    /// Adds a sensor.
+    #[must_use]
+    pub fn add_sensor(mut self, sensor: Sensor) -> Self {
+        self.add_sensors.push(sensor);
+        self
+    }
+
+    /// Adds a compute platform.
+    #[must_use]
+    pub fn add_compute(mut self, compute: ComputePlatform) -> Self {
+        self.add_computes.push(compute);
+        self
+    }
+
+    /// Adds an autonomy algorithm.
+    #[must_use]
+    pub fn add_algorithm(mut self, algorithm: AutonomyAlgorithm) -> Self {
+        self.add_algorithms.push(algorithm);
+        self
+    }
+
+    /// Adds a battery.
+    #[must_use]
+    pub fn add_battery(mut self, battery: Battery) -> Self {
+        self.add_batteries.push(battery);
+        self
+    }
+
+    /// Retires an airframe by name.
+    #[must_use]
+    pub fn retire_airframe(mut self, name: impl Into<String>) -> Self {
+        self.retire_airframes.push(name.into());
+        self
+    }
+
+    /// Retires a sensor by name.
+    #[must_use]
+    pub fn retire_sensor(mut self, name: impl Into<String>) -> Self {
+        self.retire_sensors.push(name.into());
+        self
+    }
+
+    /// Retires a compute platform by name.
+    #[must_use]
+    pub fn retire_compute(mut self, name: impl Into<String>) -> Self {
+        self.retire_computes.push(name.into());
+        self
+    }
+
+    /// Retires an autonomy algorithm by name.
+    #[must_use]
+    pub fn retire_algorithm(mut self, name: impl Into<String>) -> Self {
+        self.retire_algorithms.push(name.into());
+        self
+    }
+
+    /// Retires a battery by name.
+    #[must_use]
+    pub fn retire_battery(mut self, name: impl Into<String>) -> Self {
+        self.retire_batteries.push(name.into());
+        self
+    }
+
+    /// Patches (or newly characterizes) a platform × algorithm
+    /// throughput.
+    #[must_use]
+    pub fn patch_throughput(
+        mut self,
+        platform: impl Into<String>,
+        algorithm: impl Into<String>,
+        throughput: Hertz,
+    ) -> Self {
+        self.throughput
+            .push((platform.into(), algorithm.into(), throughput));
+        self
+    }
+
+    /// Whether the delta carries no operations (a no-op: applying it
+    /// advances the epoch but leaves the digest unchanged).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.op_count() == 0
+    }
+
+    /// Total number of operations in the delta.
+    #[must_use]
+    pub fn op_count(&self) -> usize {
+        self.add_airframes.len()
+            + self.add_sensors.len()
+            + self.add_computes.len()
+            + self.add_algorithms.len()
+            + self.add_batteries.len()
+            + self.retire_airframes.len()
+            + self.retire_sensors.len()
+            + self.retire_computes.len()
+            + self.retire_algorithms.len()
+            + self.retire_batteries.len()
+            + self.throughput.len()
+    }
+
+    /// Applies every operation to a catalog in place (adds, then
+    /// retirements, then throughput patches).
+    ///
+    /// # Errors
+    ///
+    /// The first failing operation's [`ComponentError`]. The catalog may
+    /// be partially modified on error — [`CatalogStore::apply`] works on
+    /// a private clone, which is the intended way to get atomicity.
+    pub fn apply_to(&self, catalog: &mut Catalog) -> Result<(), ComponentError> {
+        for airframe in &self.add_airframes {
+            catalog.add_airframe(airframe.clone())?;
+        }
+        for sensor in &self.add_sensors {
+            catalog.add_sensor(sensor.clone())?;
+        }
+        for compute in &self.add_computes {
+            catalog.add_compute(compute.clone())?;
+        }
+        for algorithm in &self.add_algorithms {
+            catalog.add_algorithm(algorithm.clone())?;
+        }
+        for battery in &self.add_batteries {
+            catalog.add_battery(battery.clone())?;
+        }
+        for name in &self.retire_airframes {
+            catalog.retire_airframe(name)?;
+        }
+        for name in &self.retire_sensors {
+            catalog.retire_sensor(name)?;
+        }
+        for name in &self.retire_computes {
+            catalog.retire_compute(name)?;
+        }
+        for name in &self.retire_algorithms {
+            catalog.retire_algorithm(name)?;
+        }
+        for name in &self.retire_batteries {
+            catalog.retire_battery(name)?;
+        }
+        for (platform, algorithm, throughput) in &self.throughput {
+            catalog
+                .matrix_mut()
+                .upsert(platform, algorithm, *throughput)?;
+        }
+        Ok(())
+    }
+
+    /// Parses a delta from its JSON document form (the `skyline
+    /// --delta FILE` wire format):
+    ///
+    /// ```json
+    /// {
+    ///   "add": {
+    ///     "airframes":  [{"name": "X500", "base_mass_g": 900, "rotor_count": 4,
+    ///                     "rotor_pull_gf": 500, "frame_size_mm": 500}],
+    ///     "sensors":    [{"name": "Cam", "modality": "rgb", "rate_hz": 90,
+    ///                     "range_m": 6, "mass_g": 18}],
+    ///     "computes":   [{"name": "Orin", "kind": "embedded_gpu", "mass_g": 210,
+    ///                     "tdp_w": 25, "support_mass_g": 0}],
+    ///     "algorithms": [{"name": "PilotNet"}],
+    ///     "batteries":  [{"name": "4S", "capacity_mah": 6000, "voltage_v": 14.8,
+    ///                     "mass_g": 520}]
+    ///   },
+    ///   "retire": {"computes": ["Intel UpBoard"]},
+    ///   "throughput": [{"compute": "Orin", "algorithm": "DroNet", "hz": 400}]
+    /// }
+    /// ```
+    ///
+    /// Every section is optional; `support_mass_g` defaults to zero and
+    /// algorithms are end-to-end (staged Sense-Plan-Act pipelines are
+    /// API-only). The parser is a minimal strict-JSON reader — the
+    /// workspace's serde is an inert offline stub.
+    ///
+    /// # Errors
+    ///
+    /// [`ComponentError::InvalidField`] (field `"delta"`) for malformed
+    /// JSON or schema violations, plus any component-constructor error.
+    pub fn from_json(text: &str) -> Result<Self, ComponentError> {
+        let value = json::parse(text).map_err(bad_delta)?;
+        let root = value.as_object().map_err(bad_delta)?;
+        let mut delta = Self::new();
+        for (key, section) in root {
+            match key.as_str() {
+                "add" => {
+                    for (family, items) in section.as_object().map_err(bad_delta)? {
+                        let items = items.as_array().map_err(bad_delta)?;
+                        for item in items {
+                            delta = delta.add_from_json(family, item)?;
+                        }
+                    }
+                }
+                "retire" => {
+                    for (family, names) in section.as_object().map_err(bad_delta)? {
+                        for name in names.as_array().map_err(bad_delta)? {
+                            let name = name.as_str().map_err(bad_delta)?;
+                            delta = match family.as_str() {
+                                "airframes" => delta.retire_airframe(name),
+                                "sensors" => delta.retire_sensor(name),
+                                "computes" => delta.retire_compute(name),
+                                "algorithms" => delta.retire_algorithm(name),
+                                "batteries" => delta.retire_battery(name),
+                                other => {
+                                    return Err(bad_delta(format!(
+                                        "unknown retire family {other:?}"
+                                    )))
+                                }
+                            };
+                        }
+                    }
+                }
+                "throughput" => {
+                    for entry in section.as_array().map_err(bad_delta)? {
+                        let obj = entry.as_object().map_err(bad_delta)?;
+                        delta = delta.patch_throughput(
+                            field_str(obj, "compute")?,
+                            field_str(obj, "algorithm")?,
+                            Hertz::new(field_num(obj, "hz")?),
+                        );
+                    }
+                }
+                other => return Err(bad_delta(format!("unknown delta section {other:?}"))),
+            }
+        }
+        Ok(delta)
+    }
+
+    fn add_from_json(self, family: &str, item: &json::Value) -> Result<Self, ComponentError> {
+        let obj = item.as_object().map_err(bad_delta)?;
+        let name = field_str(obj, "name")?;
+        Ok(match family {
+            "airframes" => self.add_airframe(
+                Airframe::builder(name)
+                    .base_mass(Grams::new(field_num(obj, "base_mass_g")?))
+                    .rotor_count(rotor_count(field_num(obj, "rotor_count")?)?)
+                    .rotor_pull_gf(field_num(obj, "rotor_pull_gf")?)
+                    .frame_size(Millimeters::new(field_num(obj, "frame_size_mm")?))
+                    .build()?,
+            ),
+            "sensors" => self.add_sensor(Sensor::new(
+                name,
+                modality(&field_str(obj, "modality")?)?,
+                Hertz::new(field_num(obj, "rate_hz")?),
+                Meters::new(field_num(obj, "range_m")?),
+                Grams::new(field_num(obj, "mass_g")?),
+            )?),
+            "computes" => self.add_compute(
+                ComputePlatform::builder(name)
+                    .kind(compute_kind(&field_str(obj, "kind")?)?)
+                    .mass(Grams::new(field_num(obj, "mass_g")?))
+                    .tdp(Watts::new(field_num(obj, "tdp_w")?))
+                    .support_mass(Grams::new(field_num_or(obj, "support_mass_g", 0.0)?))
+                    .build()?,
+            ),
+            "algorithms" => self.add_algorithm(AutonomyAlgorithm::end_to_end(name)?),
+            "batteries" => self.add_battery(Battery::new(
+                name,
+                MilliampHours::new(field_num(obj, "capacity_mah")?),
+                field_num(obj, "voltage_v")?,
+                Grams::new(field_num(obj, "mass_g")?),
+            )?),
+            other => return Err(bad_delta(format!("unknown add family {other:?}"))),
+        })
+    }
+}
+
+fn bad_delta(reason: impl core::fmt::Display) -> ComponentError {
+    ComponentError::InvalidField {
+        field: "delta",
+        reason: reason.to_string(),
+    }
+}
+
+fn field<'a>(
+    obj: &'a [(String, json::Value)],
+    name: &str,
+) -> Result<&'a json::Value, ComponentError> {
+    obj.iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| bad_delta(format!("missing field {name:?}")))
+}
+
+fn field_str(obj: &[(String, json::Value)], name: &str) -> Result<String, ComponentError> {
+    field(obj, name)?.as_str().map_err(bad_delta)
+}
+
+fn field_num(obj: &[(String, json::Value)], name: &str) -> Result<f64, ComponentError> {
+    field(obj, name)?.as_number().map_err(bad_delta)
+}
+
+fn field_num_or(
+    obj: &[(String, json::Value)],
+    name: &str,
+    default: f64,
+) -> Result<f64, ComponentError> {
+    match obj.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => v.as_number().map_err(bad_delta),
+        None => Ok(default),
+    }
+}
+
+fn rotor_count(raw: f64) -> Result<u8, ComponentError> {
+    if raw.fract() == 0.0 && (1.0..=255.0).contains(&raw) {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        Ok(raw as u8)
+    } else {
+        Err(bad_delta(format!(
+            "rotor_count must be an integer in 1..=255, got {raw}"
+        )))
+    }
+}
+
+fn modality(token: &str) -> Result<SensorModality, ComponentError> {
+    Ok(match token {
+        "rgb" => SensorModality::RgbCamera,
+        "rgbd" => SensorModality::RgbdCamera,
+        "stereo" => SensorModality::StereoCamera,
+        "lidar" => SensorModality::Lidar,
+        "radar" => SensorModality::Radar,
+        other => return Err(bad_delta(format!("unknown sensor modality {other:?}"))),
+    })
+}
+
+fn compute_kind(token: &str) -> Result<ComputeKind, ComponentError> {
+    Ok(match token {
+        "microcontroller" => ComputeKind::Microcontroller,
+        "single_board" => ComputeKind::SingleBoard,
+        "embedded_gpu" => ComputeKind::EmbeddedGpu,
+        "vision_accelerator" => ComputeKind::VisionAccelerator,
+        "asic" => ComputeKind::Asic,
+        other => return Err(bad_delta(format!("unknown compute kind {other:?}"))),
+    })
+}
+
+/// A minimal strict-JSON reader for the delta wire format (the
+/// workspace's serde is an inert offline stub). Supports the full value
+/// grammar minus `\u` escapes beyond BMP pass-through.
+mod json {
+    pub(super) enum Value {
+        Null,
+        /// Payload unread: the delta schema has no boolean fields, but
+        /// the reader accepts full JSON.
+        Bool(#[allow(dead_code)] bool),
+        Number(f64),
+        String(String),
+        Array(Vec<Value>),
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub(super) fn as_object(&self) -> Result<&[(String, Value)], String> {
+            match self {
+                Value::Object(fields) => Ok(fields),
+                _ => Err("expected a JSON object".into()),
+            }
+        }
+
+        pub(super) fn as_array(&self) -> Result<&[Value], String> {
+            match self {
+                Value::Array(items) => Ok(items),
+                _ => Err("expected a JSON array".into()),
+            }
+        }
+
+        pub(super) fn as_str(&self) -> Result<String, String> {
+            match self {
+                Value::String(s) => Ok(s.clone()),
+                _ => Err("expected a JSON string".into()),
+            }
+        }
+
+        pub(super) fn as_number(&self) -> Result<f64, String> {
+            match self {
+                Value::Number(n) => Ok(*n),
+                _ => Err("expected a JSON number".into()),
+            }
+        }
+    }
+
+    pub(super) fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn expect(&mut self, byte: u8) -> Result<(), String> {
+            if self.peek() == Some(byte) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!(
+                    "expected {:?} at byte {}",
+                    char::from(byte),
+                    self.pos
+                ))
+            }
+        }
+
+        fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                Ok(value)
+            } else {
+                Err(format!("bad literal at byte {}", self.pos))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Value::String(self.string()?)),
+                Some(b't') => self.literal("true", Value::Bool(true)),
+                Some(b'f') => self.literal("false", Value::Bool(false)),
+                Some(b'n') => self.literal("null", Value::Null),
+                Some(b'-' | b'0'..=b'9') => self.number(),
+                _ => Err(format!("unexpected input at byte {}", self.pos)),
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut fields = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                let value = self.value()?;
+                if fields.iter().any(|(k, _)| *k == key) {
+                    return Err(format!("duplicate key {key:?}"));
+                }
+                fields.push((key, value));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Object(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                let start = self.pos;
+                while !matches!(self.peek(), None | Some(b'"' | b'\\')) {
+                    self.pos += 1;
+                }
+                out.push_str(
+                    core::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| "invalid UTF-8 in string".to_owned())?,
+                );
+                match self.peek() {
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        let escape = self.peek().ok_or("unterminated escape")?;
+                        self.pos += 1;
+                        out.push(match escape {
+                            b'"' => '"',
+                            b'\\' => '\\',
+                            b'/' => '/',
+                            b'n' => '\n',
+                            b't' => '\t',
+                            b'r' => '\r',
+                            b'b' => '\u{8}',
+                            b'f' => '\u{c}',
+                            b'u' => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos..self.pos + 4)
+                                    .and_then(|h| core::str::from_utf8(h).ok())
+                                    .ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| "bad \\u escape".to_owned())?;
+                                self.pos += 4;
+                                char::from_u32(code).ok_or("non-scalar \\u escape")?
+                            }
+                            other => return Err(format!("unknown escape \\{}", char::from(other))),
+                        });
+                    }
+                    _ => return Err("unterminated string".into()),
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            while matches!(
+                self.peek(),
+                Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+            ) {
+                self.pos += 1;
+            }
+            core::str::from_utf8(&self.bytes[start..self.pos])
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+                .filter(|n| n.is_finite())
+                .map(Value::Number)
+                .ok_or_else(|| format!("bad number at byte {start}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::names;
+
+    #[test]
+    fn epochs_advance_and_history_is_pinned() {
+        let store = CatalogStore::new(Catalog::paper());
+        assert_eq!(store.current_epoch(), CatalogEpoch::GENESIS);
+        assert_eq!(store.epoch_count(), 1);
+        let next = store
+            .apply(&CatalogDelta::new().retire_compute(names::NCS))
+            .unwrap();
+        assert_eq!(next.epoch().get(), 1);
+        assert_eq!(store.current_epoch().get(), 1);
+        assert_eq!(store.epoch_count(), 2);
+        // Genesis is immutable and still resolvable.
+        let genesis = store.at(CatalogEpoch::GENESIS).unwrap();
+        assert_eq!(genesis.catalog().compute_active_count(), 8);
+        assert_eq!(store.current().catalog().compute_active_count(), 7);
+        assert!(store.at(CatalogEpoch::from_raw(7)).is_none());
+        assert_eq!(format!("{}", next.epoch()), "epoch 1");
+    }
+
+    #[test]
+    fn noop_deltas_advance_epoch_with_stable_digest() {
+        let store = CatalogStore::new(Catalog::paper());
+        let genesis = store.current();
+        let once = store.apply(&CatalogDelta::new()).unwrap();
+        let twice = store.apply(&CatalogDelta::new()).unwrap();
+        assert_eq!(once.epoch().get(), 1);
+        assert_eq!(twice.epoch().get(), 2);
+        assert_eq!(genesis.digest(), once.digest());
+        assert_eq!(once.digest(), twice.digest());
+        // A real delta moves the digest.
+        let real = store
+            .apply(&CatalogDelta::new().patch_throughput(
+                names::TX2,
+                names::DRONET,
+                Hertz::new(1.0),
+            ))
+            .unwrap();
+        assert_ne!(real.digest(), twice.digest());
+        assert!(CatalogDelta::new().is_empty());
+        assert_eq!(
+            CatalogDelta::new().retire_sensor(names::RGB_60).op_count(),
+            1
+        );
+    }
+
+    #[test]
+    fn failing_delta_publishes_no_epoch() {
+        let store = CatalogStore::new(Catalog::paper());
+        // Characterizing an unknown platform fails catalog validation.
+        let err = store
+            .apply(&CatalogDelta::new().patch_throughput("TPU v9", names::DRONET, Hertz::new(9.0)))
+            .unwrap_err();
+        assert!(matches!(err, ComponentError::UnknownComponent { .. }));
+        assert_eq!(store.epoch_count(), 1);
+        // Unknown retirement target.
+        assert!(store
+            .apply(&CatalogDelta::new().retire_airframe("Ingenuity"))
+            .is_err());
+        // Duplicate add.
+        let dup = Catalog::paper().sensor(names::RGB_60).unwrap().clone();
+        assert!(store.apply(&CatalogDelta::new().add_sensor(dup)).is_err());
+        assert_eq!(store.epoch_count(), 1);
+    }
+
+    #[test]
+    fn delta_can_add_retire_and_patch_in_one_epoch() {
+        let store = CatalogStore::new(Catalog::paper());
+        let orin = ComputePlatform::builder("Orin")
+            .kind(ComputeKind::EmbeddedGpu)
+            .mass(Grams::new(210.0))
+            .tdp(Watts::new(25.0))
+            .build()
+            .unwrap();
+        let next = store
+            .apply(
+                &CatalogDelta::new()
+                    .add_compute(orin)
+                    .patch_throughput("Orin", names::DRONET, Hertz::new(400.0))
+                    .retire_compute(names::UPBOARD),
+            )
+            .unwrap();
+        let cat = next.catalog();
+        assert_eq!(
+            cat.throughput("Orin", names::DRONET).unwrap(),
+            Hertz::new(400.0)
+        );
+        assert!(!cat.compute_is_active(cat.compute_id(names::UPBOARD).unwrap()));
+        // Appended part minted the next dense id.
+        assert_eq!(cat.compute_id("Orin").unwrap().index(), 8);
+    }
+
+    #[test]
+    fn from_json_round_trips_the_documented_schema() {
+        let text = r#"{
+            "add": {
+                "airframes": [{"name": "X500", "base_mass_g": 900, "rotor_count": 4,
+                               "rotor_pull_gf": 500, "frame_size_mm": 500}],
+                "sensors": [{"name": "Cam90", "modality": "rgb", "rate_hz": 90,
+                             "range_m": 6.5, "mass_g": 18}],
+                "computes": [{"name": "Orin", "kind": "embedded_gpu", "mass_g": 210,
+                              "tdp_w": 25}],
+                "algorithms": [{"name": "PilotNet"}],
+                "batteries": [{"name": "4S 6000", "capacity_mah": 6000,
+                               "voltage_v": 14.8, "mass_g": 520}]
+            },
+            "retire": {"computes": ["Intel UpBoard"], "sensors": []},
+            "throughput": [{"compute": "Orin", "algorithm": "DroNet", "hz": 400}]
+        }"#;
+        let delta = CatalogDelta::from_json(text).unwrap();
+        assert_eq!(delta.op_count(), 7);
+        let store = CatalogStore::new(Catalog::paper());
+        let next = store.apply(&delta).unwrap();
+        let cat = next.catalog();
+        assert!(cat.airframe("X500").is_ok());
+        assert!(cat.sensor("Cam90").is_ok());
+        assert!(cat.algorithm("PilotNet").is_ok());
+        assert!(cat.battery("4S 6000").is_ok());
+        assert_eq!(
+            cat.throughput("Orin", names::DRONET).unwrap(),
+            Hertz::new(400.0)
+        );
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1, 2",
+            r#"{"add": 3}"#,
+            r#"{"frobnicate": {}}"#,
+            r#"{"retire": {"widgets": ["x"]}}"#,
+            r#"{"add": {"sensors": [{"name": "S"}]}}"#, // missing fields
+            r#"{"add": {"sensors": [{"name": "S", "modality": "sonar",
+                "rate_hz": 1, "range_m": 1, "mass_g": 1}]}}"#,
+            r#"{"add": {"computes": [{"name": "C", "kind": "quantum",
+                "mass_g": 1, "tdp_w": 1}]}}"#,
+            r#"{"throughput": [{"compute": "C", "algorithm": "A", "hz": "fast"}]}"#,
+            r#"{"add": {"airframes": [{"name": "A", "base_mass_g": 1,
+                "rotor_count": 4.5, "rotor_pull_gf": 1, "frame_size_mm": 1}]}}"#,
+            r#"{"a": 1, "a": 2}"#,
+            r#"{"x": 1} trailing"#,
+            r#"{"x": 1e999}"#,
+        ] {
+            let err = CatalogDelta::from_json(bad);
+            assert!(err.is_err(), "accepted {bad:?}");
+        }
+        // Strings with escapes parse.
+        let delta = CatalogDelta::from_json(r#"{"retire": {"computes": ["a\"b\\cA"]}}"#).unwrap();
+        assert_eq!(delta.op_count(), 1);
+    }
+}

@@ -15,12 +15,19 @@
 //! cargo run -p f1-skyline --bin skyline -- --dse --synth 22 \
 //!     --objectives velocity,tdp,payload,energy --max-tdp 20 \
 //!     --top-k 10 --json out.json --repeat 3
+//!
+//! # evolve the catalog with JSON deltas (see CatalogDelta::from_json
+//! # for the schema): each --delta publishes a new epoch, and the
+//! # session repairs the cached result incrementally instead of
+//! # re-running the full pass
+//! cargo run -p f1-skyline --bin skyline -- --dse --synth 22 \
+//!     --delta retire_tx2.json --delta add_orin.json
 //! ```
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use f1_components::Catalog;
+use f1_components::{Catalog, CatalogDelta, CatalogStore};
 use f1_skyline::chart::{roofline_chart, OperatingPoint};
 use f1_skyline::mission::{analyze_mission, MissionSpec};
 use f1_skyline::plan::QueryPlan;
@@ -50,6 +57,7 @@ struct Args {
     top_k: Option<usize>,
     json: Option<String>,
     repeat: usize,
+    deltas: Vec<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -71,6 +79,7 @@ fn parse_args() -> Result<Args, String> {
         top_k: None,
         json: None,
         repeat: 1,
+        deltas: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -106,6 +115,7 @@ fn parse_args() -> Result<Args, String> {
                 args.top_k = Some(n);
             }
             "--json" => args.json = Some(value("--json")?),
+            "--delta" => args.deltas.push(value("--delta")?),
             "--repeat" => {
                 let v = value("--repeat")?;
                 let n: usize = v.parse().map_err(|_| format!("bad --repeat count {v:?}"))?;
@@ -155,6 +165,7 @@ fn parse_args() -> Result<Args, String> {
                      \x20         [--objectives velocity,tdp,payload,energy,endurance]\n\
                      \x20         [--max-tdp WATTS] [--battery NAME] [--synth N_PER_FAMILY]\n\
                      \x20         [--chunk-size N] [--top-k N] [--json PATH] [--repeat N]\n\
+                     \x20         [--delta FILE ...]\n\
                      \x20 skyline --airframe NAME --sensor NAME --compute NAME \
                      --algorithm NAME [--chart] [--mission METERS]\n\n\
                      --objectives: comma-separated; the first is the primary ranking \
@@ -166,7 +177,12 @@ fn parse_args() -> Result<Args, String> {
                      core count).\n--top-k N: also print the overall best N builds via \
                      the bounded-heap\n  selection (no full ranking sort).\n--json PATH: \
                      export the columnar result set as JSON.\n--repeat N: run the compiled \
-                     plan N times through one session to\n  demonstrate plan-cache hits."
+                     plan N times through one session to\n  demonstrate plan-cache hits.\n\
+                     --delta FILE: apply a JSON catalog delta (add/retire parts, patch\n\
+                     \x20 throughputs) publishing a new epoch, then repair the cached\n\
+                     \x20 result incrementally instead of re-running the full pass; repeat\n\
+                     \x20 the flag to stack epochs. The final report reflects the last\n\
+                     \x20 epoch."
                 );
                 std::process::exit(0);
             }
@@ -256,7 +272,8 @@ fn dse_report(catalog: &Arc<Catalog>, args: &Args) -> Result<(), Box<dyn std::er
     // Stringify so a failed build/run prints its Display form, not Debug.
     let plan = builder.build().map_err(|e| e.to_string())?;
 
-    let mut session = Session::new(Arc::clone(catalog));
+    let store = Arc::new(CatalogStore::from_shared(Arc::clone(catalog)));
+    let mut session = Session::over(Arc::clone(&store));
     if let Some(chunk_size) = args.chunk_size {
         session = session.with_chunk_size(chunk_size);
     }
@@ -267,13 +284,36 @@ fn dse_report(catalog: &Arc<Catalog>, args: &Args) -> Result<(), Box<dyn std::er
         result = Some(session.run(&plan).map_err(|e| e.to_string())?);
         timings.push(start.elapsed());
     }
-    let result = result.expect("--repeat is at least 1");
+    let mut result = result.expect("--repeat is at least 1");
+
+    // Each --delta publishes a new catalog epoch; the session repairs
+    // the cached result across it instead of re-running the full pass.
+    for path in &args.deltas {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read delta {path}: {e}"))?;
+        let delta = CatalogDelta::from_json(&text).map_err(|e| e.to_string())?;
+        let snapshot = store.apply(&delta).map_err(|e| e.to_string())?;
+        let start = Instant::now();
+        result = session.refresh(&plan).map_err(|e| e.to_string())?;
+        println!(
+            "delta {path}: {} ops -> {} (digest {:016x}), result refreshed in {} \
+             ({} incremental repairs so far)",
+            delta.op_count(),
+            snapshot.epoch(),
+            snapshot.digest(),
+            human_duration(start.elapsed()),
+            session.cache_stats().repairs,
+        );
+    }
+    let catalog = &session.catalog();
     let objectives = result.objectives();
     let primary = objectives[0];
 
     println!(
-        "query: {} objectives ({} primary), {} points kept, {} dropped by \
-         constraints, {} feasible with non-finite objectives (off-frontier)",
+        "query @ {} (digest {:016x}): {} objectives ({} primary), {} points kept, \
+         {} dropped by constraints, {} feasible with non-finite objectives (off-frontier)",
+        session.epoch(),
+        store.current().digest(),
         objectives.len(),
         primary,
         result.points().len(),

@@ -648,8 +648,9 @@ pub struct DseResult {
     pub uncharacterized: usize,
     /// Feasible points of this airframe excluded from frontier
     /// computation because an objective value was non-finite (the
-    /// per-airframe reports sum to `QueryResult::nonfinite`; always zero
-    /// for the classic velocity/TDP/payload exploration, whose
+    /// per-airframe reports sum to
+    /// [`ResultSet::nonfinite`](crate::ResultSet::nonfinite); always
+    /// zero for the classic velocity/TDP/payload exploration, whose
     /// objectives are finite for every valid part).
     pub nonfinite: usize,
 }
@@ -667,29 +668,21 @@ impl DseResult {
     }
 }
 
-/// Exhaustively explores the catalog for one airframe (compatibility
-/// wrapper over [`Engine`]).
-///
-/// # Errors
-///
-/// Returns [`SkylineError::Component`] for an unknown airframe, and
-/// propagates evaluation errors from the engine.
-#[deprecated(note = "use Engine::query()")]
-pub fn explore(catalog: &Catalog, airframe: &str) -> Result<DseResult, SkylineError> {
-    let engine = Engine::new(catalog);
-    let id = catalog.airframe_id(airframe)?;
-    let result = engine.explore_airframe(id)?;
-    Ok(engine.describe(&result))
-}
-
 #[cfg(test)]
-// The tests exercise the deprecated `explore` wrapper on purpose: it must
-// keep matching the query-backed engine until it is removed.
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::system::UavSystem;
     use f1_components::names;
+
+    /// Explores one airframe by name and ranks the outcomes — what the
+    /// removed string-keyed `explore` wrapper did, spelled through the
+    /// id-interned engine.
+    fn explore(catalog: &Catalog, airframe: &str) -> Result<DseResult, SkylineError> {
+        let engine = Engine::new(catalog);
+        let id = catalog.airframe_id(airframe)?;
+        let result = engine.explore_airframe(id)?;
+        Ok(engine.describe(&result))
+    }
 
     #[test]
     fn explores_pelican_and_ranks() {

@@ -49,6 +49,14 @@ pub enum SkylineError {
         /// What was malformed.
         reason: String,
     },
+    /// A [`Session`](crate::Session) was asked to run at a catalog
+    /// epoch its store never published.
+    UnknownEpoch {
+        /// The requested raw epoch counter.
+        requested: u64,
+        /// The store's latest published epoch.
+        latest: u64,
+    },
     /// The assembled system cannot fly (payload exceeds thrust budget).
     CannotHover {
         /// The system's name.
@@ -88,6 +96,11 @@ impl core::fmt::Display for SkylineError {
                  holds only {count} {family}s (ids are catalog-specific)"
             ),
             Self::PlanKey { reason } => write!(f, "invalid plan key: {reason}"),
+            Self::UnknownEpoch { requested, latest } => write!(
+                f,
+                "catalog epoch {requested} was never published by this \
+                 session's store (latest is epoch {latest})"
+            ),
             Self::CannotHover {
                 system,
                 takeoff_g,
@@ -173,6 +186,13 @@ mod tests {
             reason: "missing objectives section".into(),
         };
         assert!(key.to_string().contains("missing objectives"));
+
+        let epoch = SkylineError::UnknownEpoch {
+            requested: 9,
+            latest: 3,
+        };
+        let text = epoch.to_string();
+        assert!(text.contains("epoch 9") && text.contains("epoch 3"));
 
         let knob = SkylineError::KnobVariant {
             knob: "Sensor Framerate",

@@ -59,6 +59,7 @@ pub mod mission;
 pub mod plan;
 pub mod query;
 pub mod redundancy;
+mod repair;
 pub mod report;
 pub mod session;
 pub mod sweep;

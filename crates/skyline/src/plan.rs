@@ -167,14 +167,29 @@ impl QueryPlan {
     }
 
     /// Parses a [canonical key](Self::key) back into a plan, re-running
-    /// every build-time validation.
+    /// every build-time validation. The key must be in **canonical
+    /// form** — sections in their fixed order, canonical float
+    /// formatting, deduplicated objectives, sorted constraints — i.e.
+    /// exactly what [`key`](Self::key) emits: the rebuilt plan's key is
+    /// required to round-trip back to the input, so two distinct
+    /// accepted strings can never alias one cache identity.
     ///
     /// # Errors
     ///
-    /// Returns [`SkylineError::PlanKey`] for a malformed key, plus any
-    /// error [`PlanBuilder::build`] can produce.
+    /// Returns [`SkylineError::PlanKey`] for a malformed, truncated,
+    /// reordered or non-canonical key, plus any error
+    /// [`PlanBuilder::build`] can produce.
     pub fn from_key(key: &str) -> Result<Self, SkylineError> {
-        parse_key(key)?.build()
+        let plan = parse_key(key)?.build()?;
+        if plan.key() != key {
+            return Err(SkylineError::PlanKey {
+                reason: format!(
+                    "key is not in canonical form (canonicalizes to {:?})",
+                    plan.key()
+                ),
+            });
+        }
+        Ok(plan)
     }
 }
 
@@ -322,6 +337,12 @@ struct PlanParts<'a> {
     profile: MissionProfile,
 }
 
+/// The fixed section order of a canonical key. Enforced on parse:
+/// reordered, duplicated, missing or extra sections are all
+/// [`SkylineError::PlanKey`] — a key is a cache identity, so exactly
+/// one accepted spelling may exist per plan.
+const KEY_SECTIONS: [&str; 9] = ["o", "c", "s", "af", "sn", "cp", "al", "b", "mp"];
+
 fn parse_key(key: &str) -> Result<PlanBuilder, SkylineError> {
     let mut sections = key.split('|');
     if sections.next() != Some(KEY_PREFIX) {
@@ -330,13 +351,20 @@ fn parse_key(key: &str) -> Result<PlanBuilder, SkylineError> {
         });
     }
     let mut builder = PlanBuilder::new();
-    let mut seen_profile = false;
-    for section in sections {
+    for expected in KEY_SECTIONS {
+        let section = sections.next().ok_or_else(|| SkylineError::PlanKey {
+            reason: format!("truncated key: missing section {expected:?}"),
+        })?;
         let (tag, body) = section
             .split_once('=')
             .ok_or_else(|| SkylineError::PlanKey {
                 reason: format!("malformed section {section:?}"),
             })?;
+        if tag != expected {
+            return Err(SkylineError::PlanKey {
+                reason: format!("expected section {expected:?}, found {tag:?}"),
+            });
+        }
         match tag {
             "o" => {
                 for tok in body.split(',').filter(|t| !t.is_empty()) {
@@ -394,18 +422,13 @@ fn parse_key(key: &str) -> Result<PlanBuilder, SkylineError> {
                     parasitic_coeff: parse_float(parts[1], "parasitic coeff")?,
                     battery_reserve: parse_float(parts[2], "battery reserve")?,
                 });
-                seen_profile = true;
             }
-            other => {
-                return Err(SkylineError::PlanKey {
-                    reason: format!("unknown section {other:?}"),
-                })
-            }
+            _ => unreachable!("tag was checked against the expected section"),
         }
     }
-    if !seen_profile {
+    if let Some(extra) = sections.next() {
         return Err(SkylineError::PlanKey {
-            reason: "missing mission-profile section".into(),
+            reason: format!("trailing section {extra:?}"),
         });
     }
     Ok(builder)

@@ -51,11 +51,6 @@ use crate::SkylineError;
 
 pub use crate::mission::SENSOR_STACK_POWER_W;
 
-/// The former name of [`ResultSet`], kept for downstream code written
-/// against the pre-split API.
-#[deprecated(note = "renamed to ResultSet (now columnar, with top_k and pages)")]
-pub type QueryResult = ResultSet;
-
 /// One optimization axis of a query.
 ///
 /// The first objective of a query is its **primary** objective: ranked

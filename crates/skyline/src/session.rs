@@ -35,14 +35,15 @@
 //! # Ok::<(), f1_skyline::SkylineError>(())
 //! ```
 
+use std::borrow::Cow;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::{Arc, Mutex};
 
 use f1_components::{
-    Airframe, AirframeId, AlgorithmId, Catalog, ComponentError, ComputeId, ComputePlatform, Sensor,
-    SensorId, ThroughputTable,
+    Airframe, AirframeId, AlgorithmId, Catalog, CatalogEpoch, CatalogStore, ComponentError,
+    ComputeId, ComputePlatform, EpochSnapshot, Sensor, SensorId, ThroughputTable,
 };
 use f1_model::heatsink::HeatsinkModel;
 use f1_model::mission::{hover_endurance, PowerModel};
@@ -93,12 +94,16 @@ use crate::{frontier, SkylineError};
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ResultSet {
     objectives: Vec<Objective>,
-    /// The evaluated points at least one plan of the producing batch
-    /// kept, in enumeration order, shared across the batch.
-    store: Arc<Vec<QueryPoint>>,
-    /// Indices into `store` this plan kept (`None`: kept everything —
-    /// `store` *is* the point list).
-    kept: Option<Vec<u32>>,
+    /// Point storage **segments**. Segment 0 is the producing pass's
+    /// store (the points at least one plan of the batch kept, in
+    /// enumeration order, shared across the batch); incremental delta
+    /// repair splices the slab passes' stores as further segments, so a
+    /// repaired result shares the surviving point rows with the result
+    /// it was repaired from instead of duplicating tens of megabytes.
+    segments: Vec<Arc<Vec<QueryPoint>>>,
+    /// References into `segments` this plan kept, in enumeration order
+    /// (`None`: segment 0 *is* the point list).
+    kept: Option<Vec<PointRef>>,
     /// Lazily materialized contiguous point list for
     /// [`points`](Self::points) when `kept` is `Some`.
     points_cache: std::sync::OnceLock<Vec<QueryPoint>>,
@@ -127,9 +132,16 @@ impl PartialEq for ResultSet {
     }
 }
 
+/// One kept point's location in a [`ResultSet`]'s segmented store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PointRef {
+    pub(crate) segment: u32,
+    pub(crate) index: u32,
+}
+
 impl ResultSet {
     /// Builds a result whose `store` is exactly its kept point list.
-    fn from_own_points(
+    pub(crate) fn from_own_points(
         objectives: Vec<Objective>,
         points: Vec<QueryPoint>,
         columns: Vec<Vec<f64>>,
@@ -140,7 +152,7 @@ impl ResultSet {
     ) -> Self {
         Self {
             objectives,
-            store: Arc::new(points),
+            segments: vec![Arc::new(points)],
             kept: None,
             points_cache: std::sync::OnceLock::new(),
             columns,
@@ -148,6 +160,51 @@ impl ResultSet {
             uncharacterized,
             dropped,
             nonfinite,
+        }
+    }
+
+    /// Builds a result over an explicit segmented store — the
+    /// incremental-repair constructor: surviving points reference the
+    /// repaired result's segments, delta points reference the slab
+    /// passes' stores.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_segments(
+        objectives: Vec<Objective>,
+        segments: Vec<Arc<Vec<QueryPoint>>>,
+        kept: Vec<PointRef>,
+        columns: Vec<Vec<f64>>,
+        frontier: Vec<usize>,
+        uncharacterized: usize,
+        dropped: usize,
+        nonfinite: usize,
+    ) -> Self {
+        Self {
+            objectives,
+            segments,
+            kept: Some(kept),
+            points_cache: std::sync::OnceLock::new(),
+            columns,
+            frontier,
+            uncharacterized,
+            dropped,
+            nonfinite,
+        }
+    }
+
+    /// The point storage segments (for the repair path, which splices
+    /// new segment lists from old ones).
+    pub(crate) fn segments(&self) -> &[Arc<Vec<QueryPoint>>] {
+        &self.segments
+    }
+
+    /// The segmented-store location of the point at `index`.
+    pub(crate) fn point_ref(&self, index: usize) -> PointRef {
+        match &self.kept {
+            None => PointRef {
+                segment: 0,
+                index: index as u32,
+            },
+            Some(kept) => kept[index],
         }
     }
 
@@ -169,8 +226,11 @@ impl ResultSet {
     #[must_use]
     pub fn point(&self, index: usize) -> &QueryPoint {
         match &self.kept {
-            None => &self.store[index],
-            Some(kept) => &self.store[kept[index] as usize],
+            None => &self.segments[0][index],
+            Some(kept) => {
+                let r = kept[index];
+                &self.segments[r.segment as usize][r.index as usize]
+            }
         }
     }
 
@@ -182,10 +242,12 @@ impl ResultSet {
     #[must_use]
     pub fn points(&self) -> &[QueryPoint] {
         match &self.kept {
-            None => &self.store,
-            Some(kept) => self
-                .points_cache
-                .get_or_init(|| kept.iter().map(|&j| self.store[j as usize]).collect()),
+            None => &self.segments[0],
+            Some(kept) => self.points_cache.get_or_init(|| {
+                kept.iter()
+                    .map(|r| self.segments[r.segment as usize][r.index as usize])
+                    .collect()
+            }),
         }
     }
 
@@ -198,7 +260,7 @@ impl ResultSet {
     /// Number of points in the result.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.kept.as_ref().map_or(self.store.len(), Vec::len)
+        self.kept.as_ref().map_or(self.segments[0].len(), Vec::len)
     }
 
     /// Whether the result holds no points.
@@ -1028,6 +1090,18 @@ fn frontier_reducible(plan: &QueryPlan) -> bool {
 /// airframe × knob setting × characterized candidate — evaluation once,
 /// then each member plan's constraint filter and objective rows —
 /// followed by the per-plan O(n log n) frontiers.
+/// Filters a component-id list to the catalog's active (non-retired)
+/// ids, borrowing when nothing is filtered — which is always the case
+/// for the session/engine default lists (built from active entries) and
+/// for explicit plan subspaces on an unretired catalog.
+fn active_ids<T: Copy>(list: &[T], is_active: impl Fn(T) -> bool) -> Cow<'_, [T]> {
+    if list.iter().all(|&id| is_active(id)) {
+        Cow::Borrowed(list)
+    } else {
+        Cow::Owned(list.iter().copied().filter(|&id| is_active(id)).collect())
+    }
+}
+
 fn run_group(
     ctx: &PassContext<'_>,
     plans: &[&QueryPlan],
@@ -1035,10 +1109,27 @@ fn run_group(
 ) -> Result<Vec<ResultSet>, SkylineError> {
     let rep = plans[0];
     let catalog = ctx.catalog;
-    let airframes: &[AirframeId] = rep.airframes().unwrap_or(ctx.airframes);
-    let sensors: &[SensorId] = rep.sensors().unwrap_or(ctx.sensors);
-    let computes: &[ComputeId] = rep.computes().unwrap_or(ctx.computes);
-    let algorithms: &[AlgorithmId] = rep.algorithms().unwrap_or(ctx.algorithms);
+    // Retired components keep their ids but leave the design space:
+    // explicit plan subspaces are filtered here, so cold runs and
+    // incremental repairs agree on the enumeration at every epoch.
+    let airframes = active_ids(rep.airframes().unwrap_or(ctx.airframes), |id| {
+        catalog.airframe_is_active(id)
+    });
+    let sensors = active_ids(rep.sensors().unwrap_or(ctx.sensors), |id| {
+        catalog.sensor_is_active(id)
+    });
+    let computes = active_ids(rep.computes().unwrap_or(ctx.computes), |id| {
+        catalog.compute_is_active(id)
+    });
+    let algorithms = active_ids(rep.algorithms().unwrap_or(ctx.algorithms), |id| {
+        catalog.algorithm_is_active(id)
+    });
+    let (airframes, sensors, computes, algorithms): (
+        &[AirframeId],
+        &[SensorId],
+        &[ComputeId],
+        &[AlgorithmId],
+    ) = (&airframes, &sensors, &computes, &algorithms);
     let settings = rep.settings();
 
     // Same nesting order as Engine::candidates, so a default plan
@@ -1461,10 +1552,16 @@ fn run_group(
         .map(|((exec, accum), frontier)| ResultSet {
             objectives: exec.plan.objectives().to_vec(),
             dropped: job_total - accum.kept_jobs.len(),
-            store: Arc::clone(&store),
+            segments: vec![Arc::clone(&store)],
             // A plan that kept every job reads the store directly —
             // `points()` is then free, not a lazy copy.
-            kept: (accum.kept_jobs.len() != store.len()).then_some(accum.kept_jobs),
+            kept: (accum.kept_jobs.len() != store.len()).then_some(
+                accum
+                    .kept_jobs
+                    .into_iter()
+                    .map(|index| PointRef { segment: 0, index })
+                    .collect(),
+            ),
             points_cache: std::sync::OnceLock::new(),
             columns: accum.columns,
             frontier,
@@ -1487,57 +1584,197 @@ pub struct CacheStats {
     pub misses: u64,
     /// Completed results currently held.
     pub entries: usize,
+    /// Entries dropped by the LRU size cap (see
+    /// [`Session::with_cache_capacity`]).
+    pub evictions: u64,
+    /// Results produced by incremental delta repair
+    /// ([`Session::refresh`]) instead of a cold pass.
+    pub repairs: u64,
 }
 
-/// A shared, thread-safe query-execution service over one catalog.
+/// One memoized result with its last-used tick (for LRU eviction).
+#[derive(Debug)]
+struct MemoSlot {
+    result: Arc<ResultSet>,
+    tick: u64,
+}
+
+/// The session memo cache: results keyed by
+/// `(canonical plan key, catalog epoch)`, with optional size-capped LRU
+/// eviction. Epochs nest under the plan key so
+/// [`Session::refresh`] can find the newest older-epoch result to
+/// repair from without scanning the whole cache.
+#[derive(Debug, Default)]
+struct MemoCache {
+    plans: HashMap<String, BTreeMap<u64, MemoSlot>>,
+    len: usize,
+    capacity: Option<usize>,
+    tick: u64,
+    evictions: u64,
+}
+
+impl MemoCache {
+    fn bump(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    fn get(&mut self, key: &str, epoch: u64) -> Option<Arc<ResultSet>> {
+        let tick = self.bump();
+        let slot = self.plans.get_mut(key)?.get_mut(&epoch)?;
+        slot.tick = tick;
+        Some(Arc::clone(&slot.result))
+    }
+
+    /// The newest cached result of this plan at an epoch strictly before
+    /// `epoch` — the repair source for [`Session::refresh`].
+    fn newest_before(&mut self, key: &str, epoch: u64) -> Option<(u64, Arc<ResultSet>)> {
+        let tick = self.bump();
+        let (&found, slot) = self.plans.get_mut(key)?.range_mut(..epoch).next_back()?;
+        slot.tick = tick;
+        Some((found, Arc::clone(&slot.result)))
+    }
+
+    fn insert(&mut self, key: &str, epoch: u64, result: Arc<ResultSet>) {
+        let tick = self.bump();
+        let by_epoch = self.plans.entry(key.to_owned()).or_default();
+        if by_epoch.insert(epoch, MemoSlot { result, tick }).is_none() {
+            self.len += 1;
+        }
+        if let Some(capacity) = self.capacity {
+            while self.len > capacity {
+                self.evict_lru();
+            }
+        }
+    }
+
+    /// Drops the least-recently-used entry (linear scan: capped caches
+    /// are small, and eviction is off the lookup fast path). Only the
+    /// victim's plan key is cloned.
+    fn evict_lru(&mut self) {
+        let victim = self
+            .plans
+            .iter()
+            .flat_map(|(key, by_epoch)| {
+                by_epoch
+                    .iter()
+                    .map(move |(&epoch, slot)| (slot.tick, key, epoch))
+            })
+            .min_by_key(|&(tick, ..)| tick)
+            .map(|(_, key, epoch)| (key.clone(), epoch));
+        if let Some((key, epoch)) = victim {
+            let by_epoch = self.plans.get_mut(&key).expect("victim key exists");
+            by_epoch.remove(&epoch);
+            if by_epoch.is_empty() {
+                self.plans.remove(&key);
+            }
+            self.len -= 1;
+            self.evictions += 1;
+        }
+    }
+
+    fn clear(&mut self) {
+        self.plans.clear();
+        self.len = 0;
+    }
+}
+
+/// One epoch's execution snapshot: the pinned catalog plus everything a
+/// pass derives from it once (active id lists in name order, the dense
+/// throughput table). Sessions build one per epoch they touch and share
+/// it across runs.
+#[derive(Debug)]
+pub(crate) struct EpochState {
+    pub(crate) snapshot: EpochSnapshot,
+    pub(crate) airframes: Vec<AirframeId>,
+    pub(crate) sensors: Vec<SensorId>,
+    pub(crate) computes: Vec<ComputeId>,
+    pub(crate) algorithms: Vec<AlgorithmId>,
+    pub(crate) table: ThroughputTable,
+}
+
+impl EpochState {
+    fn new(snapshot: EpochSnapshot) -> Self {
+        let catalog = snapshot.catalog();
+        Self {
+            airframes: catalog.airframe_entries().map(|(id, _)| id).collect(),
+            sensors: catalog.sensor_entries().map(|(id, _)| id).collect(),
+            computes: catalog.compute_entries().map(|(id, _)| id).collect(),
+            algorithms: catalog.algorithm_entries().map(|(id, _)| id).collect(),
+            table: catalog.throughput_table(),
+            snapshot,
+        }
+    }
+
+    pub(crate) fn catalog(&self) -> &Arc<Catalog> {
+        self.snapshot.catalog()
+    }
+
+    pub(crate) fn epoch(&self) -> CatalogEpoch {
+        self.snapshot.epoch()
+    }
+}
+
+/// A shared, thread-safe query-execution service over a **versioned**
+/// catalog store.
 ///
-/// Construction snapshots the catalog exactly like
-/// [`Engine::new`](crate::dse::Engine::new) (interned ids in name order,
-/// dense throughput table, paper-calibrated heatsink model) but takes
-/// the catalog by `Arc`, so the session — and every
-/// `Arc<ResultSet>` it returns — is free of lifetimes: clone the `Arc`,
-/// move the session into a server, share it across threads.
+/// A session binds to a [`CatalogStore`] rather than one catalog: every
+/// published [`CatalogEpoch`] is an immutable `Arc<Catalog>` snapshot,
+/// and the session derives one execution state per epoch it touches
+/// (active id lists in name order, dense throughput table,
+/// paper-calibrated heatsink model) — exactly what
+/// [`Engine::new`](crate::dse::Engine::new) derives for its borrowed
+/// catalog. The session is `Send + Sync` and free of lifetimes: clone
+/// the `Arc`s, move it into a server, share it across threads.
+///
+/// * [`run`](Self::run) executes at the store's **current** epoch;
+///   [`run_at`](Self::run_at) pins any published epoch.
+/// * Results are memoized by `(plan key, epoch)`, optionally size-capped
+///   with LRU eviction ([`with_cache_capacity`](Self::with_cache_capacity)).
+/// * [`refresh`](Self::refresh) brings a plan to the current epoch by
+///   **incrementally repairing** the newest cached older-epoch result
+///   across the catalog delta: only net-new candidates are evaluated,
+///   retired candidates are masked out, and the frontier is merged —
+///   exactly (bit-identical to a cold run), at a fraction of the cost
+///   for small deltas.
 ///
 /// See the [module docs](self) for the shared-pass and caching
 /// semantics, and [`QueryPlan`] for the owned request type.
 #[derive(Debug)]
 pub struct Session {
-    catalog: Arc<Catalog>,
-    airframes: Vec<AirframeId>,
-    sensors: Vec<SensorId>,
-    computes: Vec<ComputeId>,
-    algorithms: Vec<AlgorithmId>,
-    table: ThroughputTable,
+    store: Arc<CatalogStore>,
     heatsink: HeatsinkModel,
     saturation: Saturation,
     chunk_size: Option<usize>,
-    cache: Mutex<HashMap<String, Arc<ResultSet>>>,
+    states: Mutex<HashMap<u64, Arc<EpochState>>>,
+    cache: Mutex<MemoCache>,
     hits: AtomicU64,
     misses: AtomicU64,
+    repairs: AtomicU64,
 }
 
 impl Session {
-    /// Opens a session over a shared catalog.
+    /// Opens a session over a single shared catalog (a private
+    /// single-epoch store; use [`over`](Self::over) to share a store —
+    /// and its delta stream — between sessions).
     #[must_use]
     pub fn new(catalog: Arc<Catalog>) -> Self {
-        let airframes = catalog.airframe_entries().map(|(id, _)| id).collect();
-        let sensors = catalog.sensor_entries().map(|(id, _)| id).collect();
-        let computes = catalog.compute_entries().map(|(id, _)| id).collect();
-        let algorithms = catalog.algorithm_entries().map(|(id, _)| id).collect();
-        let table = catalog.throughput_table();
+        Self::over(Arc::new(CatalogStore::from_shared(catalog)))
+    }
+
+    /// Opens a session bound to a shared versioned catalog store.
+    #[must_use]
+    pub fn over(store: Arc<CatalogStore>) -> Self {
         Self {
-            catalog,
-            airframes,
-            sensors,
-            computes,
-            algorithms,
-            table,
+            store,
             heatsink: HeatsinkModel::paper_calibrated(),
             saturation: Saturation::DEFAULT,
             chunk_size: None,
-            cache: Mutex::new(HashMap::new()),
+            states: Mutex::new(HashMap::new()),
+            cache: Mutex::new(MemoCache::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            repairs: AtomicU64::new(0),
         }
     }
 
@@ -1554,20 +1791,89 @@ impl Session {
         self
     }
 
-    /// The catalog this session executes against.
+    /// Caps the memo cache at `capacity` results, evicting the
+    /// least-recently-used entry past the cap
+    /// ([`CacheStats::evictions`] counts drops). Uncapped by default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
     #[must_use]
-    pub fn catalog(&self) -> &Arc<Catalog> {
-        &self.catalog
+    pub fn with_cache_capacity(self, capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        self.cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .capacity = Some(capacity);
+        self
     }
 
-    fn pass_context(&self) -> PassContext<'_> {
+    /// The versioned catalog store this session executes against.
+    #[must_use]
+    pub fn store(&self) -> &Arc<CatalogStore> {
+        &self.store
+    }
+
+    /// The catalog of the store's current epoch.
+    #[must_use]
+    pub fn catalog(&self) -> Arc<Catalog> {
+        Arc::clone(self.store.current().catalog())
+    }
+
+    /// The store's current epoch.
+    #[must_use]
+    pub fn epoch(&self) -> CatalogEpoch {
+        self.store.current_epoch()
+    }
+
+    /// How many per-epoch execution states a session retains. States
+    /// are derived data (rebuildable from the store at any time), so a
+    /// session following a rolling stream of catalog deltas stays
+    /// bounded: the oldest epochs' states are dropped past the cap and
+    /// transparently rebuilt if an old epoch is pinned again.
+    const MAX_EPOCH_STATES: usize = 8;
+
+    /// The execution state for an epoch snapshot, derived once and
+    /// shared across runs (until evicted by [`Self::MAX_EPOCH_STATES`]).
+    fn state_for(&self, snapshot: &EpochSnapshot) -> Arc<EpochState> {
+        let mut states = self
+            .states
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let state = Arc::clone(
+            states
+                .entry(snapshot.epoch().get())
+                .or_insert_with(|| Arc::new(EpochState::new(snapshot.clone()))),
+        );
+        while states.len() > Self::MAX_EPOCH_STATES {
+            let oldest = *states.keys().min().expect("map is non-empty");
+            states.remove(&oldest);
+        }
+        state
+    }
+
+    fn current_state(&self) -> Arc<EpochState> {
+        self.state_for(&self.store.current())
+    }
+
+    fn state_at(&self, epoch: CatalogEpoch) -> Result<Arc<EpochState>, SkylineError> {
+        match self.store.at(epoch) {
+            Some(snapshot) => Ok(self.state_for(&snapshot)),
+            None => Err(SkylineError::UnknownEpoch {
+                requested: epoch.get(),
+                latest: self.store.current_epoch().get(),
+            }),
+        }
+    }
+
+    fn pass_context<'a>(&'a self, state: &'a EpochState) -> PassContext<'a> {
         PassContext {
-            catalog: &self.catalog,
-            airframes: &self.airframes,
-            sensors: &self.sensors,
-            computes: &self.computes,
-            algorithms: &self.algorithms,
-            table: &self.table,
+            catalog: state.catalog(),
+            airframes: &state.airframes,
+            sensors: &state.sensors,
+            computes: &state.computes,
+            algorithms: &state.algorithms,
+            table: &state.table,
             heatsink: &self.heatsink,
             saturation: self.saturation,
             chunk_size: self.chunk_size,
@@ -1575,37 +1881,25 @@ impl Session {
     }
 
     /// Cache read with no hit/miss accounting.
-    fn peek(&self, key: &str) -> Option<Arc<ResultSet>> {
+    fn peek(&self, key: &str, epoch: u64) -> Option<Arc<ResultSet>> {
         self.cache
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .get(key)
-            .cloned()
+            .get(key, epoch)
     }
 
-    /// Cache read counting one hit or one miss.
-    fn lookup(&self, key: &str) -> Option<Arc<ResultSet>> {
-        let hit = self.peek(key);
-        if hit.is_some() {
-            self.hits.fetch_add(1, AtomicOrdering::Relaxed);
-        } else {
-            self.misses.fetch_add(1, AtomicOrdering::Relaxed);
-        }
-        hit
-    }
-
-    fn insert(&self, key: &str, result: Arc<ResultSet>) {
+    fn insert(&self, key: &str, epoch: u64, result: Arc<ResultSet>) {
         self.cache
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .insert(key.to_owned(), result);
+            .insert(key, epoch, result);
     }
 
-    /// Executes one plan: a memo-cache lookup by
-    /// [canonical key](QueryPlan::key) first, one fused pass on a miss.
-    /// The cached `Arc` is returned as-is, so repeated queries are
-    /// pointer-identical — bit-identical objective rows and frontier
-    /// indices by construction.
+    /// Executes one plan at the store's **current** epoch: a memo-cache
+    /// lookup by `(`[canonical key](QueryPlan::key)`, epoch)` first, one
+    /// fused pass on a miss. The cached `Arc` is returned as-is, so
+    /// repeated queries are pointer-identical — bit-identical objective
+    /// rows and frontier indices by construction.
     ///
     /// # Errors
     ///
@@ -1615,34 +1909,131 @@ impl Session {
     /// before the pass), plus any evaluation error, propagated
     /// deterministically in enumeration order.
     pub fn run(&self, plan: &QueryPlan) -> Result<Arc<ResultSet>, SkylineError> {
-        if let Some(hit) = self.lookup(plan.key()) {
+        let state = self.current_state();
+        self.run_at_state(plan, &state)
+    }
+
+    /// Executes one plan pinned at a published epoch — historical
+    /// queries stay reproducible after the catalog moves on. Memoized
+    /// like [`run`](Self::run).
+    ///
+    /// # Errors
+    ///
+    /// [`SkylineError::UnknownEpoch`] when the store never published
+    /// `epoch`, plus everything [`run`](Self::run) can produce.
+    pub fn run_at(
+        &self,
+        plan: &QueryPlan,
+        epoch: CatalogEpoch,
+    ) -> Result<Arc<ResultSet>, SkylineError> {
+        let state = self.state_at(epoch)?;
+        self.run_at_state(plan, &state)
+    }
+
+    fn run_at_state(
+        &self,
+        plan: &QueryPlan,
+        state: &EpochState,
+    ) -> Result<Arc<ResultSet>, SkylineError> {
+        let epoch = state.epoch().get();
+        if let Some(hit) = self.peek(plan.key(), epoch) {
+            self.hits.fetch_add(1, AtomicOrdering::Relaxed);
             return Ok(hit);
         }
-        let mut results = run_plans(&self.pass_context(), &[plan], true)?;
+        self.misses.fetch_add(1, AtomicOrdering::Relaxed);
+        let mut results = run_plans(&self.pass_context(state), &[plan], true)?;
         let result = Arc::new(results.pop().expect("one plan in, one result out"));
-        self.insert(plan.key(), Arc::clone(&result));
+        self.insert(plan.key(), epoch, Arc::clone(&result));
         Ok(result)
     }
 
-    /// Executes a batch of plans in as few fused passes as their
-    /// evaluation signatures allow — plans over the same subspace, knob
-    /// settings and battery share **one** enumeration + evaluation, with
-    /// each plan's constraints and objective rows applied in-pass.
-    /// Cached plans are served from the memo cache without joining a
-    /// pass; duplicate plans within the batch are deduplicated by
-    /// canonical key. Results come back aligned with `plans`.
+    /// Brings a plan's result to the store's **current** epoch, reusing
+    /// work from earlier epochs:
+    ///
+    /// 1. current-epoch cache hit → returned as-is;
+    /// 2. a cached result at an older epoch → **incrementally
+    ///    repaired** across the catalog delta: survivors keep their
+    ///    evaluated outcomes, retired candidates are masked out, only
+    ///    net-new/re-characterized candidates run through the fused
+    ///    pass, and the frontier is merged — the result is
+    ///    **bit-identical** to a cold run at the current epoch
+    ///    (property-tested), and counted in [`CacheStats::repairs`];
+    /// 3. otherwise a cold pass.
+    ///
+    /// The repaired result is memoized at the current epoch like any
+    /// other.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn refresh(&self, plan: &QueryPlan) -> Result<Arc<ResultSet>, SkylineError> {
+        let state = self.current_state();
+        let epoch = state.epoch().get();
+        if let Some(hit) = self.peek(plan.key(), epoch) {
+            self.hits.fetch_add(1, AtomicOrdering::Relaxed);
+            return Ok(hit);
+        }
+        let source = self
+            .cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .newest_before(plan.key(), epoch);
+        if let Some((old_epoch, cached)) = source {
+            // The source epoch is still resolvable (stores retain every
+            // epoch) unless the cache outlived a different store — then
+            // fall through to a cold run.
+            if let Ok(old_state) = self.state_at(CatalogEpoch::from_raw(old_epoch)) {
+                match crate::repair::repair_result(
+                    &old_state,
+                    &state,
+                    &self.pass_context(&state),
+                    plan,
+                    &cached,
+                )? {
+                    crate::repair::Repair::Unchanged => {
+                        // The delta does not intersect the plan's design
+                        // space: the cached result IS the current-epoch
+                        // answer.
+                        self.hits.fetch_add(1, AtomicOrdering::Relaxed);
+                        self.insert(plan.key(), epoch, Arc::clone(&cached));
+                        return Ok(cached);
+                    }
+                    crate::repair::Repair::Repaired(result) => {
+                        self.repairs.fetch_add(1, AtomicOrdering::Relaxed);
+                        self.misses.fetch_add(1, AtomicOrdering::Relaxed);
+                        let result = Arc::new(result);
+                        self.insert(plan.key(), epoch, Arc::clone(&result));
+                        return Ok(result);
+                    }
+                    crate::repair::Repair::Cold => {}
+                }
+            }
+        }
+        self.run_at_state(plan, &state)
+    }
+
+    /// Executes a batch of plans (at the current epoch) in as few fused
+    /// passes as their evaluation signatures allow — plans over the same
+    /// subspace, knob settings and battery share **one** enumeration +
+    /// evaluation, with each plan's constraints and objective rows
+    /// applied in-pass. Cached plans are served from the memo cache
+    /// without joining a pass; duplicate plans within the batch are
+    /// deduplicated by canonical key. Results come back aligned with
+    /// `plans`.
     ///
     /// # Errors
     ///
     /// Same as [`run`](Self::run); the first error aborts the batch.
     pub fn run_batch(&self, plans: &[QueryPlan]) -> Result<Vec<Arc<ResultSet>>, SkylineError> {
+        let state = self.current_state();
+        let epoch = state.epoch().get();
         // Cache-served plans count a hit each; deduplicated uncached
         // work counts ONE miss per pass actually run, so the stats keep
         // meaning "lookups served" vs "passes paid".
         let mut out: Vec<Option<Arc<ResultSet>>> = plans
             .iter()
             .map(|p| {
-                let hit = self.peek(p.key());
+                let hit = self.peek(p.key(), epoch);
                 if hit.is_some() {
                     self.hits.fetch_add(1, AtomicOrdering::Relaxed);
                 }
@@ -1660,10 +2051,10 @@ impl Session {
             self.misses
                 .fetch_add(pending.len() as u64, AtomicOrdering::Relaxed);
             let refs: Vec<&QueryPlan> = pending.iter().map(|&i| &plans[i]).collect();
-            let results = run_plans(&self.pass_context(), &refs, true)?;
+            let results = run_plans(&self.pass_context(&state), &refs, true)?;
             for (&i, result) in pending.iter().zip(results) {
                 let result = Arc::new(result);
-                self.insert(plans[i].key(), Arc::clone(&result));
+                self.insert(plans[i].key(), epoch, Arc::clone(&result));
                 out[i] = Some(result);
             }
         }
@@ -1686,21 +2077,24 @@ impl Session {
     }
 
     /// Cache accounting: lookups served ([`CacheStats::hits`]) vs passes
-    /// run ([`CacheStats::misses`]), and the number of retained results.
+    /// run ([`CacheStats::misses`]), retained results, LRU evictions and
+    /// incremental repairs.
     #[must_use]
     pub fn cache_stats(&self) -> CacheStats {
+        let cache = self
+            .cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         CacheStats {
             hits: self.hits.load(AtomicOrdering::Relaxed),
             misses: self.misses.load(AtomicOrdering::Relaxed),
-            entries: self
-                .cache
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                .len(),
+            entries: cache.len,
+            evictions: cache.evictions,
+            repairs: self.repairs.load(AtomicOrdering::Relaxed),
         }
     }
 
-    /// Drops every memoized result (the hit/miss counters keep
+    /// Drops every memoized result (the hit/miss/eviction counters keep
     /// counting).
     pub fn clear_cache(&self) {
         self.cache
@@ -1776,9 +2170,7 @@ mod tests {
         let batch = session.run_batch(&plans).unwrap();
         assert_eq!(batch.len(), plans.len());
         for (plan, batched) in plans.iter().zip(&batch) {
-            let standalone = Session::new(Arc::clone(session.catalog()))
-                .run(plan)
-                .unwrap();
+            let standalone = Session::new(session.catalog()).run(plan).unwrap();
             assert_eq!(**batched, *standalone);
         }
         // The batch memoized every member.
@@ -1903,7 +2295,7 @@ mod tests {
             .build()
             .unwrap();
         let result = session.run(&plan).unwrap();
-        let json = result.to_json(session.catalog());
+        let json = result.to_json(&session.catalog());
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         assert!(json.contains("\"objectives\""));
         assert!(json.contains("\"velocity\": ["));

@@ -9,6 +9,7 @@ use f1_components::Catalog;
 use f1_skyline::plan::QueryPlan;
 use f1_skyline::query::{Constraint, Knob, KnobSweep, Objective};
 use f1_skyline::session::{ResultSet, Session};
+use f1_skyline::SkylineError;
 use f1_units::{Grams, MetersPerSecond, Watts};
 use proptest::prelude::*;
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -159,6 +160,106 @@ proptest! {
         let replayed = QueryPlan::from_key(plan.key()).unwrap();
         prop_assert_eq!(&replayed, &plan);
         prop_assert_eq!(replayed.key(), plan.key());
+    }
+
+    /// Fuzz: truncating a canonical key anywhere never panics. A cut
+    /// that damages the section structure (removes at least one `|`)
+    /// is always [`SkylineError::PlanKey`]; a cut inside the final
+    /// section leaves a structurally well-formed key, which may then
+    /// fail value parsing (`PlanKey`), fail semantic validation (e.g.
+    /// a truncated profile value leaving its domain), or — rarely —
+    /// land on another canonical key (shortening a float digit by
+    /// digit), in which case the parser's canonical-form check
+    /// guarantees the accepted string round-trips to itself.
+    #[test]
+    fn truncated_keys_fail_as_plan_key_errors(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(3) ^ 0xF0221);
+        let key = random_plan(seed, rng.gen_range(0u32..2) == 0).key().to_owned();
+        let cut = rng.gen_range(0usize..key.len());
+        let truncated = &key[..cut];
+        if key[cut..].contains('|') {
+            // At least one whole section was cut off: must be PlanKey.
+            prop_assert!(matches!(
+                QueryPlan::from_key(truncated),
+                Err(SkylineError::PlanKey { .. })
+            ));
+        } else {
+            match QueryPlan::from_key(truncated) {
+                Err(_) => {}
+                Ok(plan) => prop_assert_eq!(plan.key(), truncated),
+            }
+        }
+    }
+
+    /// Fuzz: reordering, duplicating or deleting any section of a
+    /// canonical key is always rejected as [`SkylineError::PlanKey`] —
+    /// a key is a cache identity, so exactly one spelling may exist.
+    #[test]
+    fn reordered_or_reshaped_keys_are_rejected(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(5) ^ 0xF0222);
+        let key = random_plan(seed, rng.gen_range(0u32..2) == 0).key().to_owned();
+        let mut sections: Vec<&str> = key.split('|').collect();
+        // Index 0 is the version prefix; mutate only body sections.
+        let a = rng.gen_range(1usize..sections.len());
+        match rng.gen_range(0u32..4) {
+            0 => {
+                // Swap two distinct sections.
+                let b = 1 + (a - 1 + rng.gen_range(1usize..sections.len() - 1))
+                    % (sections.len() - 1);
+                sections.swap(a, b);
+            }
+            1 => {
+                // Duplicate a section in place.
+                let dup = sections[a];
+                sections.insert(a, dup);
+            }
+            2 => {
+                // Delete a section.
+                sections.remove(a);
+            }
+            _ => {
+                // Inject an unknown section.
+                sections.insert(a, "zz=1");
+            }
+        }
+        let mutated = sections.join("|");
+        prop_assert!(
+            matches!(
+                QueryPlan::from_key(&mutated),
+                Err(SkylineError::PlanKey { .. })
+            ),
+            "accepted reshaped key {mutated:?}"
+        );
+    }
+
+    /// Fuzz: arbitrary printable garbage is rejected as
+    /// [`SkylineError::PlanKey`], and single-character corruption of a
+    /// canonical key never panics (when accepted, the canonical-form
+    /// check makes the accepted string self-identifying).
+    #[test]
+    fn garbage_and_corrupted_keys_never_panic(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(7) ^ 0xF0223);
+        let len = rng.gen_range(0usize..80);
+        let garbage: String = (0..len)
+            .map(|_| char::from(rng.gen_range(0x20u32..0x7f) as u8))
+            .collect();
+        prop_assume!(!garbage.starts_with("f1.plan.v1"));
+        prop_assert!(matches!(
+            QueryPlan::from_key(&garbage),
+            Err(SkylineError::PlanKey { .. })
+        ));
+
+        let key = random_plan(seed, rng.gen_range(0u32..2) == 0).key().to_owned();
+        let pos = rng.gen_range(0usize..key.len());
+        let mut corrupted = key.clone().into_bytes();
+        corrupted[pos] = rng.gen_range(0x20u32..0x7f) as u8;
+        let corrupted = String::from_utf8(corrupted).expect("ASCII stays ASCII");
+        // Most corruptions are malformed; some hit a value digit and
+        // yield a different (still canonical) plan; some surface a
+        // semantic error (e.g. an out-of-domain profile value).
+        if let Ok(plan) = QueryPlan::from_key(&corrupted) {
+            prop_assert_eq!(plan.key(), &corrupted);
+        }
     }
 }
 

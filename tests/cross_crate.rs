@@ -132,10 +132,11 @@ fn payload_accounting_cross_check() {
 /// The DSE winner for the Pelican is at least as fast as every manually
 /// assembled §VI configuration.
 #[test]
-#[allow(deprecated)] // pins the compat wrapper until it is removed
 fn dse_winner_dominates_case_study_builds() {
     let catalog = Catalog::paper();
-    let dse = f1_uav::skyline::dse::explore(&catalog, names::ASCTEC_PELICAN).unwrap();
+    let engine = f1_uav::skyline::dse::Engine::new(&catalog);
+    let pelican = catalog.airframe_id(names::ASCTEC_PELICAN).unwrap();
+    let dse = engine.describe(&engine.explore_airframe(pelican).unwrap());
     let best = dse.best().unwrap().velocity.get();
     for (platform, algorithm) in [
         (names::TX2, names::DRONET),
