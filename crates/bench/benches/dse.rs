@@ -4,8 +4,10 @@
 //! O(n²) all-pairs Pareto scan against the O(n log n) sort-and-sweep
 //! skyline at 10³/10⁴/10⁵ candidates, and — since the compile/execute
 //! split — the `plan_reuse` group: one cold fused pass vs. a session
-//! plan-cache hit vs. an 8-plan shared-pass batch. Representative
-//! numbers are recorded in `BENCH_dse.json` at the repo root.
+//! plan-cache hit vs. an 8-plan shared-pass batch — plus the
+//! `stream_shards` group pitting the sharded streaming executor against
+//! the materializing pass at 10⁵/10⁶ candidates. Representative numbers
+//! are recorded in `BENCH_dse.json` at the repo root.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -14,7 +16,7 @@ use std::sync::Arc;
 use f1_components::{names, Catalog, CatalogDelta, CatalogStore};
 use f1_skyline::dse::Engine;
 use f1_skyline::frontier;
-use f1_skyline::plan::QueryPlan;
+use f1_skyline::plan::{KeepPoints, QueryPlan};
 use f1_skyline::query::{Constraint, Objective};
 use f1_skyline::session::Session;
 use f1_units::Watts;
@@ -253,6 +255,39 @@ fn bench_delta_repair(c: &mut Criterion) {
     g.finish();
 }
 
+/// The sharded streaming executor vs the materializing fused pass: the
+/// same 4-objective single-airframe query under `KeepPoints::All` and
+/// `KeepPoints::FrontierOnly` at 10⁵ and 10⁶ candidates. The frontier,
+/// top-k ranking and accounting are bit-identical between the arms, so
+/// the delta is pure executor cost: per-candidate ns for the streamed
+/// pass must stay at or below the materializing pass, while its peak
+/// memory is O(shard + frontier + k) instead of O(candidates).
+fn bench_stream_shards(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dse_stream_shards");
+    for (label, n_per_family) in [("1e5", 47usize), ("1e6", 100)] {
+        let catalog = Arc::new(Catalog::synthesize(42, n_per_family));
+        let airframe = catalog.airframe_entries().next().map(|(id, _)| id).unwrap();
+        for (mode, keep) in [
+            ("materialize", KeepPoints::All),
+            ("stream", KeepPoints::FrontierOnly),
+        ] {
+            let plan = QueryPlan::builder()
+                .airframes(&[airframe])
+                .objectives(&Objective::ALL[..4])
+                .keep_points(keep)
+                .build()
+                .unwrap();
+            g.bench_function(format!("{mode}/{label}"), |b| {
+                b.iter(|| {
+                    let session = Session::new(Arc::clone(&catalog));
+                    black_box(session.run(&plan).unwrap())
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
 criterion_group!(
     dse,
     bench_explore_all,
@@ -263,5 +298,6 @@ criterion_group!(
     bench_synthetic_query,
     bench_plan_reuse,
     bench_delta_repair,
+    bench_stream_shards,
 );
 criterion_main!(dse);

@@ -35,7 +35,10 @@ impl Catalog {
     /// **dense** throughput matrix (every platform × algorithm pair
     /// characterized). The characterized candidate count per airframe is
     /// therefore `n_per_family³`: 22 per family ≈ 10⁴ candidates, 47 per
-    /// family ≈ 10⁵, 100 per family = 10⁶.
+    /// family ≈ 10⁵, 100 per family = 10⁶, and 216 per family ≈ 1.007 ×
+    /// 10⁷ — the scale the sharded streaming executor
+    /// (`f1-skyline`'s `shard` module) is sized for, where materializing
+    /// every point stops being an option.
     ///
     /// Deterministic: equal `(seed, n_per_family)` yields an identical
     /// catalog (`PartialEq`).

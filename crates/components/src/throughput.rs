@@ -341,6 +341,32 @@ impl ThroughputTable {
     pub fn is_empty(&self) -> bool {
         self.characterized == 0
     }
+
+    /// Lazily enumerates the characterized `(compute, algorithm,
+    /// throughput)` pairs of a compute × algorithm subspace,
+    /// compute-major in the given list order — the exact pair order the
+    /// DSE executors walk. This is the shard-enumeration primitive:
+    /// O(C·A) lookups, O(1) extra memory, no materialized candidate
+    /// list, so a 10⁷-candidate space can be decoded shard-by-shard
+    /// from `sensor × pair` coordinates without ever holding the
+    /// cross-product.
+    ///
+    /// # Panics
+    ///
+    /// Panics (inside [`get`](Self::get)) if an id comes from a
+    /// different or mutated catalog and exceeds the table's dimensions.
+    pub fn characterized_pairs<'a>(
+        &'a self,
+        computes: &'a [ComputeId],
+        algorithms: &'a [AlgorithmId],
+    ) -> impl Iterator<Item = (ComputeId, AlgorithmId, Hertz)> + 'a {
+        computes.iter().flat_map(move |&compute| {
+            algorithms.iter().filter_map(move |&algorithm| {
+                self.get(compute, algorithm)
+                    .map(|throughput| (compute, algorithm, throughput))
+            })
+        })
+    }
 }
 
 #[cfg(test)]
@@ -441,6 +467,36 @@ mod tests {
             .upsert("Nvidia TX2", "DroNet", Hertz::new(1.0))
             .unwrap();
         assert_ne!(forward, different);
+    }
+
+    #[test]
+    fn characterized_pairs_walks_compute_major_in_list_order() {
+        let c0 = ComputeId::from_index(0);
+        let c1 = ComputeId::from_index(1);
+        let a0 = AlgorithmId::from_index(0);
+        let a1 = AlgorithmId::from_index(1);
+        let table = ThroughputTable::build(
+            2,
+            2,
+            vec![
+                (c0, a1, Hertz::new(10.0)),
+                (c1, a0, Hertz::new(20.0)),
+                (c0, a0, Hertz::new(30.0)),
+            ]
+            .into_iter(),
+        );
+        // Compute-major in the *given* list order (reversed here), with
+        // uncharacterized holes skipped.
+        let pairs: Vec<_> = table.characterized_pairs(&[c1, c0], &[a0, a1]).collect();
+        assert_eq!(
+            pairs,
+            vec![
+                (c1, a0, Hertz::new(20.0)),
+                (c0, a0, Hertz::new(30.0)),
+                (c0, a1, Hertz::new(10.0)),
+            ]
+        );
+        assert!(table.characterized_pairs(&[], &[a0]).next().is_none());
     }
 
     #[test]

@@ -16,6 +16,13 @@
 //!     --objectives velocity,tdp,payload,energy --max-tdp 20 \
 //!     --top-k 10 --json out.json --repeat 3
 //!
+//! # the same query at 10⁷ candidates (216³ per airframe): past ~2M
+//! # candidates the session streams automatically — only the Pareto
+//! # frontier, bounded top-k and accounting are kept, in ~1 s release
+//! cargo run --release -p f1-skyline --bin skyline -- --dse --synth 216 \
+//!     --objectives velocity,tdp,payload,energy --keep-points frontier \
+//!     --top-k 10
+//!
 //! # evolve the catalog with JSON deltas (see CatalogDelta::from_json
 //! # for the schema): each --delta publishes a new epoch, and the
 //! # session repairs the cached result incrementally instead of
@@ -30,7 +37,7 @@ use std::time::{Duration, Instant};
 use f1_components::{Catalog, CatalogDelta, CatalogStore};
 use f1_skyline::chart::{roofline_chart, OperatingPoint};
 use f1_skyline::mission::{analyze_mission, MissionSpec};
-use f1_skyline::plan::QueryPlan;
+use f1_skyline::plan::{KeepPoints, QueryPlan};
 use f1_skyline::query::{Constraint, Objective};
 use f1_skyline::session::{ResultSet, Session};
 use f1_skyline::UavSystem;
@@ -53,6 +60,7 @@ struct Args {
     max_tdp: Option<f64>,
     battery: Option<String>,
     synth: Option<usize>,
+    keep_points: Option<KeepPoints>,
     chunk_size: Option<usize>,
     top_k: Option<usize>,
     json: Option<String>,
@@ -75,6 +83,7 @@ fn parse_args() -> Result<Args, String> {
         max_tdp: None,
         battery: None,
         synth: None,
+        keep_points: None,
         chunk_size: None,
         top_k: None,
         json: None,
@@ -158,21 +167,33 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.synth = Some(n);
             }
+            "--keep-points" => {
+                let v = value("--keep-points")?;
+                args.keep_points = Some(match v.as_str() {
+                    "auto" => KeepPoints::Auto,
+                    "all" => KeepPoints::All,
+                    "frontier" => KeepPoints::FrontierOnly,
+                    _ => return Err(format!("bad --keep-points mode {v:?} (auto|all|frontier)")),
+                });
+            }
             "--help" | "-h" => {
                 println!(
                     "skyline — F-1 bottleneck analysis for UAV onboard compute\n\n\
                      usage:\n  skyline --list\n  skyline --dse [--airframe NAME] [--dse-top N]\n\
                      \x20         [--objectives velocity,tdp,payload,energy,endurance]\n\
                      \x20         [--max-tdp WATTS] [--battery NAME] [--synth N_PER_FAMILY]\n\
-                     \x20         [--chunk-size N] [--top-k N] [--json PATH] [--repeat N]\n\
-                     \x20         [--delta FILE ...]\n\
+                     \x20         [--keep-points auto|all|frontier] [--chunk-size N]\n\
+                     \x20         [--top-k N] [--json PATH] [--repeat N] [--delta FILE ...]\n\
                      \x20 skyline --airframe NAME --sensor NAME --compute NAME \
                      --algorithm NAME [--chart] [--mission METERS]\n\n\
                      --objectives: comma-separated; the first is the primary ranking \
                      objective.\n--synth N: explore a deterministic synthetic catalog with \
                      N parts per family\n  (N³ candidates per airframe) instead of the \
                      paper catalog.\n--battery NAME: mount a catalog battery (required \
-                     for the endurance objective).\n--chunk-size N: pin the parallel \
+                     for the endurance objective).\n--keep-points: point materialization \
+                     — auto (default: stream past ~2M\n  candidates), all (always \
+                     materialize), frontier (always stream:\n  frontier + top-k only, \
+                     bounded memory).\n--chunk-size N: pin the parallel \
                      evaluation chunk size (default: autotuned\n  from the job count and \
                      core count).\n--top-k N: also print the overall best N builds via \
                      the bounded-heap\n  selection (no full ranking sort).\n--json PATH: \
@@ -227,7 +248,7 @@ fn human_duration(d: Duration) -> String {
 }
 
 fn describe_point(catalog: &Catalog, result: &ResultSet, index: usize) -> String {
-    let point = &result.points()[index];
+    let point = result.point(index);
     let parts = format!(
         "{:<18} + {:<18} + {:<26}",
         catalog.sensor_by_id(point.candidate.sensor).name(),
@@ -268,6 +289,9 @@ fn dse_report(catalog: &Arc<Catalog>, args: &Args) -> Result<(), Box<dyn std::er
     }
     if let Some(name) = args.battery.as_deref() {
         builder = builder.battery(catalog.battery_id(name).map_err(|e| e.to_string())?);
+    }
+    if let Some(keep_points) = args.keep_points {
+        builder = builder.keep_points(keep_points);
     }
     // Stringify so a failed build/run prints its Display form, not Debug.
     let plan = builder.build().map_err(|e| e.to_string())?;
@@ -316,10 +340,19 @@ fn dse_report(catalog: &Arc<Catalog>, args: &Args) -> Result<(), Box<dyn std::er
         store.current().digest(),
         objectives.len(),
         primary,
-        result.points().len(),
+        result.len(),
         result.dropped(),
         result.nonfinite(),
     );
+    if let Some(stored) = result.stored_indices() {
+        println!(
+            "streamed: {} of {} points stored (frontier ∪ top-{}), the rest reduced \
+             shard-by-shard",
+            stored.len(),
+            result.len(),
+            f1_skyline::shard::STREAM_TOP_K,
+        );
+    }
     let stats = session.cache_stats();
     if args.repeat > 1 {
         let cached_avg = timings[1..]
@@ -344,14 +377,14 @@ fn dse_report(catalog: &Arc<Catalog>, args: &Args) -> Result<(), Box<dyn std::er
         let per_airframe: Vec<usize> = ranked
             .iter()
             .copied()
-            .filter(|&i| result.points()[i].airframe == airframe_id)
+            .filter(|&i| result.point(i).airframe == airframe_id)
             .collect();
         if per_airframe.is_empty() {
             continue;
         }
         let feasible = per_airframe
             .iter()
-            .filter(|&&i| result.points()[i].outcome.feasible)
+            .filter(|&&i| result.point(i).outcome.feasible)
             .count();
         println!(
             "━━ {}: {} candidates ({} feasible, {} uncharacterized pairs skipped) ━━",
@@ -361,7 +394,7 @@ fn dse_report(catalog: &Arc<Catalog>, args: &Args) -> Result<(), Box<dyn std::er
             result.uncharacterized(),
         );
         for &index in per_airframe.iter().take(args.dse_top) {
-            let verdict = if result.points()[index].outcome.feasible {
+            let verdict = if result.point(index).outcome.feasible {
                 describe_point(catalog, &result, index)
             } else {
                 format!("{} cannot hover", describe_point(catalog, &result, index))
@@ -373,9 +406,7 @@ fn dse_report(catalog: &Arc<Catalog>, args: &Args) -> Result<(), Box<dyn std::er
     if let Some(k) = args.top_k {
         println!("top {k} overall by {primary} (bounded-heap top_k, no full sort):");
         for index in result.top_k(k) {
-            let airframe = catalog
-                .airframe_by_id(result.points()[index].airframe)
-                .name();
+            let airframe = catalog.airframe_by_id(result.point(index).airframe).name();
             println!(
                 "  {airframe:<18} {}",
                 describe_point(catalog, &result, index)
@@ -392,9 +423,7 @@ fn dse_report(catalog: &Arc<Catalog>, args: &Args) -> Result<(), Box<dyn std::er
             .join(", ")
     );
     for &index in result.frontier() {
-        let airframe = catalog
-            .airframe_by_id(result.points()[index].airframe)
-            .name();
+        let airframe = catalog.airframe_by_id(result.point(index).airframe).name();
         println!(
             "  {airframe:<18} {}",
             describe_point(catalog, &result, index)

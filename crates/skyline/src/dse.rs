@@ -304,21 +304,21 @@ impl<'c> Engine<'c> {
     }
 
     /// Lazily enumerates every characterized sensor × compute × algorithm
-    /// candidate (airframe-independent), in deterministic name order.
+    /// candidate (airframe-independent), in deterministic name order —
+    /// sensor-major over
+    /// [`ThroughputTable::characterized_pairs`](f1_components::ThroughputTable::characterized_pairs),
+    /// the same pair order the sharded streaming executor
+    /// ([`crate::shard`]) decodes candidates from.
     pub fn candidates(&self) -> impl Iterator<Item = Candidate> + '_ {
         self.sensors.iter().flat_map(move |&sensor| {
-            self.computes.iter().flat_map(move |&compute| {
-                self.algorithms.iter().filter_map(move |&algorithm| {
-                    self.table
-                        .get(compute, algorithm)
-                        .map(|throughput| Candidate {
-                            sensor,
-                            compute,
-                            algorithm,
-                            throughput,
-                        })
+            self.table
+                .characterized_pairs(&self.computes, &self.algorithms)
+                .map(move |(compute, algorithm, throughput)| Candidate {
+                    sensor,
+                    compute,
+                    algorithm,
+                    throughput,
                 })
-            })
         })
     }
 
@@ -589,6 +589,89 @@ pub(crate) fn evaluate_parts_with(
     throughput: Hertz,
     extra_payload: Grams,
 ) -> Result<Outcome, SkylineError> {
+    let pair = pair_stage(
+        heatsink,
+        saturation,
+        airframe,
+        sensor,
+        platform,
+        extra_payload,
+    )?;
+    algo_stage(&pair, airframe, sensor, throughput)
+}
+
+/// The algorithm-independent half of [`evaluate_parts_with`]: everything
+/// that depends only on (airframe, sensor, compute platform, extra
+/// payload) — payload mass, loaded dynamics, the safety model and the
+/// roofline. The sharded streaming executor of [`crate::shard`] hoists
+/// this out of its inner loop, computing it once per (sensor, compute)
+/// pair instead of once per candidate; [`algo_stage`] finishes the job
+/// per algorithm. Splitting here cannot change bits: the composition is
+/// the literal statement sequence of the original fused kernel.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum PairStage {
+    /// The payload is too heavy to hover: every algorithm on this pair
+    /// yields the same infeasible outcome.
+    Infeasible {
+        /// Combined compute TDP, carried into the infeasible outcome.
+        total_tdp: Watts,
+        /// Total payload mass, carried into the infeasible outcome.
+        payload: Grams,
+    },
+    /// The build hovers: the roofline every algorithm on this pair
+    /// shares.
+    Ready {
+        /// Combined compute TDP.
+        total_tdp: Watts,
+        /// Total payload mass.
+        payload: Grams,
+        /// The shared safety roofline.
+        roofline: Roofline,
+    },
+}
+
+impl PairStage {
+    /// Whether candidates of this pair come out feasible. Feasibility is
+    /// decided entirely at the pair stage (it is a mass/thrust check),
+    /// which is what lets the streaming executor hoist the mission power
+    /// model per pair.
+    pub(crate) fn feasible(&self) -> bool {
+        matches!(self, PairStage::Ready { .. })
+    }
+
+    /// The pair's total TDP (defined in both variants).
+    pub(crate) fn total_tdp(&self) -> Watts {
+        match self {
+            PairStage::Infeasible { total_tdp, .. } | PairStage::Ready { total_tdp, .. } => {
+                *total_tdp
+            }
+        }
+    }
+
+    /// The pair's total payload mass (defined in both variants).
+    pub(crate) fn payload(&self) -> Grams {
+        match self {
+            PairStage::Infeasible { payload, .. } | PairStage::Ready { payload, .. } => *payload,
+        }
+    }
+}
+
+/// Computes the algorithm-independent [`PairStage`] of the evaluation
+/// kernel. See [`evaluate_parts_with`] for the contract; the statement
+/// sequence is byte-for-byte the prefix of the original fused kernel.
+///
+/// # Errors
+///
+/// Propagates model-domain errors as [`SkylineError::Model`]; an
+/// over-heavy payload is the `Infeasible` variant, not an error.
+pub(crate) fn pair_stage(
+    heatsink: &HeatsinkModel,
+    saturation: Saturation,
+    airframe: &Airframe,
+    sensor: &Sensor,
+    platform: &ComputePlatform,
+    extra_payload: Grams,
+) -> Result<PairStage, SkylineError> {
     let total_tdp = platform.tdp();
     let payload = Grams::new(
         platform.fielded_mass().get()
@@ -598,23 +681,56 @@ pub(crate) fn evaluate_parts_with(
     );
     let dynamics = airframe.loaded_dynamics(payload)?;
     let Ok(a_max) = dynamics.a_max() else {
-        return Ok(Outcome::infeasible(total_tdp, payload));
+        return Ok(PairStage::Infeasible { total_tdp, payload });
     };
     let safety = SafetyModel::new(a_max, sensor.range())?;
     let roofline = Roofline::with_saturation(safety, saturation);
-    let rates = StageRates::new(sensor.frame_rate(), throughput, airframe.control_rate())?;
-    let bound = roofline.classify(&rates);
-    Ok(Outcome {
-        feasible: true,
-        velocity: bound.velocity,
-        roof: bound.roof,
-        knee: bound.knee.rate,
-        bound: Some(bound.bound),
+    Ok(PairStage::Ready {
         total_tdp,
         payload,
-        compute_assessment: Some(DesignAssessment::of(&roofline, rates.compute())),
-        roofline: Some(roofline),
+        roofline,
     })
+}
+
+/// Finishes the evaluation kernel for one algorithm on a computed
+/// [`PairStage`]: stage rates, roofline classification and the design
+/// assessment. The statement sequence is byte-for-byte the suffix of
+/// the original fused kernel, so `pair_stage` + `algo_stage` is
+/// bit-identical to [`evaluate_parts_with`].
+///
+/// # Errors
+///
+/// Propagates [`StageRates`] domain errors as [`SkylineError::Model`].
+pub(crate) fn algo_stage(
+    pair: &PairStage,
+    airframe: &Airframe,
+    sensor: &Sensor,
+    throughput: Hertz,
+) -> Result<Outcome, SkylineError> {
+    match pair {
+        PairStage::Infeasible { total_tdp, payload } => {
+            Ok(Outcome::infeasible(*total_tdp, *payload))
+        }
+        PairStage::Ready {
+            total_tdp,
+            payload,
+            roofline,
+        } => {
+            let rates = StageRates::new(sensor.frame_rate(), throughput, airframe.control_rate())?;
+            let bound = roofline.classify(&rates);
+            Ok(Outcome {
+                feasible: true,
+                velocity: bound.velocity,
+                roof: bound.roof,
+                knee: bound.knee.rate,
+                bound: Some(bound.bound),
+                total_tdp: *total_tdp,
+                payload: *payload,
+                compute_assessment: Some(DesignAssessment::of(roofline, rates.compute())),
+                roofline: Some(*roofline),
+            })
+        }
+    }
 }
 
 /// One evaluated candidate configuration (string-keyed compatibility

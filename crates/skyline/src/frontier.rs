@@ -167,21 +167,27 @@ fn prepare(dims: usize, keys: &[f64]) -> Option<(Vec<f64>, Vec<usize>)> {
     Some((keys, order))
 }
 
-/// Indices `0..n` sorted lexicographically over all keys; the stable sort
-/// keeps index order for fully tied points, so every routine downstream
-/// is deterministic.
+/// Indices `0..n` sorted lexicographically over all keys, index order
+/// for fully tied points, so every routine downstream is deterministic.
+/// The explicit index tiebreak makes the unstable sort equivalent to a
+/// stable one while skipping the stable sort's scratch allocation —
+/// this sort runs once per skyline call and dominates small-frontier
+/// inputs, so the constant factor matters (the sharded streaming
+/// executor calls it per shard).
 fn lex_order(dims: usize, keys: &[f64], n: usize) -> Vec<usize> {
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| {
+    order.sort_unstable_by(|&a, &b| {
         let (pa, pb) = (
             &keys[a * dims..(a + 1) * dims],
             &keys[b * dims..(b + 1) * dims],
         );
-        pa.iter()
-            .zip(pb)
-            .map(|(x, y)| x.total_cmp(y))
-            .find(|o| *o != Ordering::Equal)
-            .unwrap_or(Ordering::Equal)
+        for (x, y) in pa.iter().zip(pb) {
+            match x.total_cmp(y) {
+                Ordering::Equal => {}
+                other => return other,
+            }
+        }
+        a.cmp(&b)
     });
     order
 }

@@ -24,6 +24,11 @@
 //!   executed (and batched into one fused shared pass, and memoized) by
 //!   a [`Session`] over an `Arc<Catalog>`, producing columnar
 //!   [`ResultSet`]s with bounded-heap top-k and paged iteration.
+//! * [`shard`] — the sharded streaming executor: (airframe × knob
+//!   setting)-aligned shards evaluated over struct-of-arrays slabs and
+//!   reduced to frontier + top-k + accounting without materializing
+//!   every point, selected per plan via [`KeepPoints`] — this is what
+//!   makes 10⁷-candidate catalogs interactive with bounded memory.
 //! * [`frontier`] — O(n log n) sort-and-sweep Pareto skylines.
 //!
 //! # Examples
@@ -62,11 +67,12 @@ pub mod redundancy;
 mod repair;
 pub mod report;
 pub mod session;
+pub mod shard;
 pub mod sweep;
 mod system;
 
 pub use error::SkylineError;
 pub use knobs::{KnobDescription, Knobs};
-pub use plan::{PlanBuilder, QueryPlan};
+pub use plan::{KeepPoints, PlanBuilder, QueryPlan};
 pub use session::{CacheStats, ResultSet, Session};
 pub use system::{Recommendation, SystemAnalysis, UavSystem, UavSystemBuilder};

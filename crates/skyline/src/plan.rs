@@ -42,6 +42,48 @@ use crate::SkylineError;
 /// Version prefix of the canonical plan key format.
 const KEY_PREFIX: &str = "f1.plan.v1";
 
+/// Point-materialization policy of a plan: whether the executor stores
+/// every kept [`QueryPoint`](crate::query::QueryPoint) in the result, or
+/// streams the evaluation and keeps only the Pareto frontier, a bounded
+/// top-k and the accounting counters (see the *streamed mode* section of
+/// [`ResultSet`](crate::session::ResultSet)).
+///
+/// Streaming bounds peak memory by O(shard + frontier + k) instead of
+/// O(candidates), which is what makes 10⁷–10⁸-candidate spaces
+/// practical; the frontier, top-k ranking and all counters are
+/// bit-identical to the materializing path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum KeepPoints {
+    /// Materialize below [`STREAM_AUTO_THRESHOLD`](crate::shard::STREAM_AUTO_THRESHOLD)
+    /// evaluation jobs, stream above it. The default.
+    #[default]
+    Auto,
+    /// Always materialize every kept point, whatever the scale.
+    All,
+    /// Always stream: frontier + top-k + accounting only.
+    FrontierOnly,
+}
+
+impl KeepPoints {
+    /// The canonical key token of this policy.
+    fn key_token(self) -> &'static str {
+        match self {
+            KeepPoints::Auto => "auto",
+            KeepPoints::All => "all",
+            KeepPoints::FrontierOnly => "frontier",
+        }
+    }
+
+    fn from_key_token(tok: &str) -> Option<Self> {
+        match tok {
+            "auto" => Some(KeepPoints::Auto),
+            "all" => Some(KeepPoints::All),
+            "frontier" => Some(KeepPoints::FrontierOnly),
+            _ => None,
+        }
+    }
+}
+
 /// An owned, validated, executable design-space query.
 ///
 /// Built with [`QueryPlan::builder`] (or compiled from a borrowed query
@@ -71,6 +113,7 @@ pub struct QueryPlan {
     algorithms: Option<Vec<AlgorithmId>>,
     battery: Option<BatteryId>,
     profile: MissionProfile,
+    keep_points: KeepPoints,
     key: String,
 }
 
@@ -143,6 +186,12 @@ impl QueryPlan {
     #[must_use]
     pub fn mission_profile(&self) -> MissionProfile {
         self.profile
+    }
+
+    /// The plan's point-materialization policy (see [`KeepPoints`]).
+    #[must_use]
+    pub fn keep_points(&self) -> KeepPoints {
+        self.keep_points
     }
 
     /// Whether any objective needs the momentum-theory power model.
@@ -312,7 +361,7 @@ fn build_key(plan: &PlanParts<'_>) -> String {
         .battery
         .map_or_else(|| "-".to_owned(), |id| id.index().to_string());
     format!(
-        "{KEY_PREFIX}|o={objectives}|c={constraints}|s={sweeps}|af={}|sn={}|cp={}|al={}|b={battery}|mp={},{},{}",
+        "{KEY_PREFIX}|o={objectives}|c={constraints}|s={sweeps}|af={}|sn={}|cp={}|al={}|b={battery}|mp={},{},{}|kp={}",
         fmt_ids(plan.airframes, AirframeId::index),
         fmt_ids(plan.sensors, SensorId::index),
         fmt_ids(plan.computes, ComputeId::index),
@@ -320,6 +369,7 @@ fn build_key(plan: &PlanParts<'_>) -> String {
         fmt_float(plan.profile.figure_of_merit),
         fmt_float(plan.profile.parasitic_coeff),
         fmt_float(plan.profile.battery_reserve),
+        plan.keep_points.key_token(),
     )
 }
 
@@ -335,13 +385,14 @@ struct PlanParts<'a> {
     algorithms: Option<&'a [AlgorithmId]>,
     battery: Option<BatteryId>,
     profile: MissionProfile,
+    keep_points: KeepPoints,
 }
 
 /// The fixed section order of a canonical key. Enforced on parse:
 /// reordered, duplicated, missing or extra sections are all
 /// [`SkylineError::PlanKey`] — a key is a cache identity, so exactly
 /// one accepted spelling may exist per plan.
-const KEY_SECTIONS: [&str; 9] = ["o", "c", "s", "af", "sn", "cp", "al", "b", "mp"];
+const KEY_SECTIONS: [&str; 10] = ["o", "c", "s", "af", "sn", "cp", "al", "b", "mp", "kp"];
 
 fn parse_key(key: &str) -> Result<PlanBuilder, SkylineError> {
     let mut sections = key.split('|');
@@ -423,6 +474,12 @@ fn parse_key(key: &str) -> Result<PlanBuilder, SkylineError> {
                     battery_reserve: parse_float(parts[2], "battery reserve")?,
                 });
             }
+            "kp" => {
+                builder.keep_points =
+                    KeepPoints::from_key_token(body).ok_or_else(|| SkylineError::PlanKey {
+                        reason: format!("unknown keep-points policy {body:?}"),
+                    })?;
+            }
             _ => unreachable!("tag was checked against the expected section"),
         }
     }
@@ -449,6 +506,7 @@ pub struct PlanBuilder {
     algorithms: Option<Vec<AlgorithmId>>,
     battery: Option<BatteryId>,
     profile: Option<MissionProfile>,
+    keep_points: KeepPoints,
 }
 
 impl PlanBuilder {
@@ -527,6 +585,14 @@ impl PlanBuilder {
         self
     }
 
+    /// Sets the point-materialization policy (default
+    /// [`KeepPoints::Auto`]; see [`KeepPoints`]).
+    #[must_use]
+    pub fn keep_points(mut self, keep_points: KeepPoints) -> Self {
+        self.keep_points = keep_points;
+        self
+    }
+
     /// The objectives the built plan will run under (the default set if
     /// none were specified, deduplicated preserving first occurrence).
     #[must_use]
@@ -547,9 +613,16 @@ impl PlanBuilder {
 
     /// Validates and compiles the plan: objectives resolved and
     /// deduplicated, constraints canonicalized (sorted, duplicates
-    /// removed), mission profile domain-checked, sweep values
+    /// removed), subspace id lists deduplicated preserving first
+    /// occurrence, mission profile domain-checked, sweep values
     /// domain-checked and expanded into the cartesian product of
-    /// [`KnobSetting`]s, and the canonical key computed. Catalog-
+    /// [`KnobSetting`]s (duplicate composed settings deduplicated
+    /// preserving first occurrence, so e.g. a `[0.5, 0.5]` sweep
+    /// evaluates one variant, not two), and the canonical key computed.
+    /// Dedup happens *before* the key, so a plan spelled with duplicate
+    /// ids shares its cache identity with the clean spelling — and delta
+    /// [`refresh`](crate::Session::refresh) stays incremental for it
+    /// (repair used to bail to a cold run on duplicates). Catalog-
     /// *dependent* validation (scaled part magnitudes) happens at
     /// execution, still strictly before the parallel pass.
     ///
@@ -569,7 +642,21 @@ impl PlanBuilder {
                 missing: "battery (the hover-endurance objective needs one)",
             });
         }
-        let settings = expand_settings(&self.sweeps)?;
+        // Duplicate values *within* a sweep expand to duplicate composed
+        // settings, which the settings dedup below drops — so removing
+        // them here cannot change the evaluated space, but it does make
+        // the canonical key (built from the sweeps) agree with the clean
+        // spelling.
+        let sweeps: Vec<KnobSweep> = self
+            .sweeps
+            .into_iter()
+            .map(|s| KnobSweep::new(s.knob(), dedup_first(s.values().to_vec())))
+            .collect();
+        let settings = dedup_first(expand_settings(&sweeps)?);
+        let airframes = self.airframes.map(dedup_first);
+        let sensors = self.sensors.map(dedup_first);
+        let computes = self.computes.map(dedup_first);
+        let algorithms = self.algorithms.map(dedup_first);
         let mut constraints = self.constraints;
         constraints.sort_by(|a, b| {
             let (ra, va) = constraint_rank(a);
@@ -580,28 +667,42 @@ impl PlanBuilder {
         let key = build_key(&PlanParts {
             objectives: &objectives,
             constraints: &constraints,
-            sweeps: &self.sweeps,
-            airframes: self.airframes.as_deref(),
-            sensors: self.sensors.as_deref(),
-            computes: self.computes.as_deref(),
-            algorithms: self.algorithms.as_deref(),
+            sweeps: &sweeps,
+            airframes: airframes.as_deref(),
+            sensors: sensors.as_deref(),
+            computes: computes.as_deref(),
+            algorithms: algorithms.as_deref(),
             battery: self.battery,
             profile,
+            keep_points: self.keep_points,
         });
         Ok(QueryPlan {
             objectives,
             constraints,
-            sweeps: self.sweeps,
+            sweeps,
             settings,
-            airframes: self.airframes,
-            sensors: self.sensors,
-            computes: self.computes,
-            algorithms: self.algorithms,
+            airframes,
+            sensors,
+            computes,
+            algorithms,
             battery: self.battery,
             profile,
+            keep_points: self.keep_points,
             key,
         })
     }
+}
+
+/// Order-preserving first-occurrence dedup; O(n²) on lists that are
+/// at most catalog-sized (and typically tiny).
+fn dedup_first<T: PartialEq>(list: Vec<T>) -> Vec<T> {
+    let mut out: Vec<T> = Vec::with_capacity(list.len());
+    for item in list {
+        if !out.contains(&item) {
+            out.push(item);
+        }
+    }
+    out
 }
 
 /// Expands a sweep list into the cartesian product of knob settings,
@@ -731,12 +832,14 @@ mod tests {
             "",
             "f2.plan.v9|o=velocity",
             "f1.plan.v1|o=velocity", // missing profile
-            "f1.plan.v1|o=warp|c=|s=|af=*|sn=*|cp=*|al=*|b=-|mp=0.65,0.08,0.8", // bad objective
-            "f1.plan.v1|o=velocity|c=max_tdp=x|s=|af=*|sn=*|cp=*|al=*|b=-|mp=0.65,0.08,0.8",
-            "f1.plan.v1|o=velocity|c=|s=warp:1|af=*|sn=*|cp=*|al=*|b=-|mp=0.65,0.08,0.8",
-            "f1.plan.v1|o=velocity|c=|s=|af=1,zz|sn=*|cp=*|al=*|b=-|mp=0.65,0.08,0.8",
-            "f1.plan.v1|o=velocity|c=|s=|af=*|sn=*|cp=*|al=*|b=?|mp=0.65,0.08,0.8",
-            "f1.plan.v1|o=velocity|c=|s=|af=*|sn=*|cp=*|al=*|b=-|mp=0.65,0.08",
+            "f1.plan.v1|o=velocity|c=|s=|af=*|sn=*|cp=*|al=*|b=-|mp=0.65,0.08,0.8", // missing kp
+            "f1.plan.v1|o=warp|c=|s=|af=*|sn=*|cp=*|al=*|b=-|mp=0.65,0.08,0.8|kp=auto", // bad objective
+            "f1.plan.v1|o=velocity|c=max_tdp=x|s=|af=*|sn=*|cp=*|al=*|b=-|mp=0.65,0.08,0.8|kp=auto",
+            "f1.plan.v1|o=velocity|c=|s=warp:1|af=*|sn=*|cp=*|al=*|b=-|mp=0.65,0.08,0.8|kp=auto",
+            "f1.plan.v1|o=velocity|c=|s=|af=1,zz|sn=*|cp=*|al=*|b=-|mp=0.65,0.08,0.8|kp=auto",
+            "f1.plan.v1|o=velocity|c=|s=|af=*|sn=*|cp=*|al=*|b=?|mp=0.65,0.08,0.8|kp=auto",
+            "f1.plan.v1|o=velocity|c=|s=|af=*|sn=*|cp=*|al=*|b=-|mp=0.65,0.08|kp=auto",
+            "f1.plan.v1|o=velocity|c=|s=|af=*|sn=*|cp=*|al=*|b=-|mp=0.65,0.08,0.8|kp=sometimes",
         ] {
             let err = QueryPlan::from_key(bad).unwrap_err();
             assert!(
@@ -746,10 +849,70 @@ mod tests {
         }
         // A parseable key still re-runs semantic validation.
         let err = QueryPlan::from_key(
-            "f1.plan.v1|o=endurance|c=|s=|af=*|sn=*|cp=*|al=*|b=-|mp=0.65,0.08,0.8",
+            "f1.plan.v1|o=endurance|c=|s=|af=*|sn=*|cp=*|al=*|b=-|mp=0.65,0.08,0.8|kp=auto",
         )
         .unwrap_err();
         assert!(matches!(err, SkylineError::IncompleteSystem { .. }));
+    }
+
+    #[test]
+    fn keep_points_is_part_of_the_key_and_round_trips() {
+        let auto = QueryPlan::builder().build().unwrap();
+        assert_eq!(auto.keep_points(), KeepPoints::Auto);
+        for kp in [KeepPoints::All, KeepPoints::FrontierOnly] {
+            let plan = QueryPlan::builder().keep_points(kp).build().unwrap();
+            assert_eq!(plan.keep_points(), kp);
+            assert_ne!(plan.key(), auto.key());
+            let replayed = QueryPlan::from_key(plan.key()).unwrap();
+            assert_eq!(replayed, plan);
+            assert_eq!(replayed.keep_points(), kp);
+        }
+    }
+
+    #[test]
+    fn duplicate_subspace_ids_and_settings_canonicalize_at_build() {
+        // Duplicate ids collapse to the clean spelling — same key, same
+        // cache identity, and repair no longer sees duplicates at all.
+        let dup = QueryPlan::builder()
+            .airframes(&[
+                AirframeId::from_index(1),
+                AirframeId::from_index(0),
+                AirframeId::from_index(1),
+            ])
+            .computes(&[ComputeId::from_index(2), ComputeId::from_index(2)])
+            .build()
+            .unwrap();
+        let clean = QueryPlan::builder()
+            .airframes(&[AirframeId::from_index(1), AirframeId::from_index(0)])
+            .computes(&[ComputeId::from_index(2)])
+            .build()
+            .unwrap();
+        assert_eq!(dup.key(), clean.key());
+        assert_eq!(dup, clean);
+        // First occurrence wins, order preserved.
+        assert_eq!(
+            dup.airframes().unwrap(),
+            [AirframeId::from_index(1), AirframeId::from_index(0)]
+        );
+
+        // Duplicate sweep values dedupe within each sweep (they can
+        // only expand to duplicate composed settings), so the sloppy
+        // spelling shares its key — and cache entry — with the clean
+        // one.
+        let swept = QueryPlan::builder()
+            .sweep(KnobSweep::new(Knob::TdpScale, vec![0.5, 0.5]))
+            .build()
+            .unwrap();
+        assert_eq!(swept.settings().len(), 1);
+        assert_eq!(swept.settings()[0].tdp_scale, 0.5);
+        assert_eq!(swept.sweeps().len(), 1);
+        assert_eq!(swept.sweeps()[0].values(), [0.5]);
+        let clean_swept = QueryPlan::builder()
+            .sweep(KnobSweep::new(Knob::TdpScale, vec![0.5]))
+            .build()
+            .unwrap();
+        assert_eq!(swept.key(), clean_swept.key());
+        assert_eq!(swept, clean_swept);
     }
 
     #[test]

@@ -589,6 +589,16 @@ impl<'e, 'c> Query<'e, 'c> {
         self
     }
 
+    /// Sets the point-materialization policy (see
+    /// [`KeepPoints`](crate::KeepPoints)): `Auto` (default) streams
+    /// only past [`crate::shard::STREAM_AUTO_THRESHOLD`] candidates,
+    /// `All` always materializes, `FrontierOnly` always streams.
+    #[must_use]
+    pub fn keep_points(mut self, keep_points: crate::KeepPoints) -> Self {
+        self.builder = self.builder.keep_points(keep_points);
+        self
+    }
+
     /// The objectives this query will run under (the default set if none
     /// were specified, deduplicated preserving first occurrence).
     #[must_use]
@@ -667,7 +677,7 @@ impl<'c> Engine<'c> {
         let mut groups: BTreeMap<AirframeId, Vec<usize>> = BTreeMap::new();
         for index in result.ranked() {
             groups
-                .entry(result.points()[index].airframe)
+                .entry(result.point(index).airframe)
                 .or_default()
                 .push(index);
         }
@@ -679,7 +689,7 @@ impl<'c> Engine<'c> {
                 ranked: indices
                     .iter()
                     .map(|&i| {
-                        let point = &result.points()[i];
+                        let point = result.point(i);
                         DseOutcome {
                             sensor: catalog
                                 .sensor_by_id(point.candidate.sensor)

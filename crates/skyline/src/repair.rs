@@ -44,8 +44,9 @@ pub(crate) enum Repair {
     /// result is the current-epoch answer as-is.
     Unchanged,
     /// The repaired result — bit-identical to a cold run at the new
-    /// epoch.
-    Repaired(ResultSet),
+    /// epoch. Boxed: a `ResultSet` (columns + segments + streamed meta)
+    /// dwarfs the other variants.
+    Repaired(Box<ResultSet>),
     /// Repair is not applicable to this plan (e.g. duplicate subspace
     /// ids make the enumeration mapping ambiguous); run cold.
     Cold,
@@ -317,8 +318,9 @@ pub(crate) fn repair_result(
     cached: &ResultSet,
 ) -> Result<Repair, SkylineError> {
     let settings = plan.settings();
-    // Duplicate settings (e.g. a sweep listing the same value twice)
-    // make the setting → slot mapping ambiguous.
+    // Duplicate settings would make the setting → slot mapping
+    // ambiguous. `PlanBuilder::build` canonicalizes them away, so this
+    // is dead defense against hand-round-tripped keys, not a live path.
     if settings
         .iter()
         .enumerate()
@@ -394,6 +396,17 @@ pub(crate) fn repair_result(
         && changed.is_empty();
     if untouched {
         return Ok(Repair::Unchanged);
+    }
+
+    // A streamed result holds only its frontier ∪ top-k rows: there is
+    // no full point store to splice fresh slabs into, and a fresh point
+    // can evict arbitrary stored rows from both bounded sets. Delta
+    // repair for a *touched* epoch therefore re-streams cold (the
+    // streaming pass is the one sized for its catalogs); an untouched
+    // epoch short-circuits to `Unchanged` above, which covers the
+    // common refresh loop.
+    if cached.is_streamed() {
+        return Ok(Repair::Cold);
     }
 
     let cand = CandIndex::build(ctx.table, &computes.new_list, &algorithms.new_list);
@@ -526,19 +539,19 @@ pub(crate) fn repair_result(
         }
     }
 
-    // Linear merge into the new enumeration order. The heavyweight
+    // Linear merge into the new enumeration order. The surviving
     // point rows are NOT copied: the merged result's segmented store is
-    // `cached`'s segments plus one segment per slab pass, and the merge
-    // only assembles 8-byte point references (survivor *runs* — maximal
-    // stretches of consecutive cached indices with no delta point
-    // interleaving — go through bulk extends) plus the f64 columns.
+    // `cached`'s segments plus ONE fresh segment gathering the (small)
+    // delta set — one segment per repair, not per slab, so chained
+    // refreshes reach `refresh`'s compaction threshold by repair count,
+    // not by slab count. The merge assembles 8-byte point references
+    // (survivor *runs* — maximal stretches of consecutive cached
+    // indices with no delta point interleaving — go through bulk
+    // extends) plus the f64 columns.
     let capacity = survivors.len() + delta.len();
     let mut segments: Vec<Arc<Vec<QueryPoint>>> = cached.segments().to_vec();
     let cached_segments = segments.len() as u32;
-    for slab in &slabs {
-        debug_assert_eq!(slab.segments().len(), 1, "slab results own their store");
-        segments.push(Arc::clone(&slab.segments()[0]));
-    }
+    let mut fresh: Vec<QueryPoint> = Vec::with_capacity(delta.len());
     let mut kept: Vec<PointRef> = Vec::with_capacity(capacity);
     let mut columns: Vec<Vec<f64>> = vec![Vec::with_capacity(capacity); dims];
     let mut merged_of_cached: Vec<Option<u32>> = vec![None; cached.len()];
@@ -546,14 +559,16 @@ pub(crate) fn repair_result(
     let emit_delta = |dp: &DeltaPoint,
                       kept: &mut Vec<PointRef>,
                       columns: &mut [Vec<f64>],
-                      merged_of_delta: &mut Vec<u32>| {
+                      merged_of_delta: &mut Vec<u32>,
+                      fresh: &mut Vec<QueryPoint>| {
         let slab = &slabs[dp.slab as usize];
         let idx = dp.idx as usize;
         merged_of_delta.push(kept.len() as u32);
         kept.push(PointRef {
-            segment: cached_segments + dp.slab,
-            index: dp.idx,
+            segment: cached_segments,
+            index: u32::try_from(fresh.len()).expect("delta sets stay small"),
         });
+        fresh.push(*slab.point(idx));
         for (pos, column) in columns.iter_mut().enumerate() {
             column.push(slab.column(pos)[idx]);
         }
@@ -561,7 +576,13 @@ pub(crate) fn repair_result(
     let (mut si, mut di) = (0usize, 0usize);
     while si < survivors.len() {
         while di < delta.len() && delta[di].job < survivors[si].1 {
-            emit_delta(&delta[di], &mut kept, &mut columns, &mut merged_of_delta);
+            emit_delta(
+                &delta[di],
+                &mut kept,
+                &mut columns,
+                &mut merged_of_delta,
+                &mut fresh,
+            );
             di += 1;
         }
         // Extend the run while cached indices stay consecutive and no
@@ -586,8 +607,17 @@ pub(crate) fn repair_result(
         }
     }
     while di < delta.len() {
-        emit_delta(&delta[di], &mut kept, &mut columns, &mut merged_of_delta);
+        emit_delta(
+            &delta[di],
+            &mut kept,
+            &mut columns,
+            &mut merged_of_delta,
+            &mut fresh,
+        );
         di += 1;
+    }
+    if !fresh.is_empty() {
+        segments.push(Arc::new(fresh));
     }
     // The slabs' nonfinite accounting transfers verbatim: every slab
     // point entered the merged result.
@@ -630,7 +660,7 @@ pub(crate) fn repair_result(
         .collect();
     merged_frontier.sort_unstable();
 
-    Ok(Repair::Repaired(ResultSet::from_segments(
+    Ok(Repair::Repaired(Box::new(ResultSet::from_segments(
         objectives.to_vec(),
         segments,
         kept,
@@ -639,5 +669,5 @@ pub(crate) fn repair_result(
         uncharacterized,
         dropped,
         nonfinite,
-    )))
+    ))))
 }

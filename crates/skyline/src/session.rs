@@ -90,6 +90,23 @@ use crate::{frontier, SkylineError};
 /// [`points`](Self::points) materializes a contiguous slice lazily on
 /// first call.
 ///
+/// # Streamed mode
+///
+/// Plans whose [`KeepPoints`](crate::plan::KeepPoints) policy resolves
+/// to streaming are executed by the sharded streaming executor
+/// ([`crate::shard`]), which never materializes the full point store:
+/// the result keeps the Pareto frontier, a bounded top-k
+/// ([`crate::shard::STREAM_TOP_K`] indices) and the accounting
+/// counters, all **bit-identical** to the materializing pass and still
+/// addressed by the same global enumeration indices. Accessors that
+/// need an arbitrary point ([`points`](Self::points),
+/// [`minimized_keys`](Self::minimized_keys), [`point`](Self::point) on
+/// a non-stored index) panic with a clear message in streamed mode;
+/// [`frontier`](Self::frontier), [`top_k`](Self::top_k),
+/// [`best`](Self::best), [`to_json`](Self::to_json) and the counters
+/// work in both. [`is_streamed`](Self::is_streamed) and
+/// [`stored_indices`](Self::stored_indices) report the mode.
+///
 /// [`point`]: Self::point
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ResultSet {
@@ -114,12 +131,35 @@ pub struct ResultSet {
     uncharacterized: usize,
     dropped: usize,
     nonfinite: usize,
+    /// `Some` when this result was produced by the streaming executor:
+    /// segment 0 holds only the stored (frontier ∪ top-k) points and
+    /// `columns` only their rows, while indices everywhere stay global.
+    streamed: Option<StreamedMeta>,
+}
+
+/// The streamed-mode bookkeeping of a [`ResultSet`]: how many points
+/// the plan logically kept, which global indices were materialized, and
+/// the bounded top-k ranking.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct StreamedMeta {
+    /// Logical kept-point count (what `len()` reports).
+    pub(crate) total_kept: usize,
+    /// Ascending global indices of the stored points — row `r` of
+    /// segment 0 and of every column is the point `stored[r]`.
+    pub(crate) stored: Vec<usize>,
+    /// Global indices of the best-ranked points, in rank order, at most
+    /// [`crate::shard::STREAM_TOP_K`] of them. Always a subset of
+    /// `stored`.
+    pub(crate) topk: Vec<usize>,
 }
 
 impl PartialEq for ResultSet {
     /// Logical equality: same objectives, same point sequence (read
     /// through the shared store without materializing), same columns,
-    /// frontier and accounting.
+    /// frontier and accounting. Streamed results compare their stored
+    /// subset (plus the streamed bookkeeping itself); a streamed and a
+    /// materializing result are never equal — they answer different
+    /// queries even when produced from the same plan shape.
     fn eq(&self, other: &Self) -> bool {
         self.objectives == other.objectives
             && self.len() == other.len()
@@ -128,7 +168,11 @@ impl PartialEq for ResultSet {
             && self.uncharacterized == other.uncharacterized
             && self.dropped == other.dropped
             && self.nonfinite == other.nonfinite
-            && (0..self.len()).all(|i| self.point(i) == other.point(i))
+            && self.streamed == other.streamed
+            && match &self.streamed {
+                None => (0..self.len()).all(|i| self.point(i) == other.point(i)),
+                Some(meta) => meta.stored.iter().all(|&i| self.point(i) == other.point(i)),
+            }
     }
 }
 
@@ -160,6 +204,58 @@ impl ResultSet {
             uncharacterized,
             dropped,
             nonfinite,
+            streamed: None,
+        }
+    }
+
+    /// Builds a streamed-mode result: `stored_points` (and the column
+    /// rows) cover only the frontier ∪ top-k survivors, ascending by
+    /// global index; `meta` carries the logical count and rankings.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_streamed(
+        objectives: Vec<Objective>,
+        stored_points: Vec<QueryPoint>,
+        columns: Vec<Vec<f64>>,
+        frontier: Vec<usize>,
+        meta: StreamedMeta,
+        uncharacterized: usize,
+        dropped: usize,
+        nonfinite: usize,
+    ) -> Self {
+        debug_assert_eq!(stored_points.len(), meta.stored.len());
+        debug_assert!(meta.stored.windows(2).all(|w| w[0] < w[1]));
+        Self {
+            objectives,
+            segments: vec![Arc::new(stored_points)],
+            kept: None,
+            points_cache: std::sync::OnceLock::new(),
+            columns,
+            frontier,
+            uncharacterized,
+            dropped,
+            nonfinite,
+            streamed: Some(meta),
+        }
+    }
+
+    /// Rebuilds a (materializing) result whose point store has grown
+    /// many repair-spliced segments into a single contiguous segment.
+    /// Logically equal to `self` (same points, columns, frontier and
+    /// counters) — only the storage layout changes, trading one copy of
+    /// the kept points for O(1)-segment reads afterwards.
+    pub(crate) fn compacted(&self) -> Self {
+        debug_assert!(self.streamed.is_none(), "streamed results have one segment");
+        Self {
+            objectives: self.objectives.clone(),
+            segments: vec![Arc::new(self.points().to_vec())],
+            kept: None,
+            points_cache: std::sync::OnceLock::new(),
+            columns: self.columns.clone(),
+            frontier: self.frontier.clone(),
+            uncharacterized: self.uncharacterized,
+            dropped: self.dropped,
+            nonfinite: self.nonfinite,
+            streamed: None,
         }
     }
 
@@ -188,6 +284,7 @@ impl ResultSet {
             uncharacterized,
             dropped,
             nonfinite,
+            streamed: None,
         }
     }
 
@@ -197,8 +294,11 @@ impl ResultSet {
         &self.segments
     }
 
-    /// The segmented-store location of the point at `index`.
+    /// The segmented-store location of the point at `index`
+    /// (materializing results only — repair never splices a streamed
+    /// result).
     pub(crate) fn point_ref(&self, index: usize) -> PointRef {
+        debug_assert!(self.streamed.is_none());
         match &self.kept {
             None => PointRef {
                 segment: 0,
@@ -206,6 +306,58 @@ impl ResultSet {
             },
             Some(kept) => kept[index],
         }
+    }
+
+    /// Whether this result was produced in streamed mode (frontier +
+    /// top-k + accounting only; see the type-level *streamed mode*
+    /// section).
+    #[must_use]
+    pub fn is_streamed(&self) -> bool {
+        self.streamed.is_some()
+    }
+
+    /// Global indices of the materialized points of a streamed result
+    /// (the frontier ∪ top-k survivors), ascending; `None` for a
+    /// materializing result, where every index `0..len()` is available.
+    #[must_use]
+    pub fn stored_indices(&self) -> Option<&[usize]> {
+        self.streamed.as_ref().map(|m| m.stored.as_slice())
+    }
+
+    /// Number of point-store segments (1 after a cold pass or
+    /// compaction; delta repair splices more). Diagnostic — the
+    /// accessors hide segmentation entirely.
+    #[must_use]
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Maps a global point index to its row position in the stored
+    /// columns/points, panicking for an index a streamed result did not
+    /// keep.
+    fn row_pos(&self, index: usize) -> usize {
+        match &self.streamed {
+            None => index,
+            Some(meta) => meta.stored.binary_search(&index).unwrap_or_else(|_| {
+                panic!(
+                    "point {index} is not materialized in this streamed result \
+                     (only the frontier and top-k are stored; see stored_indices())"
+                )
+            }),
+        }
+    }
+
+    /// Number of stored rows (= `len()` for materializing results, the
+    /// stored-subset size for streamed ones).
+    fn rows_len(&self) -> usize {
+        self.streamed
+            .as_ref()
+            .map_or_else(|| self.len(), |m| m.stored.len())
+    }
+
+    /// The global index of stored row `r` (identity when materializing).
+    fn row_global(&self, r: usize) -> usize {
+        self.streamed.as_ref().map_or(r, |m| m.stored[r])
     }
 
     /// The plan's objectives, primary first.
@@ -222,9 +374,14 @@ impl ResultSet {
     ///
     /// # Panics
     ///
-    /// Panics if `index` is out of range.
+    /// Panics if `index` is out of range, or if a streamed result did
+    /// not store the point (only frontier and top-k indices are
+    /// addressable then).
     #[must_use]
     pub fn point(&self, index: usize) -> &QueryPoint {
+        if self.streamed.is_some() {
+            return &self.segments[0][self.row_pos(index)];
+        }
         match &self.kept {
             None => &self.segments[0][index],
             Some(kept) => {
@@ -239,8 +396,20 @@ impl ResultSet {
     /// subset, the slice is materialized lazily on first call (and
     /// cached); [`point`](Self::point), [`iter_points`](Self::iter_points)
     /// and the ranked/paged accessors never pay that copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a streamed result — the full point list was never
+    /// materialized. Use [`stored_indices`](Self::stored_indices) with
+    /// [`point`](Self::point), or [`iter_points`](Self::iter_points),
+    /// which yields the stored subset.
     #[must_use]
     pub fn points(&self) -> &[QueryPoint] {
+        assert!(
+            self.streamed.is_none(),
+            "a streamed result set does not materialize every point; \
+             use stored_indices()/point(i) or iter_points()"
+        );
         match &self.kept {
             None => &self.segments[0],
             Some(kept) => self.points_cache.get_or_init(|| {
@@ -251,15 +420,21 @@ impl ResultSet {
         }
     }
 
-    /// Iterates the kept points in enumeration order, reading through
-    /// the shared store.
+    /// Iterates the stored points in enumeration order, reading through
+    /// the shared store. For a materializing result that is every kept
+    /// point; for a streamed one, the stored (frontier ∪ top-k) subset.
     pub fn iter_points(&self) -> impl Iterator<Item = &QueryPoint> {
-        (0..self.len()).map(|i| self.point(i))
+        (0..self.rows_len()).map(|r| self.point(self.row_global(r)))
     }
 
-    /// Number of points in the result.
+    /// Number of points the plan kept. In streamed mode this is the
+    /// logical count — how many candidates passed the constraints — not
+    /// the (much smaller) number of stored points.
     #[must_use]
     pub fn len(&self) -> usize {
+        if let Some(meta) = &self.streamed {
+            return meta.total_kept;
+        }
         self.kept.as_ref().map_or(self.segments[0].len(), Vec::len)
     }
 
@@ -270,7 +445,9 @@ impl ResultSet {
     }
 
     /// The contiguous value column of the objective at `position` in
-    /// [`objectives`](Self::objectives).
+    /// [`objectives`](Self::objectives). In streamed mode the column
+    /// holds only the stored rows, aligned with
+    /// [`stored_indices`](Self::stored_indices).
     ///
     /// # Panics
     ///
@@ -293,10 +470,11 @@ impl ResultSet {
     ///
     /// # Panics
     ///
-    /// Panics if either index is out of range.
+    /// Panics if either index is out of range, or if a streamed result
+    /// did not store the point.
     #[must_use]
     pub fn value(&self, index: usize, position: usize) -> f64 {
-        self.columns[position][index]
+        self.columns[position][self.row_pos(index)]
     }
 
     /// The objective values of point `index` gathered across the
@@ -304,10 +482,12 @@ impl ResultSet {
     ///
     /// # Panics
     ///
-    /// Panics if `index` is out of range.
+    /// Panics if `index` is out of range, or if a streamed result did
+    /// not store the point.
     #[must_use]
     pub fn row(&self, index: usize) -> Vec<f64> {
-        self.columns.iter().map(|c| c[index]).collect()
+        let r = self.row_pos(index);
+        self.columns.iter().map(|c| c[r]).collect()
     }
 
     /// Indices (into [`points`](Self::points)) of the Pareto frontier
@@ -345,8 +525,15 @@ impl ResultSet {
     /// infeasible, then by the **primary** (first) objective; ties keep
     /// enumeration order. Materializes and sorts the full index vector —
     /// prefer [`top_k`](Self::top_k) when only the head is needed.
+    ///
+    /// A streamed result returns its bounded top-k ranking (at most
+    /// [`crate::shard::STREAM_TOP_K`] indices) — the exact prefix of
+    /// what the full ranking would have been.
     #[must_use]
     pub fn ranked(&self) -> Vec<usize> {
+        if let Some(meta) = &self.streamed {
+            return meta.topk.clone();
+        }
         let mut order: Vec<usize> = (0..self.len()).collect();
         order.sort_unstable_by(|&a, &b| self.rank_cmp(a, b));
         order
@@ -356,8 +543,15 @@ impl ResultSet {
     /// heap in O(n log k) — no full sort, no O(n) ranking allocation
     /// beyond the heap. Equals `ranked()[..k]` exactly (including tie
     /// order). `k` larger than the result just returns the full ranking.
+    ///
+    /// A streamed result serves the prefix of its bounded top-k
+    /// ranking; `k` beyond [`crate::shard::STREAM_TOP_K`] clamps to
+    /// what was kept.
     #[must_use]
     pub fn top_k(&self, k: usize) -> Vec<usize> {
+        if let Some(meta) = &self.streamed {
+            return meta.topk[..k.min(meta.topk.len())].to_vec();
+        }
         let k = k.min(self.len());
         if k == 0 {
             return Vec::new();
@@ -479,8 +673,17 @@ impl ResultSet {
     /// should extract keys through here so they keep measuring the
     /// production path. Feasible points skipped for non-finite rows are
     /// counted by [`nonfinite`](Self::nonfinite).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a streamed result: the full key domain was reduced
+    /// shard-by-shard and never materialized.
     #[must_use]
     pub fn minimized_keys(&self) -> (Vec<f64>, Vec<usize>) {
+        assert!(
+            self.streamed.is_none(),
+            "a streamed result set never materialized its full frontier key domain"
+        );
         let mut keys = Vec::new();
         let mut map = Vec::new();
         'points: for i in 0..self.len() {
@@ -511,6 +714,11 @@ impl ResultSet {
     /// no `Infinity`), the catalog-resolved build identity of every
     /// point, the frontier indices and the accounting counters. The
     /// catalog must be the one the plan executed against.
+    ///
+    /// A streamed result exports its stored (frontier ∪ top-k) rows
+    /// plus a `"stored"` array mapping each row to its global index
+    /// (`"count"` stays the logical kept count), so consumers can tell
+    /// the modes apart.
     #[must_use]
     pub fn to_json(&self, catalog: &Catalog) -> String {
         let mut out = String::with_capacity(64 + self.len() * 96);
@@ -534,6 +742,16 @@ impl ResultSet {
             self.uncharacterized,
             self.nonfinite
         ));
+        if let Some(meta) = &self.streamed {
+            out.push_str("  \"stored\": [");
+            for (i, g) in meta.stored.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&g.to_string());
+            }
+            out.push_str("],\n");
+        }
         out.push_str("  \"columns\": {");
         for (pos, objective) in self.objectives.iter().enumerate() {
             if pos > 0 {
@@ -550,8 +768,8 @@ impl ResultSet {
             out.push(']');
         }
         out.push_str("},\n  \"builds\": [");
-        for i in 0..self.len() {
-            let point = self.point(i);
+        for i in 0..self.rows_len() {
+            let point = self.point(self.row_global(i));
             if i > 0 {
                 out.push(',');
             }
@@ -697,7 +915,7 @@ pub(crate) struct PassContext<'a> {
 }
 
 impl PassContext<'_> {
-    fn chunk_size_for(&self, jobs: usize) -> usize {
+    pub(crate) fn chunk_size_for(&self, jobs: usize) -> usize {
         self.chunk_size
             .unwrap_or_else(|| crate::sweep::auto_chunk_size(jobs))
     }
@@ -705,13 +923,16 @@ impl PassContext<'_> {
 
 /// Pre-built component variants for one knob setting, indexed by
 /// position in the group's resolved sensor/compute/airframe lists.
-struct VariantParts {
-    sensors: Vec<Sensor>,
-    computes: Vec<ComputePlatform>,
+/// Shared with the sharded streaming executor ([`crate::shard`]), which
+/// resolves settings through the same construction so both executors
+/// evaluate byte-identical parts.
+pub(crate) struct VariantParts {
+    pub(crate) sensors: Vec<Sensor>,
+    pub(crate) computes: Vec<ComputePlatform>,
     /// `Some` only when the setting scales an airframe knob (drone
     /// weight / rotor pull); `None` shares the stock catalog airframes.
-    airframes: Option<Vec<Airframe>>,
-    extra_payload: Grams,
+    pub(crate) airframes: Option<Vec<Airframe>>,
+    pub(crate) extra_payload: Grams,
 }
 
 /// An indexed candidate: the public [`Candidate`] plus positions into
@@ -828,10 +1049,25 @@ pub(crate) fn run_plans(
     for plan in plans {
         validate_plan_ids(ctx, plan)?;
     }
+    let mut out: Vec<Option<ResultSet>> = (0..plans.len()).map(|_| None).collect();
+    // Plans whose keep-points policy resolves to streaming run through
+    // the sharded streaming executor, one bounded-memory pass each —
+    // streaming a 10⁷-candidate member through the materializing batch
+    // store would defeat the policy's whole point. The rest share fused
+    // batch passes below.
+    let mut materializing: Vec<usize> = Vec::with_capacity(plans.len());
+    for (i, plan) in plans.iter().enumerate() {
+        if crate::shard::should_stream(ctx, plan) {
+            out[i] = Some(crate::shard::run_stream(ctx, plan, with_frontier)?);
+        } else {
+            materializing.push(i);
+        }
+    }
     // Group by pass signature (order-preserving; batches are small, the
     // quadratic scan is noise next to a single evaluation).
     let mut groups: Vec<Vec<usize>> = Vec::new();
-    for (i, plan) in plans.iter().enumerate() {
+    for &i in &materializing {
+        let plan = plans[i];
         match groups
             .iter_mut()
             .find(|members| same_pass(plans[members[0]], plan))
@@ -840,7 +1076,6 @@ pub(crate) fn run_plans(
             None => groups.push(vec![i]),
         }
     }
-    let mut out: Vec<Option<ResultSet>> = (0..plans.len()).map(|_| None).collect();
     for members in groups {
         // The per-job kept set is a u64 bitmask; a (pathological) group
         // beyond 64 members re-runs the pass per 64-plan chunk.
@@ -865,7 +1100,7 @@ pub(crate) fn run_plans(
 /// here, before the batched parallel pass, so an out-of-domain knob
 /// value surfaces as [`SkylineError::KnobVariant`] naming the offending
 /// knob instead of aborting a running evaluation.
-fn build_variants(
+pub(crate) fn build_variants(
     ctx: &PassContext<'_>,
     sensors: &[SensorId],
     computes: &[ComputeId],
@@ -1094,7 +1329,7 @@ fn frontier_reducible(plan: &QueryPlan) -> bool {
 /// ids, borrowing when nothing is filtered — which is always the case
 /// for the session/engine default lists (built from active entries) and
 /// for explicit plan subspaces on an unretired catalog.
-fn active_ids<T: Copy>(list: &[T], is_active: impl Fn(T) -> bool) -> Cow<'_, [T]> {
+pub(crate) fn active_ids<T: Copy>(list: &[T], is_active: impl Fn(T) -> bool) -> Cow<'_, [T]> {
     if list.iter().all(|&id| is_active(id)) {
         Cow::Borrowed(list)
     } else {
@@ -1567,6 +1802,7 @@ fn run_group(
             frontier,
             uncharacterized,
             nonfinite: accum.nonfinite,
+            streamed: None,
         })
         .collect())
 }
@@ -1574,6 +1810,13 @@ fn run_group(
 // ---------------------------------------------------------------------
 // Session
 // ---------------------------------------------------------------------
+
+/// Segment-count threshold past which [`Session::refresh`] compacts a
+/// repaired result's spliced point store back into one contiguous
+/// segment. Each delta repair adds roughly one segment per slab pass;
+/// compaction bounds the indirection long-lived sessions accumulate
+/// while keeping the amortized copy cost a small fraction of repairs.
+pub const COMPACT_SEGMENT_THRESHOLD: usize = 8;
 
 /// Cache accounting of a [`Session`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -2001,6 +2244,17 @@ impl Session {
                     crate::repair::Repair::Repaired(result) => {
                         self.repairs.fetch_add(1, AtomicOrdering::Relaxed);
                         self.misses.fetch_add(1, AtomicOrdering::Relaxed);
+                        // Chained refreshes splice ~#slabs segments into
+                        // the point store per delta; past the threshold,
+                        // fold them back into one contiguous segment
+                        // (logically equal — only the layout changes) so
+                        // long-lived sessions never accumulate unbounded
+                        // segment indirection.
+                        let result = if result.segment_count() > COMPACT_SEGMENT_THRESHOLD {
+                            result.compacted()
+                        } else {
+                            *result
+                        };
                         let result = Arc::new(result);
                         self.insert(plan.key(), epoch, Arc::clone(&result));
                         return Ok(result);

@@ -1,0 +1,611 @@
+//! The sharded streaming executor — 10⁷-candidate queries with bounded
+//! memory.
+//!
+//! The fused pass in [`crate::session`] materializes every evaluated
+//! point: at 10⁵ candidates that is the right call (the result *is* the
+//! product), but interesting catalogs are 10⁷–10⁸ candidates and almost
+//! all of those points are dominated, out-ranked, and never looked at.
+//! This module restructures the same evaluation into **(airframe × knob
+//! setting)-aligned shards** streamed through per-worker reducers:
+//!
+//! * **Lazy enumeration.** A candidate is a `sensor × characterized
+//!   (compute, algorithm) pair` coordinate decoded on the fly from the
+//!   pair list
+//!   ([`ThroughputTable::characterized_pairs`](f1_components::ThroughputTable::characterized_pairs)
+//!   order) — the 10⁷ cross-product is never held in memory.
+//! * **Pair hoisting.** Shards never cross an (airframe, setting)
+//!   block, and candidates within a block are sensor-major over the
+//!   compute-major pair list, so the algorithm-independent
+//!   `pair_stage` — payload, dynamics,
+//!   safety roofline — and the mission power model are computed once
+//!   per (sensor, compute) pair instead of once per candidate.
+//! * **Struct-of-arrays slabs.** Within a shard, objective values land
+//!   in contiguous per-column `f64` slabs and feasibility in a flat
+//!   mask, so the finite/accounting sweeps are branch-light column
+//!   scans over dense memory.
+//! * **Streaming reduction.** Each shard keeps only its local Pareto
+//!   frontier, a bounded top-[`STREAM_TOP_K`] ranking and the
+//!   dropped/nonfinite counters. Peak memory is O(shard + frontier +
+//!   k), not O(n).
+//!
+//! The serial merge is **exact**, not approximate:
+//!
+//! * frontier(S ∪ D) = frontier(frontier(S) ∪ frontier(D)) — the same
+//!   identity delta repair relies on — so one final
+//!   [`frontier::pareto_min`] over the concatenated shard frontiers
+//!   reproduces the materializing frontier index-for-index (global kept
+//!   indices come from a prefix sum over per-shard kept counts, and
+//!   both paths emit survivors in ascending order).
+//! * The rank order (feasible first, then the primary objective, ties
+//!   by enumeration index) restricted to one shard *is* the shard's
+//!   local rank order, so the global top-K is a subset of the union of
+//!   per-shard top-Ks and a single merge-sort-and-truncate of that
+//!   union is the exact prefix of the full ranking.
+//!
+//! Bit-identity with the materializing pass is property-tested
+//! (`tests/stream_properties.rs`); the scale target is pinned by
+//! `tests/stream_scale.rs`.
+
+use std::borrow::Cow;
+
+use f1_components::{Airframe, AirframeId, AlgorithmId, ComputeId, SensorId};
+use f1_model::mission::{hover_endurance, PowerModel};
+use f1_units::Hertz;
+
+use crate::dse::{algo_stage, pair_stage, Candidate, PairStage};
+use crate::frontier;
+use crate::plan::{KeepPoints, QueryPlan};
+use crate::query::{Objective, QueryPoint, MAX_OBJECTIVES};
+use crate::session::{active_ids, build_variants, PassContext, ResultSet, StreamedMeta};
+use crate::sweep::parallel_map_indices;
+use crate::SkylineError;
+
+/// Maximum candidates per shard. Shards never cross an (airframe ×
+/// knob-setting) block boundary, so a block smaller than this is one
+/// shard. 65536 four-objective rows are ~2 MB of slab — still a small,
+/// bounded working set, while big enough that intra-shard domination
+/// (the window prefilter plus one exact local skyline) culls most
+/// points before the cross-shard merge: smaller shards shift work into
+/// the merge's concatenated-frontier skyline, which measures slower at
+/// 10⁷ candidates. Still yields ~150 shards per 10⁷ for work stealing.
+pub const SHARD_SIZE: usize = 65536;
+
+/// How many best-ranked points a streamed result retains. The stored
+/// prefix equals `ranked()[..STREAM_TOP_K]` of the materializing path
+/// exactly (including tie order).
+pub const STREAM_TOP_K: usize = 64;
+
+/// How many recent prefilter survivors each eligible row is probed
+/// against before the exact local skyline. Purely a constant-factor
+/// dial: any value yields identical results (the prefilter only drops
+/// rows a retained row dominates).
+const PREFILTER_WINDOW: usize = 16;
+
+/// Job count above which a [`KeepPoints::Auto`] plan streams instead of
+/// materializing. Below this the full point store costs a few hundred
+/// MB at most and callers keep random access; above it, materializing
+/// is what makes 10⁷ queries impossible, so streaming wins.
+pub const STREAM_AUTO_THRESHOLD: usize = 2_000_000;
+
+/// One characterized (compute, algorithm) pair of the resolved
+/// subspace, with the compute's position for variant lookup.
+struct PairEntry {
+    compute_pos: u32,
+    compute: ComputeId,
+    algorithm: AlgorithmId,
+    throughput: Hertz,
+}
+
+/// The resolved (active-filtered) component subspace of a plan plus its
+/// characterized pair list — everything needed to decode a flat job
+/// index into parts without materializing candidates.
+struct Space<'a> {
+    airframes: Cow<'a, [AirframeId]>,
+    sensors: Cow<'a, [SensorId]>,
+    computes: Cow<'a, [ComputeId]>,
+    algorithms: Cow<'a, [AlgorithmId]>,
+    pairs: Vec<PairEntry>,
+}
+
+impl Space<'_> {
+    /// Candidates per (airframe, setting) block.
+    fn cand_count(&self) -> usize {
+        self.sensors.len() * self.pairs.len()
+    }
+
+    /// Sensor × compute × algorithm combinations skipped because the
+    /// pair was never characterized — counted once per subspace, the
+    /// same convention as the materializing pass.
+    fn uncharacterized(&self) -> usize {
+        self.sensors.len() * self.computes.len() * self.algorithms.len() - self.cand_count()
+    }
+}
+
+/// Resolves a plan's subspace exactly as the materializing pass does
+/// (explicit plan lists or session defaults, retired components
+/// filtered), then snapshots the characterized pair list in the shared
+/// compute-major order.
+fn resolve_space<'a>(ctx: &PassContext<'a>, plan: &'a QueryPlan) -> Space<'a> {
+    let catalog = ctx.catalog;
+    let airframes = active_ids(plan.airframes().unwrap_or(ctx.airframes), |id| {
+        catalog.airframe_is_active(id)
+    });
+    let sensors = active_ids(plan.sensors().unwrap_or(ctx.sensors), |id| {
+        catalog.sensor_is_active(id)
+    });
+    let computes = active_ids(plan.computes().unwrap_or(ctx.computes), |id| {
+        catalog.compute_is_active(id)
+    });
+    let algorithms = active_ids(plan.algorithms().unwrap_or(ctx.algorithms), |id| {
+        catalog.algorithm_is_active(id)
+    });
+    let mut pairs = Vec::new();
+    for (compute_pos, &compute) in computes.iter().enumerate() {
+        for (_, algorithm, throughput) in ctx
+            .table
+            .characterized_pairs(std::slice::from_ref(&compute), &algorithms)
+        {
+            pairs.push(PairEntry {
+                compute_pos: compute_pos as u32,
+                compute,
+                algorithm,
+                throughput,
+            });
+        }
+    }
+    Space {
+        airframes,
+        sensors,
+        computes,
+        algorithms,
+        pairs,
+    }
+}
+
+/// Whether a plan takes the streaming path: [`KeepPoints::All`] never,
+/// [`KeepPoints::FrontierOnly`] always, [`KeepPoints::Auto`] when the
+/// resolved job count exceeds [`STREAM_AUTO_THRESHOLD`].
+pub(crate) fn should_stream(ctx: &PassContext<'_>, plan: &QueryPlan) -> bool {
+    match plan.keep_points() {
+        KeepPoints::All => false,
+        KeepPoints::FrontierOnly => true,
+        KeepPoints::Auto => {
+            let space = resolve_space(ctx, plan);
+            space.airframes.len() * plan.settings().len() * space.cand_count()
+                > STREAM_AUTO_THRESHOLD
+        }
+    }
+}
+
+/// A survivor row a shard reducer retained: its local kept index plus
+/// everything needed to emit the stored point without re-walking the
+/// shard.
+struct Survivor {
+    local: u32,
+    point: QueryPoint,
+    row: [f64; MAX_OBJECTIVES],
+    feasible: bool,
+}
+
+/// One shard's reduction: accounting plus the bounded survivor sets.
+struct ShardOut {
+    kept: usize,
+    dropped: usize,
+    nonfinite: usize,
+    /// Local Pareto frontier, ascending local index.
+    frontier: Vec<Survivor>,
+    /// Local bounded top-k, rank order.
+    topk: Vec<Survivor>,
+}
+
+/// Runs one plan through the sharded streaming executor, producing a
+/// streamed [`ResultSet`]: exact frontier, exact bounded top-k, exact
+/// accounting, only frontier ∪ top-k points materialized.
+///
+/// # Errors
+///
+/// Propagates evaluation-kernel model errors as the materializing pass
+/// would ([`SkylineError::Model`]); catalog parts and validated
+/// variants never produce them.
+pub(crate) fn run_stream(
+    ctx: &PassContext<'_>,
+    plan: &QueryPlan,
+    with_frontier: bool,
+) -> Result<ResultSet, SkylineError> {
+    let catalog = ctx.catalog;
+    let space = resolve_space(ctx, plan);
+    let settings = plan.settings();
+    let objectives: Vec<Objective> = plan.objectives().to_vec();
+    let k = objectives.len();
+    let uncharacterized = space.uncharacterized();
+
+    let cand_count = space.cand_count();
+    let job_count = space.airframes.len() * settings.len() * cand_count;
+    if job_count == 0 {
+        return Ok(ResultSet::from_streamed(
+            objectives,
+            Vec::new(),
+            vec![Vec::new(); k],
+            Vec::new(),
+            StreamedMeta {
+                total_kept: 0,
+                stored: Vec::new(),
+                topk: Vec::new(),
+            },
+            uncharacterized,
+            0,
+            0,
+        ));
+    }
+    assert!(
+        cand_count <= u32::MAX as usize,
+        "per-block candidate space exceeds the shard executor's u32 coordinates"
+    );
+
+    let battery = plan.battery().map(|id| catalog.battery_by_id(id));
+    let battery_mass = battery.map_or(0.0, |b| b.mass().get());
+    let battery_wh = battery.map(f1_components::Battery::energy_watt_hours);
+    let variants = build_variants(
+        ctx,
+        &space.sensors,
+        &space.computes,
+        &space.airframes,
+        settings,
+        battery_mass,
+    )?;
+    let airframe_refs: Vec<&Airframe> = space
+        .airframes
+        .iter()
+        .map(|&id| catalog.airframe_by_id(id))
+        .collect();
+
+    let shards_per_block = cand_count.div_ceil(SHARD_SIZE);
+    let shard_count = space.airframes.len() * settings.len() * shards_per_block;
+    let pair_count = space.pairs.len();
+    let constraints = plan.constraints();
+    let needs_power = plan.needs_power();
+    let wants_endurance = objectives.contains(&Objective::HoverEnduranceMin);
+    let profile = plan.mission_profile();
+    let primary_max = objectives[0].maximize();
+
+    let eval_shard = |shard: usize| -> Result<ShardOut, SkylineError> {
+        let block = shard / shards_per_block;
+        let airframe_pos = block / settings.len();
+        let setting_pos = block % settings.len();
+        let start = (shard % shards_per_block) * SHARD_SIZE;
+        let end = (start + SHARD_SIZE).min(cand_count);
+        let parts = &variants[setting_pos];
+        let airframe: &Airframe = parts
+            .airframes
+            .as_ref()
+            .map_or(airframe_refs[airframe_pos], |a| &a[airframe_pos]);
+
+        // Struct-of-arrays slabs over this shard's kept rows.
+        let cap = end - start;
+        let mut cols: Vec<Vec<f64>> = vec![Vec::with_capacity(cap); k];
+        let mut feasible: Vec<bool> = Vec::with_capacity(cap);
+        let mut kept_cand: Vec<u32> = Vec::with_capacity(cap);
+        let mut dropped = 0usize;
+
+        // Per-(sensor, compute) hoisted state: the pair stage, and —
+        // deferred to the pair's first *kept* candidate so a fully
+        // dropped pair builds exactly what the materializing pass
+        // would — the mission power model and the pair-constant hover
+        // endurance.
+        let mut cur_pair = (usize::MAX, u32::MAX);
+        let mut pair = None::<PairStage>;
+        let mut power: Option<PowerModel> = None;
+        let mut power_ready = false;
+        let mut endurance = 0.0f64;
+
+        for c in start..end {
+            let sensor_pos = c / pair_count;
+            let entry = &space.pairs[c % pair_count];
+            if cur_pair != (sensor_pos, entry.compute_pos) {
+                cur_pair = (sensor_pos, entry.compute_pos);
+                pair = Some(pair_stage(
+                    ctx.heatsink,
+                    ctx.saturation,
+                    airframe,
+                    &parts.sensors[sensor_pos],
+                    &parts.computes[entry.compute_pos as usize],
+                    parts.extra_payload,
+                )?);
+                power = None;
+                power_ready = false;
+                endurance = 0.0;
+            }
+            let stage = pair.as_ref().expect("pair stage set on first candidate");
+            let outcome = algo_stage(
+                stage,
+                airframe,
+                &parts.sensors[sensor_pos],
+                entry.throughput,
+            )?;
+            if !constraints.iter().all(|con| con.admits(&outcome)) {
+                dropped += 1;
+                continue;
+            }
+            if needs_power && !power_ready {
+                power_ready = true;
+                // Identical construction (and argument expressions) to
+                // the materializing pass's per-job `fill_values`; every
+                // argument is pair-level, which is what lets it hoist.
+                power = if stage.feasible() {
+                    Some(crate::mission::power_model_for_parts(
+                        airframe,
+                        airframe.takeoff_mass(stage.payload()),
+                        stage.total_tdp(),
+                        profile.figure_of_merit,
+                        profile.parasitic_coeff,
+                    )?)
+                } else {
+                    None
+                };
+                if wants_endurance {
+                    endurance = match &power {
+                        Some(p) => {
+                            let wh = battery_wh.expect(
+                                "plan validation rejects endurance plans without a battery",
+                            );
+                            hover_endurance(p, wh, profile.battery_reserve)?.get()
+                        }
+                        None => 0.0,
+                    };
+                }
+            }
+            for (col, &objective) in cols.iter_mut().zip(&objectives) {
+                col.push(match objective {
+                    Objective::SafeVelocity => outcome.velocity.get(),
+                    Objective::TotalTdp => outcome.total_tdp.get(),
+                    Objective::PayloadMass => outcome.payload.get(),
+                    Objective::MissionEnergyWhPerKm => match &power {
+                        Some(p) if outcome.velocity.get() > 0.0 => {
+                            let v = outcome.velocity;
+                            p.power_at(v).get() * (1000.0 / v.get()) / 3600.0
+                        }
+                        _ => f64::INFINITY,
+                    },
+                    Objective::HoverEnduranceMin => endurance,
+                });
+            }
+            feasible.push(outcome.feasible);
+            kept_cand.push(c as u32);
+        }
+
+        // Columnar finite sweep: a row is frontier-eligible when
+        // feasible and every objective value is finite; feasible rows
+        // excluded for non-finite values are the `nonfinite` counter.
+        let kept = feasible.len();
+        let mut finite = vec![true; kept];
+        for col in &cols {
+            for (flag, v) in finite.iter_mut().zip(col) {
+                *flag &= v.is_finite();
+            }
+        }
+        let nonfinite = feasible
+            .iter()
+            .zip(&finite)
+            .filter(|&(&feas, &fin)| feas && !fin)
+            .count();
+
+        // Local Pareto frontier over the eligible rows — same key
+        // construction as `ResultSet::minimized_keys`, with a cheap
+        // dominance prefilter in front of the exact skyline. Enumeration
+        // order visits one (sensor, compute) pair's algorithms
+        // back-to-back, so a dominated row's dominator is usually a few
+        // rows back: probing the most recent survivors kills most rows
+        // in O(window) before the superlinear exact pass. Exactness is
+        // preserved — a discarded row is dominated by a *retained* one,
+        // so the survivor set's skyline is the full set's skyline.
+        let mut local_frontier: Vec<u32> = Vec::new();
+        if with_frontier {
+            let mut keys: Vec<f64> = Vec::new();
+            let mut map: Vec<u32> = Vec::new();
+            let mut minkey = [0.0f64; MAX_OBJECTIVES];
+            for r in 0..kept {
+                if !(feasible[r] && finite[r]) {
+                    continue;
+                }
+                for (slot, (col, o)) in minkey.iter_mut().zip(cols.iter().zip(&objectives)) {
+                    *slot = if o.maximize() { -col[r] } else { col[r] };
+                }
+                let window = map.len().saturating_sub(PREFILTER_WINDOW);
+                let dominated = (window..map.len())
+                    .rev()
+                    .any(|m| frontier::dominates_min(&keys[m * k..m * k + k], &minkey[..k]));
+                if dominated {
+                    continue;
+                }
+                map.push(r as u32);
+                keys.extend_from_slice(&minkey[..k]);
+            }
+            local_frontier = frontier::pareto_min(k, &keys)
+                .into_iter()
+                .map(|i| map[i])
+                .collect();
+        }
+
+        // Local bounded top-k under the global rank order restricted to
+        // this shard (feasible first, primary objective, enumeration
+        // ties) — the global index is offset + local, so local order is
+        // the restriction of the global order.
+        let rank = |a: u32, b: u32| {
+            let (a, b) = (a as usize, b as usize);
+            feasible[b]
+                .cmp(&feasible[a])
+                .then_with(|| {
+                    let (va, vb) = (cols[0][a], cols[0][b]);
+                    if primary_max {
+                        vb.total_cmp(&va)
+                    } else {
+                        va.total_cmp(&vb)
+                    }
+                })
+                .then_with(|| a.cmp(&b))
+        };
+        let mut order: Vec<u32> = (0..kept as u32).collect();
+        // Partition the best K in O(n), then sort just those — the rank
+        // comparator is total (index tiebreak), so this equals the full
+        // sort-and-truncate exactly.
+        if kept > STREAM_TOP_K {
+            order.select_nth_unstable_by(STREAM_TOP_K - 1, |&a, &b| rank(a, b));
+            order.truncate(STREAM_TOP_K);
+        }
+        order.sort_unstable_by(|&a, &b| rank(a, b));
+
+        // Materialize only the survivors: re-deriving an outcome from
+        // the same inputs through the same kernel is bit-deterministic,
+        // so the stored points match the materializing path exactly.
+        let build = |r: u32| -> Result<Survivor, SkylineError> {
+            let c = kept_cand[r as usize] as usize;
+            let sensor_pos = c / pair_count;
+            let entry = &space.pairs[c % pair_count];
+            let stage = pair_stage(
+                ctx.heatsink,
+                ctx.saturation,
+                airframe,
+                &parts.sensors[sensor_pos],
+                &parts.computes[entry.compute_pos as usize],
+                parts.extra_payload,
+            )?;
+            let outcome = algo_stage(
+                &stage,
+                airframe,
+                &parts.sensors[sensor_pos],
+                entry.throughput,
+            )?;
+            let mut row = [0.0f64; MAX_OBJECTIVES];
+            for (slot, col) in row.iter_mut().zip(&cols) {
+                *slot = col[r as usize];
+            }
+            Ok(Survivor {
+                local: r,
+                point: QueryPoint {
+                    airframe: space.airframes[airframe_pos],
+                    candidate: Candidate {
+                        sensor: space.sensors[sensor_pos],
+                        compute: entry.compute,
+                        algorithm: entry.algorithm,
+                        throughput: entry.throughput,
+                    },
+                    setting: settings[setting_pos],
+                    outcome,
+                },
+                row,
+                feasible: feasible[r as usize],
+            })
+        };
+        Ok(ShardOut {
+            kept,
+            dropped,
+            nonfinite,
+            frontier: local_frontier
+                .iter()
+                .map(|&r| build(r))
+                .collect::<Result<_, _>>()?,
+            topk: order.iter().map(|&r| build(r)).collect::<Result<_, _>>()?,
+        })
+    };
+
+    // One shard per work-stealing chunk: shards are already chunk-sized
+    // (≤ SHARD_SIZE jobs), so finer chunking would only split reducers.
+    let outs: Vec<ShardOut> = parallel_map_indices(shard_count, 1, eval_shard)
+        .into_iter()
+        .collect::<Result<_, _>>()?;
+
+    // Serial exact merge, in shard (= enumeration) order. Global kept
+    // indices are a prefix sum over per-shard kept counts.
+    let mut offsets = Vec::with_capacity(outs.len());
+    let (mut total_kept, mut dropped, mut nonfinite) = (0usize, 0usize, 0usize);
+    for out in &outs {
+        offsets.push(total_kept);
+        total_kept += out.kept;
+        dropped += out.dropped;
+        nonfinite += out.nonfinite;
+    }
+
+    // frontier(S ∪ D) = frontier(frontier(S) ∪ frontier(D)): one final
+    // skyline over the concatenated shard frontiers. Both the member
+    // list (shard order) and `pareto_min` survivors are ascending, so
+    // the emitted indices match the materializing frontier exactly.
+    let mut frontier_global: Vec<usize> = Vec::new();
+    let mut frontier_rows: Vec<&Survivor> = Vec::new();
+    if with_frontier {
+        let mut keys = Vec::new();
+        let mut members: Vec<(usize, &Survivor)> = Vec::new();
+        for (out, &offset) in outs.iter().zip(&offsets) {
+            for s in &out.frontier {
+                members.push((offset + s.local as usize, s));
+                keys.extend(s.row[..k].iter().zip(&objectives).map(|(&v, o)| {
+                    if o.maximize() {
+                        -v
+                    } else {
+                        v
+                    }
+                }));
+            }
+        }
+        for i in frontier::pareto_min(k, &keys) {
+            frontier_global.push(members[i].0);
+            frontier_rows.push(members[i].1);
+        }
+    }
+
+    // Exact top-k: the global top-K is a subset of the union of shard
+    // top-Ks (each shard kept the best K under the restriction of the
+    // global order), so sort-and-truncate of the union is the exact
+    // prefix of the full ranking.
+    let mut topk: Vec<(usize, &Survivor)> = outs
+        .iter()
+        .zip(&offsets)
+        .flat_map(|(out, &offset)| out.topk.iter().map(move |s| (offset + s.local as usize, s)))
+        .collect();
+    topk.sort_unstable_by(|a, b| {
+        b.1.feasible
+            .cmp(&a.1.feasible)
+            .then_with(|| {
+                let (va, vb) = (a.1.row[0], b.1.row[0]);
+                if primary_max {
+                    vb.total_cmp(&va)
+                } else {
+                    va.total_cmp(&vb)
+                }
+            })
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    topk.truncate(STREAM_TOP_K);
+
+    // Stored rows = frontier ∪ top-k, ascending global index.
+    let mut stored: Vec<(usize, &Survivor)> = frontier_global
+        .iter()
+        .copied()
+        .zip(frontier_rows.iter().copied())
+        .chain(topk.iter().copied())
+        .collect();
+    stored.sort_unstable_by_key(|&(g, _)| g);
+    stored.dedup_by_key(|&mut (g, _)| g);
+
+    let stored_points: Vec<QueryPoint> = stored.iter().map(|&(_, s)| s.point).collect();
+    let mut columns: Vec<Vec<f64>> = vec![Vec::with_capacity(stored.len()); k];
+    for &(_, s) in &stored {
+        for (col, &v) in columns.iter_mut().zip(&s.row[..k]) {
+            col.push(v);
+        }
+    }
+    let meta = StreamedMeta {
+        total_kept,
+        stored: stored.iter().map(|&(g, _)| g).collect(),
+        topk: topk.iter().map(|&(g, _)| g).collect(),
+    };
+    Ok(ResultSet::from_streamed(
+        objectives,
+        stored_points,
+        columns,
+        frontier_global,
+        meta,
+        uncharacterized,
+        dropped,
+        nonfinite,
+    ))
+}

@@ -18,7 +18,7 @@ use f1_components::{
 };
 use f1_skyline::plan::QueryPlan;
 use f1_skyline::query::{Knob, KnobSweep, Objective};
-use f1_skyline::session::{ResultSet, Session};
+use f1_skyline::session::{ResultSet, Session, COMPACT_SEGMENT_THRESHOLD};
 use f1_skyline::SkylineError;
 use f1_units::{Grams, Hertz, Meters, Millimeters, Watts};
 
@@ -448,4 +448,91 @@ fn timed_refresh(store: &Arc<CatalogStore>, plan: &QueryPlan) -> Duration {
     let start = Instant::now();
     session.refresh(plan).unwrap();
     start.elapsed()
+}
+
+/// Chained refreshes splice new point-store segments per repaired slab;
+/// past [`COMPACT_SEGMENT_THRESHOLD`] the session folds them back into
+/// one contiguous segment. Long-lived sessions must see bounded
+/// indirection AND bit-identical results straight through a compaction.
+#[test]
+fn chained_refreshes_compact_segment_growth() {
+    let plan = QueryPlan::builder().build().unwrap();
+    let store = Arc::new(CatalogStore::new(Catalog::paper()));
+    let session = Session::over(Arc::clone(&store));
+    session.run(&plan).unwrap();
+
+    let mut counts = Vec::new();
+    for i in 0..12u32 {
+        store
+            .apply(&CatalogDelta::new().patch_throughput(
+                names::TX2,
+                names::DRONET,
+                Hertz::new(200.0 + f64::from(i)),
+            ))
+            .unwrap();
+        let repaired = session.refresh(&plan).unwrap();
+        counts.push(repaired.segment_count());
+        assert!(
+            repaired.segment_count() <= COMPACT_SEGMENT_THRESHOLD,
+            "segment count stays bounded: {counts:?}"
+        );
+    }
+    assert_eq!(session.cache_stats().repairs, 12, "every delta repaired");
+    assert!(
+        counts.iter().any(|&c| c > 1),
+        "repairs do splice segments: {counts:?}"
+    );
+    assert!(
+        counts.windows(2).any(|w| w[1] < w[0]),
+        "compaction folded segments back down: {counts:?}"
+    );
+
+    let cold = Session::over(Arc::clone(&store)).run(&plan).unwrap();
+    let repaired = session.refresh(&plan).unwrap();
+    assert_bit_identical(&repaired, &cold);
+}
+
+/// Duplicate subspace ids and duplicate sweep values canonicalize at
+/// `PlanBuilder::build`: the sloppy spelling produces the same plan key
+/// (one memo entry) and — because repair never sees the duplicates —
+/// a touching delta still takes the incremental path.
+#[test]
+fn duplicate_plan_spellings_canonicalize_and_repair_incrementally() {
+    let catalog = Catalog::paper();
+    let tx2 = catalog.compute_id(names::TX2).unwrap();
+    let pi = catalog.compute_id(names::RAS_PI4).unwrap();
+    let dup = QueryPlan::builder()
+        .computes(&[tx2, pi, tx2, pi])
+        .sweep(KnobSweep::new(Knob::TdpScale, vec![1.0, 0.5, 1.0]))
+        .build()
+        .unwrap();
+    let canonical = QueryPlan::builder()
+        .computes(&[tx2, pi])
+        .sweep(KnobSweep::new(Knob::TdpScale, vec![1.0, 0.5]))
+        .build()
+        .unwrap();
+    assert_eq!(dup.computes(), canonical.computes());
+    assert_eq!(dup.settings(), canonical.settings());
+    assert_eq!(dup.key(), canonical.key());
+
+    let store = Arc::new(CatalogStore::new(catalog));
+    let session = Session::over(Arc::clone(&store));
+    let a = session.run(&dup).unwrap();
+    let b = session.run(&canonical).unwrap();
+    assert!(
+        Arc::ptr_eq(&a, &b),
+        "both spellings memoize to one cache entry"
+    );
+
+    store
+        .apply(&CatalogDelta::new().patch_throughput(names::TX2, names::DRONET, Hertz::new(123.0)))
+        .unwrap();
+    let repaired = session.refresh(&dup).unwrap();
+    assert_eq!(
+        session.cache_stats().repairs,
+        1,
+        "deduped plan repairs incrementally instead of bailing cold"
+    );
+    let cold = Session::over(Arc::clone(&store)).run(&canonical).unwrap();
+    assert_bit_identical(&repaired, &cold);
 }
