@@ -1,0 +1,277 @@
+//! `skyline-serve` — skyline-as-a-service over TCP.
+//!
+//! ```sh
+//! # serve the paper catalog on the default port
+//! cargo run --release -p f1-serve --bin skyline-serve
+//!
+//! # serve a synthesized 10^5-candidate catalog with a 2 ms
+//! # coalescing window
+//! cargo run --release -p f1-serve --bin skyline-serve -- \
+//!     --synth 47 --window-us 2000 --executors 2
+//!
+//! # talk to it (plan keys come from QueryPlan::key / the skyline CLI)
+//! printf 'stats\n' | nc 127.0.0.1 7171
+//!
+//! # in-process smoke test: boots a server on an ephemeral port, runs
+//! # a scripted client (miss, cache hit, delta, old/new epoch), exits
+//! # nonzero on any mismatch — this is what CI's serve-smoke job runs
+//! cargo run --release -p f1-serve --bin skyline-serve -- --self-test
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use f1_components::{Catalog, CatalogStore};
+use f1_serve::protocol::Client;
+use f1_serve::{SchedulerConfig, ServeConfig, Server};
+use f1_skyline::plan::QueryPlan;
+use f1_skyline::query::{Constraint, Objective};
+use f1_skyline::session::Session;
+use f1_units::Watts;
+
+/// Seed for `--synth` catalogs, fixed so runs are reproducible.
+const SYNTH_SEED: u64 = 42;
+
+struct Args {
+    addr: String,
+    synth: Option<usize>,
+    window_us: u64,
+    queue: usize,
+    max_batch: usize,
+    executors: Option<usize>,
+    max_frame: usize,
+    cache_capacity: Option<usize>,
+    self_test: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let defaults = ServeConfig::default();
+    let sched = SchedulerConfig::default();
+    let mut args = Args {
+        addr: defaults.addr,
+        synth: None,
+        window_us: sched.window.as_micros() as u64,
+        queue: sched.queue_capacity,
+        max_batch: sched.max_batch,
+        executors: None,
+        max_frame: defaults.max_frame,
+        cache_capacity: None,
+        self_test: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        let parse = |name: &str, v: String| -> Result<usize, String> {
+            v.parse().map_err(|_| format!("bad {name} value {v:?}"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--synth" => {
+                let n = parse("--synth", value("--synth")?)?;
+                if n == 0 {
+                    return Err("--synth needs at least 1 part per family".into());
+                }
+                args.synth = Some(n);
+            }
+            "--window-us" => args.window_us = parse("--window-us", value("--window-us")?)? as u64,
+            "--queue" => {
+                args.queue = parse("--queue", value("--queue")?)?;
+                if args.queue == 0 {
+                    return Err("--queue must be at least 1".into());
+                }
+            }
+            "--max-batch" => {
+                args.max_batch = parse("--max-batch", value("--max-batch")?)?;
+                if args.max_batch == 0 {
+                    return Err("--max-batch must be at least 1".into());
+                }
+            }
+            "--executors" => {
+                let n = parse("--executors", value("--executors")?)?;
+                if n == 0 {
+                    return Err("--executors must be at least 1".into());
+                }
+                args.executors = Some(n);
+            }
+            "--max-frame" => args.max_frame = parse("--max-frame", value("--max-frame")?)?,
+            "--cache-capacity" => {
+                args.cache_capacity = Some(parse("--cache-capacity", value("--cache-capacity")?)?);
+            }
+            "--self-test" => args.self_test = true,
+            "--help" | "-h" => {
+                println!(
+                    "skyline-serve — skyline-as-a-service over TCP\n\n\
+                     usage:\n  skyline-serve [--addr HOST:PORT] [--synth N_PER_FAMILY]\n\
+                     \x20              [--window-us MICROS] [--queue N] [--max-batch N]\n\
+                     \x20              [--executors N] [--max-frame BYTES]\n\
+                     \x20              [--cache-capacity N] [--self-test]\n\n\
+                     protocol (requests are single lines; responses are `ok|err NBYTES`\n\
+                     then NBYTES of JSON):\n\
+                     \x20 query <plan-key>     full result-set JSON at the current epoch\n\
+                     \x20 top <k> <plan-key>   best k ranked builds (compact)\n\
+                     \x20 delta <json>         apply a CatalogDelta document, new epoch\n\
+                     \x20 stats                epoch + cache + scheduler counters\n\
+                     \x20 ping                 liveness\n\
+                     \x20 shutdown             stop the server\n\n\
+                     --window-us 0 disables micro-batch coalescing (serial passes).\n\
+                     --self-test boots an in-process server on an ephemeral port, runs\n\
+                     \x20 a scripted client session and exits nonzero on any mismatch."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn build_session(args: &Args) -> Arc<Session> {
+    let catalog = match args.synth {
+        Some(n) => Catalog::synthesize(SYNTH_SEED, n),
+        None => Catalog::paper(),
+    };
+    let store = Arc::new(CatalogStore::from_shared(Arc::new(catalog)));
+    let mut session = Session::over(store);
+    if let Some(capacity) = args.cache_capacity {
+        session = session.with_cache_capacity(capacity);
+    }
+    Arc::new(session)
+}
+
+fn serve_config(args: &Args, addr: &str) -> ServeConfig {
+    let defaults = SchedulerConfig::default();
+    ServeConfig {
+        addr: addr.to_owned(),
+        scheduler: SchedulerConfig {
+            window: Duration::from_micros(args.window_us),
+            queue_capacity: args.queue,
+            max_batch: args.max_batch,
+            executors: args.executors.unwrap_or(defaults.executors),
+        },
+        max_frame: args.max_frame,
+        max_connections: 64,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args().map_err(|e| -> Box<dyn std::error::Error> { e.into() })?;
+    if args.self_test {
+        return self_test(&args);
+    }
+    let session = build_session(&args);
+    let catalog = session.catalog();
+    let candidates = catalog.airframe_active_count()
+        * catalog.sensor_active_count()
+        * catalog.compute_active_count()
+        * catalog.algorithm_active_count();
+    let config = serve_config(&args, &args.addr);
+    let server = Server::start(Arc::clone(&session), config.clone())?;
+    println!(
+        "skyline-serve on {} — {} candidates @ {}, window {:?}, queue {}, \
+         max-batch {}, executors {}",
+        server.local_addr(),
+        candidates,
+        session.epoch(),
+        config.scheduler.window,
+        config.scheduler.queue_capacity,
+        config.scheduler.max_batch,
+        config.scheduler.executors,
+    );
+    println!("send `shutdown` (or ^C) to stop; `--help` shows the protocol");
+    while !server.is_shutting_down() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    server.join();
+    println!("skyline-serve: shut down cleanly");
+    Ok(())
+}
+
+/// The scripted smoke session CI runs: miss → hit → stats → delta →
+/// old/new epoch → shutdown, all against an in-process server.
+fn self_test(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let mut failures = 0usize;
+    let mut check = |what: &str, ok: bool| {
+        println!("{} {what}", if ok { "PASS" } else { "FAIL" });
+        if !ok {
+            failures += 1;
+        }
+    };
+    let session = build_session(args);
+    let server = Server::start(Arc::clone(&session), serve_config(args, "127.0.0.1:0"))?;
+    let mut client = Client::connect(server.local_addr())?;
+    client.set_timeout(Some(Duration::from_secs(60)))?;
+
+    let (ok, body) = client.request("ping")?;
+    check("ping answers pong", ok && body.contains("\"pong\": true"));
+
+    let plan = QueryPlan::builder()
+        .objectives(&[Objective::SafeVelocity, Objective::TotalTdp])
+        .constraint(Constraint::MaxTotalTdp(Watts::new(20.0)))
+        .build()?;
+    let key = plan.key();
+
+    let (ok, cold) = client.request(&format!("query {key}"))?;
+    check(
+        "cold query computes at epoch 0",
+        ok && cold.contains("\"epoch\": 0") && cold.contains("\"cached\": false"),
+    );
+    let (ok, warm) = client.request(&format!("query {key}"))?;
+    check(
+        "repeat query is a cache fast-path hit",
+        ok && warm.contains("\"cached\": true"),
+    );
+    check(
+        "hit body is bit-identical to the cold body",
+        warm.replace("\"cached\": true", "\"cached\": false") == cold,
+    );
+
+    let (ok, stats) = client.request("stats")?;
+    check(
+        "stats reports the fast-path hit",
+        ok && stats.contains("\"fast_path_hits\": 1") && stats.contains("\"admitted\": 1"),
+    );
+
+    let (ok, top) = client.request(&format!("top 3 {key}"))?;
+    check(
+        "top 3 answers from cache",
+        ok && top.contains("\"cached\": true"),
+    );
+
+    let (ok, body) = client.request("query not.a.plan.key")?;
+    check(
+        "bad plan key is a structured error",
+        !ok && body.contains("\"kind\": \"plan_key\""),
+    );
+
+    let delta = r#"{"throughput": [{"compute": "Nvidia TX2", "algorithm": "DroNet", "hz": 30.0}]}"#;
+    let (ok, body) = client.request(&format!("delta {delta}"))?;
+    check(
+        "delta publishes epoch 1",
+        ok && body.contains("\"epoch\": 1"),
+    );
+
+    let (ok, body) = client.request(&format!("query {key}"))?;
+    check(
+        "re-query answers at epoch 1",
+        ok && body.contains("\"epoch\": 1"),
+    );
+    check(
+        "epoch-1 answer differs from epoch-0",
+        body != cold && body != warm,
+    );
+
+    let (ok, body) = client.request("shutdown")?;
+    check(
+        "shutdown acknowledges",
+        ok && body.contains("\"shutting_down\": true"),
+    );
+    server.join();
+    check("server joins cleanly", true);
+
+    if failures > 0 {
+        Err(format!("self-test: {failures} check(s) failed").into())
+    } else {
+        println!("self-test: all checks passed");
+        Ok(())
+    }
+}

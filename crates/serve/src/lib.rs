@@ -1,0 +1,46 @@
+//! Skyline-as-a-service: a long-running TCP server over a shared
+//! [`Session`](f1_skyline::session::Session), with a micro-batch
+//! coalescing query scheduler.
+//!
+//! The paper's workflow — compile a [`QueryPlan`](f1_skyline::plan::QueryPlan),
+//! run it over a versioned catalog, repeat as components churn — is a
+//! natural *service*: many clients asking overlapping skyline questions
+//! against one authoritative, evolving catalog. This crate wraps the
+//! engine in exactly that shape, on `std` alone (the workspace builds
+//! offline; no async runtime):
+//!
+//! - [`protocol`] — the wire format: line-delimited request verbs
+//!   (`query`, `top`, `delta`, `stats`, `ping`, `shutdown`),
+//!   length-delimited JSON responses, structured error bodies.
+//! - [`scheduler`] — bounded admission + micro-batch coalescing:
+//!   repeat `(plan, epoch)` queries hit the session memo cache without
+//!   queueing; concurrent cache misses inside a few-millisecond window
+//!   fuse into one shared evaluation pass; catalog deltas publish a new
+//!   epoch without stalling in-flight queries, then a background thread
+//!   re-warms cached plans by incremental repair.
+//! - [`server`] — the nonblocking listener, connection threads and
+//!   request dispatch.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use f1_components::Catalog;
+//! use f1_skyline::session::Session;
+//! use f1_serve::{Server, ServeConfig};
+//!
+//! let session = Arc::new(Session::new(Arc::new(Catalog::paper())));
+//! let server = Server::start(session, ServeConfig::default())?;
+//! println!("serving on {}", server.local_addr());
+//! # server.shutdown();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod protocol;
+pub mod scheduler;
+pub mod server;
+
+pub use protocol::{Client, ErrorKind, Request};
+pub use scheduler::{Scheduler, SchedulerConfig, SchedulerStats, SubmitError};
+pub use server::{ServeConfig, Server};

@@ -1,0 +1,622 @@
+//! The micro-batch coalescing query scheduler.
+//!
+//! Requests admitted by the server land on a **bounded queue** (full ⇒
+//! a structured `overloaded` error, never an unbounded backlog). A
+//! small pool of executor threads drains it with inference-server-style
+//! **micro-batching**: the first job to arrive opens a collection
+//! window (a few milliseconds, [`SchedulerConfig::window`]); every
+//! compatible cache-miss plan that arrives inside the window joins the
+//! same [`Session::run_batch_at`] call, where plans with the same
+//! evaluation signature share **one** fused enumeration + evaluation
+//! pass. A bursty all-miss workload therefore pays ~one pass per
+//! window, not one pass per request.
+//!
+//! Epochs make rolling catalog updates stall-free: each job carries the
+//! epoch it was **admitted** at, the batch is grouped by admission
+//! epoch, and a delta published mid-window never bleeds into requests
+//! admitted before it — they finish on their pinned epoch,
+//! bit-identically to a cold run at that epoch. After a delta, a
+//! background thread walks the session's cached plan keys and
+//! [`Session::refresh`]es each (incremental delta repair), re-warming
+//! the hot entries off the request path.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use f1_components::{CatalogDelta, CatalogEpoch, ComponentError, EpochSnapshot};
+use f1_skyline::plan::QueryPlan;
+use f1_skyline::session::{ResultSet, Session};
+use f1_skyline::SkylineError;
+
+/// Tuning knobs of the [`Scheduler`].
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// The micro-batch collection window: how long the first queued
+    /// request waits for compatible company before the batch executes.
+    /// `Duration::ZERO` disables coalescing entirely — every request
+    /// runs in its own pass (the serial baseline the load generator
+    /// compares against).
+    pub window: Duration,
+    /// Bounded admission-queue capacity; submissions past it are
+    /// rejected with a structured `overloaded` error.
+    pub queue_capacity: usize,
+    /// Most requests one batch may coalesce.
+    pub max_batch: usize,
+    /// Executor threads draining the queue. Each batch runs on one
+    /// executor (the fused pass is internally parallel); extra
+    /// executors let independent batches overlap.
+    pub executors: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self {
+            window: Duration::from_millis(2),
+            queue_capacity: 1024,
+            max_batch: 64,
+            executors: std::thread::available_parallelism().map_or(2, |n| n.get().clamp(1, 4)),
+        }
+    }
+}
+
+/// A point-in-time snapshot of the scheduler counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Requests accepted onto the queue.
+    pub admitted: u64,
+    /// Requests rejected because the queue was full.
+    pub rejected: u64,
+    /// Requests answered by the connection-side cache fast path,
+    /// without ever touching the queue.
+    pub fast_path_hits: u64,
+    /// Batches executed (one `run_batch_at` call per admission-epoch
+    /// group).
+    pub batches: u64,
+    /// Requests executed through batches (Σ batch sizes).
+    pub batched_requests: u64,
+    /// Requests that shared a batch with at least one other request
+    /// (`batched_requests − batches` over multi-request batches).
+    pub coalesced: u64,
+    /// Largest batch executed so far.
+    pub max_batch: u64,
+    /// Catalog deltas applied.
+    pub deltas_applied: u64,
+    /// Cached plans re-repaired by the background refresh thread after
+    /// deltas.
+    pub background_repairs: u64,
+}
+
+/// One queued request: the parsed plan, its admission epoch, and the
+/// channel its result goes back on.
+struct Job {
+    plan: QueryPlan,
+    epoch: CatalogEpoch,
+    reply: SyncSender<Result<Arc<ResultSet>, SkylineError>>,
+}
+
+/// Queue state guarded by one mutex: the jobs plus the collector flag
+/// that guarantees only **one** executor holds a collection window open
+/// at a time (otherwise competing executors would steal jobs out of a
+/// filling batch and defeat coalescing).
+struct QueueState {
+    jobs: VecDeque<Job>,
+    collecting: bool,
+}
+
+struct Counters {
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    fast_path_hits: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    coalesced: AtomicU64,
+    max_batch: AtomicU64,
+    deltas_applied: AtomicU64,
+    background_repairs: AtomicU64,
+}
+
+struct Inner {
+    session: Arc<Session>,
+    config: SchedulerConfig,
+    queue: Mutex<QueueState>,
+    queue_cv: Condvar,
+    /// Bumped per applied delta; the repair thread sweeps the cache
+    /// whenever it lags the generation.
+    repair_gen: Mutex<u64>,
+    repair_cv: Condvar,
+    shutdown: AtomicBool,
+    counters: Counters,
+}
+
+/// The scheduler: bounded admission, micro-batch coalescing executors,
+/// and background cache repair across catalog deltas. See the [module
+/// docs](self).
+pub struct Scheduler {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("config", &self.inner.config)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity.
+    Overloaded,
+    /// The scheduler is shutting down.
+    ShuttingDown,
+}
+
+impl Scheduler {
+    /// Starts the executor pool and the background repair thread over a
+    /// shared session.
+    #[must_use]
+    pub fn start(session: Arc<Session>, config: SchedulerConfig) -> Self {
+        assert!(config.queue_capacity > 0, "queue capacity must be positive");
+        assert!(config.max_batch > 0, "max batch must be positive");
+        assert!(config.executors > 0, "executor count must be positive");
+        let inner = Arc::new(Inner {
+            session,
+            config: config.clone(),
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                collecting: false,
+            }),
+            queue_cv: Condvar::new(),
+            repair_gen: Mutex::new(0),
+            repair_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            counters: Counters {
+                admitted: AtomicU64::new(0),
+                rejected: AtomicU64::new(0),
+                fast_path_hits: AtomicU64::new(0),
+                batches: AtomicU64::new(0),
+                batched_requests: AtomicU64::new(0),
+                coalesced: AtomicU64::new(0),
+                max_batch: AtomicU64::new(0),
+                deltas_applied: AtomicU64::new(0),
+                background_repairs: AtomicU64::new(0),
+            },
+        });
+        let mut workers = Vec::with_capacity(config.executors + 1);
+        for i in 0..config.executors {
+            let inner = Arc::clone(&inner);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("skyline-exec-{i}"))
+                    .spawn(move || executor_loop(&inner))
+                    .expect("spawning an executor thread"),
+            );
+        }
+        {
+            let inner = Arc::clone(&inner);
+            workers.push(
+                std::thread::Builder::new()
+                    .name("skyline-repair".to_owned())
+                    .spawn(move || repair_loop(&inner))
+                    .expect("spawning the repair thread"),
+            );
+        }
+        Self {
+            inner,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// The session this scheduler executes on.
+    #[must_use]
+    pub fn session(&self) -> &Arc<Session> {
+        &self.inner.session
+    }
+
+    /// Admits a parsed plan onto the bounded queue at its admission
+    /// epoch. Returns the receiver the result will arrive on.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Overloaded`] when the queue is full,
+    /// [`SubmitError::ShuttingDown`] after shutdown began.
+    pub fn submit(
+        &self,
+        plan: QueryPlan,
+        epoch: CatalogEpoch,
+    ) -> Result<Receiver<Result<Arc<ResultSet>, SkylineError>>, SubmitError> {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let (reply, rx) = mpsc::sync_channel(1);
+        {
+            let mut queue = lock(&self.inner.queue);
+            if queue.jobs.len() >= self.inner.config.queue_capacity {
+                self.inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::Overloaded);
+            }
+            queue.jobs.push_back(Job { plan, epoch, reply });
+        }
+        self.inner.counters.admitted.fetch_add(1, Ordering::Relaxed);
+        self.inner.queue_cv.notify_all();
+        Ok(rx)
+    }
+
+    /// Applies a catalog delta: publishes the next epoch (in-flight
+    /// queries keep their admission epochs) and wakes the background
+    /// repair thread to re-warm cached plans at the new epoch.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ComponentError`] the store rejects the delta with — no
+    /// epoch is published then.
+    pub fn apply_delta(&self, delta: &CatalogDelta) -> Result<EpochSnapshot, ComponentError> {
+        let snapshot = self.inner.session.store().apply(delta)?;
+        self.inner
+            .counters
+            .deltas_applied
+            .fetch_add(1, Ordering::Relaxed);
+        *lock(&self.inner.repair_gen) += 1;
+        self.inner.repair_cv.notify_all();
+        Ok(snapshot)
+    }
+
+    /// Counts a connection-side cache fast-path hit (the request never
+    /// reached the queue).
+    pub fn note_fast_path_hit(&self) {
+        self.inner
+            .counters
+            .fast_path_hits
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current queue depth (diagnostic).
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        lock(&self.inner.queue).jobs.len()
+    }
+
+    /// A snapshot of the counters.
+    #[must_use]
+    pub fn stats(&self) -> SchedulerStats {
+        let c = &self.inner.counters;
+        SchedulerStats {
+            admitted: c.admitted.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            fast_path_hits: c.fast_path_hits.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+            batched_requests: c.batched_requests.load(Ordering::Relaxed),
+            coalesced: c.coalesced.load(Ordering::Relaxed),
+            max_batch: c.max_batch.load(Ordering::Relaxed),
+            deltas_applied: c.deltas_applied.load(Ordering::Relaxed),
+            background_repairs: c.background_repairs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Flags shutdown and joins every executor and the repair thread.
+    /// Queued jobs still drain (their connections are waiting); new
+    /// submissions are rejected.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.queue_cv.notify_all();
+        self.inner.repair_cv.notify_all();
+        let workers = std::mem::take(&mut *lock(&self.workers));
+        for worker in workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One executor: claim the collector role, hold the micro-batch window
+/// open, drain up to `max_batch` jobs, execute them grouped by
+/// admission epoch, answer every reply channel.
+fn executor_loop(inner: &Inner) {
+    loop {
+        let batch = collect_batch(inner);
+        let Some(batch) = batch else { return };
+        execute_batch(inner, batch);
+    }
+}
+
+/// Blocks until jobs are available (or shutdown drains the queue dry),
+/// then coalesces one batch. Returns `None` when it is time to exit.
+fn collect_batch(inner: &Inner) -> Option<Vec<Job>> {
+    let config = &inner.config;
+    let mut queue = lock(&inner.queue);
+    // Wait for work — or for the collector role to free up while work
+    // exists (only one executor holds a window open at a time).
+    loop {
+        if !queue.jobs.is_empty() && !queue.collecting {
+            break;
+        }
+        if inner.shutdown.load(Ordering::Acquire) && queue.jobs.is_empty() {
+            return None;
+        }
+        let (next, _) = inner
+            .queue_cv
+            .wait_timeout(queue, Duration::from_millis(50))
+            .unwrap_or_else(PoisonError::into_inner);
+        queue = next;
+    }
+    // Collector role claimed: hold the window open for stragglers.
+    if !config.window.is_zero() && queue.jobs.len() < config.max_batch {
+        queue.collecting = true;
+        let deadline = Instant::now() + config.window;
+        loop {
+            let now = Instant::now();
+            if now >= deadline
+                || queue.jobs.len() >= config.max_batch
+                || inner.shutdown.load(Ordering::Acquire)
+            {
+                break;
+            }
+            let (next, _) = inner
+                .queue_cv
+                .wait_timeout(queue, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            queue = next;
+        }
+        queue.collecting = false;
+    }
+    let take = if config.window.is_zero() {
+        // Coalescing disabled: strictly one request per pass.
+        1
+    } else {
+        config.max_batch.min(queue.jobs.len())
+    };
+    let batch: Vec<Job> = queue.jobs.drain(..take).collect();
+    drop(queue);
+    // More jobs may remain — hand the collector role to a waiting peer.
+    inner.queue_cv.notify_all();
+    Some(batch)
+}
+
+/// Groups a batch by admission epoch and runs each group through one
+/// shared-pass `run_batch_at` call.
+fn execute_batch(inner: &Inner, batch: Vec<Job>) {
+    let counters = &inner.counters;
+    counters
+        .batched_requests
+        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+    counters
+        .max_batch
+        .fetch_max(batch.len() as u64, Ordering::Relaxed);
+    if batch.len() > 1 {
+        counters
+            .coalesced
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+    }
+    // Group by admission epoch, preserving arrival order within groups.
+    let mut groups: Vec<(CatalogEpoch, Vec<Job>)> = Vec::new();
+    for job in batch {
+        match groups.iter_mut().find(|(epoch, _)| *epoch == job.epoch) {
+            Some((_, jobs)) => jobs.push(job),
+            None => groups.push((job.epoch, vec![job])),
+        }
+    }
+    for (epoch, jobs) in groups {
+        counters.batches.fetch_add(1, Ordering::Relaxed);
+        let mut plans = Vec::with_capacity(jobs.len());
+        let mut replies = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            plans.push(job.plan);
+            replies.push(job.reply);
+        }
+        match inner.session.run_batch_at(&plans, epoch) {
+            Ok(results) => {
+                for (reply, result) in replies.into_iter().zip(results) {
+                    let _ = reply.send(Ok(result));
+                }
+            }
+            Err(error) => {
+                // One bad plan fails its whole epoch group (the batch
+                // executor is all-or-nothing); each member gets the
+                // structured error. Plan-shape errors are caught at
+                // parse/validate time on the connection, so this is the
+                // rare path.
+                for reply in replies {
+                    let _ = reply.send(Err(error.clone()));
+                }
+            }
+        }
+    }
+}
+
+/// The background repair thread: after each delta, walk the cached plan
+/// keys and bring each forward to the current epoch via incremental
+/// repair, so the hot set re-warms off the request path.
+fn repair_loop(inner: &Inner) {
+    let mut seen = 0u64;
+    loop {
+        {
+            let mut gen = lock(&inner.repair_gen);
+            while *gen == seen && !inner.shutdown.load(Ordering::Acquire) {
+                let (next, _) = inner
+                    .repair_cv
+                    .wait_timeout(gen, Duration::from_millis(100))
+                    .unwrap_or_else(PoisonError::into_inner);
+                gen = next;
+            }
+            if inner.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            seen = *gen;
+        }
+        for key in inner.session.cached_plan_keys() {
+            if inner.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            // Keys in the cache are canonical by construction; a parse
+            // or repair failure just leaves the entry cold.
+            if let Ok(plan) = QueryPlan::from_key(&key) {
+                if inner.session.refresh(&plan).is_ok() {
+                    inner
+                        .counters
+                        .background_repairs
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f1_components::Catalog;
+    use f1_skyline::query::{Constraint, Objective};
+    use f1_units::Watts;
+
+    fn plan(cap: f64) -> QueryPlan {
+        QueryPlan::builder()
+            .objectives(&[Objective::SafeVelocity, Objective::TotalTdp])
+            .constraint(Constraint::MaxTotalTdp(Watts::new(cap)))
+            .build()
+            .unwrap()
+    }
+
+    fn scheduler(window: Duration, capacity: usize) -> Scheduler {
+        Scheduler::start(
+            Arc::new(Session::new(Arc::new(Catalog::paper()))),
+            SchedulerConfig {
+                window,
+                queue_capacity: capacity,
+                max_batch: 64,
+                executors: 2,
+            },
+        )
+    }
+
+    #[test]
+    fn coalesces_concurrent_submissions_into_shared_batches() {
+        let sched = scheduler(Duration::from_millis(20), 64);
+        let epoch = sched.session().epoch();
+        let receivers: Vec<_> = (0..8)
+            .map(|i| sched.submit(plan(20.0 - i as f64), epoch).unwrap())
+            .collect();
+        for rx in receivers {
+            let result = rx.recv().unwrap().unwrap();
+            assert!(!result.is_empty());
+        }
+        let stats = sched.stats();
+        assert_eq!(stats.admitted, 8);
+        assert_eq!(stats.batched_requests, 8);
+        assert!(
+            stats.batches < 8,
+            "a 20 ms window must coalesce 8 back-to-back submissions, got {stats:?}"
+        );
+        assert!(stats.coalesced > 0);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn window_zero_runs_serially() {
+        let sched = scheduler(Duration::ZERO, 64);
+        let epoch = sched.session().epoch();
+        let receivers: Vec<_> = (0..4)
+            .map(|i| sched.submit(plan(10.0 + i as f64), epoch).unwrap())
+            .collect();
+        for rx in receivers {
+            rx.recv().unwrap().unwrap();
+        }
+        let stats = sched.stats();
+        assert_eq!(stats.batches, 4, "window=0 must not coalesce: {stats:?}");
+        assert_eq!(stats.max_batch, 1);
+        assert_eq!(stats.coalesced, 0);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn bounded_queue_rejects_overload() {
+        // Capacity 1 with a long window: the first job occupies the
+        // window, the second fills the queue, the third is rejected.
+        let sched = scheduler(Duration::from_millis(200), 1);
+        let epoch = sched.session().epoch();
+        let first = sched.submit(plan(30.0), epoch).unwrap();
+        let mut rejected = false;
+        let mut receivers = vec![first];
+        for i in 0..50 {
+            match sched.submit(plan(40.0 + i as f64), epoch) {
+                Ok(rx) => receivers.push(rx),
+                Err(SubmitError::Overloaded) => {
+                    rejected = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        assert!(rejected, "a capacity-1 queue must reject a burst");
+        assert!(sched.stats().rejected >= 1);
+        for rx in receivers {
+            rx.recv().unwrap().unwrap();
+        }
+        sched.shutdown();
+    }
+
+    #[test]
+    fn delta_wakes_background_repair() {
+        let sched = scheduler(Duration::from_millis(1), 64);
+        let session = Arc::clone(sched.session());
+        let p = plan(25.0);
+        let rx = sched.submit(p.clone(), session.epoch()).unwrap();
+        rx.recv().unwrap().unwrap();
+        assert_eq!(session.cache_stats().entries, 1);
+        let delta = CatalogDelta::new().retire_algorithm(f1_components::names::DRONET);
+        let snapshot = sched.apply_delta(&delta).unwrap();
+        assert_eq!(snapshot.epoch().get(), 1);
+        // The repair thread refreshes the cached plan at the new epoch.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while sched.stats().background_repairs == 0 {
+            assert!(Instant::now() < deadline, "repair thread never ran");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let repaired = session.cached(p.key()).expect("repaired entry is cached");
+        let expected = Session::over(Arc::clone(session.store())).run(&p).unwrap();
+        assert_eq!(*repaired, *expected, "background repair is bit-identical");
+        sched.shutdown();
+        assert!(matches!(
+            sched.submit(p, session.epoch()),
+            Err(SubmitError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn mid_window_delta_answers_at_admission_epoch() {
+        let sched = scheduler(Duration::from_millis(150), 64);
+        let session = Arc::clone(sched.session());
+        let p = plan(18.0);
+        let admission = session.epoch();
+        let rx = sched.submit(p.clone(), admission).unwrap();
+        // While the window is open, retire a part the plan's candidates
+        // use. The in-flight job must still answer at epoch 0.
+        std::thread::sleep(Duration::from_millis(20));
+        sched
+            .apply_delta(&CatalogDelta::new().retire_compute(f1_components::names::TX2))
+            .unwrap();
+        let got = rx.recv().unwrap().unwrap();
+        let expected = Session::over(Arc::clone(session.store()))
+            .run_at(&p, admission)
+            .unwrap();
+        assert_eq!(*got, *expected, "old-epoch answer is bit-identical");
+        // A fresh run at the current epoch sees the retirement.
+        let now = Session::over(Arc::clone(session.store())).run(&p).unwrap();
+        assert!(now.len() < got.len());
+        sched.shutdown();
+    }
+}

@@ -391,6 +391,59 @@ impl ResultSet {
         }
     }
 
+    /// Non-panicking [`point`](Self::point): `None` when `index` is out
+    /// of range, or when a streamed result did not materialize the
+    /// point (only frontier ∪ top-k indices are stored then). This is
+    /// the accessor a serving tier should route client-supplied indices
+    /// through — a bad request becomes a structured error, not a dead
+    /// worker.
+    #[must_use]
+    pub fn try_point(&self, index: usize) -> Option<&QueryPoint> {
+        if index >= self.len() {
+            return None;
+        }
+        match &self.streamed {
+            Some(meta) => {
+                let r = meta.stored.binary_search(&index).ok()?;
+                Some(&self.segments[0][r])
+            }
+            None => match &self.kept {
+                None => Some(&self.segments[0][index]),
+                Some(kept) => {
+                    let r = kept[index];
+                    Some(&self.segments[r.segment as usize][r.index as usize])
+                }
+            },
+        }
+    }
+
+    /// Non-panicking [`points`](Self::points): `None` for a streamed
+    /// result, whose full point list was never materialized (use
+    /// [`stored_indices`](Self::stored_indices) with
+    /// [`try_point`](Self::try_point) instead).
+    #[must_use]
+    pub fn try_points(&self) -> Option<&[QueryPoint]> {
+        if self.streamed.is_some() {
+            return None;
+        }
+        Some(self.points())
+    }
+
+    /// Non-panicking [`row`](Self::row): the objective values of point
+    /// `index` across the columns, `None` when the index is out of
+    /// range or unstored in a streamed result.
+    #[must_use]
+    pub fn try_row(&self, index: usize) -> Option<Vec<f64>> {
+        if index >= self.len() {
+            return None;
+        }
+        let r = match &self.streamed {
+            Some(meta) => meta.stored.binary_search(&index).ok()?,
+            None => index,
+        };
+        Some(self.columns.iter().map(|c| c[r]).collect())
+    }
+
     /// Every kept point as a contiguous slice, in enumeration order.
     /// When this result shares a batch's point store and kept only a
     /// subset, the slice is materialized lazily on first call (and
@@ -2266,6 +2319,47 @@ impl Session {
         self.run_at_state(plan, &state)
     }
 
+    /// Probes the memo cache for a result by **canonical plan key** at
+    /// the store's current epoch, without parsing the key or running
+    /// anything — the serving fast path: an exact `(key, epoch)` repeat
+    /// is answered straight from the cache before the request ever
+    /// reaches a scheduler queue. Counts a [`CacheStats::hits`] on
+    /// success; a probe miss is not counted (the eventual
+    /// [`run`](Self::run)/[`run_batch`](Self::run_batch) will count the
+    /// pass it pays).
+    #[must_use]
+    pub fn cached(&self, key: &str) -> Option<Arc<ResultSet>> {
+        self.cached_at(key, self.store.current_epoch())
+    }
+
+    /// [`cached`](Self::cached) pinned at a specific epoch — what a
+    /// server probes for requests admitted before a catalog delta
+    /// landed.
+    #[must_use]
+    pub fn cached_at(&self, key: &str, epoch: CatalogEpoch) -> Option<Arc<ResultSet>> {
+        let hit = self.peek(key, epoch.get());
+        if hit.is_some() {
+            self.hits.fetch_add(1, AtomicOrdering::Relaxed);
+        }
+        hit
+    }
+
+    /// The distinct canonical plan keys currently memoized (at any
+    /// epoch), in unspecified order — cache introspection for a serving
+    /// tier's background repair: after a catalog delta, each returned
+    /// key can be [`refresh`](Self::refresh)ed to bring the hot entries
+    /// forward off the request path.
+    #[must_use]
+    pub fn cached_plan_keys(&self) -> Vec<String> {
+        self.cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .plans
+            .keys()
+            .cloned()
+            .collect()
+    }
+
     /// Executes a batch of plans (at the current epoch) in as few fused
     /// passes as their evaluation signatures allow — plans over the same
     /// subspace, knob settings and battery share **one** enumeration +
@@ -2279,7 +2373,35 @@ impl Session {
     ///
     /// Same as [`run`](Self::run); the first error aborts the batch.
     pub fn run_batch(&self, plans: &[QueryPlan]) -> Result<Vec<Arc<ResultSet>>, SkylineError> {
-        let state = self.current_state();
+        self.run_batch_state(plans, &self.current_state())
+    }
+
+    /// [`run_batch`](Self::run_batch) pinned at a published epoch — the
+    /// scheduler-side batch admission hook: a micro-batching server
+    /// groups concurrently admitted requests by their admission epoch
+    /// and coalesces each group into one shared pass, so a catalog
+    /// delta published mid-window never bleeds into results admitted
+    /// before it.
+    ///
+    /// # Errors
+    ///
+    /// [`SkylineError::UnknownEpoch`] when the store never published
+    /// `epoch`, plus everything [`run_batch`](Self::run_batch) can
+    /// produce.
+    pub fn run_batch_at(
+        &self,
+        plans: &[QueryPlan],
+        epoch: CatalogEpoch,
+    ) -> Result<Vec<Arc<ResultSet>>, SkylineError> {
+        let state = self.state_at(epoch)?;
+        self.run_batch_state(plans, &state)
+    }
+
+    fn run_batch_state(
+        &self,
+        plans: &[QueryPlan],
+        state: &EpochState,
+    ) -> Result<Vec<Arc<ResultSet>>, SkylineError> {
         let epoch = state.epoch().get();
         // Cache-served plans count a hit each; deduplicated uncached
         // work counts ONE miss per pass actually run, so the stats keep
@@ -2305,7 +2427,7 @@ impl Session {
             self.misses
                 .fetch_add(pending.len() as u64, AtomicOrdering::Relaxed);
             let refs: Vec<&QueryPlan> = pending.iter().map(|&i| &plans[i]).collect();
-            let results = run_plans(&self.pass_context(&state), &refs, true)?;
+            let results = run_plans(&self.pass_context(state), &refs, true)?;
             for (&i, result) in pending.iter().zip(results) {
                 let result = Arc::new(result);
                 self.insert(plans[i].key(), epoch, Arc::clone(&result));

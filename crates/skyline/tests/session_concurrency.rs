@@ -1,0 +1,148 @@
+//! Concurrency stress: one shared `Session` hammered from many threads
+//! with overlapping `run`, `run_at`, `run_batch` and `refresh` calls
+//! across several published epochs. Every concurrent answer must be
+//! bit-identical to a serial reference evaluation, and the memo cache
+//! must never serve a poisoned (wrong-plan or wrong-epoch) entry.
+//!
+//! This is the safety argument behind `f1-serve`: the server shares one
+//! session between its cache fast path, the coalescing batch executors
+//! and the background repair thread.
+
+use std::sync::Arc;
+
+use f1_components::{Catalog, CatalogDelta, CatalogEpoch, CatalogStore};
+use f1_skyline::plan::QueryPlan;
+use f1_skyline::query::{Constraint, Objective};
+use f1_skyline::session::{ResultSet, Session};
+use f1_units::{Hertz, Watts};
+
+const THREADS: usize = 8;
+const ITERATIONS: usize = 20;
+const EPOCHS: usize = 3;
+
+/// A small synthetic catalog: 8 parts per family ⇒ 512 candidates per
+/// airframe × 8 airframes, large enough to exercise the parallel pass,
+/// small enough for 160 concurrent runs.
+fn store_with_epochs() -> Arc<CatalogStore> {
+    let store = Arc::new(CatalogStore::from_shared(Arc::new(Catalog::synthesize(
+        7, 8,
+    ))));
+    store
+        .apply(&CatalogDelta::new().patch_throughput(
+            "Synth Compute 000000",
+            "Synth Algorithm 000001",
+            Hertz::new(50.0),
+        ))
+        .expect("epoch 1 publishes");
+    store
+        .apply(&CatalogDelta::new().retire_compute("Synth Compute 000003"))
+        .expect("epoch 2 publishes");
+    store
+}
+
+fn plans() -> Vec<QueryPlan> {
+    let mut plans = Vec::new();
+    for cap in [5.0, 12.0, 25.0, 60.0] {
+        plans.push(
+            QueryPlan::builder()
+                .objectives(&[Objective::SafeVelocity, Objective::TotalTdp])
+                .constraint(Constraint::MaxTotalTdp(Watts::new(cap)))
+                .build()
+                .expect("plan builds"),
+        );
+    }
+    for cap in [18.0, 45.0] {
+        plans.push(
+            QueryPlan::builder()
+                .objectives(&[
+                    Objective::SafeVelocity,
+                    Objective::TotalTdp,
+                    Objective::PayloadMass,
+                ])
+                .constraint(Constraint::MaxTotalTdp(Watts::new(cap)))
+                .build()
+                .expect("plan builds"),
+        );
+    }
+    plans
+}
+
+#[test]
+fn shared_session_is_bit_identical_under_thread_storm() {
+    let store = store_with_epochs();
+    let plans = plans();
+
+    // Serial reference: every (plan, epoch) pair evaluated cold on its
+    // own session — the ground truth the storm must reproduce exactly.
+    let reference = Session::over(Arc::clone(&store));
+    let expected: Vec<Vec<Arc<ResultSet>>> = plans
+        .iter()
+        .map(|plan| {
+            (0..EPOCHS as u64)
+                .map(|e| {
+                    reference
+                        .run_at(plan, CatalogEpoch::from_raw(e))
+                        .expect("reference run")
+                })
+                .collect()
+        })
+        .collect();
+    let current = EPOCHS - 1;
+
+    let session = Arc::new(Session::over(Arc::clone(&store)));
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let session = Arc::clone(&session);
+            let plans = &plans;
+            let expected = &expected;
+            scope.spawn(move || {
+                for iter in 0..ITERATIONS {
+                    let i = (t * 7 + iter) % plans.len();
+                    match (t + iter) % 4 {
+                        0 => {
+                            let got = session.run(&plans[i]).expect("run");
+                            assert_eq!(*got, *expected[i][current], "run (plan {i})");
+                        }
+                        1 => {
+                            let e = (t + iter) % EPOCHS;
+                            let got = session
+                                .run_at(&plans[i], CatalogEpoch::from_raw(e as u64))
+                                .expect("run_at");
+                            assert_eq!(*got, *expected[i][e], "run_at (plan {i}, epoch {e})");
+                        }
+                        2 => {
+                            let j = (i + 1) % plans.len();
+                            let batch = [plans[i].clone(), plans[j].clone()];
+                            let got = session.run_batch(&batch).expect("run_batch");
+                            assert_eq!(*got[0], *expected[i][current], "batch[0] (plan {i})");
+                            assert_eq!(*got[1], *expected[j][current], "batch[1] (plan {j})");
+                        }
+                        _ => {
+                            let got = session.refresh(&plans[i]).expect("refresh");
+                            assert_eq!(*got, *expected[i][current], "refresh (plan {i})");
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // No cache poisoning: every surviving memo entry still matches its
+    // serial reference at the exact (plan, epoch) it claims to hold.
+    for (i, plan) in plans.iter().enumerate() {
+        for (e, reference) in expected[i].iter().enumerate() {
+            if let Some(cached) = session.cached_at(plan.key(), CatalogEpoch::from_raw(e as u64)) {
+                assert_eq!(
+                    *cached, **reference,
+                    "cached entry poisoned (plan {i}, epoch {e})"
+                );
+            }
+        }
+    }
+    // The storm re-used cached results heavily (concurrent first
+    // touches may race to a handful of duplicate cold passes, but the
+    // steady state is hits).
+    let stats = session.cache_stats();
+    assert!(stats.entries > 0, "{stats:?}");
+    assert!(stats.hits > 0, "{stats:?}");
+}
