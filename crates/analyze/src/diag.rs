@@ -1,0 +1,58 @@
+//! Findings: what a pass reports and how the driver renders it.
+
+use std::fmt;
+
+/// One finding from one pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The pass that produced it (`panic`, `lock`, `determinism`,
+    /// `wire`, `annotation`).
+    pub pass: &'static str,
+    /// Workspace-relative file (empty for corpus-level wire findings).
+    pub file: String,
+    /// 1-indexed line (0 when the finding has no line anchor).
+    pub line: usize,
+    /// What is wrong and what to do about it.
+    pub message: String,
+}
+
+impl Finding {
+    /// Builds a finding anchored to a source line.
+    #[must_use]
+    pub fn at(pass: &'static str, file: &str, line: usize, message: impl Into<String>) -> Self {
+        Self {
+            pass,
+            file: file.to_owned(),
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.file.is_empty() {
+            write!(f, "[{}] {}", self.pass, self.message)
+        } else if self.line == 0 {
+            write!(f, "{}: [{}] {}", self.file, self.pass, self.message)
+        } else {
+            write!(
+                f,
+                "{}:{}: [{}] {}",
+                self.file, self.line, self.pass, self.message
+            )
+        }
+    }
+}
+
+/// Sorts findings for stable output: by file, line, pass, message.
+pub fn sort(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.pass, a.message.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.pass,
+            b.message.as_str(),
+        ))
+    });
+}

@@ -1,0 +1,438 @@
+//! A small comment/string-aware Rust tokenizer.
+//!
+//! The offline build environment has no `syn`/`proc-macro2`, so the
+//! analyzer lexes source text itself. It produces a flat token stream
+//! with line numbers — enough structure for pattern-level lints
+//! (`.unwrap()`, `lock(...)`, `#[cfg(test)] mod … { … }`) without a
+//! full parse — plus the comment text, which carries the
+//! `analyze::allow(...)` annotations.
+//!
+//! The lexer is intentionally forgiving: unknown characters become
+//! punctuation tokens and malformed literals are consumed to end of
+//! line, so a file that `rustc` rejects still tokenizes (the passes run
+//! before the build in CI).
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-indexed source line the token starts on.
+    pub line: usize,
+    /// What was lexed.
+    pub kind: TokenKind,
+}
+
+/// Token categories the passes pattern-match on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unwrap`, `fn`, `self`, …).
+    Ident(String),
+    /// A single punctuation character (`.`, `(`, `[`, `!`, …).
+    Punct(char),
+    /// A string/char/byte literal. Double-quoted (and raw) strings keep
+    /// their inner text — the determinism pass inspects format strings
+    /// for float-risky placeholders; char/byte literals carry "".
+    Literal(String),
+    /// A numeric literal.
+    Number,
+    /// A lifetime (`'a`) or loop label.
+    Lifetime,
+}
+
+/// A comment with its location (line comments keep their text so the
+/// annotation parser can read `analyze::allow(...)`; block comments are
+/// split per line).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-indexed line the comment text sits on.
+    pub line: usize,
+    /// The comment text without its `//` / `/*` markers.
+    pub text: String,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The significant tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Every comment, in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes Rust source text into tokens and comments.
+#[must_use]
+pub fn lex(source: &str) -> Lexed {
+    Lexer {
+        bytes: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    out: Lexed,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Lexed {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b if b.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'r' | b'b' if self.raw_or_byte_prefix() => {}
+                b'\'' => self.char_or_lifetime(),
+                b if b.is_ascii_digit() => self.number(),
+                b if b.is_ascii_alphabetic() || b == b'_' => self.ident(),
+                other => {
+                    self.push(TokenKind::Punct(other as char));
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind) {
+        self.out.tokens.push(Token {
+            line: self.line,
+            kind,
+        });
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos + 2;
+        let mut end = start;
+        while end < self.bytes.len() && self.bytes[end] != b'\n' {
+            end += 1;
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..end]).into_owned();
+        self.out.comments.push(Comment {
+            line: self.line,
+            text,
+        });
+        self.pos = end;
+    }
+
+    fn block_comment(&mut self) {
+        self.pos += 2;
+        let mut depth = 1usize;
+        let mut text_start = self.pos;
+        while self.pos < self.bytes.len() && depth > 0 {
+            match (self.bytes[self.pos], self.peek(1)) {
+                (b'/', Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (b'*', Some(b'/')) => {
+                    depth -= 1;
+                    self.flush_block_comment_line(text_start, self.pos);
+                    self.pos += 2;
+                    text_start = self.pos;
+                }
+                (b'\n', _) => {
+                    self.flush_block_comment_line(text_start, self.pos);
+                    self.line += 1;
+                    self.pos += 1;
+                    text_start = self.pos;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    fn flush_block_comment_line(&mut self, start: usize, end: usize) {
+        if end > start {
+            let text = String::from_utf8_lossy(&self.bytes[start..end]).into_owned();
+            self.out.comments.push(Comment {
+                line: self.line,
+                text,
+            });
+        }
+    }
+
+    fn string(&mut self) {
+        let line = self.line;
+        let start = self.pos + 1;
+        self.pos += 1; // opening quote
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                    self.out.tokens.push(Token {
+                        line,
+                        kind: TokenKind::Literal(text),
+                    });
+                    self.pos += 1;
+                    return;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.out.tokens.push(Token {
+            line,
+            kind: TokenKind::Literal(String::new()),
+        });
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'` prefixes.
+    /// Returns false when the `r`/`b` is just an identifier start (the
+    /// caller then lexes it as an ident).
+    fn raw_or_byte_prefix(&mut self) -> bool {
+        let b0 = self.bytes[self.pos];
+        let mut look = self.pos + 1;
+        if b0 == b'b' {
+            match self.bytes.get(look) {
+                Some(b'\'') => {
+                    // b'x' byte literal.
+                    self.push(TokenKind::Literal(String::new()));
+                    self.pos = look + 1;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        match b {
+                            b'\\' => self.pos += 2,
+                            b'\'' => {
+                                self.pos += 1;
+                                return true;
+                            }
+                            _ => self.pos += 1,
+                        }
+                    }
+                    return true;
+                }
+                Some(b'"') => {
+                    self.pos = look;
+                    self.string();
+                    return true;
+                }
+                Some(b'r') => look += 1,
+                _ => return self.ident_is_fallback(),
+            }
+        }
+        // Raw string: r…, optionally with `#` fencing.
+        let mut hashes = 0usize;
+        while self.bytes.get(look) == Some(&b'#') {
+            hashes += 1;
+            look += 1;
+        }
+        if self.bytes.get(look) != Some(&b'"') {
+            return self.ident_is_fallback();
+        }
+        let line = self.line;
+        let start = look + 1;
+        self.pos = look + 1;
+        // Scan for `"` followed by `hashes` hashes.
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'\n' {
+                self.line += 1;
+                self.pos += 1;
+                continue;
+            }
+            if self.bytes[self.pos] == b'"' {
+                let mut h = 0usize;
+                while h < hashes && self.bytes.get(self.pos + 1 + h) == Some(&b'#') {
+                    h += 1;
+                }
+                if h == hashes {
+                    let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                    self.out.tokens.push(Token {
+                        line,
+                        kind: TokenKind::Literal(text),
+                    });
+                    self.pos += 1 + hashes;
+                    return true;
+                }
+            }
+            self.pos += 1;
+        }
+        self.out.tokens.push(Token {
+            line,
+            kind: TokenKind::Literal(String::new()),
+        });
+        true
+    }
+
+    fn ident_is_fallback(&mut self) -> bool {
+        self.ident();
+        true
+    }
+
+    fn char_or_lifetime(&mut self) {
+        // 'a (lifetime) vs 'a' (char literal): a lifetime's ident is
+        // not followed by a closing quote.
+        let mut look = self.pos + 1;
+        if self
+            .bytes
+            .get(look)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+        {
+            while self
+                .bytes
+                .get(look)
+                .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+            {
+                look += 1;
+            }
+            if self.bytes.get(look) != Some(&b'\'') {
+                self.push(TokenKind::Lifetime);
+                self.pos = look;
+                return;
+            }
+        }
+        // Char literal: consume through the closing quote.
+        self.push(TokenKind::Literal(String::new()));
+        self.pos += 1;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'\\' => self.pos += 2,
+                b'\'' => {
+                    self.pos += 1;
+                    return;
+                }
+                b'\n' => return, // malformed; bail at end of line
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        self.push(TokenKind::Number);
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'e' | b'E' => {
+                    self.pos += 1;
+                    if matches!(self.peek(0), Some(b'+' | b'-')) {
+                        self.pos += 1;
+                    }
+                }
+                b'0'..=b'9'
+                | b'_'
+                | b'a'..=b'd'
+                | b'f'
+                | b'i'
+                | b'o'
+                | b'u'
+                | b'x'
+                | b'A'..=b'D'
+                | b'F' => self.pos += 1,
+                // `1.5` continues the number; `1..n` does not.
+                b'.' if self.peek(1).is_some_and(|b| b.is_ascii_digit()) => self.pos += 1,
+                _ => break,
+            }
+        }
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+        {
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.push(TokenKind::Ident(text));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn skips_comments_and_strings() {
+        let src = r##"
+            // a comment with .unwrap() inside
+            /* block .expect( */
+            let s = "panic!(\"not real\")";
+            let r = r#"also .unwrap() not real"#;
+            real.unwrap();
+        "##;
+        let ids = idents(src);
+        assert_eq!(
+            ids.iter().filter(|s| s.as_str() == "unwrap").count(),
+            1,
+            "only the real call site is an ident: {ids:?}"
+        );
+        let comments = lex(src).comments;
+        assert!(comments[0].text.contains(".unwrap()"));
+        assert!(comments[1].text.contains(".expect("));
+    }
+
+    #[test]
+    fn tracks_lines() {
+        let src = "a\nb\n  c";
+        let lexed = lex(src);
+        let lines: Vec<usize> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; }";
+        let lexed = lex(src);
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let literals = lexed
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Literal(_)))
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(literals, 1);
+    }
+
+    #[test]
+    fn byte_and_raw_literals() {
+        let src = "self.expect(b'{')?; let b2 = b\"bytes\"; let r = br#\"raw\"#;";
+        let ids = idents(src);
+        assert!(ids.contains(&"expect".to_owned()));
+        // b'{' must not swallow the rest of the line as a char literal.
+        assert!(ids.contains(&"b2".to_owned()));
+        assert!(ids.contains(&"r".to_owned()));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let src = "for i in 0..10 { x[i]; } let f = 1.5e-3;";
+        let lexed = lex(src);
+        let numbers = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .count();
+        assert_eq!(numbers, 3); // 0, 10, 1.5e-3
+    }
+}

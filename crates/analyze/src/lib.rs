@@ -1,0 +1,276 @@
+//! `f1-analyze` — the workspace invariant checker.
+//!
+//! A serving system earns its availability story twice: once in the
+//! code and once in the checks that keep the code honest. This crate is
+//! the second half, hand-rolled on `std` (the workspace builds offline
+//! — no `syn`, no proc macros): a comment/string-aware Rust tokenizer
+//! ([`lexer`]), a per-file source model ([`source`]) and four analyses
+//! ([`passes`]) over the workspace sources:
+//!
+//! 1. **Panic-path audit** ([`passes::panics`]) — no unannotated
+//!    `unwrap`/`expect`/`panic!`/direct indexing in the designated
+//!    server-facing modules.
+//! 2. **Lock-order analysis** ([`passes::locks`]) — the inter-lock
+//!    acquisition graph of the scheduler/session/store must stay
+//!    acyclic, and no blocking call may run while holding a
+//!    non-exempted lock.
+//! 3. **Determinism lint** ([`passes::determinism`]) — no hash-order
+//!    iteration or ad-hoc float formatting on paths that feed plan
+//!    keys, wire bodies or digests.
+//! 4. **Wire-format drift check** ([`passes::wire`]) — plan keys,
+//!    `ResultSet::to_json`, protocol bodies and catalog-delta
+//!    digests are byte-compared against a golden corpus.
+//!
+//! Justified violations carry an inline annotation with a written
+//! reason:
+//!
+//! ```text
+//! // analyze::allow(panic, reason = "internal invariant: epoch list is never empty")
+//! ```
+//!
+//! Annotations are themselves checked: malformed ones and ones that no
+//! longer suppress anything (stale allows) are findings. CI runs
+//! `f1-analyze --workspace --deny` as a hard gate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod lexer;
+pub mod passes;
+pub mod source;
+
+use std::path::{Path, PathBuf};
+
+use diag::Finding;
+use source::SourceFile;
+
+/// What to analyze and how strictly.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Workspace root (the directory holding the top-level `Cargo.toml`).
+    pub root: PathBuf,
+    /// Pass names to run (`panic`, `lock`, `determinism`, `wire`);
+    /// empty means all four plus the annotation checks.
+    pub passes: Vec<String>,
+    /// Regenerate the wire goldens instead of comparing against them.
+    pub bless: bool,
+}
+
+impl Options {
+    /// All passes over the workspace rooted at `root`.
+    #[must_use]
+    pub fn workspace(root: impl Into<PathBuf>) -> Self {
+        Self {
+            root: root.into(),
+            passes: Vec::new(),
+            bless: false,
+        }
+    }
+
+    fn runs(&self, pass: &str) -> bool {
+        self.passes.is_empty() || self.passes.iter().any(|p| p == pass)
+    }
+}
+
+/// The known pass names, in report order.
+pub const PASS_NAMES: [&str; 4] = ["panic", "lock", "determinism", "wire"];
+
+/// Collects the workspace-relative paths of every first-party `.rs`
+/// file under `crates/` (skipping build output and the golden corpus).
+/// The analyzer's own crate is excluded: its sources and docs are full
+/// of lint-pattern examples by necessity, the same way a linter's
+/// fixture files are not lint targets.
+///
+/// # Errors
+///
+/// Propagates directory-walk I/O errors.
+pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    let crates = root.join("crates");
+    walk(&crates, &mut |path| {
+        if path.extension().is_some_and(|e| e == "rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                let rel = rel.to_string_lossy().replace('\\', "/");
+                if !rel.starts_with("crates/analyze/") {
+                    out.push(rel);
+                }
+            }
+        }
+    })?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, visit: &mut impl FnMut(&Path)) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        if path.is_dir() {
+            if name == "target" || name == "golden" || name == ".git" {
+                continue;
+            }
+            walk(&path, visit)?;
+        } else {
+            visit(&path);
+        }
+    }
+    Ok(())
+}
+
+/// Runs the selected passes and returns the sorted findings.
+///
+/// # Errors
+///
+/// I/O errors reading the workspace sources.
+pub fn run(options: &Options) -> std::io::Result<Vec<Finding>> {
+    let rels = workspace_sources(&options.root)?;
+    let mut files = Vec::with_capacity(rels.len());
+    for rel in &rels {
+        files.push(SourceFile::load(&options.root, rel)?);
+    }
+    let mut findings = run_over(options, &files);
+    diag::sort(&mut findings);
+    Ok(findings)
+}
+
+/// Runs the selected passes over already-loaded files (the testable
+/// core of [`run`]).
+#[must_use]
+pub fn run_over(options: &Options, files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in files {
+        if options.runs("panic") {
+            findings.extend(passes::panics::check(file));
+        }
+        if options.runs("determinism") {
+            findings.extend(passes::determinism::check(file));
+        }
+    }
+    if options.runs("lock") {
+        findings.extend(passes::locks::check(files).findings);
+    }
+    if options.runs("wire") {
+        findings.extend(passes::wire::check(&options.root, options.bless));
+    }
+    // Annotation hygiene: malformed annotations always; stale-allow
+    // detection only when every pass ran (a single-pass run leaves the
+    // other passes' annotations legitimately unused).
+    for file in files {
+        for (line, why) in &file.bad_annotations {
+            findings.push(Finding::at("annotation", &file.rel, *line, why.clone()));
+        }
+        if options.passes.is_empty() {
+            for allow in &file.allows {
+                if !allow.used.get() {
+                    findings.push(Finding::at(
+                        "annotation",
+                        &file.rel,
+                        allow.at_line,
+                        format!(
+                            "stale `analyze::allow({}, …)` — it no longer suppresses any \
+                             finding; remove it (reason was: {})",
+                            allow.lint, allow.reason
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> Options {
+        // Passes that need no filesystem.
+        Options {
+            root: PathBuf::from("/nonexistent"),
+            passes: vec!["panic".into(), "lock".into(), "determinism".into()],
+            bless: false,
+        }
+    }
+
+    #[test]
+    fn run_over_aggregates_passes() {
+        let files = vec![SourceFile::parse(
+            "crates/serve/src/scheduler.rs",
+            "
+struct S { a: Mutex<u32>, b: Mutex<u32>, plans: HashMap<String, u32> }
+impl S {
+  fn f(&self) {
+    let ga = self.a.lock();
+    let gb = self.b.lock();
+    x.unwrap();
+    for k in self.plans.keys() { touch(k); }
+  }
+  fn g(&self) { let gb = self.b.lock(); let ga = self.a.lock(); }
+}
+",
+        )];
+        let found = run_over(&opts(), &files);
+        let passes: Vec<&str> = found.iter().map(|f| f.pass).collect();
+        assert!(passes.contains(&"panic"), "{found:?}");
+        assert!(passes.contains(&"lock"), "{found:?}");
+        assert!(passes.contains(&"determinism"), "{found:?}");
+    }
+
+    #[test]
+    fn bad_annotations_are_findings() {
+        let files = vec![SourceFile::parse(
+            "crates/serve/src/server.rs",
+            "// analyze::allow(panic)\nfn f() {}\n",
+        )];
+        let found = run_over(&opts(), &files);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].pass, "annotation");
+    }
+
+    #[test]
+    fn stale_allows_are_findings_on_full_runs() {
+        let files = vec![SourceFile::parse(
+            "crates/serve/src/server.rs",
+            "fn f() {\n  // analyze::allow(panic, reason = \"nothing here panics\")\n  let x = 1;\n}\n",
+        )];
+        // Single-pass run: stale detection off.
+        let found = run_over(&opts(), &files);
+        assert!(found.is_empty(), "{found:?}");
+        // Full run (minus wire, which needs a real workspace root):
+        // simulate by running all source passes with empty filter but
+        // a wire-less option set is not expressible, so check the
+        // stale logic through run_over with passes = [] on a file set
+        // and tolerate the wire corpus findings' absence (wire only
+        // reports against the golden dir, which is missing → findings
+        // with pass "wire").
+        let full = Options {
+            root: std::env::temp_dir().join("f1-analyze-stale-test"),
+            passes: Vec::new(),
+            bless: false,
+        };
+        let found = run_over(&full, &files);
+        assert!(
+            found
+                .iter()
+                .any(|f| f.pass == "annotation" && f.message.contains("stale")),
+            "{found:?}"
+        );
+    }
+
+    #[test]
+    fn used_allows_are_not_stale() {
+        let files = vec![SourceFile::parse(
+            "crates/serve/src/server.rs",
+            "fn f() {\n  // analyze::allow(panic, reason = \"startup only\")\n  x.unwrap();\n}\n",
+        )];
+        let full = Options {
+            root: std::env::temp_dir().join("f1-analyze-stale-test"),
+            passes: Vec::new(),
+            bless: false,
+        };
+        let found = run_over(&full, &files);
+        assert!(!found.iter().any(|f| f.pass == "annotation"), "{found:?}");
+    }
+}

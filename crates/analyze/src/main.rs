@@ -1,0 +1,114 @@
+//! The `f1-analyze` binary: runs the workspace invariant checks and
+//! reports findings. See the library docs ([`f1_analyze`]) for what the
+//! passes do; CI's hard gate is `f1-analyze --workspace --deny`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use f1_analyze::{diag::Finding, Options, PASS_NAMES};
+
+const USAGE: &str = "\
+f1-analyze — workspace invariant checker
+
+USAGE:
+    f1-analyze [--workspace] [--deny] [--pass NAME]... [--bless] [--root PATH]
+
+OPTIONS:
+    --workspace     Analyze the whole workspace (the default; kept
+                    explicit for CI command lines)
+    --deny          Exit nonzero when any finding is reported
+    --pass NAME     Run only the named pass (panic|lock|determinism|wire);
+                    repeatable. Default: all passes + annotation checks
+    --bless         Regenerate the wire-format golden corpus from the
+                    live encoders instead of comparing against it
+    --root PATH     Workspace root (default: ancestor of this binary's
+                    manifest, falling back to the current directory)
+    -h, --help      Show this help
+";
+
+fn parse_args() -> Result<(Options, bool), String> {
+    let mut root: Option<PathBuf> = None;
+    let mut passes = Vec::new();
+    let mut deny = false;
+    let mut bless = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => {}
+            "--deny" => deny = true,
+            "--bless" => bless = true,
+            "--pass" => {
+                let name = args.next().ok_or("--pass requires a pass name")?;
+                if !PASS_NAMES.contains(&name.as_str()) {
+                    return Err(format!("unknown pass {name:?} (expected {PASS_NAMES:?})"));
+                }
+                passes.push(name);
+            }
+            "--root" => {
+                root = Some(PathBuf::from(args.next().ok_or("--root requires a path")?));
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    let root = root.unwrap_or_else(default_root);
+    let mut options = Options::workspace(root);
+    options.passes = passes;
+    options.bless = bless;
+    Ok((options, deny))
+}
+
+/// The workspace root: this crate's manifest dir is
+/// `<root>/crates/analyze`, so two ancestors up; fall back to the
+/// current directory for a relocated binary.
+fn default_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .ancestors()
+        .nth(2)
+        .filter(|p| p.join("Cargo.toml").is_file())
+        .map_or_else(|| PathBuf::from("."), PathBuf::from)
+}
+
+fn main() -> ExitCode {
+    let (options, deny) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(why) => {
+            eprintln!("error: {why}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let findings: Vec<Finding> = match f1_analyze::run(&options) {
+        Ok(findings) => findings,
+        Err(e) => {
+            eprintln!("error: failed to analyze workspace: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for finding in &findings {
+        println!("{finding}");
+    }
+    let which = if options.passes.is_empty() {
+        "all passes".to_owned()
+    } else {
+        options.passes.join(", ")
+    };
+    if findings.is_empty() {
+        println!("f1-analyze: clean ({which})");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "f1-analyze: {} finding{} ({which})",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" }
+        );
+        if deny {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}

@@ -1,0 +1,1021 @@
+//! Pass 2 — lock-order analysis.
+//!
+//! The scheduler's window-collector protocol and the session's memo
+//! cache are Mutex+Condvar state machines; a deadlock needs only two
+//! locks acquired in opposite orders, or a blocking call made while a
+//! lock is held. This pass:
+//!
+//! 1. finds every `Mutex`/`RwLock`/`Condvar` declaration in the scoped
+//!    files and every acquisition site (`x.lock()`, the
+//!    `lock(&self.queue)` poison-tolerant helpers, and calls to
+//!    guard-returning methods like `CatalogStore::lock`);
+//! 2. tracks guard lifetimes per function (a `let`-bound guard lives to
+//!    the end of its block or an explicit `drop(guard)`; a temporary
+//!    dies at its statement's semicolon);
+//! 3. builds the inter-lock acquisition graph — an edge A→B means "B
+//!    was acquired while A was held", including one level of
+//!    call-graph closure through functions that acquire locks — and
+//!    fails on any cycle (including A→A recursive acquisition);
+//! 4. flags blocking calls (`wait*`, `recv*`, `join`, `sleep`, and the
+//!    heavy executor entry points `run_batch_at`/`run_batch`/
+//!    `run_plans`/`run_at`/`refresh`) made while holding a lock. A
+//!    condvar wait is exempt for the guard it atomically releases —
+//!    that *is* the protocol — but any **other** lock held across the
+//!    wait is a deadlock-in-waiting and is flagged.
+//!
+//! Findings are suppressed by `// analyze::allow(lock, reason = "…")`.
+//! The analysis is token-level and heuristic: `self.name(…)` and free
+//! `name(…)` calls are resolved by name (same-impl first, then
+//! unique-across-workspace); dotted calls on any other receiver are
+//! never resolved (the receiver's type is unknown at token level, so
+//! `handle.join()` must not borrow the summary of some unrelated
+//! `fn join`). A guard counts as `let`-bound only when the acquisition
+//! chain ends its statement — `self.cache.lock().unwrap_or_else(…)
+//! .get(k)` consumes the guard inside the statement, so it is treated
+//! as a temporary that dies at the semicolon.
+
+use std::collections::BTreeMap;
+
+use crate::diag::Finding;
+use crate::lexer::TokenKind;
+use crate::source::{FnItem, SourceFile};
+
+/// Files whose lock discipline the pass checks.
+#[must_use]
+pub fn is_scoped(rel: &str) -> bool {
+    matches!(
+        rel,
+        "crates/serve/src/scheduler.rs"
+            | "crates/serve/src/server.rs"
+            | "crates/skyline/src/session.rs"
+            | "crates/components/src/store.rs"
+    )
+}
+
+const BLOCKING: [&str; 11] = [
+    "wait",
+    "wait_timeout",
+    "wait_while",
+    "recv",
+    "recv_timeout",
+    "join",
+    "sleep",
+    "run_batch_at",
+    "run_batch",
+    "run_plans",
+    "run_at",
+];
+
+/// `(lock id, blocking fn)` pairs that are part of a reviewed protocol
+/// and allowed without an inline annotation. Deliberately empty: every
+/// exemption lives next to the code it exempts, as an
+/// `analyze::allow(lock, …)` annotation with a reason.
+const ALLOWED_BLOCKING: [(&str, &str); 0] = [];
+
+#[derive(Debug, Clone)]
+struct Guard {
+    lock: String,
+    depth: usize,
+    binding: Option<String>,
+    stmt_scoped: bool,
+}
+
+#[derive(Debug, Default, Clone)]
+struct FnSummary {
+    /// Locks this function acquires anywhere inside (transitive).
+    acquires: Vec<String>,
+    /// The lock whose guard this function returns, if its signature
+    /// returns a `MutexGuard`/`RwLock*Guard`.
+    returns_guard_of: Option<String>,
+}
+
+/// An edge in the inter-lock acquisition graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edge {
+    /// The lock already held.
+    pub held: String,
+    /// The lock acquired while `held` was held.
+    pub acquired: String,
+    /// Where the acquisition happened.
+    pub file: String,
+    /// Line of the acquisition.
+    pub line: usize,
+}
+
+/// The outcome of the analysis: findings plus the graph (for
+/// `--verbose` display and the self-tests).
+#[derive(Debug, Default)]
+pub struct LockReport {
+    /// Deadlock findings.
+    pub findings: Vec<Finding>,
+    /// Every held→acquired edge observed.
+    pub edges: Vec<Edge>,
+    /// Every lock discovered, as `file_stem::field` ids.
+    pub locks: Vec<String>,
+}
+
+/// Runs the lock-order analysis over the scoped subset of `files`.
+#[must_use]
+pub fn check(files: &[SourceFile]) -> LockReport {
+    let scoped: Vec<&SourceFile> = files.iter().filter(|f| is_scoped(&f.rel)).collect();
+    let mut report = LockReport::default();
+    if scoped.is_empty() {
+        return report;
+    }
+    let registry = Registry::build(&scoped);
+    report.locks = registry.lock_ids();
+
+    // Fixpoint over call-graph summaries: direct acquisitions first,
+    // then propagate through resolvable calls until stable.
+    let mut summaries: BTreeMap<String, FnSummary> = BTreeMap::new();
+    for file in &scoped {
+        for f in &file.fns {
+            let key = fn_key(file, f);
+            let mut summary = FnSummary {
+                acquires: direct_acquisitions(file, f, &registry),
+                returns_guard_of: None,
+            };
+            if signature_returns_guard(file, f) {
+                if let [only] = summary.acquires.as_slice() {
+                    summary.returns_guard_of = Some(only.clone());
+                }
+            }
+            summaries.insert(key, summary);
+        }
+    }
+    loop {
+        let mut changed = false;
+        for file in &scoped {
+            for f in &file.fns {
+                let mut acquired = summaries[&fn_key(file, f)].acquires.clone();
+                for callee in resolved_calls(file, f, &scoped) {
+                    if let Some(callee_summary) = summaries.get(&callee) {
+                        for lock in callee_summary.acquires.clone() {
+                            if !acquired.contains(&lock) {
+                                acquired.push(lock);
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+                summaries
+                    .get_mut(&fn_key(file, f))
+                    .expect("inserted above")
+                    .acquires = acquired;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Walk every function body tracking guard lifetimes.
+    for file in &scoped {
+        for f in &file.fns {
+            if file.in_test_code(f.line) {
+                continue;
+            }
+            walk_fn(file, f, &registry, &summaries, &scoped, &mut report);
+        }
+    }
+
+    // Cycle detection over the collected edges.
+    detect_cycles(&mut report);
+    report
+}
+
+fn fn_key(file: &SourceFile, f: &FnItem) -> String {
+    match &f.impl_type {
+        Some(t) => format!("{}::{}::{}", file.rel, t, f.name),
+        None => format!("{}::{}", file.rel, f.name),
+    }
+}
+
+fn file_stem(rel: &str) -> &str {
+    rel.rsplit('/')
+        .next()
+        .and_then(|f| f.strip_suffix(".rs"))
+        .unwrap_or(rel)
+}
+
+/// Lock and condvar declarations across the scoped files.
+struct Registry {
+    /// Field/local name → lock id (`scheduler::queue`).
+    locks: BTreeMap<String, String>,
+    /// Condvar field names.
+    condvars: Vec<String>,
+}
+
+impl Registry {
+    fn build(files: &[&SourceFile]) -> Self {
+        let mut locks = BTreeMap::new();
+        let mut condvars = Vec::new();
+        for file in files {
+            let tokens = &file.tokens;
+            for (i, t) in tokens.iter().enumerate() {
+                let TokenKind::Ident(name) = &t.kind else {
+                    continue;
+                };
+                let is_lock = (name == "Mutex" || name == "RwLock")
+                    && matches!(tokens.get(i + 1), Some(n) if n.kind == TokenKind::Punct('<'));
+                let is_condvar = name == "Condvar";
+                if !is_lock && !is_condvar {
+                    continue;
+                }
+                if let Some(field) = declared_name(tokens, i) {
+                    if is_lock {
+                        locks
+                            .entry(field.clone())
+                            .or_insert_with(|| format!("{}::{field}", file_stem(&file.rel)));
+                    } else {
+                        condvars.push(field);
+                    }
+                }
+            }
+        }
+        Self { locks, condvars }
+    }
+
+    fn lock_ids(&self) -> Vec<String> {
+        self.locks.values().cloned().collect()
+    }
+
+    fn lock_id(&self, name: &str) -> Option<&str> {
+        self.locks.get(name).map(String::as_str)
+    }
+
+    fn is_condvar(&self, name: &str) -> bool {
+        self.condvars.iter().any(|c| c == name)
+    }
+}
+
+/// For a type ident at `i` (`Mutex`/`RwLock`/`Condvar`), walks back over
+/// any `path::to::` prefix to the `field: Type` or `let name = Type::…`
+/// declaration and returns the declared name.
+fn declared_name(tokens: &[crate::lexer::Token], i: usize) -> Option<String> {
+    let mut pos = i;
+    // Skip `seg ::` path prefixes.
+    while pos >= 3
+        && tokens[pos - 1].kind == TokenKind::Punct(':')
+        && tokens[pos - 2].kind == TokenKind::Punct(':')
+        && matches!(tokens[pos - 3].kind, TokenKind::Ident(_))
+    {
+        pos -= 3;
+    }
+    // Field declaration: `name : Type`.
+    if pos >= 2 && tokens[pos - 1].kind == TokenKind::Punct(':') {
+        // Exclude `::` (already skipped) and `&Type` params.
+        if let TokenKind::Ident(name) = &tokens[pos - 2].kind {
+            return Some(name.clone());
+        }
+    }
+    // Local: `let [mut] name = Type::new(…)`.
+    if pos >= 3 && tokens[pos - 1].kind == TokenKind::Punct('=') {
+        let mut j = pos - 2;
+        if let TokenKind::Ident(name) = &tokens[j].kind {
+            let name = name.clone();
+            if j >= 1 && matches!(&tokens[j - 1].kind, TokenKind::Ident(m) if m == "mut") {
+                j -= 1;
+            }
+            if j >= 1 && matches!(&tokens[j - 1].kind, TokenKind::Ident(l) if l == "let") {
+                return Some(name);
+            }
+        }
+    }
+    None
+}
+
+/// Acquisition events in one function body, ignoring guard lifetimes —
+/// used for the call-graph summaries.
+fn direct_acquisitions(file: &SourceFile, f: &FnItem, registry: &Registry) -> Vec<String> {
+    let mut out = Vec::new();
+    scan_acquisitions(file, f, registry, |lock, _line| {
+        if !out.contains(&lock) {
+            out.push(lock);
+        }
+    });
+    out
+}
+
+/// Finds direct acquisitions: `x.lock()` / `x.read()` / `x.write()` on
+/// a registered lock, and `lock(&…x…)` helper calls naming one.
+fn scan_acquisitions(
+    file: &SourceFile,
+    f: &FnItem,
+    registry: &Registry,
+    mut on_acquire: impl FnMut(String, usize),
+) {
+    let tokens = &file.tokens;
+    for i in f.body_open..=f.body_close {
+        match &tokens[i].kind {
+            TokenKind::Ident(m)
+                if (m == "lock" || m == "read" || m == "write")
+                    && i > 0
+                    && tokens[i - 1].kind == TokenKind::Punct('.')
+                    && matches!(tokens.get(i + 1), Some(t) if t.kind == TokenKind::Punct('(')) =>
+            {
+                if let Some(TokenKind::Ident(recv)) = tokens.get(i - 2).map(|t| &t.kind) {
+                    if let Some(id) = registry.lock_id(recv) {
+                        on_acquire(id.to_owned(), tokens[i].line);
+                    }
+                }
+            }
+            TokenKind::Ident(m)
+                if m == "lock"
+                    && (i == 0 || tokens[i - 1].kind != TokenKind::Punct('.'))
+                    && matches!(tokens.get(i + 1), Some(t) if t.kind == TokenKind::Punct('(')) =>
+            {
+                // `lock(&self.inner.queue)` helper: scan the argument
+                // for a registered lock name.
+                let mut depth = 0usize;
+                for t in &tokens[i + 1..=f.body_close] {
+                    match &t.kind {
+                        TokenKind::Punct('(') => depth += 1,
+                        TokenKind::Punct(')') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        TokenKind::Ident(arg) => {
+                            if let Some(id) = registry.lock_id(arg) {
+                                on_acquire(id.to_owned(), t.line);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn signature_returns_guard(file: &SourceFile, f: &FnItem) -> bool {
+    file.tokens[f.fn_token..f.body_open].iter().any(|t| {
+        matches!(
+            &t.kind,
+            TokenKind::Ident(n)
+                if n == "MutexGuard" || n == "RwLockReadGuard" || n == "RwLockWriteGuard"
+        )
+    })
+}
+
+/// Calls inside `f` resolved to function keys: `self.name(…)` prefers
+/// the same impl; otherwise a name defined exactly once across the
+/// scoped files resolves, anything ambiguous is skipped.
+fn resolved_calls(file: &SourceFile, f: &FnItem, scoped: &[&SourceFile]) -> Vec<String> {
+    let mut out = Vec::new();
+    let tokens = &file.tokens;
+    for i in f.body_open..=f.body_close {
+        let TokenKind::Ident(name) = &tokens[i].kind else {
+            continue;
+        };
+        if !matches!(tokens.get(i + 1), Some(t) if t.kind == TokenKind::Punct('(')) {
+            continue;
+        }
+        if i >= 1 && matches!(&tokens[i - 1].kind, TokenKind::Ident(k) if k == "fn") {
+            continue; // a definition, not a call
+        }
+        let dotted = i >= 1 && tokens[i - 1].kind == TokenKind::Punct('.');
+        let via_self =
+            dotted && i >= 2 && matches!(&tokens[i - 2].kind, TokenKind::Ident(r) if r == "self");
+        if dotted && !via_self {
+            continue; // unknown receiver type — never resolve by name
+        }
+        if let Some(key) = resolve_call(name, via_self, file, f, scoped) {
+            if !out.contains(&key) {
+                out.push(key);
+            }
+        }
+    }
+    out
+}
+
+fn resolve_call(
+    name: &str,
+    via_self: bool,
+    file: &SourceFile,
+    f: &FnItem,
+    scoped: &[&SourceFile],
+) -> Option<String> {
+    if via_self {
+        if let Some(impl_type) = &f.impl_type {
+            if let Some(target) = file
+                .fns
+                .iter()
+                .find(|g| g.name == name && g.impl_type.as_ref() == Some(impl_type))
+            {
+                return Some(fn_key(file, target));
+            }
+        }
+    }
+    let mut matches_found = Vec::new();
+    for other in scoped {
+        for g in &other.fns {
+            if g.name == name {
+                matches_found.push(fn_key(other, g));
+            }
+        }
+    }
+    match matches_found.as_slice() {
+        [only] => Some(only.clone()),
+        _ => None, // undefined here, or ambiguous — skip
+    }
+}
+
+/// Walks one function body tracking guard lifetimes, emitting edges and
+/// blocking-call findings.
+#[allow(clippy::too_many_lines)]
+fn walk_fn(
+    file: &SourceFile,
+    f: &FnItem,
+    registry: &Registry,
+    summaries: &BTreeMap<String, FnSummary>,
+    scoped: &[&SourceFile],
+    report: &mut LockReport,
+) {
+    let tokens = &file.tokens;
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0usize;
+    let mut pending_let: Option<String> = None;
+
+    let mut i = f.body_open;
+    while i <= f.body_close {
+        let line = tokens[i].line;
+        match &tokens[i].kind {
+            TokenKind::Punct('{') => {
+                guards.retain(|g| !g.stmt_scoped);
+                depth += 1;
+            }
+            TokenKind::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                guards.retain(|g| g.depth <= depth || g.stmt_scoped);
+                guards.retain(|g| !(g.stmt_scoped && g.depth > depth));
+            }
+            TokenKind::Punct(';') => {
+                guards.retain(|g| !g.stmt_scoped || g.depth < depth);
+                pending_let = None;
+            }
+            TokenKind::Ident(kw) if kw == "let" => {
+                // Binding name: first ident of the pattern.
+                let mut j = i + 1;
+                while j <= f.body_close {
+                    match &tokens[j].kind {
+                        TokenKind::Ident(id) if id != "mut" && id != "ref" => {
+                            pending_let = Some(id.clone());
+                            break;
+                        }
+                        TokenKind::Punct('=' | ';') => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            TokenKind::Ident(name) if name == "drop" => {
+                if matches!(tokens.get(i + 1), Some(t) if t.kind == TokenKind::Punct('(')) {
+                    if let Some(TokenKind::Ident(dropped)) = tokens.get(i + 2).map(|t| &t.kind) {
+                        guards.retain(|g| g.binding.as_deref() != Some(dropped.as_str()));
+                    }
+                }
+            }
+            _ => {}
+        }
+
+        // Blocking-call check (before acquisition handling: a condvar
+        // wait is blocking but not an acquisition).
+        if let TokenKind::Ident(name) = &tokens[i].kind {
+            let called = matches!(tokens.get(i + 1), Some(t) if t.kind == TokenKind::Punct('('));
+            let is_def = i >= 1 && matches!(&tokens[i - 1].kind, TokenKind::Ident(k) if k == "fn");
+            if called && !is_def && BLOCKING.contains(&name.as_str()) {
+                let receiver = if i >= 2 && tokens[i - 1].kind == TokenKind::Punct('.') {
+                    match &tokens[i - 2].kind {
+                        TokenKind::Ident(r) => Some(r.as_str()),
+                        _ => None,
+                    }
+                } else {
+                    None
+                };
+                let condvar_wait = receiver.is_some_and(|r| registry.is_condvar(r));
+                // The guard a condvar wait atomically releases: its
+                // first argument.
+                let released = if condvar_wait {
+                    first_arg_ident(tokens, i + 1, f.body_close)
+                } else {
+                    None
+                };
+                for guard in &guards {
+                    if condvar_wait && guard.binding.as_deref() == released.as_deref() {
+                        continue; // the wait releases this one — the protocol
+                    }
+                    let allowed = ALLOWED_BLOCKING
+                        .iter()
+                        .any(|(l, b)| *l == guard.lock && *b == name)
+                        || file.allowed("lock", line).is_some()
+                        || file.in_test_code(line);
+                    if !allowed {
+                        report.findings.push(Finding::at(
+                            "lock",
+                            &file.rel,
+                            line,
+                            format!(
+                                "blocking call `{name}` while holding lock `{}` (fn `{}`) — \
+                                 a deadlock-in-waiting; release the guard first, or justify \
+                                 with `// analyze::allow(lock, reason = \"…\")`",
+                                guard.lock, f.name
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Acquisition events at this token.
+        let mut acquired_here: Vec<(String, bool)> = Vec::new(); // (lock, held_after)
+        let mut bindable = false;
+        if let TokenKind::Ident(m) = &tokens[i].kind {
+            let called = matches!(tokens.get(i + 1), Some(t) if t.kind == TokenKind::Punct('('));
+            if called {
+                let dotted = i >= 1 && tokens[i - 1].kind == TokenKind::Punct('.');
+                let receiver = if dotted {
+                    match tokens.get(i.wrapping_sub(2)).map(|t| &t.kind) {
+                        Some(TokenKind::Ident(r)) => Some(r.as_str()),
+                        _ => None,
+                    }
+                } else {
+                    None
+                };
+                bindable = guard_outlives_expression(tokens, i + 1, f.body_close);
+                let direct = if (m == "lock" || m == "read" || m == "write") && dotted {
+                    receiver.and_then(|r| registry.lock_id(r))
+                } else {
+                    None
+                };
+                if let Some(id) = direct {
+                    acquired_here.push((id.to_owned(), true));
+                } else if m == "lock" && !dotted {
+                    // Helper `lock(&self.x)`: the arg names the lock.
+                    let mut d = 0usize;
+                    for t in &tokens[i + 1..=f.body_close] {
+                        match &t.kind {
+                            TokenKind::Punct('(') => d += 1,
+                            TokenKind::Punct(')') => {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            TokenKind::Ident(arg) => {
+                                if let Some(id) = registry.lock_id(arg) {
+                                    acquired_here.push((id.to_owned(), true));
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                } else if !dotted || receiver == Some("self") {
+                    // A call to a lock-acquiring function (`self.lock()`
+                    // guard-returning methods land here too). Guard-
+                    // returning callees extend the caller's hold;
+                    // others are transient (acquire + release inside).
+                    // Dotted calls on other receivers are never
+                    // resolved — the receiver's type is unknown.
+                    let is_def =
+                        i >= 1 && matches!(&tokens[i - 1].kind, TokenKind::Ident(k) if k == "fn");
+                    if !is_def {
+                        if let Some(key) =
+                            resolve_call(m, receiver == Some("self"), file, f, scoped)
+                        {
+                            if let Some(summary) = summaries.get(&key) {
+                                for lock in &summary.acquires {
+                                    let held_after =
+                                        summary.returns_guard_of.as_deref() == Some(lock);
+                                    acquired_here.push((lock.clone(), held_after));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for (lock, held_after) in acquired_here {
+            let annotated = file.allowed("lock", line).is_some() || file.in_test_code(line);
+            for guard in &guards {
+                if guard.lock == lock {
+                    if !annotated {
+                        report.findings.push(Finding::at(
+                            "lock",
+                            &file.rel,
+                            line,
+                            format!(
+                                "lock `{lock}` acquired while already held (fn `{}`) — \
+                                 self-deadlock",
+                                f.name
+                            ),
+                        ));
+                    }
+                } else {
+                    report.edges.push(Edge {
+                        held: guard.lock.clone(),
+                        acquired: lock.clone(),
+                        file: file.rel.clone(),
+                        line,
+                    });
+                }
+            }
+            if held_after {
+                // A guard is `let`-bound only when the acquisition
+                // chain ends its statement; a guard consumed by a
+                // longer expression (`take(&mut *lock(&x))`,
+                // `self.cache.lock().…().get(k)`) is a temporary that
+                // dies at the semicolon regardless of any `let`.
+                let binding = if bindable { pending_let.clone() } else { None };
+                guards.push(Guard {
+                    lock,
+                    depth,
+                    stmt_scoped: binding.is_none(),
+                    binding,
+                });
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Index of the `)` matching the `(` at `open`, within `open..=limit`.
+fn matching_paren(tokens: &[crate::lexer::Token], open: usize, limit: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().take(limit + 1).skip(open) {
+        match t.kind {
+            TokenKind::Punct('(') => depth += 1,
+            TokenKind::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Whether the guard produced by the acquisition call whose argument
+/// list opens at `open` survives its statement (and may be bound by a
+/// `let`). After the call's closing paren, `?` and the guard-preserving
+/// adapters `.unwrap()` / `.expect(…)` / `.unwrap_or_else(…)` are
+/// skipped; the guard survives only if the statement then ends (`;`).
+/// Anything else — a continued method chain, an enclosing call's `)`,
+/// an operator — consumes the guard inside the statement, making it a
+/// temporary.
+fn guard_outlives_expression(tokens: &[crate::lexer::Token], open: usize, limit: usize) -> bool {
+    const ADAPTERS: [&str; 3] = ["unwrap", "expect", "unwrap_or_else"];
+    let Some(close) = matching_paren(tokens, open, limit) else {
+        return false;
+    };
+    let mut j = close + 1;
+    loop {
+        match tokens.get(j).map(|t| &t.kind) {
+            Some(TokenKind::Punct('?')) => {
+                j += 1;
+            }
+            Some(TokenKind::Punct('.'))
+                if matches!(
+                    tokens.get(j + 1).map(|t| &t.kind),
+                    Some(TokenKind::Ident(a)) if ADAPTERS.contains(&a.as_str())
+                ) && matches!(
+                    tokens.get(j + 2).map(|t| &t.kind),
+                    Some(TokenKind::Punct('('))
+                ) =>
+            {
+                match matching_paren(tokens, j + 2, limit) {
+                    Some(adapter_close) => j = adapter_close + 1,
+                    None => return false,
+                }
+            }
+            _ => break,
+        }
+    }
+    matches!(tokens.get(j).map(|t| &t.kind), Some(TokenKind::Punct(';')))
+}
+
+fn first_arg_ident(tokens: &[crate::lexer::Token], open: usize, limit: usize) -> Option<String> {
+    let mut depth = 0usize;
+    for t in &tokens[open..=limit] {
+        match &t.kind {
+            TokenKind::Punct('(') => depth += 1,
+            TokenKind::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return None;
+                }
+            }
+            TokenKind::Punct(',') if depth == 1 => return None,
+            TokenKind::Ident(id) if depth == 1 => return Some(id.clone()),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// DFS cycle detection over the acquisition edges; each cycle becomes
+/// one finding naming the full path and one witness site per edge.
+fn detect_cycles(report: &mut LockReport) {
+    let mut adjacency: BTreeMap<&str, Vec<&Edge>> = BTreeMap::new();
+    for edge in &report.edges {
+        adjacency.entry(&edge.held).or_default().push(edge);
+    }
+    let nodes: Vec<&str> = adjacency.keys().copied().collect();
+    let mut findings = Vec::new();
+    for &start in &nodes {
+        // Only report cycles at their lexicographically smallest node,
+        // so each cycle appears once.
+        let mut stack: Vec<(&str, Vec<&Edge>)> = vec![(start, Vec::new())];
+        let mut seen: Vec<&str> = Vec::new();
+        while let Some((node, path)) = stack.pop() {
+            for edge in adjacency.get(node).into_iter().flatten() {
+                let next: &str = &edge.acquired;
+                if next == start {
+                    let mut cycle_path = path.clone();
+                    cycle_path.push(edge);
+                    if cycle_path
+                        .iter()
+                        .all(|e| e.held.as_str() >= start && e.acquired.as_str() >= start)
+                    {
+                        let description = cycle_path
+                            .iter()
+                            .map(|e| format!("{} → {} ({}:{})", e.held, e.acquired, e.file, e.line))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let witness = cycle_path[0];
+                        findings.push(Finding::at(
+                            "lock",
+                            &witness.file,
+                            witness.line,
+                            format!("lock-order cycle: {description}"),
+                        ));
+                    }
+                } else if !seen.contains(&next) && next > start {
+                    seen.push(next);
+                    let mut next_path = path.clone();
+                    next_path.push(edge);
+                    stack.push((next, next_path));
+                }
+            }
+        }
+    }
+    findings.sort_by(|a, b| a.message.cmp(&b.message));
+    findings.dedup();
+    report.findings.extend(findings);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> LockReport {
+        check(&[SourceFile::parse("crates/serve/src/scheduler.rs", src)])
+    }
+
+    const TWO_LOCKS: &str = "
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+";
+
+    #[test]
+    fn clean_nesting_produces_edges_but_no_findings() {
+        let src = format!(
+            "{TWO_LOCKS}
+  fn f(&self) {{
+    let ga = self.a.lock();
+    let gb = self.b.lock();
+  }}
+}}
+"
+        );
+        let report = run(&src);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert_eq!(report.edges.len(), 1);
+        assert_eq!(report.edges[0].held, "scheduler::a");
+        assert_eq!(report.edges[0].acquired, "scheduler::b");
+    }
+
+    #[test]
+    fn opposite_orders_form_a_cycle() {
+        let src = format!(
+            "{TWO_LOCKS}
+  fn f(&self) {{ let ga = self.a.lock(); let gb = self.b.lock(); }}
+  fn g(&self) {{ let gb = self.b.lock(); let ga = self.a.lock(); }}
+}}
+"
+        );
+        let report = run(&src);
+        assert!(
+            report.findings.iter().any(|f| f.message.contains("cycle")),
+            "{:?}",
+            report.findings
+        );
+    }
+
+    #[test]
+    fn recursive_acquisition_is_flagged() {
+        let src = format!(
+            "{TWO_LOCKS}
+  fn f(&self) {{ let ga = self.a.lock(); let again = self.a.lock(); }}
+}}
+"
+        );
+        let report = run(&src);
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.message.contains("already held")),
+            "{:?}",
+            report.findings
+        );
+    }
+
+    #[test]
+    fn guard_dropped_at_statement_end_creates_no_edge() {
+        let src = format!(
+            "{TWO_LOCKS}
+  fn f(&self) {{
+    self.a.lock().value;
+    let gb = self.b.lock();
+  }}
+}}
+"
+        );
+        let report = run(&src);
+        assert!(report.edges.is_empty(), "{:?}", report.edges);
+    }
+
+    #[test]
+    fn explicit_drop_releases_the_guard() {
+        let src = format!(
+            "{TWO_LOCKS}
+  fn f(&self) {{
+    let ga = self.a.lock();
+    drop(ga);
+    let gb = self.b.lock();
+  }}
+}}
+"
+        );
+        let report = run(&src);
+        assert!(report.edges.is_empty(), "{:?}", report.edges);
+    }
+
+    #[test]
+    fn blocking_call_under_lock_is_flagged() {
+        let src = format!(
+            "{TWO_LOCKS}
+  fn f(&self) {{
+    let ga = self.a.lock();
+    rx.recv();
+  }}
+}}
+"
+        );
+        let report = run(&src);
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.message.contains("blocking call `recv`")),
+            "{:?}",
+            report.findings
+        );
+    }
+
+    #[test]
+    fn condvar_wait_exempts_its_own_guard_only() {
+        let src = "
+struct S { q: Mutex<u32>, other: Mutex<u32>, cv: Condvar }
+impl S {
+  fn ok(&self) {
+    let q = self.q.lock();
+    let (q, _) = self.cv.wait_timeout(q, t);
+  }
+  fn bad(&self) {
+    let o = self.other.lock();
+    let q = self.q.lock();
+    let (q, _) = self.cv.wait_timeout(q, t);
+  }
+}
+";
+        let report = run(src);
+        // `ok` is clean; `bad` holds `other` across the wait.
+        let blocking: Vec<_> = report
+            .findings
+            .iter()
+            .filter(|f| f.message.contains("wait_timeout"))
+            .collect();
+        assert_eq!(blocking.len(), 1, "{:?}", report.findings);
+        assert!(blocking[0].message.contains("scheduler::other"));
+    }
+
+    #[test]
+    fn helper_lock_calls_are_acquisitions() {
+        let src = "
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+fn lockit(m: &Mutex<u32>) -> MutexGuard<u32> { m.lock() }
+fn f(s: &S) {
+    let ga = lock(&s.a);
+    let gb = lock(&s.b);
+}
+";
+        let report = run(src);
+        assert_eq!(report.edges.len(), 1, "{:?}", report.edges);
+    }
+
+    #[test]
+    fn non_self_method_calls_are_not_resolved_by_name() {
+        // `handle.tidy()` must not borrow the summary of the unique
+        // `fn tidy` — the receiver's type is unknown at token level.
+        let src = format!(
+            "{TWO_LOCKS}
+  fn tidy(&self) {{ let ga = self.a.lock(); }}
+  fn f(&self) {{
+    let ga = self.a.lock();
+    handle.tidy();
+  }}
+}}
+"
+        );
+        let report = run(&src);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn chain_consumed_guard_is_a_statement_temporary() {
+        // The guard is consumed by `.pop()` inside the statement, so it
+        // does not survive to overlap with `b` on the next line.
+        let src = format!(
+            "{TWO_LOCKS}
+  fn f(&self) {{
+    let n = self.a.lock().unwrap_or_else(recover).pop();
+    let gb = self.b.lock();
+  }}
+}}
+"
+        );
+        let report = run(&src);
+        assert!(report.edges.is_empty(), "{:?}", report.edges);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn guard_inside_enclosing_call_is_a_statement_temporary() {
+        // `take(&mut *lock(&s.a))`: the guard dies at the semicolon, so
+        // `w` is the taken value, not the guard — `w.join()` is fine.
+        let src = "
+struct S { a: Mutex<u32> }
+fn f(s: &S) {
+    let w = take(&mut *lock(&s.a));
+    w.join();
+}
+";
+        let report = run(src);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn adapter_chain_ending_statement_still_binds() {
+        let src = format!(
+            "{TWO_LOCKS}
+  fn f(&self) {{
+    let ga = self.a.lock().unwrap_or_else(recover);
+    rx.recv();
+  }}
+}}
+"
+        );
+        let report = run(&src);
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.message.contains("blocking call `recv`")),
+            "{:?}",
+            report.findings
+        );
+    }
+
+    #[test]
+    fn allow_annotation_suppresses() {
+        let src = format!(
+            "{TWO_LOCKS}
+  fn f(&self) {{
+    let ga = self.a.lock();
+    // analyze::allow(lock, reason = \"bounded by test harness\")
+    rx.recv();
+  }}
+}}
+"
+        );
+        let report = run(&src);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+}

@@ -1,0 +1,7 @@
+//! The four analyses: panic-path audit, lock-order analysis,
+//! determinism lint, wire-format drift check.
+
+pub mod determinism;
+pub mod locks;
+pub mod panics;
+pub mod wire;

@@ -1,0 +1,331 @@
+//! Pass 4 — wire-format drift check.
+//!
+//! The serving tier's cache identities and responses are *formats*:
+//! the `f1.plan.v1` canonical plan key, `ResultSet::to_json`, the
+//! protocol bodies (`error`/`query`/`top`/`delta`/`stats`) and the
+//! catalog digest. A refactor that changes any of them byte-for-byte
+//! silently invalidates every cached entry, splits the dedup identity
+//! of equal plans, or breaks deployed clients. This pass runs the
+//! **real encoders** over a fixed corpus of inputs and compares the
+//! bytes against checked-in goldens under `crates/analyze/golden/`.
+//!
+//! `f1-analyze --bless` regenerates the goldens after an *intentional*
+//! format change — the diff then shows the reviewer exactly what moved
+//! on the wire.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+use std::sync::Arc;
+
+use f1_components::{catalog_digest, AirframeId, BatteryId, Catalog, CatalogDelta, CatalogStore};
+use f1_serve::protocol;
+use f1_serve::{ErrorKind, SchedulerStats};
+use f1_skyline::plan::{KeepPoints, QueryPlan};
+use f1_skyline::query::{Constraint, Knob, KnobSweep, Objective};
+use f1_skyline::session::{CacheStats, Session};
+use f1_units::{MetersPerSecond, Watts};
+
+use crate::diag::Finding;
+
+/// Directory of the golden corpus, relative to the workspace root.
+pub const GOLDEN_DIR: &str = "crates/analyze/golden";
+
+/// The corpus: every wire format exercised through its real encoder.
+/// Deterministic by construction — building it twice yields identical
+/// bytes, so any golden mismatch is a source change, not noise.
+///
+/// # Errors
+///
+/// A human-readable reason when an encoder input fails to build (a
+/// plan rejected by its own validation, a delta that fails to apply) —
+/// that is itself a wire regression.
+pub fn corpus() -> Result<Vec<(&'static str, String)>, String> {
+    let mut out = Vec::new();
+    out.push(("plan_keys.txt", plan_keys()?));
+    let store = Arc::new(CatalogStore::new(Catalog::paper()));
+    let session = Session::over(Arc::clone(&store));
+    let plan = corpus_plan().map_err(|e| format!("corpus plan: {e}"))?;
+    let result = session
+        .run(&plan)
+        .map_err(|e| format!("corpus query: {e}"))?;
+    out.push((
+        "result_set.json",
+        result.to_json(&session.catalog()).to_string(),
+    ));
+    let snapshot = store.current();
+    let mut bodies = String::new();
+    for kind in [
+        ErrorKind::Protocol,
+        ErrorKind::PlanKey,
+        ErrorKind::PlanCatalog,
+        ErrorKind::UnknownEpoch,
+        ErrorKind::Overloaded,
+        ErrorKind::Delta,
+        ErrorKind::Internal,
+    ] {
+        bodies.push_str(&protocol::error_body(kind, "fixed \"test\" message\u{1}"));
+    }
+    bodies.push_str(&protocol::query_body(&result, &snapshot, true));
+    bodies.push_str(&protocol::top_body(3, &result, &snapshot, false));
+    bodies.push_str(&protocol::delta_body(&snapshot, 4));
+    let cache = CacheStats {
+        hits: 11,
+        misses: 4,
+        entries: 3,
+        evictions: 1,
+        repairs: 2,
+    };
+    let sched = SchedulerStats {
+        admitted: 15,
+        rejected: 1,
+        fast_path_hits: 11,
+        batches: 3,
+        batched_requests: 4,
+        coalesced: 1,
+        max_batch: 2,
+        deltas_applied: 1,
+        background_repairs: 2,
+    };
+    bodies.push_str(&protocol::stats_body(&snapshot, &cache, &sched, 5));
+    out.push(("protocol_bodies.txt", bodies));
+    out.push(("catalog_delta.txt", delta_transcript(&store)?));
+    Ok(out)
+}
+
+/// Representative plans spanning every key section: defaults, multi
+/// objective + constraint + sweep + subspace + battery, awkward floats,
+/// and each keep-points policy.
+fn plan_keys() -> Result<String, String> {
+    let plans: Vec<QueryPlan> = vec![
+        QueryPlan::builder()
+            .build()
+            .map_err(|e| format!("default plan: {e}"))?,
+        QueryPlan::builder()
+            .objectives(&[
+                Objective::TotalTdp,
+                Objective::SafeVelocity,
+                Objective::MissionEnergyWhPerKm,
+            ])
+            .constraint(Constraint::MaxTotalTdp(Watts::new(20.0)))
+            .constraint(Constraint::FeasibleOnly)
+            .sweep(KnobSweep::new(Knob::TdpScale, vec![1.0, 0.5]))
+            .airframes(&[AirframeId::from_index(0), AirframeId::from_index(2)])
+            .battery(BatteryId::from_index(1))
+            .build()
+            .map_err(|e| format!("full plan: {e}"))?,
+        QueryPlan::builder()
+            .constraint(Constraint::MinVelocity(MetersPerSecond::new(1e-307)))
+            .sweep(KnobSweep::new(Knob::SensorRangeScale, vec![0.1, 3.5]))
+            .build()
+            .map_err(|e| format!("float plan: {e}"))?,
+        QueryPlan::builder()
+            .keep_points(KeepPoints::FrontierOnly)
+            .build()
+            .map_err(|e| format!("frontier plan: {e}"))?,
+    ];
+    let mut out = String::new();
+    for plan in &plans {
+        // A key must round-trip through from_key — a drifted parser is
+        // as breaking as a drifted encoder.
+        let replayed =
+            QueryPlan::from_key(plan.key()).map_err(|e| format!("key round-trip: {e}"))?;
+        if replayed.key() != plan.key() {
+            return Err(format!("key round-trip drift for {:?}", plan.key()));
+        }
+        out.push_str(plan.key());
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// The evaluated corpus query: small subspace, two objectives, one
+/// constraint — enough to exercise names, floats and frontier lists in
+/// `to_json` without a full catalog sweep.
+fn corpus_plan() -> Result<QueryPlan, f1_skyline::SkylineError> {
+    QueryPlan::builder()
+        .objectives(&[Objective::SafeVelocity, Objective::TotalTdp])
+        .constraint(Constraint::MaxTotalTdp(Watts::new(25.0)))
+        .airframes(&[AirframeId::from_index(0)])
+        .build()
+}
+
+/// Applies a fixed delta to a fresh paper-catalog store and records the
+/// epoch/digest trajectory plus the delta's own accounting — covering
+/// `CatalogDelta::from_json`, `CatalogStore::apply` and the FNV digest
+/// in one transcript.
+fn delta_transcript(store: &CatalogStore) -> Result<String, String> {
+    const DELTA_JSON: &str = r#"{
+  "add": {
+    "sensors": [{"name": "Corpus Cam", "modality": "rgb", "rate_hz": 90,
+                 "range_m": 6, "mass_g": 18}],
+    "batteries": [{"name": "Corpus 4S", "capacity_mah": 6000,
+                   "voltage_v": 14.8, "mass_g": 520}]
+  },
+  "retire": {"computes": ["Intel UpBoard"]},
+  "throughput": [{"compute": "Nvidia TX2", "algorithm": "DroNet", "hz": 400}]
+}"#;
+    let delta = CatalogDelta::from_json(DELTA_JSON).map_err(|e| format!("delta parse: {e}"))?;
+    let base = store.current();
+    let next = store
+        .apply(&delta)
+        .map_err(|e| format!("delta apply: {e}"))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "ops: {}", delta.op_count());
+    let _ = writeln!(out, "base_epoch: {}", base.epoch().get());
+    let _ = writeln!(out, "base_digest: {}", base.digest());
+    let _ = writeln!(out, "next_epoch: {}", next.epoch().get());
+    let _ = writeln!(out, "next_digest: {}", next.digest());
+    let _ = writeln!(
+        out,
+        "paper_digest_stable: {}",
+        catalog_digest(&Catalog::paper()) == base.digest()
+    );
+    Ok(out)
+}
+
+/// Compares the live corpus against the goldens under `root`
+/// ([`GOLDEN_DIR`]); with `bless`, rewrites them instead and reports
+/// what changed.
+#[must_use]
+pub fn check(root: &Path, bless: bool) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let corpus = match corpus() {
+        Ok(corpus) => corpus,
+        Err(reason) => {
+            findings.push(Finding::at(
+                "wire",
+                "",
+                0,
+                format!("corpus construction failed: {reason}"),
+            ));
+            return findings;
+        }
+    };
+    let dir = root.join(GOLDEN_DIR);
+    for (name, actual) in corpus {
+        let path = dir.join(name);
+        let rel = format!("{GOLDEN_DIR}/{name}");
+        let golden = fs::read_to_string(&path);
+        if bless {
+            let unchanged = golden.as_deref().is_ok_and(|g| g == actual);
+            if unchanged {
+                continue;
+            }
+            if let Err(e) = fs::create_dir_all(&dir).and_then(|()| fs::write(&path, &actual)) {
+                findings.push(Finding::at("wire", &rel, 0, format!("bless failed: {e}")));
+            }
+            continue;
+        }
+        match golden {
+            Err(e) => findings.push(Finding::at(
+                "wire",
+                &rel,
+                0,
+                format!("golden missing ({e}) — run `f1-analyze --bless` and commit the result"),
+            )),
+            Ok(expected) if expected != actual => {
+                findings.push(Finding::at(
+                    "wire",
+                    &rel,
+                    first_diff_line(&expected, &actual),
+                    format!(
+                        "wire format drifted from golden ({}); if intentional, re-bless with \
+                         `f1-analyze --bless` and call out the format change in review",
+                        diff_summary(&expected, &actual)
+                    ),
+                ));
+            }
+            Ok(_) => {}
+        }
+    }
+    findings
+}
+
+/// 1-indexed line of the first difference.
+fn first_diff_line(expected: &str, actual: &str) -> usize {
+    for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+        if e != a {
+            return i + 1;
+        }
+    }
+    expected.lines().count().min(actual.lines().count()) + 1
+}
+
+/// A short human-readable description of the first divergence.
+fn diff_summary(expected: &str, actual: &str) -> String {
+    let line = first_diff_line(expected, actual);
+    let e = expected.lines().nth(line - 1).unwrap_or("<eof>");
+    let a = actual.lines().nth(line - 1).unwrap_or("<eof>");
+    let trim = |s: &str| {
+        let mut t: String = s.chars().take(60).collect();
+        if t.len() < s.len() {
+            t.push('…');
+        }
+        t
+    };
+    format!("line {line}: golden {:?} vs live {:?}", trim(e), trim(a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_reproducible() {
+        let a = corpus().unwrap();
+        let b = corpus().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn corpus_covers_every_format() {
+        let names: Vec<&str> = corpus().unwrap().iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            [
+                "plan_keys.txt",
+                "result_set.json",
+                "protocol_bodies.txt",
+                "catalog_delta.txt"
+            ]
+        );
+    }
+
+    #[test]
+    fn plan_keys_are_canonical_v1() {
+        let corpus = corpus().unwrap();
+        let keys = &corpus
+            .iter()
+            .find(|(n, _)| *n == "plan_keys.txt")
+            .unwrap()
+            .1;
+        for key in keys.lines() {
+            assert!(key.starts_with("f1.plan.v1|"), "{key}");
+            QueryPlan::from_key(key).unwrap();
+        }
+    }
+
+    #[test]
+    fn detects_drift_against_temp_goldens() {
+        let dir = std::env::temp_dir().join(format!(
+            "f1-analyze-wire-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        // Missing goldens: every entry is a finding.
+        let missing = check(&dir, false);
+        assert_eq!(missing.len(), 4, "{missing:?}");
+        // Bless, then verify clean.
+        assert!(check(&dir, true).is_empty());
+        assert!(check(&dir, false).is_empty());
+        // Corrupt one golden: exactly one drift finding.
+        let golden = dir.join(GOLDEN_DIR).join("plan_keys.txt");
+        fs::write(&golden, "f1.plan.v0|bogus\n").unwrap();
+        let drift = check(&dir, false);
+        assert_eq!(drift.len(), 1, "{drift:?}");
+        assert!(drift[0].message.contains("drifted"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

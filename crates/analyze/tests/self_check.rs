@@ -1,0 +1,163 @@
+//! Self-check: the analyzer must flag a deliberately-bad fixture.
+//!
+//! A gate that cannot fail is not a gate. CI runs this suite before the
+//! clean `--workspace --deny` run, so a regression that silences a pass
+//! (an over-broad exemption, a lexer bug swallowing tokens) fails the
+//! build even while the real tree stays green.
+
+use std::path::PathBuf;
+
+use f1_analyze::source::SourceFile;
+use f1_analyze::{passes, run_over, Options};
+
+/// A fixture with one planted defect per pass, at a designated rel
+/// path so every pass is in scope.
+const BAD_FIXTURE: &str = r#"
+struct S {
+    first: std::sync::Mutex<u32>,
+    second: std::sync::Mutex<u32>,
+    index: HashMap<String, u32>,
+}
+
+impl S {
+    fn forward(&self) {
+        let a = self.first.lock().unwrap();
+        let b = self.second.lock().unwrap();
+        drop(b);
+        drop(a);
+    }
+
+    fn backward(&self) {
+        let b = self.second.lock().unwrap();
+        let a = self.first.lock().unwrap();
+        drop(a);
+        drop(b);
+    }
+
+    fn render(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in self.index.iter() {
+            out.push_str(&format!("{k}={:.3}\n", f64::from(*v)));
+        }
+        out
+    }
+
+    fn boom(&self, v: &[u32]) -> u32 {
+        if v.is_empty() {
+            panic!("empty");
+        }
+        v[0]
+    }
+
+    fn stale(&self) -> u32 {
+        // analyze::allow(panic, reason = "nothing here can panic — this allow is stale")
+        1
+    }
+}
+"#;
+
+fn bad_findings() -> Vec<f1_analyze::diag::Finding> {
+    let file = SourceFile::parse("crates/serve/src/server.rs", BAD_FIXTURE);
+    let mut options = Options::workspace(PathBuf::from("/nonexistent"));
+    // Every source pass; wire is exercised separately against a
+    // tampered golden corpus (it needs a root on disk, not a source).
+    options.passes = vec!["panic".into(), "lock".into(), "determinism".into()];
+    run_over(&options, &[file])
+}
+
+#[test]
+fn panic_pass_flags_the_planted_defects() {
+    let findings = bad_findings();
+    let panics: Vec<_> = findings.iter().filter(|f| f.pass == "panic").collect();
+    assert!(
+        panics.iter().any(|f| f.message.contains("`.unwrap()`")),
+        "unwrap not flagged: {findings:?}"
+    );
+    assert!(
+        panics.iter().any(|f| f.message.contains("`panic!`")),
+        "panic! not flagged: {findings:?}"
+    );
+    assert!(
+        panics.iter().any(|f| f.message.contains("direct indexing")),
+        "indexing not flagged: {findings:?}"
+    );
+}
+
+#[test]
+fn lock_pass_flags_the_planted_cycle() {
+    let findings = bad_findings();
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.pass == "lock" && f.message.contains("cycle")),
+        "first→second vs second→first cycle not flagged: {findings:?}"
+    );
+}
+
+#[test]
+fn determinism_pass_flags_the_planted_defects() {
+    let findings = bad_findings();
+    let det: Vec<_> = findings
+        .iter()
+        .filter(|f| f.pass == "determinism")
+        .collect();
+    assert!(
+        det.iter().any(|f| f.message.contains("hash-ordered")),
+        "hash iteration not flagged: {findings:?}"
+    );
+    assert!(
+        det.iter()
+            .any(|f| f.message.contains("shortest-round-trip")),
+        "float formatting not flagged: {findings:?}"
+    );
+}
+
+#[test]
+fn stale_allows_are_findings_on_a_full_run() {
+    let file = SourceFile::parse("crates/serve/src/server.rs", BAD_FIXTURE);
+    // Empty pass list = all passes + annotation hygiene; point the wire
+    // pass at a root with no goldens so it reports missing goldens
+    // rather than drift — those findings are filtered out here.
+    let options = Options::workspace(std::env::temp_dir().join("f1-analyze-no-goldens"));
+    let findings = run_over(&options, &[file]);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.pass == "annotation" && f.message.contains("stale")),
+        "the unused allow in `stale()` must be reported: {findings:?}"
+    );
+}
+
+#[test]
+fn wire_pass_flags_golden_drift() {
+    // Copy the real golden corpus into a scratch root, tamper one byte,
+    // and the drift check must fire.
+    let real_root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crate lives at <root>/crates/analyze")
+        .to_path_buf();
+    let scratch =
+        std::env::temp_dir().join(format!("f1-analyze-self-check-{}", std::process::id()));
+    let golden = scratch.join("crates/analyze/golden");
+    std::fs::create_dir_all(&golden).expect("scratch golden dir");
+    for entry in std::fs::read_dir(real_root.join("crates/analyze/golden")).expect("real goldens") {
+        let entry = entry.expect("dir entry");
+        std::fs::copy(entry.path(), golden.join(entry.file_name())).expect("copy golden");
+    }
+    let clean = passes::wire::check(&scratch, false);
+    assert!(clean.is_empty(), "untampered copy must be clean: {clean:?}");
+
+    let keys = golden.join("plan_keys.txt");
+    let mut text = std::fs::read_to_string(&keys).expect("read plan keys");
+    text.push_str("f1.plan.v1|tampered\n");
+    std::fs::write(&keys, text).expect("tamper plan keys");
+    let findings = passes::wire::check(&scratch, false);
+    assert!(
+        findings.iter().any(|f| f.pass == "wire"
+            && f.file.contains("plan_keys")
+            && f.message.contains("drifted")),
+        "tampered plan_keys.txt must be reported as drift: {findings:?}"
+    );
+    std::fs::remove_dir_all(&scratch).ok();
+}

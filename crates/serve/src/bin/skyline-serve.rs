@@ -150,6 +150,7 @@ fn serve_config(args: &Args, addr: &str) -> ServeConfig {
         },
         max_frame: args.max_frame,
         max_connections: 64,
+        fault_injection: false,
     }
 }
 

@@ -21,7 +21,7 @@
 //! the hot entries off the request path.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
@@ -107,18 +107,6 @@ struct QueueState {
     collecting: bool,
 }
 
-struct Counters {
-    admitted: AtomicU64,
-    rejected: AtomicU64,
-    fast_path_hits: AtomicU64,
-    batches: AtomicU64,
-    batched_requests: AtomicU64,
-    coalesced: AtomicU64,
-    max_batch: AtomicU64,
-    deltas_applied: AtomicU64,
-    background_repairs: AtomicU64,
-}
-
 struct Inner {
     session: Arc<Session>,
     config: SchedulerConfig,
@@ -129,7 +117,13 @@ struct Inner {
     repair_gen: Mutex<u64>,
     repair_cv: Condvar,
     shutdown: AtomicBool,
-    counters: Counters,
+    /// One mutex (not per-counter atomics) so [`Scheduler::stats`]
+    /// snapshots are **consistent**: every logical update happens in one
+    /// critical section, so no snapshot can observe a torn state like
+    /// `coalesced > batched_requests` or `batched_requests > admitted`.
+    /// Lock order: `queue` → `stats` (admission bumps `admitted` while
+    /// the job is still invisible to executors); never the reverse.
+    stats: Mutex<SchedulerStats>,
 }
 
 /// The scheduler: bounded admission, micro-batch coalescing executors,
@@ -176,17 +170,7 @@ impl Scheduler {
             repair_gen: Mutex::new(0),
             repair_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
-            counters: Counters {
-                admitted: AtomicU64::new(0),
-                rejected: AtomicU64::new(0),
-                fast_path_hits: AtomicU64::new(0),
-                batches: AtomicU64::new(0),
-                batched_requests: AtomicU64::new(0),
-                coalesced: AtomicU64::new(0),
-                max_batch: AtomicU64::new(0),
-                deltas_applied: AtomicU64::new(0),
-                background_repairs: AtomicU64::new(0),
-            },
+            stats: Mutex::new(SchedulerStats::default()),
         });
         let mut workers = Vec::with_capacity(config.executors + 1);
         for i in 0..config.executors {
@@ -195,6 +179,7 @@ impl Scheduler {
                 std::thread::Builder::new()
                     .name(format!("skyline-exec-{i}"))
                     .spawn(move || executor_loop(&inner))
+                    // analyze::allow(panic, reason = "startup-time spawn, before any request is served")
                     .expect("spawning an executor thread"),
             );
         }
@@ -204,6 +189,7 @@ impl Scheduler {
                 std::thread::Builder::new()
                     .name("skyline-repair".to_owned())
                     .spawn(move || repair_loop(&inner))
+                    // analyze::allow(panic, reason = "startup-time spawn, before any request is served")
                     .expect("spawning the repair thread"),
             );
         }
@@ -238,12 +224,16 @@ impl Scheduler {
         {
             let mut queue = lock(&self.inner.queue);
             if queue.jobs.len() >= self.inner.config.queue_capacity {
-                self.inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                lock(&self.inner.stats).rejected += 1;
                 return Err(SubmitError::Overloaded);
             }
             queue.jobs.push_back(Job { plan, epoch, reply });
+            // Count admission while still holding the queue lock: the
+            // job is not yet visible to executors, so no snapshot can
+            // observe `batched_requests > admitted` (lock order:
+            // queue → stats).
+            lock(&self.inner.stats).admitted += 1;
         }
-        self.inner.counters.admitted.fetch_add(1, Ordering::Relaxed);
         self.inner.queue_cv.notify_all();
         Ok(rx)
     }
@@ -258,10 +248,7 @@ impl Scheduler {
     /// epoch is published then.
     pub fn apply_delta(&self, delta: &CatalogDelta) -> Result<EpochSnapshot, ComponentError> {
         let snapshot = self.inner.session.store().apply(delta)?;
-        self.inner
-            .counters
-            .deltas_applied
-            .fetch_add(1, Ordering::Relaxed);
+        lock(&self.inner.stats).deltas_applied += 1;
         *lock(&self.inner.repair_gen) += 1;
         self.inner.repair_cv.notify_all();
         Ok(snapshot)
@@ -270,10 +257,7 @@ impl Scheduler {
     /// Counts a connection-side cache fast-path hit (the request never
     /// reached the queue).
     pub fn note_fast_path_hit(&self) {
-        self.inner
-            .counters
-            .fast_path_hits
-            .fetch_add(1, Ordering::Relaxed);
+        lock(&self.inner.stats).fast_path_hits += 1;
     }
 
     /// Current queue depth (diagnostic).
@@ -282,21 +266,13 @@ impl Scheduler {
         lock(&self.inner.queue).jobs.len()
     }
 
-    /// A snapshot of the counters.
+    /// A consistent snapshot of the counters: taken under the stats
+    /// mutex, so it can never show a torn state (`coalesced >
+    /// batched_requests`, `batched_requests > admitted`, `max_batch >
+    /// batched_requests` are all impossible).
     #[must_use]
     pub fn stats(&self) -> SchedulerStats {
-        let c = &self.inner.counters;
-        SchedulerStats {
-            admitted: c.admitted.load(Ordering::Relaxed),
-            rejected: c.rejected.load(Ordering::Relaxed),
-            fast_path_hits: c.fast_path_hits.load(Ordering::Relaxed),
-            batches: c.batches.load(Ordering::Relaxed),
-            batched_requests: c.batched_requests.load(Ordering::Relaxed),
-            coalesced: c.coalesced.load(Ordering::Relaxed),
-            max_batch: c.max_batch.load(Ordering::Relaxed),
-            deltas_applied: c.deltas_applied.load(Ordering::Relaxed),
-            background_repairs: c.background_repairs.load(Ordering::Relaxed),
-        }
+        *lock(&self.inner.stats)
     }
 
     /// Flags shutdown and joins every executor and the repair thread.
@@ -390,17 +366,15 @@ fn collect_batch(inner: &Inner) -> Option<Vec<Job>> {
 /// Groups a batch by admission epoch and runs each group through one
 /// shared-pass `run_batch_at` call.
 fn execute_batch(inner: &Inner, batch: Vec<Job>) {
-    let counters = &inner.counters;
-    counters
-        .batched_requests
-        .fetch_add(batch.len() as u64, Ordering::Relaxed);
-    counters
-        .max_batch
-        .fetch_max(batch.len() as u64, Ordering::Relaxed);
-    if batch.len() > 1 {
-        counters
-            .coalesced
-            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+    {
+        // One critical section for the whole batch-shape update, so a
+        // concurrent snapshot sees all of it or none of it.
+        let mut stats = lock(&inner.stats);
+        stats.batched_requests += batch.len() as u64;
+        stats.max_batch = stats.max_batch.max(batch.len() as u64);
+        if batch.len() > 1 {
+            stats.coalesced += batch.len() as u64;
+        }
     }
     // Group by admission epoch, preserving arrival order within groups.
     let mut groups: Vec<(CatalogEpoch, Vec<Job>)> = Vec::new();
@@ -411,20 +385,28 @@ fn execute_batch(inner: &Inner, batch: Vec<Job>) {
         }
     }
     for (epoch, jobs) in groups {
-        counters.batches.fetch_add(1, Ordering::Relaxed);
+        lock(&inner.stats).batches += 1;
         let mut plans = Vec::with_capacity(jobs.len());
         let mut replies = Vec::with_capacity(jobs.len());
         for job in jobs {
             plans.push(job.plan);
             replies.push(job.reply);
         }
-        match inner.session.run_batch_at(&plans, epoch) {
-            Ok(results) => {
+        // Contain panics from the fused pass: the executor thread must
+        // outlive any one bad batch. On a panic the replies are dropped,
+        // so each waiting connection observes the closed channel and
+        // answers a structured `err internal` instead of hanging.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            inner.session.run_batch_at(&plans, epoch)
+        }));
+        match outcome {
+            Ok(Ok(results)) => {
                 for (reply, result) in replies.into_iter().zip(results) {
                     let _ = reply.send(Ok(result));
                 }
             }
-            Err(error) => {
+            Err(_panic) => drop(replies),
+            Ok(Err(error)) => {
                 // One bad plan fails its whole epoch group (the batch
                 // executor is all-or-nothing); each member gets the
                 // structured error. Plan-shape errors are caught at
@@ -466,13 +448,219 @@ fn repair_loop(inner: &Inner) {
             // or repair failure just leaves the entry cold.
             if let Ok(plan) = QueryPlan::from_key(&key) {
                 if inner.session.refresh(&plan).is_ok() {
-                    inner
-                        .counters
-                        .background_repairs
-                        .fetch_add(1, Ordering::Relaxed);
+                    lock(&inner.stats).background_repairs += 1;
                 }
             }
         }
+    }
+}
+
+/// A loom-lite deterministic interleaving harness for the
+/// window-collector protocol.
+///
+/// Instead of sampling interleavings from the OS scheduler, these tests
+/// build the scheduler core **without** executor threads and drive
+/// every protocol step (admission, window collection, batch execution,
+/// delta publication, shutdown) explicitly. An interleaving is then a
+/// plain sequence of steps, enumerated exhaustively where it matters —
+/// each run reproduces its schedule exactly. The three scenarios cover
+/// the protocol's racy edges: a collector exiting while the queue is
+/// still nonempty, a delta published into an open window, and shutdown
+/// arriving while waiters are parked on the condvar.
+#[cfg(test)]
+mod interleave {
+    use super::*;
+    use f1_components::{Catalog, CatalogStore};
+    use f1_skyline::query::{Constraint, Objective};
+    use f1_units::Watts;
+
+    fn plan(cap: f64) -> QueryPlan {
+        QueryPlan::builder()
+            .objectives(&[Objective::SafeVelocity, Objective::TotalTdp])
+            .constraint(Constraint::MaxTotalTdp(Watts::new(cap)))
+            .build()
+            .expect("plan builds")
+    }
+
+    type ReplyRx = Receiver<Result<Arc<ResultSet>, SkylineError>>;
+
+    /// The scheduler core with no threads of its own.
+    struct Core {
+        inner: Arc<Inner>,
+    }
+
+    impl Core {
+        fn new(window: Duration, max_batch: usize) -> Self {
+            let store = Arc::new(CatalogStore::from_shared(Arc::new(Catalog::paper())));
+            let session = Arc::new(Session::over(store));
+            Self {
+                inner: Arc::new(Inner {
+                    session,
+                    config: SchedulerConfig {
+                        window,
+                        queue_capacity: 64,
+                        max_batch,
+                        executors: 1,
+                    },
+                    queue: Mutex::new(QueueState {
+                        jobs: VecDeque::new(),
+                        collecting: false,
+                    }),
+                    queue_cv: Condvar::new(),
+                    repair_gen: Mutex::new(0),
+                    repair_cv: Condvar::new(),
+                    shutdown: AtomicBool::new(false),
+                    stats: Mutex::new(SchedulerStats::default()),
+                }),
+            }
+        }
+
+        /// Admission step: the job lands on the queue at the *current*
+        /// epoch, which is returned so the test can assert the answer
+        /// is pinned to it.
+        fn submit(&self, cap: f64) -> (f64, CatalogEpoch, ReplyRx) {
+            let epoch = self.inner.session.epoch();
+            let (reply, rx) = mpsc::sync_channel(1);
+            {
+                let mut queue = lock(&self.inner.queue);
+                queue.jobs.push_back(Job {
+                    plan: plan(cap),
+                    epoch,
+                    reply,
+                });
+                lock(&self.inner.stats).admitted += 1;
+            }
+            self.inner.queue_cv.notify_all();
+            (cap, epoch, rx)
+        }
+
+        /// Delta-publication step: a new epoch becomes current.
+        fn delta(&self) {
+            let delta = CatalogDelta::new().retire_compute(f1_components::names::TX2);
+            self.inner
+                .session
+                .store()
+                .apply(&delta)
+                .expect("delta applies");
+        }
+
+        fn collect(&self) -> Option<Vec<Job>> {
+            collect_batch(&self.inner)
+        }
+
+        fn execute(&self, batch: Vec<Job>) {
+            execute_batch(&self.inner, batch);
+        }
+
+        /// Bit-identical expectation: a cold run at the given epoch.
+        fn cold_run_at(&self, cap: f64, epoch: CatalogEpoch) -> Arc<ResultSet> {
+            Session::over(Arc::clone(self.inner.session.store()))
+                .run_at(&plan(cap), epoch)
+                .expect("cold run succeeds")
+        }
+    }
+
+    #[test]
+    fn collector_exit_with_nonempty_queue_releases_the_role() {
+        // Three jobs, max_batch 2: the collector must cap its drain,
+        // leave the remainder queued, and release the collector flag so
+        // a peer can claim the leftovers — a stuck `collecting` flag
+        // would deadlock every later window.
+        let core = Core::new(Duration::from_millis(5), 2);
+        let submitted = [core.submit(20.0), core.submit(21.0), core.submit(22.0)];
+        let first = core.collect().expect("work is available");
+        assert_eq!(first.len(), 2, "max_batch caps the drain");
+        {
+            let queue = lock(&core.inner.queue);
+            assert_eq!(queue.jobs.len(), 1, "the remainder stays queued");
+            assert!(!queue.collecting, "the collector role is released");
+        }
+        core.execute(first);
+        let second = core.collect().expect("the remainder is claimable");
+        assert_eq!(second.len(), 1);
+        core.execute(second);
+        for (cap, epoch, rx) in submitted {
+            let got = rx.recv().expect("answered").expect("feasible");
+            assert_eq!(*got, *core.cold_run_at(cap, epoch), "epoch-pinned answer");
+        }
+    }
+
+    #[test]
+    fn delta_during_an_open_window_pins_jobs_to_their_admission_epochs() {
+        // Every interleaving of {submit a, submit b, publish delta}:
+        // whichever side of the delta a job lands on, its answer must be
+        // bit-identical to a cold run at its own admission epoch, even
+        // when both epochs share one collected batch.
+        let schedules: [&[&str]; 3] = [
+            &["a", "b", "delta"],
+            &["a", "delta", "b"],
+            &["delta", "a", "b"],
+        ];
+        for schedule in schedules {
+            let core = Core::new(Duration::from_millis(5), 2);
+            let mut submitted = Vec::new();
+            for step in schedule {
+                match *step {
+                    "a" => submitted.push(core.submit(18.0)),
+                    "b" => submitted.push(core.submit(19.0)),
+                    "delta" => core.delta(),
+                    other => unreachable!("unknown step {other}"),
+                }
+            }
+            // Both jobs are queued, so the collector drains one full
+            // batch without waiting out the window.
+            let batch = core.collect().expect("two jobs queued");
+            assert_eq!(batch.len(), 2, "schedule {schedule:?}");
+            core.execute(batch);
+            for (cap, epoch, rx) in submitted {
+                let got = rx.recv().expect("answered").expect("feasible");
+                assert_eq!(
+                    *got,
+                    *core.cold_run_at(cap, epoch),
+                    "schedule {schedule:?}: job admitted at {epoch:?} must answer there"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shutdown_with_parked_waiters_drains_the_queue_then_frees_everyone() {
+        // Two waiters park on the empty queue's condvar; a job arrives
+        // and shutdown follows immediately. In every interleaving the
+        // job must still be drained (its connection is waiting on the
+        // reply) and both waiters must exit — no lost wakeup, no
+        // stranded job.
+        let core = Core::new(Duration::from_millis(5), 2);
+        let waiters: Vec<_> = (0..2)
+            .map(|_| {
+                let inner = Arc::clone(&core.inner);
+                std::thread::spawn(move || collect_batch(&inner))
+            })
+            .collect();
+        let (cap, epoch, rx) = core.submit(23.0);
+        core.inner.shutdown.store(true, Ordering::Release);
+        core.inner.queue_cv.notify_all();
+        let mut batches = Vec::new();
+        for waiter in waiters {
+            if let Some(batch) = waiter.join().expect("waiter exits cleanly") {
+                batches.push(batch);
+            }
+        }
+        assert_eq!(batches.len(), 1, "exactly one waiter drains the job");
+        assert_eq!(batches[0].len(), 1);
+        {
+            let queue = lock(&core.inner.queue);
+            assert!(queue.jobs.is_empty(), "no job is stranded");
+            assert!(
+                !queue.collecting,
+                "the collector flag is clear after shutdown"
+            );
+        }
+        for batch in batches {
+            core.execute(batch);
+        }
+        let got = rx.recv().expect("answered").expect("feasible");
+        assert_eq!(*got, *core.cold_run_at(cap, epoch));
     }
 }
 
@@ -594,6 +782,65 @@ mod tests {
             sched.submit(p, session.epoch()),
             Err(SubmitError::ShuttingDown)
         ));
+    }
+
+    /// The cross-counter invariants every [`Scheduler::stats`] snapshot
+    /// must satisfy, however the reader interleaves with admission and
+    /// batch execution.
+    fn assert_consistent(s: &SchedulerStats) {
+        assert!(
+            s.batched_requests <= s.admitted,
+            "executed more than admitted: {s:?}"
+        );
+        assert!(
+            s.coalesced <= s.batched_requests,
+            "coalesced without executing: {s:?}"
+        );
+        assert!(
+            s.batches <= s.batched_requests,
+            "more batches than batched requests: {s:?}"
+        );
+        assert!(
+            s.max_batch <= s.batched_requests,
+            "max batch larger than everything executed: {s:?}"
+        );
+        if s.deltas_applied == 0 {
+            assert_eq!(s.background_repairs, 0, "repairs before any delta: {s:?}");
+        }
+    }
+
+    #[test]
+    fn stats_snapshots_are_never_torn() {
+        let sched = Arc::new(scheduler(Duration::from_millis(2), 1024));
+        let epoch = sched.session().epoch();
+        let stop = Arc::new(AtomicBool::new(false));
+        let reader = {
+            let sched = Arc::clone(&sched);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut observed = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    let s = sched.stats();
+                    assert_consistent(&s);
+                    observed += 1;
+                }
+                observed
+            })
+        };
+        let receivers: Vec<_> = (0..200)
+            .map(|i| sched.submit(plan(10.0 + (i % 40) as f64), epoch).unwrap())
+            .collect();
+        for rx in receivers {
+            rx.recv().unwrap().unwrap();
+        }
+        stop.store(true, Ordering::Release);
+        let observed = reader.join().expect("reader thread panicked");
+        assert!(observed > 0, "the reader never got a snapshot in");
+        let fin = sched.stats();
+        assert_consistent(&fin);
+        assert_eq!(fin.admitted, 200);
+        assert_eq!(fin.batched_requests, 200);
+        sched.shutdown();
     }
 
     #[test]

@@ -47,6 +47,12 @@ pub struct ServeConfig {
     /// Most simultaneous connections; extras get a structured
     /// `overloaded` error and are closed.
     pub max_connections: usize,
+    /// Test-only fault injection: when set, the literal frame `panic`
+    /// panics the connection handler, exercising the containment path
+    /// (the panic is caught, the connection answers a structured
+    /// `err internal` frame and stays open). Never enable on a real
+    /// server.
+    pub fault_injection: bool,
 }
 
 impl Default for ServeConfig {
@@ -56,6 +62,7 @@ impl Default for ServeConfig {
             scheduler: SchedulerConfig::default(),
             max_frame: DEFAULT_MAX_FRAME,
             max_connections: 64,
+            fault_injection: false,
         }
     }
 }
@@ -66,6 +73,7 @@ struct Shared {
     active: AtomicUsize,
     max_frame: usize,
     max_connections: usize,
+    fault_injection: bool,
 }
 
 /// A running server. Dropping it (or calling [`shutdown`](Self::shutdown)
@@ -101,6 +109,7 @@ impl Server {
             active: AtomicUsize::new(0),
             max_frame: config.max_frame,
             max_connections: config.max_connections,
+            fault_injection: config.fault_injection,
         });
         let accept = {
             let shared = Arc::clone(&shared);
@@ -151,7 +160,10 @@ impl Server {
     /// exited (bounded wait), then joins the scheduler.
     pub fn join(&self) {
         self.shutdown();
-        if let Some(handle) = lock(&self.accept).take() {
+        // Take the handle out in its own statement so the accept-slot
+        // guard is released before the (blocking) join.
+        let accept = lock(&self.accept).take();
+        if let Some(handle) = accept {
             let _ = handle.join();
         }
         // Connection threads exit at their next read-timeout tick.
@@ -240,6 +252,7 @@ fn read_frame(stream: &TcpStream, buffer: &mut Vec<u8>, shared: &Shared) -> Fram
         }
         match (&*stream).read(&mut chunk) {
             Ok(0) => return Frame::Closed,
+            // analyze::allow(indexing, reason = "Read::read returns n <= chunk.len() by contract")
             Ok(n) => buffer.extend_from_slice(&chunk[..n]),
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
@@ -289,11 +302,42 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                 return;
             }
         };
-        let keep_open = handle_request(&line, &mut writer, shared);
+        // Contain handler panics: a panic anywhere under dispatch (plan
+        // evaluation, serialization, an injected fault) must never kill
+        // the connection silently — the peer gets a structured
+        // `err internal` frame and the connection stays usable.
+        let dispatched = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle_request(&line, &mut writer, shared)
+        }));
+        let keep_open = match dispatched {
+            Ok(keep_open) => keep_open,
+            Err(payload) => {
+                let what = panic_message(payload.as_ref());
+                let _ = write_response(
+                    &mut writer,
+                    false,
+                    &error_body(
+                        ErrorKind::Internal,
+                        &format!("request handler panicked: {what}"),
+                    ),
+                );
+                true
+            }
+        };
         if !keep_open {
             return;
         }
     }
+}
+
+/// Best-effort text of a caught panic payload (`&str` / `String`
+/// payloads; anything else is opaque).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("opaque panic payload")
 }
 
 /// Dispatches one parsed frame; returns whether the connection stays
@@ -301,6 +345,10 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
 /// structured `err` responses on a live connection — only framing
 /// violations and shutdown close it.
 fn handle_request(line: &str, writer: &mut TcpStream, shared: &Shared) -> bool {
+    if shared.fault_injection && line == "panic" {
+        // analyze::allow(panic, reason = "test-only fault injection behind ServeConfig::fault_injection, default off")
+        panic!("injected fault (ServeConfig::fault_injection)");
+    }
     let scheduler = &shared.scheduler;
     let session = scheduler.session();
     let request = match parse_request(line) {

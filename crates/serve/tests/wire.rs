@@ -230,6 +230,53 @@ fn delta_mid_query_pins_the_admission_epoch_bit_identically() {
 }
 
 #[test]
+fn handler_panic_answers_err_internal_and_keeps_the_connection() {
+    // Fault injection on: the literal frame `panic` panics inside the
+    // connection handler. Containment must answer a structured
+    // `err internal` frame and keep the connection usable.
+    let (server, _) = start(ServeConfig {
+        fault_injection: true,
+        ..config()
+    });
+    let mut c = client(&server);
+    let (ok, body) = c
+        .request("panic")
+        .expect("a structured response, not a drop");
+    assert!(!ok, "a panicked handler must answer err: {body}");
+    assert!(body.contains("\"kind\": \"internal\""), "{body}");
+    assert!(body.contains("injected fault"), "{body}");
+    // Same connection, next frame: fully alive, queries still work.
+    let p = plan(26.0);
+    let (ok, answer) = c.request(&format!("query {}", p.key())).expect("alive");
+    assert!(ok, "{answer}");
+    let (ok, pong) = c.request("ping").expect("alive");
+    assert!(ok && pong.contains("pong"), "{pong}");
+    server.shutdown();
+}
+
+#[test]
+fn handler_panic_containment_repeats_per_frame() {
+    // Every panicking frame is contained independently — no poisoned
+    // state leaks from one contained panic to the next request.
+    let (server, _) = start(ServeConfig {
+        fault_injection: true,
+        ..config()
+    });
+    let mut c = client(&server);
+    for _ in 0..3 {
+        let (ok, body) = c.request("panic").expect("structured response");
+        assert!(!ok && body.contains("\"kind\": \"internal\""), "{body}");
+        let (ok, pong) = c.request("ping").expect("alive between faults");
+        assert!(ok && pong.contains("pong"), "{pong}");
+    }
+    // A second connection is unaffected by the first one's faults.
+    let mut c2 = client(&server);
+    let (ok, body) = c2.request("stats").expect("second connection works");
+    assert!(ok, "{body}");
+    server.shutdown();
+}
+
+#[test]
 fn repeat_queries_hit_the_cache_fast_path() {
     let (server, _) = start(config());
     let p = plan(24.0);

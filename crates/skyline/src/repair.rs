@@ -75,6 +75,7 @@ struct FamilyDelta {
     ambiguous: bool,
 }
 
+// analyze::allow(indexing, scope = "fn", reason = "membership tables are sized to the full id space (new_space), which bounds every id")
 fn family_delta(
     plan_list: Option<Vec<u32>>,
     old_default: &[u32],
@@ -140,6 +141,7 @@ struct CandIndex {
 }
 
 impl CandIndex {
+    // analyze::allow(indexing, scope = "fn", reason = "rank/prefix are sized computes*algos and computes; j and a come from enumerate()")
     fn build(table: &ThroughputTable, computes: &[u32], algorithms: &[u32]) -> Self {
         let algo_count = algorithms.len();
         let mut rank = vec![None; computes.len() * algo_count];
@@ -170,6 +172,7 @@ impl CandIndex {
         }
     }
 
+    // analyze::allow(indexing, scope = "fn", reason = "rank and prefix were sized for every (compute_pos, algo_pos) by build()")
     fn pos(&self, sensor_pos: u32, compute_pos: u32, algo_pos: u32) -> Option<u64> {
         let r = self.rank[compute_pos as usize * self.algo_count + algo_pos as usize]?;
         Some(
@@ -199,6 +202,7 @@ impl NewOrder<'_> {
     /// The point's job index in the new epoch's enumeration, or `None`
     /// when the point is no longer enumerated (a part retired or the
     /// pair no longer characterized).
+    // analyze::allow(indexing, scope = "fn", reason = "new_pos tables are sized to the full id space; part indices are catalog ids")
     fn job_of(&self, point: &QueryPoint) -> Option<u64> {
         let a = self.airframes.new_pos[point.airframe.index()]?;
         let s = self.sensors.new_pos[point.candidate.sensor.index()]?;
@@ -272,6 +276,7 @@ raw_id_from!(AirframeId, SensorId, ComputeId, AlgorithmId);
 /// The skyline over a subset of merged points (merged indices in,
 /// merged indices out). Infeasible points and non-finite rows are
 /// excluded, mirroring [`ResultSet::minimized_keys`].
+// analyze::allow(indexing, scope = "fn", reason = "m indexes row-aligned columns; frontier indices map back through `map`, built alongside keys")
 fn skyline_of(
     indices: &[u32],
     feasible: &impl Fn(u32) -> bool,
@@ -310,6 +315,8 @@ fn skyline_of(
 
 /// Repairs `cached` (computed at `old`) into the result the same plan
 /// produces at `new` — see the [module docs](self).
+// analyze::allow(indexing, scope = "fn", reason = "merge kernel: slab, survivor and delta indices are constructed in-range by the enumeration and run-length loops")
+// analyze::allow(panic, scope = "fn", reason = "merge invariants (one result per slab plan, new-epoch enumeration covers slab points, delta counts fit u32/usize) hold by construction")
 pub(crate) fn repair_result(
     old: &EpochState,
     new: &EpochState,

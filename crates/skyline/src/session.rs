@@ -297,6 +297,7 @@ impl ResultSet {
     /// The segmented-store location of the point at `index`
     /// (materializing results only — repair never splices a streamed
     /// result).
+    // analyze::allow(indexing, scope = "fn", reason = "callers pass indices < len(), the kept vec length — crate-internal accessor")
     pub(crate) fn point_ref(&self, index: usize) -> PointRef {
         debug_assert!(self.streamed.is_none());
         match &self.kept {
@@ -335,6 +336,7 @@ impl ResultSet {
     /// Maps a global point index to its row position in the stored
     /// columns/points, panicking for an index a streamed result did not
     /// keep.
+    // analyze::allow(panic, scope = "fn", reason = "documented `# Panics` contract for unstored streamed indices; serving code routes through try_point")
     fn row_pos(&self, index: usize) -> usize {
         match &self.streamed {
             None => index,
@@ -356,6 +358,7 @@ impl ResultSet {
     }
 
     /// The global index of stored row `r` (identity when materializing).
+    // analyze::allow(indexing, scope = "fn", reason = "r ranges over rows_len() == stored.len() at every call site")
     fn row_global(&self, r: usize) -> usize {
         self.streamed.as_ref().map_or(r, |m| m.stored[r])
     }
@@ -378,6 +381,7 @@ impl ResultSet {
     /// not store the point (only frontier and top-k indices are
     /// addressable then).
     #[must_use]
+    // analyze::allow(indexing, scope = "fn", reason = "documented `# Panics` accessor; try_point is the checked sibling the serving tier uses")
     pub fn point(&self, index: usize) -> &QueryPoint {
         if self.streamed.is_some() {
             return &self.segments[0][self.row_pos(index)];
@@ -398,6 +402,7 @@ impl ResultSet {
     /// through — a bad request becomes a structured error, not a dead
     /// worker.
     #[must_use]
+    // analyze::allow(indexing, scope = "fn", reason = "every index is checked against len() or comes from a binary_search hit")
     pub fn try_point(&self, index: usize) -> Option<&QueryPoint> {
         if index >= self.len() {
             return None;
@@ -433,6 +438,7 @@ impl ResultSet {
     /// `index` across the columns, `None` when the index is out of
     /// range or unstored in a streamed result.
     #[must_use]
+    // analyze::allow(indexing, scope = "fn", reason = "row index is a binary_search hit or checked against len(); columns are row-aligned")
     pub fn try_row(&self, index: usize) -> Option<Vec<f64>> {
         if index >= self.len() {
             return None;
@@ -457,6 +463,7 @@ impl ResultSet {
     /// [`point`](Self::point), or [`iter_points`](Self::iter_points),
     /// which yields the stored subset.
     #[must_use]
+    // analyze::allow(indexing, scope = "fn", reason = "segment 0 always exists; kept refs were built in-range by the enumeration pass")
     pub fn points(&self) -> &[QueryPoint] {
         assert!(
             self.streamed.is_none(),
@@ -484,6 +491,7 @@ impl ResultSet {
     /// logical count — how many candidates passed the constraints — not
     /// the (much smaller) number of stored points.
     #[must_use]
+    // analyze::allow(indexing, scope = "fn", reason = "segments is never empty: every constructor seeds segment 0")
     pub fn len(&self) -> usize {
         if let Some(meta) = &self.streamed {
             return meta.total_kept;
@@ -506,12 +514,14 @@ impl ResultSet {
     ///
     /// Panics if `position` is out of range.
     #[must_use]
+    // analyze::allow(indexing, scope = "fn", reason = "documented `# Panics` contract; column_for is the checked sibling")
     pub fn column(&self, position: usize) -> &[f64] {
         &self.columns[position]
     }
 
     /// The value column of `objective`, if the plan carried it.
     #[must_use]
+    // analyze::allow(indexing, scope = "fn", reason = "position comes from iter().position over the same objectives vec")
     pub fn column_for(&self, objective: Objective) -> Option<&[f64]> {
         self.objectives
             .iter()
@@ -526,6 +536,7 @@ impl ResultSet {
     /// Panics if either index is out of range, or if a streamed result
     /// did not store the point.
     #[must_use]
+    // analyze::allow(indexing, scope = "fn", reason = "documented `# Panics` contract; the row index is validated by row_pos")
     pub fn value(&self, index: usize, position: usize) -> f64 {
         self.columns[position][self.row_pos(index)]
     }
@@ -538,6 +549,7 @@ impl ResultSet {
     /// Panics if `index` is out of range, or if a streamed result did
     /// not store the point.
     #[must_use]
+    // analyze::allow(indexing, scope = "fn", reason = "row index validated by row_pos; columns are row-aligned")
     pub fn row(&self, index: usize) -> Vec<f64> {
         let r = self.row_pos(index);
         self.columns.iter().map(|c| c[r]).collect()
@@ -558,6 +570,7 @@ impl ResultSet {
 
     /// The rank comparator: feasible before infeasible, then by the
     /// primary objective, ties in enumeration order. Total.
+    // analyze::allow(indexing, scope = "fn", reason = "comparator only sees indices < len() produced by the ranking loops")
     fn rank_cmp(&self, a: usize, b: usize) -> Ordering {
         self.point(b)
             .outcome
@@ -601,6 +614,7 @@ impl ResultSet {
     /// ranking; `k` beyond [`crate::shard::STREAM_TOP_K`] clamps to
     /// what was kept.
     #[must_use]
+    // analyze::allow(indexing, scope = "fn", reason = "slice bound is clamped to the stored top-k length first")
     pub fn top_k(&self, k: usize) -> Vec<usize> {
         if let Some(meta) = &self.streamed {
             return meta.topk[..k.min(meta.topk.len())].to_vec();
@@ -732,6 +746,7 @@ impl ResultSet {
     /// Panics on a streamed result: the full key domain was reduced
     /// shard-by-shard and never materialized.
     #[must_use]
+    // analyze::allow(indexing, scope = "fn", reason = "i < len() and columns are row-aligned with the point list")
     pub fn minimized_keys(&self) -> (Vec<f64>, Vec<usize>) {
         assert!(
             self.streamed.is_none(),
@@ -773,6 +788,7 @@ impl ResultSet {
     /// (`"count"` stays the logical kept count), so consumers can tell
     /// the modes apart.
     #[must_use]
+    // analyze::allow(indexing, scope = "fn", reason = "pos enumerates self.objectives; columns are objective-aligned by construction")
     pub fn to_json(&self, catalog: &Catalog) -> String {
         let mut out = String::with_capacity(64 + self.len() * 96);
         out.push_str("{\n  \"objectives\": [");
@@ -900,6 +916,7 @@ impl<'a> ResultPage<'a> {
     /// result's contiguous point list on first access — see
     /// [`ResultSet::points`]).
     #[must_use]
+    // analyze::allow(indexing, scope = "fn", reason = "page bounds were clamped to the result length in page()")
     pub fn points(&self) -> &'a [QueryPoint] {
         &self.set.points()[self.start..self.end]
     }
@@ -910,6 +927,7 @@ impl<'a> ResultPage<'a> {
     ///
     /// Panics if `position` is out of range.
     #[must_use]
+    // analyze::allow(indexing, scope = "fn", reason = "documented `# Panics` contract; page bounds clamped in page()")
     pub fn column(&self, position: usize) -> &'a [f64] {
         &self.set.columns[position][self.start..self.end]
     }
@@ -1094,6 +1112,8 @@ fn same_pass(a: &QueryPlan, b: &QueryPlan) -> bool {
 /// Runs a batch of plans, sharing one fused parallel pass among every
 /// subset of plans with the same evaluation signature. Results come
 /// back aligned with `plans`.
+// analyze::allow(indexing, scope = "fn", reason = "slot indices come from enumerate() over plans and stay < plans.len()")
+// analyze::allow(panic, scope = "fn", reason = "the grouping loop assigns every plan index to exactly one group")
 pub(crate) fn run_plans(
     ctx: &PassContext<'_>,
     plans: &[&QueryPlan],
@@ -1297,6 +1317,7 @@ struct PlanExec<'p> {
 /// one job's value cache. Each objective is computed **once per job**
 /// and the momentum-theory power model is derived once, no matter how
 /// many plans of the batch read the values.
+// analyze::allow(indexing, scope = "fn", reason = "idx enumerates Objective::ALL, whose length is MAX_OBJECTIVES")
 fn fill_values(
     mask: u8,
     vals: &mut [f64; MAX_OBJECTIVES],
@@ -1335,6 +1356,7 @@ fn fill_values(
             Objective::HoverEnduranceMin => match &power {
                 Some(p) => {
                     let wh = battery_wh
+                        // analyze::allow(panic, reason = "plan validation rejects endurance objectives without a battery before execution")
                         .expect("plan validation rejects endurance plans without a battery");
                     hover_endurance(p, wh, profile.battery_reserve)?.get()
                 }
@@ -1390,6 +1412,7 @@ pub(crate) fn active_ids<T: Copy>(list: &[T], is_active: impl Fn(T) -> bool) -> 
     }
 }
 
+// analyze::allow(indexing, scope = "fn", reason = "fused-pass kernel: every index derives from enumerate()/chunks over the slices it indexes; per-element re-checks cost measurable throughput here")
 fn run_group(
     ctx: &PassContext<'_>,
     plans: &[&QueryPlan],
@@ -1725,6 +1748,7 @@ fn run_group(
             } else {
                 match &odd_rows[exec.odd_pos] {
                     PlanRow::Kept(r) => row = *r,
+                    // analyze::allow(panic, reason = "the kept bit is only set in the same iteration that stored the odd row")
                     PlanRow::Dropped => unreachable!("kept bit set for a dropped odd row"),
                 }
             }
@@ -1946,19 +1970,22 @@ impl MemoCache {
 
     /// Drops the least-recently-used entry (linear scan: capped caches
     /// are small, and eviction is off the lookup fast path). Only the
-    /// victim's plan key is cloned.
+    /// victim's plan key is cloned. Tick ties break on `(key, epoch)`
+    /// so the victim does not depend on hash iteration order.
     fn evict_lru(&mut self) {
         let victim = self
             .plans
+            // analyze::allow(determinism, reason = "min over a total order (tick, key, epoch) — hash iteration order cannot change the victim")
             .iter()
             .flat_map(|(key, by_epoch)| {
                 by_epoch
                     .iter()
                     .map(move |(&epoch, slot)| (slot.tick, key, epoch))
             })
-            .min_by_key(|&(tick, ..)| tick)
+            .min_by_key(|&(tick, key, epoch)| (tick, key, epoch))
             .map(|(_, key, epoch)| (key.clone(), epoch));
         if let Some((key, epoch)) = victim {
+            // analyze::allow(panic, reason = "victim key was read from this map under &mut self — no concurrent removal possible")
             let by_epoch = self.plans.get_mut(&key).expect("victim key exists");
             by_epoch.remove(&epoch);
             if by_epoch.is_empty() {
@@ -2142,6 +2169,7 @@ impl Session {
                 .or_insert_with(|| Arc::new(EpochState::new(snapshot.clone()))),
         );
         while states.len() > Self::MAX_EPOCH_STATES {
+            // analyze::allow(panic, reason = "an entry was inserted into this map a few lines above")
             let oldest = *states.keys().min().expect("map is non-empty");
             states.remove(&oldest);
         }
@@ -2238,6 +2266,7 @@ impl Session {
         }
         self.misses.fetch_add(1, AtomicOrdering::Relaxed);
         let mut results = run_plans(&self.pass_context(state), &[plan], true)?;
+        // analyze::allow(panic, reason = "run_plans returns exactly one result per input plan")
         let result = Arc::new(results.pop().expect("one plan in, one result out"));
         self.insert(plan.key(), epoch, Arc::clone(&result));
         Ok(result)
@@ -2345,19 +2374,24 @@ impl Session {
     }
 
     /// The distinct canonical plan keys currently memoized (at any
-    /// epoch), in unspecified order — cache introspection for a serving
-    /// tier's background repair: after a catalog delta, each returned
-    /// key can be [`refresh`](Self::refresh)ed to bring the hot entries
-    /// forward off the request path.
+    /// epoch), sorted — cache introspection for a serving tier's
+    /// background repair: after a catalog delta, each returned key can
+    /// be [`refresh`](Self::refresh)ed to bring the hot entries forward
+    /// off the request path. Sorting makes the repair order (and any
+    /// log of it) reproducible run-to-run.
     #[must_use]
     pub fn cached_plan_keys(&self) -> Vec<String> {
-        self.cache
+        let mut keys: Vec<String> = self
+            .cache
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .plans
+            // analyze::allow(determinism, reason = "collected then sorted below — hash order never escapes this fn")
             .keys()
             .cloned()
-            .collect()
+            .collect();
+        keys.sort();
+        keys
     }
 
     /// Executes a batch of plans (at the current epoch) in as few fused
@@ -2397,6 +2431,8 @@ impl Session {
         self.run_batch_state(plans, &state)
     }
 
+    // analyze::allow(indexing, scope = "fn", reason = "i and j range over plans.len(); out is built with one slot per plan")
+    // analyze::allow(panic, scope = "fn", reason = "every slot is provably filled: cached, computed, or twinned from its pending representative")
     fn run_batch_state(
         &self,
         plans: &[QueryPlan],

@@ -207,6 +207,7 @@ struct ShardOut {
 /// Propagates evaluation-kernel model errors as the materializing pass
 /// would ([`SkylineError::Model`]); catalog parts and validated
 /// variants never produce them.
+// analyze::allow(indexing, scope = "fn", reason = "streaming kernel: positions index the part lists and tables they were enumerated from")
 pub(crate) fn run_stream(
     ctx: &PassContext<'_>,
     plan: &QueryPlan,
@@ -315,6 +316,7 @@ pub(crate) fn run_stream(
                 power_ready = false;
                 endurance = 0.0;
             }
+            // analyze::allow(panic, reason = "the loop sets `pair` on the first candidate of every (sensor, compute) block")
             let stage = pair.as_ref().expect("pair stage set on first candidate");
             let outcome = algo_stage(
                 stage,
@@ -345,6 +347,7 @@ pub(crate) fn run_stream(
                 if wants_endurance {
                     endurance = match &power {
                         Some(p) => {
+                            // analyze::allow(panic, reason = "plan validation rejects endurance plans without a battery")
                             let wh = battery_wh.expect(
                                 "plan validation rejects endurance plans without a battery",
                             );
