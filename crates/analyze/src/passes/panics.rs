@@ -20,11 +20,14 @@ use crate::diag::Finding;
 use crate::lexer::TokenKind;
 use crate::source::SourceFile;
 
-/// Relative paths the audit covers: `serve/*`, the `skyline`
-/// session/plan/repair/shard modules, and the components store.
+/// Relative paths the audit covers: `serve/*`, `store/*`, the
+/// `skyline` session/plan/repair/shard modules, the components store
+/// and the strict-JSON parser (it decodes every wire request and every
+/// durable log record).
 #[must_use]
 pub fn is_designated(rel: &str) -> bool {
     rel.starts_with("crates/serve/src/")
+        || rel.starts_with("crates/store/src/")
         || matches!(
             rel,
             "crates/skyline/src/session.rs"
@@ -32,6 +35,7 @@ pub fn is_designated(rel: &str) -> bool {
                 | "crates/skyline/src/repair.rs"
                 | "crates/skyline/src/shard.rs"
                 | "crates/components/src/store.rs"
+                | "crates/components/src/json.rs"
         )
 }
 

@@ -2,8 +2,10 @@
 //!
 //! The serving tier's cache identities and responses are *formats*:
 //! the `f1.plan.v1` canonical plan key, `ResultSet::to_json`, the
-//! protocol bodies (`error`/`query`/`top`/`delta`/`stats`) and the
-//! catalog digest. A refactor that changes any of them byte-for-byte
+//! protocol bodies (`error`/`query`/`top`/`delta`/`stats`), the
+//! catalog digest, and the `f1-store` durability framing (epoch-log
+//! records and catalog snapshots — data at rest that must stay
+//! readable across releases). A refactor that changes any of them byte-for-byte
 //! silently invalidates every cached entry, splits the dedup identity
 //! of equal plans, or breaks deployed clients. This pass runs the
 //! **real encoders** over a fixed corpus of inputs and compares the
@@ -20,7 +22,7 @@ use std::sync::Arc;
 
 use f1_components::{catalog_digest, AirframeId, BatteryId, Catalog, CatalogDelta, CatalogStore};
 use f1_serve::protocol;
-use f1_serve::{ErrorKind, SchedulerStats};
+use f1_serve::{DurabilityStats, ErrorKind, SchedulerStats};
 use f1_skyline::plan::{KeepPoints, QueryPlan};
 use f1_skyline::query::{Constraint, Knob, KnobSweep, Objective};
 use f1_skyline::session::{CacheStats, Session};
@@ -30,6 +32,20 @@ use crate::diag::Finding;
 
 /// Directory of the golden corpus, relative to the workspace root.
 pub const GOLDEN_DIR: &str = "crates/analyze/golden";
+
+/// The corpus delta: one add of each flavour, a retire and a throughput
+/// upsert — shared by the delta transcript and the store framing so
+/// their digests agree with each other.
+const DELTA_JSON: &str = r#"{
+  "add": {
+    "sensors": [{"name": "Corpus Cam", "modality": "rgb", "rate_hz": 90,
+                 "range_m": 6, "mass_g": 18}],
+    "batteries": [{"name": "Corpus 4S", "capacity_mah": 6000,
+                   "voltage_v": 14.8, "mass_g": 520}]
+  },
+  "retire": {"computes": ["Intel UpBoard"]},
+  "throughput": [{"compute": "Nvidia TX2", "algorithm": "DroNet", "hz": 400}]
+}"#;
 
 /// The corpus: every wire format exercised through its real encoder.
 /// Deterministic by construction — building it twice yields identical
@@ -87,10 +103,56 @@ pub fn corpus() -> Result<Vec<(&'static str, String)>, String> {
         deltas_applied: 1,
         background_repairs: 2,
     };
-    bodies.push_str(&protocol::stats_body(&snapshot, &cache, &sched, 5));
+    bodies.push_str(&protocol::stats_body(&snapshot, &cache, &sched, 5, None));
+    let durability = DurabilityStats {
+        replica: false,
+        snapshot_epoch: Some(8),
+        replayed_deltas: 2,
+        warm_entries: 3,
+        spill_hits: 1,
+    };
+    bodies.push_str(&protocol::stats_body(
+        &snapshot,
+        &cache,
+        &sched,
+        5,
+        Some(&durability),
+    ));
     out.push(("protocol_bodies.txt", bodies));
     out.push(("catalog_delta.txt", delta_transcript(&store)?));
+    let (log_record, store_snapshot) = store_framing()?;
+    out.push(("store_log_record.txt", log_record));
+    out.push(("store_snapshot.txt", store_snapshot));
     Ok(out)
+}
+
+/// The durability formats: a framed epoch-log record and a framed
+/// catalog snapshot, produced by the real `f1-store` encoders over the
+/// corpus delta. These bytes live on disk across restarts — drift here
+/// means an upgraded server can no longer read its own data directory.
+fn store_framing() -> Result<(String, String), String> {
+    let store = CatalogStore::new(Catalog::paper());
+    let delta =
+        CatalogDelta::from_json(DELTA_JSON).map_err(|e| format!("store delta parse: {e}"))?;
+    let next = store
+        .apply(&delta)
+        .map_err(|e| format!("store apply: {e}"))?;
+    let record = f1_store::LogRecord {
+        epoch: next.epoch().get(),
+        digest: next.digest(),
+        ops: delta.op_count() as u64,
+        delta_json: delta
+            .to_json()
+            .map_err(|e| format!("store delta to_json: {e}"))?,
+    };
+    let log_frame = String::from_utf8(f1_store::frame::encode(&record.to_payload()))
+        .map_err(|e| format!("log frame utf8: {e}"))?;
+    let payload =
+        f1_store::snapshot::encode_snapshot(next.catalog(), next.epoch().get(), next.digest())
+            .map_err(|e| format!("snapshot encode: {e}"))?;
+    let snapshot_frame = String::from_utf8(f1_store::frame::encode(&payload))
+        .map_err(|e| format!("snapshot frame utf8: {e}"))?;
+    Ok((log_frame, snapshot_frame))
 }
 
 /// Representative plans spanning every key section: defaults, multi
@@ -155,16 +217,6 @@ fn corpus_plan() -> Result<QueryPlan, f1_skyline::SkylineError> {
 /// `CatalogDelta::from_json`, `CatalogStore::apply` and the FNV digest
 /// in one transcript.
 fn delta_transcript(store: &CatalogStore) -> Result<String, String> {
-    const DELTA_JSON: &str = r#"{
-  "add": {
-    "sensors": [{"name": "Corpus Cam", "modality": "rgb", "rate_hz": 90,
-                 "range_m": 6, "mass_g": 18}],
-    "batteries": [{"name": "Corpus 4S", "capacity_mah": 6000,
-                   "voltage_v": 14.8, "mass_g": 520}]
-  },
-  "retire": {"computes": ["Intel UpBoard"]},
-  "throughput": [{"compute": "Nvidia TX2", "algorithm": "DroNet", "hz": 400}]
-}"#;
     let delta = CatalogDelta::from_json(DELTA_JSON).map_err(|e| format!("delta parse: {e}"))?;
     let base = store.current();
     let next = store
@@ -287,7 +339,9 @@ mod tests {
                 "plan_keys.txt",
                 "result_set.json",
                 "protocol_bodies.txt",
-                "catalog_delta.txt"
+                "catalog_delta.txt",
+                "store_log_record.txt",
+                "store_snapshot.txt"
             ]
         );
     }
@@ -316,7 +370,7 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
         // Missing goldens: every entry is a finding.
         let missing = check(&dir, false);
-        assert_eq!(missing.len(), 4, "{missing:?}");
+        assert_eq!(missing.len(), 6, "{missing:?}");
         // Bless, then verify clean.
         assert!(check(&dir, true).is_empty());
         assert!(check(&dir, false).is_empty());

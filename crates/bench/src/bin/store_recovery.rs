@@ -1,0 +1,401 @@
+//! `store_recovery` — durability and restart benchmark for `f1-store`.
+//!
+//! Builds real data directories over a synthesized catalog, then
+//! measures the three restart paths against each other and the
+//! warm-cache restore end-to-end (the numbers recorded in
+//! `BENCH_store.json`):
+//!
+//! * `fresh_synth`   — re-synthesizing the catalog from its seed: the
+//!   no-durability baseline every recovery path must beat on identity
+//!   (it loses all applied deltas) and is compared to on time.
+//! * `log_replay`    — recovery from the genesis snapshot plus a full
+//!   epoch-log replay (`--snapshot-every 0`): worst-case cold start.
+//! * `snapshot_tail` — recovery from the latest periodic snapshot plus
+//!   the log tail past it: the steady-state cold start, O(snapshot +
+//!   tail) instead of O(all deltas).
+//! * `warm_cache`    — a served life that evaluates a plan set, shuts
+//!   down (spilling its result cache), restarts, and answers the same
+//!   plans from the digest-validated spill: restore hit rate and
+//!   time-to-first-hit vs a cold first evaluation.
+//!
+//! ```sh
+//! cargo run --release -p f1-bench --bin store_recovery -- --json BENCH_store.json
+//! cargo run --release -p f1-bench --bin store_recovery -- --quick   # CI-sized
+//! ```
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use f1_components::{Catalog, CatalogDelta, CatalogEpoch, CatalogStore};
+use f1_serve::protocol::Client;
+use f1_serve::{Durability, ServeConfig, Server};
+use f1_skyline::plan::{KeepPoints, QueryPlan};
+use f1_skyline::query::{Constraint, Objective};
+use f1_skyline::session::Session;
+use f1_store::{DurableOptions, DurableStore, RecoveryReport};
+use f1_units::Watts;
+
+/// Seed matching the workspace's other synthetic-catalog artifacts.
+const SYNTH_SEED: u64 = 42;
+
+struct Args {
+    synth: usize,
+    deltas: usize,
+    snapshot_every: u64,
+    json: Option<String>,
+    quick: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        synth: 47,
+        deltas: 14,
+        snapshot_every: 4,
+        json: None,
+        quick: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--synth" => {
+                args.synth = value("--synth")?
+                    .parse()
+                    .map_err(|_| "bad --synth value".to_owned())?;
+            }
+            "--deltas" => {
+                args.deltas = value("--deltas")?
+                    .parse()
+                    .map_err(|_| "bad --deltas value".to_owned())?;
+            }
+            "--snapshot-every" => {
+                args.snapshot_every = value("--snapshot-every")?
+                    .parse()
+                    .map_err(|_| "bad --snapshot-every value".to_owned())?;
+            }
+            "--json" => args.json = Some(value("--json")?),
+            "--quick" => args.quick = true,
+            "--help" | "-h" => {
+                println!(
+                    "store_recovery — durability/restart benchmark for f1-store\n\n\
+                     usage: store_recovery [--synth N_PER_FAMILY] [--deltas D]\n\
+                     \x20                     [--snapshot-every K] [--json PATH] [--quick]\n\n\
+                     Builds data directories under the temp dir, applies D throughput\n\
+                     deltas, and times fresh-synth vs full-log-replay vs snapshot+tail\n\
+                     recovery, then a served kill/restart with warm-cache restore.\n\
+                     --quick shrinks the catalog and delta count for smoke runs."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    if args.quick {
+        args.synth = args.synth.min(15);
+        args.deltas = args.deltas.min(6);
+    }
+    Ok(args)
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("f1-store-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn delta_json(i: usize) -> String {
+    format!(
+        r#"{{"throughput": [{{"compute": "Synth Compute 000000", "algorithm": "Synth Algorithm 000001", "hz": {}.0}}]}}"#,
+        100 + i
+    )
+}
+
+/// Single-airframe frontier-only plans differing in TDP cap — the
+/// bounded-memory serving shape, matching `serve_load`.
+fn make_plans(catalog: &Catalog, count: usize) -> Vec<QueryPlan> {
+    let airframe = catalog
+        .airframe_id("Synth Frame 000000")
+        .expect("synth frame 0 exists");
+    (0..count)
+        .map(|i| {
+            let cap = 60.0 - (i as f64) * (55.0 / count.max(2) as f64);
+            QueryPlan::builder()
+                .objectives(&[
+                    Objective::SafeVelocity,
+                    Objective::TotalTdp,
+                    Objective::PayloadMass,
+                    Objective::MissionEnergyWhPerKm,
+                ])
+                .constraint(Constraint::MaxTotalTdp(Watts::new(cap)))
+                .airframes(&[airframe])
+                .keep_points(KeepPoints::FrontierOnly)
+                .build()
+                .expect("plan builds")
+        })
+        .collect()
+}
+
+/// Creates a data dir at `dir` and drives `deltas` epoch publications
+/// through the durable store, so the log (and, with `snapshot_every >
+/// 0`, periodic snapshots) reflect a served lifetime.
+fn build_dir(dir: &Path, synth: usize, deltas: usize, snapshot_every: u64) -> u64 {
+    let durable = DurableStore::open(
+        dir,
+        || Catalog::synthesize(SYNTH_SEED, synth),
+        DurableOptions {
+            snapshot_every,
+            ..DurableOptions::default()
+        },
+    )
+    .expect("durable open");
+    let mut digest = 0;
+    for i in 0..deltas {
+        let delta = CatalogDelta::from_json(&delta_json(i)).expect("delta parses");
+        digest = durable
+            .store()
+            .apply(&delta)
+            .expect("delta applies")
+            .digest();
+    }
+    digest
+}
+
+/// Times `DurableStore::open` over an existing dir; best of `reps`.
+fn timed_open(dir: &Path, synth: usize, reps: usize) -> (RecoveryReport, f64) {
+    let mut best = f64::MAX;
+    let mut report = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let durable = DurableStore::open(
+            dir,
+            || Catalog::synthesize(SYNTH_SEED, synth),
+            DurableOptions::default(),
+        )
+        .expect("recovery open");
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        report = Some(*durable.report());
+        if ms < best {
+            best = ms;
+        }
+    }
+    (report.expect("at least one rep"), best)
+}
+
+/// Boots a durable server over `dir`, re-warming the digest-validated
+/// spill — the `skyline-serve --data-dir` boot path.
+fn boot(dir: &Path, synth: usize) -> (Server, Arc<DurableStore>) {
+    let durable = Arc::new(
+        DurableStore::open(
+            dir,
+            || Catalog::synthesize(SYNTH_SEED, synth),
+            DurableOptions::default(),
+        )
+        .expect("durable open"),
+    );
+    let session = Arc::new(Session::over(Arc::clone(durable.store())));
+    let mut warm = HashMap::new();
+    for record in durable.load_spill().expect("spill loads").records {
+        let Some(snapshot) = durable.store().at(CatalogEpoch::from_raw(record.epoch)) else {
+            continue;
+        };
+        if snapshot.digest() == record.digest {
+            warm.insert((record.plan_key, record.epoch), record.result_json);
+        }
+    }
+    let server = Server::start_durable(
+        session,
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            ..ServeConfig::default()
+        },
+        Durability {
+            durable: Arc::clone(&durable),
+            warm,
+            replica: false,
+        },
+    )
+    .expect("server starts");
+    (server, durable)
+}
+
+fn connect(server: &Server) -> Client {
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client
+        .set_timeout(Some(Duration::from_secs(300)))
+        .expect("timeout");
+    client
+}
+
+/// Arms 1–3: fresh synthesis vs full-log replay vs snapshot + tail.
+fn recovery_arms(args: &Args, out: &mut String) {
+    let reps = 3;
+
+    let mut fresh_ms = f64::MAX;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let store = CatalogStore::new(Catalog::synthesize(SYNTH_SEED, args.synth));
+        fresh_ms = fresh_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        drop(store);
+    }
+
+    let log_dir = scratch("log-replay");
+    let log_digest = build_dir(&log_dir, args.synth, args.deltas, 0);
+    let (log_report, log_ms) = timed_open(&log_dir, args.synth, reps);
+
+    let tail_dir = scratch("snapshot-tail");
+    let tail_digest = build_dir(&tail_dir, args.synth, args.deltas, args.snapshot_every);
+    let (tail_report, tail_ms) = timed_open(&tail_dir, args.synth, reps);
+
+    // Both dirs saw identical deltas — recovery must land on the same
+    // catalog no matter which snapshot it started from.
+    assert_eq!(log_report.epoch, args.deltas as u64);
+    assert_eq!(tail_report.epoch, args.deltas as u64);
+    assert_eq!(log_report.digest, log_digest, "log-replay digest drifted");
+    assert_eq!(
+        tail_report.digest, tail_digest,
+        "snapshot+tail digest drifted"
+    );
+    let digests_agree = log_report.digest == tail_report.digest;
+    assert!(digests_agree, "recovery paths disagree on the catalog");
+
+    println!(
+        "fresh_synth: {fresh_ms:.2} ms (loses all {} deltas)",
+        args.deltas
+    );
+    println!(
+        "log_replay: {log_ms:.2} ms (snapshot epoch {:?} + {} replayed deltas)",
+        log_report.snapshot_epoch, log_report.replayed_deltas
+    );
+    println!(
+        "snapshot_tail: {tail_ms:.2} ms (snapshot epoch {:?} + {} replayed deltas)",
+        tail_report.snapshot_epoch, tail_report.replayed_deltas
+    );
+    out.push_str(&format!(
+        "  \"recovery\": {{\n    \"fresh_synth_ms\": {fresh_ms:.2},\n    \
+         \"log_replay\": {{\"snapshot_epoch\": {}, \"replayed_deltas\": {}, \
+         \"open_ms\": {log_ms:.2}}},\n    \
+         \"snapshot_tail\": {{\"snapshot_epoch\": {}, \"replayed_deltas\": {}, \
+         \"open_ms\": {tail_ms:.2}}},\n    \
+         \"recovered_epoch\": {}, \"digests_agree\": {digests_agree}\n  }},\n",
+        log_report.snapshot_epoch.unwrap_or(0),
+        log_report.replayed_deltas,
+        tail_report.snapshot_epoch.unwrap_or(0),
+        tail_report.replayed_deltas,
+        log_report.epoch,
+    ));
+    let _ = std::fs::remove_dir_all(&log_dir);
+    let _ = std::fs::remove_dir_all(&tail_dir);
+}
+
+/// Arm 4: serve, kill, restart — warm-cache restore hit rate and
+/// time-to-first-hit vs the cold first evaluation.
+fn warm_cache(args: &Args, out: &mut String) {
+    let dir = scratch("warm");
+    let plan_count = 6;
+
+    // Life 1: evaluate the plan set cold, then shut down — the spill
+    // export runs on join. Boot and first-request are timed separately
+    // so the restart comparison shows where the time moves: the warm
+    // boot pays for recovery + spill re-warm up front, the warm first
+    // answer skips the evaluation entirely.
+    let (cold_boot_ms, cold_first_ms, keys) = {
+        let t0 = Instant::now();
+        let (server, _durable) = boot(&dir, args.synth);
+        let boot_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let plans = make_plans(&server.session().catalog(), plan_count);
+        let mut client = connect(&server);
+        let t1 = Instant::now();
+        let (ok, body) = client
+            .request(&format!("query {}", plans[0].key()))
+            .expect("cold query");
+        let cold_ms = t1.elapsed().as_secs_f64() * 1e3;
+        assert!(ok, "{body}");
+        for plan in &plans[1..] {
+            let (ok, body) = client
+                .request(&format!("query {}", plan.key()))
+                .expect("cold query");
+            assert!(ok, "{body}");
+        }
+        server.join();
+        let keys: Vec<String> = plans.iter().map(|p| p.key().to_owned()).collect();
+        (boot_ms, cold_ms, keys)
+    };
+
+    // Life 2: restart over the same dir.
+    let t0 = Instant::now();
+    let (server, durable) = boot(&dir, args.synth);
+    let warm_boot_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut client = connect(&server);
+    let t1 = Instant::now();
+    let (ok, first) = client
+        .request(&format!("query {}", keys[0]))
+        .expect("warm query");
+    let warm_first_ms = t1.elapsed().as_secs_f64() * 1e3;
+    assert!(ok && first.contains("\"cached\": true"), "{first}");
+
+    let mut hits = 1u64;
+    for key in &keys[1..] {
+        let (ok, body) = client.request(&format!("query {key}")).expect("warm query");
+        assert!(ok, "{body}");
+        if body.contains("\"cached\": true") {
+            hits += 1;
+        }
+    }
+    let (ok, stats) = client.request("stats").expect("stats");
+    assert!(ok, "{stats}");
+    let spill_hits: u64 = stats
+        .split("\"spill_hits\": ")
+        .nth(1)
+        .and_then(|s| s.split([',', '}']).next())
+        .and_then(|s| s.trim().parse().ok())
+        .expect("spill_hits in stats");
+    let warm_entries = durable.load_spill().expect("spill loads").records.len();
+    let hit_rate = hits as f64 / plan_count as f64;
+    server.join();
+
+    println!(
+        "warm_cache: {hits}/{plan_count} plans restored ({spill_hits} spill hits); \
+         cold boot {cold_boot_ms:.2} ms + first result {cold_first_ms:.2} ms, \
+         warm boot {warm_boot_ms:.2} ms + first hit {warm_first_ms:.2} ms"
+    );
+    out.push_str(&format!(
+        "  \"warm_cache\": {{\n    \"plans_warmed\": {plan_count}, \
+         \"spilled_entries\": {warm_entries}, \"hits\": {hits}, \
+         \"hit_rate\": {hit_rate:.2}, \"spill_hits\": {spill_hits},\n    \
+         \"cold\": {{\"boot_ms\": {cold_boot_ms:.2}, \"first_result_ms\": {cold_first_ms:.2}}},\n    \
+         \"warm\": {{\"boot_ms\": {warm_boot_ms:.2}, \"first_hit_ms\": {warm_first_ms:.2}}}\n  }}\n"
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args().map_err(|e| -> Box<dyn std::error::Error> { e.into() })?;
+    let candidates = args.synth * args.synth * args.synth;
+    println!(
+        "store_recovery: synth {} ({candidates} candidates on one airframe), {} deltas, \
+         snapshot every {}{}",
+        args.synth,
+        args.deltas,
+        args.snapshot_every,
+        if args.quick { " (quick)" } else { "" }
+    );
+    let mut body = String::new();
+    recovery_arms(&args, &mut body);
+    warm_cache(&args, &mut body);
+    let json = format!(
+        "{{\n  \"bench\": \"crates/bench/src/bin/store_recovery.rs\",\n  \
+         \"command\": \"cargo run --release -p f1-bench --bin store_recovery\",\n  \
+         \"synth_per_family\": {},\n  \"candidates_per_airframe\": {candidates},\n  \
+         \"deltas\": {},\n  \"snapshot_every\": {},\n{body}}}\n",
+        args.synth, args.deltas, args.snapshot_every
+    );
+    if let Some(path) = args.json.as_deref() {
+        std::fs::write(path, &json)?;
+        println!("wrote {path}");
+    } else {
+        println!("{json}");
+    }
+    Ok(())
+}

@@ -43,6 +43,7 @@ mod classes;
 mod compute;
 mod error;
 mod id;
+pub mod json;
 mod sensor;
 mod store;
 mod synth;
@@ -57,5 +58,7 @@ pub use compute::{ComputeKind, ComputePlatform, ComputePlatformBuilder};
 pub use error::ComponentError;
 pub use id::{AirframeId, AlgorithmId, BatteryId, ComputeId, SensorId};
 pub use sensor::{Sensor, SensorModality};
-pub use store::{catalog_digest, CatalogDelta, CatalogEpoch, CatalogStore, EpochSnapshot};
+pub use store::{
+    catalog_digest, CatalogDelta, CatalogEpoch, CatalogStore, EpochSink, EpochSnapshot,
+};
 pub use throughput::{ThroughputMatrix, ThroughputTable};

@@ -21,6 +21,15 @@
 //!   equal content hashes equal, so a no-op delta advances the epoch
 //!   counter while the digest stays put — observable catalog identity
 //!   for caches and logs.
+//! * [`EpochSink`] — an ordered observer of epoch publication. A
+//!   durability layer (the `f1-store` crate) attaches a sink and sees
+//!   every `(delta, snapshot)` pair *before* the epoch becomes visible
+//!   to readers; a sink error vetoes publication, which is exactly
+//!   write-ahead-log ordering.
+//! * [`CatalogDelta::rebuild`] / [`CatalogDelta::to_json`] — the
+//!   snapshot wire form: any catalog can be serialized as the delta
+//!   that rebuilds it from empty (id-order replay re-mints identical
+//!   dense ids).
 //!
 //! ```
 //! use f1_components::{names, Catalog, CatalogDelta, CatalogStore};
@@ -43,13 +52,15 @@
 //! # Ok::<(), f1_components::ComponentError>(())
 //! ```
 
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
-use f1_units::{Grams, Hertz, Meters, MilliampHours, Millimeters, Watts};
+use f1_model::physics::PitchPolicy;
+use f1_units::{Grams, Hertz, Meters, MilliampHours, Millimeters, Radians, Watts};
 
 use crate::{
-    Airframe, AutonomyAlgorithm, Battery, Catalog, ComponentError, ComputeKind, ComputePlatform,
-    Sensor, SensorModality,
+    json, Airframe, AirframeId, AlgorithmId, AutonomyAlgorithm, Battery, BatteryId, Catalog,
+    ComponentError, ComputeId, ComputeKind, ComputePlatform, Sensor, SensorId, SensorModality,
+    SizeClass, SpaStage,
 };
 
 /// Monotonically increasing identity of one immutable catalog version
@@ -136,14 +147,61 @@ pub fn catalog_digest(catalog: &Catalog) -> u64 {
     hash
 }
 
+/// An ordered observer of epoch publication, called by
+/// [`CatalogStore::apply`] for every successful delta *before* the new
+/// epoch becomes visible to readers.
+///
+/// This is the write-ahead hook a durability layer needs: the sink can
+/// persist the `(delta, snapshot)` pair, and if it fails the epoch is
+/// **not** published — readers never observe an epoch that was not made
+/// durable first.
+///
+/// # Lock-order contract
+///
+/// `publish` runs while the store's internal epoch-list mutex is held
+/// (that is what makes the callback *ordered*: sinks observe epochs in
+/// exactly publication order, with no interleaving). Implementations
+/// therefore must not call back into the [`CatalogStore`] that invoked
+/// them — `current`/`at`/`apply` on the same store would self-deadlock —
+/// and must not acquire any lock that can be held while calling
+/// `CatalogStore` methods. File I/O and sink-private locks are fine;
+/// the intended lock order is strictly `store.epochs → sink internals`,
+/// never the reverse.
+pub trait EpochSink: Send + Sync {
+    /// Persists (or otherwise observes) one epoch publication.
+    ///
+    /// # Errors
+    ///
+    /// Any error vetoes the publication: [`CatalogStore::apply`] returns
+    /// it and the store stays on the previous epoch.
+    fn publish(&self, delta: &CatalogDelta, snapshot: &EpochSnapshot)
+        -> Result<(), ComponentError>;
+}
+
 /// A copy-on-write, thread-safe store of immutable catalog epochs.
 ///
 /// See the [`CatalogDelta`] docs for the epoch/delta model. The store
-/// retains every published epoch (catalog metadata is small next to the
-/// result sets computed from it), so readers can pin any version.
-#[derive(Debug)]
+/// retains every epoch it published (catalog metadata is small next to
+/// the result sets computed from it), so readers can pin any version
+/// back to the store's base epoch — [`CatalogStore::GENESIS`](CatalogEpoch::GENESIS)
+/// for fresh stores, the snapshot's epoch for stores restored via
+/// [`CatalogStore::resume`].
 pub struct CatalogStore {
+    /// Raw epoch number of `epochs[0]` — 0 for fresh stores, the
+    /// restored snapshot's epoch after `resume`.
+    base: u64,
     epochs: Mutex<Vec<EpochSnapshot>>,
+    sink: OnceLock<Arc<dyn EpochSink>>,
+}
+
+impl core::fmt::Debug for CatalogStore {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("CatalogStore")
+            .field("base", &self.base)
+            .field("epochs", &self.lock().len())
+            .field("sink", &self.sink.get().map(|_| "attached"))
+            .finish()
+    }
 }
 
 impl CatalogStore {
@@ -156,14 +214,51 @@ impl CatalogStore {
     /// Opens a store whose genesis epoch is an already-shared catalog.
     #[must_use]
     pub fn from_shared(catalog: Arc<Catalog>) -> Self {
+        Self::resume(CatalogEpoch::GENESIS, catalog)
+    }
+
+    /// Opens a store that *resumes* at `epoch` with `catalog` as its
+    /// first resolvable version — the restore constructor for a store
+    /// rebuilt from a persisted snapshot plus a log tail. Epochs older
+    /// than `epoch` are not resolvable ([`CatalogStore::at`] returns
+    /// `None` for them); sessions pinned there fall back to cold runs.
+    #[must_use]
+    pub fn resume(epoch: CatalogEpoch, catalog: Arc<Catalog>) -> Self {
         let digest = catalog_digest(&catalog);
         Self {
+            base: epoch.get(),
             epochs: Mutex::new(vec![EpochSnapshot {
-                epoch: CatalogEpoch::GENESIS,
+                epoch,
                 catalog,
                 digest,
             }]),
+            sink: OnceLock::new(),
         }
+    }
+
+    /// Attaches the epoch-publication sink. At most one sink can ever
+    /// be attached; it observes every subsequent [`CatalogStore::apply`]
+    /// under the ordering contract documented on [`EpochSink`].
+    ///
+    /// # Errors
+    ///
+    /// [`ComponentError::InvalidField`] (field `"sink"`) if a sink is
+    /// already attached.
+    pub fn set_sink(&self, sink: Arc<dyn EpochSink>) -> Result<(), ComponentError> {
+        self.sink
+            .set(sink)
+            .map_err(|_| ComponentError::InvalidField {
+                field: "sink",
+                reason: "an epoch sink is already attached".into(),
+            })
+    }
+
+    /// The oldest epoch this store can resolve: genesis for fresh
+    /// stores, the restored snapshot's epoch after
+    /// [`CatalogStore::resume`].
+    #[must_use]
+    pub fn base_epoch(&self) -> CatalogEpoch {
+        CatalogEpoch::from_raw(self.base)
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Vec<EpochSnapshot>> {
@@ -183,10 +278,13 @@ impl CatalogStore {
         self.current().epoch
     }
 
-    /// Resolves a pinned epoch, if this store published it.
+    /// Resolves a pinned epoch, if this store holds it (published here,
+    /// or at/after the snapshot a [`CatalogStore::resume`]d store was
+    /// restored from).
     #[must_use]
     pub fn at(&self, epoch: CatalogEpoch) -> Option<EpochSnapshot> {
-        self.lock().get(usize::try_from(epoch.0).ok()?).cloned()
+        let index = usize::try_from(epoch.0.checked_sub(self.base)?).ok()?;
+        self.lock().get(index).cloned()
     }
 
     /// Number of published epochs (genesis included).
@@ -204,8 +302,10 @@ impl CatalogStore {
     /// # Errors
     ///
     /// Any [`ComponentError`] from the delta's operations (duplicate
-    /// names, unknown retirement targets, invalid throughputs) or from
-    /// [`Catalog::validate`] on the patched result.
+    /// names, unknown retirement targets, invalid throughputs), from
+    /// [`Catalog::validate`] on the patched result, or from the attached
+    /// [`EpochSink`] — a sink error means the epoch was *not* made
+    /// durable, so it is not published either.
     pub fn apply(&self, delta: &CatalogDelta) -> Result<EpochSnapshot, ComponentError> {
         let mut epochs = self.lock();
         // analyze::allow(panic, reason = "constructor seeds the genesis epoch; the list is never empty")
@@ -218,6 +318,11 @@ impl CatalogStore {
             digest: catalog_digest(&next),
             catalog: Arc::new(next),
         };
+        // Write-ahead ordering: the sink persists the epoch before any
+        // reader can observe it, and its error vetoes publication.
+        if let Some(sink) = self.sink.get() {
+            sink.publish(delta, &snapshot)?;
+        }
         epochs.push(snapshot.clone());
         Ok(snapshot)
     }
@@ -407,6 +512,133 @@ impl CatalogDelta {
         Ok(())
     }
 
+    /// Reconstructs the additive delta that rebuilds `catalog`'s parts
+    /// bin from empty: every part ever added, **in id order**, so that
+    /// replaying the delta against [`Catalog::new`] re-mints identical
+    /// dense ids; parts retired in `catalog` appear both as adds and as
+    /// retirements (names are permanent — the id must exist to be a
+    /// tombstone).
+    ///
+    /// The throughput matrix is *not* included: it records its own
+    /// platform/algorithm intern order, which row-order replay cannot
+    /// reproduce in general. Snapshot writers persist it separately via
+    /// [`ThroughputMatrix::from_parts`](crate::ThroughputMatrix::from_parts)
+    /// inputs ([`ThroughputMatrix::platform_order`](crate::ThroughputMatrix::platform_order)
+    /// and friends).
+    #[must_use]
+    pub fn rebuild(catalog: &Catalog) -> Self {
+        let mut delta = Self::new();
+        for i in 0..catalog.airframe_count() {
+            let id = AirframeId::from_index(i);
+            delta.add_airframes.push(catalog.airframe_by_id(id).clone());
+            if !catalog.airframe_is_active(id) {
+                delta
+                    .retire_airframes
+                    .push(catalog.airframe_by_id(id).name().to_owned());
+            }
+        }
+        for i in 0..catalog.sensor_count() {
+            let id = SensorId::from_index(i);
+            delta.add_sensors.push(catalog.sensor_by_id(id).clone());
+            if !catalog.sensor_is_active(id) {
+                delta
+                    .retire_sensors
+                    .push(catalog.sensor_by_id(id).name().to_owned());
+            }
+        }
+        for i in 0..catalog.compute_count() {
+            let id = ComputeId::from_index(i);
+            delta.add_computes.push(catalog.compute_by_id(id).clone());
+            if !catalog.compute_is_active(id) {
+                delta
+                    .retire_computes
+                    .push(catalog.compute_by_id(id).name().to_owned());
+            }
+        }
+        for i in 0..catalog.algorithm_count() {
+            let id = AlgorithmId::from_index(i);
+            delta
+                .add_algorithms
+                .push(catalog.algorithm_by_id(id).clone());
+            if !catalog.algorithm_is_active(id) {
+                delta
+                    .retire_algorithms
+                    .push(catalog.algorithm_by_id(id).name().to_owned());
+            }
+        }
+        for i in 0..catalog.battery_count() {
+            let id = BatteryId::from_index(i);
+            delta.add_batteries.push(catalog.battery_by_id(id).clone());
+            if !catalog.battery_is_active(id) {
+                delta
+                    .retire_batteries
+                    .push(catalog.battery_by_id(id).name().to_owned());
+            }
+        }
+        delta
+    }
+
+    /// Serializes the delta as a single-line JSON document in the
+    /// [`CatalogDelta::from_json`] schema, so
+    /// `from_json(delta.to_json()?)` reproduces the delta exactly.
+    /// Airframes are written with every field explicit
+    /// (`control_rate_hz`, `size_class`, `pitch_policy` included) and
+    /// SPA algorithms carry their `stages`, so the epoch log and
+    /// snapshots restore *digest-identical* catalogs, not merely
+    /// equivalent ones. Sections and families appear in a fixed order
+    /// and empty sections are omitted (an empty delta is `{}`) — the
+    /// output is canonical and byte-stable.
+    ///
+    /// # Errors
+    ///
+    /// [`ComponentError::InvalidField`] (field `"delta"`) if a value
+    /// cannot be represented in JSON (a non-finite float, or a
+    /// [`PitchPolicy`] variant this writer does not know).
+    pub fn to_json(&self) -> Result<String, ComponentError> {
+        let mut add = Vec::new();
+        push_family(&mut add, "airframes", &self.add_airframes, airframe_json)?;
+        push_family(&mut add, "sensors", &self.add_sensors, sensor_json)?;
+        push_family(&mut add, "computes", &self.add_computes, compute_json)?;
+        push_family(&mut add, "algorithms", &self.add_algorithms, algorithm_json)?;
+        push_family(&mut add, "batteries", &self.add_batteries, battery_json)?;
+        let mut retire = Vec::new();
+        for (family, names) in [
+            ("airframes", &self.retire_airframes),
+            ("sensors", &self.retire_sensors),
+            ("computes", &self.retire_computes),
+            ("algorithms", &self.retire_algorithms),
+            ("batteries", &self.retire_batteries),
+        ] {
+            if !names.is_empty() {
+                let quoted: Vec<String> = names.iter().map(|n| json::quote(n)).collect();
+                retire.push(format!("\"{family}\": [{}]", quoted.join(", ")));
+            }
+        }
+        let mut sections = Vec::new();
+        if !add.is_empty() {
+            sections.push(format!("\"add\": {{{}}}", add.join(", ")));
+        }
+        if !retire.is_empty() {
+            sections.push(format!("\"retire\": {{{}}}", retire.join(", ")));
+        }
+        if !self.throughput.is_empty() {
+            let cells: Result<Vec<String>, ComponentError> = self
+                .throughput
+                .iter()
+                .map(|(platform, algorithm, hz)| {
+                    Ok(format!(
+                        "{{\"compute\": {}, \"algorithm\": {}, \"hz\": {}}}",
+                        json::quote(platform),
+                        json::quote(algorithm),
+                        num(hz.get())?
+                    ))
+                })
+                .collect();
+            sections.push(format!("\"throughput\": [{}]", cells?.join(", ")));
+        }
+        Ok(format!("{{{}}}", sections.join(", ")))
+    }
+
     /// Parses a delta from its JSON document form (the `skyline
     /// --delta FILE` wire format):
     ///
@@ -428,10 +660,16 @@ impl CatalogDelta {
     /// }
     /// ```
     ///
-    /// Every section is optional; `support_mass_g` defaults to zero and
-    /// algorithms are end-to-end (staged Sense-Plan-Act pipelines are
-    /// API-only). The parser is a minimal strict-JSON reader — the
-    /// workspace's serde is an inert offline stub.
+    /// Every section is optional; `support_mass_g` defaults to zero.
+    /// Airframes accept optional `control_rate_hz` (default 1000),
+    /// `size_class` (`"nano"`/`"micro"`/`"mini"`, default inferred from
+    /// the frame size) and `pitch_policy` (`"vertical_margin"`,
+    /// `"altitude_hold"`, `{"fixed_pitch_rad": α}` or
+    /// `{"max_tilt_rad": α}`). Algorithms are end-to-end unless they
+    /// carry a `"stages"` array of `{"name", "latency_share"}` objects,
+    /// which makes them Sense-Plan-Act. The parser is a minimal
+    /// strict-JSON reader ([`crate::json`]) — the workspace's serde is
+    /// an inert offline stub.
     ///
     /// # Errors
     ///
@@ -490,14 +728,24 @@ impl CatalogDelta {
         let obj = item.as_object().map_err(bad_delta)?;
         let name = field_str(obj, "name")?;
         Ok(match family {
-            "airframes" => self.add_airframe(
-                Airframe::builder(name)
+            "airframes" => {
+                let mut builder = Airframe::builder(name)
                     .base_mass(Grams::new(field_num(obj, "base_mass_g")?))
                     .rotor_count(rotor_count(field_num(obj, "rotor_count")?)?)
                     .rotor_pull_gf(field_num(obj, "rotor_pull_gf")?)
-                    .frame_size(Millimeters::new(field_num(obj, "frame_size_mm")?))
-                    .build()?,
-            ),
+                    .frame_size(Millimeters::new(field_num(obj, "frame_size_mm")?));
+                if let Some(rate) = opt_field(obj, "control_rate_hz") {
+                    builder =
+                        builder.control_rate(Hertz::new(rate.as_number().map_err(bad_delta)?));
+                }
+                if let Some(class) = opt_field(obj, "size_class") {
+                    builder = builder.size_class(size_class(&class.as_str().map_err(bad_delta)?)?);
+                }
+                if let Some(policy) = opt_field(obj, "pitch_policy") {
+                    builder = builder.pitch_policy(pitch_policy(policy)?);
+                }
+                self.add_airframe(builder.build()?)
+            }
             "sensors" => self.add_sensor(Sensor::new(
                 name,
                 modality(&field_str(obj, "modality")?)?,
@@ -513,7 +761,20 @@ impl CatalogDelta {
                     .support_mass(Grams::new(field_num_or(obj, "support_mass_g", 0.0)?))
                     .build()?,
             ),
-            "algorithms" => self.add_algorithm(AutonomyAlgorithm::end_to_end(name)?),
+            "algorithms" => self.add_algorithm(match opt_field(obj, "stages") {
+                None => AutonomyAlgorithm::end_to_end(name)?,
+                Some(stages) => {
+                    let mut parsed = Vec::new();
+                    for stage in stages.as_array().map_err(bad_delta)? {
+                        let stage = stage.as_object().map_err(bad_delta)?;
+                        parsed.push(SpaStage {
+                            name: field_str(stage, "name")?,
+                            latency_share: field_num(stage, "latency_share")?,
+                        });
+                    }
+                    AutonomyAlgorithm::sense_plan_act(name, parsed)?
+                }
+            }),
             "batteries" => self.add_battery(Battery::new(
                 name,
                 MilliampHours::new(field_num(obj, "capacity_mah")?),
@@ -555,10 +816,156 @@ fn field_num_or(
     name: &str,
     default: f64,
 ) -> Result<f64, ComponentError> {
-    match obj.iter().find(|(k, _)| k == name) {
-        Some((_, v)) => v.as_number().map_err(bad_delta),
+    match opt_field(obj, name) {
+        Some(v) => v.as_number().map_err(bad_delta),
         None => Ok(default),
     }
+}
+
+fn opt_field<'a>(obj: &'a [(String, json::Value)], name: &str) -> Option<&'a json::Value> {
+    obj.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+/// A finite float in its canonical wire spelling, or the delta error.
+fn num(v: f64) -> Result<String, ComponentError> {
+    json::fmt_number(v).ok_or_else(|| bad_delta(format!("non-finite number {v}")))
+}
+
+/// Serializes one non-empty add-family as a `"family": [items]` entry.
+fn push_family<T>(
+    add: &mut Vec<String>,
+    family: &str,
+    items: &[T],
+    item_json: fn(&T) -> Result<String, ComponentError>,
+) -> Result<(), ComponentError> {
+    if items.is_empty() {
+        return Ok(());
+    }
+    let rendered: Result<Vec<String>, ComponentError> = items.iter().map(item_json).collect();
+    add.push(format!("\"{family}\": [{}]", rendered?.join(", ")));
+    Ok(())
+}
+
+fn airframe_json(a: &Airframe) -> Result<String, ComponentError> {
+    Ok(format!(
+        "{{\"name\": {}, \"base_mass_g\": {}, \"rotor_count\": {}, \"rotor_pull_gf\": {}, \
+         \"frame_size_mm\": {}, \"control_rate_hz\": {}, \"size_class\": {}, \"pitch_policy\": {}}}",
+        json::quote(a.name()),
+        num(a.base_mass().get())?,
+        a.rotor_count(),
+        num(a.rotor_pull().get())?,
+        num(a.frame_size().get())?,
+        num(a.control_rate().get())?,
+        json::quote(size_class_token(a.size_class())),
+        pitch_policy_json(a.pitch_policy())?,
+    ))
+}
+
+fn sensor_json(s: &Sensor) -> Result<String, ComponentError> {
+    Ok(format!(
+        "{{\"name\": {}, \"modality\": {}, \"rate_hz\": {}, \"range_m\": {}, \"mass_g\": {}}}",
+        json::quote(s.name()),
+        json::quote(modality_token(s.modality())),
+        num(s.frame_rate().get())?,
+        num(s.range().get())?,
+        num(s.mass().get())?,
+    ))
+}
+
+fn compute_json(c: &ComputePlatform) -> Result<String, ComponentError> {
+    Ok(format!(
+        "{{\"name\": {}, \"kind\": {}, \"mass_g\": {}, \"tdp_w\": {}, \"support_mass_g\": {}}}",
+        json::quote(c.name()),
+        json::quote(kind_token(c.kind())),
+        num(c.mass().get())?,
+        num(c.tdp().get())?,
+        num(c.support_mass().get())?,
+    ))
+}
+
+fn algorithm_json(a: &AutonomyAlgorithm) -> Result<String, ComponentError> {
+    if a.stages().is_empty() {
+        return Ok(format!("{{\"name\": {}}}", json::quote(a.name())));
+    }
+    let stages: Result<Vec<String>, ComponentError> = a
+        .stages()
+        .iter()
+        .map(|s| {
+            Ok(format!(
+                "{{\"name\": {}, \"latency_share\": {}}}",
+                json::quote(&s.name),
+                num(s.latency_share)?
+            ))
+        })
+        .collect();
+    Ok(format!(
+        "{{\"name\": {}, \"stages\": [{}]}}",
+        json::quote(a.name()),
+        stages?.join(", ")
+    ))
+}
+
+fn battery_json(b: &Battery) -> Result<String, ComponentError> {
+    Ok(format!(
+        "{{\"name\": {}, \"capacity_mah\": {}, \"voltage_v\": {}, \"mass_g\": {}}}",
+        json::quote(b.name()),
+        num(b.capacity().get())?,
+        num(b.voltage())?,
+        num(b.mass().get())?,
+    ))
+}
+
+fn size_class(token: &str) -> Result<SizeClass, ComponentError> {
+    Ok(match token {
+        "nano" => SizeClass::Nano,
+        "micro" => SizeClass::Micro,
+        "mini" => SizeClass::Mini,
+        other => return Err(bad_delta(format!("unknown size class {other:?}"))),
+    })
+}
+
+fn size_class_token(class: SizeClass) -> &'static str {
+    match class {
+        SizeClass::Nano => "nano",
+        SizeClass::Micro => "micro",
+        SizeClass::Mini => "mini",
+    }
+}
+
+fn pitch_policy(value: &json::Value) -> Result<PitchPolicy, ComponentError> {
+    if let Ok(token) = value.as_str() {
+        return match token.as_str() {
+            "vertical_margin" => Ok(PitchPolicy::VerticalMargin),
+            "altitude_hold" => Ok(PitchPolicy::AltitudeHold),
+            other => Err(bad_delta(format!("unknown pitch policy {other:?}"))),
+        };
+    }
+    let obj = value.as_object().map_err(bad_delta)?;
+    match obj {
+        [(key, angle)] if key == "fixed_pitch_rad" => Ok(PitchPolicy::FixedPitch(Radians::new(
+            angle.as_number().map_err(bad_delta)?,
+        ))),
+        [(key, angle)] if key == "max_tilt_rad" => Ok(PitchPolicy::MaxTilt {
+            limit: Radians::new(angle.as_number().map_err(bad_delta)?),
+        }),
+        _ => Err(bad_delta(
+            "pitch policy must be a token or exactly one of fixed_pitch_rad / max_tilt_rad",
+        )),
+    }
+}
+
+fn pitch_policy_json(policy: PitchPolicy) -> Result<String, ComponentError> {
+    Ok(match policy {
+        PitchPolicy::VerticalMargin => json::quote("vertical_margin"),
+        PitchPolicy::AltitudeHold => json::quote("altitude_hold"),
+        PitchPolicy::FixedPitch(angle) => {
+            format!("{{\"fixed_pitch_rad\": {}}}", num(angle.get())?)
+        }
+        PitchPolicy::MaxTilt { limit } => format!("{{\"max_tilt_rad\": {}}}", num(limit.get())?),
+        // PitchPolicy is #[non_exhaustive] in f1-model: a variant this
+        // writer does not know has no wire spelling yet.
+        _ => return Err(bad_delta("unsupported pitch policy variant")),
+    })
 }
 
 fn rotor_count(raw: f64) -> Result<u8, ComponentError> {
@@ -583,6 +990,26 @@ fn modality(token: &str) -> Result<SensorModality, ComponentError> {
     })
 }
 
+fn modality_token(modality: SensorModality) -> &'static str {
+    match modality {
+        SensorModality::RgbCamera => "rgb",
+        SensorModality::RgbdCamera => "rgbd",
+        SensorModality::StereoCamera => "stereo",
+        SensorModality::Lidar => "lidar",
+        SensorModality::Radar => "radar",
+    }
+}
+
+fn kind_token(kind: ComputeKind) -> &'static str {
+    match kind {
+        ComputeKind::Microcontroller => "microcontroller",
+        ComputeKind::SingleBoard => "single_board",
+        ComputeKind::EmbeddedGpu => "embedded_gpu",
+        ComputeKind::VisionAccelerator => "vision_accelerator",
+        ComputeKind::Asic => "asic",
+    }
+}
+
 fn compute_kind(token: &str) -> Result<ComputeKind, ComponentError> {
     Ok(match token {
         "microcontroller" => ComputeKind::Microcontroller,
@@ -592,243 +1019,6 @@ fn compute_kind(token: &str) -> Result<ComputeKind, ComponentError> {
         "asic" => ComputeKind::Asic,
         other => return Err(bad_delta(format!("unknown compute kind {other:?}"))),
     })
-}
-
-/// A minimal strict-JSON reader for the delta wire format (the
-/// workspace's serde is an inert offline stub). Supports the full value
-/// grammar minus `\u` escapes beyond BMP pass-through.
-mod json {
-    pub(super) enum Value {
-        Null,
-        /// Payload unread: the delta schema has no boolean fields, but
-        /// the reader accepts full JSON.
-        Bool(#[allow(dead_code)] bool),
-        Number(f64),
-        String(String),
-        Array(Vec<Value>),
-        Object(Vec<(String, Value)>),
-    }
-
-    impl Value {
-        pub(super) fn as_object(&self) -> Result<&[(String, Value)], String> {
-            match self {
-                Value::Object(fields) => Ok(fields),
-                _ => Err("expected a JSON object".into()),
-            }
-        }
-
-        pub(super) fn as_array(&self) -> Result<&[Value], String> {
-            match self {
-                Value::Array(items) => Ok(items),
-                _ => Err("expected a JSON array".into()),
-            }
-        }
-
-        pub(super) fn as_str(&self) -> Result<String, String> {
-            match self {
-                Value::String(s) => Ok(s.clone()),
-                _ => Err("expected a JSON string".into()),
-            }
-        }
-
-        pub(super) fn as_number(&self) -> Result<f64, String> {
-            match self {
-                Value::Number(n) => Ok(*n),
-                _ => Err("expected a JSON number".into()),
-            }
-        }
-    }
-
-    pub(super) fn parse(text: &str) -> Result<Value, String> {
-        let mut p = Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        };
-        p.skip_ws();
-        let value = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(format!("trailing data at byte {}", p.pos));
-        }
-        Ok(value)
-    }
-
-    struct Parser<'a> {
-        bytes: &'a [u8],
-        pos: usize,
-    }
-
-    impl Parser<'_> {
-        fn skip_ws(&mut self) {
-            while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-                self.pos += 1;
-            }
-        }
-
-        fn peek(&self) -> Option<u8> {
-            self.bytes.get(self.pos).copied()
-        }
-
-        fn expect(&mut self, byte: u8) -> Result<(), String> {
-            if self.peek() == Some(byte) {
-                self.pos += 1;
-                Ok(())
-            } else {
-                Err(format!(
-                    "expected {:?} at byte {}",
-                    char::from(byte),
-                    self.pos
-                ))
-            }
-        }
-
-        fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
-            // analyze::allow(indexing, reason = "pos <= len is a parser invariant; a full-range slice from pos cannot be out of bounds")
-            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-                self.pos += word.len();
-                Ok(value)
-            } else {
-                Err(format!("bad literal at byte {}", self.pos))
-            }
-        }
-
-        fn value(&mut self) -> Result<Value, String> {
-            match self.peek() {
-                Some(b'{') => self.object(),
-                Some(b'[') => self.array(),
-                Some(b'"') => Ok(Value::String(self.string()?)),
-                Some(b't') => self.literal("true", Value::Bool(true)),
-                Some(b'f') => self.literal("false", Value::Bool(false)),
-                Some(b'n') => self.literal("null", Value::Null),
-                Some(b'-' | b'0'..=b'9') => self.number(),
-                _ => Err(format!("unexpected input at byte {}", self.pos)),
-            }
-        }
-
-        fn object(&mut self) -> Result<Value, String> {
-            self.expect(b'{')?;
-            let mut fields = Vec::new();
-            self.skip_ws();
-            if self.peek() == Some(b'}') {
-                self.pos += 1;
-                return Ok(Value::Object(fields));
-            }
-            loop {
-                self.skip_ws();
-                let key = self.string()?;
-                self.skip_ws();
-                self.expect(b':')?;
-                self.skip_ws();
-                let value = self.value()?;
-                if fields.iter().any(|(k, _)| *k == key) {
-                    return Err(format!("duplicate key {key:?}"));
-                }
-                fields.push((key, value));
-                self.skip_ws();
-                match self.peek() {
-                    Some(b',') => self.pos += 1,
-                    Some(b'}') => {
-                        self.pos += 1;
-                        return Ok(Value::Object(fields));
-                    }
-                    _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
-                }
-            }
-        }
-
-        fn array(&mut self) -> Result<Value, String> {
-            self.expect(b'[')?;
-            let mut items = Vec::new();
-            self.skip_ws();
-            if self.peek() == Some(b']') {
-                self.pos += 1;
-                return Ok(Value::Array(items));
-            }
-            loop {
-                self.skip_ws();
-                items.push(self.value()?);
-                self.skip_ws();
-                match self.peek() {
-                    Some(b',') => self.pos += 1,
-                    Some(b']') => {
-                        self.pos += 1;
-                        return Ok(Value::Array(items));
-                    }
-                    _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
-                }
-            }
-        }
-
-        fn string(&mut self) -> Result<String, String> {
-            self.expect(b'"')?;
-            let mut out = String::new();
-            loop {
-                let start = self.pos;
-                while !matches!(self.peek(), None | Some(b'"' | b'\\')) {
-                    self.pos += 1;
-                }
-                out.push_str(
-                    // analyze::allow(indexing, reason = "start <= pos <= len: pos only advances via peek-guarded steps")
-                    core::str::from_utf8(&self.bytes[start..self.pos])
-                        .map_err(|_| "invalid UTF-8 in string".to_owned())?,
-                );
-                match self.peek() {
-                    Some(b'"') => {
-                        self.pos += 1;
-                        return Ok(out);
-                    }
-                    Some(b'\\') => {
-                        self.pos += 1;
-                        let escape = self.peek().ok_or("unterminated escape")?;
-                        self.pos += 1;
-                        out.push(match escape {
-                            b'"' => '"',
-                            b'\\' => '\\',
-                            b'/' => '/',
-                            b'n' => '\n',
-                            b't' => '\t',
-                            b'r' => '\r',
-                            b'b' => '\u{8}',
-                            b'f' => '\u{c}',
-                            b'u' => {
-                                let hex = self
-                                    .bytes
-                                    .get(self.pos..self.pos + 4)
-                                    .and_then(|h| core::str::from_utf8(h).ok())
-                                    .ok_or("truncated \\u escape")?;
-                                let code = u32::from_str_radix(hex, 16)
-                                    .map_err(|_| "bad \\u escape".to_owned())?;
-                                self.pos += 4;
-                                char::from_u32(code).ok_or("non-scalar \\u escape")?
-                            }
-                            other => return Err(format!("unknown escape \\{}", char::from(other))),
-                        });
-                    }
-                    _ => return Err("unterminated string".into()),
-                }
-            }
-        }
-
-        fn number(&mut self) -> Result<Value, String> {
-            let start = self.pos;
-            if self.peek() == Some(b'-') {
-                self.pos += 1;
-            }
-            while matches!(
-                self.peek(),
-                Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
-            ) {
-                self.pos += 1;
-            }
-            // analyze::allow(indexing, reason = "start <= pos <= len: pos only advances via peek-guarded steps")
-            core::str::from_utf8(&self.bytes[start..self.pos])
-                .ok()
-                .and_then(|s| s.parse::<f64>().ok())
-                .filter(|n| n.is_finite())
-                .map(Value::Number)
-                .ok_or_else(|| format!("bad number at byte {start}"))
-        }
-    }
 }
 
 #[cfg(test)]
@@ -986,5 +1176,246 @@ mod tests {
         // Strings with escapes parse.
         let delta = CatalogDelta::from_json(r#"{"retire": {"computes": ["a\"b\\cA"]}}"#).unwrap();
         assert_eq!(delta.op_count(), 1);
+    }
+
+    #[test]
+    fn to_json_round_trips_every_field_exactly() {
+        let delta = CatalogDelta::new()
+            .add_airframe(
+                Airframe::builder("RT \"Frame\"")
+                    .base_mass(Grams::new(812.5))
+                    .rotor_count(6)
+                    .rotor_pull_gf(430.25)
+                    .frame_size(Millimeters::new(451.0))
+                    .control_rate(Hertz::new(475.5))
+                    .size_class(SizeClass::Micro)
+                    .pitch_policy(PitchPolicy::MaxTilt {
+                        limit: Radians::new(0.35),
+                    })
+                    .build()
+                    .unwrap(),
+            )
+            .add_sensor(
+                Sensor::new(
+                    "RT Cam",
+                    SensorModality::StereoCamera,
+                    Hertz::new(90.5),
+                    Meters::new(6.25),
+                    Grams::new(18.0),
+                )
+                .unwrap(),
+            )
+            .add_compute(
+                ComputePlatform::builder("RT Orin")
+                    .kind(ComputeKind::EmbeddedGpu)
+                    .mass(Grams::new(210.0))
+                    .tdp(Watts::new(25.5))
+                    .support_mass(Grams::new(12.0))
+                    .build()
+                    .unwrap(),
+            )
+            .add_algorithm(
+                AutonomyAlgorithm::sense_plan_act(
+                    "RT SPA",
+                    vec![
+                        SpaStage {
+                            name: "sense".into(),
+                            latency_share: 0.25,
+                        },
+                        SpaStage {
+                            name: "plan \\ act".into(),
+                            latency_share: 0.75,
+                        },
+                    ],
+                )
+                .unwrap(),
+            )
+            .add_battery(
+                Battery::new("RT 4S", MilliampHours::new(6000.0), 14.8, Grams::new(520.0)).unwrap(),
+            )
+            .retire_compute(names::UPBOARD)
+            .patch_throughput("RT Orin", names::DRONET, Hertz::new(30.5));
+        let text = delta.to_json().unwrap();
+        assert!(!text.contains('\n'), "wire form must be single-line");
+        let back = CatalogDelta::from_json(&text).unwrap();
+        // Canonical: re-serializing the parse reproduces the bytes.
+        assert_eq!(back.to_json().unwrap(), text);
+        assert_eq!(back.op_count(), delta.op_count());
+        // And both spellings produce digest-identical catalogs.
+        let a = CatalogStore::new(Catalog::paper()).apply(&delta).unwrap();
+        let b = CatalogStore::new(Catalog::paper()).apply(&back).unwrap();
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn to_json_of_empty_delta_is_the_empty_object() {
+        let delta = CatalogDelta::new();
+        assert_eq!(delta.to_json().unwrap(), "{}");
+        assert!(CatalogDelta::from_json("{}").unwrap().is_empty());
+    }
+
+    #[test]
+    fn every_pitch_policy_wire_form_round_trips() {
+        for policy in [
+            PitchPolicy::VerticalMargin,
+            PitchPolicy::AltitudeHold,
+            PitchPolicy::FixedPitch(Radians::new(0.2)),
+            PitchPolicy::MaxTilt {
+                limit: Radians::new(0.4),
+            },
+        ] {
+            let delta = CatalogDelta::new().add_airframe(
+                Airframe::builder("P")
+                    .base_mass(Grams::new(100.0))
+                    .rotor_pull_gf(100.0)
+                    .pitch_policy(policy)
+                    .build()
+                    .unwrap(),
+            );
+            let text = delta.to_json().unwrap();
+            let back = CatalogDelta::from_json(&text).unwrap();
+            assert_eq!(back.to_json().unwrap(), text, "{policy:?}");
+        }
+        // Unknown spellings are named errors.
+        for bad in [
+            r#"{"add": {"airframes": [{"name": "A", "base_mass_g": 1, "rotor_count": 4,
+                "rotor_pull_gf": 1, "frame_size_mm": 1, "pitch_policy": "sideways"}]}}"#,
+            r#"{"add": {"airframes": [{"name": "A", "base_mass_g": 1, "rotor_count": 4,
+                "rotor_pull_gf": 1, "frame_size_mm": 1, "pitch_policy": {"x": 1, "y": 2}}]}}"#,
+            r#"{"add": {"airframes": [{"name": "A", "base_mass_g": 1, "rotor_count": 4,
+                "rotor_pull_gf": 1, "frame_size_mm": 1, "size_class": "jumbo"}]}}"#,
+        ] {
+            assert!(CatalogDelta::from_json(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn rebuild_plus_from_parts_restores_digest_identical_catalogs() {
+        let store = CatalogStore::new(Catalog::paper());
+        store
+            .apply(&CatalogDelta::new().retire_compute(names::UPBOARD))
+            .unwrap();
+        let snap = store
+            .apply(&CatalogDelta::new().patch_throughput(
+                names::TX2,
+                names::DRONET,
+                Hertz::new(400.0),
+            ))
+            .unwrap();
+        let source = snap.catalog();
+        let rebuild = CatalogDelta::rebuild(source);
+        // The rebuild delta survives its own wire form.
+        let rebuild = CatalogDelta::from_json(&rebuild.to_json().unwrap()).unwrap();
+        let mut restored = Catalog::new();
+        rebuild.apply_to(&mut restored).unwrap();
+        let matrix = source.matrix();
+        let cells: Vec<(String, String, Hertz)> = matrix
+            .iter()
+            .map(|(p, a, f)| (p.to_owned(), a.to_owned(), f))
+            .collect();
+        *restored.matrix_mut() = crate::ThroughputMatrix::from_parts(
+            matrix.platform_order(),
+            matrix.algorithm_order(),
+            &cells,
+        )
+        .unwrap();
+        restored.validate().unwrap();
+        assert_eq!(catalog_digest(&restored), snap.digest());
+        // Retired parts really came back as tombstones.
+        let id = restored.compute_id(names::UPBOARD).unwrap();
+        assert!(!restored.compute_is_active(id));
+    }
+
+    struct RecordingSink {
+        seen: Mutex<Vec<(u64, u64, usize)>>,
+        fail: std::sync::atomic::AtomicBool,
+    }
+
+    impl EpochSink for RecordingSink {
+        fn publish(
+            &self,
+            delta: &CatalogDelta,
+            snapshot: &EpochSnapshot,
+        ) -> Result<(), ComponentError> {
+            if self.fail.load(std::sync::atomic::Ordering::SeqCst) {
+                return Err(ComponentError::InvalidField {
+                    field: "sink",
+                    reason: "injected failure".into(),
+                });
+            }
+            self.seen.lock().unwrap().push((
+                snapshot.epoch().get(),
+                snapshot.digest(),
+                delta.op_count(),
+            ));
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn epoch_sink_sees_ordered_publications_and_can_veto() {
+        let store = CatalogStore::new(Catalog::paper());
+        let sink = Arc::new(RecordingSink {
+            seen: Mutex::new(Vec::new()),
+            fail: std::sync::atomic::AtomicBool::new(false),
+        });
+        store
+            .set_sink(Arc::clone(&sink) as Arc<dyn EpochSink>)
+            .unwrap();
+        // Second sink is rejected.
+        assert!(store
+            .set_sink(Arc::clone(&sink) as Arc<dyn EpochSink>)
+            .is_err());
+        store.apply(&CatalogDelta::new()).unwrap();
+        let second = store
+            .apply(&CatalogDelta::new().retire_compute(names::NCS))
+            .unwrap();
+        {
+            let seen = sink.seen.lock().unwrap();
+            assert_eq!(seen.len(), 2);
+            assert_eq!(seen[0].0, 1);
+            assert_eq!(seen[1], (2, second.digest(), 1));
+        }
+        // A failing sink vetoes publication (write-ahead ordering).
+        sink.fail.store(true, std::sync::atomic::Ordering::SeqCst);
+        assert!(store.apply(&CatalogDelta::new()).is_err());
+        assert_eq!(store.current_epoch().get(), 2);
+        assert_eq!(sink.seen.lock().unwrap().len(), 2);
+        sink.fail.store(false, std::sync::atomic::Ordering::SeqCst);
+        assert_eq!(store.apply(&CatalogDelta::new()).unwrap().epoch().get(), 3);
+        // A failing delta never reaches the sink.
+        assert!(store
+            .apply(&CatalogDelta::new().retire_airframe("Ingenuity"))
+            .is_err());
+        assert_eq!(sink.seen.lock().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn resumed_store_resolves_only_from_its_base_epoch() {
+        let source = CatalogStore::new(Catalog::paper());
+        source
+            .apply(&CatalogDelta::new().retire_compute(names::NCS))
+            .unwrap();
+        let snap = source.current();
+        let resumed = CatalogStore::resume(snap.epoch(), Arc::clone(snap.catalog()));
+        assert_eq!(resumed.base_epoch().get(), 1);
+        assert_eq!(resumed.current_epoch().get(), 1);
+        assert_eq!(resumed.current().digest(), snap.digest());
+        // Pre-base epochs are unresolvable, not misresolved.
+        assert!(resumed.at(CatalogEpoch::GENESIS).is_none());
+        assert_eq!(
+            resumed.at(CatalogEpoch::from_raw(1)).unwrap().digest(),
+            snap.digest()
+        );
+        // Applying continues the numbering from the resumed base.
+        let next = resumed.apply(&CatalogDelta::new()).unwrap();
+        assert_eq!(next.epoch().get(), 2);
+        assert_eq!(
+            resumed.at(CatalogEpoch::from_raw(2)).unwrap().digest(),
+            snap.digest()
+        );
+        assert_eq!(resumed.epoch_count(), 2);
+        // Fresh stores still start at genesis with base 0.
+        assert_eq!(source.base_epoch(), CatalogEpoch::GENESIS);
     }
 }

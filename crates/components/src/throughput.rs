@@ -239,6 +239,77 @@ impl ThroughputMatrix {
         })
     }
 
+    /// The interned platform names in first-insertion order — together
+    /// with [`ThroughputMatrix::algorithm_order`] and the cell list,
+    /// the exact inputs [`ThroughputMatrix::from_parts`] needs to
+    /// rebuild a *representation-identical* matrix (same intern order,
+    /// hence the same `Debug` form and catalog digest), which
+    /// name-sorted [`ThroughputMatrix::iter`] replay cannot guarantee.
+    #[must_use]
+    pub fn platform_order(&self) -> &[String] {
+        &self.platforms
+    }
+
+    /// The interned algorithm names in first-insertion order (see
+    /// [`ThroughputMatrix::platform_order`]).
+    #[must_use]
+    pub fn algorithm_order(&self) -> &[String] {
+        &self.algorithms
+    }
+
+    /// Rebuilds a matrix representation-identically from its recorded
+    /// intern orders plus `(platform, algorithm, rate)` cells: the name
+    /// lists are interned first (fixing row/column slots), then every
+    /// cell is upserted. Restoring a persisted snapshot this way yields
+    /// a catalog whose structural digest matches the one recorded at
+    /// write time.
+    ///
+    /// # Errors
+    ///
+    /// [`ComponentError::DuplicateEntry`] if an order list repeats a
+    /// name, [`ComponentError::UnknownComponent`] if a cell names a
+    /// platform/algorithm absent from the order lists, and
+    /// [`ComponentError::InvalidField`] for non-positive rates.
+    pub fn from_parts(
+        platforms: &[String],
+        algorithms: &[String],
+        cells: &[(String, String, Hertz)],
+    ) -> Result<Self, ComponentError> {
+        let mut matrix = Self::new();
+        for name in platforms {
+            if matrix.intern_platform(name.clone()) != matrix.platforms.len() - 1 {
+                return Err(ComponentError::DuplicateEntry {
+                    family: "throughput platform order",
+                    name: name.clone(),
+                });
+            }
+        }
+        for name in algorithms {
+            if matrix.intern_algorithm(name.clone()) != matrix.algorithms.len() - 1 {
+                return Err(ComponentError::DuplicateEntry {
+                    family: "throughput algorithm order",
+                    name: name.clone(),
+                });
+            }
+        }
+        for (platform, algorithm, rate) in cells {
+            if !matrix.platform_slots.contains_key(platform) {
+                return Err(ComponentError::UnknownComponent {
+                    family: "throughput platform order",
+                    name: platform.clone(),
+                });
+            }
+            if !matrix.algorithm_slots.contains_key(algorithm) {
+                return Err(ComponentError::UnknownComponent {
+                    family: "throughput algorithm order",
+                    name: algorithm.clone(),
+                });
+            }
+            matrix.upsert(platform.clone(), algorithm.clone(), *rate)?;
+        }
+        Ok(matrix)
+    }
+
     /// Merges another matrix into this one; existing entries win.
     pub fn merge_preferring_self(&mut self, other: &ThroughputMatrix) {
         for (platform, algorithm, throughput) in other.iter() {

@@ -41,6 +41,6 @@ pub mod protocol;
 pub mod scheduler;
 pub mod server;
 
-pub use protocol::{Client, ErrorKind, Request};
+pub use protocol::{Client, DurabilityStats, ErrorKind, Request};
 pub use scheduler::{Scheduler, SchedulerConfig, SchedulerStats, SubmitError};
-pub use server::{ServeConfig, Server};
+pub use server::{Durability, ServeConfig, Server};

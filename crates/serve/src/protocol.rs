@@ -231,6 +231,20 @@ pub fn query_body(result: &ResultSet, snapshot: &EpochSnapshot, cached: bool) ->
     out
 }
 
+/// [`query_body`] for a result that exists only as its spilled JSON —
+/// the **warm-cache restore** path: after a restart, a persisted
+/// `ResultSet::to_json` body (already digest-validated against the
+/// recovered epoch) is framed byte-identically to what [`query_body`]
+/// would produce from the live result, without re-running any physics.
+#[must_use]
+pub fn warm_query_body(result_json: &str, snapshot: &EpochSnapshot, cached: bool) -> String {
+    let mut out = envelope_head(snapshot, cached);
+    out.push_str("\"result\": ");
+    out.push_str(result_json.trim_end());
+    out.push_str("}\n");
+    out
+}
+
 /// Builds the `top` response body: the envelope plus the best `k`
 /// ranked builds with their objective rows — the compact shape a
 /// serving client polls at high rate. Point access goes through the
@@ -305,19 +319,51 @@ pub fn delta_body(snapshot: &EpochSnapshot, ops: usize) -> String {
     )
 }
 
+/// Durability counters for the `stats` body — present only on servers
+/// booted with a data directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityStats {
+    /// Whether this server is a read-only log-following replica.
+    pub replica: bool,
+    /// Epoch of the snapshot recovery restored from (`null` on the
+    /// wire for a genesis boot).
+    pub snapshot_epoch: Option<u64>,
+    /// Epoch-log records replayed past the snapshot at boot.
+    pub replayed_deltas: u64,
+    /// Spilled results re-warmed (digest-validated) at boot.
+    pub warm_entries: u64,
+    /// Queries answered from the warm spill since boot.
+    pub spill_hits: u64,
+}
+
 /// Builds the `stats` response body: epoch identity, session cache
-/// counters and scheduler counters.
+/// counters, scheduler counters and — on a durable server — recovery
+/// and spill counters.
 #[must_use]
 pub fn stats_body(
     snapshot: &EpochSnapshot,
     cache: &CacheStats,
     sched: &SchedulerStats,
     queue_depth: usize,
+    durability: Option<&DurabilityStats>,
 ) -> String {
+    let durability = durability.map_or_else(String::new, |d| {
+        format!(
+            "\"durability\": {{\"replica\": {}, \"recovered_snapshot_epoch\": {}, \
+             \"replayed_deltas\": {}, \"warm_entries\": {}, \"spill_hits\": {}}},\n",
+            d.replica,
+            d.snapshot_epoch
+                .map_or_else(|| "null".to_owned(), |e| e.to_string()),
+            d.replayed_deltas,
+            d.warm_entries,
+            d.spill_hits,
+        )
+    });
     format!(
         "{{\"epoch\": {}, \"digest\": {},\n\
          \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}, \
          \"evictions\": {}, \"repairs\": {}}},\n\
+         {durability}\
          \"scheduler\": {{\"admitted\": {}, \"rejected\": {}, \
          \"fast_path_hits\": {}, \"batches\": {}, \"batched_requests\": {}, \
          \"coalesced\": {}, \"max_batch\": {}, \"deltas_applied\": {}, \

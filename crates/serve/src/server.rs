@@ -16,9 +16,10 @@
 //! A delta published while the request is in flight never changes its
 //! answer.
 
+use std::collections::HashMap;
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -27,6 +28,7 @@ use f1_components::CatalogDelta;
 use f1_skyline::plan::QueryPlan;
 use f1_skyline::session::Session;
 use f1_skyline::SkylineError;
+use f1_store::{DurableStore, SpillRecord};
 
 use crate::protocol::{
     self, error_body, error_kind_for, parse_request, write_response, ErrorKind, Request,
@@ -67,6 +69,33 @@ impl Default for ServeConfig {
     }
 }
 
+/// Durable-serving wiring handed to [`Server::start_durable`]: the
+/// recovered store (its [`EpochSink`](f1_components::EpochSink) already
+/// attached on a primary) plus the warm-cache map restored from the
+/// spill. The caller builds `warm` from
+/// [`DurableStore::load_spill`], keeping only records whose digest
+/// matches the recovered epoch's — the server trusts the map as
+/// pre-validated.
+#[derive(Debug)]
+pub struct Durability {
+    /// The recovered durable store (shares the session's `CatalogStore`).
+    pub durable: Arc<DurableStore>,
+    /// Digest-validated spilled bodies by `(plan key, epoch)` — served
+    /// byte-identically on a `query` cache miss without re-evaluating.
+    pub warm: HashMap<(String, u64), String>,
+    /// Read-only log-following replica: `delta` requests are rejected
+    /// and nothing is spilled.
+    pub replica: bool,
+}
+
+struct DurableShared {
+    durable: Arc<DurableStore>,
+    warm: HashMap<(String, u64), String>,
+    replica: bool,
+    spill_hits: AtomicU64,
+    exported: AtomicBool,
+}
+
 struct Shared {
     scheduler: Scheduler,
     shutdown: AtomicBool,
@@ -74,6 +103,7 @@ struct Shared {
     max_frame: usize,
     max_connections: usize,
     fault_injection: bool,
+    durability: Option<DurableShared>,
 }
 
 /// A running server. Dropping it (or calling [`shutdown`](Self::shutdown)
@@ -100,6 +130,31 @@ impl Server {
     ///
     /// Propagates bind/configuration I/O errors.
     pub fn start(session: Arc<Session>, config: ServeConfig) -> std::io::Result<Self> {
+        Self::start_inner(session, config, None)
+    }
+
+    /// [`start`](Self::start) with durable persistence attached: queries
+    /// probe the restored warm cache after a memo miss, cold results are
+    /// spilled write-behind, `stats` reports recovery counters, and (on
+    /// a replica) `delta` requests are rejected. On shutdown the session
+    /// memo cache is exported to the spill so the next boot re-warms it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/configuration I/O errors.
+    pub fn start_durable(
+        session: Arc<Session>,
+        config: ServeConfig,
+        durability: Durability,
+    ) -> std::io::Result<Self> {
+        Self::start_inner(session, config, Some(durability))
+    }
+
+    fn start_inner(
+        session: Arc<Session>,
+        config: ServeConfig,
+        durability: Option<Durability>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
@@ -110,6 +165,13 @@ impl Server {
             max_frame: config.max_frame,
             max_connections: config.max_connections,
             fault_injection: config.fault_injection,
+            durability: durability.map(|d| DurableShared {
+                durable: d.durable,
+                warm: d.warm,
+                replica: d.replica,
+                spill_hits: AtomicU64::new(0),
+                exported: AtomicBool::new(false),
+            }),
         });
         let accept = {
             let shared = Arc::clone(&shared);
@@ -172,6 +234,31 @@ impl Server {
             std::thread::sleep(Duration::from_millis(5));
         }
         self.shared.scheduler.shutdown();
+        self.export_spill();
+    }
+
+    /// Exports the session memo cache to the spill file exactly once
+    /// (join also runs on Drop), so the next boot re-warms from every
+    /// result this process computed — not just the ones spilled
+    /// write-behind.
+    fn export_spill(&self) {
+        let Some(durability) = &self.shared.durability else {
+            return;
+        };
+        if durability.replica || durability.exported.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let Some(spill) = durability.durable.spill_log() else {
+            return;
+        };
+        for (plan_key, epoch, digest, result_json) in self.session().export_cache() {
+            let _ = spill.append(&SpillRecord {
+                plan_key,
+                epoch,
+                digest,
+                result_json,
+            });
+        }
     }
 }
 
@@ -365,16 +452,38 @@ fn handle_request(line: &str, writer: &mut TcpStream, shared: &Shared) -> bool {
         }
         Request::Stats => {
             let snapshot = session.store().current();
+            let durability = shared.durability.as_ref().map(|d| {
+                let report = d.durable.report();
+                protocol::DurabilityStats {
+                    replica: d.replica,
+                    snapshot_epoch: report.snapshot_epoch,
+                    replayed_deltas: report.replayed_deltas,
+                    warm_entries: d.warm.len() as u64,
+                    spill_hits: d.spill_hits.load(Ordering::Relaxed),
+                }
+            });
             let body = protocol::stats_body(
                 &snapshot,
                 &session.cache_stats(),
                 &scheduler.stats(),
                 scheduler.queue_depth(),
+                durability.as_ref(),
             );
             let _ = write_response(writer, true, &body);
             true
         }
         Request::Delta { json } => {
+            if shared.durability.as_ref().is_some_and(|d| d.replica) {
+                let _ = write_response(
+                    writer,
+                    false,
+                    &error_body(
+                        ErrorKind::Delta,
+                        "this server is a read-only replica; apply deltas to the primary",
+                    ),
+                );
+                return true;
+            }
             let outcome = CatalogDelta::from_json(&json)
                 .and_then(|delta| scheduler.apply_delta(&delta).map(|s| (delta, s)));
             match outcome {
@@ -486,9 +595,32 @@ fn answer_plan(key: &str, top_k: Option<usize>, writer: &mut TcpStream, shared: 
         respond(writer, &result, true);
         return;
     }
+    // Warm-cache restore: a memo miss can still be answered from the
+    // spill a previous process persisted — byte-identical to the live
+    // cache hit it replaces, without re-running any physics. (`top`
+    // reshapes the result, so only full `query` bodies are served this
+    // way.)
+    if top_k.is_none() {
+        if let Some(durability) = &shared.durability {
+            if let Some(body) = durability
+                .warm
+                .get(&(key.to_owned(), snapshot.epoch().get()))
+            {
+                scheduler.note_fast_path_hit();
+                durability.spill_hits.fetch_add(1, Ordering::Relaxed);
+                let body = protocol::warm_query_body(body, &snapshot, true);
+                let _ = write_response(writer, true, &body);
+                return;
+            }
+        }
+    }
+    let mut canonical = None;
     let submitted = QueryPlan::from_key(key)
         .and_then(|plan| validate_ids(&plan, snapshot.catalog()).map(|()| plan))
-        .map(|plan| scheduler.submit(plan, snapshot.epoch()));
+        .map(|plan| {
+            canonical = Some(plan.key().to_owned());
+            scheduler.submit(plan, snapshot.epoch())
+        });
     let receiver = match submitted {
         Ok(Ok(receiver)) => receiver,
         Ok(Err(SubmitError::Overloaded)) => {
@@ -517,7 +649,24 @@ fn answer_plan(key: &str, top_k: Option<usize>, writer: &mut TcpStream, shared: 
         }
     };
     match receiver.recv() {
-        Ok(Ok(result)) => respond(writer, &result, false),
+        Ok(Ok(result)) => {
+            respond(writer, &result, false);
+            // Write-behind spill: the freshly computed result is
+            // persisted under its canonical key so a restarted server
+            // can answer it byte-identically from disk.
+            if let (Some(durability), Some(plan_key)) = (&shared.durability, canonical) {
+                if !durability.replica {
+                    if let Some(spill) = durability.durable.spill_log() {
+                        let _ = spill.append(&SpillRecord {
+                            plan_key,
+                            epoch: snapshot.epoch().get(),
+                            digest: snapshot.digest(),
+                            result_json: result.to_json(snapshot.catalog()),
+                        });
+                    }
+                }
+            }
+        }
         Ok(Err(e)) => {
             let _ = write_response(
                 writer,

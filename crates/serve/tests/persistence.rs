@@ -1,0 +1,193 @@
+//! Durability end-to-end: kill-and-restart recovery with byte-identical
+//! spilled answers, and a read replica following the primary's epoch
+//! log live.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use f1_components::{Catalog, CatalogDelta, CatalogEpoch};
+use f1_serve::protocol::Client;
+use f1_serve::{Durability, ServeConfig, Server};
+use f1_skyline::plan::QueryPlan;
+use f1_skyline::query::{Constraint, Objective};
+use f1_skyline::session::Session;
+use f1_store::{DurableOptions, DurableStore};
+use f1_units::Watts;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("f1-serve-persist-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn plan(cap: f64) -> QueryPlan {
+    QueryPlan::builder()
+        .objectives(&[Objective::SafeVelocity, Objective::TotalTdp])
+        .constraint(Constraint::MaxTotalTdp(Watts::new(cap)))
+        .build()
+        .expect("plan builds")
+}
+
+fn delta_line(hz: f64) -> String {
+    format!(
+        r#"delta {{"throughput": [{{"compute": "Nvidia TX2", "algorithm": "DroNet", "hz": {hz}}}]}}"#
+    )
+}
+
+/// Recovers (or creates) a durable server over `dir`, replaying the log
+/// and re-warming the digest-validated spill — exactly what the
+/// `skyline-serve --data-dir` boot path does.
+fn boot(dir: &Path, options: DurableOptions) -> (Server, Arc<DurableStore>) {
+    let durable = Arc::new(DurableStore::open(dir, Catalog::paper, options).expect("durable open"));
+    let session = Arc::new(Session::over(Arc::clone(durable.store())));
+    let mut warm = HashMap::new();
+    for record in durable.load_spill().expect("spill loads").records {
+        let Some(snapshot) = durable.store().at(CatalogEpoch::from_raw(record.epoch)) else {
+            continue;
+        };
+        if snapshot.digest() == record.digest {
+            warm.insert((record.plan_key, record.epoch), record.result_json);
+        }
+    }
+    let server = Server::start_durable(
+        session,
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            ..ServeConfig::default()
+        },
+        Durability {
+            durable: Arc::clone(&durable),
+            warm,
+            replica: options.replica,
+        },
+    )
+    .expect("server starts");
+    (server, durable)
+}
+
+fn connect(server: &Server) -> Client {
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client
+        .set_timeout(Some(Duration::from_secs(60)))
+        .expect("timeout");
+    client
+}
+
+fn normalize(body: &str) -> String {
+    body.replace("\"cached\": true", "\"cached\": false")
+}
+
+#[test]
+fn killed_and_restarted_server_recovers_and_serves_byte_identically() {
+    let dir = scratch("restart");
+    let key = plan(20.0).key().to_owned();
+
+    // Life 1: compute, mutate twice, compute again — then shut down.
+    let (pre_epoch, pre_digest, pre_body) = {
+        let (server, durable) = boot(&dir, DurableOptions::default());
+        let mut c = connect(&server);
+        let (ok, _) = c.request(&format!("query {key}")).expect("cold query");
+        assert!(ok);
+        for hz in [30.0, 35.0] {
+            let (ok, _) = c.request(&delta_line(hz)).expect("delta");
+            assert!(ok);
+        }
+        let (ok, body) = c.request(&format!("query {key}")).expect("re-query");
+        assert!(ok && body.contains("\"epoch\": 2"), "{body}");
+        let current = durable.store().current();
+        server.join();
+        (current.epoch().get(), current.digest(), body)
+    };
+    assert_eq!(pre_epoch, 2);
+
+    // Life 2: recovery lands on the exact pre-crash epoch and digest,
+    // and the pre-crash plan key is answered byte-identically from the
+    // spill without re-evaluating.
+    let (server, durable) = boot(&dir, DurableOptions::default());
+    let report = *durable.report();
+    assert_eq!(report.epoch, pre_epoch);
+    assert_eq!(report.digest, pre_digest);
+    assert_eq!(report.snapshot_epoch, Some(0));
+    assert_eq!(report.replayed_deltas, 2);
+
+    let mut c = connect(&server);
+    let (ok, warm) = c.request(&format!("query {key}")).expect("warm query");
+    assert!(ok && warm.contains("\"cached\": true"), "{warm}");
+    assert_eq!(normalize(&warm), normalize(&pre_body));
+    let (ok, stats) = c.request("stats").expect("stats");
+    assert!(
+        ok && stats.contains("\"spill_hits\": 1") && stats.contains("\"admitted\": 0"),
+        "spill hit must bypass evaluation: {stats}"
+    );
+    assert!(
+        stats.contains("\"replica\": false") && stats.contains("\"replayed_deltas\": 2"),
+        "{stats}"
+    );
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn replica_follows_live_deltas_and_answers_byte_identically() {
+    let dir = scratch("replica");
+    let key = plan(18.0).key().to_owned();
+
+    let (primary, _primary_durable) = boot(&dir, DurableOptions::default());
+    let (replica, replica_durable) = boot(
+        &dir,
+        DurableOptions {
+            replica: true,
+            ..DurableOptions::default()
+        },
+    );
+    let mut pc = connect(&primary);
+    let mut rc = connect(&replica);
+
+    // The replica is read-only on the wire.
+    let (ok, body) = rc.request(&delta_line(1.0)).expect("replica delta");
+    assert!(!ok && body.contains("read-only replica"), "{body}");
+
+    // Drive >= 3 live deltas through the primary; after each, tail the
+    // log into the replica (what `skyline-serve --replica`'s follower
+    // loop does) and require byte-identical answers on both ends.
+    let mut tail = replica_durable.tail_reader();
+    for (i, hz) in [25.0, 31.5, 44.0].into_iter().enumerate() {
+        let (ok, body) = pc.request(&delta_line(hz)).expect("primary delta");
+        assert!(ok, "{body}");
+        let epoch = (i + 1) as u64;
+
+        // Follow: apply every new log record, verifying epoch + digest.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while replica_durable.store().current().epoch().get() < epoch {
+            assert!(Instant::now() < deadline, "replica never caught up");
+            for record in tail.poll().expect("tail poll") {
+                let delta = CatalogDelta::from_json(&record.delta_json).expect("delta parses");
+                let snap = replica.scheduler().apply_delta(&delta).expect("applies");
+                assert_eq!(snap.epoch().get(), record.epoch);
+                assert_eq!(snap.digest(), record.digest, "replica diverged");
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(
+            replica_durable.store().current().digest(),
+            _primary_durable.store().current().digest(),
+            "digest diverged at epoch {epoch}"
+        );
+
+        let (ok, primary_body) = pc.request(&format!("query {key}")).expect("primary query");
+        assert!(ok && primary_body.contains(&format!("\"epoch\": {epoch}")));
+        let (ok, replica_body) = rc.request(&format!("query {key}")).expect("replica query");
+        assert!(ok, "{replica_body}");
+        assert_eq!(
+            normalize(&replica_body),
+            normalize(&primary_body),
+            "replica answer diverged at epoch {epoch}"
+        );
+    }
+
+    replica.join();
+    primary.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}

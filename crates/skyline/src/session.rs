@@ -2394,6 +2394,49 @@ impl Session {
         keys
     }
 
+    /// Exports every memoized result as
+    /// `(plan key, epoch, catalog digest, result JSON)`, sorted by
+    /// `(plan key, epoch)` — the warm-cache **spill** feed for a durable
+    /// serving tier: persisted on shutdown and re-served byte-identically
+    /// after a restart without re-running any physics. The digest is the
+    /// epoch's [`EpochSnapshot::digest`], letting the restore side trust
+    /// an entry only if its recovered catalog reproduces the same
+    /// digest. Entries whose epoch is no longer resolvable in the store
+    /// are skipped.
+    #[must_use]
+    pub fn export_cache(&self) -> Vec<(String, u64, u64, String)> {
+        let mut entries: Vec<(String, u64, Arc<ResultSet>)> = {
+            let cache = self
+                .cache
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            cache
+                .plans
+                // analyze::allow(determinism, reason = "collected then sorted below — hash order never escapes this fn")
+                .iter()
+                .flat_map(|(key, by_epoch)| {
+                    by_epoch
+                        .iter()
+                        .map(move |(&epoch, slot)| (key.clone(), epoch, Arc::clone(&slot.result)))
+                })
+                .collect()
+        };
+        entries.sort_by(|a, b| (a.0.as_str(), a.1).cmp(&(b.0.as_str(), b.1)));
+        let mut out = Vec::with_capacity(entries.len());
+        for (key, epoch, result) in entries {
+            let Some(snapshot) = self.store.at(CatalogEpoch::from_raw(epoch)) else {
+                continue;
+            };
+            out.push((
+                key,
+                epoch,
+                snapshot.digest(),
+                result.to_json(snapshot.catalog()),
+            ));
+        }
+        out
+    }
+
     /// Executes a batch of plans (at the current epoch) in as few fused
     /// passes as their evaluation signatures allow — plans over the same
     /// subspace, knob settings and battery share **one** enumeration +

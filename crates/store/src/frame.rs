@@ -1,0 +1,269 @@
+//! Record framing for the append-only files.
+//!
+//! Every record is one frame:
+//!
+//! ```text
+//! f1.store.rec.v1 <payload-len> <fnv1a64-checksum>\n
+//! <payload bytes>\n
+//! ```
+//!
+//! The header names the payload length up front, so a reader never
+//! guesses where a record ends, and the checksum detects torn or
+//! bit-flipped payloads. Decoding distinguishes two failure shapes:
+//!
+//! * **Truncated tail** — the file ends before the current frame is
+//!   complete. That is the expected signature of a crash mid-append:
+//!   the scan stops at the last complete frame and reports the clean
+//!   length so recovery can truncate the torn bytes.
+//! * **Corruption** ([`StoreError::Corrupt`]) — a frame that is fully
+//!   present but invalid: malformed header, checksum mismatch, missing
+//!   terminator, or a non-UTF-8 payload. Never tolerated, even at the
+//!   tail — a complete record that fails its checksum is a bit flip,
+//!   not a crash artifact.
+//!
+//! Decoding is byte-based throughout: a crash can split a multi-byte
+//! UTF-8 sequence, so the torn tail must never be interpreted as text.
+
+use std::path::Path;
+
+use crate::StoreError;
+
+/// Frame header magic (version 1).
+pub const FRAME_HEADER: &str = "f1.store.rec.v1";
+
+/// FNV-1a 64 over raw bytes — the same hash family the catalog digest
+/// uses, applied to payload bytes.
+#[must_use]
+pub fn checksum(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0100_0000_01b3;
+    let mut hash = OFFSET;
+    for byte in bytes {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Encodes one payload as a complete frame, ready to append.
+#[must_use]
+pub fn encode(payload: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + FRAME_HEADER.len() + 32);
+    out.extend_from_slice(
+        format!(
+            "{FRAME_HEADER} {} {}\n",
+            payload.len(),
+            checksum(payload.as_bytes())
+        )
+        .as_bytes(),
+    );
+    out.extend_from_slice(payload.as_bytes());
+    out.push(b'\n');
+    out
+}
+
+/// The result of scanning a framed file: the decoded payloads (with the
+/// byte offset each frame started at), the length of the clean prefix,
+/// and whether a torn tail was dropped.
+#[derive(Debug)]
+pub struct FrameScan {
+    /// `(frame start offset, payload)` for every complete record.
+    pub payloads: Vec<(u64, String)>,
+    /// Byte length of the clean prefix — everything past this offset is
+    /// a torn tail from a crash mid-append and is safe to truncate.
+    pub clean_len: u64,
+    /// Whether bytes past `clean_len` were present (and dropped).
+    pub truncated: bool,
+}
+
+/// Decodes every complete frame in `bytes`; `path` only labels errors.
+///
+/// # Errors
+///
+/// [`StoreError::Corrupt`] for any complete-but-invalid frame (bad
+/// header, checksum mismatch, missing terminator, non-UTF-8 payload).
+/// A truncated final frame is *not* an error — see [`FrameScan`].
+// analyze::allow(indexing, scope = "fn", reason = "every slice is bounds-proven first: pos < len at loop top, header_len comes from position(), end is filtered to <= bytes.len()")
+pub fn decode_all(bytes: &[u8], path: &Path) -> Result<FrameScan, StoreError> {
+    let corrupt = |offset: usize, reason: String| StoreError::Corrupt {
+        path: path.to_path_buf(),
+        offset: offset as u64,
+        reason,
+    };
+    let mut payloads = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        if pos == bytes.len() {
+            return Ok(FrameScan {
+                payloads,
+                clean_len: pos as u64,
+                truncated: false,
+            });
+        }
+        let start = pos;
+        let rest = &bytes[start..];
+        let Some(header_len) = rest.iter().position(|&b| b == b'\n') else {
+            // No complete header line: torn tail.
+            return Ok(FrameScan {
+                payloads,
+                clean_len: start as u64,
+                truncated: true,
+            });
+        };
+        let header = core::str::from_utf8(&rest[..header_len])
+            .map_err(|_| corrupt(start, "frame header is not UTF-8".into()))?;
+        let mut fields = header.split(' ');
+        if fields.next() != Some(FRAME_HEADER) {
+            return Err(corrupt(start, format!("bad frame magic in {header:?}")));
+        }
+        let (len, sum) = match (fields.next(), fields.next(), fields.next()) {
+            (Some(len), Some(sum), None) => (
+                len.parse::<usize>()
+                    .map_err(|_| corrupt(start, format!("bad payload length in {header:?}")))?,
+                sum.parse::<u64>()
+                    .map_err(|_| corrupt(start, format!("bad checksum in {header:?}")))?,
+            ),
+            _ => return Err(corrupt(start, format!("bad frame header {header:?}"))),
+        };
+        let body_start = start + header_len + 1;
+        // Payload + trailing newline must be fully present, else this is
+        // a torn tail (the append was cut mid-write).
+        let Some(end) = body_start
+            .checked_add(len + 1)
+            .filter(|&e| e <= bytes.len())
+        else {
+            return Ok(FrameScan {
+                payloads,
+                clean_len: start as u64,
+                truncated: true,
+            });
+        };
+        let payload = &bytes[body_start..end - 1];
+        if bytes[end - 1] != b'\n' {
+            return Err(corrupt(start, "frame payload missing terminator".into()));
+        }
+        let actual = checksum(payload);
+        if actual != sum {
+            return Err(corrupt(
+                start,
+                format!("checksum mismatch: header says {sum}, payload hashes to {actual}"),
+            ));
+        }
+        let payload = core::str::from_utf8(payload)
+            .map_err(|_| corrupt(start, "frame payload is not UTF-8".into()))?
+            .to_owned();
+        payloads.push((start as u64, payload));
+        pos = end;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn path() -> PathBuf {
+        PathBuf::from("test.log")
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let mut bytes = Vec::new();
+        let payloads = ["{}", "{\"epoch\": 1}", "unicode — ✓"];
+        for p in payloads {
+            bytes.extend_from_slice(&encode(p));
+        }
+        let scan = decode_all(&bytes, &path()).unwrap();
+        assert!(!scan.truncated);
+        assert_eq!(scan.clean_len, bytes.len() as u64);
+        let decoded: Vec<&str> = scan.payloads.iter().map(|(_, p)| p.as_str()).collect();
+        assert_eq!(decoded, payloads);
+        // Offsets point at frame starts.
+        assert_eq!(scan.payloads[0].0, 0);
+        assert_eq!(scan.payloads[1].0, encode(payloads[0]).len() as u64);
+    }
+
+    #[test]
+    fn empty_input_is_a_clean_empty_scan() {
+        let scan = decode_all(&[], &path()).unwrap();
+        assert!(scan.payloads.is_empty());
+        assert_eq!(scan.clean_len, 0);
+        assert!(!scan.truncated);
+    }
+
+    #[test]
+    fn truncated_tail_is_tolerated_at_every_cut_point() {
+        let mut bytes = encode("{\"first\": true}");
+        let first_len = bytes.len();
+        bytes.extend_from_slice(&encode("second — ünïcødé payload"));
+        // Cut the file at every byte inside the second frame, including
+        // cuts that split a multi-byte UTF-8 sequence. (`first_len`
+        // itself is excluded: a cut there leaves a clean one-frame file
+        // with nothing torn.)
+        for cut in first_len + 1..bytes.len() - 1 {
+            let scan = decode_all(&bytes[..cut], &path())
+                .unwrap_or_else(|e| panic!("cut at {cut}: unexpected corruption {e}"));
+            assert_eq!(scan.payloads.len(), 1, "cut at {cut}");
+            assert!(scan.truncated, "cut at {cut}");
+            assert_eq!(scan.clean_len, first_len as u64, "cut at {cut}");
+        }
+        // The complete file decodes both.
+        assert_eq!(decode_all(&bytes, &path()).unwrap().payloads.len(), 2);
+    }
+
+    #[test]
+    fn bit_flip_is_a_named_corruption_error() {
+        let bytes = encode("{\"value\": 12345}");
+        let header_len = bytes.iter().position(|&b| b == b'\n').unwrap() + 1;
+        // Flip one bit in every payload byte position in turn.
+        for i in header_len..bytes.len() - 1 {
+            let mut flipped = bytes.clone();
+            flipped[i] ^= 0x01;
+            let err = decode_all(&flipped, &path()).unwrap_err();
+            assert!(
+                matches!(err, StoreError::Corrupt { offset: 0, .. }),
+                "flip at {i}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_headers_are_corruption_not_truncation() {
+        for bad in [
+            "not-a-frame 3 123\nabc\n",
+            "f1.store.rec.v1 x 123\nabc\n",
+            "f1.store.rec.v1 3 y\nabc\n",
+            "f1.store.rec.v1 3\nabc\n",
+            "f1.store.rec.v1 3 123 extra\nabc\n",
+        ] {
+            let err = decode_all(bad.as_bytes(), &path()).unwrap_err();
+            assert!(matches!(err, StoreError::Corrupt { .. }), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn missing_terminator_is_corruption() {
+        let mut bytes = encode("abc");
+        let last = bytes.len() - 1;
+        bytes[last] = b'x';
+        // The frame is complete (length says so) but the terminator is
+        // wrong — that is corruption, not a torn tail.
+        let err = decode_all(&bytes, &path()).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn corruption_after_clean_records_reports_the_right_offset() {
+        let mut bytes = encode("first");
+        let second_start = bytes.len();
+        let mut second = encode("second");
+        let flip = second.len() - 2;
+        second[flip] ^= 0x40;
+        bytes.extend_from_slice(&second);
+        let err = decode_all(&bytes, &path()).unwrap_err();
+        match err {
+            StoreError::Corrupt { offset, .. } => assert_eq!(offset, second_start as u64),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! Whole-catalog checkpoints.
+//!
+//! A snapshot is one framed record (`snapshot-<epoch>.json`) capturing a
+//! catalog at a published epoch:
+//!
+//! * the catalog's component families in [`CatalogDelta::rebuild`] wire
+//!   form (adds in id order plus retirement tombstones), and
+//! * the throughput matrix's intern orders and cells, so
+//!   [`ThroughputMatrix::from_parts`] can rebuild a
+//!   *representation-identical* matrix.
+//!
+//! Representation identity is the point: [`read_snapshot`] re-derives
+//! [`catalog_digest`] over the restored catalog and hard-fails with
+//! [`StoreError::DigestMismatch`] unless it equals the digest recorded
+//! at write time. Cold start restores the newest snapshot and replays
+//! only the log tail past it — O(snapshot + tail) instead of O(all
+//! epochs).
+//!
+//! Writes are atomic: the frame goes to a temp file, is fsynced, then
+//! renamed over the final name (and the directory synced), so a crash
+//! mid-write never leaves a half-snapshot under a `snapshot-*` name.
+
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use f1_components::{catalog_digest, json, Catalog, CatalogDelta, ThroughputMatrix};
+use f1_units::Hertz;
+
+use crate::log::{digest_field, str_field, u64_field};
+use crate::{frame, StoreError};
+
+/// Format tag of snapshot payloads.
+pub const SNAPSHOT_FORMAT: &str = "f1.store.snapshot.v1";
+
+/// The file name a snapshot of `epoch` lives under. Epochs are
+/// zero-padded so lexicographic and numeric order agree.
+#[must_use]
+pub fn snapshot_file_name(epoch: u64) -> String {
+    format!("snapshot-{epoch:020}.json")
+}
+
+/// A catalog restored from disk, with the epoch and (verified) digest
+/// it was recorded at.
+#[derive(Debug)]
+pub struct SnapshotData {
+    /// The epoch the snapshot captured.
+    pub epoch: u64,
+    /// The recorded catalog digest — [`read_snapshot`] has already
+    /// proven the restored catalog recomputes to exactly this value.
+    pub digest: u64,
+    /// The restored, validated catalog.
+    pub catalog: Catalog,
+}
+
+/// Serializes `catalog` as a single-line snapshot payload.
+///
+/// # Errors
+///
+/// [`StoreError::Component`] if the catalog cannot be expressed in the
+/// delta wire form (it always can for validated catalogs).
+pub fn encode_snapshot(catalog: &Catalog, epoch: u64, digest: u64) -> Result<String, StoreError> {
+    let rebuild = CatalogDelta::rebuild(catalog).to_json()?;
+    let matrix = catalog.matrix();
+    let names = |order: &[String]| {
+        order
+            .iter()
+            .map(|n| json::quote(n))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let mut cells = Vec::new();
+    for (platform, algorithm, hz) in matrix.iter() {
+        let rate = json::fmt_number(hz.get()).ok_or_else(|| {
+            StoreError::Component(f1_components::ComponentError::InvalidField {
+                field: "throughput",
+                reason: format!("non-finite rate for {platform}/{algorithm}"),
+            })
+        })?;
+        cells.push(format!(
+            "{{\"platform\": {}, \"algorithm\": {}, \"hz\": {rate}}}",
+            json::quote(platform),
+            json::quote(algorithm),
+        ));
+    }
+    Ok(format!(
+        "{{\"format\": {}, \"epoch\": {epoch}, \"digest\": {}, \"rebuild\": {}, \"platforms\": [{}], \"algorithms\": [{}], \"cells\": [{}]}}",
+        json::quote(SNAPSHOT_FORMAT),
+        json::quote(&digest.to_string()),
+        json::quote(&rebuild),
+        names(matrix.platform_order()),
+        names(matrix.algorithm_order()),
+        cells.join(", "),
+    ))
+}
+
+/// Atomically writes a snapshot of `catalog` into `dir` and returns its
+/// path: frame to temp file, fsync, rename over the final name, sync
+/// the directory.
+///
+/// # Errors
+///
+/// [`StoreError::Io`] on any filesystem failure, [`StoreError::Component`]
+/// if the catalog cannot be serialized.
+pub fn write_snapshot(
+    dir: &Path,
+    catalog: &Catalog,
+    epoch: u64,
+    digest: u64,
+) -> Result<PathBuf, StoreError> {
+    let payload = encode_snapshot(catalog, epoch, digest)?;
+    let bytes = frame::encode(&payload);
+    let final_path = dir.join(snapshot_file_name(epoch));
+    let tmp_path = dir.join(format!("{}.tmp", snapshot_file_name(epoch)));
+    let io = |path: &Path| {
+        let path = path.to_path_buf();
+        move |source: std::io::Error| StoreError::Io { path, source }
+    };
+    let mut tmp = File::create(&tmp_path).map_err(io(&tmp_path))?;
+    tmp.write_all(&bytes).map_err(io(&tmp_path))?;
+    tmp.sync_all().map_err(io(&tmp_path))?;
+    drop(tmp);
+    fs::rename(&tmp_path, &final_path).map_err(io(&final_path))?;
+    // Make the rename itself durable. Directory fsync support varies by
+    // platform; failure here does not un-write the snapshot.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(final_path)
+}
+
+/// Finds the newest snapshot (`(epoch, path)`) in `dir`, ignoring temp
+/// files and unrelated names. `Ok(None)` if there is none.
+///
+/// # Errors
+///
+/// [`StoreError::Io`] if the directory cannot be read.
+pub fn latest_snapshot(dir: &Path) -> Result<Option<(u64, PathBuf)>, StoreError> {
+    let io = |source: std::io::Error| StoreError::Io {
+        path: dir.to_path_buf(),
+        source,
+    };
+    let mut best: Option<(u64, PathBuf)> = None;
+    for entry in fs::read_dir(dir).map_err(io)? {
+        let entry = entry.map_err(io)?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(epoch) = name
+            .strip_prefix("snapshot-")
+            .and_then(|rest| rest.strip_suffix(".json"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        let newer = match &best {
+            Some((e, _)) => epoch > *e,
+            None => true,
+        };
+        if newer {
+            best = Some((epoch, entry.path()));
+        }
+    }
+    Ok(best)
+}
+
+/// Reads, restores, and **digest-verifies** a snapshot.
+///
+/// The catalog is rebuilt exactly as recovery needs it: component
+/// families from the embedded rebuild delta, the throughput matrix
+/// representation-identically via [`ThroughputMatrix::from_parts`],
+/// then validated and re-digested.
+///
+/// # Errors
+///
+/// [`StoreError::Corrupt`] for framing/schema violations (a snapshot is
+/// exactly one complete frame — a torn snapshot under its final name is
+/// corruption, since writes are atomic), [`StoreError::Component`] if
+/// the embedded delta fails to apply, and [`StoreError::DigestMismatch`]
+/// if the restored catalog does not recompute to the recorded digest.
+pub fn read_snapshot(path: &Path) -> Result<SnapshotData, StoreError> {
+    let bytes = fs::read(path).map_err(|source| StoreError::Io {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    let corrupt = |reason: String| StoreError::Corrupt {
+        path: path.to_path_buf(),
+        offset: 0,
+        reason,
+    };
+    let scan = frame::decode_all(&bytes, path)?;
+    if scan.truncated || scan.payloads.len() != 1 {
+        return Err(corrupt(format!(
+            "snapshot must be exactly one complete frame (found {}, truncated: {})",
+            scan.payloads.len(),
+            scan.truncated
+        )));
+    }
+    // analyze::allow(indexing, reason = "guard above requires payloads.len() == 1")
+    let payload = &scan.payloads[0].1;
+    let value = json::parse(payload).map_err(&corrupt)?;
+    let obj = value.as_object().map_err(&corrupt)?;
+    let format = str_field(obj, "format").map_err(&corrupt)?;
+    if format != SNAPSHOT_FORMAT {
+        return Err(corrupt(format!("unexpected snapshot format {format:?}")));
+    }
+    let epoch = u64_field(obj, "epoch").map_err(&corrupt)?;
+    let digest = digest_field(obj, "digest").map_err(&corrupt)?;
+    let rebuild = str_field(obj, "rebuild").map_err(&corrupt)?;
+    let platforms = name_list(obj, "platforms").map_err(&corrupt)?;
+    let algorithms = name_list(obj, "algorithms").map_err(&corrupt)?;
+    let cells = cell_list(obj).map_err(&corrupt)?;
+
+    let mut catalog = Catalog::new();
+    CatalogDelta::from_json(&rebuild)?.apply_to(&mut catalog)?;
+    *catalog.matrix_mut() = ThroughputMatrix::from_parts(&platforms, &algorithms, &cells)?;
+    catalog.validate()?;
+    let computed = catalog_digest(&catalog);
+    if computed != digest {
+        return Err(StoreError::DigestMismatch {
+            epoch,
+            recorded: digest,
+            computed,
+        });
+    }
+    Ok(SnapshotData {
+        epoch,
+        digest,
+        catalog,
+    })
+}
+
+fn name_list(obj: &[(String, json::Value)], name: &str) -> Result<Vec<String>, String> {
+    let items = obj
+        .iter()
+        .find(|(k, _)| k == name)
+        .ok_or_else(|| format!("missing field {name:?}"))?
+        .1
+        .as_array()
+        .map_err(|e| format!("field {name:?}: {e}"))?;
+    items
+        .iter()
+        .map(|v| v.as_str().map_err(|e| format!("field {name:?}: {e}")))
+        .collect()
+}
+
+fn cell_list(obj: &[(String, json::Value)]) -> Result<Vec<(String, String, Hertz)>, String> {
+    let items = obj
+        .iter()
+        .find(|(k, _)| k == "cells")
+        .ok_or_else(|| "missing field \"cells\"".to_owned())?
+        .1
+        .as_array()
+        .map_err(|e| format!("field \"cells\": {e}"))?;
+    let mut cells = Vec::with_capacity(items.len());
+    for item in items {
+        let cell = item.as_object().map_err(|e| format!("cell: {e}"))?;
+        let platform = str_field(cell, "platform").map_err(|e| format!("cell: {e}"))?;
+        let algorithm = str_field(cell, "algorithm").map_err(|e| format!("cell: {e}"))?;
+        let hz = cell
+            .iter()
+            .find(|(k, _)| k == "hz")
+            .ok_or_else(|| "cell: missing field \"hz\"".to_owned())?
+            .1
+            .as_number()
+            .map_err(|e| format!("cell: field \"hz\": {e}"))?;
+        cells.push((platform, algorithm, Hertz::new(hz)));
+    }
+    Ok(cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::scratch;
+    use f1_components::CatalogStore;
+
+    #[test]
+    fn snapshot_round_trips_digest_identically() {
+        let dir = scratch("snap");
+        let catalog = Catalog::paper();
+        let digest = catalog_digest(&catalog);
+        let path = write_snapshot(&dir, &catalog, 0, digest).unwrap();
+        assert_eq!(path.file_name().unwrap().to_str().unwrap().len(), 34);
+        let restored = read_snapshot(&path).unwrap();
+        assert_eq!(restored.epoch, 0);
+        assert_eq!(restored.digest, digest);
+        assert_eq!(catalog_digest(&restored.catalog), digest);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_after_mutations_still_restores_exactly() {
+        let dir = scratch("snap-mut");
+        let store = CatalogStore::new(Catalog::synthesize(7, 4));
+        let delta = CatalogDelta::from_json(
+            "{\"throughput\": [{\"compute\": \"Synth Compute 000000\", \"algorithm\": \"Synth Algorithm 000001\", \"hz\": 99.5}]}",
+        )
+        .unwrap();
+        let snap = store.apply(&delta).unwrap();
+        let catalog = snap.catalog();
+        let path = write_snapshot(&dir, catalog, snap.epoch().get(), snap.digest()).unwrap();
+        let restored = read_snapshot(&path).unwrap();
+        assert_eq!(restored.digest, snap.digest());
+        assert_eq!(catalog_digest(&restored.catalog), snap.digest());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn latest_snapshot_picks_the_highest_epoch() {
+        let dir = scratch("snap-latest");
+        assert!(latest_snapshot(&dir).unwrap().is_none());
+        let catalog = Catalog::paper();
+        let digest = catalog_digest(&catalog);
+        for epoch in [0, 3, 12] {
+            write_snapshot(&dir, &catalog, epoch, digest).unwrap();
+        }
+        // Stray files never confuse the scan.
+        std::fs::write(dir.join("snapshot-junk.json"), b"x").unwrap();
+        std::fs::write(dir.join("epochs.log"), b"").unwrap();
+        let (epoch, path) = latest_snapshot(&dir).unwrap().unwrap();
+        assert_eq!(epoch, 12);
+        assert!(path.ends_with(snapshot_file_name(12)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tampered_digest_is_a_hard_failure() {
+        let dir = scratch("snap-tamper");
+        let catalog = Catalog::paper();
+        let digest = catalog_digest(&catalog);
+        // Record a wrong digest on purpose: the restore must refuse it.
+        let path = write_snapshot(&dir, &catalog, 2, digest ^ 1).unwrap();
+        match read_snapshot(&path).unwrap_err() {
+            StoreError::DigestMismatch {
+                epoch,
+                recorded,
+                computed,
+            } => {
+                assert_eq!(epoch, 2);
+                assert_eq!(recorded, digest ^ 1);
+                assert_eq!(computed, digest);
+            }
+            other => panic!("unexpected error {other}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_snapshot_is_corruption_not_truncation() {
+        let dir = scratch("snap-torn");
+        let catalog = Catalog::paper();
+        let digest = catalog_digest(&catalog);
+        let path = write_snapshot(&dir, &catalog, 1, digest).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        // Snapshots are written atomically, so a half-frame under the
+        // final name can only be damage — named error, not a tolerated
+        // tail.
+        assert!(matches!(
+            read_snapshot(&path).unwrap_err(),
+            StoreError::Corrupt { .. }
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

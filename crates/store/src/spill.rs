@@ -1,0 +1,247 @@
+//! Result-cache spill.
+//!
+//! The serving layer memoizes evaluated `ResultSet`s per
+//! `(plan key, epoch)`. This module persists those bodies (`spill.log`)
+//! keyed by `(plan key, epoch, digest)` so a restarted server re-warms
+//! its cache from disk and answers pre-crash plan keys **byte-identically**
+//! without re-running the physics. The digest ties each spilled body to
+//! the exact catalog state it was computed against: on restore, a
+//! record is only trusted if recovery re-derived the same digest for
+//! that epoch.
+//!
+//! The file shares the epoch log's framing and crash discipline
+//! ([`crate::frame`]): appends are single-write + fsync, a torn tail is
+//! tolerated, corruption is a named error. Re-spills of the same
+//! `(plan key, epoch)` are legal; the **latest record wins** on load.
+
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use f1_components::json;
+
+use crate::log::{digest_field, str_field, u64_field};
+use crate::{frame, StoreError};
+
+/// Format tag of spill record payloads.
+pub const SPILL_FORMAT: &str = "f1.store.spill.v1";
+
+/// One spilled query result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpillRecord {
+    /// The memoized plan key.
+    pub plan_key: String,
+    /// The epoch the result was evaluated at.
+    pub epoch: u64,
+    /// The catalog digest at that epoch — restore only trusts the
+    /// record if recovery reproduced this digest.
+    pub digest: u64,
+    /// The result body exactly as `ResultSet::to_json` produced it.
+    pub result_json: String,
+}
+
+impl SpillRecord {
+    /// Serializes the record as its single-line JSON payload.
+    #[must_use]
+    pub fn to_payload(&self) -> String {
+        format!(
+            "{{\"format\": {}, \"plan_key\": {}, \"epoch\": {}, \"digest\": {}, \"result\": {}}}",
+            json::quote(SPILL_FORMAT),
+            json::quote(&self.plan_key),
+            self.epoch,
+            json::quote(&self.digest.to_string()),
+            json::quote(&self.result_json),
+        )
+    }
+
+    /// Parses a record payload; `path`/`offset` label errors.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] for schema or type violations.
+    pub fn from_payload(payload: &str, path: &Path, offset: u64) -> Result<Self, StoreError> {
+        let corrupt = |reason: String| StoreError::Corrupt {
+            path: path.to_path_buf(),
+            offset,
+            reason,
+        };
+        let value = json::parse(payload).map_err(&corrupt)?;
+        let obj = value.as_object().map_err(&corrupt)?;
+        let format = str_field(obj, "format").map_err(&corrupt)?;
+        if format != SPILL_FORMAT {
+            return Err(corrupt(format!("unexpected spill format {format:?}")));
+        }
+        Ok(Self {
+            plan_key: str_field(obj, "plan_key").map_err(&corrupt)?,
+            epoch: u64_field(obj, "epoch").map_err(&corrupt)?,
+            digest: digest_field(obj, "digest").map_err(&corrupt)?,
+            result_json: str_field(obj, "result").map_err(&corrupt)?,
+        })
+    }
+}
+
+/// The loaded contents of a spill file, deduplicated.
+#[derive(Debug)]
+pub struct SpillLoad {
+    /// Surviving records in `(plan key, epoch)` order — for each key
+    /// pair, the **last** record appended wins.
+    pub records: Vec<SpillRecord>,
+    /// Byte length of the clean prefix.
+    pub clean_len: u64,
+    /// Whether a torn tail was dropped.
+    pub truncated: bool,
+}
+
+/// The append half of the spill file.
+#[derive(Debug)]
+pub struct SpillLog {
+    path: PathBuf,
+    file: Mutex<std::fs::File>,
+}
+
+impl SpillLog {
+    /// Opens (creating if absent) the spill file for appending.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if the file cannot be opened.
+    pub fn open_append(path: &Path) -> Result<Self, StoreError> {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|source| StoreError::Io {
+                path: path.to_path_buf(),
+                source,
+            })?;
+        Ok(Self {
+            path: path.to_path_buf(),
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Appends one record (single write + fsync, same durability
+    /// discipline as the epoch log).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on write or sync failure.
+    pub fn append(&self, record: &SpillRecord) -> Result<(), StoreError> {
+        let bytes = frame::encode(&record.to_payload());
+        let io = |source: std::io::Error| StoreError::Io {
+            path: self.path.clone(),
+            source,
+        };
+        let mut file = self
+            .file
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        file.write_all(&bytes).map_err(io)?;
+        file.sync_data().map_err(io)
+    }
+
+    /// The spill file path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Loads and deduplicates a spill file. A missing file is an empty
+/// spill; a torn tail is reported but tolerated.
+///
+/// # Errors
+///
+/// [`StoreError::Io`] on read failure, [`StoreError::Corrupt`] for any
+/// complete-but-invalid record.
+pub fn load(path: &Path) -> Result<SpillLoad, StoreError> {
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(source) => {
+            return Err(StoreError::Io {
+                path: path.to_path_buf(),
+                source,
+            })
+        }
+    };
+    let scan = frame::decode_all(&bytes, path)?;
+    let mut latest = std::collections::BTreeMap::new();
+    for (offset, payload) in &scan.payloads {
+        let record = SpillRecord::from_payload(payload, path, *offset)?;
+        latest.insert((record.plan_key.clone(), record.epoch), record);
+    }
+    Ok(SpillLoad {
+        records: latest.into_values().collect(),
+        clean_len: scan.clean_len,
+        truncated: scan.truncated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::scratch;
+
+    fn record(key: &str, epoch: u64, body: &str) -> SpillRecord {
+        SpillRecord {
+            plan_key: key.to_owned(),
+            epoch,
+            digest: 0x1234_5678_9abc_def0 ^ epoch,
+            result_json: body.to_owned(),
+        }
+    }
+
+    #[test]
+    fn payload_round_trips_exactly() {
+        let rec = record("top=3 sensors=\"IMX\" — π", 5, "{\"uavs\": [1, 2]}\n");
+        let back = SpillRecord::from_payload(&rec.to_payload(), Path::new("t"), 0).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn later_records_win_on_load() {
+        let dir = scratch("spill");
+        let path = dir.join("spill.log");
+        let log = SpillLog::open_append(&path).unwrap();
+        log.append(&record("a", 0, "stale")).unwrap();
+        log.append(&record("b", 0, "kept")).unwrap();
+        log.append(&record("a", 1, "other-epoch")).unwrap();
+        log.append(&record("a", 0, "fresh")).unwrap();
+        let loaded = load(&path).unwrap();
+        assert!(!loaded.truncated);
+        let bodies: Vec<(&str, u64, &str)> = loaded
+            .records
+            .iter()
+            .map(|r| (r.plan_key.as_str(), r.epoch, r.result_json.as_str()))
+            .collect();
+        assert_eq!(
+            bodies,
+            vec![("a", 0, "fresh"), ("a", 1, "other-epoch"), ("b", 0, "kept")]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_and_missing_file_are_tolerated() {
+        let dir = scratch("spill-torn");
+        let path = dir.join("spill.log");
+        assert!(load(&path).unwrap().records.is_empty());
+        let log = SpillLog::open_append(&path).unwrap();
+        log.append(&record("a", 0, "ok")).unwrap();
+        let clean = std::fs::metadata(&path).unwrap().len();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(
+            frame::encode(&record("b", 0, "torn").to_payload())
+                .split_at(10)
+                .0,
+        );
+        std::fs::write(&path, &bytes).unwrap();
+        let loaded = load(&path).unwrap();
+        assert!(loaded.truncated);
+        assert_eq!(loaded.clean_len, clean);
+        assert_eq!(loaded.records.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
