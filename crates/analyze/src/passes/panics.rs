@@ -20,14 +20,16 @@ use crate::diag::Finding;
 use crate::lexer::TokenKind;
 use crate::source::SourceFile;
 
-/// Relative paths the audit covers: `serve/*`, `store/*`, the
-/// `skyline` session/plan/repair/shard modules, the components store
-/// and the strict-JSON parser (it decodes every wire request and every
-/// durable log record).
+/// Relative paths the audit covers: `serve/*`, `store/*`, the tier-2
+/// simulation harness (`sim/*` — it runs inside every query with sim
+/// objectives), the `skyline` session/plan/repair/shard modules, the
+/// components store and the strict-JSON parser (it decodes every wire
+/// request and every durable log record).
 #[must_use]
 pub fn is_designated(rel: &str) -> bool {
     rel.starts_with("crates/serve/src/")
         || rel.starts_with("crates/store/src/")
+        || rel.starts_with("crates/sim/src/")
         || matches!(
             rel,
             "crates/skyline/src/session.rs"

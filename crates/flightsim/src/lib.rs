@@ -52,6 +52,7 @@ mod pid;
 mod planar;
 mod scenario;
 mod search;
+mod seed;
 mod validation;
 
 pub use disturbance::DisturbanceModel;
@@ -60,4 +61,5 @@ pub use pid::Pid;
 pub use planar::{PlanarDynamics, PlanarState};
 pub use scenario::{DecisionPhase, StopScenario, Trajectory, TrajectorySample, TrialOutcome};
 pub use search::{find_safe_velocity, SafeVelocityResult, SearchConfig};
+pub use seed::{mix64, trial_seed};
 pub use validation::{validate_custom_drones, DroneValidation, ValidationConfig, ValidationReport};

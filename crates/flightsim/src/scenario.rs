@@ -330,7 +330,15 @@ impl StopScenario {
     /// velocity to be unsafe").
     #[must_use]
     pub fn is_velocity_safe(&self, v: MetersPerSecond, trials: usize, seed: u64) -> bool {
-        (0..trials).all(|i| !self.run_trial(v, seed.wrapping_add(i as u64)).infraction)
+        // Seeds derive through the shared splitmix convention
+        // (`crate::seed::trial_seed`), not `seed + i`: consecutive
+        // trials get decorrelated RNG streams, and the same (seed,
+        // trial) pair reproduces the same trial everywhere.
+        (0..trials).all(|i| {
+            !self
+                .run_trial(v, crate::seed::trial_seed(seed, 0, i as u64))
+                .infraction
+        })
     }
 }
 

@@ -1,0 +1,96 @@
+//! Deterministic trial-seed derivation.
+//!
+//! Every stochastic flightsim run — disturbance trials, validation
+//! sweeps, the tier-2 robustness objective — needs a per-trial RNG seed.
+//! Callers used to improvise (`seed + i`, `seed ^ i`, …), which made
+//! seeds collide across candidates and correlate across trials: `base`
+//! and `base + 1` differ in one bit, so consecutive trials started their
+//! xorshift streams nearly in lock-step. [`trial_seed`] fixes the
+//! convention once: a splitmix64-style finalizer over
+//! `(base, candidate, trial)` whose outputs are decorrelated in every
+//! argument, so one `(plan, candidate, trial)` triple maps to one seed —
+//! everywhere, forever, bit-identically.
+
+/// The 64-bit finalizer of splitmix64 (Steele, Lea & Flood 2014;
+/// constants from MurmurHash3's avalanche function as tuned by David
+/// Stafford, "mix 13"): full avalanche — every input bit flips each
+/// output bit with probability ~1/2.
+#[must_use]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Derives the RNG seed of one simulation trial from a base seed (e.g.
+/// a hash of the query-plan key), a candidate identity and the trial
+/// index. Deterministic and order-free: the seed depends only on the
+/// triple, never on evaluation order, batch shape or storage mode.
+#[must_use]
+pub fn trial_seed(base: u64, candidate: u64, trial: u64) -> u64 {
+    // Chained splitmix64 finalizers: each argument is absorbed through
+    // a full avalanche before the next, so adjacent candidates or trial
+    // indices produce unrelated seeds (unlike `base + trial`).
+    mix64(mix64(mix64(base) ^ candidate) ^ trial)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_order_free() {
+        assert_eq!(trial_seed(42, 7, 3), trial_seed(42, 7, 3));
+        // The triple is absorbed positionally: swapping candidate and
+        // trial changes the seed.
+        assert_ne!(trial_seed(42, 7, 3), trial_seed(42, 3, 7));
+    }
+
+    #[test]
+    fn adjacent_inputs_decorrelate() {
+        // Property: for a sweep of adjacent (candidate, trial) pairs,
+        // consecutive seeds differ in roughly half their bits — the
+        // failure mode of the old `seed + i` convention was exactly
+        // one-bit deltas.
+        let mut min_flips = u32::MAX;
+        for c in 0..50u64 {
+            for t in 0..50u64 {
+                let here = trial_seed(1, c, t);
+                let next_trial = trial_seed(1, c, t + 1);
+                let next_candidate = trial_seed(1, c + 1, t);
+                min_flips = min_flips
+                    .min((here ^ next_trial).count_ones())
+                    .min((here ^ next_candidate).count_ones());
+            }
+        }
+        assert!(
+            min_flips >= 10,
+            "adjacent seeds must avalanche (min bit flips {min_flips})"
+        );
+    }
+
+    #[test]
+    fn no_collisions_across_a_survivor_batch() {
+        // Property: the (candidate, trial) grid of a realistic tier-2
+        // pass (64 survivors × 256 trials) yields all-distinct seeds.
+        let mut seeds: Vec<u64> = (0..64u64)
+            .flat_map(|c| (0..256u64).map(move |t| trial_seed(0xDEAD_BEEF, c, t)))
+            .collect();
+        let n = seeds.len();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), n, "seed collision in a 64×256 grid");
+    }
+
+    #[test]
+    fn base_separates_plans() {
+        // Different base seeds (different plan keys) give disjoint
+        // streams for the same candidate/trial.
+        for c in 0..8u64 {
+            for t in 0..8u64 {
+                assert_ne!(trial_seed(1, c, t), trial_seed(2, c, t));
+            }
+        }
+    }
+}

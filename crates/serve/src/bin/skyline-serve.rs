@@ -26,6 +26,7 @@ use std::time::Duration;
 use f1_components::{Catalog, CatalogDelta, CatalogEpoch, CatalogStore};
 use f1_serve::protocol::Client;
 use f1_serve::{Durability, SchedulerConfig, ServeConfig, Server};
+use f1_sim::SimHarness;
 use f1_skyline::plan::QueryPlan;
 use f1_skyline::query::{Constraint, Objective};
 use f1_skyline::session::Session;
@@ -160,7 +161,7 @@ fn genesis_catalog(args: &Args) -> Catalog {
 
 fn build_session(args: &Args) -> Arc<Session> {
     let store = Arc::new(CatalogStore::from_shared(Arc::new(genesis_catalog(args))));
-    let mut session = Session::over(store);
+    let mut session = Session::over(store).with_tier2(Arc::new(SimHarness::default()));
     if let Some(capacity) = args.cache_capacity {
         session = session.with_cache_capacity(capacity);
     }
@@ -180,7 +181,8 @@ fn build_durable(
         replica: args.replica,
     };
     let durable = Arc::new(DurableStore::open(dir, || genesis_catalog(args), options)?);
-    let mut session = Session::over(Arc::clone(durable.store()));
+    let mut session =
+        Session::over(Arc::clone(durable.store())).with_tier2(Arc::new(SimHarness::default()));
     if let Some(capacity) = args.cache_capacity {
         session = session.with_cache_capacity(capacity);
     }

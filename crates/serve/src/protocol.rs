@@ -32,6 +32,7 @@ use std::time::Duration;
 
 use f1_components::EpochSnapshot;
 use f1_skyline::session::{CacheStats, ResultSet};
+use f1_skyline::tier2::SimStats;
 use f1_skyline::SkylineError;
 
 use crate::scheduler::SchedulerStats;
@@ -337,12 +338,13 @@ pub struct DurabilityStats {
 }
 
 /// Builds the `stats` response body: epoch identity, session cache
-/// counters, scheduler counters and — on a durable server — recovery
-/// and spill counters.
+/// counters, tier-2 simulation counters, scheduler counters and — on a
+/// durable server — recovery and spill counters.
 #[must_use]
 pub fn stats_body(
     snapshot: &EpochSnapshot,
     cache: &CacheStats,
+    sim: &SimStats,
     sched: &SchedulerStats,
     queue_depth: usize,
     durability: Option<&DurabilityStats>,
@@ -363,6 +365,8 @@ pub fn stats_body(
         "{{\"epoch\": {}, \"digest\": {},\n\
          \"cache\": {{\"hits\": {}, \"misses\": {}, \"entries\": {}, \
          \"evictions\": {}, \"repairs\": {}}},\n\
+         \"sim\": {{\"evaluations\": {}, \"survivors\": {}, \"trials\": {}, \
+         \"reused_rows\": {}, \"millis\": {}}},\n\
          {durability}\
          \"scheduler\": {{\"admitted\": {}, \"rejected\": {}, \
          \"fast_path_hits\": {}, \"batches\": {}, \"batched_requests\": {}, \
@@ -375,6 +379,11 @@ pub fn stats_body(
         cache.entries,
         cache.evictions,
         cache.repairs,
+        sim.evaluations,
+        sim.survivors,
+        sim.trials,
+        sim.reused_rows,
+        sim.millis,
         sched.admitted,
         sched.rejected,
         sched.fast_path_hits,

@@ -465,6 +465,7 @@ fn handle_request(line: &str, writer: &mut TcpStream, shared: &Shared) -> bool {
             let body = protocol::stats_body(
                 &snapshot,
                 &session.cache_stats(),
+                &session.sim_stats(),
                 &scheduler.stats(),
                 scheduler.queue_depth(),
                 durability.as_ref(),

@@ -1,0 +1,199 @@
+//! Disturbance-environment presets for tier-2 simulation.
+
+use f1_skyline::SkylineError;
+use f1_units::Seconds;
+
+/// The simulated environment a tier-2 pass runs under: disturbance
+/// magnitude, effective decision rate, actuation lag, drag and pipeline
+/// noise. Three presets span the acceptance matrix — [`calm`],
+/// [`gusty`] and [`degraded`] — and custom configurations are validated
+/// by [`SimHarness::new`](crate::SimHarness::new).
+///
+/// [`calm`]: ScenarioConfig::calm
+/// [`gusty`]: ScenarioConfig::gusty
+/// [`degraded`]: ScenarioConfig::degraded
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioConfig {
+    /// Scenario name, used in reports and stats (`"calm"`, `"gusty"`,
+    /// `"degraded"`, or caller-chosen for custom configs).
+    pub name: &'static str,
+    /// Standard deviation of the gaussian acceleration disturbance
+    /// (m/s²) applied during braking — gust and payload-jerk proxy.
+    pub disturbance_sigma: f64,
+    /// Commanded-velocity derate: trials fly at `derate ×` the analytic
+    /// safe velocity. The analytic model is optimistic (paper §IV), so
+    /// commanding exactly `v_pred` would infract on actuation lag alone
+    /// and measure nothing but the known bias; the derate centres the
+    /// trials on the regime where *ranking* differences show.
+    pub derate: f64,
+    /// Scale on the candidate's decision rate (1 = the analytic
+    /// assumption; < 1 models a degraded autonomy loop).
+    pub decision_rate_scale: f64,
+    /// Brake-engagement lag — the attitude-loop + motor delay the
+    /// analytic model omits.
+    pub response_lag: Seconds,
+    /// Quadratic drag coefficient (N·s²/m²) for the braking dynamics.
+    pub drag_coefficient: f64,
+    /// Log-normal jitter sigma on the compute stage of the pipeline
+    /// simulation.
+    pub pipeline_jitter_sigma: f64,
+    /// Frame-drop probability in the pipeline simulation, `[0, 1)`.
+    pub pipeline_drop_rate: f64,
+}
+
+impl ScenarioConfig {
+    /// Benign conditions: light gusts, nominal decision rate, modest
+    /// pipeline jitter. The default environment.
+    #[must_use]
+    pub fn calm() -> Self {
+        Self {
+            name: "calm",
+            disturbance_sigma: 0.02,
+            derate: 0.85,
+            decision_rate_scale: 1.0,
+            response_lag: Seconds::new(0.12),
+            drag_coefficient: 0.05,
+            pipeline_jitter_sigma: 0.10,
+            pipeline_drop_rate: 0.0,
+        }
+    }
+
+    /// Gusty wind: the disturbance sigma is an order of magnitude above
+    /// calm, stressing builds whose analytic margin is thin.
+    #[must_use]
+    pub fn gusty() -> Self {
+        Self {
+            name: "gusty",
+            disturbance_sigma: 0.20,
+            drag_coefficient: 0.08,
+            ..Self::calm()
+        }
+    }
+
+    /// Degraded decision rate: the autonomy loop runs at half its
+    /// characterized throughput and the pipeline jitters and drops
+    /// frames — the failure mode of a thermally throttled computer.
+    #[must_use]
+    pub fn degraded() -> Self {
+        Self {
+            name: "degraded",
+            disturbance_sigma: 0.05,
+            decision_rate_scale: 0.5,
+            pipeline_jitter_sigma: 0.35,
+            pipeline_drop_rate: 0.05,
+            ..Self::calm()
+        }
+    }
+
+    /// Validates every field, so the harness can hand values straight to
+    /// the simulator constructors (several of which treat bad parameters
+    /// as programmer error).
+    pub(crate) fn validate(&self) -> Result<(), SkylineError> {
+        let bad = |what: &str, v: f64| SkylineError::Tier2 {
+            reason: format!("scenario `{}`: {what} is invalid ({v})", self.name),
+        };
+        if !(self.disturbance_sigma.is_finite() && self.disturbance_sigma >= 0.0) {
+            return Err(bad(
+                "disturbance sigma (want finite ≥ 0)",
+                self.disturbance_sigma,
+            ));
+        }
+        if !(self.derate.is_finite() && self.derate > 0.0 && self.derate <= 1.0) {
+            return Err(bad("velocity derate (want 0 < derate ≤ 1)", self.derate));
+        }
+        if !(self.decision_rate_scale.is_finite() && self.decision_rate_scale > 0.0) {
+            return Err(bad(
+                "decision-rate scale (want finite > 0)",
+                self.decision_rate_scale,
+            ));
+        }
+        if !(self.response_lag.get().is_finite() && self.response_lag.get() >= 0.0) {
+            return Err(bad(
+                "response lag (want finite ≥ 0 s)",
+                self.response_lag.get(),
+            ));
+        }
+        if !(self.drag_coefficient.is_finite() && self.drag_coefficient >= 0.0) {
+            return Err(bad(
+                "drag coefficient (want finite ≥ 0)",
+                self.drag_coefficient,
+            ));
+        }
+        if !(self.pipeline_jitter_sigma.is_finite() && self.pipeline_jitter_sigma >= 0.0) {
+            return Err(bad(
+                "pipeline jitter sigma (want finite ≥ 0)",
+                self.pipeline_jitter_sigma,
+            ));
+        }
+        if !(self.pipeline_drop_rate.is_finite() && (0.0..1.0).contains(&self.pipeline_drop_rate)) {
+            return Err(bad(
+                "pipeline drop rate (want [0, 1))",
+                self.pipeline_drop_rate,
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        Self::calm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for preset in [
+            ScenarioConfig::calm(),
+            ScenarioConfig::gusty(),
+            ScenarioConfig::degraded(),
+        ] {
+            preset.validate().expect("presets are always valid");
+        }
+    }
+
+    #[test]
+    fn bad_fields_are_rejected() {
+        let cases = [
+            ScenarioConfig {
+                disturbance_sigma: -1.0,
+                ..ScenarioConfig::calm()
+            },
+            ScenarioConfig {
+                disturbance_sigma: f64::NAN,
+                ..ScenarioConfig::calm()
+            },
+            ScenarioConfig {
+                derate: 0.0,
+                ..ScenarioConfig::calm()
+            },
+            ScenarioConfig {
+                derate: 1.5,
+                ..ScenarioConfig::calm()
+            },
+            ScenarioConfig {
+                decision_rate_scale: 0.0,
+                ..ScenarioConfig::calm()
+            },
+            ScenarioConfig {
+                drag_coefficient: -0.1,
+                ..ScenarioConfig::calm()
+            },
+            ScenarioConfig {
+                pipeline_jitter_sigma: -0.1,
+                ..ScenarioConfig::calm()
+            },
+            ScenarioConfig {
+                pipeline_drop_rate: 1.0,
+                ..ScenarioConfig::calm()
+            },
+        ];
+        for bad in cases {
+            assert!(bad.validate().is_err(), "{bad:?} should be rejected");
+        }
+    }
+}

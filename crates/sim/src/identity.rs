@@ -1,0 +1,104 @@
+//! Deterministic identities for tier-2 simulation.
+//!
+//! The bit-identity contract of two-tier evaluation (same plan ⇒ same
+//! simulated values, regardless of cache state, batch shape, storage
+//! mode or delta repair) reduces to one rule: every RNG seed must be a
+//! pure function of *what* is being simulated, never of *when* or
+//! *where*. Two identities provide that:
+//!
+//! * [`plan_base_seed`] — a hash of the plan's canonical key. Two plans
+//!   with the same key are the same query, so they draw the same seed
+//!   streams; any differing knob, constraint or tier-2 section lands in
+//!   the key and separates the streams.
+//! * [`candidate_id`] — a hash of the survivor's discrete identity
+//!   (airframe, sensor, compute, algorithm, knob-setting position).
+//!   Notably *not* the survivor's row index or epoch: indices shift as
+//!   catalogs grow and results compact, but the build itself — and
+//!   therefore its simulated trajectory — does not.
+
+use f1_flightsim::mix64;
+use f1_skyline::query::QueryPoint;
+
+/// Derives the per-plan base seed from the canonical plan key.
+///
+/// FNV-1a over the key bytes, finished with a [`mix64`] avalanche so
+/// near-identical keys (one knob step apart) still produce unrelated
+/// seed streams.
+///
+/// The `kp=` (storage policy) section is masked out before hashing:
+/// materializing and streamed executions of the same query are the same
+/// *simulation* — two-tier results are bit-identical across
+/// [`f1_skyline::KeepPoints`] modes, which a seed keyed on the raw
+/// canonical key (where the policy appears) would silently break.
+#[must_use]
+pub fn plan_base_seed(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut absorb = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for section in key.split('|') {
+        if section.starts_with("kp=") {
+            absorb(b"kp=*|");
+        } else {
+            absorb(section.as_bytes());
+            absorb(b"|");
+        }
+    }
+    mix64(h)
+}
+
+/// Derives a survivor's stable simulation identity from its discrete
+/// parts and the position of its knob setting in the plan's sweep grid.
+///
+/// The id feeds [`f1_flightsim::trial_seed`] and keys prior-result reuse
+/// during delta repair, so it must not depend on row order, epoch or
+/// storage mode — only on what the build *is*.
+#[must_use]
+pub fn candidate_id(point: &QueryPoint, setting_index: usize) -> u64 {
+    let mut id = mix64(point.airframe.index() as u64);
+    id = mix64(id ^ point.candidate.sensor.index() as u64);
+    id = mix64(id ^ point.candidate.compute.index() as u64);
+    id = mix64(id ^ point.candidate.algorithm.index() as u64);
+    mix64(id ^ setting_index as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_seed_separates_keys() {
+        let a = plan_base_seed("f1.plan.v1|o=velocity|t2=robustness:32@16");
+        let b = plan_base_seed("f1.plan.v1|o=velocity|t2=robustness:33@16");
+        assert_ne!(a, b);
+        assert_eq!(
+            a,
+            plan_base_seed("f1.plan.v1|o=velocity|t2=robustness:32@16")
+        );
+    }
+
+    #[test]
+    fn storage_policy_does_not_change_the_seed_stream() {
+        // KeepPoints only decides which tier-1 points are *stored*; the
+        // simulated trajectories of the survivors are the same query.
+        let all = plan_base_seed("f1.plan.v1|o=velocity|kp=all|t2=p99@16");
+        let auto = plan_base_seed("f1.plan.v1|o=velocity|kp=auto|t2=p99@16");
+        let frontier = plan_base_seed("f1.plan.v1|o=velocity|kp=frontier|t2=p99@16");
+        assert_eq!(all, auto);
+        assert_eq!(all, frontier);
+        // ...but every other section still separates streams.
+        assert_ne!(all, plan_base_seed("f1.plan.v1|o=tdp|kp=all|t2=p99@16"));
+    }
+
+    #[test]
+    fn base_seed_avalanches_adjacent_keys() {
+        // One-character edits must flip ~half the seed bits, or plans
+        // differing in one knob would draw correlated trial streams.
+        let a = plan_base_seed("f1.plan.v1|o=velocity");
+        let b = plan_base_seed("f1.plan.v1|o=velocitz");
+        assert!((a ^ b).count_ones() >= 10);
+    }
+}

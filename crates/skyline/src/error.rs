@@ -57,6 +57,16 @@ pub enum SkylineError {
         /// The store's latest published epoch.
         latest: u64,
     },
+    /// A tier-2 (simulation-backed) plan could not be validated or
+    /// executed: an out-of-domain trial count or survivor budget at
+    /// build time, a plan that declares sim objectives run on a
+    /// [`Session`](crate::Session) with no
+    /// [`Tier2Evaluator`](crate::Tier2Evaluator) installed, or an
+    /// evaluator failure on a survivor.
+    Tier2 {
+        /// What went wrong.
+        reason: String,
+    },
     /// The assembled system cannot fly (payload exceeds thrust budget).
     CannotHover {
         /// The system's name.
@@ -96,6 +106,7 @@ impl core::fmt::Display for SkylineError {
                  holds only {count} {family}s (ids are catalog-specific)"
             ),
             Self::PlanKey { reason } => write!(f, "invalid plan key: {reason}"),
+            Self::Tier2 { reason } => write!(f, "tier-2 evaluation: {reason}"),
             Self::UnknownEpoch { requested, latest } => write!(
                 f,
                 "catalog epoch {requested} was never published by this \
@@ -186,6 +197,11 @@ mod tests {
             reason: "missing objectives section".into(),
         };
         assert!(key.to_string().contains("missing objectives"));
+
+        let tier2 = SkylineError::Tier2 {
+            reason: "survivor budget 0 is out of range".into(),
+        };
+        assert!(tier2.to_string().contains("survivor budget 0"));
 
         let epoch = SkylineError::UnknownEpoch {
             requested: 9,

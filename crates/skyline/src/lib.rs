@@ -30,6 +30,11 @@
 //!   every point, selected per plan via [`KeepPoints`] — this is what
 //!   makes 10⁷-candidate catalogs interactive with bounded memory.
 //! * [`frontier`] — O(n log n) sort-and-sweep Pareto skylines.
+//! * [`tier2`] — the two-tier evaluation hook: plans may declare
+//!   simulation-backed [`SimObjective`]s, evaluated by an installed
+//!   [`Tier2Evaluator`] (the `f1-sim` crate) on the tier-1 survivor set
+//!   only, with an analytic-vs-simulated rank-agreement
+//!   [`VerificationReport`] attached to the result.
 //!
 //! # Examples
 //!
@@ -70,9 +75,14 @@ pub mod session;
 pub mod shard;
 pub mod sweep;
 mod system;
+pub mod tier2;
 
 pub use error::SkylineError;
 pub use knobs::{KnobDescription, Knobs};
-pub use plan::{KeepPoints, PlanBuilder, QueryPlan};
+pub use plan::{KeepPoints, PlanBuilder, QueryPlan, SimObjective};
 pub use session::{CacheStats, ResultSet, Session};
 pub use system::{Recommendation, SystemAnalysis, UavSystem, UavSystemBuilder};
+pub use tier2::{
+    SimBlock, SimRow, SimStats, SimUsage, Tier2Context, Tier2Evaluation, Tier2Evaluator,
+    VerificationEntry, VerificationReport,
+};

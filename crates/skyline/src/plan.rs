@@ -84,6 +84,103 @@ impl KeepPoints {
     }
 }
 
+/// Default number of tier-1 survivors a tier-2 plan simulates when no
+/// explicit [`PlanBuilder::survivor_budget`] is set. Equal to the
+/// streamed top-k depth, so the default budget is always fully
+/// addressable in streamed results.
+pub const DEFAULT_SURVIVOR_BUDGET: usize = crate::shard::STREAM_TOP_K;
+
+/// Upper bound on [`SimObjective::MissionRobustness`] trial counts —
+/// tier-2 cost is `survivors × trials`, and an absurd trial count in a
+/// plan key must not be able to wedge an executor.
+pub const MAX_SIM_TRIALS: u32 = 10_000;
+
+/// A tier-2, simulation-backed objective: declared in the plan next to
+/// the analytic [`Objective`]s, but evaluated **after** the tier-1
+/// analytic pass, and only on the survivor set (Pareto frontier ∪
+/// ranked top-k). Evaluation is delegated to the session's installed
+/// [`Tier2Evaluator`](crate::Tier2Evaluator) (the `f1-sim` crate
+/// provides the flightsim/pipeline-backed implementation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SimObjective {
+    /// Fraction of `trials` seeded `StopScenario` disturbance trials the
+    /// candidate completes without a tracking infraction (maximized).
+    /// Seeds derive deterministically from (plan key, candidate id,
+    /// trial index), so results are bit-identical across cache hits,
+    /// batch shapes, shard boundaries and delta repair.
+    MissionRobustness {
+        /// Number of disturbance trials per survivor (1..=[`MAX_SIM_TRIALS`]).
+        trials: u32,
+    },
+    /// End-to-end p99 latency in seconds of the candidate's
+    /// sense→compute→control pipeline under a `PipelineSim` run
+    /// (minimized; `+∞` when the pipeline never completes an action).
+    PipelineP99Latency,
+}
+
+impl SimObjective {
+    /// Stable column label of this objective in results and JSON.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SimObjective::MissionRobustness { .. } => "robustness",
+            SimObjective::PipelineP99Latency => "p99_latency",
+        }
+    }
+
+    /// Whether larger values are better (mirrors
+    /// [`Objective::maximize`](crate::query::Objective)).
+    #[must_use]
+    pub fn maximize(self) -> bool {
+        matches!(self, SimObjective::MissionRobustness { .. })
+    }
+
+    /// Discriminant used to deduplicate sim objectives by kind at build
+    /// time (first occurrence wins, like analytic objectives).
+    fn kind(self) -> u8 {
+        match self {
+            SimObjective::MissionRobustness { .. } => 0,
+            SimObjective::PipelineP99Latency => 1,
+        }
+    }
+
+    /// The canonical key token of this objective.
+    fn key_token(self) -> String {
+        match self {
+            SimObjective::MissionRobustness { trials } => format!("robustness:{trials}"),
+            SimObjective::PipelineP99Latency => "p99".to_owned(),
+        }
+    }
+
+    fn from_key_token(tok: &str) -> Result<Self, SkylineError> {
+        if tok == "p99" {
+            return Ok(SimObjective::PipelineP99Latency);
+        }
+        if let Some(trials) = tok.strip_prefix("robustness:") {
+            let trials = trials.parse::<u32>().map_err(|_| SkylineError::PlanKey {
+                reason: format!("bad tier-2 trial count {trials:?}"),
+            })?;
+            return Ok(SimObjective::MissionRobustness { trials });
+        }
+        Err(SkylineError::PlanKey {
+            reason: format!("unknown tier-2 objective {tok:?}"),
+        })
+    }
+
+    fn validate(self) -> Result<(), SkylineError> {
+        if let SimObjective::MissionRobustness { trials } = self {
+            if trials == 0 || trials > MAX_SIM_TRIALS {
+                return Err(SkylineError::Tier2 {
+                    reason: format!(
+                        "robustness trial count must be in 1..={MAX_SIM_TRIALS}, got {trials}"
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
 /// An owned, validated, executable design-space query.
 ///
 /// Built with [`QueryPlan::builder`] (or compiled from a borrowed query
@@ -114,6 +211,8 @@ pub struct QueryPlan {
     battery: Option<BatteryId>,
     profile: MissionProfile,
     keep_points: KeepPoints,
+    sim_objectives: Vec<SimObjective>,
+    survivor_budget: usize,
     key: String,
 }
 
@@ -192,6 +291,31 @@ impl QueryPlan {
     #[must_use]
     pub fn keep_points(&self) -> KeepPoints {
         self.keep_points
+    }
+
+    /// The plan's tier-2 (simulation-backed) objectives, deduplicated by
+    /// kind in declaration order; empty for a pure analytic plan.
+    #[must_use]
+    pub fn sim_objectives(&self) -> &[SimObjective] {
+        &self.sim_objectives
+    }
+
+    /// How many tier-1 survivors (frontier ∪ ranked top-k) the tier-2
+    /// pass simulates. Always in
+    /// `1..=`[`STREAM_TOP_K`](crate::shard::STREAM_TOP_K), so the whole
+    /// survivor set is addressable even in streamed results;
+    /// [`DEFAULT_SURVIVOR_BUDGET`] when unset or when the plan has no
+    /// sim objectives.
+    #[must_use]
+    pub fn survivor_budget(&self) -> usize {
+        self.survivor_budget
+    }
+
+    /// Whether this plan declares any tier-2 objectives (and therefore
+    /// needs a [`Tier2Evaluator`](crate::Tier2Evaluator) at execution).
+    #[must_use]
+    pub fn has_tier2(&self) -> bool {
+        !self.sim_objectives.is_empty()
     }
 
     /// Whether any objective needs the momentum-theory power model.
@@ -360,8 +484,21 @@ fn build_key(plan: &PlanParts<'_>) -> String {
     let battery = plan
         .battery
         .map_or_else(|| "-".to_owned(), |id| id.index().to_string());
+    let tier2 = if plan.sim_objectives.is_empty() {
+        "-".to_owned()
+    } else {
+        format!(
+            "{}@{}",
+            plan.sim_objectives
+                .iter()
+                .map(|o| o.key_token())
+                .collect::<Vec<_>>()
+                .join(";"),
+            plan.survivor_budget
+        )
+    };
     format!(
-        "{KEY_PREFIX}|o={objectives}|c={constraints}|s={sweeps}|af={}|sn={}|cp={}|al={}|b={battery}|mp={},{},{}|kp={}",
+        "{KEY_PREFIX}|o={objectives}|c={constraints}|s={sweeps}|af={}|sn={}|cp={}|al={}|b={battery}|mp={},{},{}|kp={}|t2={tier2}",
         fmt_ids(plan.airframes, AirframeId::index),
         fmt_ids(plan.sensors, SensorId::index),
         fmt_ids(plan.computes, ComputeId::index),
@@ -386,13 +523,15 @@ struct PlanParts<'a> {
     battery: Option<BatteryId>,
     profile: MissionProfile,
     keep_points: KeepPoints,
+    sim_objectives: &'a [SimObjective],
+    survivor_budget: usize,
 }
 
 /// The fixed section order of a canonical key. Enforced on parse:
 /// reordered, duplicated, missing or extra sections are all
 /// [`SkylineError::PlanKey`] — a key is a cache identity, so exactly
 /// one accepted spelling may exist per plan.
-const KEY_SECTIONS: [&str; 10] = ["o", "c", "s", "af", "sn", "cp", "al", "b", "mp", "kp"];
+const KEY_SECTIONS: [&str; 11] = ["o", "c", "s", "af", "sn", "cp", "al", "b", "mp", "kp", "t2"];
 
 fn parse_key(key: &str) -> Result<PlanBuilder, SkylineError> {
     let mut sections = key.split('|');
@@ -480,6 +619,22 @@ fn parse_key(key: &str) -> Result<PlanBuilder, SkylineError> {
                         reason: format!("unknown keep-points policy {body:?}"),
                     })?;
             }
+            "t2" => {
+                if body != "-" {
+                    let (objectives, budget) =
+                        body.rsplit_once('@').ok_or_else(|| SkylineError::PlanKey {
+                            reason: format!("bad tier-2 section {body:?} (missing @budget)"),
+                        })?;
+                    for tok in objectives.split(';').filter(|t| !t.is_empty()) {
+                        builder = builder.sim_objective(SimObjective::from_key_token(tok)?);
+                    }
+                    builder = builder.survivor_budget(budget.parse::<usize>().map_err(|_| {
+                        SkylineError::PlanKey {
+                            reason: format!("bad survivor budget {budget:?}"),
+                        }
+                    })?);
+                }
+            }
             // analyze::allow(panic, reason = "the tag was validated against KEY_SECTIONS before dispatch; this arm is dead by construction")
             _ => unreachable!("tag was checked against the expected section"),
         }
@@ -508,6 +663,8 @@ pub struct PlanBuilder {
     battery: Option<BatteryId>,
     profile: Option<MissionProfile>,
     keep_points: KeepPoints,
+    sim_objectives: Vec<SimObjective>,
+    survivor_budget: Option<usize>,
 }
 
 impl PlanBuilder {
@@ -594,6 +751,27 @@ impl PlanBuilder {
         self
     }
 
+    /// Appends a tier-2 (simulation-backed) objective, evaluated on the
+    /// tier-1 survivor set after the analytic pass (see
+    /// [`SimObjective`]). Duplicate kinds deduplicate at build time,
+    /// first occurrence winning.
+    #[must_use]
+    pub fn sim_objective(mut self, objective: SimObjective) -> Self {
+        self.sim_objectives.push(objective);
+        self
+    }
+
+    /// Caps how many tier-1 survivors the tier-2 pass simulates
+    /// (default [`DEFAULT_SURVIVOR_BUDGET`]; must be
+    /// `1..=`[`STREAM_TOP_K`](crate::shard::STREAM_TOP_K) so the
+    /// survivor set stays addressable in streamed results). Ignored —
+    /// and canonicalized away — when the plan has no sim objectives.
+    #[must_use]
+    pub fn survivor_budget(mut self, budget: usize) -> Self {
+        self.survivor_budget = Some(budget);
+        self
+    }
+
     /// The objectives the built plan will run under (the default set if
     /// none were specified, deduplicated preserving first occurrence).
     #[must_use]
@@ -665,6 +843,31 @@ impl PlanBuilder {
             ra.cmp(&rb).then_with(|| va.total_cmp(&vb))
         });
         constraints.dedup();
+        let mut sim_objectives: Vec<SimObjective> = Vec::new();
+        for &so in &self.sim_objectives {
+            so.validate()?;
+            if !sim_objectives.iter().any(|o| o.kind() == so.kind()) {
+                sim_objectives.push(so);
+            }
+        }
+        if let Some(budget) = self.survivor_budget {
+            if budget == 0 || budget > crate::shard::STREAM_TOP_K {
+                return Err(SkylineError::Tier2 {
+                    reason: format!(
+                        "survivor budget must be in 1..={}, got {budget}",
+                        crate::shard::STREAM_TOP_K
+                    ),
+                });
+            }
+        }
+        // Without sim objectives the budget is inert, so it collapses to
+        // the default — the canonical key (`t2=-`) carries no budget and
+        // a round-tripped plan must compare equal.
+        let survivor_budget = if sim_objectives.is_empty() {
+            DEFAULT_SURVIVOR_BUDGET
+        } else {
+            self.survivor_budget.unwrap_or(DEFAULT_SURVIVOR_BUDGET)
+        };
         let key = build_key(&PlanParts {
             objectives: &objectives,
             constraints: &constraints,
@@ -676,6 +879,8 @@ impl PlanBuilder {
             battery: self.battery,
             profile,
             keep_points: self.keep_points,
+            sim_objectives: &sim_objectives,
+            survivor_budget,
         });
         Ok(QueryPlan {
             objectives,
@@ -689,6 +894,8 @@ impl PlanBuilder {
             battery: self.battery,
             profile,
             keep_points: self.keep_points,
+            sim_objectives,
+            survivor_budget,
             key,
         })
     }
@@ -833,14 +1040,23 @@ mod tests {
             "",
             "f2.plan.v9|o=velocity",
             "f1.plan.v1|o=velocity", // missing profile
-            "f1.plan.v1|o=velocity|c=|s=|af=*|sn=*|cp=*|al=*|b=-|mp=0.65,0.08,0.8", // missing kp
-            "f1.plan.v1|o=warp|c=|s=|af=*|sn=*|cp=*|al=*|b=-|mp=0.65,0.08,0.8|kp=auto", // bad objective
-            "f1.plan.v1|o=velocity|c=max_tdp=x|s=|af=*|sn=*|cp=*|al=*|b=-|mp=0.65,0.08,0.8|kp=auto",
-            "f1.plan.v1|o=velocity|c=|s=warp:1|af=*|sn=*|cp=*|al=*|b=-|mp=0.65,0.08,0.8|kp=auto",
-            "f1.plan.v1|o=velocity|c=|s=|af=1,zz|sn=*|cp=*|al=*|b=-|mp=0.65,0.08,0.8|kp=auto",
-            "f1.plan.v1|o=velocity|c=|s=|af=*|sn=*|cp=*|al=*|b=?|mp=0.65,0.08,0.8|kp=auto",
-            "f1.plan.v1|o=velocity|c=|s=|af=*|sn=*|cp=*|al=*|b=-|mp=0.65,0.08|kp=auto",
-            "f1.plan.v1|o=velocity|c=|s=|af=*|sn=*|cp=*|al=*|b=-|mp=0.65,0.08,0.8|kp=sometimes",
+            "f1.plan.v1|o=velocity|c=|s=|af=*|sn=*|cp=*|al=*|b=-|mp=0.65,0.08,0.8|kp=auto", // missing t2
+            "f1.plan.v1|o=warp|c=|s=|af=*|sn=*|cp=*|al=*|b=-|mp=0.65,0.08,0.8|kp=auto|t2=-", // bad objective
+            "f1.plan.v1|o=velocity|c=max_tdp=x|s=|af=*|sn=*|cp=*|al=*|b=-|mp=0.65,0.08,0.8|kp=auto|t2=-",
+            "f1.plan.v1|o=velocity|c=|s=warp:1|af=*|sn=*|cp=*|al=*|b=-|mp=0.65,0.08,0.8|kp=auto|t2=-",
+            "f1.plan.v1|o=velocity|c=|s=|af=1,zz|sn=*|cp=*|al=*|b=-|mp=0.65,0.08,0.8|kp=auto|t2=-",
+            "f1.plan.v1|o=velocity|c=|s=|af=*|sn=*|cp=*|al=*|b=?|mp=0.65,0.08,0.8|kp=auto|t2=-",
+            "f1.plan.v1|o=velocity|c=|s=|af=*|sn=*|cp=*|al=*|b=-|mp=0.65,0.08|kp=auto|t2=-",
+            "f1.plan.v1|o=velocity|c=|s=|af=*|sn=*|cp=*|al=*|b=-|mp=0.65,0.08,0.8|kp=sometimes|t2=-",
+            // tier-2 section: missing budget, unknown objective, bad
+            // trials, bad budget, empty objective list, non-canonical
+            // duplicate kind.
+            "f1.plan.v1|o=velocity|c=|s=|af=*|sn=*|cp=*|al=*|b=-|mp=0.65,0.08,0.8|kp=auto|t2=robustness:8",
+            "f1.plan.v1|o=velocity|c=|s=|af=*|sn=*|cp=*|al=*|b=-|mp=0.65,0.08,0.8|kp=auto|t2=warp@16",
+            "f1.plan.v1|o=velocity|c=|s=|af=*|sn=*|cp=*|al=*|b=-|mp=0.65,0.08,0.8|kp=auto|t2=robustness:x@16",
+            "f1.plan.v1|o=velocity|c=|s=|af=*|sn=*|cp=*|al=*|b=-|mp=0.65,0.08,0.8|kp=auto|t2=p99@zz",
+            "f1.plan.v1|o=velocity|c=|s=|af=*|sn=*|cp=*|al=*|b=-|mp=0.65,0.08,0.8|kp=auto|t2=@16",
+            "f1.plan.v1|o=velocity|c=|s=|af=*|sn=*|cp=*|al=*|b=-|mp=0.65,0.08,0.8|kp=auto|t2=p99;p99@16",
         ] {
             let err = QueryPlan::from_key(bad).unwrap_err();
             assert!(
@@ -850,10 +1066,91 @@ mod tests {
         }
         // A parseable key still re-runs semantic validation.
         let err = QueryPlan::from_key(
-            "f1.plan.v1|o=endurance|c=|s=|af=*|sn=*|cp=*|al=*|b=-|mp=0.65,0.08,0.8|kp=auto",
+            "f1.plan.v1|o=endurance|c=|s=|af=*|sn=*|cp=*|al=*|b=-|mp=0.65,0.08,0.8|kp=auto|t2=-",
         )
         .unwrap_err();
         assert!(matches!(err, SkylineError::IncompleteSystem { .. }));
+        // ...including tier-2 domain validation (trials and budget out
+        // of range parse fine but fail the build).
+        for bad in [
+            "f1.plan.v1|o=velocity|c=|s=|af=*|sn=*|cp=*|al=*|b=-|mp=0.65,0.08,0.8|kp=auto|t2=robustness:0@16",
+            "f1.plan.v1|o=velocity|c=|s=|af=*|sn=*|cp=*|al=*|b=-|mp=0.65,0.08,0.8|kp=auto|t2=robustness:99999@16",
+            "f1.plan.v1|o=velocity|c=|s=|af=*|sn=*|cp=*|al=*|b=-|mp=0.65,0.08,0.8|kp=auto|t2=p99@0",
+            "f1.plan.v1|o=velocity|c=|s=|af=*|sn=*|cp=*|al=*|b=-|mp=0.65,0.08,0.8|kp=auto|t2=p99@65",
+        ] {
+            let err = QueryPlan::from_key(bad).unwrap_err();
+            assert!(
+                matches!(err, SkylineError::Tier2 { .. }),
+                "{bad:?} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn tier2_section_is_part_of_the_key_and_round_trips() {
+        let analytic = QueryPlan::builder().build().unwrap();
+        assert!(!analytic.has_tier2());
+        assert!(analytic.key().ends_with("|t2=-"));
+        assert_eq!(analytic.survivor_budget(), DEFAULT_SURVIVOR_BUDGET);
+
+        let two_tier = QueryPlan::builder()
+            .sim_objective(SimObjective::MissionRobustness { trials: 32 })
+            .sim_objective(SimObjective::PipelineP99Latency)
+            .survivor_budget(16)
+            .build()
+            .unwrap();
+        assert!(two_tier.has_tier2());
+        assert!(two_tier.key().ends_with("|t2=robustness:32;p99@16"));
+        assert_eq!(two_tier.survivor_budget(), 16);
+        assert_ne!(two_tier.key(), analytic.key());
+        let replayed = QueryPlan::from_key(two_tier.key()).unwrap();
+        assert_eq!(replayed, two_tier);
+        assert_eq!(replayed.sim_objectives(), two_tier.sim_objectives());
+
+        // Duplicate kinds dedup (first wins), like analytic objectives.
+        let dup = QueryPlan::builder()
+            .sim_objective(SimObjective::MissionRobustness { trials: 8 })
+            .sim_objective(SimObjective::MissionRobustness { trials: 99 })
+            .build()
+            .unwrap();
+        assert_eq!(
+            dup.sim_objectives(),
+            [SimObjective::MissionRobustness { trials: 8 }]
+        );
+
+        // A budget without sim objectives is inert and canonicalizes
+        // away: same key, same plan, default budget.
+        let budget_only = QueryPlan::builder().survivor_budget(16).build().unwrap();
+        assert_eq!(budget_only.key(), analytic.key());
+        assert_eq!(budget_only, analytic);
+        assert_eq!(budget_only.survivor_budget(), DEFAULT_SURVIVOR_BUDGET);
+    }
+
+    #[test]
+    fn tier2_build_validation() {
+        assert!(matches!(
+            QueryPlan::builder()
+                .sim_objective(SimObjective::MissionRobustness { trials: 0 })
+                .build()
+                .unwrap_err(),
+            SkylineError::Tier2 { .. }
+        ));
+        assert!(matches!(
+            QueryPlan::builder()
+                .sim_objective(SimObjective::PipelineP99Latency)
+                .survivor_budget(0)
+                .build()
+                .unwrap_err(),
+            SkylineError::Tier2 { .. }
+        ));
+        assert!(matches!(
+            QueryPlan::builder()
+                .sim_objective(SimObjective::PipelineP99Latency)
+                .survivor_budget(crate::shard::STREAM_TOP_K + 1)
+                .build()
+                .unwrap_err(),
+            SkylineError::Tier2 { .. }
+        ));
     }
 
     #[test]

@@ -57,6 +57,7 @@ use crate::query::{
     Constraint, Knob, KnobSetting, MissionProfile, Objective, QueryPoint, MAX_OBJECTIVES,
 };
 use crate::sweep::parallel_map_indices;
+use crate::tier2::{SharedTier2, SimBlock, SimStats, Tier2Context};
 use crate::{frontier, SkylineError};
 
 // ---------------------------------------------------------------------
@@ -135,6 +136,11 @@ pub struct ResultSet {
     /// segment 0 holds only the stored (frontier ∪ top-k) points and
     /// `columns` only their rows, while indices everywhere stay global.
     streamed: Option<StreamedMeta>,
+    /// The tier-2 simulation block, attached by the session after the
+    /// tier-1 pass for plans with sim objectives (see [`crate::tier2`]).
+    /// Part of the result's logical identity: memoized, spilled and
+    /// equality-compared with everything else.
+    sim: Option<SimBlock>,
 }
 
 /// The streamed-mode bookkeeping of a [`ResultSet`]: how many points
@@ -169,6 +175,7 @@ impl PartialEq for ResultSet {
             && self.dropped == other.dropped
             && self.nonfinite == other.nonfinite
             && self.streamed == other.streamed
+            && self.sim == other.sim
             && match &self.streamed {
                 None => (0..self.len()).all(|i| self.point(i) == other.point(i)),
                 Some(meta) => meta.stored.iter().all(|&i| self.point(i) == other.point(i)),
@@ -205,6 +212,7 @@ impl ResultSet {
             dropped,
             nonfinite,
             streamed: None,
+            sim: None,
         }
     }
 
@@ -235,6 +243,7 @@ impl ResultSet {
             dropped,
             nonfinite,
             streamed: Some(meta),
+            sim: None,
         }
     }
 
@@ -256,6 +265,7 @@ impl ResultSet {
             dropped: self.dropped,
             nonfinite: self.nonfinite,
             streamed: None,
+            sim: self.sim.clone(),
         }
     }
 
@@ -285,6 +295,7 @@ impl ResultSet {
             dropped,
             nonfinite,
             streamed: None,
+            sim: None,
         }
     }
 
@@ -731,6 +742,37 @@ impl ResultSet {
         self.nonfinite
     }
 
+    /// The tier-2 simulation block, when this result was produced by a
+    /// plan with sim objectives on a session with a
+    /// [`Tier2Evaluator`](crate::tier2::Tier2Evaluator) installed.
+    #[must_use]
+    pub fn sim(&self) -> Option<&SimBlock> {
+        self.sim.as_ref()
+    }
+
+    /// Returns this result with `block` attached as its tier-2 sim
+    /// block (session-internal: the block is computed once per
+    /// `(plan key, epoch)` and memoized with the result).
+    pub(crate) fn with_sim(mut self, block: SimBlock) -> Self {
+        self.sim = Some(block);
+        self
+    }
+
+    /// The tier-1 **survivor set** a tier-2 pass simulates: Pareto
+    /// frontier ∪ the best `budget` ranked indices, deduplicated,
+    /// ascending. Works identically in materializing and streamed mode
+    /// for `budget ≤ `[`STREAM_TOP_K`](crate::shard::STREAM_TOP_K) —
+    /// a streamed result stores exactly frontier ∪ top-k, so every
+    /// survivor is addressable via [`point`](Self::point)/[`value`](Self::value).
+    #[must_use]
+    pub fn survivors(&self, budget: usize) -> Vec<usize> {
+        let mut out: Vec<usize> = self.frontier.clone();
+        out.extend(self.top_k(budget));
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
     /// The frontier's input domain: minimized objective-key rows
     /// (maximize objectives negated) for every feasible point with
     /// finite values, plus the map from key-row position back to the
@@ -880,7 +922,59 @@ impl ResultSet {
             }
             out.push_str(&f.to_string());
         }
-        out.push_str("]\n}\n");
+        out.push(']');
+        if let Some(sim) = &self.sim {
+            out.push_str(",\n  \"sim\": {\n    \"objectives\": [");
+            for (i, o) in sim.objectives.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "{{\"label\": {}, \"maximize\": {}}}",
+                    json_string(o.label()),
+                    o.maximize()
+                ));
+            }
+            out.push_str("],\n    \"survivors\": [");
+            for (i, row) in sim.rows.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\n      {{\"id\": {}, \"index\": {}, \"values\": [",
+                    row.candidate_id, row.index
+                ));
+                for (j, v) in row.values.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&json_number(*v));
+                }
+                out.push_str("]}");
+            }
+            out.push_str("\n    ],\n    \"report\": [");
+            for (i, entry) in sim.report.entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\n      {{\"objective\": {}, \"analytic\": {}, \"tau\": {}, \
+                     \"agreement\": {}, \"outliers\": [{}]}}",
+                    json_string(entry.objective.label()),
+                    json_string(entry.analytic.label()),
+                    json_number(entry.tau),
+                    json_number(entry.agreement),
+                    entry
+                        .outliers
+                        .iter()
+                        .map(u64::to_string)
+                        .collect::<Vec<_>>()
+                        .join(",")
+                ));
+            }
+            out.push_str("\n    ]\n  }");
+        }
+        out.push_str("\n}\n");
         out
     }
 }
@@ -1880,6 +1974,7 @@ fn run_group(
             uncharacterized,
             nonfinite: accum.nonfinite,
             streamed: None,
+            sim: None,
         })
         .collect())
 }
@@ -2074,6 +2169,14 @@ pub struct Session {
     hits: AtomicU64,
     misses: AtomicU64,
     repairs: AtomicU64,
+    /// The tier-2 evaluation hook for plans with sim objectives; `None`
+    /// (the default) fails such plans with [`SkylineError::Tier2`].
+    tier2: Option<SharedTier2>,
+    sim_evaluations: AtomicU64,
+    sim_survivors: AtomicU64,
+    sim_trials: AtomicU64,
+    sim_reused: AtomicU64,
+    sim_millis: AtomicU64,
 }
 
 impl Session {
@@ -2098,7 +2201,25 @@ impl Session {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             repairs: AtomicU64::new(0),
+            tier2: None,
+            sim_evaluations: AtomicU64::new(0),
+            sim_survivors: AtomicU64::new(0),
+            sim_trials: AtomicU64::new(0),
+            sim_reused: AtomicU64::new(0),
+            sim_millis: AtomicU64::new(0),
         }
+    }
+
+    /// Installs the tier-2 evaluation hook: plans declaring
+    /// [`SimObjective`](crate::plan::SimObjective)s have their tier-1
+    /// survivor set simulated by `evaluator` and the resulting
+    /// [`SimBlock`] merged into the memoized result (see
+    /// [`crate::tier2`]). Without an evaluator such plans fail with
+    /// [`SkylineError::Tier2`]; pure analytic plans never invoke it.
+    #[must_use]
+    pub fn with_tier2(mut self, evaluator: SharedTier2) -> Self {
+        self.tier2 = Some(evaluator);
+        self
     }
 
     /// Pins the work-stealing chunk size, overriding the default
@@ -2204,6 +2325,51 @@ impl Session {
         }
     }
 
+    /// Runs the tier-2 hook for a plan with sim objectives and attaches
+    /// the returned [`SimBlock`] to `result`; pass-through for pure
+    /// analytic plans. `prior` is the cached result a delta repair
+    /// started from, letting the evaluator reuse sim rows of survivors
+    /// whose tier-1 point is unchanged.
+    fn attach_tier2(
+        &self,
+        plan: &QueryPlan,
+        state: &EpochState,
+        result: ResultSet,
+        prior: Option<&ResultSet>,
+    ) -> Result<ResultSet, SkylineError> {
+        if !plan.has_tier2() {
+            return Ok(result);
+        }
+        let Some(evaluator) = &self.tier2 else {
+            return Err(SkylineError::Tier2 {
+                reason: "plan declares sim objectives but this session has no tier-2 \
+                         evaluator installed (see Session::with_tier2; the f1-sim crate \
+                         provides the flightsim/pipeline-backed implementation)"
+                    .to_owned(),
+            });
+        };
+        // Wall-clock feeds only the sim_millis counter, never result bytes.
+        let started = std::time::Instant::now();
+        let evaluation = evaluator.evaluate(&Tier2Context {
+            catalog: state.catalog(),
+            plan,
+            result: &result,
+            prior,
+        })?;
+        self.sim_evaluations.fetch_add(1, AtomicOrdering::Relaxed);
+        self.sim_survivors
+            .fetch_add(evaluation.block.rows.len() as u64, AtomicOrdering::Relaxed);
+        self.sim_trials
+            .fetch_add(evaluation.usage.trials, AtomicOrdering::Relaxed);
+        self.sim_reused
+            .fetch_add(evaluation.usage.reused_rows, AtomicOrdering::Relaxed);
+        self.sim_millis.fetch_add(
+            started.elapsed().as_millis() as u64,
+            AtomicOrdering::Relaxed,
+        );
+        Ok(result.with_sim(evaluation.block))
+    }
+
     /// Cache read with no hit/miss accounting.
     fn peek(&self, key: &str, epoch: u64) -> Option<Arc<ResultSet>> {
         self.cache
@@ -2267,7 +2433,8 @@ impl Session {
         self.misses.fetch_add(1, AtomicOrdering::Relaxed);
         let mut results = run_plans(&self.pass_context(state), &[plan], true)?;
         // analyze::allow(panic, reason = "run_plans returns exactly one result per input plan")
-        let result = Arc::new(results.pop().expect("one plan in, one result out"));
+        let result = results.pop().expect("one plan in, one result out");
+        let result = Arc::new(self.attach_tier2(plan, state, result, None)?);
         self.insert(plan.key(), epoch, Arc::clone(&result));
         Ok(result)
     }
@@ -2337,7 +2504,14 @@ impl Session {
                         } else {
                             *result
                         };
-                        let result = Arc::new(result);
+                        // Re-attach tier 2 with the prior result in
+                        // hand: survivors whose tier-1 point is
+                        // unchanged reuse their sim rows, everything
+                        // else re-simulates — bit-identical to a cold
+                        // run either way (seeds depend only on plan key
+                        // and candidate identity).
+                        let result =
+                            Arc::new(self.attach_tier2(plan, &state, result, Some(&cached))?);
                         self.insert(plan.key(), epoch, Arc::clone(&result));
                         return Ok(result);
                     }
@@ -2508,7 +2682,7 @@ impl Session {
             let refs: Vec<&QueryPlan> = pending.iter().map(|&i| &plans[i]).collect();
             let results = run_plans(&self.pass_context(state), &refs, true)?;
             for (&i, result) in pending.iter().zip(results) {
-                let result = Arc::new(result);
+                let result = Arc::new(self.attach_tier2(&plans[i], state, result, None)?);
                 self.insert(plans[i].key(), epoch, Arc::clone(&result));
                 out[i] = Some(result);
             }
@@ -2546,6 +2720,20 @@ impl Session {
             entries: cache.len,
             evictions: cache.evictions,
             repairs: self.repairs.load(AtomicOrdering::Relaxed),
+        }
+    }
+
+    /// Tier-2 accounting: evaluations invoked, survivors simulated,
+    /// trials paid, rows reused across delta repair, and wall-clock
+    /// spent — all zero until a plan with sim objectives runs.
+    #[must_use]
+    pub fn sim_stats(&self) -> SimStats {
+        SimStats {
+            evaluations: self.sim_evaluations.load(AtomicOrdering::Relaxed),
+            survivors: self.sim_survivors.load(AtomicOrdering::Relaxed),
+            trials: self.sim_trials.load(AtomicOrdering::Relaxed),
+            reused_rows: self.sim_reused.load(AtomicOrdering::Relaxed),
+            millis: self.sim_millis.load(AtomicOrdering::Relaxed),
         }
     }
 
